@@ -1,0 +1,48 @@
+//! Join inner-table strategy benchmarks: the criterion counterpart of
+//! Figure 13 at three orders-predicate selectivities.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use matstrat_common::Predicate;
+use matstrat_core::{InnerStrategy, JoinSpec};
+use matstrat_tpch::join_tables::{customer_cols, orders_cols};
+
+use matstrat_bench::Harness;
+
+fn bench_join(c: &mut Criterion) {
+    let h = Harness::new(0.01).expect("harness"); // 15 K orders, 1.5 K customers
+    let mut g = c.benchmark_group("fig13_join_inner");
+    for sf in [0.1, 0.5, 0.9] {
+        let x = h.join.custkey_cutoff(sf);
+        let spec = JoinSpec {
+            left: h.orders,
+            right: h.customer,
+            left_key: orders_cols::CUSTKEY,
+            right_key: customer_cols::CUSTKEY,
+            left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+            left_output: vec![orders_cols::SHIPDATE],
+            right_output: vec![customer_cols::NATIONCODE],
+        };
+        for inner in InnerStrategy::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(inner.name().replace(' ', "_"), format!("sf={sf}")),
+                &spec,
+                |b, spec| b.iter(|| black_box(h.db.run_join(spec, inner).unwrap()).num_rows()),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_join
+}
+criterion_main!(benches);

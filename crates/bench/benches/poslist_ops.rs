@@ -1,0 +1,130 @@
+//! Micro-benchmarks for the position-list algebra (§2.1.1, §3.3).
+//!
+//! These quantify the claims behind the AND cost model: intersecting two
+//! bit-strings costs one instruction per 64 positions; intersecting
+//! range lists costs one merge step per run; intersecting a range with a
+//! bit-string is a clip.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use matstrat_common::PosRange;
+use matstrat_poslist::{Bitmap, PosList, PosListBuilder, PosVec, RangeList};
+
+const UNIVERSE: u64 = 1 << 20; // 1 Mi positions
+
+/// Every-other-position set (worst case for ranges, fine for bitmaps).
+fn alternating_bitmap() -> PosList {
+    let mut bm = Bitmap::zeros(PosRange::new(0, UNIVERSE));
+    for p in (0..UNIVERSE).step_by(2) {
+        bm.set(p);
+    }
+    PosList::Bitmap(bm)
+}
+
+/// A clustered set: 64 runs of 8 Ki positions.
+fn clustered_ranges() -> PosList {
+    let ranges: Vec<PosRange> = (0..64)
+        .map(|i| PosRange::new(i * 16384, i * 16384 + 8192))
+        .collect();
+    PosList::Ranges(RangeList::from_ranges(ranges))
+}
+
+/// A sparse explicit list: every 1024th position.
+fn sparse_explicit() -> PosList {
+    PosList::Explicit(PosVec::from_sorted(
+        (0..UNIVERSE).step_by(1024).collect(),
+    ))
+}
+
+fn bench_and(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poslist_and");
+    let bitmap = alternating_bitmap();
+    let ranges = clustered_ranges();
+    let explicit = sparse_explicit();
+
+    g.bench_function("bitmap_and_bitmap_1M", |b| {
+        b.iter(|| black_box(bitmap.and(&bitmap)).count())
+    });
+    g.bench_function("ranges_and_ranges_64runs", |b| {
+        b.iter(|| black_box(ranges.and(&ranges)).count())
+    });
+    g.bench_function("ranges_and_bitmap", |b| {
+        b.iter(|| black_box(ranges.and(&bitmap)).count())
+    });
+    g.bench_function("explicit_and_bitmap_sparse", |b| {
+        b.iter(|| black_box(explicit.and(&bitmap)).count())
+    });
+    g.finish();
+}
+
+fn bench_or_and_not(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poslist_or");
+    let bitmap = alternating_bitmap();
+    let ranges = clustered_ranges();
+    g.bench_function("bitmap_or_bitmap_1M", |b| {
+        b.iter(|| black_box(bitmap.or(&bitmap)).count())
+    });
+    g.bench_function("ranges_or_ranges", |b| {
+        b.iter(|| black_box(ranges.or(&ranges)).count())
+    });
+    if let PosList::Bitmap(bm) = &bitmap {
+        g.bench_function("bitmap_not_1M", |b| b.iter(|| black_box(bm.not()).count()));
+    }
+    g.finish();
+}
+
+fn bench_iteration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poslist_iterate");
+    for (name, pl) in [
+        ("bitmap_half_dense", alternating_bitmap()),
+        ("ranges_clustered", clustered_ranges()),
+        ("explicit_sparse", sparse_explicit()),
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(name), &pl, |b, pl| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for p in pl.iter() {
+                    acc = acc.wrapping_add(p);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("poslist_builder");
+    g.bench_function("push_runs_64", |b| {
+        b.iter(|| {
+            let mut builder = PosListBuilder::new();
+            for i in 0..64u64 {
+                builder.push_run(PosRange::new(i * 16384, i * 16384 + 8192));
+            }
+            black_box(builder.finish()).count()
+        })
+    });
+    g.bench_function("push_singletons_dense_64k", |b| {
+        b.iter(|| {
+            let mut builder = PosListBuilder::new();
+            for p in (0..65536u64).step_by(2) {
+                builder.push(p);
+            }
+            black_box(builder.finish()).count()
+        })
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_and, bench_or_and_not, bench_iteration, bench_builder
+}
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Strategy-level benchmarks: the criterion counterpart of Figures 11
+//! and 12, at three selectivity points per LINENUM encoding.
+//!
+//! `cargo bench -p matstrat-bench --bench strategies` reports the same
+//! comparisons the `figures` binary sweeps, with criterion's statistics.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use matstrat_core::Strategy;
+use matstrat_storage::EncodingKind;
+
+use matstrat_bench::Harness;
+
+fn harness() -> Harness {
+    // 60 K lineitem rows: large enough for stable per-strategy ratios,
+    // small enough for criterion's iteration counts.
+    Harness::new(0.01).expect("harness")
+}
+
+fn bench_selection(c: &mut Criterion) {
+    let h = harness();
+    for enc in [EncodingKind::Plain, EncodingKind::Rle, EncodingKind::BitVec] {
+        let mut g = c.benchmark_group(format!("fig11_selection_{}", enc.name()));
+        let table = h.table(enc);
+        for sf in [0.1, 0.5, 0.9] {
+            let q = h.selection_query(table, sf);
+            for s in Strategy::ALL {
+                if s == Strategy::LmPipelined && enc == EncodingKind::BitVec {
+                    continue;
+                }
+                g.bench_with_input(
+                    BenchmarkId::new(s.name(), format!("sf={sf}")),
+                    &q,
+                    |b, q| b.iter(|| black_box(h.db.run(q, s).unwrap()).num_rows()),
+                );
+            }
+        }
+        g.finish();
+    }
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let h = harness();
+    for enc in [EncodingKind::Plain, EncodingKind::Rle] {
+        let mut g = c.benchmark_group(format!("fig12_aggregation_{}", enc.name()));
+        let table = h.table(enc);
+        for sf in [0.1, 0.9] {
+            let q = h.aggregation_query(table, sf);
+            for s in Strategy::ALL {
+                g.bench_with_input(
+                    BenchmarkId::new(s.name(), format!("sf={sf}")),
+                    &q,
+                    |b, q| b.iter(|| black_box(h.db.run(q, s).unwrap()).num_rows()),
+                );
+            }
+        }
+        g.finish();
+    }
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_selection, bench_aggregation
+}
+criterion_main!(benches);

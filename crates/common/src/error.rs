@@ -1,0 +1,100 @@
+//! Crate-wide error type.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced anywhere in the matstrat stack.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying file-system failure.
+    Io(io::Error),
+    /// A persisted block or file failed validation.
+    Corrupt(String),
+    /// The requested operation is not defined for this encoding or plan.
+    ///
+    /// The flagship case from the paper: the DS3 operator (fetch values at
+    /// given positions) is not supported on bit-vector encoded columns,
+    /// because one cannot know which bit-string holds a given position
+    /// without scanning them all.
+    Unsupported(String),
+    /// A catalog lookup failed.
+    NotFound(String),
+    /// Caller supplied an argument violating a documented invariant.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "I/O error: {e}"),
+            Error::Corrupt(m) => write!(f, "corrupt data: {m}"),
+            Error::Unsupported(m) => write!(f, "unsupported operation: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::InvalidArgument(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for Error {
+    fn from(e: io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+/// Convenience alias used across all matstrat crates.
+pub type Result<T> = std::result::Result<T, Error>;
+
+impl Error {
+    /// Construct a `Corrupt` error from any displayable message.
+    pub fn corrupt(msg: impl fmt::Display) -> Error {
+        Error::Corrupt(msg.to_string())
+    }
+
+    /// Construct an `Unsupported` error from any displayable message.
+    pub fn unsupported(msg: impl fmt::Display) -> Error {
+        Error::Unsupported(msg.to_string())
+    }
+
+    /// Construct a `NotFound` error from any displayable message.
+    pub fn not_found(msg: impl fmt::Display) -> Error {
+        Error::NotFound(msg.to_string())
+    }
+
+    /// Construct an `InvalidArgument` error from any displayable message.
+    pub fn invalid(msg: impl fmt::Display) -> Error {
+        Error::InvalidArgument(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_kind_and_message() {
+        assert!(Error::corrupt("bad magic").to_string().contains("bad magic"));
+        assert!(Error::unsupported("DS3 on bitvec")
+            .to_string()
+            .contains("unsupported"));
+        assert!(Error::not_found("col x").to_string().contains("col x"));
+        assert!(Error::invalid("width").to_string().contains("width"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        let e: Error = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        use std::error::Error as _;
+        assert!(e.source().is_some());
+        assert!(Error::corrupt("x").source().is_none());
+    }
+}

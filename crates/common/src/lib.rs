@@ -1,0 +1,18 @@
+//! Shared primitives for the `matstrat` column-store.
+//!
+//! This crate defines the vocabulary types used by every layer of the
+//! system: logical values and positions, SARGable predicates that can be
+//! pushed into column scans, and the crate-wide error type.
+//!
+//! The design follows the C-Store executor described in *Abadi, Myers,
+//! DeWitt, Madden: "Materialization Strategies in a Column-Oriented DBMS"*
+//! (ICDE 2007): every attribute is stored as a separate column of
+//! fixed-width integer-coded values, addressed by 0-based *positions*.
+
+pub mod error;
+pub mod pred;
+pub mod types;
+
+pub use error::{Error, Result};
+pub use pred::{CompareOp, Predicate};
+pub use types::{ColumnId, Pos, PosRange, TableId, Value, Width};

@@ -1,0 +1,233 @@
+//! SARGable predicates.
+//!
+//! C-Store data sources accept *search-argument* (SARG) predicates
+//! (Selinger et al. [15] in the paper) so that filtering happens inside
+//! the scan, against encoded data, instead of in a separate operator.
+//! A predicate is a single comparison of a column value against one or
+//! two constants; conjunctions are expressed as one predicate per column,
+//! combined by the positional AND operator.
+
+use crate::types::Value;
+
+/// Comparison operator of a SARGable predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompareOp {
+    /// `column < c`
+    Lt,
+    /// `column <= c`
+    Le,
+    /// `column > c`
+    Gt,
+    /// `column >= c`
+    Ge,
+    /// `column == c`
+    Eq,
+    /// `column != c`
+    Ne,
+    /// `lo <= column <= hi` (both bounds inclusive)
+    Between,
+}
+
+/// A single-column SARGable predicate.
+///
+/// `Between` uses both operands; every other operator uses only `operand`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    /// Comparison operator.
+    pub op: CompareOp,
+    /// Primary constant operand (lower bound for `Between`).
+    pub operand: Value,
+    /// Upper bound for `Between`; ignored otherwise.
+    pub operand2: Value,
+}
+
+impl Predicate {
+    /// `column < c`
+    pub fn lt(c: Value) -> Predicate {
+        Predicate { op: CompareOp::Lt, operand: c, operand2: c }
+    }
+
+    /// `column <= c`
+    pub fn le(c: Value) -> Predicate {
+        Predicate { op: CompareOp::Le, operand: c, operand2: c }
+    }
+
+    /// `column > c`
+    pub fn gt(c: Value) -> Predicate {
+        Predicate { op: CompareOp::Gt, operand: c, operand2: c }
+    }
+
+    /// `column >= c`
+    pub fn ge(c: Value) -> Predicate {
+        Predicate { op: CompareOp::Ge, operand: c, operand2: c }
+    }
+
+    /// `column == c`
+    pub fn eq(c: Value) -> Predicate {
+        Predicate { op: CompareOp::Eq, operand: c, operand2: c }
+    }
+
+    /// `column != c`
+    pub fn ne(c: Value) -> Predicate {
+        Predicate { op: CompareOp::Ne, operand: c, operand2: c }
+    }
+
+    /// `lo <= column <= hi` (inclusive). `lo > hi` matches nothing.
+    pub fn between(lo: Value, hi: Value) -> Predicate {
+        Predicate { op: CompareOp::Between, operand: lo, operand2: hi }
+    }
+
+    /// A predicate that matches every value (`column <= i64::MAX`).
+    pub fn always_true() -> Predicate {
+        Predicate::le(Value::MAX)
+    }
+
+    /// Evaluate the predicate against a single value.
+    #[inline(always)]
+    pub fn matches(&self, v: Value) -> bool {
+        match self.op {
+            CompareOp::Lt => v < self.operand,
+            CompareOp::Le => v <= self.operand,
+            CompareOp::Gt => v > self.operand,
+            CompareOp::Ge => v >= self.operand,
+            CompareOp::Eq => v == self.operand,
+            CompareOp::Ne => v != self.operand,
+            CompareOp::Between => v >= self.operand && v <= self.operand2,
+        }
+    }
+
+    /// The matching value interval as inclusive `[lo, hi]` bounds, or
+    /// `None` when the predicate is not a contiguous interval (`Ne`).
+    ///
+    /// Bit-vector scans use this to decide which per-value bit-strings to
+    /// OR together, and sorted-column scans use it to binary-search run
+    /// boundaries.
+    pub fn value_interval(&self) -> Option<(Value, Value)> {
+        match self.op {
+            CompareOp::Lt => {
+                if self.operand == Value::MIN {
+                    Some((0, -1)) // empty interval
+                } else {
+                    Some((Value::MIN, self.operand - 1))
+                }
+            }
+            CompareOp::Le => Some((Value::MIN, self.operand)),
+            CompareOp::Gt => {
+                if self.operand == Value::MAX {
+                    Some((0, -1))
+                } else {
+                    Some((self.operand + 1, Value::MAX))
+                }
+            }
+            CompareOp::Ge => Some((self.operand, Value::MAX)),
+            CompareOp::Eq => Some((self.operand, self.operand)),
+            CompareOp::Ne => None,
+            CompareOp::Between => Some((self.operand, self.operand2)),
+        }
+    }
+
+    /// Estimated fraction of values matching, assuming a uniform domain
+    /// `[min, max]` (inclusive). Used by the planner for selectivity (SF)
+    /// estimates fed into the analytical model.
+    pub fn uniform_selectivity(&self, min: Value, max: Value) -> f64 {
+        if max < min {
+            return 0.0;
+        }
+        let n = (max - min + 1) as f64;
+        match self.value_interval() {
+            Some((lo, hi)) => {
+                let lo = lo.max(min);
+                let hi = hi.min(max);
+                if hi < lo {
+                    0.0
+                } else {
+                    ((hi - lo + 1) as f64 / n).clamp(0.0, 1.0)
+                }
+            }
+            // Ne: everything except one domain value.
+            None => ((n - 1.0) / n).clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_all_ops() {
+        assert!(Predicate::lt(5).matches(4));
+        assert!(!Predicate::lt(5).matches(5));
+        assert!(Predicate::le(5).matches(5));
+        assert!(!Predicate::le(5).matches(6));
+        assert!(Predicate::gt(5).matches(6));
+        assert!(!Predicate::gt(5).matches(5));
+        assert!(Predicate::ge(5).matches(5));
+        assert!(!Predicate::ge(5).matches(4));
+        assert!(Predicate::eq(5).matches(5));
+        assert!(!Predicate::eq(5).matches(6));
+        assert!(Predicate::ne(5).matches(6));
+        assert!(!Predicate::ne(5).matches(5));
+        assert!(Predicate::between(2, 4).matches(2));
+        assert!(Predicate::between(2, 4).matches(4));
+        assert!(!Predicate::between(2, 4).matches(5));
+        assert!(!Predicate::between(4, 2).matches(3));
+    }
+
+    #[test]
+    fn always_true_matches_extremes() {
+        let p = Predicate::always_true();
+        assert!(p.matches(Value::MIN));
+        assert!(p.matches(0));
+        assert!(p.matches(Value::MAX));
+    }
+
+    #[test]
+    fn value_interval_agrees_with_matches() {
+        let preds = [
+            Predicate::lt(10),
+            Predicate::le(10),
+            Predicate::gt(10),
+            Predicate::ge(10),
+            Predicate::eq(10),
+            Predicate::between(3, 17),
+        ];
+        for p in preds {
+            let (lo, hi) = p.value_interval().unwrap();
+            for v in -30..30 {
+                assert_eq!(p.matches(v), v >= lo && v <= hi, "pred {p:?} value {v}");
+            }
+        }
+        assert!(Predicate::ne(10).value_interval().is_none());
+    }
+
+    #[test]
+    fn value_interval_extreme_operands() {
+        // `< MIN` matches nothing; interval must be empty.
+        let (lo, hi) = Predicate::lt(Value::MIN).value_interval().unwrap();
+        assert!(hi < lo);
+        // `> MAX` matches nothing.
+        let (lo, hi) = Predicate::gt(Value::MAX).value_interval().unwrap();
+        assert!(hi < lo);
+    }
+
+    #[test]
+    fn uniform_selectivity_basics() {
+        // domain 0..=9, pred < 5 matches {0..4} = 0.5
+        assert!((Predicate::lt(5).uniform_selectivity(0, 9) - 0.5).abs() < 1e-12);
+        assert!((Predicate::eq(3).uniform_selectivity(0, 9) - 0.1).abs() < 1e-12);
+        assert!((Predicate::ne(3).uniform_selectivity(0, 9) - 0.9).abs() < 1e-12);
+        assert_eq!(Predicate::lt(0).uniform_selectivity(0, 9), 0.0);
+        assert_eq!(Predicate::le(9).uniform_selectivity(0, 9), 1.0);
+        // Degenerate domain.
+        assert_eq!(Predicate::eq(5).uniform_selectivity(9, 0), 0.0);
+    }
+
+    #[test]
+    fn uniform_selectivity_clips_to_domain() {
+        // between 100..200 on domain 0..=9 matches nothing
+        assert_eq!(Predicate::between(100, 200).uniform_selectivity(0, 9), 0.0);
+        // between -5..4 on domain 0..=9 matches half
+        assert!((Predicate::between(-5, 4).uniform_selectivity(0, 9) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,273 @@
+//! Core scalar types: positions, values, identifiers.
+
+use std::fmt;
+
+/// A 0-based ordinal offset of a value within a column.
+///
+/// Positions are the glue of a column store: to reconstruct the logical
+/// tuple at position `p`, take the value at position `p` from each of the
+/// relation's columns. All columns of a C-Store projection are stored in
+/// the same position order, so tuple reconstruction is a merge on position.
+pub type Pos = u64;
+
+/// A logical column value.
+///
+/// Every attribute in the experiments of the paper is integer-coded
+/// (dates as day numbers, flags as small codes), so the executor operates
+/// on `i64` throughout. Wider types (strings) are dictionary-encoded down
+/// to `i64` codes by the storage layer.
+pub type Value = i64;
+
+/// Identifier of a column within a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColumnId(pub u32);
+
+impl fmt::Display for ColumnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "col#{}", self.0)
+    }
+}
+
+/// Identifier of a table (or C-Store projection) within a catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+impl fmt::Display for TableId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "table#{}", self.0)
+    }
+}
+
+/// Physical byte width of an encoded value (1, 2, 4 or 8 bytes).
+///
+/// Uncompressed blocks pack values at this width; narrower widths let a
+/// 64 KB block hold more values, which matters for the I/O cost model
+/// (`|Ci|`, the number of blocks in a column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 1 byte per value; domain must fit in `i8`.
+    W1,
+    /// 2 bytes per value; domain must fit in `i16`.
+    W2,
+    /// 4 bytes per value; domain must fit in `i32`.
+    W4,
+    /// 8 bytes per value; full `i64` domain.
+    W8,
+}
+
+impl Width {
+    /// Number of bytes a value occupies at this width.
+    #[inline]
+    pub const fn bytes(self) -> usize {
+        match self {
+            Width::W1 => 1,
+            Width::W2 => 2,
+            Width::W4 => 4,
+            Width::W8 => 8,
+        }
+    }
+
+    /// Smallest width that can represent every value in `[min, max]`.
+    pub fn fitting(min: Value, max: Value) -> Width {
+        if min >= i8::MIN as i64 && max <= i8::MAX as i64 {
+            Width::W1
+        } else if min >= i16::MIN as i64 && max <= i16::MAX as i64 {
+            Width::W2
+        } else if min >= i32::MIN as i64 && max <= i32::MAX as i64 {
+            Width::W4
+        } else {
+            Width::W8
+        }
+    }
+
+    /// Whether `v` is representable at this width.
+    pub fn fits(self, v: Value) -> bool {
+        match self {
+            Width::W1 => v >= i8::MIN as i64 && v <= i8::MAX as i64,
+            Width::W2 => v >= i16::MIN as i64 && v <= i16::MAX as i64,
+            Width::W4 => v >= i32::MIN as i64 && v <= i32::MAX as i64,
+            Width::W8 => true,
+        }
+    }
+}
+
+impl fmt::Display for Width {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}B", self.bytes())
+    }
+}
+
+/// A half-open range of positions `[start, end)`.
+///
+/// The paper presents ranges inclusively (`[startpos, endpos]`); we use
+/// half-open ranges internally because they compose without off-by-one
+/// adjustments. `PosRange` is the covering range of a multi-column and the
+/// unit of the ranged position-list representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PosRange {
+    /// First position covered.
+    pub start: Pos,
+    /// One past the last position covered.
+    pub end: Pos,
+}
+
+impl PosRange {
+    /// Create a range; `start > end` is normalized to the empty range at `start`.
+    #[inline]
+    pub fn new(start: Pos, end: Pos) -> PosRange {
+        PosRange {
+            start,
+            end: end.max(start),
+        }
+    }
+
+    /// The empty range anchored at position 0.
+    #[inline]
+    pub const fn empty() -> PosRange {
+        PosRange { start: 0, end: 0 }
+    }
+
+    /// Number of positions covered.
+    #[inline]
+    pub const fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the range covers no positions.
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Whether `pos` falls inside the range.
+    #[inline]
+    pub const fn contains(&self, pos: Pos) -> bool {
+        pos >= self.start && pos < self.end
+    }
+
+    /// Intersection of two ranges (possibly empty).
+    #[inline]
+    pub fn intersect(&self, other: &PosRange) -> PosRange {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        PosRange::new(start, end)
+    }
+
+    /// Smallest range covering both inputs (the convex hull).
+    #[inline]
+    pub fn hull(&self, other: &PosRange) -> PosRange {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        PosRange::new(self.start.min(other.start), self.end.max(other.end))
+    }
+
+    /// Whether two ranges share at least one position.
+    #[inline]
+    pub fn overlaps(&self, other: &PosRange) -> bool {
+        !self.intersect(other).is_empty()
+    }
+
+    /// Iterate over the covered positions.
+    pub fn iter(&self) -> impl Iterator<Item = Pos> + '_ {
+        self.start..self.end
+    }
+}
+
+impl fmt::Display for PosRange {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_fitting_picks_narrowest() {
+        assert_eq!(Width::fitting(0, 100), Width::W1);
+        assert_eq!(Width::fitting(-129, 0), Width::W2);
+        assert_eq!(Width::fitting(0, 70_000), Width::W4);
+        assert_eq!(Width::fitting(0, i64::MAX), Width::W8);
+    }
+
+    #[test]
+    fn width_fits_matches_bounds() {
+        assert!(Width::W1.fits(127));
+        assert!(!Width::W1.fits(128));
+        assert!(Width::W2.fits(-32768));
+        assert!(!Width::W2.fits(32768));
+        assert!(Width::W4.fits(2_147_483_647));
+        assert!(!Width::W4.fits(2_147_483_648));
+        assert!(Width::W8.fits(i64::MIN));
+    }
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::W1.bytes(), 1);
+        assert_eq!(Width::W2.bytes(), 2);
+        assert_eq!(Width::W4.bytes(), 4);
+        assert_eq!(Width::W8.bytes(), 8);
+    }
+
+    #[test]
+    fn range_basic_ops() {
+        let r = PosRange::new(10, 20);
+        assert_eq!(r.len(), 10);
+        assert!(r.contains(10));
+        assert!(r.contains(19));
+        assert!(!r.contains(20));
+        assert!(!r.is_empty());
+        assert!(PosRange::empty().is_empty());
+    }
+
+    #[test]
+    fn range_new_normalizes_inverted() {
+        let r = PosRange::new(20, 10);
+        assert!(r.is_empty());
+        assert_eq!(r.start, 20);
+    }
+
+    #[test]
+    fn range_intersect() {
+        let a = PosRange::new(0, 100);
+        let b = PosRange::new(50, 150);
+        assert_eq!(a.intersect(&b), PosRange::new(50, 100));
+        let c = PosRange::new(200, 300);
+        assert!(a.intersect(&c).is_empty());
+    }
+
+    #[test]
+    fn range_hull() {
+        let a = PosRange::new(0, 10);
+        let b = PosRange::new(20, 30);
+        assert_eq!(a.hull(&b), PosRange::new(0, 30));
+        assert_eq!(PosRange::empty().hull(&b), b);
+        assert_eq!(b.hull(&PosRange::empty()), b);
+    }
+
+    #[test]
+    fn range_overlaps() {
+        assert!(PosRange::new(0, 10).overlaps(&PosRange::new(9, 20)));
+        assert!(!PosRange::new(0, 10).overlaps(&PosRange::new(10, 20)));
+    }
+
+    #[test]
+    fn range_iter_yields_all() {
+        let r = PosRange::new(3, 6);
+        let v: Vec<Pos> = r.iter().collect();
+        assert_eq!(v, vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(ColumnId(3).to_string(), "col#3");
+        assert_eq!(TableId(1).to_string(), "table#1");
+        assert_eq!(Width::W4.to_string(), "4B");
+        assert_eq!(PosRange::new(1, 5).to_string(), "[1, 5)");
+    }
+}

@@ -1,0 +1,189 @@
+//! The `Database` facade: storage + executor + planner + joins.
+
+use std::path::Path;
+
+use matstrat_common::{Result, TableId, Value};
+use matstrat_model::Constants;
+use matstrat_storage::{ProjectionSpec, Store};
+
+use crate::exec::{execute, execute_with_options, ExecOptions};
+use crate::ops::join::{hash_join, InnerStrategy, JoinSpec};
+use crate::planner::{PlanChoice, Planner};
+use crate::query::{ExecStats, QueryResult, QuerySpec};
+use crate::strategy::Strategy;
+
+/// A column-store database with pluggable materialization strategies.
+///
+/// ```
+/// use matstrat_common::Predicate;
+/// use matstrat_core::{Database, QuerySpec, Strategy};
+/// use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
+///
+/// let db = Database::in_memory();
+/// let a: Vec<i64> = (0..1000).map(|i| i / 100).collect();
+/// let b: Vec<i64> = (0..1000).map(|i| i % 7).collect();
+/// let spec = ProjectionSpec::new("demo")
+///     .column("a", EncodingKind::Rle, SortOrder::Primary)
+///     .column("b", EncodingKind::Plain, SortOrder::None);
+/// let t = db.load_projection(&spec, &[&a, &b]).unwrap();
+///
+/// let q = QuerySpec::select(t, vec![0, 1])
+///     .filter(0, Predicate::lt(5))
+///     .filter(1, Predicate::lt(3));
+/// let lm = db.run(&q, Strategy::LmParallel).unwrap();
+/// let em = db.run(&q, Strategy::EmParallel).unwrap();
+/// assert_eq!(lm.sorted_rows(), em.sorted_rows());
+/// ```
+pub struct Database {
+    store: Store,
+    planner: Planner,
+}
+
+impl Database {
+    /// An in-memory database.
+    pub fn in_memory() -> Database {
+        Database { store: Store::in_memory(), planner: Planner::default() }
+    }
+
+    /// A database persisted under `dir` (catalog and data survive reopen).
+    pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
+        Ok(Database { store: Store::open_dir(dir)?, planner: Planner::default() })
+    }
+
+    /// Wrap an existing store.
+    pub fn with_store(store: Store) -> Database {
+        Database { store, planner: Planner::default() }
+    }
+
+    /// Replace the planner's model constants (e.g. after calibration).
+    pub fn set_model_constants(&mut self, constants: Constants) {
+        self.planner = Planner::new(constants);
+    }
+
+    /// The underlying store (buffer pool, I/O meter, catalog).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The planner.
+    pub fn planner(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// Load a projection from column slices.
+    pub fn load_projection(&self, spec: &ProjectionSpec, columns: &[&[Value]]) -> Result<TableId> {
+        self.store.load_projection(spec, columns)
+    }
+
+    /// Run a query under an explicit strategy.
+    pub fn run(&self, q: &QuerySpec, strategy: Strategy) -> Result<QueryResult> {
+        Ok(execute(&self.store, q, strategy)?.0)
+    }
+
+    /// Run a query under an explicit strategy, returning measurements.
+    pub fn run_with_stats(
+        &self,
+        q: &QuerySpec,
+        strategy: Strategy,
+    ) -> Result<(QueryResult, ExecStats)> {
+        execute(&self.store, q, strategy)
+    }
+
+    /// Run with explicit executor options (ablation experiments).
+    pub fn run_with_options(
+        &self,
+        q: &QuerySpec,
+        strategy: Strategy,
+        opts: &ExecOptions,
+    ) -> Result<(QueryResult, ExecStats)> {
+        execute_with_options(&self.store, q, strategy, opts)
+    }
+
+    /// Ask the planner to pick a strategy (without running).
+    pub fn plan(&self, q: &QuerySpec) -> Result<PlanChoice> {
+        self.planner.choose(&self.store, q)
+    }
+
+    /// Plan, then run under the chosen strategy.
+    pub fn run_auto(&self, q: &QuerySpec) -> Result<(PlanChoice, QueryResult)> {
+        let choice = self.plan(q)?;
+        let result = self.run(q, choice.strategy)?;
+        Ok((choice, result))
+    }
+
+    /// Run an equi-join under the chosen inner-table strategy (§4.3).
+    pub fn run_join(&self, spec: &JoinSpec, inner: InnerStrategy) -> Result<QueryResult> {
+        hash_join(&self.store, spec, inner)
+    }
+
+    /// Run a join and report wall/I/O measurements.
+    pub fn run_join_with_stats(
+        &self,
+        spec: &JoinSpec,
+        inner: InnerStrategy,
+    ) -> Result<(QueryResult, std::time::Duration, matstrat_storage::IoStats)> {
+        let io0 = self.store.meter().snapshot();
+        let t0 = std::time::Instant::now();
+        let r = hash_join(&self.store, spec, inner)?;
+        Ok((r, t0.elapsed(), self.store.meter().snapshot().since(&io0)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_common::Predicate;
+    use matstrat_storage::{EncodingKind, SortOrder};
+
+    fn demo_db() -> (Database, TableId) {
+        let db = Database::in_memory();
+        let a: Vec<Value> = (0..2000).map(|i| i / 200).collect();
+        let b: Vec<Value> = (0..2000).map(|i| i % 7).collect();
+        let spec = ProjectionSpec::new("demo")
+            .column("a", EncodingKind::Rle, SortOrder::Primary)
+            .column("b", EncodingKind::Plain, SortOrder::None);
+        let t = db.load_projection(&spec, &[&a, &b]).unwrap();
+        (db, t)
+    }
+
+    #[test]
+    fn run_with_stats_reports_rows() {
+        let (db, t) = demo_db();
+        let q = QuerySpec::select(t, vec![0, 1]).filter(0, Predicate::lt(3));
+        let (r, stats) = db.run_with_stats(&q, Strategy::LmParallel).unwrap();
+        assert_eq!(r.num_rows(), 600);
+        assert_eq!(stats.rows_out, 600);
+        assert_eq!(stats.positions_matched, 600);
+        assert_eq!(stats.strategy, Strategy::LmParallel);
+    }
+
+    #[test]
+    fn run_auto_plans_and_runs() {
+        let (db, t) = demo_db();
+        let q = QuerySpec::select(t, vec![])
+            .filter(0, Predicate::lt(5))
+            .filter(1, Predicate::lt(6))
+            .aggregate_sum(0, 1);
+        let (choice, result) = db.run_auto(&q).unwrap();
+        assert!(choice.strategy.is_late());
+        assert_eq!(result.num_rows(), 5);
+    }
+
+    #[test]
+    fn persistent_database_reopens() {
+        let dir = std::env::temp_dir().join(format!("matstrat-db-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let a: Vec<Value> = (0..100).collect();
+        {
+            let db = Database::open(&dir).unwrap();
+            let spec = ProjectionSpec::new("t").column("a", EncodingKind::Plain, SortOrder::Primary);
+            db.load_projection(&spec, &[&a]).unwrap();
+        }
+        let db = Database::open(&dir).unwrap();
+        let t = db.store().projection_by_name("t").unwrap().id;
+        let q = QuerySpec::select(t, vec![0]).filter(0, Predicate::ge(90));
+        let r = db.run(&q, Strategy::EmParallel).unwrap();
+        assert_eq!(r.num_rows(), 10);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,508 @@
+//! Granule-at-a-time execution of the four materialization strategies.
+//!
+//! The executor processes one position granule ([`crate::GRANULE`]
+//! positions) per iteration, mirroring C-Store's block-oriented operator
+//! loop: multi-columns are horizontal partitions, and "single
+//! multi-column blocks are worked on in each operator iteration, so that
+//! column-subsets can be pipelined up the query tree" (§3.6).
+//!
+//! Per-strategy data flow within a granule:
+//!
+//! * **LM-parallel** — DS1 every filter column → AND the multi-columns →
+//!   DS3 the output columns from the mini-columns already in hand
+//!   (re-access costs no I/O) → MERGE (or aggregate straight off the
+//!   compressed group column).
+//! * **LM-pipelined** — DS1 the first filter column; for each later
+//!   filter, fetch **only the blocks containing surviving positions**
+//!   (DS3), filter the value subset; stitch at the top. An empty
+//!   descriptor skips every later column entirely — the block-skipping
+//!   win on selective, clustered predicates.
+//! * **EM-parallel** — SPC: read all accessed columns fully, construct
+//!   tuples at the leaf, short-circuit predicates.
+//! * **EM-pipelined** — DS2 the first column into (pos, value) tuples,
+//!   then DS4-probe each later column tuple-at-a-time.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
+use matstrat_poslist::{PosList, PosListBuilder, PosVec};
+use matstrat_storage::{ColumnReader, EncodingKind, Store};
+
+use crate::multicol::{FetchKind, MiniColumn, MultiColumn};
+use crate::ops::agg::{aggregate_runs, Aggregator};
+use crate::ops::merge::merge_columns;
+use crate::ops::probe::ds4_extend;
+use crate::ops::spc::spc_scan;
+use crate::query::{ExecStats, QueryResult, QuerySpec};
+use crate::strategy::Strategy;
+use crate::GRANULE;
+
+/// Executor tuning knobs, used by the ablation benchmarks to isolate the
+/// contribution of individual design choices. Defaults reproduce the
+/// paper's configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOptions {
+    /// Reuse mini-columns already fetched by DS1 when DS3 re-accesses a
+    /// column (§3.6's multi-column optimization). Disabling it forces a
+    /// re-fetch through the buffer pool, restoring the re-access cost the
+    /// optimization removes.
+    pub multicolumn_reuse: bool,
+    /// Force every DS1 position list into one representation, overriding
+    /// the per-codec choice (ranges from RLE, bitmaps from bit-vector,
+    /// heuristic otherwise). `None` keeps the paper's behavior.
+    pub force_repr: Option<matstrat_poslist::Repr>,
+    /// Positions per pipeline granule.
+    pub granule: u64,
+}
+
+impl Default for ExecOptions {
+    fn default() -> ExecOptions {
+        ExecOptions { multicolumn_reuse: true, force_repr: None, granule: GRANULE }
+    }
+}
+
+/// Execute `q` under `strategy` with default options.
+pub fn execute(store: &Store, q: &QuerySpec, strategy: Strategy) -> Result<(QueryResult, ExecStats)> {
+    execute_with_options(store, q, strategy, &ExecOptions::default())
+}
+
+/// Execute `q` under `strategy` with explicit [`ExecOptions`].
+pub fn execute_with_options(
+    store: &Store,
+    q: &QuerySpec,
+    strategy: Strategy,
+    opts: &ExecOptions,
+) -> Result<(QueryResult, ExecStats)> {
+    let proj = store.projection(q.table)?;
+    let accessed = q.accessed_columns();
+    if accessed.is_empty() {
+        return Err(Error::invalid("query accesses no columns"));
+    }
+    for &c in &accessed {
+        proj.column(c)?; // validate indices early
+    }
+    if strategy == Strategy::LmPipelined {
+        // Later filter columns are position-fetched then filtered; the
+        // bit-vector codec cannot do that (§4.1): the paper omits
+        // LM-pipelined from Figures 11(c)/12(c) for this reason.
+        for (col, _) in q.filters.iter().skip(1) {
+            if proj.column(*col)?.encoding == EncodingKind::BitVec {
+                return Err(Error::unsupported(
+                    "LM-pipelined requires DS3 on later filter columns; \
+                     bit-vector encoding does not support position fetch",
+                ));
+            }
+        }
+    }
+
+    let readers: HashMap<usize, ColumnReader> = accessed
+        .iter()
+        .map(|&c| Ok((c, store.reader(q.table, c)?)))
+        .collect::<Result<_>>()?;
+
+    let io0 = store.meter().snapshot();
+    let t0 = Instant::now();
+
+    // Output shape.
+    let (out_cols, mut agg): (Vec<usize>, Option<Aggregator>) = match q.aggregate {
+        Some(a) => {
+            let g = proj.column(a.group_col)?;
+            (
+                vec![a.group_col, a.value_col],
+                Some(Aggregator::with_domain_fn(a.func, g.stats.min, g.stats.max)),
+            )
+        }
+        None => {
+            if q.output.is_empty() {
+                return Err(Error::invalid("non-aggregated query must output columns"));
+            }
+            (q.output.clone(), None)
+        }
+    };
+
+    let mut flat: Vec<Value> = Vec::new();
+    let mut positions_matched = 0u64;
+    let mut decompressed = false;
+
+    let n = proj.num_rows;
+    let mut start = 0u64;
+    let granule = opts.granule.max(1);
+    while start < n {
+        let window = PosRange::new(start, (start + granule).min(n));
+        start = window.end;
+        let g = Granule {
+            q,
+            readers: &readers,
+            window,
+            accessed: &accessed,
+            opts,
+        };
+        let got = match strategy {
+            Strategy::LmParallel => g.lm_parallel(&out_cols, &mut agg, &mut flat)?,
+            Strategy::LmPipelined => g.lm_pipelined(&out_cols, &mut agg, &mut flat)?,
+            Strategy::EmParallel => g.em_parallel(&out_cols, &mut agg, &mut flat)?,
+            Strategy::EmPipelined => g.em_pipelined(&out_cols, &mut agg, &mut flat)?,
+        };
+        positions_matched += got.matched;
+        decompressed |= got.decompressed;
+    }
+
+    // Finalize.
+    let result = match agg {
+        Some(a) => {
+            let rows = a.finish();
+            let spec = q.aggregate.unwrap();
+            let names = vec![
+                proj.column(spec.group_col)?.name.clone(),
+                format!(
+                    "{}_{}",
+                    spec.func.name(),
+                    proj.column(spec.value_col)?.name
+                ),
+            ];
+            let mut flat = Vec::with_capacity(rows.len() * 2);
+            for (g, s) in rows {
+                flat.push(g);
+                flat.push(s);
+            }
+            QueryResult::from_flat(names, flat)
+        }
+        None => {
+            let names = q
+                .output
+                .iter()
+                .map(|&c| proj.column(c).map(|ci| ci.name.clone()))
+                .collect::<Result<Vec<_>>>()?;
+            QueryResult::from_flat(names, flat)
+        }
+    };
+
+    let stats = ExecStats {
+        strategy,
+        wall: t0.elapsed(),
+        io: store.meter().snapshot().since(&io0),
+        rows_out: result.num_rows() as u64,
+        positions_matched,
+        decompressed_fetch: decompressed,
+    };
+    Ok((result, stats))
+}
+
+/// Per-granule outcome counters.
+struct GranuleOut {
+    matched: u64,
+    decompressed: bool,
+}
+
+/// One granule's worth of execution context.
+struct Granule<'a> {
+    q: &'a QuerySpec,
+    readers: &'a HashMap<usize, ColumnReader>,
+    window: PosRange,
+    accessed: &'a [usize],
+    opts: &'a ExecOptions,
+}
+
+impl Granule<'_> {
+    fn reader(&self, col: usize) -> &ColumnReader {
+        &self.readers[&col]
+    }
+
+    /// Apply the ablation override to a freshly produced position list.
+    fn coerce_repr(&self, pl: PosList) -> PosList {
+        match self.opts.force_repr {
+            None => pl,
+            Some(matstrat_poslist::Repr::Ranges) => PosList::Ranges(pl.to_ranges()),
+            Some(matstrat_poslist::Repr::Bitmap) => {
+                PosList::Bitmap(pl.to_bitmap(self.window))
+            }
+            Some(matstrat_poslist::Repr::Explicit) => PosList::Explicit(pl.to_explicit()),
+        }
+    }
+
+    /// All predicates on `col`, in filter order.
+    fn preds_for(&self, col: usize) -> Vec<Predicate> {
+        self.q
+            .filters
+            .iter()
+            .filter(|(c, _)| *c == col)
+            .map(|(_, p)| *p)
+            .collect()
+    }
+
+    /// Consume the surviving positions: fetch output values and merge, or
+    /// feed the aggregator from the compressed group column.
+    fn consume_lm(
+        &self,
+        desc: &PosList,
+        minis: &mut HashMap<usize, MiniColumn>,
+        out_cols: &[usize],
+        agg: &mut Option<Aggregator>,
+        flat: &mut Vec<Value>,
+        selective_fetch: bool,
+    ) -> Result<bool> {
+        let mut decompressed = false;
+        let fetch_mini = |col: usize,
+                              minis: &mut HashMap<usize, MiniColumn>|
+         -> Result<MiniColumn> {
+            if self.opts.multicolumn_reuse {
+                if let Some(m) = minis.get(&col) {
+                    return Ok(m.clone()); // multi-column re-access: no I/O
+                }
+            }
+            let m = if selective_fetch {
+                MiniColumn::fetch_selective(self.reader(col), self.window, desc)?
+            } else {
+                MiniColumn::fetch(self.reader(col), self.window)?
+            };
+            minis.insert(col, m.clone());
+            Ok(m)
+        };
+        match self.q.aggregate {
+            Some(a) => {
+                let gmini = fetch_mini(a.group_col, minis)?;
+                let mut vals = Vec::new();
+                if a.func.needs_values() {
+                    // COUNT never touches the value column — an LM-only win.
+                    let vmini = fetch_mini(a.value_col, minis)?;
+                    vals.reserve(desc.count() as usize);
+                    if vmini.fetch_values(desc, &mut vals)? == FetchKind::Decompressed {
+                        decompressed = true;
+                    }
+                }
+                aggregate_runs(desc, &gmini, &vals, agg.as_mut().expect("agg set"))?;
+            }
+            None => {
+                let mut cols: Vec<Vec<Value>> = Vec::with_capacity(out_cols.len());
+                for &c in out_cols {
+                    let mini = fetch_mini(c, minis)?;
+                    let mut vals = Vec::with_capacity(desc.count() as usize);
+                    if mini.fetch_values(desc, &mut vals)? == FetchKind::Decompressed {
+                        decompressed = true;
+                    }
+                    cols.push(vals);
+                }
+                let refs: Vec<&[Value]> = cols.iter().map(|v| v.as_slice()).collect();
+                merge_columns(&refs, flat);
+            }
+        }
+        Ok(decompressed)
+    }
+
+    /// LM-parallel: DS1 ∥ DS1 → AND → DS3 ∥ DS3 → MERGE.
+    fn lm_parallel(
+        &self,
+        out_cols: &[usize],
+        agg: &mut Option<Aggregator>,
+        flat: &mut Vec<Value>,
+    ) -> Result<GranuleOut> {
+        let mut mcs = Vec::with_capacity(self.q.filters.len());
+        for (col, pred) in &self.q.filters {
+            let mini = MiniColumn::fetch(self.reader(*col), self.window)?;
+            let pl = self.coerce_repr(mini.scan_positions(pred));
+            let mut mc = MultiColumn::with_descriptor(self.window, pl);
+            mc.add_mini(*col, mini);
+            mcs.push(mc);
+        }
+        let mc = MultiColumn::and_many(mcs, self.window);
+        let matched = mc.valid_count();
+        if matched == 0 {
+            return Ok(GranuleOut { matched, decompressed: false });
+        }
+        let mut minis: HashMap<usize, MiniColumn> = mc
+            .columns()
+            .map(|c| (c, mc.mini(c).expect("listed").clone()))
+            .collect();
+        let desc = mc.descriptor().clone();
+        let decompressed =
+            self.consume_lm(&desc, &mut minis, out_cols, agg, flat, false)?;
+        Ok(GranuleOut { matched, decompressed })
+    }
+
+    /// LM-pipelined: DS1 → (DS3 + filter)* → DS3 outputs.
+    fn lm_pipelined(
+        &self,
+        out_cols: &[usize],
+        agg: &mut Option<Aggregator>,
+        flat: &mut Vec<Value>,
+    ) -> Result<GranuleOut> {
+        let mut minis: HashMap<usize, MiniColumn> = HashMap::new();
+        let mut desc: PosList = PosList::full(self.window);
+        for (i, (col, pred)) in self.q.filters.iter().enumerate() {
+            if i == 0 {
+                let mini = MiniColumn::fetch(self.reader(*col), self.window)?;
+                desc = self.coerce_repr(mini.scan_positions(pred));
+                minis.insert(*col, mini);
+            } else {
+                if desc.is_empty() {
+                    break; // skip all later columns: their blocks are never read
+                }
+                let mini = match minis.get(col) {
+                    Some(m) => m.clone(),
+                    None => {
+                        let m = MiniColumn::fetch_selective(self.reader(*col), self.window, &desc)?;
+                        minis.insert(*col, m.clone());
+                        m
+                    }
+                };
+                let mut vals = Vec::with_capacity(desc.count() as usize);
+                mini.gather(&desc, &mut vals)?;
+                let mut b = PosListBuilder::new();
+                for (p, v) in desc.iter().zip(&vals) {
+                    if pred.matches(*v) {
+                        b.push(p);
+                    }
+                }
+                desc = b.finish();
+            }
+        }
+        let matched = desc.count();
+        if matched == 0 {
+            return Ok(GranuleOut { matched, decompressed: false });
+        }
+        let decompressed = self.consume_lm(&desc, &mut minis, out_cols, agg, flat, true)?;
+        Ok(GranuleOut { matched, decompressed })
+    }
+
+    /// EM-parallel: SPC leaf over all accessed columns.
+    fn em_parallel(
+        &self,
+        out_cols: &[usize],
+        agg: &mut Option<Aggregator>,
+        flat: &mut Vec<Value>,
+    ) -> Result<GranuleOut> {
+        // Read every accessed column in full — EM-parallel never skips.
+        let mut spc_cols: Vec<(MiniColumn, Option<Predicate>)> =
+            Vec::with_capacity(self.accessed.len());
+        let mut extra_preds: Vec<(usize, Predicate)> = Vec::new(); // (tuple idx, pred)
+        for (ti, &col) in self.accessed.iter().enumerate() {
+            let mini = MiniColumn::fetch(self.reader(col), self.window)?;
+            let mut preds = self.preds_for(col);
+            let first = if preds.is_empty() { None } else { Some(preds.remove(0)) };
+            for p in preds {
+                extra_preds.push((ti, p));
+            }
+            spc_cols.push((mini, first));
+        }
+        let mut out = spc_scan(&spc_cols)?;
+        // Rare path: multiple predicates on one column.
+        for (ti, p) in extra_preds {
+            let w = out.width;
+            let mut keep_pos = Vec::with_capacity(out.positions.len());
+            let mut keep_tup = Vec::with_capacity(out.tuples.len());
+            for (r, &pos) in out.positions.iter().enumerate() {
+                if p.matches(out.tuples[r * w + ti]) {
+                    keep_pos.push(pos);
+                    keep_tup.extend_from_slice(&out.tuples[r * w..(r + 1) * w]);
+                }
+            }
+            out.positions = keep_pos;
+            out.tuples = keep_tup;
+        }
+        let matched = out.positions.len() as u64;
+        self.consume_em(&out.positions, &out.tuples, out.width, out_cols, agg, flat)?;
+        Ok(GranuleOut { matched, decompressed: out.decompressed })
+    }
+
+    /// EM-pipelined: DS2 leaf, DS4 probes for every later column.
+    fn em_pipelined(
+        &self,
+        out_cols: &[usize],
+        agg: &mut Option<Aggregator>,
+        flat: &mut Vec<Value>,
+    ) -> Result<GranuleOut> {
+        let first_col = self.accessed[0];
+        let mini = MiniColumn::fetch(self.reader(first_col), self.window)?;
+        let mut preds = self.preds_for(first_col);
+        let leaf_pred = if preds.is_empty() {
+            Predicate::always_true()
+        } else {
+            preds.remove(0)
+        };
+        let mut positions: Vec<Pos> = Vec::new();
+        let mut tuples: Vec<Value> = Vec::new();
+        mini.scan_pairs(&leaf_pred, &mut positions, &mut tuples);
+        for p in preds {
+            let mut keep_pos = Vec::with_capacity(positions.len());
+            let mut keep_tup = Vec::with_capacity(tuples.len());
+            for (i, &v) in tuples.iter().enumerate() {
+                if p.matches(v) {
+                    keep_pos.push(positions[i]);
+                    keep_tup.push(v);
+                }
+            }
+            positions = keep_pos;
+            tuples = keep_tup;
+        }
+        let mut width = 1usize;
+        for &col in &self.accessed[1..] {
+            if positions.is_empty() {
+                break;
+            }
+            let pl = PosList::Explicit(PosVec::from_sorted(positions.clone()));
+            let mini = MiniColumn::fetch_selective(self.reader(col), self.window, &pl)?;
+            let col_preds = self.preds_for(col);
+            let mut preds_iter = col_preds.into_iter();
+            width = ds4_extend(&mini, preds_iter.next().as_ref(), &mut positions, &mut tuples, width)?;
+            for p in preds_iter {
+                let mut keep_pos = Vec::with_capacity(positions.len());
+                let mut keep_tup = Vec::with_capacity(tuples.len());
+                for (r, &pos) in positions.iter().enumerate() {
+                    if p.matches(tuples[r * width + width - 1]) {
+                        keep_pos.push(pos);
+                        keep_tup.extend_from_slice(&tuples[r * width..(r + 1) * width]);
+                    }
+                }
+                positions = keep_pos;
+                tuples = keep_tup;
+            }
+        }
+        let matched = positions.len() as u64;
+        if matched > 0 {
+            // Tuples may be narrower than `accessed` if we broke early —
+            // but break only happens when positions is empty.
+            debug_assert_eq!(width, self.accessed.len());
+            self.consume_em(&positions, &tuples, width, out_cols, agg, flat)?;
+        }
+        Ok(GranuleOut { matched, decompressed: false })
+    }
+
+    /// Consume constructed tuples: aggregate tuple-at-a-time (the EM agg
+    /// path) or project the output columns into the result buffer.
+    fn consume_em(
+        &self,
+        positions: &[Pos],
+        tuples: &[Value],
+        width: usize,
+        out_cols: &[usize],
+        agg: &mut Option<Aggregator>,
+        flat: &mut Vec<Value>,
+    ) -> Result<()> {
+        let tuple_idx = |col: usize| -> usize {
+            self.accessed
+                .iter()
+                .position(|&c| c == col)
+                .expect("output column is accessed")
+        };
+        match agg {
+            Some(a) => {
+                let gi = tuple_idx(self.q.aggregate.unwrap().group_col);
+                let vi = tuple_idx(self.q.aggregate.unwrap().value_col);
+                for r in 0..positions.len() {
+                    a.add(tuples[r * width + gi], tuples[r * width + vi]);
+                }
+            }
+            None => {
+                let idxs: Vec<usize> = out_cols.iter().map(|&c| tuple_idx(c)).collect();
+                flat.reserve(positions.len() * idxs.len());
+                for r in 0..positions.len() {
+                    for &i in &idxs {
+                        flat.push(tuples[r * width + i]);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,50 @@
+//! The materialization-strategy executor: the paper's primary contribution.
+//!
+//! This crate implements the four tuple-construction strategies of
+//! *Abadi et al., "Materialization Strategies in a Column-Oriented DBMS"*
+//! over the `matstrat-storage` substrate:
+//!
+//! * [`Strategy::EmPipelined`] — DS2 → DS4 chains: tuples are built
+//!   incrementally, one column per operator, probing later columns at the
+//!   positions that survived earlier predicates;
+//! * [`Strategy::EmParallel`] — an SPC (scan-predicate-construct) leaf
+//!   that reads all needed columns in lockstep and emits full tuples;
+//! * [`Strategy::LmPipelined`] — positions flow down a DS1/DS3 chain;
+//!   later columns are fetched **only** at surviving positions, skipping
+//!   whole blocks when a granule produced no matches;
+//! * [`Strategy::LmParallel`] — every predicate column is filtered to a
+//!   position list, the lists are intersected with word-wise ANDs, and
+//!   values are stitched at the very top.
+//!
+//! Late-materialization plans communicate via [`MultiColumn`]s (§3.6):
+//! a covering position range, compressed mini-columns referencing
+//! buffer-pool blocks, and a position descriptor in one of the three
+//! representations of `matstrat-poslist`.
+//!
+//! The [`Database`] facade ties storage, execution, the §4.3 join
+//! strategies, and the model-driven [`planner`] together.
+
+pub mod db;
+pub mod exec;
+pub mod multicol;
+pub mod ops;
+pub mod planner;
+pub mod query;
+pub mod rowstore;
+pub mod strategy;
+
+pub use db::Database;
+pub use exec::{execute, execute_with_options, ExecOptions};
+pub use multicol::{MiniColumn, MultiColumn};
+pub use ops::agg::AggFunc;
+pub use ops::join::{InnerStrategy, JoinSpec};
+pub use query::{AggSpec, ExecStats, QueryResult, QuerySpec};
+pub use strategy::Strategy;
+
+/// Number of positions processed per pipeline iteration (one "granule").
+///
+/// Multi-columns are horizontal partitions; this is their height. 64 Ki
+/// positions keeps a granule of a 1-byte uncompressed column at roughly
+/// one 64 KB storage block, mirroring C-Store's block-at-a-time operator
+/// loop.
+pub const GRANULE: u64 = 64 * 1024;

@@ -1,0 +1,530 @@
+//! Mini-columns and multi-columns (§3.6, Figure 9).
+//!
+//! A **mini-column** is "the set of corresponding values for a specified
+//! position range of a particular attribute", kept compressed: here, a
+//! window over one column plus `Arc`s to the buffer-pool blocks that
+//! cover it. A **multi-column** bundles mini-columns of several
+//! attributes over one covering range with a *position descriptor*
+//! saying which positions are still valid.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
+use matstrat_poslist::{PosList, PosListBuilder};
+use matstrat_storage::{ColumnReader, EncodedBlock};
+
+/// How a value fetch was satisfied — used by execution stats to report
+/// when the bit-vector decompression penalty was paid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FetchKind {
+    /// Values were gathered by position (DS3 proper).
+    Gathered,
+    /// The codec cannot jump to positions; the window was decompressed
+    /// and then filtered (bit-vector path).
+    Decompressed,
+}
+
+/// A compressed window of one column: `Arc`s into the buffer pool.
+#[derive(Debug, Clone)]
+pub struct MiniColumn {
+    window: PosRange,
+    blocks: Vec<Arc<EncodedBlock>>,
+}
+
+impl MiniColumn {
+    /// Fetch every block overlapping `window` (clamped to the column's
+    /// rows) through the buffer pool.
+    pub fn fetch(reader: &ColumnReader, window: PosRange) -> Result<MiniColumn> {
+        let window = window.intersect(&PosRange::new(0, reader.num_rows()));
+        let mut blocks = Vec::new();
+        if !window.is_empty() {
+            let mut idx = reader.block_for_pos(window.start)?;
+            while idx < reader.num_blocks() {
+                let meta = reader.block_meta(idx)?;
+                if meta.start_pos >= window.end {
+                    break;
+                }
+                blocks.push(reader.block(idx)?);
+                idx += 1;
+            }
+        }
+        Ok(MiniColumn { window, blocks })
+    }
+
+    /// Fetch only the blocks containing positions of `positions`
+    /// (clamped to `window`) — the pipelined block-skipping path: blocks
+    /// of this column with no surviving positions are never read.
+    pub fn fetch_selective(
+        reader: &ColumnReader,
+        window: PosRange,
+        positions: &PosList,
+    ) -> Result<MiniColumn> {
+        let window = window.intersect(&PosRange::new(0, reader.num_rows()));
+        let mut blocks = Vec::new();
+        let mut last_idx: Option<usize> = None;
+        if !window.is_empty() {
+            for range in positions.to_ranges().ranges() {
+                let r = range.intersect(&window);
+                if r.is_empty() {
+                    continue;
+                }
+                let mut idx = reader.block_for_pos(r.start)?;
+                loop {
+                    let meta = reader.block_meta(idx)?;
+                    if meta.start_pos >= r.end {
+                        break;
+                    }
+                    if last_idx != Some(idx) {
+                        blocks.push(reader.block(idx)?);
+                        last_idx = Some(idx);
+                    }
+                    idx += 1;
+                    if idx >= reader.num_blocks() {
+                        break;
+                    }
+                }
+            }
+        }
+        Ok(MiniColumn { window, blocks })
+    }
+
+    /// An empty mini-column over `window` (no blocks).
+    pub fn empty(window: PosRange) -> MiniColumn {
+        MiniColumn { window, blocks: Vec::new() }
+    }
+
+    /// The covering window.
+    pub fn window(&self) -> PosRange {
+        self.window
+    }
+
+    /// The buffer-pool blocks backing the window.
+    pub fn blocks(&self) -> &[Arc<EncodedBlock>] {
+        &self.blocks
+    }
+
+    /// Whether every backing block supports DS3 position fetch.
+    pub fn supports_position_fetch(&self) -> bool {
+        self.blocks
+            .iter()
+            .all(|b| b.encoding().supports_position_fetch())
+    }
+
+    /// DS1 over the window: positions whose values pass `pred`.
+    pub fn scan_positions(&self, pred: &Predicate) -> PosList {
+        let mut builder = PosListBuilder::new();
+        let mut force_bitmap = false;
+        for b in &self.blocks {
+            let pl = b.scan_positions_in(pred, self.window);
+            if matches!(pl, PosList::Bitmap(_)) {
+                force_bitmap = true;
+            }
+            match &pl {
+                PosList::Ranges(r) => {
+                    for range in r.ranges() {
+                        builder.push_run(*range);
+                    }
+                }
+                other => {
+                    for p in other.iter() {
+                        builder.push(p);
+                    }
+                }
+            }
+        }
+        if force_bitmap {
+            builder.finish_as_bitmap(self.window)
+        } else {
+            builder.finish()
+        }
+    }
+
+    /// DS2 over the window: matching (position, value) pairs.
+    pub fn scan_pairs(&self, pred: &Predicate, out_pos: &mut Vec<Pos>, out_val: &mut Vec<Value>) {
+        for b in &self.blocks {
+            b.scan_pairs_in(pred, self.window, out_pos, out_val);
+        }
+    }
+
+    /// The block containing `pos`, by binary search over block starts.
+    fn block_for(&self, pos: Pos) -> Result<&Arc<EncodedBlock>> {
+        let idx = self
+            .blocks
+            .partition_point(|b| b.covering().end <= pos);
+        let b = self.blocks.get(idx).ok_or_else(|| {
+            Error::invalid(format!("position {pos} not covered by mini-column"))
+        })?;
+        if !b.covering().contains(pos) {
+            return Err(Error::invalid(format!(
+                "position {pos} falls in a gap of the mini-column"
+            )));
+        }
+        Ok(b)
+    }
+
+    /// DS4 probe: value at one position.
+    pub fn value_at(&self, pos: Pos) -> Result<Value> {
+        self.block_for(pos)?.value_at(pos)
+    }
+
+    /// DS3: values at the descriptor's positions, in position order.
+    ///
+    /// Errors with [`Error::Unsupported`] if any backing block is
+    /// bit-vector encoded — callers that accept the decompression cost
+    /// should use [`fetch_values`](Self::fetch_values) instead.
+    pub fn gather(&self, positions: &PosList, out: &mut Vec<Value>) -> Result<()> {
+        match positions {
+            PosList::Ranges(rl) => {
+                for range in rl.ranges() {
+                    let mut r = range.intersect(&self.window);
+                    while !r.is_empty() {
+                        let b = self.block_for(r.start)?;
+                        let sub = r.intersect(&b.covering());
+                        b.gather_range(sub, out)?;
+                        r = PosRange::new(sub.end, r.end);
+                    }
+                }
+            }
+            other => {
+                // Point gathers, batched per block.
+                let mut batch: Vec<Pos> = Vec::new();
+                let mut current: Option<&Arc<EncodedBlock>> = None;
+                for p in other.iter() {
+                    if !self.window.contains(p) {
+                        continue;
+                    }
+                    match current {
+                        Some(b) if b.covering().contains(p) => batch.push(p),
+                        _ => {
+                            if let Some(b) = current {
+                                b.gather(&batch, out)?;
+                            }
+                            batch.clear();
+                            current = Some(self.block_for(p)?);
+                            batch.push(p);
+                        }
+                    }
+                }
+                if let Some(b) = current {
+                    b.gather(&batch, out)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Values at the descriptor's positions, decompressing when the codec
+    /// cannot gather (bit-vector). Returns how the fetch was satisfied.
+    pub fn fetch_values(&self, positions: &PosList, out: &mut Vec<Value>) -> Result<FetchKind> {
+        if self.supports_position_fetch() {
+            self.gather(positions, out)?;
+            return Ok(FetchKind::Gathered);
+        }
+        // Decompress each needed block fully, then select.
+        for b in &self.blocks {
+            let w = b.covering().intersect(&self.window);
+            let clipped = positions.clip(w);
+            if clipped.is_empty() {
+                continue;
+            }
+            let mut decoded = Vec::with_capacity(w.len() as usize);
+            b.decode_range(w, &mut decoded)?;
+            for p in clipped.iter() {
+                out.push(decoded[(p - w.start) as usize]);
+            }
+        }
+        Ok(FetchKind::Decompressed)
+    }
+
+    /// Decompress the entire window in position order.
+    pub fn decode(&self, out: &mut Vec<Value>) -> Result<()> {
+        for b in &self.blocks {
+            let w = b.covering().intersect(&self.window);
+            b.decode_range(w, out)?;
+        }
+        Ok(())
+    }
+
+    /// Visit maximal equal-value runs across the window in position order.
+    pub fn for_each_run(&self, mut f: impl FnMut(Value, PosRange)) {
+        for b in &self.blocks {
+            b.for_each_run_in(self.window, &mut f);
+        }
+    }
+}
+
+/// A horizontal partition of several attributes plus a position
+/// descriptor (§3.6).
+#[derive(Debug, Clone)]
+pub struct MultiColumn {
+    /// Covering position range of the partition.
+    covering: PosRange,
+    /// Which positions within `covering` remain valid.
+    descriptor: PosList,
+    /// Mini-columns by column index. `BTreeMap` keeps deterministic
+    /// iteration order for tests and output.
+    minis: BTreeMap<usize, MiniColumn>,
+}
+
+impl MultiColumn {
+    /// A multi-column with all positions of `covering` valid and no
+    /// attributes yet.
+    pub fn new(covering: PosRange) -> MultiColumn {
+        MultiColumn {
+            covering,
+            descriptor: PosList::full(covering),
+            minis: BTreeMap::new(),
+        }
+    }
+
+    /// A multi-column with an explicit descriptor.
+    pub fn with_descriptor(covering: PosRange, descriptor: PosList) -> MultiColumn {
+        MultiColumn { covering, descriptor, minis: BTreeMap::new() }
+    }
+
+    /// Attach a mini-column for attribute `col`.
+    pub fn add_mini(&mut self, col: usize, mini: MiniColumn) {
+        self.minis.insert(col, mini);
+    }
+
+    /// The covering range.
+    pub fn covering(&self) -> PosRange {
+        self.covering
+    }
+
+    /// The position descriptor.
+    pub fn descriptor(&self) -> &PosList {
+        &self.descriptor
+    }
+
+    /// Replace the descriptor (predicate application: "the mini-column
+    /// remains untouched").
+    pub fn set_descriptor(&mut self, descriptor: PosList) {
+        self.descriptor = descriptor;
+    }
+
+    /// The attached mini-column for `col`, if any.
+    pub fn mini(&self, col: usize) -> Option<&MiniColumn> {
+        self.minis.get(&col)
+    }
+
+    /// Attribute indices present.
+    pub fn columns(&self) -> impl Iterator<Item = usize> + '_ {
+        self.minis.keys().copied()
+    }
+
+    /// The degree (number of attached attributes).
+    pub fn degree(&self) -> usize {
+        self.minis.len()
+    }
+
+    /// Number of valid positions.
+    pub fn valid_count(&self) -> u64 {
+        self.descriptor.count()
+    }
+
+    /// AND two multi-columns (§3.6): the result covers the intersection
+    /// of the covering ranges, its descriptor is the AND of the
+    /// descriptors, and its mini-column set is the union (copying `Arc`s,
+    /// "a zero-cost operation").
+    pub fn and(mut self, other: MultiColumn) -> MultiColumn {
+        let covering = self.covering.intersect(&other.covering);
+        let descriptor = self.descriptor.and(&other.descriptor);
+        let mut minis = std::mem::take(&mut self.minis);
+        for (col, mini) in other.minis {
+            minis.entry(col).or_insert(mini);
+        }
+        MultiColumn { covering, descriptor, minis }
+    }
+
+    /// AND a whole set of multi-columns; `window` is the identity
+    /// covering when the set is empty.
+    pub fn and_many(mcs: Vec<MultiColumn>, window: PosRange) -> MultiColumn {
+        let mut iter = mcs.into_iter();
+        match iter.next() {
+            None => MultiColumn::new(window),
+            Some(first) => iter.fold(first, MultiColumn::and),
+        }
+    }
+
+    /// Collapse to listed positions (§3.6): the descriptor becomes an
+    /// explicit position list. Useful when few positions remain valid.
+    pub fn collapse(&mut self) {
+        self.descriptor = PosList::Explicit(self.descriptor.to_explicit());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_storage::{
+        EncodingKind as Ek, ProjectionSpec, SortOrder, Store,
+    };
+
+    /// 3000-row projection: a = i/300 (sorted), b = i%7, c = i%5 (bitvec).
+    fn setup() -> (Store, matstrat_common::TableId, Vec<Value>, Vec<Value>, Vec<Value>) {
+        let store = Store::in_memory();
+        let a: Vec<Value> = (0..3000).map(|i| i / 300).collect();
+        let b: Vec<Value> = (0..3000).map(|i| i % 7).collect();
+        let c: Vec<Value> = (0..3000).map(|i| i % 5).collect();
+        let spec = ProjectionSpec::new("t")
+            .column("a", Ek::Rle, SortOrder::Primary)
+            .column("b", Ek::Plain, SortOrder::None)
+            .column("c", Ek::BitVec, SortOrder::None);
+        let id = store.load_projection(&spec, &[&a, &b, &c]).unwrap();
+        (store, id, a, b, c)
+    }
+
+    #[test]
+    fn fetch_clamps_window() {
+        let (store, id, ..) = setup();
+        let r = store.reader(id, 0).unwrap();
+        let mc = MiniColumn::fetch(&r, PosRange::new(2900, 99_999)).unwrap();
+        assert_eq!(mc.window(), PosRange::new(2900, 3000));
+        assert!(!mc.blocks().is_empty());
+    }
+
+    #[test]
+    fn scan_positions_matches_reference() {
+        let (store, id, _, b, _) = setup();
+        let r = store.reader(id, 1).unwrap();
+        let mc = MiniColumn::fetch(&r, PosRange::new(100, 900)).unwrap();
+        let pl = mc.scan_positions(&Predicate::lt(3));
+        let expected: Vec<Pos> = (100..900).filter(|&i| b[i as usize] < 3).collect();
+        assert_eq!(pl.to_vec(), expected);
+    }
+
+    #[test]
+    fn gather_ranges_and_points() {
+        let (store, id, _, b, _) = setup();
+        let r = store.reader(id, 1).unwrap();
+        let mc = MiniColumn::fetch(&r, PosRange::new(0, 3000)).unwrap();
+        // Range gather.
+        let pl = PosList::full(PosRange::new(10, 20));
+        let mut out = Vec::new();
+        mc.gather(&pl, &mut out).unwrap();
+        assert_eq!(out, &b[10..20]);
+        // Point gather.
+        let pl = PosList::from_positions(vec![1, 500, 2999]);
+        out.clear();
+        mc.gather(&pl, &mut out).unwrap();
+        assert_eq!(out, vec![b[1], b[500], b[2999]]);
+    }
+
+    #[test]
+    fn fetch_values_decompresses_bitvec() {
+        let (store, id, _, _, c) = setup();
+        let r = store.reader(id, 2).unwrap();
+        let mc = MiniColumn::fetch(&r, PosRange::new(0, 3000)).unwrap();
+        assert!(!mc.supports_position_fetch());
+        let pl = PosList::from_positions(vec![3, 77, 1234]);
+        let mut out = Vec::new();
+        assert!(mc.gather(&pl, &mut out).is_err());
+        out.clear();
+        let kind = mc.fetch_values(&pl, &mut out).unwrap();
+        assert_eq!(kind, FetchKind::Decompressed);
+        assert_eq!(out, vec![c[3], c[77], c[1234]]);
+    }
+
+    #[test]
+    fn fetch_values_gathers_when_supported() {
+        let (store, id, _, b, _) = setup();
+        let r = store.reader(id, 1).unwrap();
+        let mc = MiniColumn::fetch(&r, PosRange::new(0, 3000)).unwrap();
+        let pl = PosList::from_positions(vec![5, 6, 7]);
+        let mut out = Vec::new();
+        assert_eq!(mc.fetch_values(&pl, &mut out).unwrap(), FetchKind::Gathered);
+        assert_eq!(out, vec![b[5], b[6], b[7]]);
+    }
+
+    #[test]
+    fn fetch_selective_skips_unneeded_blocks() {
+        let (store, id, ..) = setup();
+        let r = store.reader(id, 1).unwrap();
+        store.cold_reset();
+        // Positions only in the very first rows: later plain blocks (if
+        // any) must not be fetched. With 3000 W1 rows there is 1 block, so
+        // instead check the I/O meter only counts 1 block.
+        let pl = PosList::from_positions(vec![0, 1]);
+        let mc =
+            MiniColumn::fetch_selective(&r, PosRange::new(0, 3000), &pl).unwrap();
+        assert_eq!(store.meter().snapshot().block_reads, 1);
+        assert_eq!(mc.value_at(0).unwrap(), 0);
+        // Empty positions: nothing fetched.
+        store.cold_reset();
+        let mc = MiniColumn::fetch_selective(&r, PosRange::new(0, 3000), &PosList::empty())
+            .unwrap();
+        assert_eq!(store.meter().snapshot().block_reads, 0);
+        assert!(mc.blocks().is_empty());
+    }
+
+    #[test]
+    fn value_at_errors_outside_window() {
+        let (store, id, ..) = setup();
+        let r = store.reader(id, 1).unwrap();
+        let mc = MiniColumn::fetch(&r, PosRange::new(100, 200)).unwrap();
+        assert!(mc.value_at(150).is_ok());
+        // 3000 is beyond the column entirely.
+        assert!(mc.value_at(3000).is_err());
+    }
+
+    #[test]
+    fn for_each_run_spans_blocks() {
+        let (store, id, a, ..) = setup();
+        let r = store.reader(id, 0).unwrap();
+        let mc = MiniColumn::fetch(&r, PosRange::new(250, 950)).unwrap();
+        let mut seen = Vec::new();
+        mc.for_each_run(|v, range| seen.push((v, range.start, range.end)));
+        assert_eq!(seen, vec![(0, 250, 300), (1, 300, 600), (2, 600, 900), (3, 900, 950)]);
+        let _ = a;
+    }
+
+    #[test]
+    fn multicolumn_and_unions_minis_and_intersects_descriptors() {
+        let (store, id, ..) = setup();
+        let ra = store.reader(id, 0).unwrap();
+        let rb = store.reader(id, 1).unwrap();
+        let w = PosRange::new(0, 1000);
+        let ma = MiniColumn::fetch(&ra, w).unwrap();
+        let mb = MiniColumn::fetch(&rb, w).unwrap();
+        let pa = ma.scan_positions(&Predicate::lt(2)); // a < 2 → pos 0..600
+        let pb = mb.scan_positions(&Predicate::eq(0)); // b == 0 → multiples of 7
+        let mut mca = MultiColumn::with_descriptor(w, pa);
+        mca.add_mini(0, ma);
+        let mut mcb = MultiColumn::with_descriptor(w, pb);
+        mcb.add_mini(1, mb);
+        let mc = mca.and(mcb);
+        assert_eq!(mc.degree(), 2);
+        assert_eq!(mc.covering(), w);
+        let expected: Vec<Pos> = (0..600).filter(|p| p % 7 == 0).collect();
+        assert_eq!(mc.descriptor().to_vec(), expected);
+        assert!(mc.mini(0).is_some() && mc.mini(1).is_some());
+        assert_eq!(mc.columns().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn and_many_empty_is_full_window() {
+        let w = PosRange::new(0, 100);
+        let mc = MultiColumn::and_many(vec![], w);
+        assert_eq!(mc.valid_count(), 100);
+        assert_eq!(mc.degree(), 0);
+    }
+
+    #[test]
+    fn collapse_to_listed_positions() {
+        let w = PosRange::new(0, 100);
+        let mut mc = MultiColumn::with_descriptor(w, PosList::full(PosRange::new(5, 8)));
+        mc.collapse();
+        assert!(matches!(mc.descriptor(), PosList::Explicit(_)));
+        assert_eq!(mc.descriptor().to_vec(), vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn empty_minicolumn() {
+        let mc = MiniColumn::empty(PosRange::new(0, 10));
+        assert!(mc.blocks().is_empty());
+        assert!(mc.scan_positions(&Predicate::always_true()).is_empty());
+        
+    }
+}

@@ -1,0 +1,413 @@
+//! Hash join with the three inner-table materialization strategies of
+//! §4.3.
+//!
+//! The join probes the **left** (outer) relation against a hash table
+//! built on the **right** (inner) relation's key column. Left positions
+//! exit the join in sorted order, so left output columns are fetched with
+//! a cheap merge on position. The right side is where strategy matters:
+//!
+//! * [`InnerStrategy::Materialized`] — right tuples are fully constructed
+//!   *before* the join (early materialization): the build phase decodes
+//!   every right output column into row-major tuples.
+//! * [`InnerStrategy::MultiColumn`] — the right side stays compressed in
+//!   mini-columns; when a probe matches, the matched position indexes the
+//!   mini-columns and the tuple is constructed on the fly.
+//! * [`InnerStrategy::SingleColumn`] — "pure" late materialization: only
+//!   the key column enters the join, which emits (left pos, right pos)
+//!   pairs. Right positions come out **unsorted**, so fetching right
+//!   output values costs an extra sort + gather + scatter — the Figure 13
+//!   penalty.
+
+use std::collections::HashMap;
+
+use matstrat_common::{Error, Pos, PosRange, Predicate, Result, TableId, Value};
+use matstrat_poslist::{PosList, PosVec};
+use matstrat_storage::Store;
+
+use crate::multicol::MiniColumn;
+use crate::query::QueryResult;
+
+/// How the inner (right) table is represented inside the join.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InnerStrategy {
+    /// Right tuples constructed before the join (EM).
+    Materialized,
+    /// Right columns shipped compressed; tuples built per match (hybrid).
+    MultiColumn,
+    /// Only the key column enters; values fetched by position afterwards
+    /// (pure LM).
+    SingleColumn,
+}
+
+impl InnerStrategy {
+    /// All three strategies, in the paper's Figure 13 order.
+    pub const ALL: [InnerStrategy; 3] = [
+        InnerStrategy::Materialized,
+        InnerStrategy::MultiColumn,
+        InnerStrategy::SingleColumn,
+    ];
+
+    /// Display name matching Figure 13's legend.
+    pub fn name(self) -> &'static str {
+        match self {
+            InnerStrategy::Materialized => "Right Table Materialized",
+            InnerStrategy::MultiColumn => "Right Table Multi-Column",
+            InnerStrategy::SingleColumn => "Right Table Single Column",
+        }
+    }
+}
+
+/// An equi-join between two projections with an optional predicate on
+/// the left table:
+///
+/// ```sql
+/// SELECT l.<left_output...>, r.<right_output...>
+/// FROM left l, right r
+/// WHERE l.<left_key> = r.<right_key> [AND l.<filter col> <op> const]
+/// ```
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// Outer (probe) projection.
+    pub left: TableId,
+    /// Inner (build) projection.
+    pub right: TableId,
+    /// Join key column index in the left projection.
+    pub left_key: usize,
+    /// Join key column index in the right projection.
+    pub right_key: usize,
+    /// Optional predicate on a left column.
+    pub left_filter: Option<(usize, Predicate)>,
+    /// Left columns to output.
+    pub left_output: Vec<usize>,
+    /// Right columns to output.
+    pub right_output: Vec<usize>,
+}
+
+/// Execute the join under the chosen inner-table strategy.
+pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result<QueryResult> {
+    let left_info = store.projection(spec.left)?;
+    let right_info = store.projection(spec.right)?;
+    let right_rows = right_info.num_rows;
+    let right_window = PosRange::new(0, right_rows);
+
+    // ---- Build phase (right/inner table) -------------------------------
+    let rkey_reader = store.reader(spec.right, spec.right_key)?;
+    let rkey_mini = MiniColumn::fetch(&rkey_reader, right_window)?;
+    let mut rkeys = Vec::with_capacity(right_rows as usize);
+    rkey_mini.decode(&mut rkeys)?;
+    let mut table: HashMap<Value, Vec<u32>> = HashMap::with_capacity(rkeys.len());
+    for (pos, &k) in rkeys.iter().enumerate() {
+        table.entry(k).or_default().push(pos as u32);
+    }
+
+    // Right output columns, represented per strategy.
+    let right_minis: Vec<MiniColumn> = spec
+        .right_output
+        .iter()
+        .map(|&c| MiniColumn::fetch(&store.reader(spec.right, c).unwrap(), right_window))
+        .collect::<Result<_>>()?;
+    let rwidth = spec.right_output.len();
+    // Materialized: construct every right tuple up front (row-major).
+    let materialized: Option<Vec<Value>> = match inner {
+        InnerStrategy::Materialized => {
+            let mut cols: Vec<Vec<Value>> = Vec::with_capacity(rwidth);
+            for m in &right_minis {
+                let mut v = Vec::with_capacity(right_rows as usize);
+                m.decode(&mut v)?;
+                cols.push(v);
+            }
+            let mut flat = Vec::with_capacity(right_rows as usize * rwidth);
+            for r in 0..right_rows as usize {
+                for col in &cols {
+                    flat.push(col[r]);
+                }
+            }
+            Some(flat)
+        }
+        _ => None,
+    };
+
+    // ---- Left (outer) side ---------------------------------------------
+    let left_window = PosRange::new(0, left_info.num_rows);
+    let desc = match &spec.left_filter {
+        Some((col, pred)) => {
+            let mini = MiniColumn::fetch(&store.reader(spec.left, *col)?, left_window)?;
+            mini.scan_positions(pred)
+        }
+        None => PosList::full(left_window),
+    };
+    let lkey_mini = MiniColumn::fetch(&store.reader(spec.left, spec.left_key)?, left_window)?;
+    let mut lkeys = Vec::with_capacity(desc.count() as usize);
+    lkey_mini.fetch_values(&desc, &mut lkeys)?;
+
+    // ---- Probe phase ----------------------------------------------------
+    // Matched left positions (sorted, since desc is iterated in order) and
+    // the matched right position per output row.
+    let mut left_pos: Vec<Pos> = Vec::new();
+    let mut right_pos: Vec<u32> = Vec::new();
+    for (i, p) in desc.iter().enumerate() {
+        if let Some(rps) = table.get(&lkeys[i]) {
+            for &rp in rps {
+                left_pos.push(p);
+                right_pos.push(rp);
+            }
+        }
+    }
+    let out_rows = left_pos.len();
+
+    // ---- Left output values: merge on sorted positions ------------------
+    let lwidth = spec.left_output.len();
+    let mut left_cols: Vec<Vec<Value>> = Vec::with_capacity(lwidth);
+    {
+        // left_pos may contain duplicates (non-unique right keys); gather
+        // over the deduplicated sorted list, then expand.
+        let mut uniq = left_pos.clone();
+        uniq.dedup();
+        let pl = PosList::Explicit(PosVec::from_sorted(uniq.clone()));
+        for &c in &spec.left_output {
+            let mini = MiniColumn::fetch(&store.reader(spec.left, c)?, left_window)?;
+            let mut vals = Vec::with_capacity(uniq.len());
+            mini.fetch_values(&pl, &mut vals)?;
+            if uniq.len() == left_pos.len() {
+                left_cols.push(vals);
+            } else {
+                // Expand duplicates by walking both lists.
+                let mut expanded = Vec::with_capacity(left_pos.len());
+                let mut ui = 0usize;
+                for &p in &left_pos {
+                    while uniq[ui] != p {
+                        ui += 1;
+                    }
+                    expanded.push(vals[ui]);
+                }
+                left_cols.push(expanded);
+            }
+        }
+    }
+
+    // ---- Right output values, per strategy ------------------------------
+    let mut right_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(out_rows); rwidth];
+    match inner {
+        InnerStrategy::Materialized => {
+            let flat = materialized.as_ref().expect("built above");
+            for &rp in &right_pos {
+                let base = rp as usize * rwidth;
+                for (c, col) in right_cols.iter_mut().enumerate() {
+                    col.push(flat[base + c]);
+                }
+            }
+        }
+        InnerStrategy::MultiColumn => {
+            // Construct right tuples on the fly from the compressed
+            // mini-columns at each matched position.
+            for &rp in &right_pos {
+                for (c, mini) in right_minis.iter().enumerate() {
+                    right_cols[c].push(mini.value_at(rp as u64)?);
+                }
+            }
+        }
+        InnerStrategy::SingleColumn => {
+            // Pure LM: the join emitted only positions, and the right
+            // positions are *unsorted* — "a merge-join on position cannot
+            // be used to fetch column values" (§4.3). The extra positional
+            // join is a second pass over the matches probing each right
+            // column at a random position per output row.
+            for (c, mini) in right_minis.iter().enumerate() {
+                let col = &mut right_cols[c];
+                if mini.supports_position_fetch() {
+                    for &rp in &right_pos {
+                        col.push(mini.value_at(rp as u64)?);
+                    }
+                } else {
+                    // Bit-vector right column: decompress once, then index
+                    // (value_at would rescan k bit-strings per probe).
+                    let mut decoded = Vec::new();
+                    mini.decode(&mut decoded)?;
+                    for &rp in &right_pos {
+                        col.push(decoded[rp as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Final tuple stitching ------------------------------------------
+    let mut names: Vec<String> = Vec::with_capacity(lwidth + rwidth);
+    for &c in &spec.left_output {
+        names.push(left_info.column(c)?.name.clone());
+    }
+    for &c in &spec.right_output {
+        names.push(right_info.column(c)?.name.clone());
+    }
+    if names.is_empty() {
+        return Err(Error::invalid("join must output at least one column"));
+    }
+    let width = names.len();
+    let mut flat = Vec::with_capacity(out_rows * width);
+    for i in 0..out_rows {
+        for col in &left_cols {
+            flat.push(col[i]);
+        }
+        for col in &right_cols {
+            flat.push(col[i]);
+        }
+    }
+    Ok(QueryResult::from_flat(names, flat))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_storage::{EncodingKind as Ek, ProjectionSpec, SortOrder, Store};
+
+    /// left: 60 orders (custkey = i % 20, shipdate = i); right: 20
+    /// customers (custkey = 0..20 PK, nation = custkey * 10).
+    fn setup() -> (Store, JoinSpec) {
+        let store = Store::in_memory();
+        let n = 60i64;
+        let custkey: Vec<Value> = (0..n).map(|i| i % 20).collect();
+        let shipdate: Vec<Value> = (0..n).collect();
+        // Orders sorted by nothing in particular — declare no sort key.
+        let orders = ProjectionSpec::new("orders")
+            .column("custkey", Ek::Plain, SortOrder::None)
+            .column("shipdate", Ek::Plain, SortOrder::None);
+        let left = store.load_projection(&orders, &[&custkey, &shipdate]).unwrap();
+
+        let ckey: Vec<Value> = (0..20).collect();
+        let nation: Vec<Value> = (0..20).map(|i| i * 10).collect();
+        let customer = ProjectionSpec::new("customer")
+            .column("custkey", Ek::Plain, SortOrder::Primary)
+            .column("nation", Ek::Plain, SortOrder::None);
+        let right = store.load_projection(&customer, &[&ckey, &nation]).unwrap();
+
+        let spec = JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: Some((0, Predicate::lt(10))),
+            left_output: vec![1],
+            right_output: vec![1],
+        };
+        (store, spec)
+    }
+
+    fn reference_rows() -> Vec<Vec<Value>> {
+        // custkey = i % 20 < 10 → join nation = (i % 20) * 10.
+        let mut rows: Vec<Vec<Value>> = (0..60i64)
+            .filter(|i| i % 20 < 10)
+            .map(|i| vec![i, (i % 20) * 10])
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn all_three_strategies_agree_with_reference() {
+        let (store, spec) = setup();
+        for inner in InnerStrategy::ALL {
+            let res = hash_join(&store, &spec, inner).unwrap();
+            assert_eq!(res.column_names, vec!["shipdate", "nation"]);
+            assert_eq!(res.sorted_rows(), reference_rows(), "{inner:?}");
+        }
+    }
+
+    #[test]
+    fn join_without_filter_is_full_fk_join() {
+        let (store, mut spec) = setup();
+        spec.left_filter = None;
+        for inner in InnerStrategy::ALL {
+            let res = hash_join(&store, &spec, inner).unwrap();
+            assert_eq!(res.num_rows(), 60, "{inner:?}");
+        }
+    }
+
+    #[test]
+    fn join_with_unmatched_left_keys() {
+        // Left keys 0..40, right only 0..20: half the left rows drop out.
+        let store = Store::in_memory();
+        let lk: Vec<Value> = (0..40).collect();
+        let lv: Vec<Value> = (0..40).map(|i| i + 100).collect();
+        let left = store
+            .load_projection(
+                &ProjectionSpec::new("l")
+                    .column("k", Ek::Plain, SortOrder::Primary)
+                    .column("v", Ek::Plain, SortOrder::None),
+                &[&lk, &lv],
+            )
+            .unwrap();
+        let rk: Vec<Value> = (0..20).collect();
+        let rv: Vec<Value> = (0..20).map(|i| i * 2).collect();
+        let right = store
+            .load_projection(
+                &ProjectionSpec::new("r")
+                    .column("k", Ek::Plain, SortOrder::Primary)
+                    .column("v", Ek::Plain, SortOrder::None),
+                &[&rk, &rv],
+            )
+            .unwrap();
+        let spec = JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![0, 1],
+            right_output: vec![1],
+        };
+        for inner in InnerStrategy::ALL {
+            let res = hash_join(&store, &spec, inner).unwrap();
+            assert_eq!(res.num_rows(), 20, "{inner:?}");
+            let rows = res.sorted_rows();
+            assert_eq!(rows[5], vec![5, 105, 10], "{inner:?}");
+        }
+    }
+
+    #[test]
+    fn join_with_duplicate_right_keys() {
+        // Right has duplicate keys: each left match fans out.
+        let store = Store::in_memory();
+        let lk: Vec<Value> = vec![1, 2, 3];
+        let left = store
+            .load_projection(
+                &ProjectionSpec::new("l").column("k", Ek::Plain, SortOrder::Primary),
+                &[&lk],
+            )
+            .unwrap();
+        let rk: Vec<Value> = vec![1, 1, 2];
+        let rv: Vec<Value> = vec![10, 11, 20];
+        let right = store
+            .load_projection(
+                &ProjectionSpec::new("r")
+                    .column("k", Ek::Plain, SortOrder::Primary)
+                    .column("v", Ek::Plain, SortOrder::None),
+                &[&rk, &rv],
+            )
+            .unwrap();
+        let spec = JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![0],
+            right_output: vec![1],
+        };
+        for inner in InnerStrategy::ALL {
+            let res = hash_join(&store, &spec, inner).unwrap();
+            let rows = res.sorted_rows();
+            assert_eq!(
+                rows,
+                vec![vec![1, 10], vec![1, 11], vec![2, 20]],
+                "{inner:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn strategy_names_match_figure13() {
+        assert_eq!(InnerStrategy::Materialized.name(), "Right Table Materialized");
+        assert_eq!(InnerStrategy::MultiColumn.name(), "Right Table Multi-Column");
+        assert_eq!(InnerStrategy::SingleColumn.name(), "Right Table Single Column");
+    }
+}

@@ -1,0 +1,86 @@
+//! MERGE: combine k aligned value columns into k-ary row tuples.
+//!
+//! This is the top of every late-materialization plan (Figure 5): the
+//! DS3 operators have produced one value vector per output column, all in
+//! descriptor position order, and MERGE stitches them into row-major
+//! tuples. The paper's cost model charges `2k·FC` per tuple — the work
+//! here is exactly the k reads + k writes per row.
+
+use matstrat_common::Value;
+
+/// Append row-major tuples built from `cols` (equal-length value
+/// vectors) to `out`.
+///
+/// # Panics
+/// Panics (debug) if the columns have unequal lengths.
+pub fn merge_columns(cols: &[&[Value]], out: &mut Vec<Value>) {
+    let Some(first) = cols.first() else { return };
+    let n = first.len();
+    debug_assert!(cols.iter().all(|c| c.len() == n), "MERGE inputs must align");
+    out.reserve(n * cols.len());
+    match cols {
+        // The common arities get tight loops.
+        [a] => out.extend_from_slice(a),
+        [a, b] => {
+            for i in 0..n {
+                out.push(a[i]);
+                out.push(b[i]);
+            }
+        }
+        [a, b, c] => {
+            for i in 0..n {
+                out.push(a[i]);
+                out.push(b[i]);
+                out.push(c[i]);
+            }
+        }
+        _ => {
+            for i in 0..n {
+                for col in cols {
+                    out.push(col[i]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_two_columns() {
+        let mut out = Vec::new();
+        merge_columns(&[&[1, 2, 3], &[10, 20, 30]], &mut out);
+        assert_eq!(out, vec![1, 10, 2, 20, 3, 30]);
+    }
+
+    #[test]
+    fn merge_one_and_three_and_four() {
+        let mut out = Vec::new();
+        merge_columns(&[&[7, 8]], &mut out);
+        assert_eq!(out, vec![7, 8]);
+        out.clear();
+        merge_columns(&[&[1], &[2], &[3]], &mut out);
+        assert_eq!(out, vec![1, 2, 3]);
+        out.clear();
+        merge_columns(&[&[1], &[2], &[3], &[4]], &mut out);
+        assert_eq!(out, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn merge_empty_inputs() {
+        let mut out = Vec::new();
+        merge_columns(&[], &mut out);
+        assert!(out.is_empty());
+        merge_columns(&[&[], &[]], &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn merge_appends_after_existing() {
+        let mut out = vec![99];
+        merge_columns(&[&[1], &[2]], &mut out);
+        assert_eq!(out, vec![99, 1, 2]);
+    }
+}

@@ -1,0 +1,21 @@
+//! The C-Store operator set (§3.1).
+//!
+//! The paper's operators map onto this crate as follows:
+//!
+//! | paper operator | implementation |
+//! |---|---|
+//! | DS1 (scan → positions) | [`MiniColumn::scan_positions`](crate::MiniColumn::scan_positions) |
+//! | DS2 (scan → (pos, value)) | [`MiniColumn::scan_pairs`](crate::MiniColumn::scan_pairs) |
+//! | DS3 (positions → values) | [`MiniColumn::gather`](crate::MiniColumn::gather) / [`fetch_values`](crate::MiniColumn::fetch_values) |
+//! | DS4 (tuples + column → wider tuples) | [`probe::ds4_extend`] |
+//! | AND | [`PosList::and`](matstrat_poslist::PosList::and) / [`MultiColumn::and`](crate::MultiColumn::and) |
+//! | MERGE | [`merge::merge_columns`] |
+//! | SPC | [`spc::spc_scan`] |
+//! | aggregator | [`agg::SumAggregator`] (tuple- and column-input forms) |
+//! | join | [`join`] (three inner-table strategies, §4.3) |
+
+pub mod agg;
+pub mod join;
+pub mod merge;
+pub mod probe;
+pub mod spc;

@@ -1,0 +1,102 @@
+//! DS4: extend early-materialized tuples with one more column (Figure 3).
+//!
+//! The EM-pipelined plan's inner operator: for each input tuple, jump to
+//! its position in the new column, apply the predicate, and emit the
+//! widened tuple if it passes. This is a tuple-at-a-time loop with one
+//! positional probe per tuple — the `TICTUP`-heavy cost the model
+//! assigns to DS4, and the reason EM-pipelined degrades at high
+//! selectivity.
+
+use matstrat_common::{Pos, Predicate, Result, Value};
+
+use crate::multicol::MiniColumn;
+
+/// Widen `(positions, tuples)` of width `width` by probing `mini` at each
+/// position and keeping rows whose new value passes `pred` (pass `None`
+/// for a pure output column). Returns the new width (`width + 1`).
+pub fn ds4_extend(
+    mini: &MiniColumn,
+    pred: Option<&Predicate>,
+    positions: &mut Vec<Pos>,
+    tuples: &mut Vec<Value>,
+    width: usize,
+) -> Result<usize> {
+    debug_assert_eq!(tuples.len(), positions.len() * width);
+    let mut new_positions = Vec::with_capacity(positions.len());
+    let mut new_tuples = Vec::with_capacity(tuples.len() + positions.len());
+    for (i, &pos) in positions.iter().enumerate() {
+        let v = mini.value_at(pos)?;
+        if pred.is_none_or(|p| p.matches(v)) {
+            new_positions.push(pos);
+            new_tuples.extend_from_slice(&tuples[i * width..(i + 1) * width]);
+            new_tuples.push(v);
+        }
+    }
+    *positions = new_positions;
+    *tuples = new_tuples;
+    Ok(width + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_common::PosRange;
+    use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder, Store};
+
+    fn mini(encoding: EncodingKind, vals: &[Value]) -> MiniColumn {
+        let store = Store::in_memory();
+        let spec = ProjectionSpec::new("t").column("c", encoding, SortOrder::None);
+        let id = store.load_projection(&spec, &[vals]).unwrap();
+        MiniColumn::fetch(
+            &store.reader(id, 0).unwrap(),
+            PosRange::new(0, vals.len() as u64),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn extend_filters_and_widens() {
+        let vals: Vec<Value> = (0..100).map(|i| i % 10).collect();
+        let m = mini(EncodingKind::Plain, &vals);
+        let mut positions: Vec<Pos> = vec![3, 13, 14, 50, 99];
+        let mut tuples: Vec<Value> = positions.iter().map(|&p| p as Value * 100).collect();
+        let w = ds4_extend(&m, Some(&Predicate::lt(5)), &mut positions, &mut tuples, 1).unwrap();
+        assert_eq!(w, 2);
+        // vals: pos 3→3, 13→3, 14→4, 50→0, 99→9(fails)
+        assert_eq!(positions, vec![3, 13, 14, 50]);
+        assert_eq!(tuples, vec![300, 3, 1300, 3, 1400, 4, 5000, 0]);
+    }
+
+    #[test]
+    fn extend_without_predicate_keeps_all() {
+        let vals: Vec<Value> = (0..10).collect();
+        let m = mini(EncodingKind::Rle, &vals);
+        let mut positions: Vec<Pos> = vec![0, 9];
+        let mut tuples: Vec<Value> = vec![7, 8];
+        ds4_extend(&m, None, &mut positions, &mut tuples, 1).unwrap();
+        assert_eq!(tuples, vec![7, 0, 8, 9]);
+    }
+
+    #[test]
+    fn extend_works_on_bitvec_via_value_at() {
+        // DS4 on bit-vector data is legal (EM-pipelined appears in
+        // Figure 11(c)) — it probes all k bit-strings per position.
+        let vals: Vec<Value> = (0..50).map(|i| i % 5).collect();
+        let m = mini(EncodingKind::BitVec, &vals);
+        let mut positions: Vec<Pos> = (0..50).collect();
+        let mut tuples: Vec<Value> = positions.iter().map(|&p| p as Value).collect();
+        ds4_extend(&m, Some(&Predicate::eq(2)), &mut positions, &mut tuples, 1).unwrap();
+        let expected: Vec<Pos> = (0..50u64).filter(|p| p % 5 == 2).collect();
+        assert_eq!(positions, expected);
+    }
+
+    #[test]
+    fn extend_empty_input() {
+        let m = mini(EncodingKind::Plain, &[1, 2, 3]);
+        let mut positions: Vec<Pos> = vec![];
+        let mut tuples: Vec<Value> = vec![];
+        let w = ds4_extend(&m, Some(&Predicate::lt(5)), &mut positions, &mut tuples, 1).unwrap();
+        assert_eq!(w, 2);
+        assert!(positions.is_empty());
+    }
+}

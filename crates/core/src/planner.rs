@@ -1,0 +1,354 @@
+//! Model-driven strategy selection — the paper's §6 conclusion put to
+//! work: *"Using an analytical model to predict query performance can
+//! facilitate materialization strategy decision-making."*
+//!
+//! The planner derives the model's parameters from catalog statistics
+//! (block counts, row counts, run lengths, min/max for selectivity) and
+//! asks [`CostModel`] for the cheapest plan. Queries that do not match
+//! the modeled two-predicate shape fall back to the paper's heuristic:
+//! aggregation, selective output, or light-weight compression → late
+//! materialization; otherwise early materialization.
+
+use matstrat_common::{Result, Value};
+use matstrat_model::plans::QueryParams;
+use matstrat_model::{ColumnParams, Constants, CostBreakdown, CostModel};
+use matstrat_storage::{ColumnInfo, EncodingKind, ProjectionInfo, SortOrder, Store};
+
+use crate::query::QuerySpec;
+use crate::strategy::Strategy;
+
+/// Why the planner picked what it picked.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// The chosen strategy.
+    pub strategy: Strategy,
+    /// Model estimate for the chosen plan, when the model was used.
+    pub estimate: Option<CostBreakdown>,
+    /// Estimates for every strategy the model could price.
+    pub alternatives: Vec<(Strategy, CostBreakdown)>,
+    /// Human-readable reasoning.
+    pub reason: String,
+}
+
+/// The strategy chooser.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    model: CostModel,
+}
+
+impl Planner {
+    /// Planner with the given model constants.
+    pub fn new(constants: Constants) -> Planner {
+        Planner { model: CostModel::new(constants) }
+    }
+
+    /// The underlying cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Pick a strategy for `q`.
+    pub fn choose(&self, store: &Store, q: &QuerySpec) -> Result<PlanChoice> {
+        let proj = store.projection(q.table)?;
+        if q.filters.len() == 2 {
+            self.choose_modeled(store, &proj, q)
+        } else {
+            Ok(self.choose_heuristic(&proj, q))
+        }
+    }
+
+    /// Estimate a predicate's selectivity from min/max statistics under a
+    /// uniformity assumption.
+    fn selectivity(col: &ColumnInfo, pred: &matstrat_common::Predicate) -> f64 {
+        pred.uniform_selectivity(col.stats.min, col.stats.max)
+    }
+
+    /// `RL_p` of the position list a DS1 over `col` emits, for a range
+    /// predicate of selectivity `sf`.
+    ///
+    /// * A column sorted on itself (or a sort-key column) produces
+    ///   *clustered* matches: the matching positions coalesce into one
+    ///   run per higher-order sort group — for the paper's secondary-
+    ///   sorted SHIPDATE, one run per RETURNFLAG value.
+    /// * An unsorted column produces one position run per matching value
+    ///   run, so `RL_p` equals the column's own run length.
+    fn pos_run_len(proj: &ProjectionInfo, col: &ColumnInfo, sf: f64, n: f64) -> f64 {
+        let clustered = col.sort != SortOrder::None || col.self_sorted();
+        if clustered {
+            // Number of groups above this column in the sort key.
+            let groups: f64 = proj
+                .columns
+                .iter()
+                .filter(|c| c.sort.rank() < col.sort.rank())
+                .map(|c| c.stats.distinct.max(1) as f64)
+                .product();
+            ((n * sf) / groups.max(1.0)).max(1.0)
+        } else {
+            col.stats.avg_run_len().max(1.0)
+        }
+    }
+
+    fn column_params(store: &Store, q: &QuerySpec, col_idx: usize, col: &ColumnInfo) -> ColumnParams {
+        let resident = store
+            .reader(q.table, col_idx)
+            .map(|r| r.resident_fraction())
+            .unwrap_or(0.0);
+        ColumnParams {
+            blocks: col.stats.num_blocks as f64,
+            rows: col.stats.num_rows as f64,
+            run_len: col.stats.avg_run_len(),
+            resident,
+        }
+    }
+
+    /// Build the model's [`QueryParams`] for a two-predicate query.
+    pub fn query_params(&self, store: &Store, q: &QuerySpec) -> Result<QueryParams> {
+        let proj = store.projection(q.table)?;
+        let n = proj.num_rows as f64;
+        let (c1_idx, p1) = q.filters[0];
+        let (c2_idx, p2) = q.filters[1];
+        let c1 = proj.column(c1_idx)?;
+        let c2 = proj.column(c2_idx)?;
+        let sf1 = Self::selectivity(c1, &p1);
+        let sf2 = Self::selectivity(c2, &p2);
+        let mut params = QueryParams::selection(
+            n,
+            Self::column_params(store, q, c1_idx, c1),
+            Self::column_params(store, q, c2_idx, c2),
+            sf1,
+            sf2,
+        );
+        params.pos_run_len1 = Self::pos_run_len(&proj, c1, sf1, n);
+        params.pos_run_len2 = Self::pos_run_len(&proj, c2, sf2, n);
+        params.bitstring1 = c1.encoding == EncodingKind::BitVec;
+        params.bitstring2 = c2.encoding == EncodingKind::BitVec;
+        params.c2_supports_ds3 = c2.encoding.supports_position_fetch();
+        params.c1_decompress_fetch = c1.encoding == EncodingKind::BitVec;
+        params.c2_decompress_fetch = c2.encoding == EncodingKind::BitVec;
+        if let Some(a) = q.aggregate {
+            params.aggregated = true;
+            params.num_groups = proj.column(a.group_col)?.stats.distinct as f64;
+        }
+        Ok(params)
+    }
+
+    fn choose_modeled(
+        &self,
+        store: &Store,
+        proj: &ProjectionInfo,
+        q: &QuerySpec,
+    ) -> Result<PlanChoice> {
+        let params = self.query_params(store, q)?;
+        let mut alternatives = Vec::new();
+        for s in Strategy::ALL {
+            if let Some(cost) = self.model.estimate(s.plan_kind(), &params) {
+                alternatives.push((s, cost));
+            }
+        }
+        let &(strategy, estimate) = alternatives
+            .iter()
+            .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
+            .expect("EM plans always estimable");
+        let _ = proj;
+        Ok(PlanChoice {
+            strategy,
+            estimate: Some(estimate),
+            alternatives,
+            reason: format!(
+                "analytical model: {} predicted {:.2} ms (cpu {:.2} + io {:.2})",
+                strategy.name(),
+                estimate.total_ms(),
+                estimate.cpu_us / 1000.0,
+                estimate.io_us / 1000.0
+            ),
+        })
+    }
+
+    /// The paper's closing heuristic, for query shapes outside the model:
+    /// *"if output data is aggregated, or if the query has low
+    /// selectivity [i.e. few matches], or if input data is compressed
+    /// using a light-weight compression technique, a late materialization
+    /// strategy should be used. Otherwise ... early materialization."*
+    fn choose_heuristic(&self, proj: &ProjectionInfo, q: &QuerySpec) -> PlanChoice {
+        let lm_ok_pipelined = q
+            .filters
+            .iter()
+            .skip(1)
+            .all(|(c, _)| {
+                proj.column(*c)
+                    .map(|ci| ci.encoding.supports_position_fetch())
+                    .unwrap_or(false)
+            });
+        if q.aggregate.is_some() {
+            return PlanChoice {
+                strategy: Strategy::LmParallel,
+                estimate: None,
+                alternatives: Vec::new(),
+                reason: "heuristic: aggregated output favors late materialization".into(),
+            };
+        }
+        // Estimated fraction of rows surviving all predicates.
+        let mut sf = 1.0;
+        for (c, p) in &q.filters {
+            if let Ok(ci) = proj.column(*c) {
+                sf *= Self::selectivity(ci, p);
+            }
+        }
+        let compressed = q.filters.iter().all(|(c, _)| {
+            proj.column(*c)
+                .map(|ci| {
+                    matches!(ci.encoding, EncodingKind::Rle | EncodingKind::Dict)
+                })
+                .unwrap_or(false)
+        });
+        if sf < 0.05 && lm_ok_pipelined {
+            PlanChoice {
+                strategy: Strategy::LmPipelined,
+                estimate: None,
+                alternatives: Vec::new(),
+                reason: format!(
+                    "heuristic: highly selective predicates (SF ≈ {sf:.3}) favor pipelined \
+                     late materialization with block skipping"
+                ),
+            }
+        } else if compressed {
+            PlanChoice {
+                strategy: Strategy::LmParallel,
+                estimate: None,
+                alternatives: Vec::new(),
+                reason: "heuristic: light-weight compressed inputs favor late materialization"
+                    .into(),
+            }
+        } else {
+            PlanChoice {
+                strategy: Strategy::EmParallel,
+                estimate: None,
+                alternatives: Vec::new(),
+                reason: format!(
+                    "heuristic: high selectivity (SF ≈ {sf:.3}), non-aggregated, \
+                     uncompressed inputs favor early materialization"
+                ),
+            }
+        }
+    }
+}
+
+impl Default for Planner {
+    fn default() -> Planner {
+        Planner::new(Constants::host_defaults())
+    }
+}
+
+/// Convenience: estimated number of distinct groups for an aggregation.
+pub fn estimated_groups(proj: &ProjectionInfo, group_col: usize) -> Value {
+    proj.column(group_col)
+        .map(|c| c.stats.distinct as Value)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_common::Predicate;
+    use matstrat_storage::{ProjectionSpec, SortOrder as So, Store};
+
+    /// lineitem-shaped projection: retflag (3 values, primary, RLE),
+    /// shipdate (100 values, secondary, RLE), linenum (7 values, plain).
+    fn setup(linenum_enc: EncodingKind) -> (Store, matstrat_common::TableId) {
+        let store = Store::in_memory();
+        let n = 30_000usize;
+        let mut rows: Vec<(Value, Value, Value)> = (0..n)
+            .map(|i| ((i % 3) as Value, ((i * 37) % 100) as Value, ((i * 7) % 7 + 1) as Value))
+            .collect();
+        rows.sort_unstable();
+        let rf: Vec<Value> = rows.iter().map(|r| r.0).collect();
+        let sd: Vec<Value> = rows.iter().map(|r| r.1).collect();
+        let ln: Vec<Value> = rows.iter().map(|r| r.2).collect();
+        let spec = ProjectionSpec::new("lineitem")
+            .column("retflag", EncodingKind::Rle, So::Primary)
+            .column("shipdate", EncodingKind::Rle, So::Secondary)
+            .column("linenum", linenum_enc, So::Tertiary);
+        let id = store.load_projection(&spec, &[&rf, &sd, &ln]).unwrap();
+        (store, id)
+    }
+
+    #[test]
+    fn modeled_choice_prefers_lm_for_rle_aggregation() {
+        let (store, id) = setup(EncodingKind::Rle);
+        let planner = Planner::default();
+        let q = QuerySpec::select(id, vec![])
+            .filter(1, Predicate::lt(80))
+            .filter(2, Predicate::lt(7))
+            .aggregate_sum(1, 2);
+        let choice = planner.choose(&store, &q).unwrap();
+        assert!(choice.strategy.is_late(), "got {:?}: {}", choice.strategy, choice.reason);
+        assert!(choice.estimate.is_some());
+        assert!(!choice.alternatives.is_empty());
+    }
+
+    #[test]
+    fn bitvec_filter_column_excludes_lm_pipelined() {
+        let (store, id) = setup(EncodingKind::BitVec);
+        let planner = Planner::default();
+        let q = QuerySpec::select(id, vec![1, 2])
+            .filter(1, Predicate::lt(80))
+            .filter(2, Predicate::lt(7));
+        let choice = planner.choose(&store, &q).unwrap();
+        assert!(
+            !choice
+                .alternatives
+                .iter()
+                .any(|(s, _)| *s == Strategy::LmPipelined),
+            "LM-pipelined must not be estimable over bit-vector data"
+        );
+    }
+
+    #[test]
+    fn heuristic_aggregation_prefers_lm() {
+        let (store, id) = setup(EncodingKind::Rle);
+        let planner = Planner::default();
+        // Single filter → heuristic path.
+        let q = QuerySpec::select(id, vec![])
+            .filter(1, Predicate::lt(50))
+            .aggregate_sum(1, 2);
+        let choice = planner.choose(&store, &q).unwrap();
+        assert_eq!(choice.strategy, Strategy::LmParallel);
+        assert!(choice.estimate.is_none());
+    }
+
+    #[test]
+    fn heuristic_selective_prefers_lm_pipelined() {
+        let (store, id) = setup(EncodingKind::Plain);
+        let planner = Planner::default();
+        let q = QuerySpec::select(id, vec![0, 1, 2])
+            .filter(1, Predicate::eq(3)); // SF = 1/100
+        let choice = planner.choose(&store, &q).unwrap();
+        assert_eq!(choice.strategy, Strategy::LmPipelined, "{}", choice.reason);
+    }
+
+    #[test]
+    fn heuristic_wide_scan_prefers_em() {
+        let (store, id) = setup(EncodingKind::Plain);
+        let planner = Planner::default();
+        // Nearly unselective single predicate on a plain column.
+        let q = QuerySpec::select(id, vec![2]).filter(2, Predicate::ge(1));
+        let choice = planner.choose(&store, &q).unwrap();
+        assert_eq!(choice.strategy, Strategy::EmParallel, "{}", choice.reason);
+    }
+
+    #[test]
+    fn query_params_reflect_catalog() {
+        let (store, id) = setup(EncodingKind::Plain);
+        let planner = Planner::default();
+        let q = QuerySpec::select(id, vec![1, 2])
+            .filter(1, Predicate::lt(50))
+            .filter(2, Predicate::lt(4));
+        let params = planner.query_params(&store, &q).unwrap();
+        assert_eq!(params.n, 30_000.0);
+        assert!(params.sf1 > 0.3 && params.sf1 < 0.7, "sf1 = {}", params.sf1);
+        assert!(params.c2_supports_ds3);
+        assert!(!params.bitstring2);
+        // Secondary-sorted shipdate → clustered positions: long runs.
+        assert!(params.pos_run_len1 > 100.0);
+    }
+}

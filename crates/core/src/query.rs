@@ -1,0 +1,249 @@
+//! Query descriptions and results.
+
+use std::time::Duration;
+
+use matstrat_common::{Predicate, TableId, Value};
+use matstrat_storage::IoStats;
+
+use crate::ops::agg::AggFunc;
+use crate::strategy::Strategy;
+
+/// An aggregation over one column, grouped by another
+/// (`SELECT g, f(v) ... GROUP BY g`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggSpec {
+    /// Column index of the GROUP BY attribute.
+    pub group_col: usize,
+    /// Column index of the aggregated attribute.
+    pub value_col: usize,
+    /// The aggregate function (the paper's experiments use SUM).
+    pub func: AggFunc,
+}
+
+/// A selection (optionally aggregated) over one projection:
+///
+/// ```sql
+/// SELECT <output...> FROM <table> WHERE <col op const> AND ...
+/// [GROUP BY g -- with SUM(v)]
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// The projection to read.
+    pub table: TableId,
+    /// Column indices to output (ignored when `aggregate` is set:
+    /// aggregation outputs `(group, sum)`).
+    pub output: Vec<usize>,
+    /// Conjunctive single-column predicates, applied in order.
+    pub filters: Vec<(usize, Predicate)>,
+    /// Optional GROUP BY + SUM on top of the selection.
+    pub aggregate: Option<AggSpec>,
+}
+
+impl QuerySpec {
+    /// `SELECT <output> FROM <table>`.
+    pub fn select(table: TableId, output: Vec<usize>) -> QuerySpec {
+        QuerySpec { table, output, filters: Vec::new(), aggregate: None }
+    }
+
+    /// Add `AND column <op> const` to the WHERE clause.
+    pub fn filter(mut self, col: usize, pred: Predicate) -> QuerySpec {
+        self.filters.push((col, pred));
+        self
+    }
+
+    /// Replace the output with `GROUP BY group_col, SUM(value_col)`.
+    pub fn aggregate_sum(self, group_col: usize, value_col: usize) -> QuerySpec {
+        self.aggregate_fn(group_col, value_col, AggFunc::Sum)
+    }
+
+    /// Replace the output with `GROUP BY group_col, f(value_col)`.
+    pub fn aggregate_fn(mut self, group_col: usize, value_col: usize, func: AggFunc) -> QuerySpec {
+        self.aggregate = Some(AggSpec { group_col, value_col, func });
+        self
+    }
+
+    /// Every column the query touches, in access order and without
+    /// duplicates: filter columns first, then extra output/aggregate
+    /// columns.
+    pub fn accessed_columns(&self) -> Vec<usize> {
+        let mut cols: Vec<usize> = Vec::new();
+        let mut push = |c: usize| {
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        };
+        for (c, _) in &self.filters {
+            push(*c);
+        }
+        match self.aggregate {
+            Some(a) => {
+                push(a.group_col);
+                push(a.value_col);
+            }
+            None => {
+                for &c in &self.output {
+                    push(c);
+                }
+            }
+        }
+        cols
+    }
+}
+
+/// A materialized result: row-major tuples of `width` values.
+///
+/// Tuples are stored flat (`rows * width` values) — building this buffer
+/// *is* the tuple-construction cost the paper measures, without allocator
+/// noise per row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Output column names.
+    pub column_names: Vec<String>,
+    width: usize,
+    data: Vec<Value>,
+}
+
+impl QueryResult {
+    /// An empty result with the given output columns.
+    pub fn new(column_names: Vec<String>) -> QueryResult {
+        let width = column_names.len();
+        QueryResult { column_names, width, data: Vec::new() }
+    }
+
+    /// Build from a flat row-major buffer.
+    pub fn from_flat(column_names: Vec<String>, data: Vec<Value>) -> QueryResult {
+        let width = column_names.len();
+        assert!(width > 0, "result needs at least one column");
+        assert_eq!(data.len() % width, 0, "flat buffer must be rows*width");
+        QueryResult { column_names, width, data }
+    }
+
+    /// Tuple width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of result rows.
+    pub fn num_rows(&self) -> usize {
+        if self.width == 0 {
+            0
+        } else {
+            self.data.len() / self.width
+        }
+    }
+
+    /// Append one row.
+    pub fn push_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.width);
+        self.data.extend_from_slice(row);
+    }
+
+    /// The flat row-major buffer.
+    pub fn flat(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Mutable access to the flat buffer (executors append in place).
+    pub fn flat_mut(&mut self) -> &mut Vec<Value> {
+        &mut self.data
+    }
+
+    /// Iterate rows as slices.
+    pub fn rows(&self) -> impl Iterator<Item = &[Value]> {
+        self.data.chunks_exact(self.width)
+    }
+
+    /// The row at `idx`.
+    pub fn row(&self, idx: usize) -> &[Value] {
+        &self.data[idx * self.width..(idx + 1) * self.width]
+    }
+
+    /// All rows, sorted — the canonical form for comparing strategies,
+    /// whose output orders may differ.
+    pub fn sorted_rows(&self) -> Vec<Vec<Value>> {
+        let mut rows: Vec<Vec<Value>> = self.rows().map(|r| r.to_vec()).collect();
+        rows.sort_unstable();
+        rows
+    }
+}
+
+/// Measurements of one query execution.
+#[derive(Debug, Clone)]
+pub struct ExecStats {
+    /// Strategy that was run.
+    pub strategy: Strategy,
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Simulated-disk activity during execution.
+    pub io: IoStats,
+    /// Result rows produced.
+    pub rows_out: u64,
+    /// Positions that survived all predicates (before aggregation).
+    pub positions_matched: u64,
+    /// Whether a bit-vector decompression fallback was taken.
+    pub decompressed_fetch: bool,
+}
+
+impl ExecStats {
+    /// Wall time plus modeled cold-I/O time, in milliseconds, pricing the
+    /// simulated disk with `seek_us`/`read_us`.
+    pub fn modeled_total_ms(&self, seek_us: f64, read_us: f64) -> f64 {
+        self.wall.as_secs_f64() * 1e3 + self.io.modeled_micros(seek_us, read_us) / 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessed_columns_dedup_and_order() {
+        let q = QuerySpec::select(TableId(0), vec![3, 1])
+            .filter(1, Predicate::lt(5))
+            .filter(2, Predicate::gt(0));
+        assert_eq!(q.accessed_columns(), vec![1, 2, 3]);
+        let qa = QuerySpec::select(TableId(0), vec![])
+            .filter(2, Predicate::lt(5))
+            .aggregate_sum(0, 2);
+        assert_eq!(qa.accessed_columns(), vec![2, 0]);
+    }
+
+    #[test]
+    fn result_flat_roundtrip() {
+        let mut r = QueryResult::new(vec!["a".into(), "b".into()]);
+        r.push_row(&[1, 2]);
+        r.push_row(&[3, 4]);
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.width(), 2);
+        assert_eq!(r.row(1), &[3, 4]);
+        assert_eq!(r.rows().count(), 2);
+        assert_eq!(r.flat(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sorted_rows_canonicalizes() {
+        let a = QueryResult::from_flat(vec!["x".into()], vec![3, 1, 2]);
+        let b = QueryResult::from_flat(vec!["x".into()], vec![1, 2, 3]);
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*width")]
+    fn from_flat_validates_shape() {
+        QueryResult::from_flat(vec!["a".into(), "b".into()], vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn modeled_total_adds_io() {
+        let s = ExecStats {
+            strategy: Strategy::LmParallel,
+            wall: Duration::from_millis(10),
+            io: IoStats { block_reads: 2, seeks: 1 },
+            rows_out: 0,
+            positions_matched: 0,
+            decompressed_fetch: false,
+        };
+        // 10ms wall + (2500 + 2000)us = 14.5ms
+        assert!((s.modeled_total_ms(2500.0, 1000.0) - 14.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,184 @@
+//! A naive row-store reference executor.
+//!
+//! Serves two purposes: the **test oracle** every materialization
+//! strategy is checked against (they must all return the same multiset of
+//! tuples), and the **row-store baseline** a column store is implicitly
+//! compared to throughout the paper — full tuples in memory, predicates
+//! applied tuple-at-a-time.
+
+use std::collections::HashMap;
+
+use matstrat_common::{Error, Result, Value};
+
+use crate::ops::agg::AggFunc;
+use crate::query::{QueryResult, QuerySpec};
+
+/// An in-memory row table: one `Vec<Value>` per row.
+#[derive(Debug, Clone)]
+pub struct RowTable {
+    column_names: Vec<String>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl RowTable {
+    /// Build from columns (transposing into rows).
+    pub fn from_columns(column_names: Vec<String>, columns: &[&[Value]]) -> Result<RowTable> {
+        if column_names.len() != columns.len() {
+            return Err(Error::invalid("names/columns mismatch"));
+        }
+        let n = columns.first().map_or(0, |c| c.len());
+        if columns.iter().any(|c| c.len() != n) {
+            return Err(Error::invalid("columns must have equal length"));
+        }
+        let mut rows = Vec::with_capacity(n);
+        for i in 0..n {
+            rows.push(columns.iter().map(|c| c[i]).collect());
+        }
+        Ok(RowTable { column_names, rows })
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Column names.
+    pub fn column_names(&self) -> &[String] {
+        &self.column_names
+    }
+
+    /// Execute a [`QuerySpec`] naively: filter each row against every
+    /// predicate, then project or aggregate.
+    pub fn run(&self, q: &QuerySpec) -> Result<QueryResult> {
+        let ncols = self.column_names.len();
+        for (c, _) in &q.filters {
+            if *c >= ncols {
+                return Err(Error::invalid(format!("filter column {c} out of range")));
+            }
+        }
+        let surviving = self.rows.iter().filter(|row| {
+            q.filters.iter().all(|(c, p)| p.matches(row[*c]))
+        });
+        match q.aggregate {
+            Some(a) => {
+                if a.group_col >= ncols || a.value_col >= ncols {
+                    return Err(Error::invalid("aggregate column out of range"));
+                }
+                // Independent (non-Aggregator) implementation: the oracle
+                // must not share code with the executor under test.
+                let mut groups: HashMap<Value, Vec<Value>> = HashMap::new();
+                for row in surviving {
+                    groups
+                        .entry(row[a.group_col])
+                        .or_default()
+                        .push(row[a.value_col]);
+                }
+                let mut pairs: Vec<(Value, Value)> = groups
+                    .into_iter()
+                    .map(|(g, vs)| {
+                        let agg = match a.func {
+                            AggFunc::Sum => vs.iter().sum(),
+                            AggFunc::Count => vs.len() as Value,
+                            AggFunc::Min => *vs.iter().min().unwrap(),
+                            AggFunc::Max => *vs.iter().max().unwrap(),
+                        };
+                        (g, agg)
+                    })
+                    .collect();
+                pairs.sort_unstable_by_key(|&(g, _)| g);
+                let names = vec![
+                    self.column_names[a.group_col].clone(),
+                    format!("{}_{}", a.func.name(), self.column_names[a.value_col]),
+                ];
+                let mut flat = Vec::with_capacity(pairs.len() * 2);
+                for (g, s) in pairs {
+                    flat.push(g);
+                    flat.push(s);
+                }
+                Ok(QueryResult::from_flat(names, flat))
+            }
+            None => {
+                for &c in &q.output {
+                    if c >= ncols {
+                        return Err(Error::invalid(format!("output column {c} out of range")));
+                    }
+                }
+                if q.output.is_empty() {
+                    return Err(Error::invalid("non-aggregated query must output columns"));
+                }
+                let names: Vec<String> =
+                    q.output.iter().map(|&c| self.column_names[c].clone()).collect();
+                let mut flat = Vec::new();
+                for row in surviving {
+                    for &c in &q.output {
+                        flat.push(row[c]);
+                    }
+                }
+                Ok(QueryResult::from_flat(names, flat))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_common::{Predicate, TableId};
+
+    fn table() -> RowTable {
+        let a: Vec<Value> = (0..100).map(|i| i / 10).collect();
+        let b: Vec<Value> = (0..100).map(|i| i % 4).collect();
+        RowTable::from_columns(vec!["a".into(), "b".into()], &[&a, &b]).unwrap()
+    }
+
+    #[test]
+    fn selection_reference() {
+        let t = table();
+        let q = QuerySpec::select(TableId(0), vec![0, 1])
+            .filter(0, Predicate::lt(3))
+            .filter(1, Predicate::eq(1));
+        let r = t.run(&q).unwrap();
+        // a<3 → rows 0..30; b==1 → i%4==1 → 8 rows total (1,5,...,29).
+        assert_eq!(r.num_rows(), 8);
+        assert!(r.rows().all(|row| row[0] < 3 && row[1] == 1));
+    }
+
+    #[test]
+    fn aggregation_reference() {
+        let t = table();
+        let q = QuerySpec::select(TableId(0), vec![]).aggregate_sum(0, 1);
+        let r = t.run(&q).unwrap();
+        assert_eq!(r.num_rows(), 10);
+        // Compare each group's sum to a directly computed reference.
+        for row in r.rows() {
+            let g = row[0];
+            let expected: Value = (0..100)
+                .filter(|i| i / 10 == g)
+                .map(|i| i % 4)
+                .sum();
+            assert_eq!(row[1], expected, "group {g}");
+        }
+        assert_eq!(r.column_names, vec!["a".to_string(), "sum_b".to_string()]);
+    }
+
+    #[test]
+    fn out_of_range_columns_rejected() {
+        let t = table();
+        assert!(t.run(&QuerySpec::select(TableId(0), vec![5])).is_err());
+        assert!(t
+            .run(&QuerySpec::select(TableId(0), vec![0]).filter(9, Predicate::lt(1)))
+            .is_err());
+        assert!(t
+            .run(&QuerySpec::select(TableId(0), vec![]).aggregate_sum(0, 9))
+            .is_err());
+        assert!(t.run(&QuerySpec::select(TableId(0), vec![])).is_err());
+    }
+
+    #[test]
+    fn from_columns_validates() {
+        let a = vec![1, 2];
+        let b = vec![1];
+        assert!(RowTable::from_columns(vec!["a".into(), "b".into()], &[&a, &b]).is_err());
+        assert!(RowTable::from_columns(vec!["a".into()], &[&a, &b]).is_err());
+    }
+}

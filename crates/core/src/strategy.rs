@@ -1,0 +1,86 @@
+//! The four materialization strategies.
+
+use std::fmt;
+
+use matstrat_model::plans::PlanKind;
+
+/// When and how tuples are constructed (§3.5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Early materialization, pipelined: a DS2 leaf produces
+    /// (position, value) tuples; each later column is added by a DS4
+    /// operator that jumps to the surviving positions.
+    EmPipelined,
+    /// Early materialization, parallel: an SPC leaf scans all needed
+    /// columns together and constructs full tuples immediately.
+    EmParallel,
+    /// Late materialization, pipelined: a DS1 leaf produces positions;
+    /// each later column is fetched (DS3) only at surviving positions and
+    /// filtered; values are stitched at the top.
+    LmPipelined,
+    /// Late materialization, parallel: DS1 on every predicate column,
+    /// positional AND, then DS3 fetches and a final MERGE.
+    LmParallel,
+}
+
+impl Strategy {
+    /// All four strategies, in the paper's presentation order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::EmPipelined,
+        Strategy::EmParallel,
+        Strategy::LmPipelined,
+        Strategy::LmParallel,
+    ];
+
+    /// Whether this is a late-materialization strategy.
+    pub fn is_late(self) -> bool {
+        matches!(self, Strategy::LmPipelined | Strategy::LmParallel)
+    }
+
+    /// The cost-model plan this strategy corresponds to.
+    pub fn plan_kind(self) -> PlanKind {
+        match self {
+            Strategy::EmPipelined => PlanKind::EmPipelined,
+            Strategy::EmParallel => PlanKind::EmParallel,
+            Strategy::LmPipelined => PlanKind::LmPipelined,
+            Strategy::LmParallel => PlanKind::LmParallel,
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        self.plan_kind().name()
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn late_flags() {
+        assert!(Strategy::LmParallel.is_late());
+        assert!(Strategy::LmPipelined.is_late());
+        assert!(!Strategy::EmParallel.is_late());
+        assert!(!Strategy::EmPipelined.is_late());
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(Strategy::EmPipelined.to_string(), "EM-pipelined");
+        assert_eq!(Strategy::LmParallel.to_string(), "LM-parallel");
+    }
+
+    #[test]
+    fn plan_kind_mapping_is_bijective() {
+        use std::collections::HashSet;
+        let kinds: HashSet<_> = Strategy::ALL.iter().map(|s| s.plan_kind()).collect();
+        assert_eq!(kinds.len(), 4);
+    }
+}

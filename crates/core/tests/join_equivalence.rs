@@ -1,0 +1,204 @@
+//! Property tests for the join: the three inner-table materialization
+//! strategies must agree with a naive nested-loop oracle on arbitrary
+//! data — including duplicate keys, unmatched keys, filters, and
+//! bit-vector right columns.
+
+use matstrat_common::{Predicate, Value};
+use matstrat_core::{Database, InnerStrategy, JoinSpec};
+use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+#[derive(Debug, Clone)]
+struct JoinCase {
+    left_keys: Vec<Value>,
+    left_payload: Vec<Value>,
+    right_keys: Vec<Value>,
+    right_payload: Vec<Value>,
+    filter_cutoff: Value,
+    right_enc: EncodingKind,
+}
+
+fn arb_case() -> impl PropStrategy<Value = JoinCase> {
+    (
+        prop::collection::vec((0i64..30, 0i64..100), 1..120),
+        prop::collection::vec((0i64..30, 0i64..8), 1..60),
+        0i64..32,
+        prop::sample::select(&[
+            EncodingKind::Plain,
+            EncodingKind::Rle,
+            EncodingKind::BitVec,
+            EncodingKind::Dict,
+        ][..]),
+    )
+        .prop_map(|(left, mut right, filter_cutoff, right_enc)| {
+            // Right table sorted by key (its declared primary key order).
+            right.sort_unstable();
+            JoinCase {
+                left_keys: left.iter().map(|r| r.0).collect(),
+                left_payload: left.iter().map(|r| r.1).collect(),
+                right_keys: right.iter().map(|r| r.0).collect(),
+                right_payload: right.iter().map(|r| r.1).collect(),
+                filter_cutoff,
+                right_enc,
+            }
+        })
+}
+
+fn oracle(case: &JoinCase) -> Vec<Vec<Value>> {
+    let mut rows = Vec::new();
+    for (i, &lk) in case.left_keys.iter().enumerate() {
+        if lk >= case.filter_cutoff {
+            continue;
+        }
+        for (j, &rk) in case.right_keys.iter().enumerate() {
+            if lk == rk {
+                rows.push(vec![case.left_payload[i], case.right_payload[j]]);
+            }
+        }
+    }
+    rows.sort_unstable();
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn join_strategies_match_nested_loop_oracle(case in arb_case()) {
+        let db = Database::in_memory();
+        let left = db
+            .load_projection(
+                &ProjectionSpec::new("l")
+                    .column("k", EncodingKind::Plain, SortOrder::None)
+                    .column("v", EncodingKind::Plain, SortOrder::None),
+                &[&case.left_keys, &case.left_payload],
+            )
+            .unwrap();
+        // Right payload in the case's encoding; keys sorted → Plain PK.
+        let right = db
+            .load_projection(
+                &ProjectionSpec::new("r")
+                    .column("k", EncodingKind::Plain, SortOrder::Primary)
+                    .column("v", case.right_enc, SortOrder::None),
+                &[&case.right_keys, &case.right_payload],
+            )
+            .unwrap();
+        let spec = JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: Some((0, Predicate::lt(case.filter_cutoff))),
+            left_output: vec![1],
+            right_output: vec![1],
+        };
+        let expected = oracle(&case);
+        for inner in InnerStrategy::ALL {
+            let got = db.run_join(&spec, inner).unwrap().sorted_rows();
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "{:?} right_enc={:?}",
+                inner,
+                case.right_enc
+            );
+        }
+    }
+
+    #[test]
+    fn join_without_filter_or_left_output(case in arb_case()) {
+        let db = Database::in_memory();
+        let left = db
+            .load_projection(
+                &ProjectionSpec::new("l")
+                    .column("k", EncodingKind::Plain, SortOrder::None),
+                &[&case.left_keys],
+            )
+            .unwrap();
+        let right = db
+            .load_projection(
+                &ProjectionSpec::new("r")
+                    .column("k", EncodingKind::Plain, SortOrder::Primary)
+                    .column("v", case.right_enc, SortOrder::None),
+                &[&case.right_keys, &case.right_payload],
+            )
+            .unwrap();
+        let spec = JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![],
+            right_output: vec![1],
+        };
+        // Oracle: every right payload matched per left key occurrence.
+        let mut expected: Vec<Vec<Value>> = Vec::new();
+        for &lk in &case.left_keys {
+            for (j, &rk) in case.right_keys.iter().enumerate() {
+                if lk == rk {
+                    expected.push(vec![case.right_payload[j]]);
+                }
+            }
+        }
+        expected.sort_unstable();
+        for inner in InnerStrategy::ALL {
+            let got = db.run_join(&spec, inner).unwrap().sorted_rows();
+            prop_assert_eq!(&got, &expected, "{:?}", inner);
+        }
+    }
+}
+
+#[test]
+fn join_rejects_empty_output() {
+    let db = Database::in_memory();
+    let keys: Vec<Value> = vec![1, 2, 3];
+    let t = db
+        .load_projection(
+            &ProjectionSpec::new("t").column("k", EncodingKind::Plain, SortOrder::Primary),
+            &[&keys],
+        )
+        .unwrap();
+    let spec = JoinSpec {
+        left: t,
+        right: t,
+        left_key: 0,
+        right_key: 0,
+        left_filter: None,
+        left_output: vec![],
+        right_output: vec![],
+    };
+    assert!(db.run_join(&spec, InnerStrategy::Materialized).is_err());
+}
+
+#[test]
+fn join_with_empty_match_set() {
+    let db = Database::in_memory();
+    let lk: Vec<Value> = vec![100, 200];
+    let rk: Vec<Value> = vec![1, 2];
+    let left = db
+        .load_projection(
+            &ProjectionSpec::new("l").column("k", EncodingKind::Plain, SortOrder::Primary),
+            &[&lk],
+        )
+        .unwrap();
+    let right = db
+        .load_projection(
+            &ProjectionSpec::new("r").column("k", EncodingKind::Plain, SortOrder::Primary),
+            &[&rk],
+        )
+        .unwrap();
+    let spec = JoinSpec {
+        left,
+        right,
+        left_key: 0,
+        right_key: 0,
+        left_filter: None,
+        left_output: vec![0],
+        right_output: vec![0],
+    };
+    for inner in InnerStrategy::ALL {
+        assert_eq!(db.run_join(&spec, inner).unwrap().num_rows(), 0, "{inner:?}");
+    }
+}

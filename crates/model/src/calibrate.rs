@@ -1,0 +1,157 @@
+//! Host calibration of the CPU constants.
+//!
+//! Table 2 was produced by "running the small segments of code that only
+//! performed the variable in question". This module does the same on the
+//! current machine: tight loops over the primitive operations, timed with
+//! `std::time::Instant`, divided by iteration count. Results are
+//! best-effort (modern CPUs make single-operation timing noisy) but land
+//! in the right order of magnitude, which is all the model needs — its
+//! predictions are shapes and crossover points, not absolute times.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::constants::Constants;
+
+/// A function call whose inlining is suppressed, so a call round-trip is
+/// actually measured (the paper's `FC`).
+#[inline(never)]
+fn opaque_add(a: i64, b: i64) -> i64 {
+    black_box(a.wrapping_add(b))
+}
+
+fn time_per_iter(iters: u64, f: impl FnOnce()) -> f64 {
+    let t0 = Instant::now();
+    f();
+    t0.elapsed().as_secs_f64() * 1e6 / iters as f64
+}
+
+/// Measure `FC`: cost of a non-inlined function call (µs).
+pub fn measure_fc(iters: u64) -> f64 {
+    time_per_iter(iters, || {
+        let mut acc = 0i64;
+        for i in 0..iters {
+            acc = opaque_add(acc, i as i64);
+        }
+        black_box(acc);
+    })
+}
+
+/// Measure `TIC_COL`: one step of an iterator over a contiguous column
+/// of values (µs).
+pub fn measure_tic_col(iters: u64) -> f64 {
+    let data: Vec<i64> = (0..iters as i64).collect();
+    time_per_iter(iters, || {
+        let mut acc = 0i64;
+        for &v in black_box(&data) {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
+    })
+}
+
+/// Measure `TIC_TUP`: one step of an iterator over wide tuples, touching
+/// multiple fields per step (µs).
+pub fn measure_tic_tup(iters: u64) -> f64 {
+    let data: Vec<(u64, i64, i64, i64)> =
+        (0..iters).map(|i| (i, i as i64, (i * 3) as i64, (i * 7) as i64)).collect();
+    time_per_iter(iters, || {
+        let mut acc = 0i64;
+        for t in black_box(&data) {
+            acc = acc
+                .wrapping_add(t.0 as i64)
+                .wrapping_add(t.1)
+                .wrapping_add(t.2)
+                .wrapping_add(t.3);
+        }
+        black_box(acc);
+    })
+}
+
+/// Measure `BIC`: overhead of advancing a block iterator — a dynamic
+/// dispatch plus bounds bookkeeping per step (µs).
+pub fn measure_bic(iters: u64) -> f64 {
+    trait Next {
+        fn next_block(&mut self) -> Option<u64>;
+    }
+    struct Counter {
+        at: u64,
+        end: u64,
+    }
+    impl Next for Counter {
+        fn next_block(&mut self) -> Option<u64> {
+            if self.at < self.end {
+                self.at += 1;
+                Some(self.at)
+            } else {
+                None
+            }
+        }
+    }
+    // `black_box` keeps the concrete type opaque so the virtual call is
+    // actually dispatched (otherwise LLVM devirtualizes and the loop
+    // measures nothing).
+    let mut it: Box<dyn Next> = black_box(Box::new(Counter { at: 0, end: iters }));
+    time_per_iter(iters, || {
+        let mut acc = 0u64;
+        while let Some(v) = it.next_block() {
+            acc = acc.wrapping_add(v);
+        }
+        black_box(acc);
+    })
+}
+
+/// Re-measure the CPU constants on this host, keeping the synthetic disk
+/// constants (SEEK/READ/PF) from `base`.
+pub fn calibrate(base: Constants) -> Constants {
+    const N: u64 = 2_000_000;
+    // Warm up the frequency governor.
+    black_box(measure_tic_col(N / 4));
+    Constants {
+        bic: measure_bic(N).max(1e-6),
+        tic_tup: measure_tic_tup(N).max(1e-6),
+        tic_col: measure_tic_col(N).max(1e-6),
+        fc: measure_fc(N).max(1e-6),
+        ..base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurements_are_positive_and_sane() {
+        // Loose sanity bounds: each primitive costs between 0.01ns and 1µs.
+        for v in [
+            measure_fc(100_000),
+            measure_tic_col(100_000),
+            measure_tic_tup(100_000),
+            measure_bic(100_000),
+        ] {
+            assert!(v > 0.0, "measurement must be positive");
+            assert!(v < 1.0, "no primitive should cost a microsecond: {v}");
+        }
+    }
+
+    #[test]
+    fn calibrate_keeps_disk_constants() {
+        let base = Constants::paper();
+        let cal = calibrate(base);
+        assert_eq!(cal.seek, base.seek);
+        assert_eq!(cal.read, base.read);
+        assert_eq!(cal.pf, base.pf);
+        assert_eq!(cal.word_bits, base.word_bits);
+        assert!(cal.fc > 0.0 && cal.tic_col > 0.0 && cal.tic_tup > 0.0 && cal.bic > 0.0);
+    }
+
+    #[test]
+    fn tuple_iteration_costs_at_least_column_iteration() {
+        // The defining relation behind the paper's constants: touching a
+        // wide tuple per step costs no less than touching one column
+        // value. (Equality is possible on very fast hosts; allow slack.)
+        let col = measure_tic_col(500_000);
+        let tup = measure_tic_tup(500_000);
+        assert!(tup > col * 0.8, "tic_tup {tup} should not be far below tic_col {col}");
+    }
+}

@@ -1,0 +1,79 @@
+//! Model constants (Table 2 of the paper).
+
+/// CPU and I/O constants, in microseconds (and blocks for `PF`).
+///
+/// Defaults are the paper's Table 2, measured on a 3.8 GHz Pentium 4 in
+/// 2006. Run [`crate::calibrate::calibrate`] to re-measure the CPU
+/// constants on the current host; the disk constants stay synthetic
+/// because the simulated disk prices cold I/O with exactly these numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constants {
+    /// Block-iterator `getNext()` call (µs).
+    pub bic: f64,
+    /// Tuple-iterator `getNext()` call (µs).
+    pub tic_tup: f64,
+    /// Column-iterator `getNext()` call (µs).
+    pub tic_col: f64,
+    /// Function call (µs).
+    pub fc: f64,
+    /// Prefetch size in blocks.
+    pub pf: f64,
+    /// Disk seek (µs).
+    pub seek: f64,
+    /// One 64 KB block read (µs).
+    pub read: f64,
+    /// Processor word size in bits, for bit-list AND costs. The paper
+    /// says "32 (or 64 depending on processor word size)"; modern hosts
+    /// use 64.
+    pub word_bits: f64,
+}
+
+impl Constants {
+    /// Table 2 of the paper.
+    pub fn paper() -> Constants {
+        Constants {
+            bic: 0.020,
+            tic_tup: 0.065,
+            tic_col: 0.014,
+            fc: 0.009,
+            pf: 1.0,
+            seek: 2500.0,
+            read: 1000.0,
+            word_bits: 32.0,
+        }
+    }
+
+    /// Paper disk constants with 64-bit words (our hosts).
+    pub fn host_defaults() -> Constants {
+        Constants { word_bits: 64.0, ..Constants::paper() }
+    }
+}
+
+impl Default for Constants {
+    fn default() -> Constants {
+        Constants::host_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_values_match_table2() {
+        let c = Constants::paper();
+        assert_eq!(c.bic, 0.020);
+        assert_eq!(c.tic_tup, 0.065);
+        assert_eq!(c.tic_col, 0.014);
+        assert_eq!(c.fc, 0.009);
+        assert_eq!(c.pf, 1.0);
+        assert_eq!(c.seek, 2500.0);
+        assert_eq!(c.read, 1000.0);
+    }
+
+    #[test]
+    fn host_defaults_use_64bit_words() {
+        assert_eq!(Constants::host_defaults().word_bits, 64.0);
+        assert_eq!(Constants::default().word_bits, 64.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Analytical cost model for materialization strategies (§3 of the paper).
+//!
+//! The model prices each operator of a query plan in microseconds of CPU
+//! and I/O, using the constants of Table 1/2:
+//!
+//! | symbol | meaning |
+//! |---|---|
+//! | `\|Ci\|` | number of disk blocks in column i |
+//! | `\|\|Ci\|\|` | number of rows in column i |
+//! | `\|\|POSLIST\|\|` | number of positions in a position list |
+//! | `F` | fraction of the column's pages already in the buffer pool |
+//! | `SF` | selectivity factor of a predicate |
+//! | `BIC` | block-iterator `getNext()` CPU time |
+//! | `TIC_TUP` | tuple-iterator `getNext()` CPU time |
+//! | `TIC_COL` | column-iterator `getNext()` CPU time |
+//! | `FC` | function-call time |
+//! | `PF` | prefetch size in blocks |
+//! | `SEEK` | disk seek time |
+//! | `READ` | one-block read time |
+//! | `RL` | average run length (1 if uncompressed) |
+//!
+//! [`ops`] implements the per-operator formulas (DS cases 1–4, AND,
+//! MERGE, SPC) exactly as printed in the paper's Figures 1–6; [`plans`]
+//! composes them into end-to-end estimates for the four strategies on the
+//! paper's selection and aggregation queries; [`calibrate`] re-measures
+//! the CPU constants on the host, the way Table 2 was produced ("running
+//! the small segments of code that only performed the variable in
+//! question").
+
+pub mod calibrate;
+pub mod constants;
+pub mod ops;
+pub mod plans;
+
+pub use constants::Constants;
+pub use ops::{AndInput, ColumnParams};
+pub use plans::{CostBreakdown, CostModel, QueryParams};

@@ -1,0 +1,452 @@
+//! Whole-plan cost composition for the four materialization strategies.
+//!
+//! The paper models the query
+//!
+//! ```sql
+//! SELECT shipdate, linenum FROM lineitem
+//! WHERE shipdate < X AND linenum < Y
+//! ```
+//!
+//! (optionally with `GROUP BY shipdate, SUM(linenum)` on top) under the
+//! four strategies of §3.5. [`CostModel`] composes the per-operator
+//! formulas of [`crate::ops`] into end-to-end estimates; these are the
+//! curves of Figure 10, and the decision procedure the paper's §6
+//! suggests embedding in an optimizer.
+
+use crate::constants::Constants;
+use crate::ops::{and_cost, ds1, ds2, ds3, ds4, merge_cost, spc, AndInput, ColumnParams};
+
+/// Which of the four strategy plans to price.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlanKind {
+    /// DS2 → DS4 chain: tuples grow one column at a time.
+    EmPipelined,
+    /// SPC leaf: full tuples constructed immediately.
+    EmParallel,
+    /// DS1 → DS3 chain: positions flow, later columns only touched at
+    /// surviving positions.
+    LmPipelined,
+    /// DS1 ∥ DS1 → AND → DS3 ∥ DS3 → MERGE.
+    LmParallel,
+}
+
+impl PlanKind {
+    /// All four strategies.
+    pub const ALL: [PlanKind; 4] = [
+        PlanKind::EmPipelined,
+        PlanKind::EmParallel,
+        PlanKind::LmPipelined,
+        PlanKind::LmParallel,
+    ];
+
+    /// Short name used in harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::EmPipelined => "EM-pipelined",
+            PlanKind::EmParallel => "EM-parallel",
+            PlanKind::LmPipelined => "LM-pipelined",
+            PlanKind::LmParallel => "LM-parallel",
+        }
+    }
+}
+
+/// CPU/IO split of an estimate, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CostBreakdown {
+    /// CPU microseconds.
+    pub cpu_us: f64,
+    /// I/O microseconds (cold-disk model).
+    pub io_us: f64,
+}
+
+impl CostBreakdown {
+    fn add(&mut self, (cpu, io): (f64, f64)) -> &mut Self {
+        self.cpu_us += cpu;
+        self.io_us += io;
+        self
+    }
+
+    fn add_cpu(&mut self, cpu: f64) -> &mut Self {
+        self.cpu_us += cpu;
+        self
+    }
+
+    /// Total microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.cpu_us + self.io_us
+    }
+
+    /// Total milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_us() / 1000.0
+    }
+}
+
+/// Parameters of the two-predicate selection/aggregation query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryParams {
+    /// Row count `N` of the projection.
+    pub n: f64,
+    /// First predicate column (the paper's SHIPDATE).
+    pub c1: ColumnParams,
+    /// Second predicate column (the paper's LINENUM).
+    pub c2: ColumnParams,
+    /// Selectivity of the first predicate.
+    pub sf1: f64,
+    /// Selectivity of the second predicate.
+    pub sf2: f64,
+    /// `RL_p` of the position list DS1 emits for column 1.
+    pub pos_run_len1: f64,
+    /// `RL_p` of the position list DS1 emits for column 2.
+    pub pos_run_len2: f64,
+    /// Whether DS1 on column 1 emits a bit-string (bit-vector encoding).
+    pub bitstring1: bool,
+    /// Whether DS1 on column 2 emits a bit-string.
+    pub bitstring2: bool,
+    /// Whether column 2 supports DS3 (false for bit-vector encoding —
+    /// disables LM-pipelined and forces a decompress on fetch).
+    pub c2_supports_ds3: bool,
+    /// Whether value fetch on column 1 must decompress the whole column
+    /// (bit-vector encoding).
+    pub c1_decompress_fetch: bool,
+    /// Whether value fetch on column 2 must decompress the whole column.
+    pub c2_decompress_fetch: bool,
+    /// `true` for the aggregation query (GROUP BY c1, SUM(c2)).
+    pub aggregated: bool,
+    /// Number of groups the aggregation produces.
+    pub num_groups: f64,
+}
+
+impl QueryParams {
+    /// Plain selection query with sensible defaults: positions ungrouped
+    /// (`RL_p` from the column run lengths), value encodings supporting
+    /// DS3.
+    pub fn selection(n: f64, c1: ColumnParams, c2: ColumnParams, sf1: f64, sf2: f64) -> QueryParams {
+        QueryParams {
+            n,
+            c1,
+            c2,
+            sf1,
+            sf2,
+            pos_run_len1: c1.run_len,
+            pos_run_len2: c2.run_len,
+            bitstring1: false,
+            bitstring2: false,
+            c2_supports_ds3: true,
+            c1_decompress_fetch: false,
+            c2_decompress_fetch: false,
+            aggregated: false,
+            num_groups: 0.0,
+        }
+    }
+
+    /// Rows surviving both predicates.
+    pub fn out_rows(&self) -> f64 {
+        self.n * self.sf1 * self.sf2
+    }
+}
+
+/// The assembled analytical model.
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    constants: Constants,
+}
+
+impl CostModel {
+    /// Model with the given constants.
+    pub fn new(constants: Constants) -> CostModel {
+        CostModel { constants }
+    }
+
+    /// The constants in use.
+    pub fn constants(&self) -> &Constants {
+        &self.constants
+    }
+
+    /// Final consumption cost: iterate results, or aggregate them.
+    ///
+    /// * EM plans hand tuples to the consumer: the aggregator pays a
+    ///   tuple-iterator step per input; a plain query pays one per output.
+    /// * LM plans (aggregated) feed the aggregator columns directly:
+    ///   it consumes value *runs* (`TICCOL + FC` per run, the operate-on-
+    ///   compressed-data win) and only `num_groups` tuples are built.
+    fn consume_em(&self, q: &QueryParams) -> f64 {
+        let c = &self.constants;
+        if q.aggregated {
+            q.out_rows() * c.tic_tup + q.num_groups * c.tic_tup
+        } else {
+            q.out_rows() * c.tic_tup
+        }
+    }
+
+    fn consume_lm(&self, q: &QueryParams) -> f64 {
+        let c = &self.constants;
+        if q.aggregated {
+            // Group column arrives in runs of its stored run length.
+            let runs = q.out_rows() / q.c1.run_len.max(1.0);
+            runs * (c.tic_col + c.fc) + q.out_rows() * c.fc + q.num_groups * c.tic_tup
+        } else {
+            // Tuples must be merged and iterated.
+            merge_cost(q.out_rows(), 2.0, c) + q.out_rows() * c.tic_tup
+        }
+    }
+
+    /// Extra CPU when fetching values from a bit-vector column: the whole
+    /// column must be decompressed (one column-iterator step per row).
+    fn decompress_penalty(&self, col: &ColumnParams) -> f64 {
+        col.rows * self.constants.tic_col
+    }
+
+    /// EM-parallel: SPC over both columns, then consume.
+    pub fn em_parallel(&self, q: &QueryParams) -> CostBreakdown {
+        let c = &self.constants;
+        let mut cost = CostBreakdown::default();
+        cost.add(spc(&[q.c1, q.c2], &[q.sf1, q.sf2], c));
+        if q.c1_decompress_fetch {
+            cost.add_cpu(self.decompress_penalty(&q.c1));
+        }
+        if q.c2_decompress_fetch {
+            cost.add_cpu(self.decompress_penalty(&q.c2));
+        }
+        cost.add_cpu(self.consume_em(q));
+        cost
+    }
+
+    /// EM-pipelined: DS2 on column 1, DS4 on column 2, then consume.
+    pub fn em_pipelined(&self, q: &QueryParams) -> CostBreakdown {
+        let c = &self.constants;
+        let mut cost = CostBreakdown::default();
+        cost.add(ds2(&q.c1, q.sf1, c));
+        if q.c1_decompress_fetch {
+            cost.add_cpu(self.decompress_penalty(&q.c1));
+        }
+        cost.add(ds4(&q.c2, q.n * q.sf1, q.sf2, c));
+        cost.add_cpu(self.consume_em(q));
+        cost
+    }
+
+    /// LM-parallel: two DS1s, AND, two (re-access) DS3s, merge/aggregate.
+    pub fn lm_parallel(&self, q: &QueryParams) -> CostBreakdown {
+        let c = &self.constants;
+        let mut cost = CostBreakdown::default();
+        cost.add(ds1(&q.c1, q.sf1, c));
+        cost.add(ds1(&q.c2, q.sf2, c));
+        cost.add_cpu(and_cost(
+            &[
+                AndInput {
+                    positions: q.n * q.sf1,
+                    run_len: q.pos_run_len1,
+                    is_bitstring: q.bitstring1,
+                },
+                AndInput {
+                    positions: q.n * q.sf2,
+                    run_len: q.pos_run_len2,
+                    is_bitstring: q.bitstring2,
+                },
+            ],
+            c,
+        ));
+        // AND output: ranges only if both inputs were ranges.
+        let out_runs = if q.bitstring1 || q.bitstring2 {
+            1.0
+        } else {
+            q.pos_run_len1.min(q.pos_run_len2)
+        };
+        let out = q.out_rows();
+        // Re-access both columns at the surviving positions (multi-column
+        // optimization: I/O is zero).
+        cost.add(ds3(&q.c1, out, out_runs, q.sf1 * q.sf2, true, c));
+        if q.c1_decompress_fetch {
+            cost.add_cpu(self.decompress_penalty(&q.c1));
+        }
+        cost.add(ds3(&q.c2, out, out_runs, q.sf1 * q.sf2, true, c));
+        if q.c2_decompress_fetch {
+            cost.add_cpu(self.decompress_penalty(&q.c2));
+        }
+        cost.add_cpu(self.consume_lm(q));
+        cost
+    }
+
+    /// LM-pipelined: DS1 on column 1; DS3 on column 2 at only the
+    /// surviving positions (first access — I/O is the `SF`-scaled read);
+    /// predicate on the fetched subset; final re-access of column 1.
+    ///
+    /// Returns `None` when column 2 does not support DS3 (bit-vector).
+    pub fn lm_pipelined(&self, q: &QueryParams) -> Option<CostBreakdown> {
+        if !q.c2_supports_ds3 {
+            return None;
+        }
+        let c = &self.constants;
+        let mut cost = CostBreakdown::default();
+        cost.add(ds1(&q.c1, q.sf1, c));
+        // Fetch c2 values at positions passing predicate 1, then filter.
+        cost.add(ds3(&q.c2, q.n * q.sf1, q.pos_run_len1, q.sf1, false, c));
+        cost.add_cpu(q.n * q.sf1 * c.fc); // apply predicate 2 to the subset
+        // Re-access c1 for its values at the final positions.
+        let out = q.out_rows();
+        let out_runs = q.pos_run_len1.min(q.pos_run_len2);
+        cost.add(ds3(&q.c1, out, out_runs, q.sf1 * q.sf2, true, c));
+        if q.c1_decompress_fetch {
+            cost.add_cpu(self.decompress_penalty(&q.c1));
+        }
+        cost.add_cpu(self.consume_lm(q));
+        Some(cost)
+    }
+
+    /// Price one plan; `None` when the plan is unsupported for the
+    /// parameters.
+    pub fn estimate(&self, kind: PlanKind, q: &QueryParams) -> Option<CostBreakdown> {
+        match kind {
+            PlanKind::EmPipelined => Some(self.em_pipelined(q)),
+            PlanKind::EmParallel => Some(self.em_parallel(q)),
+            PlanKind::LmPipelined => self.lm_pipelined(q),
+            PlanKind::LmParallel => Some(self.lm_parallel(q)),
+        }
+    }
+
+    /// The cheapest supported plan — the §6 optimizer decision.
+    pub fn best_plan(&self, q: &QueryParams) -> (PlanKind, CostBreakdown) {
+        PlanKind::ALL
+            .iter()
+            .filter_map(|&k| self.estimate(k, q).map(|c| (k, c)))
+            .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
+            .expect("EM plans are always supported")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(Constants::paper())
+    }
+
+    /// Paper-scale RLE setup (§3.7): shipdate 1 block / 3,800 "tuples"
+    /// (runs), linenum 5 blocks / 26,726 runs, 60 M rows.
+    fn rle_params(sf1: f64) -> QueryParams {
+        let n = 60_000_000.0;
+        let c1 = ColumnParams { blocks: 1.0, rows: n, run_len: n / 3800.0, resident: 0.0 };
+        let c2 = ColumnParams { blocks: 5.0, rows: n, run_len: n / 26_726.0, resident: 0.0 };
+        let mut q = QueryParams::selection(n, c1, c2, sf1, 0.96);
+        // Positions from a range predicate over the semi-sorted shipdate
+        // coalesce into a few long runs (one per RETURNFLAG group).
+        q.pos_run_len1 = (n * sf1 / 3.0).max(1.0);
+        q.pos_run_len2 = (n * 0.96 / 26_726.0).max(1.0);
+        q
+    }
+
+    fn uncompressed_params(sf1: f64) -> QueryParams {
+        let n = 60_000_000.0;
+        let c1 = ColumnParams { blocks: 1.0, rows: n, run_len: n / 3800.0, resident: 0.0 };
+        let c2 = ColumnParams { blocks: 916.0, rows: n, run_len: 1.0, resident: 0.0 };
+        let mut q = QueryParams::selection(n, c1, c2, sf1, 0.96);
+        q.pos_run_len1 = (n * sf1 / 3.0).max(1.0);
+        q.pos_run_len2 = 1.0;
+        q
+    }
+
+    #[test]
+    fn costs_increase_with_selectivity() {
+        let m = model();
+        for kind in PlanKind::ALL {
+            let lo = m.estimate(kind, &rle_params(0.1));
+            let hi = m.estimate(kind, &rle_params(0.9));
+            if let (Some(lo), Some(hi)) = (lo, hi) {
+                assert!(
+                    hi.total_us() > lo.total_us(),
+                    "{kind:?} should cost more at higher selectivity"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rle_lm_beats_em_at_high_selectivity() {
+        // Figure 11(b): both LM strategies beat both EM strategies for
+        // RLE-compressed data once selectivity is non-trivial.
+        let m = model();
+        let q = rle_params(0.5);
+        let lm = m.lm_parallel(&q).total_us();
+        let lmp = m.lm_pipelined(&q).unwrap().total_us();
+        let emp = m.em_parallel(&q).total_us();
+        let emd = m.em_pipelined(&q).total_us();
+        assert!(lm < emp && lm < emd, "LM-parallel {lm} vs EM {emp}/{emd}");
+        assert!(lmp < emp && lmp < emd);
+    }
+
+    #[test]
+    fn uncompressed_lm_pipelined_wins_low_selectivity_loses_high() {
+        // Figure 11(a): LM-pipelined is best at low selectivity (block
+        // skipping on the big uncompressed column) and worst-or-near at
+        // high selectivity (per-position jumps).
+        let m = model();
+        let low = uncompressed_params(0.01);
+        let high = uncompressed_params(0.9);
+        let lmp_low = m.lm_pipelined(&low).unwrap().total_us();
+        let emp_low = m.em_parallel(&low).total_us();
+        assert!(lmp_low < emp_low, "low sel: {lmp_low} should beat {emp_low}");
+        let lmp_high = m.lm_pipelined(&high).unwrap().total_us();
+        let emp_high = m.em_parallel(&high).total_us();
+        assert!(
+            emp_high < lmp_high,
+            "high sel: EM-parallel {emp_high} should beat LM-pipelined {lmp_high}"
+        );
+    }
+
+    #[test]
+    fn aggregation_flattens_lm_but_not_em() {
+        // Figure 12 vs Figure 11: adding the aggregator leaves EM costs
+        // nearly unchanged but cuts LM costs (no tuples constructed).
+        let m = model();
+        let sel = rle_params(0.8);
+        let mut agg = sel;
+        agg.aggregated = true;
+        agg.num_groups = 2526.0;
+        let lm_sel = m.lm_parallel(&sel).total_us();
+        let lm_agg = m.lm_parallel(&agg).total_us();
+        assert!(lm_agg < 0.5 * lm_sel, "agg should slash LM cost: {lm_agg} vs {lm_sel}");
+        let em_sel = m.em_parallel(&sel).total_us();
+        let em_agg = m.em_parallel(&agg).total_us();
+        assert!((em_agg - em_sel).abs() / em_sel < 0.25, "EM barely changes");
+    }
+
+    #[test]
+    fn bitvec_disables_lm_pipelined() {
+        let m = model();
+        let mut q = rle_params(0.5);
+        q.c2_supports_ds3 = false;
+        assert!(m.lm_pipelined(&q).is_none());
+        assert!(m.estimate(PlanKind::LmPipelined, &q).is_none());
+        // best_plan still returns something.
+        let (_, cost) = m.best_plan(&q);
+        assert!(cost.total_us() > 0.0);
+    }
+
+    #[test]
+    fn best_plan_picks_minimum() {
+        let m = model();
+        let q = rle_params(0.5);
+        let (kind, cost) = m.best_plan(&q);
+        for k in PlanKind::ALL {
+            if let Some(c) = m.estimate(k, &q) {
+                assert!(cost.total_us() <= c.total_us() + 1e-9, "{kind:?} vs {k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_fetch_penalizes_lm_fetch_paths() {
+        let m = model();
+        let q = rle_params(0.5);
+        let mut qb = q;
+        qb.c2_decompress_fetch = true;
+        assert!(m.lm_parallel(&qb).total_us() > m.lm_parallel(&q).total_us());
+    }
+
+    #[test]
+    fn plan_names() {
+        assert_eq!(PlanKind::EmParallel.name(), "EM-parallel");
+        assert_eq!(PlanKind::LmPipelined.name(), "LM-pipelined");
+    }
+}

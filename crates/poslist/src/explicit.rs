@@ -1,0 +1,184 @@
+//! Explicit (listed) position representation.
+//!
+//! A sorted vector of positions. The paper's "listed positions" form is
+//! "particularly useful when few positions inside a multi-column are
+//! valid" — the sparse case where a bitmap wastes space and a range list
+//! degenerates to one range per position.
+
+use matstrat_common::{Pos, PosRange};
+
+/// A sorted, duplicate-free vector of positions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PosVec {
+    positions: Vec<Pos>,
+}
+
+impl PosVec {
+    /// The empty list.
+    pub fn empty() -> PosVec {
+        PosVec { positions: Vec::new() }
+    }
+
+    /// Build from an arbitrary vector: sorts and deduplicates.
+    pub fn from_vec(mut positions: Vec<Pos>) -> PosVec {
+        positions.sort_unstable();
+        positions.dedup();
+        PosVec { positions }
+    }
+
+    /// Build from a vector that is already sorted and duplicate-free.
+    /// Debug-asserts the invariant.
+    pub fn from_sorted(positions: Vec<Pos>) -> PosVec {
+        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions not sorted/unique");
+        PosVec { positions }
+    }
+
+    /// The underlying sorted positions.
+    #[inline]
+    pub fn as_slice(&self) -> &[Pos] {
+        &self.positions
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<Pos> {
+        self.positions
+    }
+
+    /// Number of positions.
+    #[inline]
+    pub fn count(&self) -> u64 {
+        self.positions.len() as u64
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Smallest range covering all positions.
+    pub fn covering(&self) -> PosRange {
+        match (self.positions.first(), self.positions.last()) {
+            (Some(&f), Some(&l)) => PosRange::new(f, l + 1),
+            _ => PosRange::empty(),
+        }
+    }
+
+    /// Whether `pos` is present (binary search).
+    pub fn contains(&self, pos: Pos) -> bool {
+        self.positions.binary_search(&pos).is_ok()
+    }
+
+    /// Set intersection by linear merge.
+    pub fn intersect(&self, other: &PosVec) -> PosVec {
+        let (a, b) = (&self.positions, &other.positions);
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PosVec { positions: out }
+    }
+
+    /// Set union by linear merge.
+    pub fn union(&self, other: &PosVec) -> PosVec {
+        let (a, b) = (&self.positions, &other.positions);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        PosVec { positions: out }
+    }
+
+    /// Restrict to positions inside `window`.
+    pub fn clip(&self, window: PosRange) -> PosVec {
+        let lo = self.positions.partition_point(|&p| p < window.start);
+        let hi = self.positions.partition_point(|&p| p < window.end);
+        PosVec { positions: self.positions[lo..hi].to_vec() }
+    }
+
+    /// Iterate over positions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Pos> + '_ {
+        self.positions.iter().copied()
+    }
+}
+
+impl FromIterator<Pos> for PosVec {
+    fn from_iter<T: IntoIterator<Item = Pos>>(iter: T) -> PosVec {
+        PosVec::from_vec(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_sorts_dedups() {
+        let v = PosVec::from_vec(vec![5, 1, 3, 3, 1]);
+        assert_eq!(v.as_slice(), &[1, 3, 5]);
+        assert_eq!(v.count(), 3);
+    }
+
+    #[test]
+    fn contains_and_covering() {
+        let v = PosVec::from_vec(vec![2, 8, 15]);
+        assert!(v.contains(8));
+        assert!(!v.contains(9));
+        assert_eq!(v.covering(), PosRange::new(2, 16));
+        assert_eq!(PosVec::empty().covering(), PosRange::empty());
+    }
+
+    #[test]
+    fn intersect_merge() {
+        let a = PosVec::from_vec(vec![1, 3, 5, 7, 9]);
+        let b = PosVec::from_vec(vec![3, 4, 5, 10]);
+        assert_eq!(a.intersect(&b).as_slice(), &[3, 5]);
+        assert!(a.intersect(&PosVec::empty()).is_empty());
+    }
+
+    #[test]
+    fn union_merge() {
+        let a = PosVec::from_vec(vec![1, 5, 9]);
+        let b = PosVec::from_vec(vec![2, 5, 12]);
+        assert_eq!(a.union(&b).as_slice(), &[1, 2, 5, 9, 12]);
+    }
+
+    #[test]
+    fn clip_window() {
+        let a = PosVec::from_vec(vec![1, 5, 9, 14]);
+        assert_eq!(a.clip(PosRange::new(5, 14)).as_slice(), &[5, 9]);
+        assert!(a.clip(PosRange::new(100, 200)).is_empty());
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let v: PosVec = [9u64, 1, 9, 4].into_iter().collect();
+        assert_eq!(v.as_slice(), &[1, 4, 9]);
+    }
+}

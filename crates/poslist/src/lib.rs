@@ -1,0 +1,34 @@
+//! Position lists: the currency of late materialization.
+//!
+//! When a predicate is applied to a column, the result is the *set of
+//! positions* whose values passed. Late-materialization plans ship these
+//! sets between operators instead of constructed tuples, intersect them
+//! with word-wise AND operations, and only fetch values at the end.
+//!
+//! The paper (§2.1.1, §3.3) uses three concrete representations, all
+//! provided here:
+//!
+//! * **position ranges** `[start, end)` — ideal for predicates over sorted
+//!   columns, where matches are contiguous; intersecting two range lists is
+//!   a merge;
+//! * **bit-maps** — one bit per position in a covering range; 64 positions
+//!   are intersected per machine instruction;
+//! * **explicit lists** — sorted vectors of positions, best when very few
+//!   positions survive.
+//!
+//! [`PosList`] unifies the three and implements the paper's AND
+//! representation rule: range inputs produce range output, any other mix
+//! produces a bit-map.
+
+pub mod bitmap;
+pub mod builder;
+pub mod explicit;
+pub mod ranges;
+
+mod poslist;
+
+pub use bitmap::Bitmap;
+pub use builder::PosListBuilder;
+pub use explicit::PosVec;
+pub use poslist::{PosList, PosListIter, Repr};
+pub use ranges::RangeList;

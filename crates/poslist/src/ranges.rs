@@ -1,0 +1,247 @@
+//! Position-range list representation.
+//!
+//! Runs of consecutive matching positions — the common case when a
+//! predicate is applied to a column sorted on that attribute — are stored
+//! as `[start, end)` ranges. Intersecting two range lists is a linear
+//! merge; intersecting a range with a bitmap is a constant-time slice
+//! (§2.1.1 of the paper).
+
+use matstrat_common::{Pos, PosRange};
+
+/// A sorted list of disjoint, non-adjacent, non-empty position ranges.
+///
+/// The normalization invariant (sorted, gaps between consecutive ranges)
+/// is established by [`RangeList::from_ranges`] and preserved by every
+/// operation, so equality of `RangeList`s is set equality.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RangeList {
+    ranges: Vec<PosRange>,
+}
+
+impl RangeList {
+    /// The empty list.
+    pub fn empty() -> RangeList {
+        RangeList { ranges: Vec::new() }
+    }
+
+    /// A list containing a single range (dropped if empty).
+    pub fn single(range: PosRange) -> RangeList {
+        if range.is_empty() {
+            RangeList::empty()
+        } else {
+            RangeList { ranges: vec![range] }
+        }
+    }
+
+    /// Build from arbitrary ranges: sorts, drops empties, merges overlaps
+    /// and adjacencies.
+    pub fn from_ranges(mut ranges: Vec<PosRange>) -> RangeList {
+        ranges.retain(|r| !r.is_empty());
+        ranges.sort_by_key(|r| r.start);
+        let mut out: Vec<PosRange> = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            match out.last_mut() {
+                Some(last) if r.start <= last.end => {
+                    last.end = last.end.max(r.end);
+                }
+                _ => out.push(r),
+            }
+        }
+        RangeList { ranges: out }
+    }
+
+    /// Build from already-normalized ranges (sorted, disjoint,
+    /// non-adjacent, non-empty). Debug-asserts the invariant.
+    pub fn from_normalized(ranges: Vec<PosRange>) -> RangeList {
+        #[cfg(debug_assertions)]
+        {
+            for w in ranges.windows(2) {
+                debug_assert!(w[0].end < w[1].start, "ranges not normalized: {w:?}");
+            }
+            for r in &ranges {
+                debug_assert!(!r.is_empty());
+            }
+        }
+        RangeList { ranges }
+    }
+
+    /// The underlying ranges.
+    #[inline]
+    pub fn ranges(&self) -> &[PosRange] {
+        &self.ranges
+    }
+
+    /// Number of ranges (the `||inpos||/RL_p` term of the cost model).
+    #[inline]
+    pub fn num_runs(&self) -> usize {
+        self.ranges.len()
+    }
+
+    /// Total number of covered positions.
+    pub fn count(&self) -> u64 {
+        self.ranges.iter().map(|r| r.len()).sum()
+    }
+
+    /// Whether no positions are covered.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Smallest range covering every position (empty range if empty).
+    pub fn covering(&self) -> PosRange {
+        match (self.ranges.first(), self.ranges.last()) {
+            (Some(f), Some(l)) => PosRange::new(f.start, l.end),
+            _ => PosRange::empty(),
+        }
+    }
+
+    /// Whether `pos` is covered. Binary search: O(log #runs).
+    pub fn contains(&self, pos: Pos) -> bool {
+        self.ranges
+            .binary_search_by(|r| {
+                if pos < r.start {
+                    std::cmp::Ordering::Greater
+                } else if pos >= r.end {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Set intersection by two-pointer merge; O(#runs_a + #runs_b).
+    pub fn intersect(&self, other: &RangeList) -> RangeList {
+        let (a, b) = (&self.ranges, &other.ranges);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            let x = a[i].intersect(&b[j]);
+            if !x.is_empty() {
+                out.push(x);
+            }
+            if a[i].end <= b[j].end {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        RangeList::from_normalized(RangeList::from_ranges(out).ranges)
+    }
+
+    /// Set union by merge with coalescing.
+    pub fn union(&self, other: &RangeList) -> RangeList {
+        let mut all = Vec::with_capacity(self.ranges.len() + other.ranges.len());
+        all.extend_from_slice(&self.ranges);
+        all.extend_from_slice(&other.ranges);
+        RangeList::from_ranges(all)
+    }
+
+    /// Restrict to positions inside `window`.
+    pub fn clip(&self, window: PosRange) -> RangeList {
+        let mut out = Vec::new();
+        for r in &self.ranges {
+            let x = r.intersect(&window);
+            if !x.is_empty() {
+                out.push(x);
+            }
+        }
+        RangeList { ranges: out }
+    }
+
+    /// Iterate over all covered positions in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Pos> + '_ {
+        self.ranges.iter().flat_map(|r| r.start..r.end)
+    }
+}
+
+impl FromIterator<PosRange> for RangeList {
+    fn from_iter<T: IntoIterator<Item = PosRange>>(iter: T) -> RangeList {
+        RangeList::from_ranges(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(s: u64, e: u64) -> PosRange {
+        PosRange::new(s, e)
+    }
+
+    #[test]
+    fn from_ranges_normalizes() {
+        let rl = RangeList::from_ranges(vec![r(5, 10), r(0, 3), r(9, 12), r(20, 20)]);
+        assert_eq!(rl.ranges(), &[r(0, 3), r(5, 12)]);
+        assert_eq!(rl.count(), 10);
+    }
+
+    #[test]
+    fn adjacency_is_merged() {
+        let rl = RangeList::from_ranges(vec![r(0, 5), r(5, 10)]);
+        assert_eq!(rl.ranges(), &[r(0, 10)]);
+        assert_eq!(rl.num_runs(), 1);
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let rl = RangeList::from_ranges(vec![r(0, 3), r(10, 20), r(100, 101)]);
+        for p in [0, 2, 10, 19, 100] {
+            assert!(rl.contains(p), "{p}");
+        }
+        for p in [3, 9, 20, 99, 101, 5000] {
+            assert!(!rl.contains(p), "{p}");
+        }
+    }
+
+    #[test]
+    fn intersect_merge() {
+        let a = RangeList::from_ranges(vec![r(0, 10), r(20, 30), r(40, 50)]);
+        let b = RangeList::from_ranges(vec![r(5, 25), r(45, 60)]);
+        let c = a.intersect(&b);
+        assert_eq!(c.ranges(), &[r(5, 10), r(20, 25), r(45, 50)]);
+    }
+
+    #[test]
+    fn intersect_empty_cases() {
+        let a = RangeList::from_ranges(vec![r(0, 10)]);
+        assert!(a.intersect(&RangeList::empty()).is_empty());
+        assert!(RangeList::empty().intersect(&a).is_empty());
+        let b = RangeList::from_ranges(vec![r(10, 20)]);
+        assert!(a.intersect(&b).is_empty());
+    }
+
+    #[test]
+    fn union_coalesces() {
+        let a = RangeList::from_ranges(vec![r(0, 5), r(10, 15)]);
+        let b = RangeList::from_ranges(vec![r(5, 10), r(20, 25)]);
+        let c = a.union(&b);
+        assert_eq!(c.ranges(), &[r(0, 15), r(20, 25)]);
+    }
+
+    #[test]
+    fn clip_window() {
+        let a = RangeList::from_ranges(vec![r(0, 10), r(20, 30)]);
+        let c = a.clip(r(5, 25));
+        assert_eq!(c.ranges(), &[r(5, 10), r(20, 25)]);
+    }
+
+    #[test]
+    fn covering_hull() {
+        let a = RangeList::from_ranges(vec![r(5, 10), r(20, 30)]);
+        assert_eq!(a.covering(), r(5, 30));
+        assert_eq!(RangeList::empty().covering(), PosRange::empty());
+    }
+
+    #[test]
+    fn iter_positions() {
+        let a = RangeList::from_ranges(vec![r(1, 3), r(7, 9)]);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 2, 7, 8]);
+    }
+
+    #[test]
+    fn single_drops_empty() {
+        assert!(RangeList::single(PosRange::empty()).is_empty());
+        assert_eq!(RangeList::single(r(3, 7)).count(), 4);
+    }
+}

@@ -1,0 +1,356 @@
+//! Dictionary encoded blocks (extension codec).
+//!
+//! Not part of the paper's experiments, but part of the compression
+//! toolkit column stores rely on ([3] in the paper evaluates it): a
+//! per-block table of distinct values plus a packed array of narrow
+//! codes. Unlike bit-vector encoding, dictionary blocks support position
+//! fetch (DS3) in O(1), so every materialization strategy runs on them.
+
+use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
+use matstrat_poslist::{PosList, PosListBuilder};
+
+use crate::wire::{put_i64, put_u32, Reader};
+use crate::BLOCK_SIZE;
+
+use super::BLOCK_HEADER_SIZE;
+
+/// A dictionary encoded block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DictBlock {
+    start_pos: Pos,
+    /// Distinct values in first-appearance order; codes index this table.
+    dict: Vec<Value>,
+    /// One code per row.
+    codes: Vec<u32>,
+}
+
+/// Smallest byte width that can hold codes `0..k`.
+fn code_width_for(k: usize) -> usize {
+    if k <= 1 << 8 {
+        1
+    } else if k <= 1 << 16 {
+        2
+    } else {
+        4
+    }
+}
+
+impl DictBlock {
+    /// Serialized size for `k` distinct values and `rows` rows.
+    pub fn encoded_size(k: usize, rows: usize) -> usize {
+        BLOCK_HEADER_SIZE + 4 + k * 8 + rows * code_width_for(k)
+    }
+
+    /// Encode `values`.
+    ///
+    /// # Panics
+    /// Panics if the block would exceed 64 KB.
+    pub fn from_values(start_pos: Pos, values: &[Value]) -> DictBlock {
+        let mut dict: Vec<Value> = Vec::new();
+        let mut codes = Vec::with_capacity(values.len());
+        for &v in values {
+            let code = match dict.iter().position(|&d| d == v) {
+                Some(i) => i,
+                None => {
+                    dict.push(v);
+                    dict.len() - 1
+                }
+            };
+            codes.push(code as u32);
+        }
+        assert!(
+            Self::encoded_size(dict.len(), values.len()) <= BLOCK_SIZE,
+            "dict block overflow: k={} rows={}",
+            dict.len(),
+            values.len()
+        );
+        DictBlock { start_pos, dict, codes }
+    }
+
+    /// Absolute position of the first row.
+    #[inline]
+    pub fn start_pos(&self) -> Pos {
+        self.start_pos
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> u32 {
+        self.codes.len() as u32
+    }
+
+    /// The dictionary (distinct values).
+    #[inline]
+    pub fn dictionary(&self) -> &[Value] {
+        &self.dict
+    }
+
+    /// Byte width codes are packed at on disk.
+    pub fn code_width(&self) -> usize {
+        code_width_for(self.dict.len())
+    }
+
+    fn check_pos(&self, pos: Pos) -> Result<usize> {
+        if pos < self.start_pos || pos >= self.start_pos + self.codes.len() as u64 {
+            return Err(Error::invalid(format!(
+                "position {pos} outside dict block"
+            )));
+        }
+        Ok((pos - self.start_pos) as usize)
+    }
+
+    /// DS1: evaluate the predicate once per dictionary entry, then test
+    /// codes against the resulting small match table.
+    pub fn scan_positions(&self, pred: &Predicate) -> PosList {
+        let matches: Vec<bool> = self.dict.iter().map(|&v| pred.matches(v)).collect();
+        let mut b = PosListBuilder::new();
+        for (i, &c) in self.codes.iter().enumerate() {
+            if matches[c as usize] {
+                b.push(self.start_pos + i as u64);
+            }
+        }
+        b.finish()
+    }
+
+    /// DS2: matching (pos, value) pairs.
+    pub fn scan_pairs(&self, pred: &Predicate, out_pos: &mut Vec<Pos>, out_val: &mut Vec<Value>) {
+        let matches: Vec<bool> = self.dict.iter().map(|&v| pred.matches(v)).collect();
+        for (i, &c) in self.codes.iter().enumerate() {
+            if matches[c as usize] {
+                out_pos.push(self.start_pos + i as u64);
+                out_val.push(self.dict[c as usize]);
+            }
+        }
+    }
+
+    /// DS1 restricted to `window` (already intersected with the covering
+    /// range by the caller).
+    pub fn scan_positions_in(&self, pred: &Predicate, window: PosRange) -> PosList {
+        let matches: Vec<bool> = self.dict.iter().map(|&v| pred.matches(v)).collect();
+        let lo = (window.start - self.start_pos) as usize;
+        let hi = (window.end - self.start_pos) as usize;
+        let mut b = PosListBuilder::new();
+        for i in lo..hi {
+            if matches[self.codes[i] as usize] {
+                b.push(self.start_pos + i as u64);
+            }
+        }
+        b.finish()
+    }
+
+    /// DS2 restricted to `window`.
+    pub fn scan_pairs_in(
+        &self,
+        pred: &Predicate,
+        window: PosRange,
+        out_pos: &mut Vec<Pos>,
+        out_val: &mut Vec<Value>,
+    ) {
+        let matches: Vec<bool> = self.dict.iter().map(|&v| pred.matches(v)).collect();
+        let lo = (window.start - self.start_pos) as usize;
+        let hi = (window.end - self.start_pos) as usize;
+        for i in lo..hi {
+            let c = self.codes[i] as usize;
+            if matches[c] {
+                out_pos.push(self.start_pos + i as u64);
+                out_val.push(self.dict[c]);
+            }
+        }
+    }
+
+    /// DS3 point fetch (O(1) per position).
+    pub fn gather(&self, positions: &[Pos], out: &mut Vec<Value>) -> Result<()> {
+        out.reserve(positions.len());
+        for &p in positions {
+            let idx = self.check_pos(p)?;
+            out.push(self.dict[self.codes[idx] as usize]);
+        }
+        Ok(())
+    }
+
+    /// DS3 range fetch.
+    pub fn gather_range(&self, range: PosRange, out: &mut Vec<Value>) -> Result<()> {
+        if range.is_empty() {
+            return Ok(());
+        }
+        let lo = self.check_pos(range.start)?;
+        let hi = self.check_pos(range.end - 1)? + 1;
+        out.reserve(hi - lo);
+        for &c in &self.codes[lo..hi] {
+            out.push(self.dict[c as usize]);
+        }
+        Ok(())
+    }
+
+    /// DS4 probe.
+    pub fn value_at(&self, pos: Pos) -> Result<Value> {
+        let idx = self.check_pos(pos)?;
+        Ok(self.dict[self.codes[idx] as usize])
+    }
+
+    /// Full decompression in position order.
+    pub fn decode_all(&self, out: &mut Vec<Value>) {
+        out.reserve(self.codes.len());
+        for &c in &self.codes {
+            out.push(self.dict[c as usize]);
+        }
+    }
+
+    /// Visit equal-value runs (coalesced over codes, no value decode until
+    /// the run is emitted).
+    pub fn for_each_run(&self, mut f: impl FnMut(Value, PosRange)) {
+        if self.codes.is_empty() {
+            return;
+        }
+        let mut run_code = self.codes[0];
+        let mut run_start = self.start_pos;
+        for (i, &c) in self.codes.iter().enumerate().skip(1) {
+            if c != run_code {
+                f(
+                    self.dict[run_code as usize],
+                    PosRange::new(run_start, self.start_pos + i as u64),
+                );
+                run_code = c;
+                run_start = self.start_pos + i as u64;
+            }
+        }
+        f(
+            self.dict[run_code as usize],
+            PosRange::new(run_start, self.start_pos + self.codes.len() as u64),
+        );
+    }
+
+    /// Append the codec payload to `buf`.
+    pub fn serialize_payload(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.dict.len() as u32);
+        for &v in &self.dict {
+            put_i64(buf, v);
+        }
+        match self.code_width() {
+            1 => {
+                for &c in &self.codes {
+                    buf.push(c as u8);
+                }
+            }
+            2 => {
+                for &c in &self.codes {
+                    buf.extend_from_slice(&(c as u16).to_le_bytes());
+                }
+            }
+            _ => {
+                for &c in &self.codes {
+                    buf.extend_from_slice(&c.to_le_bytes());
+                }
+            }
+        }
+    }
+
+    /// Parse the codec payload.
+    pub fn parse_payload(
+        start_pos: Pos,
+        count: u32,
+        width: u8,
+        r: &mut Reader<'_>,
+    ) -> Result<DictBlock> {
+        let k = r.u32()? as usize;
+        let mut dict = Vec::with_capacity(k);
+        for _ in 0..k {
+            dict.push(r.i64()?);
+        }
+        let mut codes = Vec::with_capacity(count as usize);
+        match width {
+            1 => {
+                let bytes = r.bytes(count as usize)?;
+                codes.extend(bytes.iter().map(|&b| b as u32));
+            }
+            2 => {
+                let bytes = r.bytes(count as usize * 2)?;
+                codes.extend(
+                    bytes
+                        .chunks_exact(2)
+                        .map(|c| u16::from_le_bytes(c.try_into().unwrap()) as u32),
+                );
+            }
+            4 => {
+                let bytes = r.bytes(count as usize * 4)?;
+                codes.extend(
+                    bytes
+                        .chunks_exact(4)
+                        .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+                );
+            }
+            w => return Err(Error::corrupt(format!("bad dict code width {w}"))),
+        }
+        for &c in &codes {
+            if c as usize >= k {
+                return Err(Error::corrupt(format!("dict code {c} out of range (k={k})")));
+            }
+        }
+        Ok(DictBlock { start_pos, dict, codes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let vals = vec![100, 200, 100, 300, 200, 100];
+        let b = DictBlock::from_values(0, &vals);
+        assert_eq!(b.dictionary(), &[100, 200, 300]);
+        let mut out = Vec::new();
+        b.decode_all(&mut out);
+        assert_eq!(out, vals);
+    }
+
+    #[test]
+    fn scan_positions_via_dictionary() {
+        let b = DictBlock::from_values(10, &[100, 200, 100, 300]);
+        let pl = b.scan_positions(&Predicate::le(200));
+        assert_eq!(pl.to_vec(), vec![10, 11, 12]);
+    }
+
+    #[test]
+    fn gather_and_value_at() {
+        let b = DictBlock::from_values(5, &[7, 8, 9]);
+        let mut out = Vec::new();
+        b.gather(&[5, 7], &mut out).unwrap();
+        assert_eq!(out, vec![7, 9]);
+        assert_eq!(b.value_at(6).unwrap(), 8);
+        assert!(b.value_at(8).is_err());
+    }
+
+    #[test]
+    fn code_width_scales_with_cardinality() {
+        assert_eq!(code_width_for(2), 1);
+        assert_eq!(code_width_for(256), 1);
+        assert_eq!(code_width_for(257), 2);
+        assert_eq!(code_width_for(70_000), 4);
+    }
+
+    #[test]
+    fn wide_dictionary_roundtrip() {
+        // Force 2-byte codes: 300 distinct values.
+        let vals: Vec<Value> = (0..300).map(|i| i * 1000).collect();
+        let b = DictBlock::from_values(0, &vals);
+        assert_eq!(b.code_width(), 2);
+        let mut buf = Vec::new();
+        b.serialize_payload(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = DictBlock::parse_payload(0, 300, 2, &mut r).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range_codes() {
+        let b = DictBlock::from_values(0, &[1, 2]);
+        let mut buf = Vec::new();
+        b.serialize_payload(&mut buf);
+        // Corrupt a code byte to 9 (k = 2).
+        let last = buf.len() - 1;
+        buf[last] = 9;
+        let mut r = Reader::new(&buf);
+        assert!(DictBlock::parse_payload(0, 2, 1, &mut r).is_err());
+    }
+}

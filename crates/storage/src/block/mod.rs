@@ -1,0 +1,612 @@
+//! Encoded 64 KB blocks: the unit of disk I/O and of pipelined execution.
+//!
+//! A block is self-describing: a 16-byte common header (encoding tag,
+//! value width, row count, start position) followed by a codec-specific
+//! payload. In memory a block stays in its *compressed* form — RLE blocks
+//! are run triples, bit-vector blocks are bit-strings — exactly as the
+//! paper's mini-columns do, so operators can work on compressed data
+//! directly.
+//!
+//! Every codec exposes the two C-Store data-source access patterns plus
+//! the position-fetch used by late materialization:
+//!
+//! * [`EncodedBlock::scan_positions`] — DS1: predicate → positions;
+//! * [`EncodedBlock::scan_pairs`] — DS2: predicate → (position, value);
+//! * [`EncodedBlock::gather`] / [`EncodedBlock::gather_range`] — DS3:
+//!   positions → values (**unsupported on bit-vector blocks**, §4.1);
+//! * [`EncodedBlock::value_at`] — DS4's jump-to-position probe.
+
+mod bitvec;
+mod dict;
+mod plain;
+mod rle;
+
+pub use bitvec::BitVecBlock;
+pub use dict::DictBlock;
+pub use plain::PlainBlock;
+pub use rle::{RleBlock, RleRun};
+
+use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
+use matstrat_poslist::PosList;
+
+use crate::encoding::EncodingKind;
+use crate::wire::{put_u16, put_u32, put_u64, put_u8, Reader};
+use crate::BLOCK_SIZE;
+
+/// Size in bytes of the common block header.
+pub const BLOCK_HEADER_SIZE: usize = 16;
+
+/// A parsed, still-compressed block of one column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EncodedBlock {
+    /// Fixed-width packed values.
+    Plain(PlainBlock),
+    /// Run-length encoded values.
+    Rle(RleBlock),
+    /// Bit-vector encoded values.
+    BitVec(BitVecBlock),
+    /// Dictionary encoded values (extension).
+    Dict(DictBlock),
+}
+
+impl EncodedBlock {
+    /// The encoding of this block.
+    pub fn encoding(&self) -> EncodingKind {
+        match self {
+            EncodedBlock::Plain(_) => EncodingKind::Plain,
+            EncodedBlock::Rle(_) => EncodingKind::Rle,
+            EncodedBlock::BitVec(_) => EncodingKind::BitVec,
+            EncodedBlock::Dict(_) => EncodingKind::Dict,
+        }
+    }
+
+    /// Absolute position of the block's first row.
+    pub fn start_pos(&self) -> Pos {
+        match self {
+            EncodedBlock::Plain(b) => b.start_pos(),
+            EncodedBlock::Rle(b) => b.start_pos(),
+            EncodedBlock::BitVec(b) => b.start_pos(),
+            EncodedBlock::Dict(b) => b.start_pos(),
+        }
+    }
+
+    /// Number of rows in the block.
+    pub fn num_rows(&self) -> u32 {
+        match self {
+            EncodedBlock::Plain(b) => b.num_rows(),
+            EncodedBlock::Rle(b) => b.num_rows(),
+            EncodedBlock::BitVec(b) => b.num_rows(),
+            EncodedBlock::Dict(b) => b.num_rows(),
+        }
+    }
+
+    /// The positions covered: `[start_pos, start_pos + num_rows)`.
+    pub fn covering(&self) -> PosRange {
+        let s = self.start_pos();
+        PosRange::new(s, s + self.num_rows() as u64)
+    }
+
+    /// DS1: positions (absolute) whose values satisfy `pred`.
+    ///
+    /// The representation follows the codec: RLE emits ranges, bit-vector
+    /// emits a bitmap (the OR of the matching bit-strings), plain and dict
+    /// let the builder heuristic choose.
+    pub fn scan_positions(&self, pred: &Predicate) -> PosList {
+        match self {
+            EncodedBlock::Plain(b) => b.scan_positions(pred),
+            EncodedBlock::Rle(b) => b.scan_positions(pred),
+            EncodedBlock::BitVec(b) => b.scan_positions(pred),
+            EncodedBlock::Dict(b) => b.scan_positions(pred),
+        }
+    }
+
+    /// DS2: (position, value) pairs satisfying `pred`, appended to the two
+    /// output vectors in ascending position order.
+    pub fn scan_pairs(&self, pred: &Predicate, out_pos: &mut Vec<Pos>, out_val: &mut Vec<Value>) {
+        match self {
+            EncodedBlock::Plain(b) => b.scan_pairs(pred, out_pos, out_val),
+            EncodedBlock::Rle(b) => b.scan_pairs(pred, out_pos, out_val),
+            EncodedBlock::BitVec(b) => b.scan_pairs(pred, out_pos, out_val),
+            EncodedBlock::Dict(b) => b.scan_pairs(pred, out_pos, out_val),
+        }
+    }
+
+    /// DS1 restricted to a window of positions: like
+    /// [`scan_positions`](Self::scan_positions) but only rows inside
+    /// `window ∩ covering` are examined. This is what lets a pipelined
+    /// executor work one position-granule at a time without rescanning a
+    /// wide block (an RLE block can cover millions of positions).
+    pub fn scan_positions_in(&self, pred: &Predicate, window: PosRange) -> PosList {
+        let w = self.covering().intersect(&window);
+        if w.is_empty() {
+            return PosList::empty();
+        }
+        match self {
+            EncodedBlock::Rle(b) => b.scan_positions_in(pred, w),
+            // Bit-vector: OR the bit-strings, then clip — the block's
+            // covering range is granule-sized, so the clip is cheap.
+            EncodedBlock::BitVec(b) => {
+                if w == self.covering() {
+                    b.scan_positions(pred)
+                } else {
+                    b.scan_positions(pred).clip(w)
+                }
+            }
+            EncodedBlock::Plain(b) => b.scan_positions_in(pred, w),
+            EncodedBlock::Dict(b) => b.scan_positions_in(pred, w),
+        }
+    }
+
+    /// DS2 restricted to a window of positions.
+    pub fn scan_pairs_in(
+        &self,
+        pred: &Predicate,
+        window: PosRange,
+        out_pos: &mut Vec<Pos>,
+        out_val: &mut Vec<Value>,
+    ) {
+        let w = self.covering().intersect(&window);
+        if w.is_empty() {
+            return;
+        }
+        match self {
+            EncodedBlock::Rle(b) => b.scan_pairs_in(pred, w, out_pos, out_val),
+            EncodedBlock::BitVec(b) => {
+                if w == self.covering() {
+                    b.scan_pairs(pred, out_pos, out_val);
+                } else {
+                    let mark = out_pos.len();
+                    b.scan_pairs(pred, out_pos, out_val);
+                    // Drop pairs outside the window (prefix/suffix trim).
+                    let mut keep = mark;
+                    for i in mark..out_pos.len() {
+                        if w.contains(out_pos[i]) {
+                            out_pos.swap(keep, i);
+                            out_val.swap(keep, i);
+                            keep += 1;
+                        }
+                    }
+                    out_pos.truncate(keep);
+                    out_val.truncate(keep);
+                }
+            }
+            EncodedBlock::Plain(b) => b.scan_pairs_in(pred, w, out_pos, out_val),
+            EncodedBlock::Dict(b) => b.scan_pairs_in(pred, w, out_pos, out_val),
+        }
+    }
+
+    /// Decompress every value in `range` (must lie inside the block) in
+    /// position order. Unlike [`gather_range`](Self::gather_range) this is
+    /// supported on **all** codecs — bit-vector blocks pay a full-block
+    /// decompression, which is exactly the §4.1(c) cost.
+    pub fn decode_range(&self, range: PosRange, out: &mut Vec<Value>) -> Result<()> {
+        match self {
+            EncodedBlock::BitVec(b) => {
+                let cov = self.covering();
+                if range.is_empty() {
+                    return Ok(());
+                }
+                if !cov.contains(range.start) || !cov.contains(range.end - 1) {
+                    return Err(Error::invalid(format!(
+                        "range {range} outside bit-vector block {cov}"
+                    )));
+                }
+                let mut full = Vec::with_capacity(b.num_rows() as usize);
+                b.decode_all(&mut full);
+                let lo = (range.start - cov.start) as usize;
+                let hi = (range.end - cov.start) as usize;
+                out.extend_from_slice(&full[lo..hi]);
+                Ok(())
+            }
+            other => other.gather_range(range, out),
+        }
+    }
+
+    /// Visit equal-value runs restricted to `window ∩ covering`.
+    pub fn for_each_run_in(&self, window: PosRange, mut f: impl FnMut(Value, PosRange)) {
+        let w = self.covering().intersect(&window);
+        if w.is_empty() {
+            return;
+        }
+        if w == self.covering() {
+            self.for_each_run(f);
+            return;
+        }
+        match self {
+            EncodedBlock::Rle(b) => {
+                for r in b.runs() {
+                    let o = r.range().intersect(&w);
+                    if !o.is_empty() {
+                        f(r.value, o);
+                    }
+                }
+            }
+            other => {
+                // Decode the window and coalesce.
+                let mut vals = Vec::with_capacity(w.len() as usize);
+                other
+                    .decode_range(w, &mut vals)
+                    .expect("window validated against covering");
+                let mut run_val = vals[0];
+                let mut run_start = w.start;
+                for (i, &v) in vals.iter().enumerate().skip(1) {
+                    if v != run_val {
+                        f(run_val, PosRange::new(run_start, w.start + i as u64));
+                        run_val = v;
+                        run_start = w.start + i as u64;
+                    }
+                }
+                f(run_val, PosRange::new(run_start, w.end));
+            }
+        }
+    }
+
+    /// DS3 point form: values at the given ascending absolute positions
+    /// (all inside this block), appended to `out`.
+    ///
+    /// Errors with [`Error::Unsupported`] on bit-vector blocks.
+    pub fn gather(&self, positions: &[Pos], out: &mut Vec<Value>) -> Result<()> {
+        match self {
+            EncodedBlock::Plain(b) => b.gather(positions, out),
+            EncodedBlock::Rle(b) => b.gather(positions, out),
+            EncodedBlock::BitVec(_) => Err(Error::unsupported(
+                "DS3 (position fetch) on a bit-vector block: bit-strings cannot be \
+                 probed by position without a scan",
+            )),
+            EncodedBlock::Dict(b) => b.gather(positions, out),
+        }
+    }
+
+    /// DS3 range form: values at every position of `range` (which must lie
+    /// inside this block), appended to `out`.
+    ///
+    /// Errors with [`Error::Unsupported`] on bit-vector blocks.
+    pub fn gather_range(&self, range: PosRange, out: &mut Vec<Value>) -> Result<()> {
+        match self {
+            EncodedBlock::Plain(b) => b.gather_range(range, out),
+            EncodedBlock::Rle(b) => b.gather_range(range, out),
+            EncodedBlock::BitVec(_) => Err(Error::unsupported(
+                "DS3 (range fetch) on a bit-vector block",
+            )),
+            EncodedBlock::Dict(b) => b.gather_range(range, out),
+        }
+    }
+
+    /// DS4 probe: the value at one absolute position.
+    ///
+    /// Supported on every codec — on bit-vector blocks it costs O(k)
+    /// bit tests (k = distinct values), which is exactly why EM plans on
+    /// bit-vector data pay a CPU premium.
+    pub fn value_at(&self, pos: Pos) -> Result<Value> {
+        match self {
+            EncodedBlock::Plain(b) => b.value_at(pos),
+            EncodedBlock::Rle(b) => b.value_at(pos),
+            EncodedBlock::BitVec(b) => b.value_at(pos),
+            EncodedBlock::Dict(b) => b.value_at(pos),
+        }
+    }
+
+    /// Full decompression: every value of the block in position order,
+    /// appended to `out`. This is the paper's "tuple construction requires
+    /// decompression" path.
+    pub fn decode_all(&self, out: &mut Vec<Value>) {
+        match self {
+            EncodedBlock::Plain(b) => b.decode_all(out),
+            EncodedBlock::Rle(b) => b.decode_all(out),
+            EncodedBlock::BitVec(b) => b.decode_all(out),
+            EncodedBlock::Dict(b) => b.decode_all(out),
+        }
+    }
+
+    /// Visit maximal runs of equal values in position order as
+    /// `(value, absolute position range)`. RLE blocks visit their stored
+    /// runs in O(#runs); other codecs coalesce on the fly. This is what
+    /// lets operators (notably the aggregator) work an entire run at a
+    /// time — the §2.1.2 "operate directly on compressed data" win.
+    pub fn for_each_run(&self, f: impl FnMut(Value, PosRange)) {
+        match self {
+            EncodedBlock::Plain(b) => b.for_each_run(f),
+            EncodedBlock::Rle(b) => b.for_each_run(f),
+            EncodedBlock::BitVec(b) => b.for_each_run(f),
+            EncodedBlock::Dict(b) => b.for_each_run(f),
+        }
+    }
+
+    /// Number of runs [`for_each_run`](Self::for_each_run) would visit.
+    pub fn num_runs(&self) -> u64 {
+        let mut n = 0;
+        self.for_each_run(|_, _| n += 1);
+        n
+    }
+
+    /// Serialize to the on-disk format (≤ [`BLOCK_SIZE`] bytes).
+    pub fn serialize(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(1024);
+        put_u8(&mut buf, self.encoding().tag());
+        let width = match self {
+            EncodedBlock::Plain(b) => b.width().bytes() as u8,
+            EncodedBlock::Dict(b) => b.code_width() as u8,
+            _ => 0,
+        };
+        put_u8(&mut buf, width);
+        put_u16(&mut buf, 0); // reserved
+        put_u32(&mut buf, self.num_rows());
+        put_u64(&mut buf, self.start_pos());
+        debug_assert_eq!(buf.len(), BLOCK_HEADER_SIZE);
+        match self {
+            EncodedBlock::Plain(b) => b.serialize_payload(&mut buf),
+            EncodedBlock::Rle(b) => b.serialize_payload(&mut buf),
+            EncodedBlock::BitVec(b) => b.serialize_payload(&mut buf),
+            EncodedBlock::Dict(b) => b.serialize_payload(&mut buf),
+        }
+        debug_assert!(
+            buf.len() <= BLOCK_SIZE,
+            "serialized block exceeds 64KB: {} bytes",
+            buf.len()
+        );
+        buf
+    }
+
+    /// Parse a serialized block.
+    pub fn parse(bytes: &[u8]) -> Result<EncodedBlock> {
+        let mut r = Reader::new(bytes);
+        let tag = r.u8()?;
+        let width = r.u8()?;
+        let _reserved = r.u16()?;
+        let count = r.u32()?;
+        let start_pos = r.u64()?;
+        match EncodingKind::from_tag(tag)? {
+            EncodingKind::Plain => Ok(EncodedBlock::Plain(PlainBlock::parse_payload(
+                start_pos, count, width, &mut r,
+            )?)),
+            EncodingKind::Rle => Ok(EncodedBlock::Rle(RleBlock::parse_payload(
+                start_pos, count, &mut r,
+            )?)),
+            EncodingKind::BitVec => Ok(EncodedBlock::BitVec(BitVecBlock::parse_payload(
+                start_pos, count, &mut r,
+            )?)),
+            EncodingKind::Dict => Ok(EncodedBlock::Dict(DictBlock::parse_payload(
+                start_pos, count, width, &mut r,
+            )?)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_common::Width;
+
+    fn sample_values() -> Vec<Value> {
+        // Semi-sorted with runs, typical of a secondarily-sorted column.
+        let mut v = Vec::new();
+        for run in 0..20 {
+            for _ in 0..(run % 5 + 1) {
+                v.push(run % 7);
+            }
+        }
+        v
+    }
+
+    fn all_blocks(values: &[Value], start: Pos) -> Vec<EncodedBlock> {
+        vec![
+            EncodedBlock::Plain(PlainBlock::from_values(start, Width::W4, values)),
+            EncodedBlock::Rle(RleBlock::from_values(start, values)),
+            EncodedBlock::BitVec(BitVecBlock::from_values(start, values)),
+            EncodedBlock::Dict(DictBlock::from_values(start, values)),
+        ]
+    }
+
+    #[test]
+    fn serialize_parse_roundtrip_all_codecs() {
+        let values = sample_values();
+        for block in all_blocks(&values, 1000) {
+            let bytes = block.serialize();
+            let back = EncodedBlock::parse(&bytes).unwrap();
+            assert_eq!(back.encoding(), block.encoding());
+            assert_eq!(back.start_pos(), 1000);
+            assert_eq!(back.num_rows() as usize, values.len());
+            let mut decoded = Vec::new();
+            back.decode_all(&mut decoded);
+            assert_eq!(decoded, values, "{:?}", block.encoding());
+        }
+    }
+
+    #[test]
+    fn scan_positions_matches_naive_filter() {
+        let values = sample_values();
+        let preds = [
+            Predicate::lt(3),
+            Predicate::eq(0),
+            Predicate::ge(5),
+            Predicate::ne(2),
+            Predicate::between(1, 4),
+        ];
+        for block in all_blocks(&values, 500) {
+            for pred in &preds {
+                let expected: Vec<Pos> = values
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, v)| pred.matches(**v))
+                    .map(|(i, _)| 500 + i as u64)
+                    .collect();
+                let got = block.scan_positions(pred).to_vec();
+                assert_eq!(got, expected, "{:?} {:?}", block.encoding(), pred);
+            }
+        }
+    }
+
+    #[test]
+    fn scan_pairs_matches_naive_filter() {
+        let values = sample_values();
+        let pred = Predicate::lt(4);
+        for block in all_blocks(&values, 0) {
+            let mut pos = Vec::new();
+            let mut val = Vec::new();
+            block.scan_pairs(&pred, &mut pos, &mut val);
+            let expected: Vec<(Pos, Value)> = values
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| pred.matches(**v))
+                .map(|(i, v)| (i as u64, *v))
+                .collect();
+            let got: Vec<(Pos, Value)> = pos.into_iter().zip(val).collect();
+            assert_eq!(got, expected, "{:?}", block.encoding());
+        }
+    }
+
+    #[test]
+    fn gather_matches_index_and_bitvec_errors() {
+        let values = sample_values();
+        let positions: Vec<Pos> = vec![0, 5, 17, 40, values.len() as u64 - 1];
+        for block in all_blocks(&values, 0) {
+            let mut out = Vec::new();
+            let r = block.gather(&positions, &mut out);
+            if block.encoding() == EncodingKind::BitVec {
+                assert!(matches!(r, Err(Error::Unsupported(_))));
+            } else {
+                r.unwrap();
+                let expected: Vec<Value> =
+                    positions.iter().map(|&p| values[p as usize]).collect();
+                assert_eq!(out, expected, "{:?}", block.encoding());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_range_matches_slice() {
+        let values = sample_values();
+        for block in all_blocks(&values, 100) {
+            let mut out = Vec::new();
+            let r = block.gather_range(PosRange::new(110, 130), &mut out);
+            if block.encoding() == EncodingKind::BitVec {
+                assert!(r.is_err());
+            } else {
+                r.unwrap();
+                assert_eq!(out, &values[10..30], "{:?}", block.encoding());
+            }
+        }
+    }
+
+    #[test]
+    fn value_at_all_codecs() {
+        let values = sample_values();
+        for block in all_blocks(&values, 7) {
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(
+                    block.value_at(7 + i as u64).unwrap(),
+                    v,
+                    "{:?} at {i}",
+                    block.encoding()
+                );
+            }
+            assert!(block.value_at(7 + values.len() as u64).is_err());
+            assert!(block.value_at(6).is_err());
+        }
+    }
+
+    #[test]
+    fn for_each_run_coalesces_equal_values() {
+        let values = vec![5, 5, 5, 2, 2, 9];
+        for block in all_blocks(&values, 0) {
+            let mut runs = Vec::new();
+            block.for_each_run(|v, r| runs.push((v, r.start, r.end)));
+            assert_eq!(
+                runs,
+                vec![(5, 0, 3), (2, 3, 5), (9, 5, 6)],
+                "{:?}",
+                block.encoding()
+            );
+        }
+    }
+
+    #[test]
+    fn covering_and_num_runs() {
+        let values = vec![1, 1, 2];
+        let b = EncodedBlock::Rle(RleBlock::from_values(10, &values));
+        assert_eq!(b.covering(), PosRange::new(10, 13));
+        assert_eq!(b.num_runs(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(EncodedBlock::parse(&[]).is_err());
+        let mut bytes = all_blocks(&[1, 2, 3], 0)[0].serialize();
+        bytes[0] = 99; // invalid tag
+        assert!(EncodedBlock::parse(&bytes).is_err());
+    }
+
+    #[test]
+    fn scan_positions_in_matches_clipped_full_scan() {
+        let values = sample_values();
+        let windows = [
+            PosRange::new(500, 520),
+            PosRange::new(505, 540),
+            PosRange::new(0, 10_000),
+            PosRange::new(490, 501),
+            PosRange::empty(),
+        ];
+        for block in all_blocks(&values, 500) {
+            for pred in [Predicate::lt(3), Predicate::eq(2), Predicate::ne(4)] {
+                for w in windows {
+                    let expected = block.scan_positions(&pred).clip(w).to_vec();
+                    let got = block.scan_positions_in(&pred, w).to_vec();
+                    assert_eq!(got, expected, "{:?} {pred:?} {w}", block.encoding());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scan_pairs_in_matches_clipped_full_scan() {
+        let values = sample_values();
+        let w = PosRange::new(505, 540);
+        let pred = Predicate::lt(4);
+        for block in all_blocks(&values, 500) {
+            let (mut fp, mut fv) = (Vec::new(), Vec::new());
+            block.scan_pairs(&pred, &mut fp, &mut fv);
+            let expected: Vec<(Pos, Value)> = fp
+                .into_iter()
+                .zip(fv)
+                .filter(|(p, _)| w.contains(*p))
+                .collect();
+            let (mut gp, mut gv) = (Vec::new(), Vec::new());
+            block.scan_pairs_in(&pred, w, &mut gp, &mut gv);
+            let got: Vec<(Pos, Value)> = gp.into_iter().zip(gv).collect();
+            assert_eq!(got, expected, "{:?}", block.encoding());
+        }
+    }
+
+    #[test]
+    fn decode_range_supported_on_all_codecs() {
+        let values = sample_values();
+        for block in all_blocks(&values, 100) {
+            let mut out = Vec::new();
+            block.decode_range(PosRange::new(110, 130), &mut out).unwrap();
+            assert_eq!(out, &values[10..30], "{:?}", block.encoding());
+            // Out-of-block ranges are rejected.
+            assert!(block
+                .decode_range(PosRange::new(90, 95), &mut out)
+                .is_err());
+        }
+    }
+
+    #[test]
+    fn for_each_run_in_clips_runs() {
+        let values = vec![5, 5, 5, 2, 2, 9, 9];
+        for block in all_blocks(&values, 10) {
+            let mut runs = Vec::new();
+            block.for_each_run_in(PosRange::new(11, 16), |v, r| runs.push((v, r.start, r.end)));
+            assert_eq!(
+                runs,
+                vec![(5, 11, 13), (2, 13, 15), (9, 15, 16)],
+                "{:?}",
+                block.encoding()
+            );
+            // Disjoint window: nothing.
+            let mut n = 0;
+            block.for_each_run_in(PosRange::new(100, 200), |_, _| n += 1);
+            assert_eq!(n, 0);
+        }
+    }
+}

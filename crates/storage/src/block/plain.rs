@@ -1,0 +1,306 @@
+//! Uncompressed (plain) blocks: values packed at a fixed byte width.
+
+use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value, Width};
+use matstrat_poslist::{PosList, PosListBuilder};
+
+use crate::wire::Reader;
+use crate::BLOCK_SIZE;
+
+use super::BLOCK_HEADER_SIZE;
+
+/// A block of values packed contiguously at [`Width`] bytes each.
+///
+/// The payload stays in its packed byte form in memory; accessors decode
+/// individual values with sign extension. A 64 KB block at width 1 holds
+/// ~65 K values, which is what makes the paper's uncompressed LINENUM
+/// column (60 M rows) occupy 916 blocks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlainBlock {
+    start_pos: Pos,
+    width: Width,
+    raw: Vec<u8>,
+    count: u32,
+}
+
+impl PlainBlock {
+    /// Maximum number of rows a plain block of `width` can hold.
+    pub fn capacity(width: Width) -> usize {
+        (BLOCK_SIZE - BLOCK_HEADER_SIZE) / width.bytes()
+    }
+
+    /// Encode `values` (must fit `width` and `capacity`).
+    ///
+    /// # Panics
+    /// Panics if a value does not fit the width or the block would
+    /// overflow 64 KB.
+    pub fn from_values(start_pos: Pos, width: Width, values: &[Value]) -> PlainBlock {
+        assert!(
+            values.len() <= Self::capacity(width),
+            "plain block overflow: {} values at width {width}",
+            values.len()
+        );
+        let mut raw = Vec::with_capacity(values.len() * width.bytes());
+        for &v in values {
+            assert!(width.fits(v), "value {v} does not fit width {width}");
+            match width {
+                Width::W1 => raw.extend_from_slice(&(v as i8).to_le_bytes()),
+                Width::W2 => raw.extend_from_slice(&(v as i16).to_le_bytes()),
+                Width::W4 => raw.extend_from_slice(&(v as i32).to_le_bytes()),
+                Width::W8 => raw.extend_from_slice(&v.to_le_bytes()),
+            }
+        }
+        PlainBlock { start_pos, width, raw, count: values.len() as u32 }
+    }
+
+    /// Absolute position of the first row.
+    #[inline]
+    pub fn start_pos(&self) -> Pos {
+        self.start_pos
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn num_rows(&self) -> u32 {
+        self.count
+    }
+
+    /// Byte width of each packed value.
+    #[inline]
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Decode the value at row index `idx` (0-based within the block).
+    #[inline(always)]
+    fn decode_idx(&self, idx: usize) -> Value {
+        let w = self.width.bytes();
+        let o = idx * w;
+        match self.width {
+            Width::W1 => self.raw[o] as i8 as i64,
+            Width::W2 => i16::from_le_bytes(self.raw[o..o + 2].try_into().unwrap()) as i64,
+            Width::W4 => i32::from_le_bytes(self.raw[o..o + 4].try_into().unwrap()) as i64,
+            Width::W8 => i64::from_le_bytes(self.raw[o..o + 8].try_into().unwrap()),
+        }
+    }
+
+    fn check_pos(&self, pos: Pos) -> Result<usize> {
+        if pos < self.start_pos || pos >= self.start_pos + self.count as u64 {
+            return Err(Error::invalid(format!(
+                "position {pos} outside block [{}, {})",
+                self.start_pos,
+                self.start_pos + self.count as u64
+            )));
+        }
+        Ok((pos - self.start_pos) as usize)
+    }
+
+    /// DS1 over packed values; representation chosen by the builder.
+    pub fn scan_positions(&self, pred: &Predicate) -> PosList {
+        let mut b = PosListBuilder::new();
+        // Specialize the inner loop per width so the decode is branch-free.
+        macro_rules! scan {
+            ($get:expr) => {
+                for i in 0..self.count as usize {
+                    if pred.matches($get(i)) {
+                        b.push(self.start_pos + i as u64);
+                    }
+                }
+            };
+        }
+        match self.width {
+            Width::W1 => scan!(|i: usize| self.raw[i] as i8 as i64),
+            Width::W2 => scan!(|i: usize| i16::from_le_bytes(
+                self.raw[i * 2..i * 2 + 2].try_into().unwrap()
+            ) as i64),
+            Width::W4 => scan!(|i: usize| i32::from_le_bytes(
+                self.raw[i * 4..i * 4 + 4].try_into().unwrap()
+            ) as i64),
+            Width::W8 => scan!(|i: usize| i64::from_le_bytes(
+                self.raw[i * 8..i * 8 + 8].try_into().unwrap()
+            )),
+        }
+        b.finish()
+    }
+
+    /// DS2 over packed values.
+    pub fn scan_pairs(&self, pred: &Predicate, out_pos: &mut Vec<Pos>, out_val: &mut Vec<Value>) {
+        for i in 0..self.count as usize {
+            let v = self.decode_idx(i);
+            if pred.matches(v) {
+                out_pos.push(self.start_pos + i as u64);
+                out_val.push(v);
+            }
+        }
+    }
+
+    /// DS1 restricted to `window` (already intersected with the covering
+    /// range by the caller).
+    pub fn scan_positions_in(&self, pred: &Predicate, window: PosRange) -> PosList {
+        let lo = (window.start - self.start_pos) as usize;
+        let hi = (window.end - self.start_pos) as usize;
+        let mut b = PosListBuilder::new();
+        for i in lo..hi {
+            if pred.matches(self.decode_idx(i)) {
+                b.push(self.start_pos + i as u64);
+            }
+        }
+        b.finish()
+    }
+
+    /// DS2 restricted to `window`.
+    pub fn scan_pairs_in(
+        &self,
+        pred: &Predicate,
+        window: PosRange,
+        out_pos: &mut Vec<Pos>,
+        out_val: &mut Vec<Value>,
+    ) {
+        let lo = (window.start - self.start_pos) as usize;
+        let hi = (window.end - self.start_pos) as usize;
+        for i in lo..hi {
+            let v = self.decode_idx(i);
+            if pred.matches(v) {
+                out_pos.push(self.start_pos + i as u64);
+                out_val.push(v);
+            }
+        }
+    }
+
+    /// DS3 point fetch (O(1) per position).
+    pub fn gather(&self, positions: &[Pos], out: &mut Vec<Value>) -> Result<()> {
+        out.reserve(positions.len());
+        for &p in positions {
+            let idx = self.check_pos(p)?;
+            out.push(self.decode_idx(idx));
+        }
+        Ok(())
+    }
+
+    /// DS3 range fetch.
+    pub fn gather_range(&self, range: PosRange, out: &mut Vec<Value>) -> Result<()> {
+        if range.is_empty() {
+            return Ok(());
+        }
+        let lo = self.check_pos(range.start)?;
+        let hi = self.check_pos(range.end - 1)? + 1;
+        out.reserve(hi - lo);
+        for i in lo..hi {
+            out.push(self.decode_idx(i));
+        }
+        Ok(())
+    }
+
+    /// DS4 probe.
+    pub fn value_at(&self, pos: Pos) -> Result<Value> {
+        let idx = self.check_pos(pos)?;
+        Ok(self.decode_idx(idx))
+    }
+
+    /// Append every value in position order.
+    pub fn decode_all(&self, out: &mut Vec<Value>) {
+        out.reserve(self.count as usize);
+        for i in 0..self.count as usize {
+            out.push(self.decode_idx(i));
+        }
+    }
+
+    /// Visit maximal equal-value runs (coalesced on the fly).
+    pub fn for_each_run(&self, mut f: impl FnMut(Value, PosRange)) {
+        if self.count == 0 {
+            return;
+        }
+        let mut run_val = self.decode_idx(0);
+        let mut run_start = self.start_pos;
+        for i in 1..self.count as usize {
+            let v = self.decode_idx(i);
+            if v != run_val {
+                f(run_val, PosRange::new(run_start, self.start_pos + i as u64));
+                run_val = v;
+                run_start = self.start_pos + i as u64;
+            }
+        }
+        f(
+            run_val,
+            PosRange::new(run_start, self.start_pos + self.count as u64),
+        );
+    }
+
+    /// Append the codec payload (packed bytes) to `buf`.
+    pub fn serialize_payload(&self, buf: &mut Vec<u8>) {
+        buf.extend_from_slice(&self.raw);
+    }
+
+    /// Parse the codec payload.
+    pub fn parse_payload(
+        start_pos: Pos,
+        count: u32,
+        width: u8,
+        r: &mut Reader<'_>,
+    ) -> Result<PlainBlock> {
+        let width = match width {
+            1 => Width::W1,
+            2 => Width::W2,
+            4 => Width::W4,
+            8 => Width::W8,
+            w => return Err(Error::corrupt(format!("bad plain width {w}"))),
+        };
+        let raw = r.bytes(count as usize * width.bytes())?.to_vec();
+        Ok(PlainBlock { start_pos, width, raw, count })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_by_width() {
+        assert_eq!(PlainBlock::capacity(Width::W1), 65520);
+        assert_eq!(PlainBlock::capacity(Width::W8), 8190);
+    }
+
+    #[test]
+    fn negative_values_roundtrip_all_widths() {
+        for width in [Width::W1, Width::W2, Width::W4, Width::W8] {
+            let values = vec![-1, 0, 1, -128, 127];
+            let b = PlainBlock::from_values(0, width, &values);
+            let mut out = Vec::new();
+            b.decode_all(&mut out);
+            assert_eq!(out, values, "{width}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn width_violation_panics() {
+        PlainBlock::from_values(0, Width::W1, &[1000]);
+    }
+
+    #[test]
+    fn scan_positions_runs_are_coalesced() {
+        // 0,0,0,1,1,0: pred eq(0) matches positions 0-2 and 5.
+        let b = PlainBlock::from_values(10, Width::W1, &[0, 0, 0, 1, 1, 0]);
+        let pl = b.scan_positions(&Predicate::eq(0));
+        assert_eq!(pl.to_vec(), vec![10, 11, 12, 15]);
+    }
+
+    #[test]
+    fn gather_range_bounds_checked() {
+        let b = PlainBlock::from_values(10, Width::W2, &[1, 2, 3]);
+        let mut out = Vec::new();
+        assert!(b.gather_range(PosRange::new(10, 14), &mut out).is_err());
+        out.clear();
+        b.gather_range(PosRange::new(11, 13), &mut out).unwrap();
+        assert_eq!(out, vec![2, 3]);
+        b.gather_range(PosRange::empty(), &mut out).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn empty_block_for_each_run() {
+        let b = PlainBlock::from_values(0, Width::W1, &[]);
+        let mut n = 0;
+        b.for_each_run(|_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+}

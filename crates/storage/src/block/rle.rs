@@ -1,0 +1,375 @@
+//! Run-length encoded blocks.
+//!
+//! The paper (§1.1): *"In a run-length encoded file, each block contains
+//! a series of RLE triples (V, S, L), where V is the value, S is the
+//! start position of the run, and L is the length of the run."* We store
+//! (V, L) on disk — S is the running sum — and materialize S when the
+//! block is parsed, so the in-memory form matches the paper's triples.
+
+use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
+use matstrat_poslist::{PosList, PosListBuilder};
+
+use crate::wire::{put_i64, put_u32, Reader};
+use crate::BLOCK_SIZE;
+
+use super::BLOCK_HEADER_SIZE;
+
+/// One RLE triple: `value` repeats for `len` rows starting at absolute
+/// position `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RleRun {
+    /// The repeated value (V).
+    pub value: Value,
+    /// Absolute start position of the run (S).
+    pub start: Pos,
+    /// Number of repetitions (L).
+    pub len: u32,
+}
+
+impl RleRun {
+    /// The positions this run covers.
+    #[inline]
+    pub fn range(&self) -> PosRange {
+        PosRange::new(self.start, self.start + self.len as u64)
+    }
+}
+
+/// A run-length encoded block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RleBlock {
+    start_pos: Pos,
+    count: u32,
+    runs: Vec<RleRun>,
+}
+
+/// Bytes per run on disk: value (8) + length (4).
+const RUN_DISK_SIZE: usize = 12;
+
+impl RleBlock {
+    /// Maximum number of runs a block can hold.
+    pub fn capacity_runs() -> usize {
+        (BLOCK_SIZE - BLOCK_HEADER_SIZE - 4) / RUN_DISK_SIZE
+    }
+
+    /// Encode `values` into runs.
+    ///
+    /// # Panics
+    /// Panics if the values produce more runs than fit in one block; the
+    /// column writer is responsible for splitting.
+    pub fn from_values(start_pos: Pos, values: &[Value]) -> RleBlock {
+        let mut runs: Vec<RleRun> = Vec::new();
+        let mut at = start_pos;
+        for &v in values {
+            match runs.last_mut() {
+                Some(r) if r.value == v && r.len < u32::MAX => r.len += 1,
+                _ => runs.push(RleRun { value: v, start: at, len: 1 }),
+            }
+            at += 1;
+        }
+        assert!(
+            runs.len() <= Self::capacity_runs(),
+            "RLE block overflow: {} runs",
+            runs.len()
+        );
+        RleBlock { start_pos, count: values.len() as u32, runs }
+    }
+
+    /// Build directly from runs (used by the column writer). Runs must be
+    /// contiguous starting at `start_pos`.
+    pub fn from_runs(start_pos: Pos, runs: Vec<RleRun>) -> RleBlock {
+        let mut expected = start_pos;
+        let mut count = 0u64;
+        for r in &runs {
+            assert_eq!(r.start, expected, "runs must be contiguous");
+            assert!(r.len > 0, "empty run");
+            expected += r.len as u64;
+            count += r.len as u64;
+        }
+        assert!(runs.len() <= Self::capacity_runs());
+        RleBlock { start_pos, count: count as u32, runs }
+    }
+
+    /// Absolute position of the first row.
+    #[inline]
+    pub fn start_pos(&self) -> Pos {
+        self.start_pos
+    }
+
+    /// Number of rows (sum of run lengths).
+    #[inline]
+    pub fn num_rows(&self) -> u32 {
+        self.count
+    }
+
+    /// The stored runs.
+    #[inline]
+    pub fn runs(&self) -> &[RleRun] {
+        &self.runs
+    }
+
+    /// Index of the run containing absolute position `pos`.
+    fn run_for(&self, pos: Pos) -> Result<usize> {
+        if pos < self.start_pos || pos >= self.start_pos + self.count as u64 {
+            return Err(Error::invalid(format!(
+                "position {pos} outside RLE block [{}, {})",
+                self.start_pos,
+                self.start_pos + self.count as u64
+            )));
+        }
+        let idx = self
+            .runs
+            .partition_point(|r| r.start + r.len as u64 <= pos);
+        Ok(idx)
+    }
+
+    /// DS1: one whole run matches or fails per comparison — O(#runs).
+    /// Emits the range representation, the natural output for RLE.
+    pub fn scan_positions(&self, pred: &Predicate) -> PosList {
+        let mut b = PosListBuilder::new();
+        for r in &self.runs {
+            if pred.matches(r.value) {
+                b.push_run(r.range());
+            }
+        }
+        b.finish_as_ranges()
+    }
+
+    /// DS2: matching runs are decompressed into (pos, value) pairs —
+    /// the paper's "tuple construction requires decompression".
+    pub fn scan_pairs(&self, pred: &Predicate, out_pos: &mut Vec<Pos>, out_val: &mut Vec<Value>) {
+        for r in &self.runs {
+            if pred.matches(r.value) {
+                out_pos.extend(r.start..r.start + r.len as u64);
+                out_val.extend(std::iter::repeat_n(r.value, r.len as usize));
+            }
+        }
+    }
+
+    /// Runs overlapping `window`, as a subslice (binary search on starts).
+    fn runs_overlapping(&self, window: PosRange) -> &[RleRun] {
+        let first = self
+            .runs
+            .partition_point(|r| r.start + r.len as u64 <= window.start);
+        let last = self.runs.partition_point(|r| r.start < window.end);
+        &self.runs[first..last]
+    }
+
+    /// DS1 restricted to `window`: O(overlapping runs).
+    pub fn scan_positions_in(&self, pred: &Predicate, window: PosRange) -> PosList {
+        let mut b = PosListBuilder::new();
+        for r in self.runs_overlapping(window) {
+            if pred.matches(r.value) {
+                b.push_run(r.range().intersect(&window));
+            }
+        }
+        b.finish_as_ranges()
+    }
+
+    /// DS2 restricted to `window`.
+    pub fn scan_pairs_in(
+        &self,
+        pred: &Predicate,
+        window: PosRange,
+        out_pos: &mut Vec<Pos>,
+        out_val: &mut Vec<Value>,
+    ) {
+        for r in self.runs_overlapping(window) {
+            if pred.matches(r.value) {
+                let o = r.range().intersect(&window);
+                out_pos.extend(o.start..o.end);
+                out_val.extend(std::iter::repeat_n(r.value, o.len() as usize));
+            }
+        }
+    }
+
+    /// DS3 point fetch. Ascending positions walk the run list forward;
+    /// random probes fall back to binary search.
+    pub fn gather(&self, positions: &[Pos], out: &mut Vec<Value>) -> Result<()> {
+        out.reserve(positions.len());
+        let mut run_idx = 0usize;
+        let mut last: Option<Pos> = None;
+        for &p in positions {
+            if last.is_some_and(|l| p < l) {
+                run_idx = 0; // out-of-order probe: restart (rare path)
+            }
+            last = Some(p);
+            if p < self.start_pos || p >= self.start_pos + self.count as u64 {
+                return Err(Error::invalid(format!("position {p} outside RLE block")));
+            }
+            while self.runs[run_idx].start + self.runs[run_idx].len as u64 <= p {
+                run_idx += 1;
+            }
+            out.push(self.runs[run_idx].value);
+        }
+        Ok(())
+    }
+
+    /// DS3 range fetch: overlapping runs emit `min(run, range)` copies.
+    pub fn gather_range(&self, range: PosRange, out: &mut Vec<Value>) -> Result<()> {
+        if range.is_empty() {
+            return Ok(());
+        }
+        let first = self.run_for(range.start)?;
+        self.run_for(range.end - 1)?; // bounds check the far end
+        out.reserve(range.len() as usize);
+        for r in &self.runs[first..] {
+            let overlap = r.range().intersect(&range);
+            if overlap.is_empty() {
+                break;
+            }
+            out.extend(std::iter::repeat_n(r.value, overlap.len() as usize));
+        }
+        Ok(())
+    }
+
+    /// DS4 probe: binary search over run start positions.
+    pub fn value_at(&self, pos: Pos) -> Result<Value> {
+        let idx = self.run_for(pos)?;
+        Ok(self.runs[idx].value)
+    }
+
+    /// Full decompression in position order.
+    pub fn decode_all(&self, out: &mut Vec<Value>) {
+        out.reserve(self.count as usize);
+        for r in &self.runs {
+            out.extend(std::iter::repeat_n(r.value, r.len as usize));
+        }
+    }
+
+    /// Visit runs directly — the whole point of RLE: O(#runs), no
+    /// decompression.
+    pub fn for_each_run(&self, mut f: impl FnMut(Value, PosRange)) {
+        for r in &self.runs {
+            f(r.value, r.range());
+        }
+    }
+
+    /// Append the codec payload to `buf`.
+    pub fn serialize_payload(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.runs.len() as u32);
+        for r in &self.runs {
+            put_i64(buf, r.value);
+            put_u32(buf, r.len);
+        }
+    }
+
+    /// Parse the codec payload, rebuilding absolute run starts.
+    pub fn parse_payload(start_pos: Pos, count: u32, r: &mut Reader<'_>) -> Result<RleBlock> {
+        let nruns = r.u32()? as usize;
+        let mut runs = Vec::with_capacity(nruns);
+        let mut at = start_pos;
+        let mut total = 0u64;
+        for _ in 0..nruns {
+            let value = r.i64()?;
+            let len = r.u32()?;
+            if len == 0 {
+                return Err(Error::corrupt("zero-length RLE run"));
+            }
+            runs.push(RleRun { value, start: at, len });
+            at += len as u64;
+            total += len as u64;
+        }
+        if total != count as u64 {
+            return Err(Error::corrupt(format!(
+                "RLE row count mismatch: header {count}, runs sum {total}"
+            )));
+        }
+        Ok(RleBlock { start_pos, count, runs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_values_builds_triples() {
+        let b = RleBlock::from_values(100, &[7, 7, 7, 3, 3, 9]);
+        assert_eq!(
+            b.runs(),
+            &[
+                RleRun { value: 7, start: 100, len: 3 },
+                RleRun { value: 3, start: 103, len: 2 },
+                RleRun { value: 9, start: 105, len: 1 },
+            ]
+        );
+        assert_eq!(b.num_rows(), 6);
+    }
+
+    #[test]
+    fn paper_example_five_tuples() {
+        // §2.1.2: (2,5) indicates the value 2 repeats 5 times.
+        let b = RleBlock::from_values(0, &[2, 2, 2, 2, 2]);
+        assert_eq!(b.runs().len(), 1);
+        assert_eq!(b.runs()[0].value, 2);
+        assert_eq!(b.runs()[0].len, 5);
+        let mut out = Vec::new();
+        b.decode_all(&mut out);
+        assert_eq!(out, vec![2; 5]);
+    }
+
+    #[test]
+    fn scan_positions_yields_ranges() {
+        let b = RleBlock::from_values(0, &[1, 1, 2, 2, 2, 1]);
+        let pl = b.scan_positions(&Predicate::eq(1));
+        assert_eq!(pl.to_vec(), vec![0, 1, 5]);
+        assert_eq!(pl.to_ranges().num_runs(), 2);
+    }
+
+    #[test]
+    fn gather_out_of_order_restarts() {
+        let b = RleBlock::from_values(0, &[1, 1, 2, 2, 3, 3]);
+        let mut out = Vec::new();
+        b.gather(&[5, 0, 3], &mut out).unwrap();
+        assert_eq!(out, vec![3, 1, 2]);
+    }
+
+    #[test]
+    fn gather_range_spanning_runs() {
+        let b = RleBlock::from_values(10, &[1, 1, 2, 2, 3, 3]);
+        let mut out = Vec::new();
+        b.gather_range(PosRange::new(11, 15), &mut out).unwrap();
+        assert_eq!(out, vec![1, 2, 2, 3]);
+    }
+
+    #[test]
+    fn value_at_binary_search() {
+        let b = RleBlock::from_values(0, &[5, 5, 6, 7, 7, 7]);
+        assert_eq!(b.value_at(0).unwrap(), 5);
+        assert_eq!(b.value_at(2).unwrap(), 6);
+        assert_eq!(b.value_at(5).unwrap(), 7);
+        assert!(b.value_at(6).is_err());
+    }
+
+    #[test]
+    fn from_runs_validates_contiguity() {
+        let runs = vec![
+            RleRun { value: 1, start: 0, len: 3 },
+            RleRun { value: 2, start: 3, len: 2 },
+        ];
+        let b = RleBlock::from_runs(0, runs);
+        assert_eq!(b.num_rows(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn from_runs_rejects_gaps() {
+        RleBlock::from_runs(
+            0,
+            vec![
+                RleRun { value: 1, start: 0, len: 3 },
+                RleRun { value: 2, start: 5, len: 2 },
+            ],
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_counts() {
+        let b = RleBlock::from_values(0, &[1, 1, 2]);
+        let mut buf = Vec::new();
+        b.serialize_payload(&mut buf);
+        // Corrupt: claim 99 rows in the header.
+        let mut r = Reader::new(&buf);
+        assert!(RleBlock::parse_payload(0, 99, &mut r).is_err());
+    }
+}

@@ -1,0 +1,220 @@
+//! Disk abstraction: real files or an in-memory image.
+//!
+//! Both implementations expose the same random-access API, so the whole
+//! stack (block fetch → buffer pool → operators) exercises one code path.
+//! The in-memory disk is the laptop-scale stand-in for the paper's 2006
+//! spinning disk: actual transfer time is negligible either way once the
+//! OS page cache is warm, and the *cost* of cold I/O is accounted
+//! separately by the [`IoMeter`](crate::meter::IoMeter).
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use matstrat_common::{Error, Result};
+use parking_lot::Mutex;
+
+/// Random-access storage for column files, keyed by file name.
+pub trait Disk: Send + Sync {
+    /// Create (or truncate) a file.
+    fn create(&self, name: &str) -> Result<()>;
+
+    /// Write `data` at `offset`, extending the file as needed.
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()>;
+
+    /// Read exactly `len` bytes at `offset`.
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>>;
+
+    /// Current length of the file in bytes.
+    fn len(&self, name: &str) -> Result<u64>;
+
+    /// Whether the file exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// List all file names (unordered).
+    fn list(&self) -> Vec<String>;
+}
+
+/// An in-memory disk image: `HashMap<name, Vec<u8>>` behind a mutex.
+#[derive(Debug, Default)]
+pub struct MemDisk {
+    files: Mutex<HashMap<String, Vec<u8>>>,
+}
+
+impl MemDisk {
+    /// Empty in-memory disk.
+    pub fn new() -> MemDisk {
+        MemDisk::default()
+    }
+}
+
+impl Disk for MemDisk {
+    fn create(&self, name: &str) -> Result<()> {
+        self.files.lock().insert(name.to_string(), Vec::new());
+        Ok(())
+    }
+
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let mut files = self.files.lock();
+        let f = files
+            .get_mut(name)
+            .ok_or_else(|| Error::not_found(format!("file {name}")))?;
+        let end = offset as usize + data.len();
+        if f.len() < end {
+            f.resize(end, 0);
+        }
+        f[offset as usize..end].copy_from_slice(data);
+        Ok(())
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let files = self.files.lock();
+        let f = files
+            .get(name)
+            .ok_or_else(|| Error::not_found(format!("file {name}")))?;
+        let end = offset as usize + len;
+        if f.len() < end {
+            return Err(Error::corrupt(format!(
+                "short read: {name} has {} bytes, wanted [{offset}, {end})",
+                f.len()
+            )));
+        }
+        Ok(f[offset as usize..end].to_vec())
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        let files = self.files.lock();
+        files
+            .get(name)
+            .map(|f| f.len() as u64)
+            .ok_or_else(|| Error::not_found(format!("file {name}")))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.files.lock().contains_key(name)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.files.lock().keys().cloned().collect()
+    }
+}
+
+/// A directory of real files on the local file system.
+#[derive(Debug)]
+pub struct FileDisk {
+    dir: PathBuf,
+}
+
+impl FileDisk {
+    /// Open (creating if necessary) a directory as a disk.
+    pub fn open(dir: impl AsRef<Path>) -> Result<FileDisk> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileDisk { dir })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        // Column names are catalog-generated (`t{t}_c{c}.col`), never raw
+        // user input, but reject separators defensively.
+        assert!(
+            !name.contains('/') && !name.contains('\\'),
+            "file name must not contain path separators"
+        );
+        self.dir.join(name)
+    }
+}
+
+impl Disk for FileDisk {
+    fn create(&self, name: &str) -> Result<()> {
+        File::create(self.path(name))?;
+        Ok(())
+    }
+
+    fn write_at(&self, name: &str, offset: u64, data: &[u8]) -> Result<()> {
+        let mut f = OpenOptions::new().write(true).open(self.path(name))?;
+        f.seek(SeekFrom::Start(offset))?;
+        f.write_all(data)?;
+        Ok(())
+    }
+
+    fn read_at(&self, name: &str, offset: u64, len: usize) -> Result<Vec<u8>> {
+        let mut f = File::open(self.path(name))?;
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        Ok(std::fs::metadata(self.path(name))?.len())
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path(name).exists()
+    }
+
+    fn list(&self) -> Vec<String> {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn Disk) {
+        disk.create("a.col").unwrap();
+        assert!(disk.exists("a.col"));
+        assert!(!disk.exists("b.col"));
+        disk.write_at("a.col", 0, b"hello").unwrap();
+        disk.write_at("a.col", 10, b"world").unwrap();
+        assert_eq!(disk.len("a.col").unwrap(), 15);
+        assert_eq!(disk.read_at("a.col", 0, 5).unwrap(), b"hello");
+        assert_eq!(disk.read_at("a.col", 10, 5).unwrap(), b"world");
+        // Gap is zero-filled.
+        assert_eq!(disk.read_at("a.col", 5, 5).unwrap(), vec![0u8; 5]);
+        // Reading past EOF fails.
+        assert!(disk.read_at("a.col", 12, 10).is_err());
+        // Missing file fails.
+        assert!(disk.read_at("nope", 0, 1).is_err());
+        assert!(disk.len("nope").is_err());
+        assert!(disk.list().contains(&"a.col".to_string()));
+    }
+
+    #[test]
+    fn memdisk_contract() {
+        exercise(&MemDisk::new());
+    }
+
+    #[test]
+    fn filedisk_contract() {
+        let dir = std::env::temp_dir().join(format!("matstrat-disk-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        exercise(&FileDisk::open(&dir).unwrap());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn memdisk_create_truncates() {
+        let d = MemDisk::new();
+        d.create("f").unwrap();
+        d.write_at("f", 0, b"data").unwrap();
+        d.create("f").unwrap();
+        assert_eq!(d.len("f").unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "path separators")]
+    fn filedisk_rejects_separators() {
+        let dir = std::env::temp_dir().join(format!("matstrat-disk-sep-{}", std::process::id()));
+        let d = FileDisk::open(&dir).unwrap();
+        let _ = d.exists("../evil");
+    }
+}

@@ -1,0 +1,528 @@
+//! Column files: a stats header, a sequence of encoded blocks, and a
+//! block index.
+//!
+//! Layout:
+//!
+//! ```text
+//! [ header (80 bytes): magic, version, encoding, width,
+//!   num_rows, num_blocks, index_offset, min, max, distinct, num_runs ]
+//! [ block 0 ][ block 1 ] ... [ block n-1 ]
+//! [ index: n entries of (offset, len, start_pos, count) ]
+//! ```
+//!
+//! The index is loaded into memory when a column is opened, so locating
+//! the block containing a position is a binary search with no I/O —
+//! the "jump to pos" of the DS3/DS4 pseudocode.
+
+use std::collections::HashSet;
+
+use matstrat_common::{Error, Pos, Result, Value, Width};
+
+use crate::block::{BitVecBlock, DictBlock, EncodedBlock, PlainBlock, RleBlock};
+use crate::disk::Disk;
+use crate::encoding::EncodingKind;
+use crate::wire::{put_u16, put_u32, put_u64, put_u8, Reader};
+use crate::BLOCK_SIZE;
+
+const MAGIC: &[u8; 4] = b"MSCF";
+const VERSION: u32 = 1;
+const HEADER_SIZE: u64 = 80;
+const INDEX_ENTRY_SIZE: usize = 24;
+
+/// Location and position coverage of one block inside a column file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockIndexEntry {
+    /// Byte offset of the serialized block.
+    pub offset: u64,
+    /// Serialized length in bytes.
+    pub len: u32,
+    /// Absolute position of the block's first row.
+    pub start_pos: Pos,
+    /// Number of rows in the block.
+    pub count: u32,
+}
+
+/// Statistics gathered while writing a column, persisted in the header.
+///
+/// These are exactly the quantities the analytical model consumes:
+/// `|C|` (blocks), `||C||` (rows), and `RL` (average run length =
+/// `num_rows / num_runs`), plus min/max/distinct for selectivity
+/// estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnStats {
+    /// Total rows (`||C||`).
+    pub num_rows: u64,
+    /// Total blocks (`|C|`).
+    pub num_blocks: u64,
+    /// Minimum value (0 when the column is empty).
+    pub min: Value,
+    /// Maximum value (0 when the column is empty).
+    pub max: Value,
+    /// Number of distinct values.
+    pub distinct: u64,
+    /// Number of maximal equal-value runs (`num_rows / RL`).
+    pub num_runs: u64,
+}
+
+impl ColumnStats {
+    /// Average sorted-run length `RL` (1.0 for an empty column).
+    pub fn avg_run_len(&self) -> f64 {
+        if self.num_runs == 0 {
+            1.0
+        } else {
+            self.num_rows as f64 / self.num_runs as f64
+        }
+    }
+}
+
+/// Streaming writer: push values, blocks split themselves per codec.
+pub struct ColumnFileWriter<'a> {
+    disk: &'a dyn Disk,
+    name: String,
+    encoding: EncodingKind,
+    width: Width,
+    buffer: Vec<Value>,
+    /// Distinct values in the *current block* (BitVec/Dict size control).
+    block_distinct: Vec<Value>,
+    /// Runs in the current block (RLE size control).
+    block_runs: usize,
+    next_start: Pos,
+    write_offset: u64,
+    index: Vec<BlockIndexEntry>,
+    // Column-wide stats.
+    min: Value,
+    max: Value,
+    distinct: HashSet<Value>,
+    num_runs: u64,
+    last_value: Option<Value>,
+}
+
+impl<'a> ColumnFileWriter<'a> {
+    /// Create `name` on `disk` and start writing a column with the given
+    /// encoding. `width` is the packed width for `Plain` (ignored by the
+    /// other codecs).
+    pub fn create(
+        disk: &'a dyn Disk,
+        name: impl Into<String>,
+        encoding: EncodingKind,
+        width: Width,
+    ) -> Result<ColumnFileWriter<'a>> {
+        let name = name.into();
+        disk.create(&name)?;
+        Ok(ColumnFileWriter {
+            disk,
+            name,
+            encoding,
+            width,
+            buffer: Vec::new(),
+            block_distinct: Vec::new(),
+            block_runs: 0,
+            next_start: 0,
+            write_offset: HEADER_SIZE,
+            index: Vec::new(),
+            min: Value::MAX,
+            max: Value::MIN,
+            distinct: HashSet::new(),
+            num_runs: 0,
+            last_value: None,
+        })
+    }
+
+    /// Whether appending `v` to the current block would overflow 64 KB.
+    fn would_overflow(&self, v: Value) -> bool {
+        let n = self.buffer.len();
+        match self.encoding {
+            EncodingKind::Plain => n >= PlainBlock::capacity(self.width),
+            EncodingKind::Rle => {
+                let new_run = self.buffer.last() != Some(&v);
+                self.block_runs + usize::from(new_run) > RleBlock::capacity_runs()
+            }
+            EncodingKind::BitVec => {
+                let k = self.block_distinct.len()
+                    + usize::from(!self.block_distinct.contains(&v));
+                BitVecBlock::encoded_size(k, n + 1) > BLOCK_SIZE
+            }
+            EncodingKind::Dict => {
+                let k = self.block_distinct.len()
+                    + usize::from(!self.block_distinct.contains(&v));
+                DictBlock::encoded_size(k, n + 1) > BLOCK_SIZE
+            }
+        }
+    }
+
+    /// Append one value.
+    pub fn push(&mut self, v: Value) -> Result<()> {
+        if self.encoding == EncodingKind::Plain && !self.width.fits(v) {
+            return Err(Error::invalid(format!(
+                "value {v} does not fit plain width {}",
+                self.width
+            )));
+        }
+        if self.would_overflow(v) {
+            self.flush_block()?;
+        }
+        // Per-block bookkeeping.
+        match self.encoding {
+            EncodingKind::Rle => {
+                if self.buffer.last() != Some(&v) {
+                    self.block_runs += 1;
+                }
+            }
+            EncodingKind::BitVec | EncodingKind::Dict => {
+                if !self.block_distinct.contains(&v) {
+                    self.block_distinct.push(v);
+                }
+            }
+            EncodingKind::Plain => {}
+        }
+        self.buffer.push(v);
+        // Column-wide stats.
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.distinct.insert(v);
+        if self.last_value != Some(v) {
+            self.num_runs += 1;
+            self.last_value = Some(v);
+        }
+        Ok(())
+    }
+
+    /// Append a slice of values.
+    pub fn push_all(&mut self, values: &[Value]) -> Result<()> {
+        for &v in values {
+            self.push(v)?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.buffer.is_empty() {
+            return Ok(());
+        }
+        let block = match self.encoding {
+            EncodingKind::Plain => {
+                EncodedBlock::Plain(PlainBlock::from_values(self.next_start, self.width, &self.buffer))
+            }
+            EncodingKind::Rle => {
+                EncodedBlock::Rle(RleBlock::from_values(self.next_start, &self.buffer))
+            }
+            EncodingKind::BitVec => {
+                EncodedBlock::BitVec(BitVecBlock::from_values(self.next_start, &self.buffer))
+            }
+            EncodingKind::Dict => {
+                EncodedBlock::Dict(DictBlock::from_values(self.next_start, &self.buffer))
+            }
+        };
+        let bytes = block.serialize();
+        self.disk.write_at(&self.name, self.write_offset, &bytes)?;
+        self.index.push(BlockIndexEntry {
+            offset: self.write_offset,
+            len: bytes.len() as u32,
+            start_pos: self.next_start,
+            count: self.buffer.len() as u32,
+        });
+        self.write_offset += bytes.len() as u64;
+        self.next_start += self.buffer.len() as u64;
+        self.buffer.clear();
+        self.block_distinct.clear();
+        self.block_runs = 0;
+        Ok(())
+    }
+
+    /// Flush the final block, write the index and header, and return the
+    /// column statistics.
+    pub fn finish(mut self) -> Result<ColumnStats> {
+        self.flush_block()?;
+        let index_offset = self.write_offset;
+        let mut index_bytes = Vec::with_capacity(self.index.len() * INDEX_ENTRY_SIZE);
+        for e in &self.index {
+            put_u64(&mut index_bytes, e.offset);
+            put_u32(&mut index_bytes, e.len);
+            put_u64(&mut index_bytes, e.start_pos);
+            put_u32(&mut index_bytes, e.count);
+        }
+        self.disk.write_at(&self.name, index_offset, &index_bytes)?;
+
+        let stats = ColumnStats {
+            num_rows: self.next_start,
+            num_blocks: self.index.len() as u64,
+            min: if self.distinct.is_empty() { 0 } else { self.min },
+            max: if self.distinct.is_empty() { 0 } else { self.max },
+            distinct: self.distinct.len() as u64,
+            num_runs: self.num_runs,
+        };
+
+        let mut header = Vec::with_capacity(HEADER_SIZE as usize);
+        header.extend_from_slice(MAGIC);
+        put_u32(&mut header, VERSION);
+        put_u8(&mut header, self.encoding.tag());
+        put_u8(&mut header, self.width.bytes() as u8);
+        put_u16(&mut header, 0);
+        put_u32(&mut header, 0); // padding to 16
+        put_u64(&mut header, stats.num_rows);
+        put_u64(&mut header, stats.num_blocks);
+        put_u64(&mut header, index_offset);
+        header.extend_from_slice(&stats.min.to_le_bytes());
+        header.extend_from_slice(&stats.max.to_le_bytes());
+        put_u64(&mut header, stats.distinct);
+        put_u64(&mut header, stats.num_runs);
+        put_u64(&mut header, 0); // tail padding to HEADER_SIZE
+        debug_assert_eq!(header.len() as u64, HEADER_SIZE);
+        self.disk.write_at(&self.name, 0, &header)?;
+        Ok(stats)
+    }
+}
+
+/// An opened column file: header stats plus the in-memory block index.
+#[derive(Debug, Clone)]
+pub struct ColumnFileReader {
+    name: String,
+    encoding: EncodingKind,
+    width: Width,
+    stats: ColumnStats,
+    index: Vec<BlockIndexEntry>,
+}
+
+impl ColumnFileReader {
+    /// Open `name` on `disk`, reading the header and block index.
+    pub fn open(disk: &dyn Disk, name: impl Into<String>) -> Result<ColumnFileReader> {
+        let name = name.into();
+        let header = disk.read_at(&name, 0, HEADER_SIZE as usize)?;
+        let mut r = Reader::new(&header);
+        if r.bytes(4)? != MAGIC {
+            return Err(Error::corrupt(format!("{name}: bad magic")));
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(Error::corrupt(format!("{name}: unknown version {version}")));
+        }
+        let encoding = EncodingKind::from_tag(r.u8()?)?;
+        let width = match r.u8()? {
+            1 => Width::W1,
+            2 => Width::W2,
+            4 => Width::W4,
+            8 => Width::W8,
+            w => return Err(Error::corrupt(format!("{name}: bad width {w}"))),
+        };
+        let _ = r.u16()?;
+        let _ = r.u32()?;
+        let num_rows = r.u64()?;
+        let num_blocks = r.u64()?;
+        let index_offset = r.u64()?;
+        let min = r.i64()?;
+        let max = r.i64()?;
+        let distinct = r.u64()?;
+        let num_runs = r.u64()?;
+
+        let index_bytes = disk.read_at(
+            &name,
+            index_offset,
+            num_blocks as usize * INDEX_ENTRY_SIZE,
+        )?;
+        let mut ir = Reader::new(&index_bytes);
+        let mut index = Vec::with_capacity(num_blocks as usize);
+        for _ in 0..num_blocks {
+            index.push(BlockIndexEntry {
+                offset: ir.u64()?,
+                len: ir.u32()?,
+                start_pos: ir.u64()?,
+                count: ir.u32()?,
+            });
+        }
+        Ok(ColumnFileReader {
+            name,
+            encoding,
+            width,
+            stats: ColumnStats { num_rows, num_blocks, min, max, distinct, num_runs },
+            index,
+        })
+    }
+
+    /// File name on the disk.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Column encoding.
+    pub fn encoding(&self) -> EncodingKind {
+        self.encoding
+    }
+
+    /// Packed width (meaningful for `Plain`).
+    pub fn width(&self) -> Width {
+        self.width
+    }
+
+    /// Header statistics.
+    pub fn stats(&self) -> ColumnStats {
+        self.stats
+    }
+
+    /// The block index.
+    pub fn index(&self) -> &[BlockIndexEntry] {
+        &self.index
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Index of the block containing absolute position `pos`.
+    pub fn block_for_pos(&self, pos: Pos) -> Result<usize> {
+        if pos >= self.stats.num_rows {
+            return Err(Error::invalid(format!(
+                "position {pos} beyond column {} ({} rows)",
+                self.name, self.stats.num_rows
+            )));
+        }
+        let idx = self
+            .index
+            .partition_point(|e| e.start_pos + e.count as u64 <= pos);
+        Ok(idx)
+    }
+
+    /// Read and parse block `idx` from `disk` (no caching — the store's
+    /// buffer pool sits above this).
+    pub fn fetch_block(&self, disk: &dyn Disk, idx: usize) -> Result<EncodedBlock> {
+        let e = self.index.get(idx).ok_or_else(|| {
+            Error::invalid(format!("block {idx} out of range for {}", self.name))
+        })?;
+        let bytes = disk.read_at(&self.name, e.offset, e.len as usize)?;
+        EncodedBlock::parse(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use matstrat_common::Predicate;
+
+    fn write_column(
+        disk: &MemDisk,
+        name: &str,
+        encoding: EncodingKind,
+        width: Width,
+        values: &[Value],
+    ) -> ColumnStats {
+        let mut w = ColumnFileWriter::create(disk, name, encoding, width).unwrap();
+        w.push_all(values).unwrap();
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_small_column_all_codecs() {
+        let values: Vec<Value> = (0..1000).map(|i| (i / 37) % 11).collect();
+        let disk = MemDisk::new();
+        for (enc, name) in [
+            (EncodingKind::Plain, "p.col"),
+            (EncodingKind::Rle, "r.col"),
+            (EncodingKind::BitVec, "b.col"),
+            (EncodingKind::Dict, "d.col"),
+        ] {
+            let stats = write_column(&disk, name, enc, Width::W2, &values);
+            assert_eq!(stats.num_rows, 1000);
+            assert_eq!(stats.min, 0);
+            assert_eq!(stats.max, 10);
+            assert_eq!(stats.distinct, 11);
+            let r = ColumnFileReader::open(&disk, name).unwrap();
+            assert_eq!(r.encoding(), enc);
+            assert_eq!(r.stats(), stats);
+            let mut decoded = Vec::new();
+            for i in 0..r.num_blocks() {
+                r.fetch_block(&disk, i).unwrap().decode_all(&mut decoded);
+            }
+            assert_eq!(decoded, values, "{enc}");
+        }
+    }
+
+    #[test]
+    fn plain_splits_at_capacity() {
+        let n = PlainBlock::capacity(Width::W1) + 10;
+        let values: Vec<Value> = (0..n).map(|i| (i % 7) as Value).collect();
+        let disk = MemDisk::new();
+        let stats = write_column(&disk, "c", EncodingKind::Plain, Width::W1, &values);
+        assert_eq!(stats.num_blocks, 2);
+        let r = ColumnFileReader::open(&disk, "c").unwrap();
+        assert_eq!(r.index()[0].count as usize, PlainBlock::capacity(Width::W1));
+        assert_eq!(r.index()[1].count, 10);
+        assert_eq!(r.index()[1].start_pos, PlainBlock::capacity(Width::W1) as u64);
+    }
+
+    #[test]
+    fn block_for_pos_binary_search() {
+        let n = PlainBlock::capacity(Width::W1) * 2 + 5;
+        let values: Vec<Value> = vec![1; n];
+        let disk = MemDisk::new();
+        write_column(&disk, "c", EncodingKind::Plain, Width::W1, &values);
+        let r = ColumnFileReader::open(&disk, "c").unwrap();
+        assert_eq!(r.block_for_pos(0).unwrap(), 0);
+        assert_eq!(
+            r.block_for_pos(PlainBlock::capacity(Width::W1) as u64).unwrap(),
+            1
+        );
+        assert_eq!(r.block_for_pos(n as u64 - 1).unwrap(), 2);
+        assert!(r.block_for_pos(n as u64).is_err());
+    }
+
+    #[test]
+    fn rle_compression_ratio_on_sorted_data() {
+        // 100k rows, 10 distinct values, sorted: 10 runs → 1 block.
+        let mut values = Vec::new();
+        for v in 0..10 {
+            values.extend(std::iter::repeat_n(v, 10_000));
+        }
+        let disk = MemDisk::new();
+        let stats = write_column(&disk, "c", EncodingKind::Rle, Width::W8, &values);
+        assert_eq!(stats.num_blocks, 1);
+        assert_eq!(stats.num_runs, 10);
+        assert!((stats.avg_run_len() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn width_violation_is_error() {
+        let disk = MemDisk::new();
+        let mut w =
+            ColumnFileWriter::create(&disk, "c", EncodingKind::Plain, Width::W1).unwrap();
+        assert!(w.push(128).is_err());
+    }
+
+    #[test]
+    fn empty_column() {
+        let disk = MemDisk::new();
+        let stats = write_column(&disk, "c", EncodingKind::Rle, Width::W8, &[]);
+        assert_eq!(stats.num_rows, 0);
+        assert_eq!(stats.num_blocks, 0);
+        let r = ColumnFileReader::open(&disk, "c").unwrap();
+        assert_eq!(r.num_blocks(), 0);
+        assert!(r.block_for_pos(0).is_err());
+    }
+
+    #[test]
+    fn open_rejects_bad_magic() {
+        let disk = MemDisk::new();
+        disk.create("junk").unwrap();
+        disk.write_at("junk", 0, &[0u8; 80]).unwrap();
+        assert!(ColumnFileReader::open(&disk, "junk").is_err());
+    }
+
+    #[test]
+    fn bitvec_blocks_hold_many_rows_at_low_cardinality() {
+        // 7 distinct values (like LINENUM): blocks should be large.
+        let values: Vec<Value> = (0..200_000).map(|i| (i % 7) as Value + 1).collect();
+        let disk = MemDisk::new();
+        let stats = write_column(&disk, "c", EncodingKind::BitVec, Width::W8, &values);
+        // encoded_size(7, n) <= 64KB → n ≈ 74k rows/block → 3 blocks.
+        assert_eq!(stats.num_blocks, 3);
+        let r = ColumnFileReader::open(&disk, "c").unwrap();
+        let b = r.fetch_block(&disk, 0).unwrap();
+        let pl = b.scan_positions(&Predicate::lt(3));
+        let expected = b
+            .covering()
+            .iter()
+            .filter(|&p| (p % 7) + 1 < 3)
+            .count() as u64;
+        assert_eq!(pl.count(), expected);
+    }
+}

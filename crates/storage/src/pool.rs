@@ -1,0 +1,250 @@
+//! Buffer pool: a capacity-bounded LRU cache of parsed blocks.
+//!
+//! Parsed blocks stay in their compressed form ([`EncodedBlock`]), so the
+//! pool is the in-memory home of the paper's mini-columns: a multi-column
+//! holds `Arc`s to pooled blocks, which is the "essentially just a pointer
+//! to the page in the buffer pool" of §3.6. Handing out `Arc`s also means
+//! eviction never invalidates an operator's data — no pinning protocol is
+//! needed.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::block::EncodedBlock;
+
+/// Cache key: (column file name, block index within the file).
+pub type BlockKey = (String, u32);
+
+/// Hit/miss counters for one pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Lookups satisfied from the pool.
+    pub hits: u64,
+    /// Lookups that had to go to disk.
+    pub misses: u64,
+    /// Blocks evicted to make room.
+    pub evictions: u64,
+}
+
+impl PoolStats {
+    /// Hit fraction in `[0, 1]`; 0 when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    block: Arc<EncodedBlock>,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct PoolInner {
+    entries: HashMap<BlockKey, Entry>,
+    tick: u64,
+    stats: PoolStats,
+}
+
+/// An LRU cache of `Arc<EncodedBlock>` bounded by block count.
+///
+/// Capacity is in blocks (each ≤ 64 KB), so `capacity = 16384` ≈ 1 GB —
+/// the knob used to emulate the paper's `F` (fraction of a column already
+/// resident).
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// Pool holding at most `capacity` blocks (minimum 1).
+    pub fn new(capacity: usize) -> BufferPool {
+        BufferPool {
+            capacity: capacity.max(1),
+            inner: Mutex::new(PoolInner::default()),
+        }
+    }
+
+    /// Capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of blocks currently cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Look up a block, refreshing its recency on hit.
+    pub fn get(&self, key: &BlockKey) -> Option<Arc<EncodedBlock>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                let b = Arc::clone(&e.block);
+                inner.stats.hits += 1;
+                Some(b)
+            }
+            None => {
+                inner.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a block, evicting the least-recently-used entry if full.
+    pub fn insert(&self, key: BlockKey, block: Arc<EncodedBlock>) {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.entries.contains_key(&key) && inner.entries.len() >= self.capacity {
+            // Evict the LRU entry. Linear scan: eviction is rare relative
+            // to lookups and pools are sized in thousands of blocks.
+            if let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                inner.entries.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.entries.insert(key, Entry { block, last_used: tick });
+    }
+
+    /// How many blocks of `file` are currently resident — the numerator of
+    /// the model's `F` for that column.
+    pub fn resident_blocks(&self, file: &str) -> usize {
+        self.inner
+            .lock()
+            .entries
+            .keys()
+            .filter(|(f, _)| f == file)
+            .count()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> PoolStats {
+        self.inner.lock().stats
+    }
+
+    /// Drop all cached blocks and zero the counters (a "cold cache" reset
+    /// for benchmarks).
+    pub fn clear(&self) {
+        let mut inner = self.inner.lock();
+        inner.entries.clear();
+        inner.stats = PoolStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::PlainBlock;
+    use matstrat_common::Width;
+
+    fn block(start: u64) -> Arc<EncodedBlock> {
+        Arc::new(EncodedBlock::Plain(PlainBlock::from_values(
+            start,
+            Width::W1,
+            &[1, 2, 3],
+        )))
+    }
+
+    fn key(i: u32) -> BlockKey {
+        ("f.col".to_string(), i)
+    }
+
+    #[test]
+    fn hit_and_miss_counters() {
+        let pool = BufferPool::new(4);
+        assert!(pool.get(&key(0)).is_none());
+        pool.insert(key(0), block(0));
+        assert!(pool.get(&key(0)).is_some());
+        let s = pool.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let pool = BufferPool::new(2);
+        pool.insert(key(0), block(0));
+        pool.insert(key(1), block(1));
+        // Touch 0 so 1 becomes LRU.
+        pool.get(&key(0));
+        pool.insert(key(2), block(2));
+        assert!(pool.get(&key(0)).is_some());
+        assert!(pool.get(&key(1)).is_none(), "LRU entry should be evicted");
+        assert!(pool.get(&key(2)).is_some());
+        assert_eq!(pool.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_does_not_evict() {
+        let pool = BufferPool::new(2);
+        pool.insert(key(0), block(0));
+        pool.insert(key(1), block(1));
+        pool.insert(key(0), block(0)); // same key: no eviction needed
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.stats().evictions, 0);
+    }
+
+    #[test]
+    fn resident_blocks_per_file() {
+        let pool = BufferPool::new(8);
+        pool.insert(("a".into(), 0), block(0));
+        pool.insert(("a".into(), 1), block(0));
+        pool.insert(("b".into(), 0), block(0));
+        assert_eq!(pool.resident_blocks("a"), 2);
+        assert_eq!(pool.resident_blocks("b"), 1);
+        assert_eq!(pool.resident_blocks("c"), 0);
+    }
+
+    #[test]
+    fn arc_survives_eviction() {
+        let pool = BufferPool::new(1);
+        let b = block(7);
+        pool.insert(key(0), Arc::clone(&b));
+        let held = pool.get(&key(0)).unwrap();
+        pool.insert(key(1), block(8)); // evicts key(0)
+        assert!(pool.get(&key(0)).is_none());
+        // The operator's Arc is still valid.
+        assert_eq!(held.start_pos(), 7);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let pool = BufferPool::new(4);
+        pool.insert(key(0), block(0));
+        pool.get(&key(0));
+        pool.clear();
+        assert!(pool.is_empty());
+        assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let pool = BufferPool::new(0);
+        assert_eq!(pool.capacity(), 1);
+        pool.insert(key(0), block(0));
+        assert_eq!(pool.len(), 1);
+    }
+}

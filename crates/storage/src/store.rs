@@ -1,0 +1,390 @@
+//! The storage facade: disk + buffer pool + I/O meter + catalog.
+//!
+//! A [`Store`] owns everything below the query executor. Loading a
+//! projection writes one file per column; reading goes through
+//! [`ColumnReader`], which pulls blocks through the buffer pool and
+//! charges the I/O meter on misses.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use matstrat_common::{Error, Pos, Result, TableId, Value, Width};
+use parking_lot::RwLock;
+
+use crate::block::EncodedBlock;
+use crate::catalog::{verify_sort_order, Catalog, ColumnInfo, ProjectionInfo, ProjectionSpec};
+use crate::disk::{Disk, FileDisk, MemDisk};
+use crate::encoding::EncodingKind;
+use crate::file::{BlockIndexEntry, ColumnFileReader, ColumnFileWriter};
+use crate::meter::IoMeter;
+use crate::pool::BufferPool;
+
+/// Default buffer pool capacity: 16 Ki blocks ≈ 1 GB.
+pub const DEFAULT_POOL_BLOCKS: usize = 16 * 1024;
+
+const CATALOG_FILE: &str = "catalog.msc";
+
+struct StoreInner {
+    disk: Arc<dyn Disk>,
+    pool: BufferPool,
+    meter: IoMeter,
+    catalog: RwLock<Catalog>,
+    readers: RwLock<HashMap<String, Arc<ColumnFileReader>>>,
+    persistent: bool,
+}
+
+/// Cheap-to-clone handle to the storage engine.
+#[derive(Clone)]
+pub struct Store {
+    inner: Arc<StoreInner>,
+}
+
+impl Store {
+    /// A store backed by an in-memory disk image.
+    pub fn in_memory() -> Store {
+        Store::with_disk(Arc::new(MemDisk::new()), DEFAULT_POOL_BLOCKS, false)
+    }
+
+    /// A store backed by an in-memory disk with a custom pool capacity
+    /// (in blocks) — the knob for cold/warm-cache experiments.
+    pub fn in_memory_with_pool(pool_blocks: usize) -> Store {
+        Store::with_disk(Arc::new(MemDisk::new()), pool_blocks, false)
+    }
+
+    /// A store backed by real files under `dir`; reloads the catalog if
+    /// one was persisted there.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Store> {
+        let disk = Arc::new(FileDisk::open(dir)?);
+        let store = Store::with_disk(disk, DEFAULT_POOL_BLOCKS, true);
+        store.reload_catalog()?;
+        Ok(store)
+    }
+
+    /// A store over any [`Disk`] implementation.
+    pub fn with_disk(disk: Arc<dyn Disk>, pool_blocks: usize, persistent: bool) -> Store {
+        Store {
+            inner: Arc::new(StoreInner {
+                disk,
+                pool: BufferPool::new(pool_blocks),
+                meter: IoMeter::new(),
+                catalog: RwLock::new(Catalog::new()),
+                readers: RwLock::new(HashMap::new()),
+                persistent,
+            }),
+        }
+    }
+
+    fn reload_catalog(&self) -> Result<()> {
+        if self.inner.disk.exists(CATALOG_FILE) {
+            let len = self.inner.disk.len(CATALOG_FILE)?;
+            let bytes = self.inner.disk.read_at(CATALOG_FILE, 0, len as usize)?;
+            *self.inner.catalog.write() = Catalog::parse(&bytes)?;
+        }
+        Ok(())
+    }
+
+    fn persist_catalog(&self) -> Result<()> {
+        if self.inner.persistent {
+            let bytes = self.inner.catalog.read().serialize();
+            self.inner.disk.create(CATALOG_FILE)?;
+            self.inner.disk.write_at(CATALOG_FILE, 0, &bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Load a projection: one column file per spec column.
+    ///
+    /// Validates that all columns have equal length and that the declared
+    /// sort key actually orders the data lexicographically. The packed
+    /// width for `Plain` columns is chosen from the observed min/max.
+    pub fn load_projection(&self, spec: &ProjectionSpec, columns: &[&[Value]]) -> Result<TableId> {
+        if spec.columns.len() != columns.len() {
+            return Err(Error::invalid(format!(
+                "spec has {} columns, data has {}",
+                spec.columns.len(),
+                columns.len()
+            )));
+        }
+        let num_rows = columns.first().map_or(0, |c| c.len());
+        if columns.iter().any(|c| c.len() != num_rows) {
+            return Err(Error::invalid("all columns must have equal length"));
+        }
+        let sort_cols: Vec<&[Value]> =
+            spec.sort_key().iter().map(|&i| columns[i]).collect();
+        verify_sort_order(&sort_cols)?;
+
+        // Reserve the table id up front so file names are stable.
+        let table_idx = self.inner.catalog.read().projections().len() as u32;
+        let mut infos = Vec::with_capacity(spec.columns.len());
+        for (ci, (cspec, data)) in spec.columns.iter().zip(columns).enumerate() {
+            let (min, max) = data
+                .iter()
+                .fold((Value::MAX, Value::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            let width = if data.is_empty() {
+                Width::W8
+            } else {
+                Width::fitting(min, max)
+            };
+            let file = format!("t{table_idx}_c{ci}_{}.col", cspec.name);
+            let mut w =
+                ColumnFileWriter::create(self.inner.disk.as_ref(), &file, cspec.encoding, width)?;
+            w.push_all(data)?;
+            let stats = w.finish()?;
+            infos.push(ColumnInfo {
+                id: matstrat_common::ColumnId(0), // assigned by the catalog
+                name: cspec.name.clone(),
+                encoding: cspec.encoding,
+                width,
+                sort: cspec.sort,
+                stats,
+                file,
+            });
+        }
+        let id = self
+            .inner
+            .catalog
+            .write()
+            .add_projection(&spec.name, num_rows as u64, infos)?;
+        self.persist_catalog()?;
+        Ok(id)
+    }
+
+    /// Projection metadata by id.
+    pub fn projection(&self, id: TableId) -> Result<ProjectionInfo> {
+        Ok(self.inner.catalog.read().projection(id)?.clone())
+    }
+
+    /// Projection metadata by name.
+    pub fn projection_by_name(&self, name: &str) -> Result<ProjectionInfo> {
+        Ok(self.inner.catalog.read().projection_by_name(name)?.clone())
+    }
+
+    /// Names of all loaded projections.
+    pub fn projection_names(&self) -> Vec<String> {
+        self.inner
+            .catalog
+            .read()
+            .projections()
+            .iter()
+            .map(|p| p.name.clone())
+            .collect()
+    }
+
+    /// Open a reader for column `col_idx` of projection `table`.
+    pub fn reader(&self, table: TableId, col_idx: usize) -> Result<ColumnReader> {
+        let info = {
+            let cat = self.inner.catalog.read();
+            cat.projection(table)?.column(col_idx)?.clone()
+        };
+        let file = self.open_file(&info.file)?;
+        Ok(ColumnReader { store: self.inner.clone(), info, file })
+    }
+
+    fn open_file(&self, name: &str) -> Result<Arc<ColumnFileReader>> {
+        if let Some(f) = self.inner.readers.read().get(name) {
+            return Ok(Arc::clone(f));
+        }
+        let f = Arc::new(ColumnFileReader::open(self.inner.disk.as_ref(), name)?);
+        self.inner
+            .readers
+            .write()
+            .insert(name.to_string(), Arc::clone(&f));
+        Ok(f)
+    }
+
+    /// The buffer pool (for stats and cold-cache resets).
+    pub fn pool(&self) -> &BufferPool {
+        &self.inner.pool
+    }
+
+    /// The simulated-disk meter.
+    pub fn meter(&self) -> &IoMeter {
+        &self.inner.meter
+    }
+
+    /// Drop every cached block and reset I/O accounting — a cold start.
+    pub fn cold_reset(&self) {
+        self.inner.pool.clear();
+        self.inner.meter.reset();
+    }
+}
+
+/// Read access to one column: blocks come through the buffer pool.
+#[derive(Clone)]
+pub struct ColumnReader {
+    store: Arc<StoreInner>,
+    info: ColumnInfo,
+    file: Arc<ColumnFileReader>,
+}
+
+impl ColumnReader {
+    /// Catalog metadata for the column.
+    pub fn info(&self) -> &ColumnInfo {
+        &self.info
+    }
+
+    /// Physical encoding.
+    pub fn encoding(&self) -> EncodingKind {
+        self.info.encoding
+    }
+
+    /// Total rows (`||C||`).
+    pub fn num_rows(&self) -> u64 {
+        self.info.stats.num_rows
+    }
+
+    /// Total blocks (`|C|`).
+    pub fn num_blocks(&self) -> usize {
+        self.file.num_blocks()
+    }
+
+    /// Index entry (start position, row count) for block `idx` — no I/O.
+    pub fn block_meta(&self, idx: usize) -> Result<BlockIndexEntry> {
+        self.file
+            .index()
+            .get(idx)
+            .copied()
+            .ok_or_else(|| Error::invalid(format!("block {idx} out of range")))
+    }
+
+    /// Index of the block containing position `pos` — no I/O.
+    pub fn block_for_pos(&self, pos: Pos) -> Result<usize> {
+        self.file.block_for_pos(pos)
+    }
+
+    /// Fetch block `idx` through the buffer pool; a miss reads from disk
+    /// and charges the I/O meter.
+    pub fn block(&self, idx: usize) -> Result<Arc<EncodedBlock>> {
+        let key = (self.info.file.clone(), idx as u32);
+        if let Some(b) = self.store.pool.get(&key) {
+            return Ok(b);
+        }
+        let meta = self.block_meta(idx)?;
+        self.store
+            .meter
+            .record_read(&self.info.file, meta.offset, meta.len as u64);
+        let block = Arc::new(self.file.fetch_block(self.store.disk.as_ref(), idx)?);
+        self.store.pool.insert(key, Arc::clone(&block));
+        Ok(block)
+    }
+
+    /// Fraction of this column's blocks currently resident in the pool —
+    /// the model's `F`.
+    pub fn resident_fraction(&self) -> f64 {
+        let total = self.num_blocks();
+        if total == 0 {
+            return 1.0;
+        }
+        self.store.pool.resident_blocks(&self.info.file) as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::SortOrder;
+    use matstrat_common::Predicate;
+
+    fn demo_spec() -> ProjectionSpec {
+        ProjectionSpec::new("demo")
+            .column("a", EncodingKind::Rle, SortOrder::Primary)
+            .column("b", EncodingKind::Plain, SortOrder::None)
+    }
+
+    fn demo_data() -> (Vec<Value>, Vec<Value>) {
+        let a: Vec<Value> = (0..1000).map(|i| i / 100).collect();
+        let b: Vec<Value> = (0..1000).map(|i| (i * 7) % 13).collect();
+        (a, b)
+    }
+
+    #[test]
+    fn load_and_read_back() {
+        let store = Store::in_memory();
+        let (a, b) = demo_data();
+        let id = store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        let p = store.projection(id).unwrap();
+        assert_eq!(p.num_rows, 1000);
+        assert_eq!(p.columns[0].stats.distinct, 10);
+
+        let ra = store.reader(id, 0).unwrap();
+        let mut decoded = Vec::new();
+        for i in 0..ra.num_blocks() {
+            ra.block(i).unwrap().decode_all(&mut decoded);
+        }
+        assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn mismatched_columns_rejected() {
+        let store = Store::in_memory();
+        let a = vec![1, 2, 3];
+        let b = vec![1, 2];
+        assert!(store.load_projection(&demo_spec(), &[&a, &b]).is_err());
+        assert!(store.load_projection(&demo_spec(), &[&a]).is_err());
+    }
+
+    #[test]
+    fn unsorted_data_rejected() {
+        let store = Store::in_memory();
+        let a = vec![2, 1, 3]; // declared Primary but not sorted
+        let b = vec![0, 0, 0];
+        assert!(store.load_projection(&demo_spec(), &[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn pool_serves_second_read_without_io() {
+        let store = Store::in_memory();
+        let (a, b) = demo_data();
+        let id = store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        let r = store.reader(id, 0).unwrap();
+        r.block(0).unwrap();
+        let after_first = store.meter().snapshot();
+        r.block(0).unwrap();
+        assert_eq!(store.meter().snapshot(), after_first, "hit must not do I/O");
+        assert!((r.resident_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cold_reset_forces_refetch() {
+        let store = Store::in_memory();
+        let (a, b) = demo_data();
+        let id = store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        let r = store.reader(id, 0).unwrap();
+        r.block(0).unwrap();
+        store.cold_reset();
+        assert_eq!(store.meter().snapshot().block_reads, 0);
+        r.block(0).unwrap();
+        assert_eq!(store.meter().snapshot().block_reads, 1);
+    }
+
+    #[test]
+    fn persistent_store_reloads_catalog() {
+        let dir = std::env::temp_dir().join(format!("matstrat-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (a, b) = demo_data();
+        {
+            let store = Store::open_dir(&dir).unwrap();
+            store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        }
+        // Fresh handle: catalog and data must come back from disk.
+        let store = Store::open_dir(&dir).unwrap();
+        let p = store.projection_by_name("demo").unwrap();
+        assert_eq!(p.num_rows, 1000);
+        let r = store.reader(p.id, 1).unwrap();
+        let block = r.block(0).unwrap();
+        let pl = block.scan_positions(&Predicate::eq(b[0]));
+        assert!(pl.contains(0));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn projection_names_listing() {
+        let store = Store::in_memory();
+        let (a, b) = demo_data();
+        store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        assert_eq!(store.projection_names(), vec!["demo".to_string()]);
+        assert!(store.projection_by_name("demo").is_ok());
+        assert!(store.projection_by_name("nope").is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! Orders and customer tables for the §4.3 join experiment.
+
+use matstrat_common::{Result, TableId, Value};
+use matstrat_core::Database;
+use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{TpchConfig, SHIPDATE_DAYS};
+
+/// Base orders cardinality at scale 1.
+pub const ORDERS_BASE_ROWS: u64 = 1_500_000;
+/// Base customer cardinality at scale 1.
+pub const CUSTOMER_BASE_ROWS: u64 = 150_000;
+/// Number of TPC-H nations.
+pub const NATIONS: i64 = 25;
+
+/// Generated orders columns, sorted by order date.
+#[derive(Debug, Clone)]
+pub struct OrdersData {
+    /// Order date (day number), the sort key.
+    pub orderdate: Vec<Value>,
+    /// Foreign key into customer (uniform over customers).
+    pub custkey: Vec<Value>,
+    /// The paper outputs "Orders.shipdate"; modeled as orderdate + lag.
+    pub shipdate: Vec<Value>,
+}
+
+/// Generated customer columns, sorted by custkey (the primary key).
+#[derive(Debug, Clone)]
+pub struct CustomerData {
+    /// Primary key `0..n`.
+    pub custkey: Vec<Value>,
+    /// Nation code `0..25`.
+    pub nationcode: Vec<Value>,
+}
+
+/// Both join tables plus loader helpers.
+#[derive(Debug, Clone)]
+pub struct JoinTables {
+    /// The outer (probe) table.
+    pub orders: OrdersData,
+    /// The inner (build) table.
+    pub customer: CustomerData,
+}
+
+/// Column indices for the loaded orders projection.
+pub mod orders_cols {
+    /// ORDERDATE column index.
+    pub const ORDERDATE: usize = 0;
+    /// CUSTKEY column index.
+    pub const CUSTKEY: usize = 1;
+    /// SHIPDATE column index.
+    pub const SHIPDATE: usize = 2;
+}
+
+/// Column indices for the loaded customer projection.
+pub mod customer_cols {
+    /// CUSTKEY column index.
+    pub const CUSTKEY: usize = 0;
+    /// NATIONCODE column index.
+    pub const NATIONCODE: usize = 1;
+}
+
+impl JoinTables {
+    /// Generate both tables for `cfg`.
+    pub fn generate(cfg: TpchConfig) -> JoinTables {
+        let n_orders = cfg.rows(ORDERS_BASE_ROWS);
+        let n_cust = cfg.rows(CUSTOMER_BASE_ROWS);
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x9E37_79B9_7F4A_7C15);
+
+        let mut orders: Vec<(Value, Value, Value)> = (0..n_orders)
+            .map(|_| {
+                let od = rng.gen_range(0..SHIPDATE_DAYS - 121);
+                let ck = rng.gen_range(0..n_cust as Value);
+                let sd = od + rng.gen_range(1..=121);
+                (od, ck, sd)
+            })
+            .collect();
+        orders.sort_unstable_by_key(|&(od, _, _)| od);
+
+        let customer = CustomerData {
+            custkey: (0..n_cust as Value).collect(),
+            nationcode: (0..n_cust).map(|_| rng.gen_range(0..NATIONS)).collect(),
+        };
+        JoinTables {
+            orders: OrdersData {
+                orderdate: orders.iter().map(|o| o.0).collect(),
+                custkey: orders.iter().map(|o| o.1).collect(),
+                shipdate: orders.iter().map(|o| o.2).collect(),
+            },
+            customer,
+        }
+    }
+
+    /// Number of customers (the custkey domain size).
+    pub fn num_customers(&self) -> usize {
+        self.customer.custkey.len()
+    }
+
+    /// The custkey cutoff `X` such that `Orders.custkey < X` has
+    /// selectivity `sf` (custkey is uniform, so this is exact in
+    /// expectation).
+    pub fn custkey_cutoff(&self, sf: f64) -> Value {
+        (self.num_customers() as f64 * sf.clamp(0.0, 1.0)) as Value
+    }
+
+    /// Load the orders projection (sorted by orderdate).
+    pub fn load_orders(&self, db: &Database, name: &str) -> Result<TableId> {
+        let spec = ProjectionSpec::new(name)
+            .column("orderdate", EncodingKind::Rle, SortOrder::Primary)
+            .column("custkey", EncodingKind::Plain, SortOrder::None)
+            .column("shipdate", EncodingKind::Plain, SortOrder::None);
+        db.load_projection(
+            &spec,
+            &[&self.orders.orderdate, &self.orders.custkey, &self.orders.shipdate],
+        )
+    }
+
+    /// Load the customer projection (sorted by custkey).
+    pub fn load_customer(&self, db: &Database, name: &str) -> Result<TableId> {
+        let spec = ProjectionSpec::new(name)
+            .column("custkey", EncodingKind::Plain, SortOrder::Primary)
+            .column("nationcode", EncodingKind::Plain, SortOrder::None);
+        db.load_projection(&spec, &[&self.customer.custkey, &self.customer.nationcode])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_common::Predicate;
+    use matstrat_core::{InnerStrategy, JoinSpec};
+
+    fn cfg() -> TpchConfig {
+        TpchConfig { scale: 0.01, seed: 3 }
+    }
+
+    #[test]
+    fn cardinalities_scale() {
+        let t = JoinTables::generate(cfg());
+        assert_eq!(t.orders.custkey.len(), 15_000);
+        assert_eq!(t.num_customers(), 1_500);
+        assert!(t.orders.custkey.iter().all(|&k| (0..1_500).contains(&k)));
+        assert!(t.customer.nationcode.iter().all(|&v| (0..NATIONS).contains(&v)));
+    }
+
+    #[test]
+    fn custkey_is_dense_primary_key() {
+        let t = JoinTables::generate(cfg());
+        for (i, &k) in t.customer.custkey.iter().enumerate() {
+            assert_eq!(k, i as Value);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = JoinTables::generate(cfg());
+        let b = JoinTables::generate(cfg());
+        assert_eq!(a.orders.custkey, b.orders.custkey);
+        assert_eq!(a.customer.nationcode, b.customer.nationcode);
+    }
+
+    #[test]
+    fn cutoff_selectivity() {
+        let t = JoinTables::generate(cfg());
+        let x = t.custkey_cutoff(0.3);
+        let sel = t.orders.custkey.iter().filter(|&&k| k < x).count() as f64
+            / t.orders.custkey.len() as f64;
+        assert!((sel - 0.3).abs() < 0.03, "sel = {sel}");
+    }
+
+    #[test]
+    fn fk_pk_join_produces_one_row_per_matching_order() {
+        let t = JoinTables::generate(cfg());
+        let db = Database::in_memory();
+        let orders = t.load_orders(&db, "orders").unwrap();
+        let customer = t.load_customer(&db, "customer").unwrap();
+        let x = t.custkey_cutoff(0.5);
+        let spec = JoinSpec {
+            left: orders,
+            right: customer,
+            left_key: orders_cols::CUSTKEY,
+            right_key: customer_cols::CUSTKEY,
+            left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+            left_output: vec![orders_cols::SHIPDATE],
+            right_output: vec![customer_cols::NATIONCODE],
+        };
+        let expected = t.orders.custkey.iter().filter(|&&k| k < x).count();
+        for inner in InnerStrategy::ALL {
+            let r = db.run_join(&spec, inner).unwrap();
+            assert_eq!(r.num_rows(), expected, "{inner:?}");
+        }
+        // Spot-check values against the generator.
+        let r = db.run_join(&spec, InnerStrategy::Materialized).unwrap();
+        let rows = r.sorted_rows();
+        let mut reference: Vec<Vec<Value>> = t
+            .orders
+            .custkey
+            .iter()
+            .zip(&t.orders.shipdate)
+            .filter(|(&k, _)| k < x)
+            .map(|(&k, &sd)| vec![sd, t.customer.nationcode[k as usize]])
+            .collect();
+        reference.sort_unstable();
+        assert_eq!(rows, reference);
+    }
+}

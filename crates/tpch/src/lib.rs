@@ -1,0 +1,64 @@
+//! TPC-H-style workload generation (§4 of the paper).
+//!
+//! The paper's experiments run over a C-Store projection of TPC-H
+//! scale-10 lineitem — (RETURNFLAG, SHIPDATE, LINENUM, QUANTITY), sorted
+//! by RETURNFLAG, then SHIPDATE, then LINENUM — plus the orders and
+//! customer tables for the join study. Shipping the real `dbgen` is
+//! unnecessary: the experiments depend only on the value *domains*, the
+//! *sort order*, and rough uniformity, all of which this seeded
+//! generator reproduces:
+//!
+//! | attribute | domain | distribution |
+//! |---|---|---|
+//! | RETURNFLAG | {A=0, N=1, R=2} | ~25/50/25 % (receipt-date split) |
+//! | SHIPDATE | day 0..2526 (1992-01-02 … 1998-12-01) | orderdate + U(1,121) |
+//! | LINENUM | 1..=7 | P(k) ∝ 8−k (line k exists when the order has ≥ k lines) |
+//! | QUANTITY | 1..=50 | uniform |
+//!
+//! Row counts scale linearly with the scale factor, as in TPC-H:
+//! lineitem 6 M × SF, orders 1.5 M × SF, customer 150 K × SF.
+
+pub mod join_tables;
+pub mod lineitem;
+
+pub use join_tables::{CustomerData, JoinTables, OrdersData};
+pub use lineitem::{LineitemData, LineitemGen};
+
+/// Number of distinct SHIPDATE values (days in the TPC-H date domain).
+pub const SHIPDATE_DAYS: i64 = 2526;
+
+/// Configuration of the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchConfig {
+    /// TPC-H scale factor. The paper uses 10 (60 M lineitem rows);
+    /// laptop-scale harness runs use 0.01–1.
+    pub scale: f64,
+    /// RNG seed; identical seeds produce identical data.
+    pub seed: u64,
+}
+
+impl TpchConfig {
+    /// Scale `base` rows by the scale factor (at least 1 row).
+    pub fn rows(&self, base: u64) -> usize {
+        ((base as f64 * self.scale) as usize).max(1)
+    }
+}
+
+impl Default for TpchConfig {
+    fn default() -> TpchConfig {
+        TpchConfig { scale: 0.1, seed: 0xC57A_11E5 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_scale_linearly() {
+        let c = TpchConfig { scale: 0.5, seed: 1 };
+        assert_eq!(c.rows(6_000_000), 3_000_000);
+        let tiny = TpchConfig { scale: 1e-9, seed: 1 };
+        assert_eq!(tiny.rows(10), 1, "never zero rows");
+    }
+}

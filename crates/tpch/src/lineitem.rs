@@ -1,0 +1,244 @@
+//! The lineitem projection generator.
+
+use matstrat_common::{Result, TableId, Value};
+use matstrat_core::Database;
+use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{TpchConfig, SHIPDATE_DAYS};
+
+/// Base lineitem cardinality at scale 1.
+pub const LINEITEM_BASE_ROWS: u64 = 6_000_000;
+
+/// Generated lineitem columns, sorted by
+/// (RETURNFLAG, SHIPDATE, LINENUM) — the paper's projection order.
+#[derive(Debug, Clone)]
+pub struct LineitemData {
+    /// RETURNFLAG codes (A=0, N=1, R=2). Primary sort key.
+    pub returnflag: Vec<Value>,
+    /// SHIPDATE day numbers in `0..SHIPDATE_DAYS`. Secondary sort key.
+    pub shipdate: Vec<Value>,
+    /// LINENUM in `1..=7`. Tertiary sort key.
+    pub linenum: Vec<Value>,
+    /// QUANTITY in `1..=50`. Unsorted payload.
+    pub quantity: Vec<Value>,
+}
+
+impl LineitemData {
+    /// Row count.
+    pub fn num_rows(&self) -> usize {
+        self.returnflag.len()
+    }
+
+    /// The SHIPDATE cutoff `X` such that `shipdate < X` has selectivity
+    /// closest to `sf` on this data — used to sweep the figures' x-axis
+    /// with *actual* (not assumed-uniform) selectivities.
+    pub fn shipdate_cutoff(&self, sf: f64) -> Value {
+        let mut sorted = self.shipdate.clone();
+        sorted.sort_unstable();
+        let k = ((sorted.len() as f64) * sf.clamp(0.0, 1.0)) as usize;
+        if k >= sorted.len() {
+            sorted.last().copied().unwrap_or(0) + 1
+        } else {
+            sorted[k]
+        }
+    }
+
+    /// Exact selectivity of `shipdate < x` on this data.
+    pub fn shipdate_selectivity(&self, x: Value) -> f64 {
+        if self.shipdate.is_empty() {
+            return 0.0;
+        }
+        self.shipdate.iter().filter(|&&d| d < x).count() as f64 / self.shipdate.len() as f64
+    }
+
+    /// Load as a C-Store projection. RETURNFLAG and SHIPDATE are always
+    /// RLE (as in every experiment of the paper); `linenum_encoding`
+    /// varies per figure panel; QUANTITY is uncompressed.
+    pub fn load(
+        &self,
+        db: &Database,
+        name: &str,
+        linenum_encoding: EncodingKind,
+    ) -> Result<TableId> {
+        let spec = ProjectionSpec::new(name)
+            .column("returnflag", EncodingKind::Rle, SortOrder::Primary)
+            .column("shipdate", EncodingKind::Rle, SortOrder::Secondary)
+            .column("linenum", linenum_encoding, SortOrder::Tertiary)
+            .column("quantity", EncodingKind::Plain, SortOrder::None);
+        db.load_projection(
+            &spec,
+            &[&self.returnflag, &self.shipdate, &self.linenum, &self.quantity],
+        )
+    }
+}
+
+/// Column indices of the lineitem projection loaded by
+/// [`LineitemData::load`].
+pub mod cols {
+    /// RETURNFLAG column index.
+    pub const RETURNFLAG: usize = 0;
+    /// SHIPDATE column index.
+    pub const SHIPDATE: usize = 1;
+    /// LINENUM column index.
+    pub const LINENUM: usize = 2;
+    /// QUANTITY column index.
+    pub const QUANTITY: usize = 3;
+}
+
+/// Seeded lineitem generator.
+#[derive(Debug, Clone)]
+pub struct LineitemGen {
+    cfg: TpchConfig,
+}
+
+impl LineitemGen {
+    /// Generator for the given configuration.
+    pub fn new(cfg: TpchConfig) -> LineitemGen {
+        LineitemGen { cfg }
+    }
+
+    /// Generate the sorted projection data.
+    pub fn generate(&self) -> LineitemData {
+        let n = self.cfg.rows(LINEITEM_BASE_ROWS);
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed);
+        let mut rows: Vec<(Value, Value, Value, Value)> = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Order date uniform over the domain minus max shipping lag.
+            let orderdate = rng.gen_range(0..SHIPDATE_DAYS - 121);
+            let shipdate = orderdate + rng.gen_range(1..=121);
+            // Line k of an order exists iff the order has >= k lines and
+            // order sizes are uniform on 1..=7, so P(linenum = k) ∝ 8-k.
+            let linenum = sample_linenum(&mut rng);
+            // RETURNFLAG: items received before the cutoff are returned
+            // ('R') or accepted ('A') evenly; later ones are 'N'.
+            let returnflag = if rng.gen_bool(0.5) {
+                1 // N
+            } else if rng.gen_bool(0.5) {
+                0 // A
+            } else {
+                2 // R
+            };
+            let quantity = rng.gen_range(1..=50);
+            rows.push((returnflag, shipdate, linenum, quantity));
+        }
+        rows.sort_unstable_by_key(|&(rf, sd, ln, _)| (rf, sd, ln));
+        LineitemData {
+            returnflag: rows.iter().map(|r| r.0).collect(),
+            shipdate: rows.iter().map(|r| r.1).collect(),
+            linenum: rows.iter().map(|r| r.2).collect(),
+            quantity: rows.iter().map(|r| r.3).collect(),
+        }
+    }
+}
+
+/// Sample LINENUM with P(k) ∝ 8−k for k in 1..=7 (weights 7..1, total 28).
+fn sample_linenum(rng: &mut StdRng) -> Value {
+    let t = rng.gen_range(0..28);
+    // Cumulative weights: 7, 13, 18, 22, 25, 27, 28.
+    match t {
+        0..=6 => 1,
+        7..=12 => 2,
+        13..=17 => 3,
+        18..=21 => 4,
+        22..=24 => 5,
+        25..=26 => 6,
+        _ => 7,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> LineitemData {
+        LineitemGen::new(TpchConfig { scale: 0.01, seed: 7 }).generate()
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = small();
+        let b = small();
+        assert_eq!(a.shipdate, b.shipdate);
+        assert_eq!(a.quantity, b.quantity);
+        let c = LineitemGen::new(TpchConfig { scale: 0.01, seed: 8 }).generate();
+        assert_ne!(a.shipdate, c.shipdate, "different seed, different data");
+    }
+
+    #[test]
+    fn domains_match_tpch() {
+        let d = small();
+        assert_eq!(d.num_rows(), 60_000);
+        assert!(d.returnflag.iter().all(|&v| (0..=2).contains(&v)));
+        assert!(d.shipdate.iter().all(|&v| (0..SHIPDATE_DAYS).contains(&v)));
+        assert!(d.linenum.iter().all(|&v| (1..=7).contains(&v)));
+        assert!(d.quantity.iter().all(|&v| (1..=50).contains(&v)));
+    }
+
+    #[test]
+    fn sorted_by_projection_key() {
+        let d = small();
+        for i in 1..d.num_rows() {
+            let prev = (d.returnflag[i - 1], d.shipdate[i - 1], d.linenum[i - 1]);
+            let cur = (d.returnflag[i], d.shipdate[i], d.linenum[i]);
+            assert!(prev <= cur, "row {i} out of order");
+        }
+    }
+
+    #[test]
+    fn linenum_distribution_is_decreasing() {
+        let d = small();
+        let mut counts = [0usize; 8];
+        for &l in &d.linenum {
+            counts[l as usize] += 1;
+        }
+        for k in 1..7 {
+            assert!(
+                counts[k] > counts[k + 1],
+                "P(linenum={k}) should exceed P(linenum={})",
+                k + 1
+            );
+        }
+        // linenum < 7 ≈ 27/28 ≈ 96 % — the paper's fixed Y=7 predicate.
+        let sel = d.linenum.iter().filter(|&&l| l < 7).count() as f64 / d.num_rows() as f64;
+        assert!((sel - 27.0 / 28.0).abs() < 0.01, "sel = {sel}");
+    }
+
+    #[test]
+    fn returnflag_proportions() {
+        let d = small();
+        let n = d.num_rows() as f64;
+        let frac = |code: Value| d.returnflag.iter().filter(|&&v| v == code).count() as f64 / n;
+        assert!((frac(1) - 0.5).abs() < 0.02, "N ≈ 50%");
+        assert!((frac(0) - 0.25).abs() < 0.02, "A ≈ 25%");
+        assert!((frac(2) - 0.25).abs() < 0.02, "R ≈ 25%");
+    }
+
+    #[test]
+    fn shipdate_cutoff_hits_requested_selectivity() {
+        let d = small();
+        for sf in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let x = d.shipdate_cutoff(sf);
+            let actual = d.shipdate_selectivity(x);
+            assert!(
+                (actual - sf).abs() < 0.02,
+                "requested {sf}, got {actual} (cutoff {x})"
+            );
+        }
+    }
+
+    #[test]
+    fn loads_into_database() {
+        let d = small();
+        let db = Database::in_memory();
+        let id = d.load(&db, "lineitem", EncodingKind::Rle).unwrap();
+        let proj = db.store().projection(id).unwrap();
+        assert_eq!(proj.num_rows as usize, d.num_rows());
+        assert_eq!(proj.columns[cols::SHIPDATE].name, "shipdate");
+        // RLE on the sorted prefix keys compresses massively.
+        assert!(proj.columns[cols::RETURNFLAG].stats.num_runs <= 3);
+        let sd = &proj.columns[cols::SHIPDATE];
+        assert!(sd.stats.avg_run_len() > 5.0, "shipdate runs should be long");
+    }
+}

@@ -1,0 +1,65 @@
+//! The §4.3 join experiment as a standalone demo: the same
+//! orders ⋈ customer query under the three inner-table representations,
+//! with timings and I/O counts.
+//!
+//! ```text
+//! cargo run --release --example join_materialization
+//! ```
+
+use matstrat::prelude::*;
+use matstrat::tpch::join_tables::{customer_cols, orders_cols};
+
+fn main() -> Result<()> {
+    let cfg = TpchConfig { scale: 0.05, ..TpchConfig::default() };
+    println!(
+        "generating orders ({} rows) and customer ({} rows) ...\n",
+        cfg.rows(1_500_000),
+        cfg.rows(150_000)
+    );
+    let tables = JoinTables::generate(cfg);
+    let db = Database::in_memory();
+    let orders = tables.load_orders(&db, "orders")?;
+    let customer = tables.load_customer(&db, "customer")?;
+
+    println!("SELECT orders.shipdate, customer.nationcode");
+    println!("FROM orders, customer");
+    println!("WHERE orders.custkey = customer.custkey AND orders.custkey < X\n");
+
+    for sf in [0.1, 0.5, 1.0] {
+        let x = tables.custkey_cutoff(sf);
+        let spec = JoinSpec {
+            left: orders,
+            right: customer,
+            left_key: orders_cols::CUSTKEY,
+            right_key: customer_cols::CUSTKEY,
+            left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+            left_output: vec![orders_cols::SHIPDATE],
+            right_output: vec![customer_cols::NATIONCODE],
+        };
+        println!("— predicate selectivity {sf} (X = {x}) —");
+        let mut reference: Option<Vec<Vec<Value>>> = None;
+        for inner in InnerStrategy::ALL {
+            db.store().cold_reset();
+            let (result, wall, io) = db.run_join_with_stats(&spec, inner)?;
+            println!(
+                "  {:>28}: {:>8.2} ms, {:>6} rows, {:>4} block reads",
+                inner.name(),
+                wall.as_secs_f64() * 1e3,
+                result.num_rows(),
+                io.block_reads
+            );
+            let rows = result.sorted_rows();
+            match &reference {
+                Some(r) => assert_eq!(r, &rows, "inner strategies disagree!"),
+                None => reference = Some(rows),
+            }
+        }
+        println!();
+    }
+    println!(
+        "Expectation from the paper (Figure 13): materialized ≈ multi-column;\n\
+         single-column pays an extra positional join on the unsorted right\n\
+         positions and lands several times slower."
+    );
+    Ok(())
+}
