@@ -1,0 +1,247 @@
+//! Offline shim for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! its few external dependencies. This shim keeps the bench sources
+//! compiling and producing *useful* numbers: each benchmark runs for the
+//! configured warm-up and measurement budget and reports the median and
+//! spread of its per-iteration wall time as plain text. There are no
+//! statistical regressions, plots, or baselines — run the real criterion
+//! for those; run this to compare strategies on one machine in one sitting.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimiser from deleting the work.
+pub use std::hint::black_box;
+
+/// Top-level harness handle, one per bench binary.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Total time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Untimed warm-up budget before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("\n# group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let id = id.into();
+        run_one(self, &id, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the group's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(self.criterion, &full, f);
+        self
+    }
+
+    /// Run one parameterised benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(self.criterion, &full, |b| f(b, input));
+        self
+    }
+
+    /// End the group (upstream finalises reports here; the shim only
+    /// keeps the call site compiling).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one parameterised benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: Some(function.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id distinguished by parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            function: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.function, &self.parameter) {
+            (Some(func), Some(p)) => write!(f, "{func}/{p}"),
+            (Some(func), None) => write!(f, "{func}"),
+            (None, Some(p)) => write!(f, "{p}"),
+            (None, None) => write!(f, "?"),
+        }
+    }
+}
+
+/// Timer handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, once per iteration, for the configured budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also calibrates how many iterations fit one sample.
+        let warm_start = Instant::now();
+        let mut iters_per_sample = 0u64;
+        loop {
+            black_box(routine());
+            iters_per_sample += 1;
+            if warm_start.elapsed() >= self.warm_up_time {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / iters_per_sample as f64;
+        let budget = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((budget / per_iter.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn run_one(c: &Criterion, id: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size: c.sample_size,
+        measurement_time: c.measurement_time,
+        warm_up_time: c.warm_up_time,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        eprintln!("{id:<56} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    eprintln!(
+        "{id:<56} {:>12} [{} .. {}]",
+        fmt_duration(median),
+        fmt_duration(lo),
+        fmt_duration(hi)
+    );
+}
+
+/// Declare a group of benchmark functions, optionally with a config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate `main` running each group (used with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; none apply here.
+            $($group();)+
+        }
+    };
+}

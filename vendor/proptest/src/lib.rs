@@ -1,0 +1,189 @@
+//! Offline shim for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! its few external dependencies as minimal API-compatible implementations.
+//! This one covers the subset the matstrat property suites use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer
+//!   ranges and tuples,
+//! * [`collection::vec`] / [`collection::btree_set`],
+//! * [`sample::select`] and [`bool::ANY`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Semantics differ from upstream in one honest way: **there is no
+//! shrinking**. A failing case panics immediately with the values baked
+//! into the assertion message and a deterministic per-case seed, so
+//! failures still reproduce run-to-run. Case counts follow
+//! `ProptestConfig::cases` exactly, and `prop_assume!` rejections skip the
+//! case without counting it as a pass.
+
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies over `bool`.
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The uniform strategy over both booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// Uniformly random booleans.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Everything a property-test module needs, one glob away.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Namespaced access to the strategy modules (`prop::collection::vec`,
+    /// `prop::sample::select`, ...), as in upstream proptest's prelude.
+    pub mod prop {
+        pub use crate::{bool, collection, sample, strategy};
+    }
+}
+
+/// Assert inside a property; failure reports the formatted message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+/// Reject the current case (skip it) when its inputs are unsuitable.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::Rejected);
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` that runs the body over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::test_runner::Config::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            use $crate::strategy::Strategy as _;
+            let config: $crate::test_runner::Config = $cfg;
+            let mut accepted: u32 = 0;
+            let mut attempts: u32 = 0;
+            while accepted < config.cases {
+                attempts += 1;
+                if attempts > config.cases.saturating_mul(16).max(1024) {
+                    panic!(
+                        "proptest '{}': too many prop_assume! rejections \
+                         ({} attempts for {} accepted cases)",
+                        stringify!($name), attempts, accepted
+                    );
+                }
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    attempts,
+                );
+                $(let $arg = ($strat).generate(&mut rng);)+
+                // The closure gives `prop_assume!` an early-return target.
+                #[allow(clippy::redundant_closure_call)]
+                let outcome: ::std::result::Result<(), $crate::test_runner::Rejected> =
+                    (|| { { $body } ::std::result::Result::Ok(()) })();
+                if outcome.is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0i64..10, y in 5u64..6) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert_eq!(y, 5);
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in (0i64..4, 1usize..3).prop_map(|(a, n)| vec![a; n])) {
+            prop_assert!(!v.is_empty() && v.len() < 3);
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0i64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_is_honoured(_x in 0i64..3) {
+            // Body runs; count is checked implicitly by termination.
+        }
+    }
+
+    #[test]
+    fn collections_and_select() {
+        use crate::strategy::Strategy;
+        let mut rng = crate::test_runner::TestRng::for_case("unit", 1);
+        let v = crate::collection::vec(0i64..5, 2..9).generate(&mut rng);
+        assert!((2..9).contains(&v.len()));
+        let s = crate::collection::btree_set(0u64..100, 0..16).generate(&mut rng);
+        assert!(s.len() < 16);
+        let pick = crate::sample::select(&[10, 20, 30][..]).generate(&mut rng);
+        assert!([10, 20, 30].contains(&pick));
+        let flips: Vec<bool> = (0..64)
+            .map(|_| crate::bool::ANY.generate(&mut rng))
+            .collect();
+        assert!(flips.contains(&true) && flips.contains(&false));
+    }
+}

@@ -1,0 +1,25 @@
+//! Sampling strategies: uniform choice from a fixed set of values.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy choosing uniformly among a cloned list of values.
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+/// Uniform choice from `values` (cloned, so any borrow lifetime works).
+pub fn select<T: Clone>(values: &[T]) -> Select<T> {
+    assert!(!values.is_empty(), "select over an empty slice");
+    Select {
+        values: values.to_vec(),
+    }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.values[rng.below(self.values.len() as u64) as usize].clone()
+    }
+}

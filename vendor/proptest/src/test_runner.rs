@@ -1,0 +1,63 @@
+//! Deterministic RNG and configuration for the proptest shim.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Marker returned by `prop_assume!` to skip a case.
+#[derive(Debug, Clone, Copy)]
+pub struct Rejected;
+
+/// Subset of upstream `ProptestConfig` the shim honours.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases each property runs.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Config {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG (the vendored `rand` generator, seeded from
+/// the fully qualified test name and the case index), so a failing case
+/// reproduces on every run without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// RNG for one case of one named property.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = h ^ ((case as u64) << 32) ^ case as u64;
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Uniform draw from `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        self.next_u64() % bound
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline shim for the `rand` crate (0.8-style API).
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! its few external dependencies. This shim provides the subset the
+//! `matstrat-tpch` generators use: a seedable deterministic RNG
+//! ([`rngs::StdRng`]), [`Rng::gen_range`] over half-open and inclusive
+//! integer ranges, and [`Rng::gen_bool`].
+//!
+//! The generator is xoshiro256** seeded through splitmix64 — statistically
+//! strong enough for workload synthesis, and fully deterministic for a
+//! given seed (the property the TPC-H generator tests actually assert).
+//! It is **not** the same stream as upstream `StdRng`; data generated here
+//! is only reproducible against this shim.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Core trait: a source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types that [`Rng::gen_range`] can sample uniformly from a range.
+pub trait SampleUniform: Copy {
+    /// Sample uniformly from `[lo, hi]` (both inclusive).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128) - (lo as i128) + 1;
+                // Rejection-free mapping: multiply-shift would need u256 for
+                // 64-bit spans; modulo bias over a 2^64 stream is < span/2^64,
+                // far below anything the workload tests can observe.
+                let r = rng.next_u64() as u128 % span as u128;
+                (lo as i128 + r as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+// No float impls on purpose: exclusive float bounds cannot go through the
+// integer step_up/step_down normalisation, and a shim that silently
+// returned `hi` from `lo..hi` would diverge from the API it mimics. A
+// future float caller gets a compile error and extends this deliberately.
+
+/// One step past `b`, for converting exclusive upper bounds.
+fn dec_bound<T: SampleUniform>(b: Bound<&T>, dec: impl Fn(T) -> T) -> Option<T> {
+    match b {
+        Bound::Included(&x) => Some(x),
+        Bound::Excluded(&x) => Some(dec(x)),
+        Bound::Unbounded => None,
+    }
+}
+
+/// User-facing random-value methods, `rand 0.8` style.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        T: SampleUniform + PartialOrd + RangeStep,
+        B: RangeBounds<T>,
+    {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(&x) => x.step_up(),
+            Bound::Unbounded => panic!("gen_range requires a lower bound"),
+        };
+        let hi = dec_bound(range.end_bound(), |x| x.step_down())
+            .expect("gen_range requires an upper bound");
+        T::sample_inclusive(self, lo, hi)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of [0,1]");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Unit increment/decrement used to normalise range bounds.
+pub trait RangeStep {
+    /// Successor value.
+    fn step_up(self) -> Self;
+    /// Predecessor value.
+    fn step_down(self) -> Self;
+}
+
+macro_rules! impl_range_step_int {
+    ($($t:ty),*) => {$(
+        impl RangeStep for $t {
+            fn step_up(self) -> Self { self + 1 }
+            fn step_down(self) -> Self { self - 1 }
+        }
+    )*};
+}
+
+impl_range_step_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+/// Construction of RNGs from seeds.
+pub trait SeedableRng: Sized {
+    /// Build from a 64-bit seed; identical seeds give identical streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator (stands in for `rand`'s
+    /// `StdRng`; the stream differs from upstream, determinism does not).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let va: Vec<u64> = (0..8).map(|_| a.gen_range(0u64..1000)).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen_range(0u64..1000)).collect();
+        let vc: Vec<u64> = (0..8).map(|_| c.gen_range(0u64..1000)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: i64 = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&x));
+            let y: i64 = r.gen_range(1i64..=121);
+            assert!((1..=121).contains(&y));
+            let z: usize = r.gen_range(0usize..3);
+            assert!(z < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(9);
+        let heads = (0..100_000).filter(|_| r.gen_bool(0.5)).count();
+        assert!((45_000..55_000).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn uniformity_is_coarse_but_real() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[r.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+}
