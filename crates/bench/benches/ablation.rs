@@ -9,10 +9,10 @@
 //!   data, §4.2).
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use matstrat_core::{AggFunc, Database, ExecOptions, QuerySpec, Strategy};
+use matstrat_common::{PosRange, Predicate, Value};
 use matstrat_core::ops::agg::{aggregate_runs, Aggregator};
 use matstrat_core::MiniColumn;
-use matstrat_common::{PosRange, Predicate, Value};
+use matstrat_core::{AggFunc, Database, ExecOptions, QuerySpec, Strategy};
 use matstrat_storage::EncodingKind;
 
 use matstrat_bench::Harness;
@@ -23,7 +23,10 @@ fn bench_multicolumn_reuse(c: &mut Criterion) {
     let q = h.selection_query(table, 0.5);
     let mut g = c.benchmark_group("ablation_multicolumn_reuse");
     for (name, reuse) in [("on", true), ("off", false)] {
-        let opts = ExecOptions { multicolumn_reuse: reuse, ..ExecOptions::default() };
+        let opts = ExecOptions {
+            multicolumn_reuse: reuse,
+            ..ExecOptions::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
             b.iter(|| {
                 black_box(
@@ -50,7 +53,10 @@ fn bench_position_representation(c: &mut Criterion) {
         ("bitmap", Some(Repr::Bitmap)),
         ("explicit", Some(Repr::Explicit)),
     ] {
-        let opts = ExecOptions { force_repr: repr, ..ExecOptions::default() };
+        let opts = ExecOptions {
+            force_repr: repr,
+            ..ExecOptions::default()
+        };
         g.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
             b.iter(|| {
                 black_box(
@@ -71,7 +77,10 @@ fn bench_granule_size(c: &mut Criterion) {
     let q = h.selection_query(table, 0.5);
     let mut g = c.benchmark_group("ablation_granule");
     for shift in [12u32, 14, 16, 18] {
-        let opts = ExecOptions { granule: 1 << shift, ..ExecOptions::default() };
+        let opts = ExecOptions {
+            granule: 1 << shift,
+            ..ExecOptions::default()
+        };
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("2^{shift}")),
             &q,

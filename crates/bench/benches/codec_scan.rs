@@ -34,11 +34,7 @@ fn setup() -> Vec<(EncodingKind, Store, matstrat_common::TableId)> {
 }
 
 fn mini(store: &Store, id: matstrat_common::TableId) -> MiniColumn {
-    MiniColumn::fetch(
-        &store.reader(id, 0).unwrap(),
-        PosRange::new(0, ROWS as u64),
-    )
-    .unwrap()
+    MiniColumn::fetch(&store.reader(id, 0).unwrap(), PosRange::new(0, ROWS as u64)).unwrap()
 }
 
 fn bench_ds1(c: &mut Criterion) {

@@ -30,9 +30,7 @@ fn clustered_ranges() -> PosList {
 
 /// A sparse explicit list: every 1024th position.
 fn sparse_explicit() -> PosList {
-    PosList::Explicit(PosVec::from_sorted(
-        (0..UNIVERSE).step_by(1024).collect(),
-    ))
+    PosList::Explicit(PosVec::from_sorted((0..UNIVERSE).step_by(1024).collect()))
 }
 
 fn bench_and(c: &mut Criterion) {

@@ -12,8 +12,7 @@ use std::fs;
 use std::process::ExitCode;
 
 use matstrat_bench::{
-    format_csv, format_table, format_table2, selectivity_points, Harness, Point,
-    LINENUM_ENCODINGS,
+    format_csv, format_table, format_table2, selectivity_points, Harness, Point, LINENUM_ENCODINGS,
 };
 
 struct Args {
@@ -142,14 +141,26 @@ fn main() -> ExitCode {
             continue;
         }
         ran_any = true;
-        let what = if aggregated { "aggregation" } else { "selection" };
-        println!("\n== Figure {}: {} query, four strategies ==", &fig[3..], what);
+        let what = if aggregated {
+            "aggregation"
+        } else {
+            "selection"
+        };
+        println!(
+            "\n== Figure {}: {} query, four strategies ==",
+            &fig[3..],
+            what
+        );
         for (panel, enc) in ["a", "b", "c"].iter().zip(LINENUM_ENCODINGS) {
             println!("-- ({panel}) LINENUM {} --", enc.name());
             match h.selection_figure(enc, aggregated, &sweep) {
                 Ok(points) => {
                     print!("{}", format_table(&points));
-                    save(&args.out_dir, &format!("{fig}{panel}_{}", enc.name()), &points);
+                    save(
+                        &args.out_dir,
+                        &format!("{fig}{panel}_{}", enc.name()),
+                        &points,
+                    );
                 }
                 Err(e) => eprintln!("{fig}({panel}) failed: {e}"),
             }

@@ -81,7 +81,10 @@ impl Harness {
     /// Build everything at the given scale factor (paper: 10; default
     /// harness runs use 0.05–0.5 depending on time budget).
     pub fn new(scale: f64) -> Result<Harness> {
-        let cfg = TpchConfig { scale, ..TpchConfig::default() };
+        let cfg = TpchConfig {
+            scale,
+            ..TpchConfig::default()
+        };
         let db = Database::in_memory();
         let lineitem = LineitemGen::new(cfg).generate();
         let mut tables = Vec::new();
@@ -93,7 +96,15 @@ impl Harness {
         let orders = join.load_orders(&db, "orders")?;
         let customer = join.load_customer(&db, "customer")?;
         let constants = calibrate::calibrate(Constants::host_defaults());
-        Ok(Harness { db, lineitem, tables, join, orders, customer, constants })
+        Ok(Harness {
+            db,
+            lineitem,
+            tables,
+            join,
+            orders,
+            customer,
+            constants,
+        })
     }
 
     /// Table id for a LINENUM encoding.
@@ -131,7 +142,10 @@ impl Harness {
             self.db.store().cold_reset();
             let (result, stats) = self.db.run_with_stats(q, strategy)?;
             walls.push(stats.wall.as_secs_f64() * 1e3);
-            io_ms = stats.io.modeled_micros(self.constants.seek, self.constants.read) / 1e3;
+            io_ms = stats
+                .io
+                .modeled_micros(self.constants.seek, self.constants.read)
+                / 1e3;
             rows_out = result.num_rows() as u64;
         }
         walls.sort_by(f64::total_cmp);
@@ -345,8 +359,18 @@ pub fn format_table2(host: &Constants) -> String {
 /// shapes (scale-10 RLE setup of §3.7) — exposed for the ablation bench.
 pub fn paper_scale_rle_params(sf1: f64) -> QueryParams {
     let n = 60_000_000.0;
-    let c1 = ColumnParams { blocks: 1.0, rows: n, run_len: n / 3800.0, resident: 0.0 };
-    let c2 = ColumnParams { blocks: 5.0, rows: n, run_len: n / 26_726.0, resident: 0.0 };
+    let c1 = ColumnParams {
+        blocks: 1.0,
+        rows: n,
+        run_len: n / 3800.0,
+        resident: 0.0,
+    };
+    let c2 = ColumnParams {
+        blocks: 5.0,
+        rows: n,
+        run_len: n / 26_726.0,
+        resident: 0.0,
+    };
     let mut q = QueryParams::selection(n, c1, c2, sf1, 27.0 / 28.0);
     q.pos_run_len1 = (n * sf1 / 3.0).max(1.0);
     q.pos_run_len2 = (n * q.sf2 / 26_726.0).max(1.0);
@@ -400,8 +424,20 @@ mod tests {
     #[test]
     fn formatting_round_trips_series() {
         let pts = vec![
-            Point { selectivity: 0.1, series: "A".into(), wall_ms: 1.0, io_ms: 2.0, rows_out: 5 },
-            Point { selectivity: 0.1, series: "B".into(), wall_ms: 3.0, io_ms: 0.0, rows_out: 5 },
+            Point {
+                selectivity: 0.1,
+                series: "A".into(),
+                wall_ms: 1.0,
+                io_ms: 2.0,
+                rows_out: 5,
+            },
+            Point {
+                selectivity: 0.1,
+                series: "B".into(),
+                wall_ms: 3.0,
+                io_ms: 0.0,
+                rows_out: 5,
+            },
         ];
         let t = format_table(&pts);
         assert!(t.contains("A") && t.contains("B") && t.contains("3.00 ms"));

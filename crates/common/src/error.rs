@@ -81,7 +81,9 @@ mod tests {
 
     #[test]
     fn display_includes_kind_and_message() {
-        assert!(Error::corrupt("bad magic").to_string().contains("bad magic"));
+        assert!(Error::corrupt("bad magic")
+            .to_string()
+            .contains("bad magic"));
         assert!(Error::unsupported("DS3 on bitvec")
             .to_string()
             .contains("unsupported"));

@@ -44,37 +44,65 @@ pub struct Predicate {
 impl Predicate {
     /// `column < c`
     pub fn lt(c: Value) -> Predicate {
-        Predicate { op: CompareOp::Lt, operand: c, operand2: c }
+        Predicate {
+            op: CompareOp::Lt,
+            operand: c,
+            operand2: c,
+        }
     }
 
     /// `column <= c`
     pub fn le(c: Value) -> Predicate {
-        Predicate { op: CompareOp::Le, operand: c, operand2: c }
+        Predicate {
+            op: CompareOp::Le,
+            operand: c,
+            operand2: c,
+        }
     }
 
     /// `column > c`
     pub fn gt(c: Value) -> Predicate {
-        Predicate { op: CompareOp::Gt, operand: c, operand2: c }
+        Predicate {
+            op: CompareOp::Gt,
+            operand: c,
+            operand2: c,
+        }
     }
 
     /// `column >= c`
     pub fn ge(c: Value) -> Predicate {
-        Predicate { op: CompareOp::Ge, operand: c, operand2: c }
+        Predicate {
+            op: CompareOp::Ge,
+            operand: c,
+            operand2: c,
+        }
     }
 
     /// `column == c`
     pub fn eq(c: Value) -> Predicate {
-        Predicate { op: CompareOp::Eq, operand: c, operand2: c }
+        Predicate {
+            op: CompareOp::Eq,
+            operand: c,
+            operand2: c,
+        }
     }
 
     /// `column != c`
     pub fn ne(c: Value) -> Predicate {
-        Predicate { op: CompareOp::Ne, operand: c, operand2: c }
+        Predicate {
+            op: CompareOp::Ne,
+            operand: c,
+            operand2: c,
+        }
     }
 
     /// `lo <= column <= hi` (inclusive). `lo > hi` matches nothing.
     pub fn between(lo: Value, hi: Value) -> Predicate {
-        Predicate { op: CompareOp::Between, operand: lo, operand2: hi }
+        Predicate {
+            op: CompareOp::Between,
+            operand: lo,
+            operand2: hi,
+        }
     }
 
     /// A predicate that matches every value (`column <= i64::MAX`).

@@ -42,17 +42,26 @@ pub struct Database {
 impl Database {
     /// An in-memory database.
     pub fn in_memory() -> Database {
-        Database { store: Store::in_memory(), planner: Planner::default() }
+        Database {
+            store: Store::in_memory(),
+            planner: Planner::default(),
+        }
     }
 
     /// A database persisted under `dir` (catalog and data survive reopen).
     pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
-        Ok(Database { store: Store::open_dir(dir)?, planner: Planner::default() })
+        Ok(Database {
+            store: Store::open_dir(dir)?,
+            planner: Planner::default(),
+        })
     }
 
     /// Wrap an existing store.
     pub fn with_store(store: Store) -> Database {
-        Database { store, planner: Planner::default() }
+        Database {
+            store,
+            planner: Planner::default(),
+        }
     }
 
     /// Replace the planner's model constants (e.g. after calibration).
@@ -176,7 +185,8 @@ mod tests {
         let a: Vec<Value> = (0..100).collect();
         {
             let db = Database::open(&dir).unwrap();
-            let spec = ProjectionSpec::new("t").column("a", EncodingKind::Plain, SortOrder::Primary);
+            let spec =
+                ProjectionSpec::new("t").column("a", EncodingKind::Plain, SortOrder::Primary);
             db.load_projection(&spec, &[&a]).unwrap();
         }
         let db = Database::open(&dir).unwrap();

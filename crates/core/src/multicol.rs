@@ -91,7 +91,10 @@ impl MiniColumn {
 
     /// An empty mini-column over `window` (no blocks).
     pub fn empty(window: PosRange) -> MiniColumn {
-        MiniColumn { window, blocks: Vec::new() }
+        MiniColumn {
+            window,
+            blocks: Vec::new(),
+        }
     }
 
     /// The covering window.
@@ -149,12 +152,11 @@ impl MiniColumn {
 
     /// The block containing `pos`, by binary search over block starts.
     fn block_for(&self, pos: Pos) -> Result<&Arc<EncodedBlock>> {
-        let idx = self
+        let idx = self.blocks.partition_point(|b| b.covering().end <= pos);
+        let b = self
             .blocks
-            .partition_point(|b| b.covering().end <= pos);
-        let b = self.blocks.get(idx).ok_or_else(|| {
-            Error::invalid(format!("position {pos} not covered by mini-column"))
-        })?;
+            .get(idx)
+            .ok_or_else(|| Error::invalid(format!("position {pos} not covered by mini-column")))?;
         if !b.covering().contains(pos) {
             return Err(Error::invalid(format!(
                 "position {pos} falls in a gap of the mini-column"
@@ -280,7 +282,11 @@ impl MultiColumn {
 
     /// A multi-column with an explicit descriptor.
     pub fn with_descriptor(covering: PosRange, descriptor: PosList) -> MultiColumn {
-        MultiColumn { covering, descriptor, minis: BTreeMap::new() }
+        MultiColumn {
+            covering,
+            descriptor,
+            minis: BTreeMap::new(),
+        }
     }
 
     /// Attach a mini-column for attribute `col`.
@@ -335,7 +341,11 @@ impl MultiColumn {
         for (col, mini) in other.minis {
             minis.entry(col).or_insert(mini);
         }
-        MultiColumn { covering, descriptor, minis }
+        MultiColumn {
+            covering,
+            descriptor,
+            minis,
+        }
     }
 
     /// AND a whole set of multi-columns; `window` is the identity
@@ -358,12 +368,16 @@ impl MultiColumn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use matstrat_storage::{
-        EncodingKind as Ek, ProjectionSpec, SortOrder, Store,
-    };
+    use matstrat_storage::{EncodingKind as Ek, ProjectionSpec, SortOrder, Store};
 
     /// 3000-row projection: a = i/300 (sorted), b = i%7, c = i%5 (bitvec).
-    fn setup() -> (Store, matstrat_common::TableId, Vec<Value>, Vec<Value>, Vec<Value>) {
+    fn setup() -> (
+        Store,
+        matstrat_common::TableId,
+        Vec<Value>,
+        Vec<Value>,
+        Vec<Value>,
+    ) {
         let store = Store::in_memory();
         let a: Vec<Value> = (0..3000).map(|i| i / 300).collect();
         let b: Vec<Value> = (0..3000).map(|i| i % 7).collect();
@@ -447,14 +461,13 @@ mod tests {
         // any) must not be fetched. With 3000 W1 rows there is 1 block, so
         // instead check the I/O meter only counts 1 block.
         let pl = PosList::from_positions(vec![0, 1]);
-        let mc =
-            MiniColumn::fetch_selective(&r, PosRange::new(0, 3000), &pl).unwrap();
+        let mc = MiniColumn::fetch_selective(&r, PosRange::new(0, 3000), &pl).unwrap();
         assert_eq!(store.meter().snapshot().block_reads, 1);
         assert_eq!(mc.value_at(0).unwrap(), 0);
         // Empty positions: nothing fetched.
         store.cold_reset();
-        let mc = MiniColumn::fetch_selective(&r, PosRange::new(0, 3000), &PosList::empty())
-            .unwrap();
+        let mc =
+            MiniColumn::fetch_selective(&r, PosRange::new(0, 3000), &PosList::empty()).unwrap();
         assert_eq!(store.meter().snapshot().block_reads, 0);
         assert!(mc.blocks().is_empty());
     }
@@ -476,7 +489,10 @@ mod tests {
         let mc = MiniColumn::fetch(&r, PosRange::new(250, 950)).unwrap();
         let mut seen = Vec::new();
         mc.for_each_run(|v, range| seen.push((v, range.start, range.end)));
-        assert_eq!(seen, vec![(0, 250, 300), (1, 300, 600), (2, 600, 900), (3, 900, 950)]);
+        assert_eq!(
+            seen,
+            vec![(0, 250, 300), (1, 300, 600), (2, 600, 900), (3, 900, 950)]
+        );
         let _ = a;
     }
 
@@ -525,6 +541,5 @@ mod tests {
         let mc = MiniColumn::empty(PosRange::new(0, 10));
         assert!(mc.blocks().is_empty());
         assert!(mc.scan_positions(&Predicate::always_true()).is_empty());
-        
     }
 }

@@ -77,7 +77,9 @@ impl AggFunc {
     fn fold_slice(self, vals: &[Value]) -> Value {
         match self {
             AggFunc::Count => vals.len() as Value,
-            _ => vals.iter().fold(self.identity(), |a, &v| self.combine(a, v)),
+            _ => vals
+                .iter()
+                .fold(self.identity(), |a, &v| self.combine(a, v)),
         }
     }
 }
@@ -131,7 +133,10 @@ impl Aggregator {
 
     /// Hash-map accumulator for unknown domains.
     pub fn new_fn(func: AggFunc) -> Aggregator {
-        Aggregator { func, repr: Repr::Sparse(HashMap::new()) }
+        Aggregator {
+            func,
+            repr: Repr::Sparse(HashMap::new()),
+        }
     }
 
     /// SUM accumulator for unknown domains.
@@ -255,7 +260,10 @@ pub fn aggregate_runs(
                 ri += 1;
             }
             let (gv, gr) = runs[ri];
-            debug_assert!(gr.contains(at), "descriptor position {at} outside group runs");
+            debug_assert!(
+                gr.contains(at),
+                "descriptor position {at} outside group runs"
+            );
             let end = dr.end.min(gr.end);
             let k = (end - at) as usize;
             if counting {
@@ -359,7 +367,8 @@ mod tests {
         let mg = MiniColumn::fetch(&rg, window).unwrap();
         let mv = MiniColumn::fetch(&rv, window).unwrap();
 
-        let desc = mv.scan_positions(&Predicate::eq(0))
+        let desc = mv
+            .scan_positions(&Predicate::eq(0))
             .or(&mv.scan_positions(&Predicate::eq(3)))
             .or(&mv.scan_positions(&Predicate::eq(6)));
         let mut vals = Vec::new();

@@ -271,7 +271,9 @@ mod tests {
         let orders = ProjectionSpec::new("orders")
             .column("custkey", Ek::Plain, SortOrder::None)
             .column("shipdate", Ek::Plain, SortOrder::None);
-        let left = store.load_projection(&orders, &[&custkey, &shipdate]).unwrap();
+        let left = store
+            .load_projection(&orders, &[&custkey, &shipdate])
+            .unwrap();
 
         let ckey: Vec<Value> = (0..20).collect();
         let nation: Vec<Value> = (0..20).map(|i| i * 10).collect();
@@ -406,8 +408,17 @@ mod tests {
 
     #[test]
     fn strategy_names_match_figure13() {
-        assert_eq!(InnerStrategy::Materialized.name(), "Right Table Materialized");
-        assert_eq!(InnerStrategy::MultiColumn.name(), "Right Table Multi-Column");
-        assert_eq!(InnerStrategy::SingleColumn.name(), "Right Table Single Column");
+        assert_eq!(
+            InnerStrategy::Materialized.name(),
+            "Right Table Materialized"
+        );
+        assert_eq!(
+            InnerStrategy::MultiColumn.name(),
+            "Right Table Multi-Column"
+        );
+        assert_eq!(
+            InnerStrategy::SingleColumn.name(),
+            "Right Table Single Column"
+        );
     }
 }

@@ -27,7 +27,10 @@ pub struct SpcOutput {
 /// Run SPC over one window. `cols` pairs each mini-column with its
 /// optional predicate; tuple layout follows `cols` order.
 pub fn spc_scan(cols: &[(MiniColumn, Option<Predicate>)]) -> Result<SpcOutput> {
-    let mut out = SpcOutput { width: cols.len(), ..SpcOutput::default() };
+    let mut out = SpcOutput {
+        width: cols.len(),
+        ..SpcOutput::default()
+    };
     let Some(((first_mini, first_pred), rest)) = cols.split_first() else {
         return Ok(out);
     };
@@ -104,11 +107,7 @@ mod tests {
     #[test]
     fn spc_two_predicates_matches_reference() {
         let (a, b, ma, mb) = setup();
-        let out = spc_scan(&[
-            (ma, Some(Predicate::lt(5))),
-            (mb, Some(Predicate::lt(3))),
-        ])
-        .unwrap();
+        let out = spc_scan(&[(ma, Some(Predicate::lt(5))), (mb, Some(Predicate::lt(3)))]).unwrap();
         let expected: Vec<(Pos, Value, Value)> = (0..500u64)
             .filter(|&i| a[i as usize] < 5 && b[i as usize] < 3)
             .map(|i| (i, a[i as usize], b[i as usize]))
@@ -154,8 +153,7 @@ mod tests {
         let w = PosRange::new(0, 100);
         let ma = MiniColumn::fetch(&store.reader(id, 0).unwrap(), w).unwrap();
         let mc = MiniColumn::fetch(&store.reader(id, 1).unwrap(), w).unwrap();
-        let out = spc_scan(&[(ma, Some(Predicate::lt(3))), (mc, Some(Predicate::lt(2)))])
-            .unwrap();
+        let out = spc_scan(&[(ma, Some(Predicate::lt(3))), (mc, Some(Predicate::lt(2)))]).unwrap();
         assert!(out.decompressed);
         let expected: Vec<Pos> = (0..100u64)
             .filter(|&i| a[i as usize] < 3 && c[i as usize] < 2)

@@ -39,7 +39,9 @@ pub struct Planner {
 impl Planner {
     /// Planner with the given model constants.
     pub fn new(constants: Constants) -> Planner {
-        Planner { model: CostModel::new(constants) }
+        Planner {
+            model: CostModel::new(constants),
+        }
     }
 
     /// The underlying cost model.
@@ -88,7 +90,12 @@ impl Planner {
         }
     }
 
-    fn column_params(store: &Store, q: &QuerySpec, col_idx: usize, col: &ColumnInfo) -> ColumnParams {
+    fn column_params(
+        store: &Store,
+        q: &QuerySpec,
+        col_idx: usize,
+        col: &ColumnInfo,
+    ) -> ColumnParams {
         let resident = store
             .reader(q.table, col_idx)
             .map(|r| r.resident_fraction())
@@ -170,15 +177,11 @@ impl Planner {
     /// using a light-weight compression technique, a late materialization
     /// strategy should be used. Otherwise ... early materialization."*
     fn choose_heuristic(&self, proj: &ProjectionInfo, q: &QuerySpec) -> PlanChoice {
-        let lm_ok_pipelined = q
-            .filters
-            .iter()
-            .skip(1)
-            .all(|(c, _)| {
-                proj.column(*c)
-                    .map(|ci| ci.encoding.supports_position_fetch())
-                    .unwrap_or(false)
-            });
+        let lm_ok_pipelined = q.filters.iter().skip(1).all(|(c, _)| {
+            proj.column(*c)
+                .map(|ci| ci.encoding.supports_position_fetch())
+                .unwrap_or(false)
+        });
         if q.aggregate.is_some() {
             return PlanChoice {
                 strategy: Strategy::LmParallel,
@@ -196,9 +199,7 @@ impl Planner {
         }
         let compressed = q.filters.iter().all(|(c, _)| {
             proj.column(*c)
-                .map(|ci| {
-                    matches!(ci.encoding, EncodingKind::Rle | EncodingKind::Dict)
-                })
+                .map(|ci| matches!(ci.encoding, EncodingKind::Rle | EncodingKind::Dict))
                 .unwrap_or(false)
         });
         if sf < 0.05 && lm_ok_pipelined {
@@ -258,7 +259,13 @@ mod tests {
         let store = Store::in_memory();
         let n = 30_000usize;
         let mut rows: Vec<(Value, Value, Value)> = (0..n)
-            .map(|i| ((i % 3) as Value, ((i * 37) % 100) as Value, ((i * 7) % 7 + 1) as Value))
+            .map(|i| {
+                (
+                    (i % 3) as Value,
+                    ((i * 37) % 100) as Value,
+                    ((i * 7) % 7 + 1) as Value,
+                )
+            })
             .collect();
         rows.sort_unstable();
         let rf: Vec<Value> = rows.iter().map(|r| r.0).collect();
@@ -281,7 +288,12 @@ mod tests {
             .filter(2, Predicate::lt(7))
             .aggregate_sum(1, 2);
         let choice = planner.choose(&store, &q).unwrap();
-        assert!(choice.strategy.is_late(), "got {:?}: {}", choice.strategy, choice.reason);
+        assert!(
+            choice.strategy.is_late(),
+            "got {:?}: {}",
+            choice.strategy,
+            choice.reason
+        );
         assert!(choice.estimate.is_some());
         assert!(!choice.alternatives.is_empty());
     }
@@ -320,8 +332,7 @@ mod tests {
     fn heuristic_selective_prefers_lm_pipelined() {
         let (store, id) = setup(EncodingKind::Plain);
         let planner = Planner::default();
-        let q = QuerySpec::select(id, vec![0, 1, 2])
-            .filter(1, Predicate::eq(3)); // SF = 1/100
+        let q = QuerySpec::select(id, vec![0, 1, 2]).filter(1, Predicate::eq(3)); // SF = 1/100
         let choice = planner.choose(&store, &q).unwrap();
         assert_eq!(choice.strategy, Strategy::LmPipelined, "{}", choice.reason);
     }

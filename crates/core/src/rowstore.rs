@@ -56,9 +56,10 @@ impl RowTable {
                 return Err(Error::invalid(format!("filter column {c} out of range")));
             }
         }
-        let surviving = self.rows.iter().filter(|row| {
-            q.filters.iter().all(|(c, p)| p.matches(row[*c]))
-        });
+        let surviving = self
+            .rows
+            .iter()
+            .filter(|row| q.filters.iter().all(|(c, p)| p.matches(row[*c])));
         match q.aggregate {
             Some(a) => {
                 if a.group_col >= ncols || a.value_col >= ncols {
@@ -106,8 +107,11 @@ impl RowTable {
                 if q.output.is_empty() {
                     return Err(Error::invalid("non-aggregated query must output columns"));
                 }
-                let names: Vec<String> =
-                    q.output.iter().map(|&c| self.column_names[c].clone()).collect();
+                let names: Vec<String> = q
+                    .output
+                    .iter()
+                    .map(|&c| self.column_names[c].clone())
+                    .collect();
                 let mut flat = Vec::new();
                 for row in surviving {
                     for &c in &q.output {
@@ -152,10 +156,7 @@ mod tests {
         // Compare each group's sum to a directly computed reference.
         for row in r.rows() {
             let g = row[0];
-            let expected: Value = (0..100)
-                .filter(|i| i / 10 == g)
-                .map(|i| i % 4)
-                .sum();
+            let expected: Value = (0..100).filter(|i| i / 10 == g).map(|i| i % 4).sum();
             assert_eq!(row[1], expected, "group {g}");
         }
         assert_eq!(r.column_names, vec!["a".to_string(), "sum_b".to_string()]);

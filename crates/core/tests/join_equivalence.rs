@@ -24,12 +24,14 @@ fn arb_case() -> impl PropStrategy<Value = JoinCase> {
         prop::collection::vec((0i64..30, 0i64..100), 1..120),
         prop::collection::vec((0i64..30, 0i64..8), 1..60),
         0i64..32,
-        prop::sample::select(&[
-            EncodingKind::Plain,
-            EncodingKind::Rle,
-            EncodingKind::BitVec,
-            EncodingKind::Dict,
-        ][..]),
+        prop::sample::select(
+            &[
+                EncodingKind::Plain,
+                EncodingKind::Rle,
+                EncodingKind::BitVec,
+                EncodingKind::Dict,
+            ][..],
+        ),
     )
         .prop_map(|(left, mut right, filter_cutoff, right_enc)| {
             // Right table sorted by key (its declared primary key order).
@@ -199,6 +201,10 @@ fn join_with_empty_match_set() {
         right_output: vec![0],
     };
     for inner in InnerStrategy::ALL {
-        assert_eq!(db.run_join(&spec, inner).unwrap().num_rows(), 0, "{inner:?}");
+        assert_eq!(
+            db.run_join(&spec, inner).unwrap().num_rows(),
+            0,
+            "{inner:?}"
+        );
     }
 }

@@ -37,7 +37,12 @@ fn load(
     (db, id, oracle)
 }
 
-fn check_all_strategies(db: &Database, id: matstrat_common::TableId, oracle: &RowTable, q: &QuerySpec) {
+fn check_all_strategies(
+    db: &Database,
+    id: matstrat_common::TableId,
+    oracle: &RowTable,
+    q: &QuerySpec,
+) {
     let mut q = q.clone();
     q.table = id;
     let expected = oracle.run(&q).unwrap().sorted_rows();

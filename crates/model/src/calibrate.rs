@@ -53,8 +53,9 @@ pub fn measure_tic_col(iters: u64) -> f64 {
 /// Measure `TIC_TUP`: one step of an iterator over wide tuples, touching
 /// multiple fields per step (µs).
 pub fn measure_tic_tup(iters: u64) -> f64 {
-    let data: Vec<(u64, i64, i64, i64)> =
-        (0..iters).map(|i| (i, i as i64, (i * 3) as i64, (i * 7) as i64)).collect();
+    let data: Vec<(u64, i64, i64, i64)> = (0..iters)
+        .map(|i| (i, i as i64, (i * 3) as i64, (i * 7) as i64))
+        .collect();
     time_per_iter(iters, || {
         let mut acc = 0i64;
         for t in black_box(&data) {
@@ -152,6 +153,9 @@ mod tests {
         // value. (Equality is possible on very fast hosts; allow slack.)
         let col = measure_tic_col(500_000);
         let tup = measure_tic_tup(500_000);
-        assert!(tup > col * 0.8, "tic_tup {tup} should not be far below tic_col {col}");
+        assert!(
+            tup > col * 0.8,
+            "tic_tup {tup} should not be far below tic_col {col}"
+        );
     }
 }

@@ -45,7 +45,10 @@ impl Constants {
 
     /// Paper disk constants with 64-bit words (our hosts).
     pub fn host_defaults() -> Constants {
-        Constants { word_bits: 64.0, ..Constants::paper() }
+        Constants {
+            word_bits: 64.0,
+            ..Constants::paper()
+        }
     }
 }
 

@@ -24,7 +24,12 @@ pub struct ColumnParams {
 impl ColumnParams {
     /// Convenience constructor with `F = 0` (cold).
     pub fn cold(blocks: f64, rows: f64, run_len: f64) -> ColumnParams {
-        ColumnParams { blocks, rows, run_len, resident: 0.0 }
+        ColumnParams {
+            blocks,
+            rows,
+            run_len,
+            resident: 0.0,
+        }
     }
 
     /// The paper's standard I/O term:
@@ -65,7 +70,7 @@ impl AndInput {
 pub fn ds1(col: &ColumnParams, sf: f64, c: &Constants) -> (f64, f64) {
     let cpu = col.blocks * c.bic                                   // (1)
         + col.rows * (c.tic_col + c.fc) / col.run_len.max(1.0)     // (3,4)
-        + sf * col.rows * c.fc;                                    // (5)
+        + sf * col.rows * c.fc; // (5)
     (cpu, col.io_full_scan(c)) // (2)
 }
 
@@ -99,7 +104,7 @@ pub fn ds3(
     let steps = positions / pos_run_len.max(1.0);
     let cpu = col.blocks * c.bic            // (1)
         + steps * c.tic_col                 // (3)
-        + steps * (c.tic_col + c.fc);       // (4)
+        + steps * (c.tic_col + c.fc); // (4)
     let io = if reaccess {
         0.0
     } else {
@@ -116,7 +121,7 @@ pub fn ds4(col: &ColumnParams, em_tuples: f64, sf: f64, c: &Constants) -> (f64, 
     let cpu = col.blocks * c.bic                       // (1)
         + em_tuples * c.tic_tup                        // (3)
         + em_tuples * ((c.fc + c.tic_tup) + c.fc)      // (4)
-        + sf * em_tuples * c.tic_tup;                  // (5)
+        + sf * em_tuples * c.tic_tup; // (5)
     (cpu, col.io_full_scan(c)) // (2)
 }
 
@@ -130,10 +135,7 @@ pub fn and_cost(inputs: &[AndInput], c: &Constants) -> f64 {
         return 0.0;
     }
     let k = inputs.len() as f64;
-    let m = inputs
-        .iter()
-        .map(|i| i.units(c))
-        .fold(0.0_f64, f64::max);
+    let m = inputs.iter().map(|i| i.units(c)).fold(0.0_f64, f64::max);
     let step1: f64 = inputs.iter().map(|i| c.tic_col * i.units(c)).sum();
     step1 + m * (k - 1.0) * c.fc + m * c.tic_col * c.fc
 }
@@ -197,7 +199,10 @@ mod tests {
         let p = col(5.0, 1000.0, 1.0);
         let (cpu1, _) = ds1(&p, 0.5, &c());
         let (cpu2, _) = ds2(&p, 0.5, &c());
-        assert!(cpu2 > cpu1, "pair construction must cost more than positions");
+        assert!(
+            cpu2 > cpu1,
+            "pair construction must cost more than positions"
+        );
         // Difference is exactly SF*||C||*(TICTUP - FC)... no:
         // ds1 step5 = SF*N*FC; ds2 step5 = SF*N*(TICTUP+FC).
         assert!((cpu2 - cpu1 - 0.5 * 1000.0 * 0.065).abs() < 1e-9);
@@ -224,10 +229,8 @@ mod tests {
     #[test]
     fn ds4_formula_hand_check() {
         let (cpu, _) = ds4(&col(5.0, 1000.0, 1.0), 200.0, 0.5, &c());
-        let expected = 5.0 * 0.020
-            + 200.0 * 0.065
-            + 200.0 * ((0.009 + 0.065) + 0.009)
-            + 0.5 * 200.0 * 0.065;
+        let expected =
+            5.0 * 0.020 + 200.0 * 0.065 + 200.0 * ((0.009 + 0.065) + 0.009) + 0.5 * 200.0 * 0.065;
         assert!((cpu - expected).abs() < 1e-9);
     }
 
@@ -237,24 +240,48 @@ mod tests {
         // Two range lists of 1000 positions with run length 100: 10 units each.
         let ranges = and_cost(
             &[
-                AndInput { positions: 1000.0, run_len: 100.0, is_bitstring: false },
-                AndInput { positions: 1000.0, run_len: 100.0, is_bitstring: false },
+                AndInput {
+                    positions: 1000.0,
+                    run_len: 100.0,
+                    is_bitstring: false,
+                },
+                AndInput {
+                    positions: 1000.0,
+                    run_len: 100.0,
+                    is_bitstring: false,
+                },
             ],
             &cc,
         );
         // Bit-strings over the same positions: 1000/32 = 31.25 units each.
         let bits = and_cost(
             &[
-                AndInput { positions: 1000.0, run_len: 1.0, is_bitstring: true },
-                AndInput { positions: 1000.0, run_len: 1.0, is_bitstring: true },
+                AndInput {
+                    positions: 1000.0,
+                    run_len: 1.0,
+                    is_bitstring: true,
+                },
+                AndInput {
+                    positions: 1000.0,
+                    run_len: 1.0,
+                    is_bitstring: true,
+                },
             ],
             &cc,
         );
         // Unencoded singleton lists: 1000 units each.
         let lists = and_cost(
             &[
-                AndInput { positions: 1000.0, run_len: 1.0, is_bitstring: false },
-                AndInput { positions: 1000.0, run_len: 1.0, is_bitstring: false },
+                AndInput {
+                    positions: 1000.0,
+                    run_len: 1.0,
+                    is_bitstring: false,
+                },
+                AndInput {
+                    positions: 1000.0,
+                    run_len: 1.0,
+                    is_bitstring: false,
+                },
             ],
             &cc,
         );
@@ -266,7 +293,14 @@ mod tests {
     fn and_fewer_than_two_inputs_is_free() {
         assert_eq!(and_cost(&[], &c()), 0.0);
         assert_eq!(
-            and_cost(&[AndInput { positions: 10.0, run_len: 1.0, is_bitstring: false }], &c()),
+            and_cost(
+                &[AndInput {
+                    positions: 10.0,
+                    run_len: 1.0,
+                    is_bitstring: false
+                }],
+                &c()
+            ),
             0.0
         );
     }
@@ -293,7 +327,11 @@ mod tests {
     #[test]
     fn spc_io_reads_all_columns_fully() {
         let cc = c();
-        let (_, io) = spc(&[col(10.0, 100.0, 1.0), col(20.0, 100.0, 1.0)], &[0.5, 0.5], &cc);
+        let (_, io) = spc(
+            &[col(10.0, 100.0, 1.0), col(20.0, 100.0, 1.0)],
+            &[0.5, 0.5],
+            &cc,
+        );
         let expected = (10.0 * 2500.0 + 10.0 * 1000.0) + (20.0 * 2500.0 + 20.0 * 1000.0);
         assert!((io - expected).abs() < 1e-9);
     }

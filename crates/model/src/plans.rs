@@ -121,7 +121,13 @@ impl QueryParams {
     /// Plain selection query with sensible defaults: positions ungrouped
     /// (`RL_p` from the column run lengths), value encodings supporting
     /// DS3.
-    pub fn selection(n: f64, c1: ColumnParams, c2: ColumnParams, sf1: f64, sf2: f64) -> QueryParams {
+    pub fn selection(
+        n: f64,
+        c1: ColumnParams,
+        c2: ColumnParams,
+        sf1: f64,
+        sf2: f64,
+    ) -> QueryParams {
         QueryParams {
             n,
             c1,
@@ -282,7 +288,7 @@ impl CostModel {
         // Fetch c2 values at positions passing predicate 1, then filter.
         cost.add(ds3(&q.c2, q.n * q.sf1, q.pos_run_len1, q.sf1, false, c));
         cost.add_cpu(q.n * q.sf1 * c.fc); // apply predicate 2 to the subset
-        // Re-access c1 for its values at the final positions.
+                                          // Re-access c1 for its values at the final positions.
         let out = q.out_rows();
         let out_runs = q.pos_run_len1.min(q.pos_run_len2);
         cost.add(ds3(&q.c1, out, out_runs, q.sf1 * q.sf2, true, c));
@@ -326,8 +332,18 @@ mod tests {
     /// (runs), linenum 5 blocks / 26,726 runs, 60 M rows.
     fn rle_params(sf1: f64) -> QueryParams {
         let n = 60_000_000.0;
-        let c1 = ColumnParams { blocks: 1.0, rows: n, run_len: n / 3800.0, resident: 0.0 };
-        let c2 = ColumnParams { blocks: 5.0, rows: n, run_len: n / 26_726.0, resident: 0.0 };
+        let c1 = ColumnParams {
+            blocks: 1.0,
+            rows: n,
+            run_len: n / 3800.0,
+            resident: 0.0,
+        };
+        let c2 = ColumnParams {
+            blocks: 5.0,
+            rows: n,
+            run_len: n / 26_726.0,
+            resident: 0.0,
+        };
         let mut q = QueryParams::selection(n, c1, c2, sf1, 0.96);
         // Positions from a range predicate over the semi-sorted shipdate
         // coalesce into a few long runs (one per RETURNFLAG group).
@@ -338,8 +354,18 @@ mod tests {
 
     fn uncompressed_params(sf1: f64) -> QueryParams {
         let n = 60_000_000.0;
-        let c1 = ColumnParams { blocks: 1.0, rows: n, run_len: n / 3800.0, resident: 0.0 };
-        let c2 = ColumnParams { blocks: 916.0, rows: n, run_len: 1.0, resident: 0.0 };
+        let c1 = ColumnParams {
+            blocks: 1.0,
+            rows: n,
+            run_len: n / 3800.0,
+            resident: 0.0,
+        };
+        let c2 = ColumnParams {
+            blocks: 916.0,
+            rows: n,
+            run_len: 1.0,
+            resident: 0.0,
+        };
         let mut q = QueryParams::selection(n, c1, c2, sf1, 0.96);
         q.pos_run_len1 = (n * sf1 / 3.0).max(1.0);
         q.pos_run_len2 = 1.0;
@@ -385,7 +411,10 @@ mod tests {
         let high = uncompressed_params(0.9);
         let lmp_low = m.lm_pipelined(&low).unwrap().total_us();
         let emp_low = m.em_parallel(&low).total_us();
-        assert!(lmp_low < emp_low, "low sel: {lmp_low} should beat {emp_low}");
+        assert!(
+            lmp_low < emp_low,
+            "low sel: {lmp_low} should beat {emp_low}"
+        );
         let lmp_high = m.lm_pipelined(&high).unwrap().total_us();
         let emp_high = m.em_parallel(&high).total_us();
         assert!(
@@ -405,7 +434,10 @@ mod tests {
         agg.num_groups = 2526.0;
         let lm_sel = m.lm_parallel(&sel).total_us();
         let lm_agg = m.lm_parallel(&agg).total_us();
-        assert!(lm_agg < 0.5 * lm_sel, "agg should slash LM cost: {lm_agg} vs {lm_sel}");
+        assert!(
+            lm_agg < 0.5 * lm_sel,
+            "agg should slash LM cost: {lm_agg} vs {lm_sel}"
+        );
         let em_sel = m.em_parallel(&sel).total_us();
         let em_agg = m.em_parallel(&agg).total_us();
         assert!((em_agg - em_sel).abs() / em_sel < 0.25, "EM barely changes");

@@ -22,7 +22,10 @@ impl Bitmap {
     /// An all-zeros bitmap covering `range`.
     pub fn zeros(range: PosRange) -> Bitmap {
         let nwords = (range.len() as usize).div_ceil(64);
-        Bitmap { range, words: vec![0; nwords] }
+        Bitmap {
+            range,
+            words: vec![0; nwords],
+        }
     }
 
     /// An all-ones bitmap covering `range`.
@@ -83,7 +86,11 @@ impl Bitmap {
     /// Panics if `pos` lies outside the covering range.
     #[inline]
     pub fn set(&mut self, pos: Pos) {
-        assert!(self.range.contains(pos), "position {pos} outside {}", self.range);
+        assert!(
+            self.range.contains(pos),
+            "position {pos} outside {}",
+            self.range
+        );
         let bit = (pos - self.range.start) as usize;
         self.words[bit / 64] |= 1u64 << (bit % 64);
     }
@@ -94,7 +101,11 @@ impl Bitmap {
     /// Panics if `pos` lies outside the covering range.
     #[inline]
     pub fn clear(&mut self, pos: Pos) {
-        assert!(self.range.contains(pos), "position {pos} outside {}", self.range);
+        assert!(
+            self.range.contains(pos),
+            "position {pos} outside {}",
+            self.range
+        );
         let bit = (pos - self.range.start) as usize;
         self.words[bit / 64] &= !(1u64 << (bit % 64));
     }
@@ -219,7 +230,11 @@ impl Bitmap {
 
     /// Iterate over set positions in ascending order.
     pub fn iter(&self) -> BitmapIter<'_> {
-        BitmapIter { bm: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        BitmapIter {
+            bm: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
     }
 
     /// Zero any bits beyond the covering range in the final word.

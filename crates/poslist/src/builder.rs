@@ -30,7 +30,10 @@ pub struct PosListBuilder {
 impl PosListBuilder {
     /// New empty builder.
     pub fn new() -> PosListBuilder {
-        PosListBuilder { runs: Vec::new(), count: 0 }
+        PosListBuilder {
+            runs: Vec::new(),
+            count: 0,
+        }
     }
 
     /// Append a single position. Must be ≥ every previously appended

@@ -16,7 +16,9 @@ pub struct PosVec {
 impl PosVec {
     /// The empty list.
     pub fn empty() -> PosVec {
-        PosVec { positions: Vec::new() }
+        PosVec {
+            positions: Vec::new(),
+        }
     }
 
     /// Build from an arbitrary vector: sorts and deduplicates.
@@ -29,7 +31,10 @@ impl PosVec {
     /// Build from a vector that is already sorted and duplicate-free.
     /// Debug-asserts the invariant.
     pub fn from_sorted(positions: Vec<Pos>) -> PosVec {
-        debug_assert!(positions.windows(2).all(|w| w[0] < w[1]), "positions not sorted/unique");
+        debug_assert!(
+            positions.windows(2).all(|w| w[0] < w[1]),
+            "positions not sorted/unique"
+        );
         PosVec { positions }
     }
 
@@ -119,7 +124,9 @@ impl PosVec {
     pub fn clip(&self, window: PosRange) -> PosVec {
         let lo = self.positions.partition_point(|&p| p < window.start);
         let hi = self.positions.partition_point(|&p| p < window.end);
-        PosVec { positions: self.positions[lo..hi].to_vec() }
+        PosVec {
+            positions: self.positions[lo..hi].to_vec(),
+        }
     }
 
     /// Iterate over positions in ascending order.

@@ -367,7 +367,13 @@ mod tests {
         ];
         for a in &reprs_a {
             for b in &reprs_b {
-                assert_eq!(a.and(b).to_vec(), expected, "{:?} ∧ {:?}", a.repr(), b.repr());
+                assert_eq!(
+                    a.and(b).to_vec(),
+                    expected,
+                    "{:?} ∧ {:?}",
+                    a.repr(),
+                    b.repr()
+                );
             }
         }
     }
@@ -389,7 +395,13 @@ mod tests {
         ];
         for a in &reprs_a {
             for b in &reprs_b {
-                assert_eq!(a.or(b).to_vec(), expected, "{:?} ∨ {:?}", a.repr(), b.repr());
+                assert_eq!(
+                    a.or(b).to_vec(),
+                    expected,
+                    "{:?} ∨ {:?}",
+                    a.repr(),
+                    b.repr()
+                );
             }
         }
     }
@@ -422,7 +434,9 @@ mod tests {
         // §2.1.1: position range 11-20 (inclusive), bit-vector 0111010001
         // indicates 12, 13, 14, 16, 20 passed.
         let cov = r(11, 21);
-        let bits = [false, true, true, true, false, true, false, false, false, true];
+        let bits = [
+            false, true, true, true, false, true, false, false, false, true,
+        ];
         let mut bm = Bitmap::zeros(cov);
         for (i, &on) in bits.iter().enumerate() {
             if on {
@@ -441,7 +455,12 @@ mod tests {
             bitmap((0, 32), p.clone()),
             PosList::Explicit(PosVec::from_vec(p.clone())).to_ranges_list(),
         ] {
-            assert_eq!(list.clip(r(5, 16)).to_vec(), vec![5, 10, 15], "{:?}", list.repr());
+            assert_eq!(
+                list.clip(r(5, 16)).to_vec(),
+                vec![5, 10, 15],
+                "{:?}",
+                list.repr()
+            );
         }
     }
 

@@ -29,7 +29,9 @@ impl RangeList {
         if range.is_empty() {
             RangeList::empty()
         } else {
-            RangeList { ranges: vec![range] }
+            RangeList {
+                ranges: vec![range],
+            }
         }
     }
 

@@ -184,7 +184,10 @@ impl BitVecBlock {
         let mut run_start = self.start_pos;
         for (row, &v) in decoded.iter().enumerate().skip(1) {
             if v != run_val {
-                f(run_val, PosRange::new(run_start, self.start_pos + row as u64));
+                f(
+                    run_val,
+                    PosRange::new(run_start, self.start_pos + row as u64),
+                );
                 run_val = v;
                 run_start = self.start_pos + row as u64;
             }
@@ -218,7 +221,13 @@ impl BitVecBlock {
         for _ in 0..k * wpv {
             words.push(r.u64()?);
         }
-        Ok(BitVecBlock { start_pos, count, values, words, words_per_value: wpv })
+        Ok(BitVecBlock {
+            start_pos,
+            count,
+            values,
+            words,
+            words_per_value: wpv,
+        })
     }
 }
 

@@ -64,7 +64,11 @@ impl DictBlock {
             dict.len(),
             values.len()
         );
-        DictBlock { start_pos, dict, codes }
+        DictBlock {
+            start_pos,
+            dict,
+            codes,
+        }
     }
 
     /// Absolute position of the first row.
@@ -92,9 +96,7 @@ impl DictBlock {
 
     fn check_pos(&self, pos: Pos) -> Result<usize> {
         if pos < self.start_pos || pos >= self.start_pos + self.codes.len() as u64 {
-            return Err(Error::invalid(format!(
-                "position {pos} outside dict block"
-            )));
+            return Err(Error::invalid(format!("position {pos} outside dict block")));
         }
         Ok((pos - self.start_pos) as usize)
     }
@@ -283,10 +285,16 @@ impl DictBlock {
         }
         for &c in &codes {
             if c as usize >= k {
-                return Err(Error::corrupt(format!("dict code {c} out of range (k={k})")));
+                return Err(Error::corrupt(format!(
+                    "dict code {c} out of range (k={k})"
+                )));
             }
         }
-        Ok(DictBlock { start_pos, dict, codes })
+        Ok(DictBlock {
+            start_pos,
+            dict,
+            codes,
+        })
     }
 }
 

@@ -466,8 +466,7 @@ mod tests {
                 assert!(matches!(r, Err(Error::Unsupported(_))));
             } else {
                 r.unwrap();
-                let expected: Vec<Value> =
-                    positions.iter().map(|&p| values[p as usize]).collect();
+                let expected: Vec<Value> = positions.iter().map(|&p| values[p as usize]).collect();
                 assert_eq!(out, expected, "{:?}", block.encoding());
             }
         }
@@ -582,12 +581,12 @@ mod tests {
         let values = sample_values();
         for block in all_blocks(&values, 100) {
             let mut out = Vec::new();
-            block.decode_range(PosRange::new(110, 130), &mut out).unwrap();
+            block
+                .decode_range(PosRange::new(110, 130), &mut out)
+                .unwrap();
             assert_eq!(out, &values[10..30], "{:?}", block.encoding());
             // Out-of-block ranges are rejected.
-            assert!(block
-                .decode_range(PosRange::new(90, 95), &mut out)
-                .is_err());
+            assert!(block.decode_range(PosRange::new(90, 95), &mut out).is_err());
         }
     }
 

@@ -49,7 +49,12 @@ impl PlainBlock {
                 Width::W8 => raw.extend_from_slice(&v.to_le_bytes()),
             }
         }
-        PlainBlock { start_pos, width, raw, count: values.len() as u32 }
+        PlainBlock {
+            start_pos,
+            width,
+            raw,
+            count: values.len() as u32,
+        }
     }
 
     /// Absolute position of the first row.
@@ -115,9 +120,9 @@ impl PlainBlock {
             Width::W4 => scan!(|i: usize| i32::from_le_bytes(
                 self.raw[i * 4..i * 4 + 4].try_into().unwrap()
             ) as i64),
-            Width::W8 => scan!(|i: usize| i64::from_le_bytes(
-                self.raw[i * 8..i * 8 + 8].try_into().unwrap()
-            )),
+            Width::W8 => {
+                scan!(|i: usize| i64::from_le_bytes(self.raw[i * 8..i * 8 + 8].try_into().unwrap()))
+            }
         }
         b.finish()
     }
@@ -245,7 +250,12 @@ impl PlainBlock {
             w => return Err(Error::corrupt(format!("bad plain width {w}"))),
         };
         let raw = r.bytes(count as usize * width.bytes())?.to_vec();
-        Ok(PlainBlock { start_pos, width, raw, count })
+        Ok(PlainBlock {
+            start_pos,
+            width,
+            raw,
+            count,
+        })
     }
 }
 

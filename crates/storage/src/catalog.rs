@@ -76,7 +76,10 @@ pub struct ProjectionSpec {
 impl ProjectionSpec {
     /// Start a spec with no columns.
     pub fn new(name: impl Into<String>) -> ProjectionSpec {
-        ProjectionSpec { name: name.into(), columns: Vec::new() }
+        ProjectionSpec {
+            name: name.into(),
+            columns: Vec::new(),
+        }
     }
 
     /// Builder-style: append a column.
@@ -86,7 +89,11 @@ impl ProjectionSpec {
         encoding: EncodingKind,
         sort: SortOrder,
     ) -> ProjectionSpec {
-        self.columns.push(ColumnSpec { name: name.into(), encoding, sort });
+        self.columns.push(ColumnSpec {
+            name: name.into(),
+            encoding,
+            sort,
+        });
         self
     }
 
@@ -261,7 +268,9 @@ impl Catalog {
         }
         let version = r.u32()?;
         if version != 1 {
-            return Err(Error::corrupt(format!("catalog: unknown version {version}")));
+            return Err(Error::corrupt(format!(
+                "catalog: unknown version {version}"
+            )));
         }
         let nproj = r.u32()?;
         let next_column_id = r.u32()?;
@@ -361,7 +370,14 @@ mod tests {
     use super::*;
 
     fn stats() -> ColumnStats {
-        ColumnStats { num_rows: 10, num_blocks: 1, min: 0, max: 9, distinct: 10, num_runs: 10 }
+        ColumnStats {
+            num_rows: 10,
+            num_blocks: 1,
+            min: 0,
+            max: 9,
+            distinct: 10,
+            num_runs: 10,
+        }
     }
 
     fn col(name: &str, sort: SortOrder) -> ColumnInfo {
@@ -401,8 +417,12 @@ mod tests {
     #[test]
     fn column_ids_are_unique_across_projections() {
         let mut cat = Catalog::new();
-        cat.add_projection("a", 1, vec![col("x", SortOrder::None), col("y", SortOrder::None)])
-            .unwrap();
+        cat.add_projection(
+            "a",
+            1,
+            vec![col("x", SortOrder::None), col("y", SortOrder::None)],
+        )
+        .unwrap();
         cat.add_projection("b", 1, vec![col("z", SortOrder::None)])
             .unwrap();
         let a = cat.projection_by_name("a").unwrap();
@@ -418,7 +438,10 @@ mod tests {
         cat.add_projection(
             "lineitem",
             10,
-            vec![col("retflag", SortOrder::Primary), col("shipdate", SortOrder::Secondary)],
+            vec![
+                col("retflag", SortOrder::Primary),
+                col("shipdate", SortOrder::Secondary),
+            ],
         )
         .unwrap();
         let bytes = cat.serialize();
@@ -462,7 +485,11 @@ mod tests {
     fn column_by_name_and_index() {
         let mut cat = Catalog::new();
         let id = cat
-            .add_projection("t", 1, vec![col("a", SortOrder::None), col("b", SortOrder::None)])
+            .add_projection(
+                "t",
+                1,
+                vec![col("a", SortOrder::None), col("b", SortOrder::None)],
+            )
             .unwrap();
         let p = cat.projection(id).unwrap();
         assert_eq!(p.column_by_name("b").unwrap().0, 1);

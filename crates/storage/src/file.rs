@@ -138,13 +138,11 @@ impl<'a> ColumnFileWriter<'a> {
                 self.block_runs + usize::from(new_run) > RleBlock::capacity_runs()
             }
             EncodingKind::BitVec => {
-                let k = self.block_distinct.len()
-                    + usize::from(!self.block_distinct.contains(&v));
+                let k = self.block_distinct.len() + usize::from(!self.block_distinct.contains(&v));
                 BitVecBlock::encoded_size(k, n + 1) > BLOCK_SIZE
             }
             EncodingKind::Dict => {
-                let k = self.block_distinct.len()
-                    + usize::from(!self.block_distinct.contains(&v));
+                let k = self.block_distinct.len() + usize::from(!self.block_distinct.contains(&v));
                 DictBlock::encoded_size(k, n + 1) > BLOCK_SIZE
             }
         }
@@ -200,9 +198,11 @@ impl<'a> ColumnFileWriter<'a> {
             return Ok(());
         }
         let block = match self.encoding {
-            EncodingKind::Plain => {
-                EncodedBlock::Plain(PlainBlock::from_values(self.next_start, self.width, &self.buffer))
-            }
+            EncodingKind::Plain => EncodedBlock::Plain(PlainBlock::from_values(
+                self.next_start,
+                self.width,
+                &self.buffer,
+            )),
             EncodingKind::Rle => {
                 EncodedBlock::Rle(RleBlock::from_values(self.next_start, &self.buffer))
             }
@@ -246,8 +246,16 @@ impl<'a> ColumnFileWriter<'a> {
         let stats = ColumnStats {
             num_rows: self.next_start,
             num_blocks: self.index.len() as u64,
-            min: if self.distinct.is_empty() { 0 } else { self.min },
-            max: if self.distinct.is_empty() { 0 } else { self.max },
+            min: if self.distinct.is_empty() {
+                0
+            } else {
+                self.min
+            },
+            max: if self.distinct.is_empty() {
+                0
+            } else {
+                self.max
+            },
             distinct: self.distinct.len() as u64,
             num_runs: self.num_runs,
         };
@@ -314,11 +322,8 @@ impl ColumnFileReader {
         let distinct = r.u64()?;
         let num_runs = r.u64()?;
 
-        let index_bytes = disk.read_at(
-            &name,
-            index_offset,
-            num_blocks as usize * INDEX_ENTRY_SIZE,
-        )?;
+        let index_bytes =
+            disk.read_at(&name, index_offset, num_blocks as usize * INDEX_ENTRY_SIZE)?;
         let mut ir = Reader::new(&index_bytes);
         let mut index = Vec::with_capacity(num_blocks as usize);
         for _ in 0..num_blocks {
@@ -333,7 +338,14 @@ impl ColumnFileReader {
             name,
             encoding,
             width,
-            stats: ColumnStats { num_rows, num_blocks, min, max, distinct, num_runs },
+            stats: ColumnStats {
+                num_rows,
+                num_blocks,
+                min,
+                max,
+                distinct,
+                num_runs,
+            },
             index,
         })
     }
@@ -385,9 +397,10 @@ impl ColumnFileReader {
     /// Read and parse block `idx` from `disk` (no caching — the store's
     /// buffer pool sits above this).
     pub fn fetch_block(&self, disk: &dyn Disk, idx: usize) -> Result<EncodedBlock> {
-        let e = self.index.get(idx).ok_or_else(|| {
-            Error::invalid(format!("block {idx} out of range for {}", self.name))
-        })?;
+        let e = self
+            .index
+            .get(idx)
+            .ok_or_else(|| Error::invalid(format!("block {idx} out of range for {}", self.name)))?;
         let bytes = disk.read_at(&self.name, e.offset, e.len as usize)?;
         EncodedBlock::parse(&bytes)
     }
@@ -447,7 +460,10 @@ mod tests {
         let r = ColumnFileReader::open(&disk, "c").unwrap();
         assert_eq!(r.index()[0].count as usize, PlainBlock::capacity(Width::W1));
         assert_eq!(r.index()[1].count, 10);
-        assert_eq!(r.index()[1].start_pos, PlainBlock::capacity(Width::W1) as u64);
+        assert_eq!(
+            r.index()[1].start_pos,
+            PlainBlock::capacity(Width::W1) as u64
+        );
     }
 
     #[test]
@@ -459,7 +475,8 @@ mod tests {
         let r = ColumnFileReader::open(&disk, "c").unwrap();
         assert_eq!(r.block_for_pos(0).unwrap(), 0);
         assert_eq!(
-            r.block_for_pos(PlainBlock::capacity(Width::W1) as u64).unwrap(),
+            r.block_for_pos(PlainBlock::capacity(Width::W1) as u64)
+                .unwrap(),
             1
         );
         assert_eq!(r.block_for_pos(n as u64 - 1).unwrap(), 2);
@@ -483,8 +500,7 @@ mod tests {
     #[test]
     fn width_violation_is_error() {
         let disk = MemDisk::new();
-        let mut w =
-            ColumnFileWriter::create(&disk, "c", EncodingKind::Plain, Width::W1).unwrap();
+        let mut w = ColumnFileWriter::create(&disk, "c", EncodingKind::Plain, Width::W1).unwrap();
         assert!(w.push(128).is_err());
     }
 
@@ -518,11 +534,7 @@ mod tests {
         let r = ColumnFileReader::open(&disk, "c").unwrap();
         let b = r.fetch_block(&disk, 0).unwrap();
         let pl = b.scan_positions(&Predicate::lt(3));
-        let expected = b
-            .covering()
-            .iter()
-            .filter(|&p| (p % 7) + 1 < 3)
-            .count() as u64;
+        let expected = b.covering().iter().filter(|&p| (p % 7) + 1 < 3).count() as u64;
         assert_eq!(pl.count(), expected);
     }
 }

@@ -125,7 +125,13 @@ impl BufferPool {
                 inner.stats.evictions += 1;
             }
         }
-        inner.entries.insert(key, Entry { block, last_used: tick });
+        inner.entries.insert(
+            key,
+            Entry {
+                block,
+                last_used: tick,
+            },
+        );
     }
 
     /// How many blocks of `file` are currently resident — the numerator of

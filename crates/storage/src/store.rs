@@ -110,17 +110,16 @@ impl Store {
         if columns.iter().any(|c| c.len() != num_rows) {
             return Err(Error::invalid("all columns must have equal length"));
         }
-        let sort_cols: Vec<&[Value]> =
-            spec.sort_key().iter().map(|&i| columns[i]).collect();
+        let sort_cols: Vec<&[Value]> = spec.sort_key().iter().map(|&i| columns[i]).collect();
         verify_sort_order(&sort_cols)?;
 
         // Reserve the table id up front so file names are stable.
         let table_idx = self.inner.catalog.read().projections().len() as u32;
         let mut infos = Vec::with_capacity(spec.columns.len());
         for (ci, (cspec, data)) in spec.columns.iter().zip(columns).enumerate() {
-            let (min, max) = data
-                .iter()
-                .fold((Value::MAX, Value::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            let (min, max) = data.iter().fold((Value::MAX, Value::MIN), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
             let width = if data.is_empty() {
                 Width::W8
             } else {
@@ -178,7 +177,11 @@ impl Store {
             cat.projection(table)?.column(col_idx)?.clone()
         };
         let file = self.open_file(&info.file)?;
-        Ok(ColumnReader { store: self.inner.clone(), info, file })
+        Ok(ColumnReader {
+            store: self.inner.clone(),
+            info,
+            file,
+        })
     }
 
     fn open_file(&self, name: &str) -> Result<Arc<ColumnFileReader>> {

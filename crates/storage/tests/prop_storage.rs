@@ -3,9 +3,9 @@
 //! back exactly, every access path agrees with the raw data, and the
 //! write-time statistics are truthful.
 
+use matstrat_common::Width;
 use matstrat_common::{PosRange, Predicate, Value};
 use matstrat_poslist::PosList;
-use matstrat_common::Width;
 use matstrat_storage::{ColumnFileReader, ColumnFileWriter, EncodingKind, MemDisk};
 use proptest::prelude::*;
 use proptest::strategy::Strategy as PropStrategy;
@@ -38,11 +38,7 @@ fn arb_pred() -> impl PropStrategy<Value = Predicate> {
     })
 }
 
-fn write_and_open(
-    disk: &MemDisk,
-    enc: EncodingKind,
-    values: &[Value],
-) -> ColumnFileReader {
+fn write_and_open(disk: &MemDisk, enc: EncodingKind, values: &[Value]) -> ColumnFileReader {
     let mut w = ColumnFileWriter::create(disk, "c.col", enc, Width::W2).unwrap();
     w.push_all(values).unwrap();
     let stats = w.finish().unwrap();

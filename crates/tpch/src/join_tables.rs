@@ -113,7 +113,11 @@ impl JoinTables {
             .column("shipdate", EncodingKind::Plain, SortOrder::None);
         db.load_projection(
             &spec,
-            &[&self.orders.orderdate, &self.orders.custkey, &self.orders.shipdate],
+            &[
+                &self.orders.orderdate,
+                &self.orders.custkey,
+                &self.orders.shipdate,
+            ],
         )
     }
 
@@ -133,7 +137,10 @@ mod tests {
     use matstrat_core::{InnerStrategy, JoinSpec};
 
     fn cfg() -> TpchConfig {
-        TpchConfig { scale: 0.01, seed: 3 }
+        TpchConfig {
+            scale: 0.01,
+            seed: 3,
+        }
     }
 
     #[test]
@@ -142,7 +149,11 @@ mod tests {
         assert_eq!(t.orders.custkey.len(), 15_000);
         assert_eq!(t.num_customers(), 1_500);
         assert!(t.orders.custkey.iter().all(|&k| (0..1_500).contains(&k)));
-        assert!(t.customer.nationcode.iter().all(|&v| (0..NATIONS).contains(&v)));
+        assert!(t
+            .customer
+            .nationcode
+            .iter()
+            .all(|&v| (0..NATIONS).contains(&v)));
     }
 
     #[test]

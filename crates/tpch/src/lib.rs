@@ -46,7 +46,10 @@ impl TpchConfig {
 
 impl Default for TpchConfig {
     fn default() -> TpchConfig {
-        TpchConfig { scale: 0.1, seed: 0xC57A_11E5 }
+        TpchConfig {
+            scale: 0.1,
+            seed: 0xC57A_11E5,
+        }
     }
 }
 
@@ -56,9 +59,15 @@ mod tests {
 
     #[test]
     fn rows_scale_linearly() {
-        let c = TpchConfig { scale: 0.5, seed: 1 };
+        let c = TpchConfig {
+            scale: 0.5,
+            seed: 1,
+        };
         assert_eq!(c.rows(6_000_000), 3_000_000);
-        let tiny = TpchConfig { scale: 1e-9, seed: 1 };
+        let tiny = TpchConfig {
+            scale: 1e-9,
+            seed: 1,
+        };
         assert_eq!(tiny.rows(10), 1, "never zero rows");
     }
 }

@@ -69,7 +69,12 @@ impl LineitemData {
             .column("quantity", EncodingKind::Plain, SortOrder::None);
         db.load_projection(
             &spec,
-            &[&self.returnflag, &self.shipdate, &self.linenum, &self.quantity],
+            &[
+                &self.returnflag,
+                &self.shipdate,
+                &self.linenum,
+                &self.quantity,
+            ],
         )
     }
 }
@@ -153,7 +158,11 @@ mod tests {
     use super::*;
 
     fn small() -> LineitemData {
-        LineitemGen::new(TpchConfig { scale: 0.01, seed: 7 }).generate()
+        LineitemGen::new(TpchConfig {
+            scale: 0.01,
+            seed: 7,
+        })
+        .generate()
     }
 
     #[test]
@@ -162,7 +171,11 @@ mod tests {
         let b = small();
         assert_eq!(a.shipdate, b.shipdate);
         assert_eq!(a.quantity, b.quantity);
-        let c = LineitemGen::new(TpchConfig { scale: 0.01, seed: 8 }).generate();
+        let c = LineitemGen::new(TpchConfig {
+            scale: 0.01,
+            seed: 8,
+        })
+        .generate();
         assert_ne!(a.shipdate, c.shipdate, "different seed, different data");
     }
 

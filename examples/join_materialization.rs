@@ -10,7 +10,10 @@ use matstrat::prelude::*;
 use matstrat::tpch::join_tables::{customer_cols, orders_cols};
 
 fn main() -> Result<()> {
-    let cfg = TpchConfig { scale: 0.05, ..TpchConfig::default() };
+    let cfg = TpchConfig {
+        scale: 0.05,
+        ..TpchConfig::default()
+    };
     println!(
         "generating orders ({} rows) and customer ({} rows) ...\n",
         cfg.rows(1_500_000),

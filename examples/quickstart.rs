@@ -67,7 +67,11 @@ fn main() -> Result<()> {
         .aggregate_sum(0, 2);
     let (choice, result) = db.run_auto(&agg)?;
     println!("\nGROUP BY region, SUM(amount) WHERE status < 2");
-    println!("planner chose {} — {}", choice.strategy.name(), choice.reason);
+    println!(
+        "planner chose {} — {}",
+        choice.strategy.name(),
+        choice.reason
+    );
     for row in result.rows().take(4) {
         println!("  region {:>2} → sum {:>10}", row[0], row[1]);
     }

@@ -14,18 +14,42 @@ use matstrat::model::{ColumnParams, Constants, CostModel};
 fn profile(encoding: &str, sf1: f64) -> QueryParams {
     let n = 60_000_000.0;
     // SHIPDATE: always RLE, 1 block, 3,800 runs.
-    let c1 = ColumnParams { blocks: 1.0, rows: n, run_len: n / 3800.0, resident: 0.0 };
+    let c1 = ColumnParams {
+        blocks: 1.0,
+        rows: n,
+        run_len: n / 3800.0,
+        resident: 0.0,
+    };
     let c2 = match encoding {
         // LINENUM uncompressed: 916 blocks of 1-byte values.
-        "plain" => ColumnParams { blocks: 916.0, rows: n, run_len: 1.0, resident: 0.0 },
+        "plain" => ColumnParams {
+            blocks: 916.0,
+            rows: n,
+            run_len: 1.0,
+            resident: 0.0,
+        },
         // LINENUM RLE: 5 blocks, 26,726 runs.
-        "rle" => ColumnParams { blocks: 5.0, rows: n, run_len: n / 26_726.0, resident: 0.0 },
+        "rle" => ColumnParams {
+            blocks: 5.0,
+            rows: n,
+            run_len: n / 26_726.0,
+            resident: 0.0,
+        },
         // LINENUM bit-vector: ~25 % of plain size.
-        _ => ColumnParams { blocks: 229.0, rows: n, run_len: 1.0, resident: 0.0 },
+        _ => ColumnParams {
+            blocks: 229.0,
+            rows: n,
+            run_len: 1.0,
+            resident: 0.0,
+        },
     };
     let mut q = QueryParams::selection(n, c1, c2, sf1, 27.0 / 28.0);
     q.pos_run_len1 = (n * sf1 / 3.0).max(1.0); // clustered (3 RETURNFLAG groups)
-    q.pos_run_len2 = if encoding == "rle" { (n * q.sf2 / 26_726.0).max(1.0) } else { 1.0 };
+    q.pos_run_len2 = if encoding == "rle" {
+        (n * q.sf2 / 26_726.0).max(1.0)
+    } else {
+        1.0
+    };
     if encoding == "bitvec" {
         q.bitstring2 = true;
         q.c2_supports_ds3 = false;
@@ -41,9 +65,16 @@ fn main() {
     for aggregated in [false, true] {
         println!(
             "\n== recommended strategy, {} query (paper scale 10) ==",
-            if aggregated { "aggregation" } else { "selection" }
+            if aggregated {
+                "aggregation"
+            } else {
+                "selection"
+            }
         );
-        println!("{:>12} {:>14} {:>14} {:>14}", "selectivity", "plain", "rle", "bitvec");
+        println!(
+            "{:>12} {:>14} {:>14} {:>14}",
+            "selectivity", "plain", "rle", "bitvec"
+        );
         for &sf in &sweep {
             print!("{sf:>12.1}");
             for enc in ["plain", "rle", "bitvec"] {

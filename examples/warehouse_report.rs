@@ -12,7 +12,10 @@ use matstrat::prelude::*;
 use matstrat::tpch::lineitem::cols;
 
 fn main() -> Result<()> {
-    let cfg = TpchConfig { scale: 0.02, ..TpchConfig::default() };
+    let cfg = TpchConfig {
+        scale: 0.02,
+        ..TpchConfig::default()
+    };
     println!("generating lineitem at scale {} ...", cfg.scale);
     let data = LineitemGen::new(cfg).generate();
     let db = Database::in_memory();
@@ -35,8 +38,11 @@ fn main() -> Result<()> {
 
     // Report 2: how many line items per linenumber — COUNT lets late
     // materialization skip the value column entirely.
-    let q = QuerySpec::select(table, vec![])
-        .aggregate_fn(cols::LINENUM, cols::QUANTITY, AggFunc::Count);
+    let q = QuerySpec::select(table, vec![]).aggregate_fn(
+        cols::LINENUM,
+        cols::QUANTITY,
+        AggFunc::Count,
+    );
     let (result, _) = db.run_with_stats(&q, Strategy::LmParallel)?;
     println!("\nReport 2 — COUNT(*) GROUP BY linenum (LM-parallel)");
     for row in result.rows() {
@@ -45,8 +51,11 @@ fn main() -> Result<()> {
     }
 
     // Report 3: largest single shipment per return flag.
-    let q = QuerySpec::select(table, vec![])
-        .aggregate_fn(cols::RETURNFLAG, cols::QUANTITY, AggFunc::Max);
+    let q = QuerySpec::select(table, vec![]).aggregate_fn(
+        cols::RETURNFLAG,
+        cols::QUANTITY,
+        AggFunc::Max,
+    );
     let (result, _) = db.run_with_stats(&q, Strategy::LmParallel)?;
     println!("\nReport 3 — MAX(quantity) GROUP BY returnflag");
     let flags = ["A", "N", "R"];

@@ -5,7 +5,10 @@ use matstrat::prelude::*;
 use matstrat::tpch::lineitem::cols;
 
 fn small_cfg() -> TpchConfig {
-    TpchConfig { scale: 0.005, seed: 99 }
+    TpchConfig {
+        scale: 0.005,
+        seed: 99,
+    }
 }
 
 /// All four strategies agree on the paper's selection query over real
@@ -168,7 +171,11 @@ fn join_pipeline_all_inner_strategies() {
 /// fewer LINENUM blocks than EM-parallel on the plain encoding.
 #[test]
 fn lm_pipelined_block_skipping_is_observable() {
-    let data = LineitemGen::new(TpchConfig { scale: 0.05, seed: 5 }).generate();
+    let data = LineitemGen::new(TpchConfig {
+        scale: 0.05,
+        seed: 5,
+    })
+    .generate();
     let db = Database::in_memory();
     let table = data.load(&db, "lineitem", EncodingKind::Plain).unwrap();
     let x = data.shipdate_cutoff(0.02); // 2% selectivity, clustered
@@ -193,7 +200,11 @@ fn lm_pipelined_block_skipping_is_observable() {
 /// strategy on the paper's query.
 #[test]
 fn planner_choice_is_competitive() {
-    let data = LineitemGen::new(TpchConfig { scale: 0.02, seed: 11 }).generate();
+    let data = LineitemGen::new(TpchConfig {
+        scale: 0.02,
+        seed: 11,
+    })
+    .generate();
     let db = Database::in_memory();
     let table = data.load(&db, "lineitem", EncodingKind::Rle).unwrap();
     for sf in [0.1, 0.5, 0.9] {
