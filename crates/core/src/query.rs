@@ -42,7 +42,12 @@ pub struct QuerySpec {
 impl QuerySpec {
     /// `SELECT <output> FROM <table>`.
     pub fn select(table: TableId, output: Vec<usize>) -> QuerySpec {
-        QuerySpec { table, output, filters: Vec::new(), aggregate: None }
+        QuerySpec {
+            table,
+            output,
+            filters: Vec::new(),
+            aggregate: None,
+        }
     }
 
     /// Add `AND column <op> const` to the WHERE clause.
@@ -58,7 +63,11 @@ impl QuerySpec {
 
     /// Replace the output with `GROUP BY group_col, f(value_col)`.
     pub fn aggregate_fn(mut self, group_col: usize, value_col: usize, func: AggFunc) -> QuerySpec {
-        self.aggregate = Some(AggSpec { group_col, value_col, func });
+        self.aggregate = Some(AggSpec {
+            group_col,
+            value_col,
+            func,
+        });
         self
     }
 
@@ -107,7 +116,11 @@ impl QueryResult {
     /// An empty result with the given output columns.
     pub fn new(column_names: Vec<String>) -> QueryResult {
         let width = column_names.len();
-        QueryResult { column_names, width, data: Vec::new() }
+        QueryResult {
+            column_names,
+            width,
+            data: Vec::new(),
+        }
     }
 
     /// Build from a flat row-major buffer.
@@ -115,7 +128,11 @@ impl QueryResult {
         let width = column_names.len();
         assert!(width > 0, "result needs at least one column");
         assert_eq!(data.len() % width, 0, "flat buffer must be rows*width");
-        QueryResult { column_names, width, data }
+        QueryResult {
+            column_names,
+            width,
+            data,
+        }
     }
 
     /// Tuple width.
@@ -125,11 +142,7 @@ impl QueryResult {
 
     /// Number of result rows.
     pub fn num_rows(&self) -> usize {
-        if self.width == 0 {
-            0
-        } else {
-            self.data.len() / self.width
-        }
+        self.data.len().checked_div(self.width).unwrap_or(0)
     }
 
     /// Append one row.
@@ -238,7 +251,10 @@ mod tests {
         let s = ExecStats {
             strategy: Strategy::LmParallel,
             wall: Duration::from_millis(10),
-            io: IoStats { block_reads: 2, seeks: 1 },
+            io: IoStats {
+                block_reads: 2,
+                seeks: 1,
+            },
             rows_out: 0,
             positions_matched: 0,
             decompressed_fetch: false,

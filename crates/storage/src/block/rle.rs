@@ -58,20 +58,26 @@ impl RleBlock {
     /// column writer is responsible for splitting.
     pub fn from_values(start_pos: Pos, values: &[Value]) -> RleBlock {
         let mut runs: Vec<RleRun> = Vec::new();
-        let mut at = start_pos;
-        for &v in values {
+        for (at, &v) in (start_pos..).zip(values.iter()) {
             match runs.last_mut() {
                 Some(r) if r.value == v && r.len < u32::MAX => r.len += 1,
-                _ => runs.push(RleRun { value: v, start: at, len: 1 }),
+                _ => runs.push(RleRun {
+                    value: v,
+                    start: at,
+                    len: 1,
+                }),
             }
-            at += 1;
         }
         assert!(
             runs.len() <= Self::capacity_runs(),
             "RLE block overflow: {} runs",
             runs.len()
         );
-        RleBlock { start_pos, count: values.len() as u32, runs }
+        RleBlock {
+            start_pos,
+            count: values.len() as u32,
+            runs,
+        }
     }
 
     /// Build directly from runs (used by the column writer). Runs must be
@@ -86,7 +92,11 @@ impl RleBlock {
             count += r.len as u64;
         }
         assert!(runs.len() <= Self::capacity_runs());
-        RleBlock { start_pos, count: count as u32, runs }
+        RleBlock {
+            start_pos,
+            count: count as u32,
+            runs,
+        }
     }
 
     /// Absolute position of the first row.
@@ -116,9 +126,7 @@ impl RleBlock {
                 self.start_pos + self.count as u64
             )));
         }
-        let idx = self
-            .runs
-            .partition_point(|r| r.start + r.len as u64 <= pos);
+        let idx = self.runs.partition_point(|r| r.start + r.len as u64 <= pos);
         Ok(idx)
     }
 
@@ -265,7 +273,11 @@ impl RleBlock {
             if len == 0 {
                 return Err(Error::corrupt("zero-length RLE run"));
             }
-            runs.push(RleRun { value, start: at, len });
+            runs.push(RleRun {
+                value,
+                start: at,
+                len,
+            });
             at += len as u64;
             total += len as u64;
         }
@@ -274,7 +286,11 @@ impl RleBlock {
                 "RLE row count mismatch: header {count}, runs sum {total}"
             )));
         }
-        Ok(RleBlock { start_pos, count, runs })
+        Ok(RleBlock {
+            start_pos,
+            count,
+            runs,
+        })
     }
 }
 
@@ -288,9 +304,21 @@ mod tests {
         assert_eq!(
             b.runs(),
             &[
-                RleRun { value: 7, start: 100, len: 3 },
-                RleRun { value: 3, start: 103, len: 2 },
-                RleRun { value: 9, start: 105, len: 1 },
+                RleRun {
+                    value: 7,
+                    start: 100,
+                    len: 3
+                },
+                RleRun {
+                    value: 3,
+                    start: 103,
+                    len: 2
+                },
+                RleRun {
+                    value: 9,
+                    start: 105,
+                    len: 1
+                },
             ]
         );
         assert_eq!(b.num_rows(), 6);
@@ -344,8 +372,16 @@ mod tests {
     #[test]
     fn from_runs_validates_contiguity() {
         let runs = vec![
-            RleRun { value: 1, start: 0, len: 3 },
-            RleRun { value: 2, start: 3, len: 2 },
+            RleRun {
+                value: 1,
+                start: 0,
+                len: 3,
+            },
+            RleRun {
+                value: 2,
+                start: 3,
+                len: 2,
+            },
         ];
         let b = RleBlock::from_runs(0, runs);
         assert_eq!(b.num_rows(), 5);
@@ -357,8 +393,16 @@ mod tests {
         RleBlock::from_runs(
             0,
             vec![
-                RleRun { value: 1, start: 0, len: 3 },
-                RleRun { value: 2, start: 5, len: 2 },
+                RleRun {
+                    value: 1,
+                    start: 0,
+                    len: 3,
+                },
+                RleRun {
+                    value: 2,
+                    start: 5,
+                    len: 2,
+                },
             ],
         );
     }
