@@ -9,9 +9,11 @@
 //! Per-strategy data flow within a granule:
 //!
 //! * **LM-parallel** — DS1 every filter column → AND the multi-columns →
-//!   DS3 the output columns from the mini-columns already in hand
-//!   (re-access costs no I/O) → MERGE (or aggregate straight off the
-//!   compressed group column).
+//!   DS3 the output columns: filter columns re-use the mini-columns
+//!   already in hand (re-access costs no I/O), while no-predicate output
+//!   columns are fetched selectively, reading only the blocks that hold
+//!   AND survivors → MERGE (or aggregate straight off the compressed
+//!   group column).
 //! * **LM-pipelined** — DS1 the first filter column; for each later
 //!   filter, fetch **only the blocks containing surviving positions**
 //!   (DS3), filter the value subset; stitch at the top. An empty
@@ -58,12 +60,20 @@ pub struct ExecOptions {
 
 impl Default for ExecOptions {
     fn default() -> ExecOptions {
-        ExecOptions { multicolumn_reuse: true, force_repr: None, granule: GRANULE }
+        ExecOptions {
+            multicolumn_reuse: true,
+            force_repr: None,
+            granule: GRANULE,
+        }
     }
 }
 
 /// Execute `q` under `strategy` with default options.
-pub fn execute(store: &Store, q: &QuerySpec, strategy: Strategy) -> Result<(QueryResult, ExecStats)> {
+pub fn execute(
+    store: &Store,
+    q: &QuerySpec,
+    strategy: Strategy,
+) -> Result<(QueryResult, ExecStats)> {
     execute_with_options(store, q, strategy, &ExecOptions::default())
 }
 
@@ -155,11 +165,7 @@ pub fn execute_with_options(
             let spec = q.aggregate.unwrap();
             let names = vec![
                 proj.column(spec.group_col)?.name.clone(),
-                format!(
-                    "{}_{}",
-                    spec.func.name(),
-                    proj.column(spec.value_col)?.name
-                ),
+                format!("{}_{}", spec.func.name(), proj.column(spec.value_col)?.name),
             ];
             let mut flat = Vec::with_capacity(rows.len() * 2);
             for (g, s) in rows {
@@ -214,9 +220,7 @@ impl Granule<'_> {
         match self.opts.force_repr {
             None => pl,
             Some(matstrat_poslist::Repr::Ranges) => PosList::Ranges(pl.to_ranges()),
-            Some(matstrat_poslist::Repr::Bitmap) => {
-                PosList::Bitmap(pl.to_bitmap(self.window))
-            }
+            Some(matstrat_poslist::Repr::Bitmap) => PosList::Bitmap(pl.to_bitmap(self.window)),
             Some(matstrat_poslist::Repr::Explicit) => PosList::Explicit(pl.to_explicit()),
         }
     }
@@ -243,22 +247,21 @@ impl Granule<'_> {
         selective_fetch: bool,
     ) -> Result<bool> {
         let mut decompressed = false;
-        let fetch_mini = |col: usize,
-                              minis: &mut HashMap<usize, MiniColumn>|
-         -> Result<MiniColumn> {
-            if self.opts.multicolumn_reuse {
-                if let Some(m) = minis.get(&col) {
-                    return Ok(m.clone()); // multi-column re-access: no I/O
+        let fetch_mini =
+            |col: usize, minis: &mut HashMap<usize, MiniColumn>| -> Result<MiniColumn> {
+                if self.opts.multicolumn_reuse {
+                    if let Some(m) = minis.get(&col) {
+                        return Ok(m.clone()); // multi-column re-access: no I/O
+                    }
                 }
-            }
-            let m = if selective_fetch {
-                MiniColumn::fetch_selective(self.reader(col), self.window, desc)?
-            } else {
-                MiniColumn::fetch(self.reader(col), self.window)?
+                let m = if selective_fetch {
+                    MiniColumn::fetch_selective(self.reader(col), self.window, desc)?
+                } else {
+                    MiniColumn::fetch(self.reader(col), self.window)?
+                };
+                minis.insert(col, m.clone());
+                Ok(m)
             };
-            minis.insert(col, m.clone());
-            Ok(m)
-        };
         match self.q.aggregate {
             Some(a) => {
                 let gmini = fetch_mini(a.group_col, minis)?;
@@ -308,16 +311,24 @@ impl Granule<'_> {
         let mc = MultiColumn::and_many(mcs, self.window);
         let matched = mc.valid_count();
         if matched == 0 {
-            return Ok(GranuleOut { matched, decompressed: false });
+            return Ok(GranuleOut {
+                matched,
+                decompressed: false,
+            });
         }
         let mut minis: HashMap<usize, MiniColumn> = mc
             .columns()
             .map(|c| (c, mc.mini(c).expect("listed").clone()))
             .collect();
         let desc = mc.descriptor().clone();
-        let decompressed =
-            self.consume_lm(&desc, &mut minis, out_cols, agg, flat, false)?;
-        Ok(GranuleOut { matched, decompressed })
+        // Output columns without predicates were not touched by DS1, so
+        // DS3 fetches only the blocks holding AND survivors (§3.6) —
+        // skipping whole blocks is the LM I/O win on selective queries.
+        let decompressed = self.consume_lm(&desc, &mut minis, out_cols, agg, flat, true)?;
+        Ok(GranuleOut {
+            matched,
+            decompressed,
+        })
     }
 
     /// LM-pipelined: DS1 → (DS3 + filter)* → DS3 outputs.
@@ -359,10 +370,16 @@ impl Granule<'_> {
         }
         let matched = desc.count();
         if matched == 0 {
-            return Ok(GranuleOut { matched, decompressed: false });
+            return Ok(GranuleOut {
+                matched,
+                decompressed: false,
+            });
         }
         let decompressed = self.consume_lm(&desc, &mut minis, out_cols, agg, flat, true)?;
-        Ok(GranuleOut { matched, decompressed })
+        Ok(GranuleOut {
+            matched,
+            decompressed,
+        })
     }
 
     /// EM-parallel: SPC leaf over all accessed columns.
@@ -379,7 +396,11 @@ impl Granule<'_> {
         for (ti, &col) in self.accessed.iter().enumerate() {
             let mini = MiniColumn::fetch(self.reader(col), self.window)?;
             let mut preds = self.preds_for(col);
-            let first = if preds.is_empty() { None } else { Some(preds.remove(0)) };
+            let first = if preds.is_empty() {
+                None
+            } else {
+                Some(preds.remove(0))
+            };
             for p in preds {
                 extra_preds.push((ti, p));
             }
@@ -402,7 +423,10 @@ impl Granule<'_> {
         }
         let matched = out.positions.len() as u64;
         self.consume_em(&out.positions, &out.tuples, out.width, out_cols, agg, flat)?;
-        Ok(GranuleOut { matched, decompressed: out.decompressed })
+        Ok(GranuleOut {
+            matched,
+            decompressed: out.decompressed,
+        })
     }
 
     /// EM-pipelined: DS2 leaf, DS4 probes for every later column.
@@ -444,7 +468,13 @@ impl Granule<'_> {
             let mini = MiniColumn::fetch_selective(self.reader(col), self.window, &pl)?;
             let col_preds = self.preds_for(col);
             let mut preds_iter = col_preds.into_iter();
-            width = ds4_extend(&mini, preds_iter.next().as_ref(), &mut positions, &mut tuples, width)?;
+            width = ds4_extend(
+                &mini,
+                preds_iter.next().as_ref(),
+                &mut positions,
+                &mut tuples,
+                width,
+            )?;
             for p in preds_iter {
                 let mut keep_pos = Vec::with_capacity(positions.len());
                 let mut keep_tup = Vec::with_capacity(tuples.len());
@@ -465,7 +495,10 @@ impl Granule<'_> {
             debug_assert_eq!(width, self.accessed.len());
             self.consume_em(&positions, &tuples, width, out_cols, agg, flat)?;
         }
-        Ok(GranuleOut { matched, decompressed: false })
+        Ok(GranuleOut {
+            matched,
+            decompressed: false,
+        })
     }
 
     /// Consume constructed tuples: aggregate tuple-at-a-time (the EM agg
