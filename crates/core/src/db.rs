@@ -6,7 +6,7 @@ use matstrat_common::{Result, TableId, Value};
 use matstrat_model::Constants;
 use matstrat_storage::{ProjectionSpec, Store};
 
-use crate::exec::{execute, execute_with_options, ExecOptions};
+use crate::exec::{default_parallelism, execute_with_options, ExecOptions};
 use crate::ops::join::{hash_join, InnerStrategy, JoinSpec};
 use crate::planner::{PlanChoice, Planner};
 use crate::query::{ExecStats, QueryResult, QuerySpec};
@@ -37,36 +37,59 @@ use crate::strategy::Strategy;
 pub struct Database {
     store: Store,
     planner: Planner,
+    /// Worker threads per query; every `run*` entry point and the planner
+    /// use this unless overridden by explicit [`ExecOptions`].
+    parallelism: usize,
 }
 
 impl Database {
     /// An in-memory database.
     pub fn in_memory() -> Database {
-        Database {
-            store: Store::in_memory(),
-            planner: Planner::default(),
-        }
+        Database::with_store(Store::in_memory())
     }
 
     /// A database persisted under `dir` (catalog and data survive reopen).
     pub fn open(dir: impl AsRef<Path>) -> Result<Database> {
-        Ok(Database {
-            store: Store::open_dir(dir)?,
-            planner: Planner::default(),
-        })
+        Ok(Database::with_store(Store::open_dir(dir)?))
     }
 
-    /// Wrap an existing store.
+    /// Wrap an existing store. The executor worker count starts at the
+    /// `MATSTRAT_THREADS` default; see [`Database::set_parallelism`].
     pub fn with_store(store: Store) -> Database {
+        let parallelism = default_parallelism();
         Database {
             store,
-            planner: Planner::default(),
+            planner: Planner::with_parallelism(Constants::host_defaults(), parallelism),
+            parallelism,
         }
     }
 
     /// Replace the planner's model constants (e.g. after calibration).
     pub fn set_model_constants(&mut self, constants: Constants) {
-        self.planner = Planner::new(constants);
+        self.planner = Planner::with_parallelism(constants, self.parallelism);
+    }
+
+    /// Set the executor worker count for every subsequent query (clamped
+    /// to ≥ 1) and re-price the planner accordingly. Results are
+    /// identical at any setting; only wall time changes.
+    pub fn set_parallelism(&mut self, workers: usize) {
+        self.parallelism = workers.max(1);
+        let constants = *self.planner.model().constants();
+        self.planner = Planner::with_parallelism(constants, self.parallelism);
+    }
+
+    /// The executor worker count queries run with.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
+    }
+
+    /// The executor options `run`/`run_with_stats` use: defaults plus
+    /// this database's parallelism.
+    pub fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            parallelism: self.parallelism,
+            ..ExecOptions::default()
+        }
     }
 
     /// The underlying store (buffer pool, I/O meter, catalog).
@@ -86,7 +109,7 @@ impl Database {
 
     /// Run a query under an explicit strategy.
     pub fn run(&self, q: &QuerySpec, strategy: Strategy) -> Result<QueryResult> {
-        Ok(execute(&self.store, q, strategy)?.0)
+        Ok(self.run_with_stats(q, strategy)?.0)
     }
 
     /// Run a query under an explicit strategy, returning measurements.
@@ -95,7 +118,7 @@ impl Database {
         q: &QuerySpec,
         strategy: Strategy,
     ) -> Result<(QueryResult, ExecStats)> {
-        execute(&self.store, q, strategy)
+        execute_with_options(&self.store, q, strategy, &self.exec_options())
     }
 
     /// Run with explicit executor options (ablation experiments).
@@ -176,6 +199,37 @@ mod tests {
         let (choice, result) = db.run_auto(&q).unwrap();
         assert!(choice.strategy.is_late());
         assert_eq!(result.num_rows(), 5);
+    }
+
+    #[test]
+    fn parallelism_knob_keeps_results_identical() {
+        let (mut db, t) = demo_db();
+        let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(4));
+        // Small granule so 2000 rows actually split across workers.
+        let opts = |workers| ExecOptions {
+            granule: 128,
+            parallelism: workers,
+            ..ExecOptions::default()
+        };
+        let (serial, s1) = db
+            .run_with_options(&q, Strategy::LmParallel, &opts(1))
+            .unwrap();
+        for workers in [2, 3, 8] {
+            let (par, sp) = db
+                .run_with_options(&q, Strategy::LmParallel, &opts(workers))
+                .unwrap();
+            assert_eq!(par.flat(), serial.flat(), "byte-identical at {workers}");
+            assert_eq!(sp.positions_matched, s1.positions_matched);
+            assert_eq!(sp.rows_out, s1.rows_out);
+        }
+        // The database-level knob feeds run() and the planner.
+        db.set_parallelism(4);
+        assert_eq!(db.parallelism(), 4);
+        assert_eq!(db.exec_options().parallelism, 4);
+        assert_eq!(db.planner().parallelism(), 4);
+        let r = db.run(&q, Strategy::EmPipelined).unwrap();
+        db.set_parallelism(1);
+        assert_eq!(r.flat(), db.run(&q, Strategy::EmPipelined).unwrap().flat());
     }
 
     #[test]

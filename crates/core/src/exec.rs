@@ -23,22 +23,57 @@
 //!   tuples at the leaf, short-circuit predicates.
 //! * **EM-pipelined** — DS2 the first column into (pos, value) tuples,
 //!   then DS4-probe each later column tuple-at-a-time.
+//!
+//! # Parallel execution
+//!
+//! Granules are independent by construction — every strategy's pipeline
+//! reads a position window, filters it, and emits its fragment of the
+//! result without looking at any other window. The executor exploits this
+//! morsel-style: [`ExecOptions::parallelism`] workers
+//! ([`std::thread::scope`], no pool) each take one contiguous,
+//! granule-aligned span of the position range and run the full
+//! DS1→AND→DS3 (or SPC / DS2→DS4) pipeline over it. Per-worker fragments
+//! — result values, partial aggregates, [`ExecStats`] — are merged in
+//! span order, so the produced [`QueryResult`] is **byte-identical** to
+//! the serial run at any worker count, and the deterministic counters
+//! (`positions_matched`, `rows_out`, cold `block_reads`) are exact: the
+//! buffer pool single-flights concurrent cold misses and the I/O meter
+//! tracks sequentiality per (file, worker).
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
 use matstrat_poslist::{PosList, PosListBuilder, PosVec};
-use matstrat_storage::{ColumnReader, EncodingKind, Store};
+use matstrat_storage::{ColumnReader, EncodingKind, IoMeter, Store};
 
 use crate::multicol::{FetchKind, MiniColumn, MultiColumn};
-use crate::ops::agg::{aggregate_runs, Aggregator};
+use crate::ops::agg::{aggregate_runs, AggFunc, Aggregator};
 use crate::ops::merge::merge_columns;
 use crate::ops::probe::ds4_extend;
 use crate::ops::spc::spc_scan;
 use crate::query::{ExecStats, QueryResult, QuerySpec};
 use crate::strategy::Strategy;
 use crate::GRANULE;
+
+/// The worker-count default: `MATSTRAT_THREADS` when set (`0` means "all
+/// available cores"), otherwise 1 (serial, the paper's configuration).
+/// Unparsable values fall back to 1 rather than failing a query. The
+/// environment is read once per process — queries must not change
+/// behavior because something mutated the environment mid-flight.
+pub fn default_parallelism() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| match std::env::var("MATSTRAT_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            Ok(n) => n,
+            Err(_) => 1,
+        },
+        Err(_) => 1,
+    })
+}
 
 /// Executor tuning knobs, used by the ablation benchmarks to isolate the
 /// contribution of individual design choices. Defaults reproduce the
@@ -56,6 +91,11 @@ pub struct ExecOptions {
     pub force_repr: Option<matstrat_poslist::Repr>,
     /// Positions per pipeline granule.
     pub granule: u64,
+    /// Worker threads to spread the granule range over. 1 runs serially
+    /// on the calling thread; the effective count is capped by the number
+    /// of granules. The result is identical at any setting. Defaults to
+    /// [`default_parallelism`] (the `MATSTRAT_THREADS` environment knob).
+    pub parallelism: usize,
 }
 
 impl Default for ExecOptions {
@@ -64,6 +104,7 @@ impl Default for ExecOptions {
             multicolumn_reuse: true,
             force_repr: None,
             granule: GRANULE,
+            parallelism: default_parallelism(),
         }
     }
 }
@@ -111,16 +152,14 @@ pub fn execute_with_options(
         .map(|&c| Ok((c, store.reader(q.table, c)?)))
         .collect::<Result<_>>()?;
 
-    let io0 = store.meter().snapshot();
-    let t0 = Instant::now();
-
-    // Output shape.
-    let (out_cols, mut agg): (Vec<usize>, Option<Aggregator>) = match q.aggregate {
+    // Output shape. Workers build their own accumulator from the shared
+    // domain so partial aggregates merge representation-for-representation.
+    let (out_cols, agg_domain): (Vec<usize>, Option<(AggFunc, Value, Value)>) = match q.aggregate {
         Some(a) => {
             let g = proj.column(a.group_col)?;
             (
                 vec![a.group_col, a.value_col],
-                Some(Aggregator::with_domain_fn(a.func, g.stats.min, g.stats.max)),
+                Some((a.func, g.stats.min, g.stats.max)),
             )
         }
         None => {
@@ -131,31 +170,68 @@ pub fn execute_with_options(
         }
     };
 
-    let mut flat: Vec<Value> = Vec::new();
-    let mut positions_matched = 0u64;
-    let mut decompressed = false;
-
     let n = proj.num_rows;
-    let mut start = 0u64;
-    let granule = opts.granule.max(1);
-    while start < n {
-        let window = PosRange::new(start, (start + granule).min(n));
-        start = window.end;
-        let g = Granule {
-            q,
-            readers: &readers,
-            window,
-            accessed: &accessed,
-            opts,
-        };
-        let got = match strategy {
-            Strategy::LmParallel => g.lm_parallel(&out_cols, &mut agg, &mut flat)?,
-            Strategy::LmPipelined => g.lm_pipelined(&out_cols, &mut agg, &mut flat)?,
-            Strategy::EmParallel => g.em_parallel(&out_cols, &mut agg, &mut flat)?,
-            Strategy::EmPipelined => g.em_pipelined(&out_cols, &mut agg, &mut flat)?,
-        };
-        positions_matched += got.matched;
-        decompressed |= got.decompressed;
+    let spans = granule_spans(n, opts.granule.max(1), opts.parallelism.max(1));
+    let task = SpanTask {
+        q,
+        readers: &readers,
+        accessed: &accessed,
+        opts,
+        out_cols: &out_cols,
+        agg_domain,
+        strategy,
+        meter: store.meter(),
+    };
+
+    let t0 = Instant::now();
+    let fragments: Vec<Fragment> = if spans.len() <= 1 {
+        let out = task.run_span(PosRange::new(0, n));
+        // Per-thread meter state is per query; dropping it here keeps a
+        // long-lived store from accumulating entries for every caller
+        // thread that ever ran a query (the global counters survive).
+        task.meter.forget_current_thread();
+        vec![out?]
+    } else {
+        let outs: Vec<Result<Fragment>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = spans
+                .iter()
+                .map(|&span| {
+                    let task = &task;
+                    scope.spawn(move || {
+                        let out = task.run_span(span);
+                        // Workers are per-query; drop their meter state so
+                        // a long-lived store does not leak dead-thread
+                        // entries.
+                        task.meter.forget_current_thread();
+                        out
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+                })
+                .collect()
+        });
+        outs.into_iter().collect::<Result<_>>()?
+    };
+
+    // Merge fragments in span order: values concatenate (spans are
+    // contiguous and ascending, so this reproduces the serial output
+    // byte for byte), aggregates fold, stats merge associatively.
+    let mut fragments = fragments.into_iter();
+    let first = fragments.next().expect("at least one span");
+    let mut flat = first.flat;
+    let mut agg = first.agg;
+    let mut stats = first.stats;
+    for frag in fragments {
+        stats += frag.stats;
+        flat.extend(frag.flat);
+        if let (Some(a), Some(partial)) = (agg.as_mut(), frag.agg) {
+            a.merge(partial);
+        }
     }
 
     // Finalize.
@@ -184,15 +260,104 @@ pub fn execute_with_options(
         }
     };
 
-    let stats = ExecStats {
-        strategy,
-        wall: t0.elapsed(),
-        io: store.meter().snapshot().since(&io0),
-        rows_out: result.num_rows() as u64,
-        positions_matched,
-        decompressed_fetch: decompressed,
-    };
+    stats.wall = t0.elapsed();
+    stats.rows_out = result.num_rows() as u64;
     Ok((result, stats))
+}
+
+/// Split `[0, n)` into contiguous, granule-aligned spans of near-equal
+/// granule counts, one per worker. The worker count is capped by the
+/// number of granules — a one-granule table runs serially no matter the
+/// knob.
+fn granule_spans(n: u64, granule: u64, workers: usize) -> Vec<PosRange> {
+    let num_granules = n.div_ceil(granule);
+    let workers = (workers as u64).clamp(1, num_granules.max(1));
+    let per = num_granules / workers;
+    let rem = num_granules % workers;
+    let mut spans = Vec::with_capacity(workers as usize);
+    let mut at = 0u64; // in granules
+    for w in 0..workers {
+        let take = per + u64::from(w < rem);
+        let start = at * granule;
+        let end = ((at + take) * granule).min(n);
+        spans.push(PosRange::new(start, end.max(start)));
+        at += take;
+    }
+    spans
+}
+
+/// One result fragment: everything a worker's span produced.
+struct Fragment {
+    flat: Vec<Value>,
+    agg: Option<Aggregator>,
+    stats: ExecStats,
+}
+
+/// The per-worker execution context: everything needed to run the
+/// granule loop over one span. All references are shared, immutable
+/// query/catalog state; per-granule scratch (mini-column caches, position
+/// lists) stays inside the worker.
+struct SpanTask<'a> {
+    q: &'a QuerySpec,
+    readers: &'a HashMap<usize, ColumnReader>,
+    accessed: &'a [usize],
+    opts: &'a ExecOptions,
+    out_cols: &'a [usize],
+    agg_domain: Option<(AggFunc, Value, Value)>,
+    strategy: Strategy,
+    meter: &'a IoMeter,
+}
+
+impl SpanTask<'_> {
+    /// The serial granule loop over `span`, exactly as the paper's
+    /// executor runs it over the whole table. I/O is measured through the
+    /// calling thread's meter view, so a worker reports only what it
+    /// caused.
+    fn run_span(&self, span: PosRange) -> Result<Fragment> {
+        let t0 = Instant::now();
+        let io0 = self.meter.thread_snapshot();
+        let mut agg = self
+            .agg_domain
+            .map(|(func, lo, hi)| Aggregator::with_domain_fn(func, lo, hi));
+        let mut flat: Vec<Value> = Vec::new();
+        let mut positions_matched = 0u64;
+        let mut decompressed = false;
+
+        let granule = self.opts.granule.max(1);
+        let mut start = span.start;
+        while start < span.end {
+            let window = PosRange::new(start, (start + granule).min(span.end));
+            start = window.end;
+            let g = Granule {
+                q: self.q,
+                readers: self.readers,
+                window,
+                accessed: self.accessed,
+                opts: self.opts,
+            };
+            let got = match self.strategy {
+                Strategy::LmParallel => g.lm_parallel(self.out_cols, &mut agg, &mut flat)?,
+                Strategy::LmPipelined => g.lm_pipelined(self.out_cols, &mut agg, &mut flat)?,
+                Strategy::EmParallel => g.em_parallel(self.out_cols, &mut agg, &mut flat)?,
+                Strategy::EmPipelined => g.em_pipelined(self.out_cols, &mut agg, &mut flat)?,
+            };
+            positions_matched += got.matched;
+            decompressed |= got.decompressed;
+        }
+
+        Ok(Fragment {
+            flat,
+            agg,
+            stats: ExecStats {
+                strategy: self.strategy,
+                wall: t0.elapsed(),
+                io: self.meter.thread_snapshot().since(&io0),
+                rows_out: 0, // set after the merged result is assembled
+                positions_matched,
+                decompressed_fetch: decompressed,
+            },
+        })
+    }
 }
 
 /// Per-granule outcome counters.

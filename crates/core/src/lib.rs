@@ -34,7 +34,7 @@ pub mod rowstore;
 pub mod strategy;
 
 pub use db::Database;
-pub use exec::{execute, execute_with_options, ExecOptions};
+pub use exec::{default_parallelism, execute, execute_with_options, ExecOptions};
 pub use multicol::{MiniColumn, MultiColumn};
 pub use ops::agg::AggFunc;
 pub use ops::join::{InnerStrategy, JoinSpec};

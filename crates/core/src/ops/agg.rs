@@ -197,6 +197,18 @@ impl Aggregator {
         }
     }
 
+    /// Fold another accumulator of the same function into this one — the
+    /// parallel executor's merge of per-worker partial aggregates. Every
+    /// [`AggFunc`] combines associatively and commutatively (SUM/COUNT
+    /// add, MIN/MAX lattice-join), so merging worker partials in any
+    /// order equals aggregating the whole stream serially.
+    pub fn merge(&mut self, other: Aggregator) {
+        debug_assert_eq!(self.func, other.func, "partials of one aggregation");
+        for (group, partial) in other.finish() {
+            self.merge_partial(group, partial);
+        }
+    }
+
     /// Number of distinct groups seen so far.
     pub fn num_groups(&self) -> usize {
         match &self.repr {
@@ -318,6 +330,41 @@ mod tests {
             b.add_slice(4, &[]); // no-op
             assert_eq!(a.finish(), b.finish(), "{func:?}");
         }
+    }
+
+    #[test]
+    fn merged_partials_equal_serial_aggregation() {
+        let pairs: Vec<(Value, Value)> = (0..999).map(|i| ((i * 31) % 11, i - 400)).collect();
+        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+            let mut serial = Aggregator::with_domain_fn(func, 0, 10);
+            for &(g, v) in &pairs {
+                serial.add(g, v);
+            }
+            // Split the stream three ways, aggregate independently, merge.
+            let mut parts: Vec<Aggregator> = (0..3)
+                .map(|_| Aggregator::with_domain_fn(func, 0, 10))
+                .collect();
+            for (i, &(g, v)) in pairs.iter().enumerate() {
+                parts[i % 3].add(g, v);
+            }
+            let mut merged = parts.remove(0);
+            for p in parts {
+                merged.merge(p);
+            }
+            assert_eq!(merged.finish(), serial.finish(), "{func:?}");
+        }
+    }
+
+    #[test]
+    fn merge_across_representations() {
+        // A dense self absorbing a sparse other (and vice versa).
+        let mut dense = Aggregator::with_domain(0, 9);
+        dense.add(3, 5);
+        let mut sparse = Aggregator::new();
+        sparse.add(3, 7);
+        sparse.add(8, 1);
+        dense.merge(sparse);
+        assert_eq!(dense.finish(), vec![(3, 12), (8, 1)]);
     }
 
     #[test]

@@ -34,14 +34,28 @@ pub struct PlanChoice {
 #[derive(Debug, Clone)]
 pub struct Planner {
     model: CostModel,
+    /// Worker threads the executor will use; the model divides CPU terms
+    /// by this so `choose()` prices plans as they will actually run.
+    parallelism: usize,
 }
 
 impl Planner {
-    /// Planner with the given model constants.
+    /// Planner with the given model constants, pricing serial execution.
     pub fn new(constants: Constants) -> Planner {
+        Planner::with_parallelism(constants, 1)
+    }
+
+    /// Planner pricing execution on `workers` granule-parallel threads.
+    pub fn with_parallelism(constants: Constants, workers: usize) -> Planner {
         Planner {
             model: CostModel::new(constants),
+            parallelism: workers.max(1),
         }
+    }
+
+    /// The worker count the planner prices against.
+    pub fn parallelism(&self) -> usize {
+        self.parallelism
     }
 
     /// The underlying cost model.
@@ -146,9 +160,19 @@ impl Planner {
         q: &QuerySpec,
     ) -> Result<PlanChoice> {
         let params = self.query_params(store, q)?;
+        // The executor caps workers at the table's granule count — a
+        // one-granule table runs serially no matter the knob — so price
+        // with the worker count that will actually run, not the nominal
+        // one; otherwise small tables get CPU terms divided by threads
+        // that never spawn and the plan choice can flip wrongly.
+        let granules = proj.num_rows.div_ceil(crate::GRANULE).max(1);
+        let effective = (self.parallelism as u64).min(granules) as usize;
         let mut alternatives = Vec::new();
         for s in Strategy::ALL {
-            if let Some(cost) = self.model.estimate(s.plan_kind(), &params) {
+            if let Some(cost) = self
+                .model
+                .estimate_parallel(s.plan_kind(), &params, effective)
+            {
                 alternatives.push((s, cost));
             }
         }
@@ -156,13 +180,17 @@ impl Planner {
             .iter()
             .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
             .expect("EM plans always estimable");
-        let _ = proj;
+        let workers = if effective > 1 {
+            format!(", {effective} workers")
+        } else {
+            String::new()
+        };
         Ok(PlanChoice {
             strategy,
             estimate: Some(estimate),
             alternatives,
             reason: format!(
-                "analytical model: {} predicted {:.2} ms (cpu {:.2} + io {:.2})",
+                "analytical model: {} predicted {:.2} ms (cpu {:.2} + io {:.2}{workers})",
                 strategy.name(),
                 estimate.total_ms(),
                 estimate.cpu_us / 1000.0,
@@ -236,7 +264,10 @@ impl Planner {
 
 impl Default for Planner {
     fn default() -> Planner {
-        Planner::new(Constants::host_defaults())
+        Planner::with_parallelism(
+            Constants::host_defaults(),
+            crate::exec::default_parallelism(),
+        )
     }
 }
 
@@ -345,6 +376,58 @@ mod tests {
         let q = QuerySpec::select(id, vec![2]).filter(2, Predicate::ge(1));
         let choice = planner.choose(&store, &q).unwrap();
         assert_eq!(choice.strategy, Strategy::EmParallel, "{}", choice.reason);
+    }
+
+    #[test]
+    fn parallel_planner_caps_workers_at_granule_count() {
+        // 30k rows fit in one default granule: the executor runs serially
+        // no matter the knob, so the planner must price serially too —
+        // dividing CPU by threads that never spawn would flip choices.
+        let (store, id) = setup(EncodingKind::Rle);
+        let serial = Planner::with_parallelism(Constants::host_defaults(), 1);
+        let eight = Planner::with_parallelism(Constants::host_defaults(), 8);
+        assert_eq!(eight.parallelism(), 8);
+        let q = QuerySpec::select(id, vec![1, 2])
+            .filter(1, Predicate::lt(80))
+            .filter(2, Predicate::lt(7));
+        let c1 = serial.choose(&store, &q).unwrap();
+        let c8 = eight.choose(&store, &q).unwrap();
+        assert!(!c8.reason.contains("workers"), "{}", c8.reason);
+        for ((s1, e1), (s8, e8)) in c1.alternatives.iter().zip(&c8.alternatives) {
+            assert_eq!(s1, s8);
+            assert!(
+                (e8.cpu_us - e1.cpu_us).abs() < 1e-9,
+                "{s1:?}: capped serial"
+            );
+            assert!((e8.io_us - e1.io_us).abs() < 1e-9, "{s1:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_planner_divides_cpu_on_multi_granule_tables() {
+        // 4 granules' worth of rows: a 4-worker planner prices CPU at a
+        // quarter and leaves the shared cold-I/O term alone.
+        let store = Store::in_memory();
+        let n = 4 * (crate::GRANULE as usize);
+        let a: Vec<Value> = (0..n).map(|i| (i / (n / 8)) as Value).collect();
+        let b: Vec<Value> = (0..n).map(|i| ((i * 13) % 100) as Value).collect();
+        let spec = ProjectionSpec::new("big")
+            .column("a", EncodingKind::Rle, So::Primary)
+            .column("b", EncodingKind::Plain, So::None);
+        let id = store.load_projection(&spec, &[&a, &b]).unwrap();
+        let q = QuerySpec::select(id, vec![0, 1])
+            .filter(0, Predicate::lt(6))
+            .filter(1, Predicate::lt(80));
+        let serial = Planner::with_parallelism(Constants::host_defaults(), 1);
+        let four = Planner::with_parallelism(Constants::host_defaults(), 4);
+        let c1 = serial.choose(&store, &q).unwrap();
+        let c4 = four.choose(&store, &q).unwrap();
+        assert!(c4.reason.contains("4 workers"), "{}", c4.reason);
+        for ((s1, e1), (s4, e4)) in c1.alternatives.iter().zip(&c4.alternatives) {
+            assert_eq!(s1, s4);
+            assert!((e4.cpu_us - e1.cpu_us / 4.0).abs() < 1e-9, "{s1:?}");
+            assert!((e4.io_us - e1.io_us).abs() < 1e-9, "{s1:?}");
+        }
     }
 
     #[test]

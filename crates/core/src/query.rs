@@ -1,5 +1,6 @@
 //! Query descriptions and results.
 
+use std::ops::AddAssign;
 use std::time::Duration;
 
 use matstrat_common::{Predicate, TableId, Value};
@@ -198,10 +199,38 @@ pub struct ExecStats {
 }
 
 impl ExecStats {
+    /// Zeroed measurements for `strategy` — the identity of the
+    /// [`AddAssign`] merge.
+    pub fn zero(strategy: Strategy) -> ExecStats {
+        ExecStats {
+            strategy,
+            wall: Duration::ZERO,
+            io: IoStats::default(),
+            rows_out: 0,
+            positions_matched: 0,
+            decompressed_fetch: false,
+        }
+    }
+
     /// Wall time plus modeled cold-I/O time, in milliseconds, pricing the
     /// simulated disk with `seek_us`/`read_us`.
     pub fn modeled_total_ms(&self, seek_us: f64, read_us: f64) -> f64 {
         self.wall.as_secs_f64() * 1e3 + self.io.modeled_micros(seek_us, read_us) / 1e3
+    }
+}
+
+/// Associative merge of fragments measured for one query: counters sum,
+/// the decompression flag ORs, and wall time takes the maximum — parallel
+/// workers overlap, so the slowest fragment bounds the elapsed time.
+/// Merging stats of different strategies is a logic error.
+impl AddAssign for ExecStats {
+    fn add_assign(&mut self, rhs: ExecStats) {
+        debug_assert_eq!(self.strategy, rhs.strategy, "fragments of one query");
+        self.wall = self.wall.max(rhs.wall);
+        self.io += rhs.io;
+        self.rows_out += rhs.rows_out;
+        self.positions_matched += rhs.positions_matched;
+        self.decompressed_fetch |= rhs.decompressed_fetch;
     }
 }
 
@@ -261,5 +290,67 @@ mod tests {
         };
         // 10ms wall + (2500 + 2000)us = 14.5ms
         assert!((s.modeled_total_ms(2500.0, 1000.0) - 14.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exec_stats_merge_is_associative() {
+        let frag = |wall_ms, reads, matched, dec| ExecStats {
+            strategy: Strategy::EmPipelined,
+            wall: Duration::from_millis(wall_ms),
+            io: IoStats {
+                block_reads: reads,
+                seeks: 1,
+            },
+            rows_out: matched,
+            positions_matched: matched,
+            decompressed_fetch: dec,
+        };
+        let (a, b, c) = (
+            frag(5, 2, 10, false),
+            frag(9, 3, 20, true),
+            frag(1, 1, 5, false),
+        );
+
+        // (a + b) + c
+        let mut left = ExecStats::zero(Strategy::EmPipelined);
+        left += a.clone();
+        left += b.clone();
+        left += c.clone();
+        // a + (b + c)
+        let mut right = b;
+        right += c;
+        let mut right2 = a;
+        right2 += right;
+
+        for s in [&left, &right2] {
+            assert_eq!(s.wall, Duration::from_millis(9), "max, not sum");
+            assert_eq!(s.io.block_reads, 6);
+            assert_eq!(s.io.seeks, 3);
+            assert_eq!(s.rows_out, 35);
+            assert_eq!(s.positions_matched, 35);
+            assert!(s.decompressed_fetch);
+        }
+    }
+
+    #[test]
+    fn exec_stats_zero_is_identity() {
+        let mut z = ExecStats::zero(Strategy::LmParallel);
+        let s = ExecStats {
+            strategy: Strategy::LmParallel,
+            wall: Duration::from_millis(3),
+            io: IoStats {
+                block_reads: 4,
+                seeks: 2,
+            },
+            rows_out: 7,
+            positions_matched: 8,
+            decompressed_fetch: true,
+        };
+        z += s.clone();
+        assert_eq!(z.wall, s.wall);
+        assert_eq!(z.io, s.io);
+        assert_eq!(z.rows_out, s.rows_out);
+        assert_eq!(z.positions_matched, s.positions_matched);
+        assert_eq!(z.decompressed_fetch, s.decompressed_fetch);
     }
 }

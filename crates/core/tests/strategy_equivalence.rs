@@ -206,6 +206,7 @@ proptest! {
             multicolumn_reuse: reuse,
             force_repr,
             granule: 1u64 << granule_exp,
+            ..ExecOptions::default()
         };
         let (db, id, oracle) = load(EncodingKind::Rle, eb, EncodingKind::Plain, &rows);
         let mut q = QuerySpec::select(id, vec![1, 2])

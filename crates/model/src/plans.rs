@@ -71,6 +71,18 @@ impl CostBreakdown {
         self
     }
 
+    /// The estimate when the plan's CPU work is spread over `workers`
+    /// granule-parallel threads: CPU divides (granules are independent,
+    /// so the operator work splits evenly), I/O does not (the workers
+    /// share one disk arm and one buffer pool, and a cold run still
+    /// reads every block exactly once).
+    pub fn with_workers(self, workers: usize) -> CostBreakdown {
+        CostBreakdown {
+            cpu_us: self.cpu_us / workers.max(1) as f64,
+            io_us: self.io_us,
+        }
+    }
+
     /// Total microseconds.
     pub fn total_us(&self) -> f64 {
         self.cpu_us + self.io_us
@@ -310,11 +322,30 @@ impl CostModel {
         }
     }
 
+    /// Price one plan as executed by `workers` granule-parallel threads;
+    /// `None` when the plan is unsupported for the parameters.
+    pub fn estimate_parallel(
+        &self,
+        kind: PlanKind,
+        q: &QueryParams,
+        workers: usize,
+    ) -> Option<CostBreakdown> {
+        self.estimate(kind, q).map(|c| c.with_workers(workers))
+    }
+
     /// The cheapest supported plan — the §6 optimizer decision.
     pub fn best_plan(&self, q: &QueryParams) -> (PlanKind, CostBreakdown) {
+        self.best_plan_parallel(q, 1)
+    }
+
+    /// The cheapest supported plan at the given worker count. Parallelism
+    /// shrinks only the CPU term, so the winner can differ from the
+    /// serial choice: CPU-bound LM plans gain the most, I/O-dominated
+    /// plans keep their floor.
+    pub fn best_plan_parallel(&self, q: &QueryParams, workers: usize) -> (PlanKind, CostBreakdown) {
         PlanKind::ALL
             .iter()
-            .filter_map(|&k| self.estimate(k, q).map(|c| (k, c)))
+            .filter_map(|&k| self.estimate_parallel(k, q, workers).map(|c| (k, c)))
             .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
             .expect("EM plans are always supported")
     }
@@ -474,6 +505,41 @@ mod tests {
         let mut qb = q;
         qb.c2_decompress_fetch = true;
         assert!(m.lm_parallel(&qb).total_us() > m.lm_parallel(&q).total_us());
+    }
+
+    #[test]
+    fn workers_divide_cpu_not_io() {
+        let m = model();
+        let q = rle_params(0.5);
+        for kind in PlanKind::ALL {
+            let (serial, four) = match (m.estimate(kind, &q), m.estimate_parallel(kind, &q, 4)) {
+                (Some(s), Some(p)) => (s, p),
+                _ => continue,
+            };
+            assert!((four.cpu_us - serial.cpu_us / 4.0).abs() < 1e-9, "{kind:?}");
+            assert!(
+                (four.io_us - serial.io_us).abs() < 1e-9,
+                "{kind:?}: io is shared"
+            );
+        }
+        // Degenerate worker counts clamp to serial.
+        let s = m.em_parallel(&q);
+        assert_eq!(s.with_workers(0).total_us(), s.total_us());
+        assert_eq!(s.with_workers(1).total_us(), s.total_us());
+    }
+
+    #[test]
+    fn best_plan_parallel_never_worse_than_serial_estimate() {
+        let m = model();
+        for sf in [0.05, 0.5, 0.95] {
+            let q = rle_params(sf);
+            let (_, serial) = m.best_plan(&q);
+            let (_, four) = m.best_plan_parallel(&q, 4);
+            assert!(
+                four.total_us() <= serial.total_us() + 1e-9,
+                "sf={sf}: more workers cannot make the best plan dearer"
+            );
+        }
     }
 
     #[test]

@@ -9,8 +9,19 @@
 //! contiguous with the previous read of the same file records a seek.
 //! Harnesses price these counters with the model constants to report a
 //! modeled cold-I/O time next to the measured CPU time.
+//!
+//! Sequentiality is judged per **(file, reading thread)**: the parallel
+//! executor gives each worker its own contiguous granule span, so every
+//! worker's read stream is sequential on its own, and interleaving at the
+//! shared meter must not invent head movements a per-worker disk arm
+//! would never make. Counters are kept both globally (for
+//! [`IoMeter::snapshot`]) and per thread (for
+//! [`IoMeter::thread_snapshot`], which lets a worker report exactly the
+//! I/O it caused).
 
 use std::collections::HashMap;
+use std::ops::AddAssign;
+use std::thread::{self, ThreadId};
 
 use parking_lot::Mutex;
 
@@ -39,11 +50,24 @@ impl IoStats {
     }
 }
 
+/// Associative, commutative merge — the parallel executor folds the
+/// per-worker fragments into query totals with it.
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        self.block_reads += rhs.block_reads;
+        self.seeks += rhs.seeks;
+    }
+}
+
 #[derive(Debug, Default)]
 struct MeterInner {
     stats: IoStats,
-    /// Per-file offset one past the last byte read, to detect seeks.
-    last_end: HashMap<String, u64>,
+    /// Per-thread share of `stats`, so a worker can report the I/O it
+    /// caused without seeing its siblings'.
+    per_thread: HashMap<ThreadId, IoStats>,
+    /// Offset one past the last byte read, per (file, reading thread), to
+    /// detect seeks against each worker's own read stream.
+    last_end: HashMap<(String, ThreadId), u64>,
 }
 
 /// Thread-safe seek/read counter shared by every column reader.
@@ -58,26 +82,60 @@ impl IoMeter {
         IoMeter::default()
     }
 
-    /// Record a block fetch of `len` bytes at `offset` of `file`.
+    /// Record a block fetch of `len` bytes at `offset` of `file`,
+    /// attributed to the calling thread.
     pub fn record_read(&self, file: &str, offset: u64, len: u64) {
+        let tid = thread::current().id();
         let mut inner = self.inner.lock();
-        let sequential = inner.last_end.get(file) == Some(&offset);
+        let key = (file.to_string(), tid);
+        let sequential = inner.last_end.get(&key) == Some(&offset);
+        let thread_stats = inner.per_thread.entry(tid).or_default();
+        if !sequential {
+            thread_stats.seeks += 1;
+        }
+        thread_stats.block_reads += 1;
         if !sequential {
             inner.stats.seeks += 1;
         }
         inner.stats.block_reads += 1;
-        inner.last_end.insert(file.to_string(), offset + len);
+        inner.last_end.insert(key, offset + len);
     }
 
-    /// Snapshot the counters.
+    /// Snapshot the global counters (all threads).
     pub fn snapshot(&self) -> IoStats {
         self.inner.lock().stats
+    }
+
+    /// Snapshot the calling thread's share of the counters.
+    pub fn thread_snapshot(&self) -> IoStats {
+        let tid = thread::current().id();
+        self.inner
+            .lock()
+            .per_thread
+            .get(&tid)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Drop the calling thread's per-thread state (counters and
+    /// sequential-position tracking). The query executor calls this at
+    /// the end of every execution — worker threads and the serial path
+    /// alike — so a long-lived meter does not accumulate entries for
+    /// dead threads; code driving [`record_read`](Self::record_read)
+    /// directly from short-lived threads should do the same. The global
+    /// counters are unaffected.
+    pub fn forget_current_thread(&self) {
+        let tid = thread::current().id();
+        let mut inner = self.inner.lock();
+        inner.per_thread.remove(&tid);
+        inner.last_end.retain(|(_, t), _| *t != tid);
     }
 
     /// Reset counters and sequential-position tracking.
     pub fn reset(&self) {
         let mut inner = self.inner.lock();
         inner.stats = IoStats::default();
+        inner.per_thread.clear();
         inner.last_end.clear();
     }
 }
@@ -138,8 +196,86 @@ mod tests {
         m.record_read("f", 0, 10);
         m.reset();
         assert_eq!(m.snapshot(), IoStats::default());
+        assert_eq!(m.thread_snapshot(), IoStats::default());
         // After reset, the next read at offset 10 is a seek again.
         m.record_read("f", 10, 10);
         assert_eq!(m.snapshot().seeks, 1);
+    }
+
+    #[test]
+    fn add_assign_sums_fields() {
+        let mut a = IoStats {
+            block_reads: 3,
+            seeks: 1,
+        };
+        a += IoStats {
+            block_reads: 4,
+            seeks: 2,
+        };
+        assert_eq!(
+            a,
+            IoStats {
+                block_reads: 7,
+                seeks: 3
+            }
+        );
+    }
+
+    #[test]
+    fn interleaved_threads_each_stay_sequential() {
+        // Two readers of one file, strictly alternating: with a global
+        // last-end every read would jump (4 seeks); per (file, thread)
+        // tracking sees two sequential streams (1 seek each).
+        use std::sync::mpsc;
+        let m = IoMeter::new();
+        let (to_b, from_a) = mpsc::channel::<()>();
+        let (to_a, from_b) = mpsc::channel::<()>();
+        let m = &m;
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                m.record_read("f", 0, 100);
+                to_b.send(()).unwrap();
+                from_b.recv().unwrap();
+                m.record_read("f", 100, 100);
+                to_b.send(()).unwrap();
+            });
+            s.spawn(move || {
+                from_a.recv().unwrap();
+                m.record_read("f", 500, 100);
+                to_a.send(()).unwrap();
+                from_a.recv().unwrap();
+                m.record_read("f", 600, 100);
+            });
+        });
+        let s = m.snapshot();
+        assert_eq!(s.block_reads, 4);
+        assert_eq!(s.seeks, 2, "one seek per worker stream, not per switch");
+    }
+
+    #[test]
+    fn thread_snapshot_isolates_and_sums_to_global() {
+        let m = IoMeter::new();
+        m.record_read("f", 0, 10);
+        let main_before = m.thread_snapshot();
+        assert_eq!(main_before.block_reads, 1);
+        let worker_stats = std::thread::scope(|s| {
+            s.spawn(|| {
+                m.record_read("f", 100, 10);
+                m.record_read("f", 110, 10);
+                let mine = m.thread_snapshot();
+                m.forget_current_thread();
+                mine
+            })
+            .join()
+            .unwrap()
+        });
+        assert_eq!(worker_stats.block_reads, 2);
+        assert_eq!(worker_stats.seeks, 1, "worker stream starts with a seek");
+        // Worker reads never leak into the main thread's view...
+        assert_eq!(m.thread_snapshot(), main_before);
+        // ...but the global snapshot has everything.
+        let mut total = main_before;
+        total += worker_stats;
+        assert_eq!(m.snapshot(), total);
     }
 }

@@ -8,11 +8,15 @@
 //! needed.
 
 use std::collections::HashMap;
+use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 
 use crate::block::EncodedBlock;
+
+/// Number of single-flight stripes guarding concurrent cold fills.
+const FLIGHT_STRIPES: usize = 64;
 
 /// Cache key: (column file name, block index within the file).
 pub type BlockKey = (String, u32);
@@ -62,6 +66,11 @@ struct PoolInner {
 pub struct BufferPool {
     capacity: usize,
     inner: Mutex<PoolInner>,
+    /// Single-flight stripes: a cold fill holds its key's stripe for the
+    /// duration of the disk read, so concurrent misses on one block do one
+    /// read and charge one `block_read` — parallel cold runs keep the
+    /// exact counters of a serial run.
+    flight: Vec<Mutex<()>>,
 }
 
 impl BufferPool {
@@ -70,6 +79,9 @@ impl BufferPool {
         BufferPool {
             capacity: capacity.max(1),
             inner: Mutex::new(PoolInner::default()),
+            flight: std::iter::repeat_with(|| Mutex::new(()))
+                .take(FLIGHT_STRIPES)
+                .collect(),
         }
     }
 
@@ -105,6 +117,59 @@ impl BufferPool {
                 None
             }
         }
+    }
+
+    /// Refresh recency and return the block if cached, without touching
+    /// the hit/miss counters.
+    fn touch(&self, key: &BlockKey) -> Option<Arc<EncodedBlock>> {
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.entries.get_mut(key).map(|e| {
+            e.last_used = tick;
+            Arc::clone(&e.block)
+        })
+    }
+
+    fn record_lookup(&self, hit: bool) {
+        let mut inner = self.inner.lock();
+        if hit {
+            inner.stats.hits += 1;
+        } else {
+            inner.stats.misses += 1;
+        }
+    }
+
+    fn stripe(&self, key: &BlockKey) -> &Mutex<()> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.flight[h.finish() as usize % self.flight.len()]
+    }
+
+    /// Look up `key`, filling it with `fill` on a miss. Concurrent callers
+    /// of the same key are single-flighted: exactly one runs `fill`, the
+    /// rest wait on the key's stripe and are served from the pool. Each
+    /// call counts exactly one hit (served from cache) or miss (`fill`
+    /// ran, or was attempted and failed).
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: &BlockKey,
+        fill: impl FnOnce() -> std::result::Result<Arc<EncodedBlock>, E>,
+    ) -> std::result::Result<Arc<EncodedBlock>, E> {
+        if let Some(b) = self.touch(key) {
+            self.record_lookup(true);
+            return Ok(b);
+        }
+        let _inflight = self.stripe(key).lock();
+        if let Some(b) = self.touch(key) {
+            // Another caller filled it while we waited on the stripe.
+            self.record_lookup(true);
+            return Ok(b);
+        }
+        self.record_lookup(false);
+        let block = fill()?;
+        self.insert(key.clone(), Arc::clone(&block));
+        Ok(block)
     }
 
     /// Insert a block, evicting the least-recently-used entry if full.
@@ -244,6 +309,52 @@ mod tests {
         pool.clear();
         assert!(pool.is_empty());
         assert_eq!(pool.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn get_or_insert_counts_one_lookup_per_call() {
+        let pool = BufferPool::new(4);
+        let b: Result<_, ()> = pool.get_or_insert_with(&key(0), || Ok(block(0)));
+        assert!(b.is_ok());
+        let b: Result<_, ()> = pool.get_or_insert_with(&key(0), || panic!("must not refill"));
+        assert!(b.is_ok());
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn get_or_insert_failed_fill_counts_miss_and_caches_nothing() {
+        let pool = BufferPool::new(4);
+        let r = pool.get_or_insert_with(&key(0), || Err("disk gone"));
+        assert_eq!(r.unwrap_err(), "disk gone");
+        assert_eq!(pool.stats().misses, 1);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn concurrent_misses_single_flight() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = BufferPool::new(8);
+        let fills = AtomicUsize::new(0);
+        const THREADS: usize = 8;
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    let b: Result<_, ()> = pool.get_or_insert_with(&key(7), || {
+                        fills.fetch_add(1, Ordering::SeqCst);
+                        // Widen the race window: everyone else must wait on
+                        // the stripe, not refill.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        Ok(block(7))
+                    });
+                    assert_eq!(b.unwrap().start_pos(), 7);
+                });
+            }
+        });
+        assert_eq!(fills.load(Ordering::SeqCst), 1, "exactly one fill");
+        let s = pool.stats();
+        assert_eq!(s.misses, 1, "one counted miss for one disk read");
+        assert_eq!(s.hits as usize, THREADS - 1);
     }
 
     #[test]

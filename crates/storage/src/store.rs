@@ -257,19 +257,20 @@ impl ColumnReader {
     }
 
     /// Fetch block `idx` through the buffer pool; a miss reads from disk
-    /// and charges the I/O meter.
+    /// and charges the I/O meter. Concurrent misses on one block are
+    /// single-flighted by the pool, so parallel cold runs read and count
+    /// each block exactly once, like a serial run.
     pub fn block(&self, idx: usize) -> Result<Arc<EncodedBlock>> {
         let key = (self.info.file.clone(), idx as u32);
-        if let Some(b) = self.store.pool.get(&key) {
-            return Ok(b);
-        }
         let meta = self.block_meta(idx)?;
-        self.store
-            .meter
-            .record_read(&self.info.file, meta.offset, meta.len as u64);
-        let block = Arc::new(self.file.fetch_block(self.store.disk.as_ref(), idx)?);
-        self.store.pool.insert(key, Arc::clone(&block));
-        Ok(block)
+        self.store.pool.get_or_insert_with(&key, || {
+            self.store
+                .meter
+                .record_read(&self.info.file, meta.offset, meta.len as u64);
+            Ok(Arc::new(
+                self.file.fetch_block(self.store.disk.as_ref(), idx)?,
+            ))
+        })
     }
 
     /// Fraction of this column's blocks currently resident in the pool —

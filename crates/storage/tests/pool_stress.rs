@@ -1,0 +1,102 @@
+//! Buffer-pool stress test: eight threads hammering a tiny-capacity pool.
+//!
+//! The parallel executor shares one `BufferPool` among all workers, so the
+//! pool must keep its invariants under real contention, not just in
+//! single-threaded unit tests:
+//!
+//! * the capacity bound holds at every observable moment;
+//! * no deadlock (single-flight stripes are only ever taken before the
+//!   inner mutex, never after);
+//! * the hit/miss counters reconcile with the number of lookups issued,
+//!   and misses reconcile with the number of fills actually run.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use matstrat_common::Width;
+use matstrat_storage::{BufferPool, EncodedBlock, PlainBlock};
+
+fn block(start: u64) -> Arc<EncodedBlock> {
+    Arc::new(EncodedBlock::Plain(PlainBlock::from_values(
+        start,
+        Width::W1,
+        &[1, 2, 3],
+    )))
+}
+
+#[test]
+fn tiny_pool_survives_eight_thread_hammering() {
+    const THREADS: usize = 8;
+    const OPS: usize = 4_000;
+    const CAPACITY: usize = 4;
+    const KEYS: u64 = 32;
+
+    let pool = BufferPool::new(CAPACITY);
+    let lookups = AtomicUsize::new(0);
+    let fills = AtomicUsize::new(0);
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let pool = &pool;
+            let lookups = &lookups;
+            let fills = &fills;
+            s.spawn(move || {
+                // Deterministic per-thread walk over a key space much
+                // larger than the pool, so eviction churns constantly.
+                let mut x = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                for i in 0..OPS {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let key = ("stress.col".to_string(), (x % KEYS) as u32);
+                    if i % 3 == 0 {
+                        // Plain lookup; on miss, insert directly.
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                        let idx = key_idx(&key);
+                        if pool.get(&key).is_none() {
+                            pool.insert(key, block(u64::from(idx)));
+                        }
+                    } else {
+                        // Single-flight path, as the executor uses it.
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                        let b: Result<_, ()> = pool.get_or_insert_with(&key, || {
+                            fills.fetch_add(1, Ordering::Relaxed);
+                            Ok(block(u64::from(key_idx(&key))))
+                        });
+                        assert_eq!(b.unwrap().start_pos(), u64::from(key_idx(&key)));
+                    }
+                    // The capacity bound must hold at every moment, not
+                    // just after the dust settles.
+                    assert!(
+                        pool.len() <= CAPACITY,
+                        "pool overflowed: {} > {CAPACITY}",
+                        pool.len()
+                    );
+                }
+            });
+        }
+    });
+
+    let stats = pool.stats();
+    assert!(pool.len() <= CAPACITY);
+    assert_eq!(
+        stats.hits + stats.misses,
+        lookups.load(Ordering::Relaxed) as u64,
+        "every lookup is exactly one hit or one miss"
+    );
+    // Every single-flight miss ran exactly one fill; plain `get` misses
+    // ran none. Misses from both paths are counted, so:
+    //   misses = get-misses + fills  and  fills <= misses.
+    assert!(
+        fills.load(Ordering::Relaxed) as u64 <= stats.misses,
+        "more fills than misses: {} > {}",
+        fills.load(Ordering::Relaxed),
+        stats.misses
+    );
+    assert!(stats.misses > 0 && stats.hits > 0, "workload too easy");
+    assert!(stats.evictions > 0, "tiny pool must evict under churn");
+}
+
+fn key_idx(key: &(String, u32)) -> u32 {
+    key.1
+}
