@@ -1,32 +1,67 @@
 //! Join inner-table strategy benchmarks: the criterion counterpart of
-//! Figure 13 at three orders-predicate selectivities.
+//! Figure 13 at three orders-predicate selectivities, plus the probe
+//! thread-scaling matrix of the parallel join.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use matstrat_common::Predicate;
-use matstrat_core::{InnerStrategy, JoinSpec};
+use matstrat_core::{ExecOptions, InnerStrategy, JoinSpec};
 use matstrat_tpch::join_tables::{customer_cols, orders_cols};
 
 use matstrat_bench::Harness;
+
+fn join_spec(h: &Harness, sf: f64) -> JoinSpec {
+    let x = h.join.custkey_cutoff(sf);
+    JoinSpec {
+        left: h.orders,
+        right: h.customer,
+        left_key: orders_cols::CUSTKEY,
+        right_key: customer_cols::CUSTKEY,
+        left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+        left_output: vec![orders_cols::SHIPDATE],
+        right_output: vec![customer_cols::NATIONCODE],
+    }
+}
 
 fn bench_join(c: &mut Criterion) {
     let h = Harness::new(0.01).expect("harness"); // 15 K orders, 1.5 K customers
     let mut g = c.benchmark_group("fig13_join_inner");
     for sf in [0.1, 0.5, 0.9] {
-        let x = h.join.custkey_cutoff(sf);
-        let spec = JoinSpec {
-            left: h.orders,
-            right: h.customer,
-            left_key: orders_cols::CUSTKEY,
-            right_key: customer_cols::CUSTKEY,
-            left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
-            left_output: vec![orders_cols::SHIPDATE],
-            right_output: vec![customer_cols::NATIONCODE],
-        };
+        let spec = join_spec(&h, sf);
         for inner in InnerStrategy::ALL {
             g.bench_with_input(
                 BenchmarkId::new(inner.name().replace(' ', "_"), format!("sf={sf}")),
                 &spec,
                 |b, spec| b.iter(|| black_box(h.db.run_join(spec, inner).unwrap()).num_rows()),
+            );
+        }
+    }
+    g.finish();
+}
+
+/// Probe thread scaling on a warm pool at a large scale: each inner
+/// strategy × worker count, with a small probe granule so every worker
+/// really owns spans. Results are byte-identical across the row — only
+/// wall time moves.
+fn bench_join_threads(c: &mut Criterion) {
+    let h = Harness::new(0.1).expect("harness"); // 150 K orders, 15 K customers
+    let spec = join_spec(&h, 0.5);
+    let mut g = c.benchmark_group("join_probe_threads");
+    for inner in InnerStrategy::ALL {
+        for threads in [1usize, 2, 4, 8] {
+            let opts = ExecOptions {
+                granule: 8 * 1024,
+                parallelism: threads,
+                ..ExecOptions::default()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(inner.name().replace(' ', "_"), format!("threads={threads}")),
+                &spec,
+                |b, spec| {
+                    b.iter(|| {
+                        black_box(h.db.run_join_with_options(spec, inner, &opts).unwrap())
+                            .num_rows()
+                    })
+                },
             );
         }
     }
@@ -43,6 +78,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_join
+    targets = bench_join, bench_join_threads
 }
 criterion_main!(benches);

@@ -10,9 +10,11 @@
 //! fixed-width integer-coded values, addressed by 0-based *positions*.
 
 pub mod error;
+pub mod par;
 pub mod pred;
 pub mod types;
 
 pub use error::{Error, Result};
+pub use par::{default_parallelism, env_worker_count, join_unwinding};
 pub use pred::{CompareOp, Predicate};
 pub use types::{ColumnId, Pos, PosRange, TableId, Value, Width};

@@ -1,0 +1,70 @@
+//! Process-wide worker-count defaults, shared by every parallel
+//! subsystem (the granule-parallel executor, the parallel join probe,
+//! the column-parallel projection loader, and the sharded buffer pool).
+
+/// Parse a worker-count setting: `0` means "all available cores",
+/// unparsable or absent values fall back to `fallback` rather than
+/// failing.
+fn parse_worker_count(value: Option<&str>, fallback: usize) -> usize {
+    match value {
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(0) => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(fallback),
+            Ok(n) => n,
+            Err(_) => fallback,
+        },
+        None => fallback,
+    }
+}
+
+/// Read a worker-count environment variable through
+/// [`parse_worker_count`]'s rules. Callers cache the result once per
+/// process (queries must not change behavior because something mutated
+/// the environment mid-flight); this helper itself reads the
+/// environment on every call.
+pub fn env_worker_count(var: &str, fallback: usize) -> usize {
+    parse_worker_count(std::env::var(var).ok().as_deref(), fallback)
+}
+
+/// The worker-count default: `MATSTRAT_THREADS` when set (`0` means "all
+/// available cores"), otherwise 1 (serial, the paper's configuration).
+/// Read once per process.
+pub fn default_parallelism() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| env_worker_count("MATSTRAT_THREADS", 1))
+}
+
+/// Join a scoped worker, re-raising its panic on the calling thread —
+/// the one subtle line every scoped worker pool (the fragment pipeline,
+/// the column-parallel loader) must get right, kept in one place.
+pub fn join_unwinding<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
+    handle
+        .join()
+        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_parallelism_is_stable_and_positive() {
+        let first = default_parallelism();
+        assert!(first >= 1);
+        // OnceLock: the value never changes within a process, even if the
+        // environment does.
+        assert_eq!(default_parallelism(), first);
+    }
+
+    #[test]
+    fn worker_count_parses_and_falls_back() {
+        // Pure parsing — no environment mutation (set_var races getenv
+        // in the multi-threaded test harness).
+        assert_eq!(parse_worker_count(None, 7), 7);
+        assert_eq!(parse_worker_count(Some("not-a-number"), 3), 3);
+        assert_eq!(parse_worker_count(Some(" 12 "), 3), 12);
+        assert!(parse_worker_count(Some("0"), 3) >= 1);
+        assert_eq!(env_worker_count("MATSTRAT_NO_SUCH_VAR", 5), 5);
+    }
+}

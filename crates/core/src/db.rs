@@ -7,8 +7,8 @@ use matstrat_model::Constants;
 use matstrat_storage::{ProjectionSpec, Store};
 
 use crate::exec::{default_parallelism, execute_with_options, ExecOptions};
-use crate::ops::join::{hash_join, InnerStrategy, JoinSpec};
-use crate::planner::{PlanChoice, Planner};
+use crate::ops::join::{hash_join_with_options, InnerStrategy, JoinSpec};
+use crate::planner::{JoinChoice, PlanChoice, Planner};
 use crate::query::{ExecStats, QueryResult, QuerySpec};
 use crate::strategy::Strategy;
 
@@ -72,6 +72,14 @@ impl Database {
     /// Set the executor worker count for every subsequent query (clamped
     /// to ≥ 1) and re-price the planner accordingly. Results are
     /// identical at any setting; only wall time changes.
+    ///
+    /// The buffer pool's shard count is fixed at store construction from
+    /// `MATSTRAT_POOL_SHARDS` (defaulting to the `MATSTRAT_THREADS`
+    /// worker default) and is *not* re-derived here: raising the worker
+    /// count programmatically on a pool built serial leaves one LRU
+    /// stripe. For high worker counts set `MATSTRAT_POOL_SHARDS` (or
+    /// `MATSTRAT_THREADS`) before creating the store; results are
+    /// identical either way, only lock contention differs.
     pub fn set_parallelism(&mut self, workers: usize) {
         self.parallelism = workers.max(1);
         let constants = *self.planner.model().constants();
@@ -144,8 +152,21 @@ impl Database {
     }
 
     /// Run an equi-join under the chosen inner-table strategy (§4.3).
+    /// The probe side runs on this database's worker count; results are
+    /// identical at any setting.
     pub fn run_join(&self, spec: &JoinSpec, inner: InnerStrategy) -> Result<QueryResult> {
-        hash_join(&self.store, spec, inner)
+        hash_join_with_options(&self.store, spec, inner, &self.exec_options())
+    }
+
+    /// Run a join with explicit executor options (worker count, probe
+    /// granule).
+    pub fn run_join_with_options(
+        &self,
+        spec: &JoinSpec,
+        inner: InnerStrategy,
+        opts: &ExecOptions,
+    ) -> Result<QueryResult> {
+        hash_join_with_options(&self.store, spec, inner, opts)
     }
 
     /// Run a join and report wall/I/O measurements.
@@ -156,8 +177,20 @@ impl Database {
     ) -> Result<(QueryResult, std::time::Duration, matstrat_storage::IoStats)> {
         let io0 = self.store.meter().snapshot();
         let t0 = std::time::Instant::now();
-        let r = hash_join(&self.store, spec, inner)?;
+        let r = self.run_join(spec, inner)?;
         Ok((r, t0.elapsed(), self.store.meter().snapshot().since(&io0)))
+    }
+
+    /// Ask the planner to pick an inner-table strategy (without running).
+    pub fn plan_join(&self, spec: &JoinSpec) -> Result<JoinChoice> {
+        self.planner.choose_join(&self.store, spec)
+    }
+
+    /// Plan, then run the join under the chosen inner-table strategy.
+    pub fn run_join_auto(&self, spec: &JoinSpec) -> Result<(JoinChoice, QueryResult)> {
+        let choice = self.plan_join(spec)?;
+        let result = self.run_join(spec, choice.inner)?;
+        Ok((choice, result))
     }
 }
 

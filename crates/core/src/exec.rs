@@ -28,17 +28,18 @@
 //!
 //! Granules are independent by construction — every strategy's pipeline
 //! reads a position window, filters it, and emits its fragment of the
-//! result without looking at any other window. The executor exploits this
-//! morsel-style: [`ExecOptions::parallelism`] workers
-//! ([`std::thread::scope`], no pool) each take one contiguous,
-//! granule-aligned span of the position range and run the full
-//! DS1→AND→DS3 (or SPC / DS2→DS4) pipeline over it. Per-worker fragments
-//! — result values, partial aggregates, [`ExecStats`] — are merged in
-//! span order, so the produced [`QueryResult`] is **byte-identical** to
-//! the serial run at any worker count, and the deterministic counters
-//! (`positions_matched`, `rows_out`, cold `block_reads`) are exact: the
-//! buffer pool single-flights concurrent cold misses and the I/O meter
-//! tracks sequentiality per (file, worker).
+//! result without looking at any other window. The executor exploits
+//! this morsel-style through the shared [`FragmentPipeline`] substrate
+//! (also used by the parallel join probe): [`ExecOptions::parallelism`]
+//! workers each take one contiguous, granule-aligned span of the
+//! position range and run the full DS1→AND→DS3 (or SPC / DS2→DS4)
+//! pipeline over it. Per-worker fragments — result values, partial
+//! aggregates, [`ExecStats`] — are merged in span order, so the produced
+//! [`QueryResult`] is **byte-identical** to the serial run at any worker
+//! count, and the deterministic counters (`positions_matched`,
+//! `rows_out`, cold `block_reads`) are exact: the buffer pool
+//! single-flights concurrent cold misses and the I/O meter tracks
+//! sequentiality per (file, worker).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -52,28 +53,15 @@ use crate::ops::agg::{aggregate_runs, AggFunc, Aggregator};
 use crate::ops::merge::merge_columns;
 use crate::ops::probe::ds4_extend;
 use crate::ops::spc::spc_scan;
+use crate::pipeline::FragmentPipeline;
 use crate::query::{ExecStats, QueryResult, QuerySpec};
 use crate::strategy::Strategy;
 use crate::GRANULE;
 
-/// The worker-count default: `MATSTRAT_THREADS` when set (`0` means "all
-/// available cores"), otherwise 1 (serial, the paper's configuration).
-/// Unparsable values fall back to 1 rather than failing a query. The
-/// environment is read once per process — queries must not change
-/// behavior because something mutated the environment mid-flight.
-pub fn default_parallelism() -> usize {
-    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *DEFAULT.get_or_init(|| match std::env::var("MATSTRAT_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(0) => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-            Ok(n) => n,
-            Err(_) => 1,
-        },
-        Err(_) => 1,
-    })
-}
+// The process-wide `MATSTRAT_THREADS` default now lives in
+// `matstrat-common` so the storage loader can share it; re-exported here
+// to keep the historical `matstrat_core::exec::default_parallelism` path.
+pub use matstrat_common::default_parallelism;
 
 /// Executor tuning knobs, used by the ablation benchmarks to isolate the
 /// contribution of individual design choices. Defaults reproduce the
@@ -171,7 +159,7 @@ pub fn execute_with_options(
     };
 
     let n = proj.num_rows;
-    let spans = granule_spans(n, opts.granule.max(1), opts.parallelism.max(1));
+    let pipeline = FragmentPipeline::new(n, opts.granule.max(1), opts.parallelism.max(1));
     let task = SpanTask {
         q,
         readers: &readers,
@@ -184,39 +172,7 @@ pub fn execute_with_options(
     };
 
     let t0 = Instant::now();
-    let fragments: Vec<Fragment> = if spans.len() <= 1 {
-        let out = task.run_span(PosRange::new(0, n));
-        // Per-thread meter state is per query; dropping it here keeps a
-        // long-lived store from accumulating entries for every caller
-        // thread that ever ran a query (the global counters survive).
-        task.meter.forget_current_thread();
-        vec![out?]
-    } else {
-        let outs: Vec<Result<Fragment>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = spans
-                .iter()
-                .map(|&span| {
-                    let task = &task;
-                    scope.spawn(move || {
-                        let out = task.run_span(span);
-                        // Workers are per-query; drop their meter state so
-                        // a long-lived store does not leak dead-thread
-                        // entries.
-                        task.meter.forget_current_thread();
-                        out
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| {
-                    h.join()
-                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-                })
-                .collect()
-        });
-        outs.into_iter().collect::<Result<_>>()?
-    };
+    let fragments: Vec<Fragment> = pipeline.run(store.meter(), |span| task.run_span(span))?;
 
     // Merge fragments in span order: values concatenate (spans are
     // contiguous and ascending, so this reproduces the serial output
@@ -263,27 +219,6 @@ pub fn execute_with_options(
     stats.wall = t0.elapsed();
     stats.rows_out = result.num_rows() as u64;
     Ok((result, stats))
-}
-
-/// Split `[0, n)` into contiguous, granule-aligned spans of near-equal
-/// granule counts, one per worker. The worker count is capped by the
-/// number of granules — a one-granule table runs serially no matter the
-/// knob.
-fn granule_spans(n: u64, granule: u64, workers: usize) -> Vec<PosRange> {
-    let num_granules = n.div_ceil(granule);
-    let workers = (workers as u64).clamp(1, num_granules.max(1));
-    let per = num_granules / workers;
-    let rem = num_granules % workers;
-    let mut spans = Vec::with_capacity(workers as usize);
-    let mut at = 0u64; // in granules
-    for w in 0..workers {
-        let take = per + u64::from(w < rem);
-        let start = at * granule;
-        let end = ((at + take) * granule).min(n);
-        spans.push(PosRange::new(start, end.max(start)));
-        at += take;
-    }
-    spans
 }
 
 /// One result fragment: everything a worker's span produced.

@@ -28,6 +28,7 @@ pub mod db;
 pub mod exec;
 pub mod multicol;
 pub mod ops;
+pub mod pipeline;
 pub mod planner;
 pub mod query;
 pub mod rowstore;
@@ -37,7 +38,9 @@ pub use db::Database;
 pub use exec::{default_parallelism, execute, execute_with_options, ExecOptions};
 pub use multicol::{MiniColumn, MultiColumn};
 pub use ops::agg::AggFunc;
-pub use ops::join::{InnerStrategy, JoinSpec};
+pub use ops::join::{hash_join, hash_join_with_options, InnerStrategy, JoinSpec};
+pub use pipeline::FragmentPipeline;
+pub use planner::{JoinChoice, PlanChoice, Planner};
 pub use query::{AggSpec, ExecStats, QueryResult, QuerySpec};
 pub use strategy::Strategy;
 

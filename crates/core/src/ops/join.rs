@@ -17,14 +17,31 @@
 //!   pairs. Right positions come out **unsorted**, so fetching right
 //!   output values costs an extra sort + gather + scatter — the Figure 13
 //!   penalty.
+//!
+//! # Parallel probe
+//!
+//! The build side is read-only once constructed, so the probe side runs
+//! on the same [`FragmentPipeline`] substrate as the scan executor:
+//! [`ExecOptions::parallelism`] workers each take one contiguous,
+//! granule-aligned span of the left position range, run the full
+//! filter→probe→fetch→stitch pipeline over it, and the per-span row
+//! fragments concatenate in span order. Left positions are ascending
+//! within each span and spans are ascending, so the output is
+//! **byte-identical** to the serial run at any worker count — for every
+//! [`InnerStrategy`] — and cold `block_reads` stay exact: span-local
+//! fetches touch the same distinct blocks a full-window fetch does, and
+//! the buffer pool single-flights concurrent misses.
 
 use std::collections::HashMap;
 
 use matstrat_common::{Error, Pos, PosRange, Predicate, Result, TableId, Value};
+use matstrat_model::plans::JoinInnerKind;
 use matstrat_poslist::{PosList, PosVec};
-use matstrat_storage::Store;
+use matstrat_storage::{ColumnReader, Store};
 
+use crate::exec::ExecOptions;
 use crate::multicol::MiniColumn;
+use crate::pipeline::FragmentPipeline;
 use crate::query::QueryResult;
 
 /// How the inner (right) table is represented inside the join.
@@ -55,6 +72,15 @@ impl InnerStrategy {
             InnerStrategy::SingleColumn => "Right Table Single Column",
         }
     }
+
+    /// The cost-model join plan this strategy corresponds to.
+    pub fn plan_kind(self) -> JoinInnerKind {
+        match self {
+            InnerStrategy::Materialized => JoinInnerKind::Materialized,
+            InnerStrategy::MultiColumn => JoinInnerKind::MultiColumn,
+            InnerStrategy::SingleColumn => JoinInnerKind::SingleColumn,
+        }
+    }
 }
 
 /// An equi-join between two projections with an optional predicate on
@@ -83,14 +109,63 @@ pub struct JoinSpec {
     pub right_output: Vec<usize>,
 }
 
-/// Execute the join under the chosen inner-table strategy.
+/// The immutable build-side state every probe worker shares: the hash
+/// table on the right key, the right output representations, and the
+/// opened left-side readers.
+struct BuildSide {
+    /// right key value → right positions holding it.
+    table: HashMap<Value, Vec<u32>>,
+    /// Right output columns as compressed mini-columns (all strategies
+    /// fetch these blocks at build time).
+    right_minis: Vec<MiniColumn>,
+    /// Row-major right tuples (Materialized only).
+    materialized: Option<Vec<Value>>,
+    /// Per right output column: fully decoded values when the codec
+    /// cannot fetch by position (bit-vector). Decoded once at build so
+    /// parallel workers share the work, exactly as the serial pass
+    /// decodes once per column.
+    decoded: Vec<Option<Vec<Value>>>,
+    /// Left-side readers: filter column (when filtered), key column,
+    /// output columns.
+    left_filter_reader: Option<ColumnReader>,
+    left_key_reader: ColumnReader,
+    left_out_readers: Vec<ColumnReader>,
+}
+
+/// Execute the join under the chosen inner-table strategy with default
+/// options (the `MATSTRAT_THREADS` worker default).
 pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result<QueryResult> {
+    hash_join_with_options(store, spec, inner, &ExecOptions::default())
+}
+
+/// Execute the join with explicit [`ExecOptions`] (`parallelism` workers
+/// over `granule`-aligned probe spans). The result is byte-identical at
+/// any worker count.
+pub fn hash_join_with_options(
+    store: &Store,
+    spec: &JoinSpec,
+    inner: InnerStrategy,
+    opts: &ExecOptions,
+) -> Result<QueryResult> {
     let left_info = store.projection(spec.left)?;
     let right_info = store.projection(spec.right)?;
+
+    // Output shape, validated before any I/O.
+    let mut names: Vec<String> =
+        Vec::with_capacity(spec.left_output.len() + spec.right_output.len());
+    for &c in &spec.left_output {
+        names.push(left_info.column(c)?.name.clone());
+    }
+    for &c in &spec.right_output {
+        names.push(right_info.column(c)?.name.clone());
+    }
+    if names.is_empty() {
+        return Err(Error::invalid("join must output at least one column"));
+    }
+
+    // ---- Build phase (right/inner table, serial) -----------------------
     let right_rows = right_info.num_rows;
     let right_window = PosRange::new(0, right_rows);
-
-    // ---- Build phase (right/inner table) -------------------------------
     let rkey_reader = store.reader(spec.right, spec.right_key)?;
     let rkey_mini = MiniColumn::fetch(&rkey_reader, right_window)?;
     let mut rkeys = Vec::with_capacity(right_rows as usize);
@@ -104,7 +179,7 @@ pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result
     let right_minis: Vec<MiniColumn> = spec
         .right_output
         .iter()
-        .map(|&c| MiniColumn::fetch(&store.reader(spec.right, c).unwrap(), right_window))
+        .map(|&c| MiniColumn::fetch(&store.reader(spec.right, c)?, right_window))
         .collect::<Result<_>>()?;
     let rwidth = spec.right_output.len();
     // Materialized: construct every right tuple up front (row-major).
@@ -126,27 +201,88 @@ pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result
         }
         _ => None,
     };
+    // Single-column right fetch cannot gather from bit-vector blocks
+    // (value_at would rescan k bit-strings per probe): decompress such
+    // columns once, shared read-only by every probe worker.
+    let decoded: Vec<Option<Vec<Value>>> = match inner {
+        InnerStrategy::SingleColumn => right_minis
+            .iter()
+            .map(|m| {
+                if m.supports_position_fetch() {
+                    Ok(None)
+                } else {
+                    let mut v = Vec::with_capacity(right_rows as usize);
+                    m.decode(&mut v)?;
+                    Ok(Some(v))
+                }
+            })
+            .collect::<Result<_>>()?,
+        _ => vec![None; rwidth],
+    };
 
-    // ---- Left (outer) side ---------------------------------------------
-    let left_window = PosRange::new(0, left_info.num_rows);
-    let desc = match &spec.left_filter {
-        Some((col, pred)) => {
-            let mini = MiniColumn::fetch(&store.reader(spec.left, *col)?, left_window)?;
+    let build = BuildSide {
+        table,
+        right_minis,
+        materialized,
+        decoded,
+        left_filter_reader: match &spec.left_filter {
+            Some((col, _)) => Some(store.reader(spec.left, *col)?),
+            None => None,
+        },
+        left_key_reader: store.reader(spec.left, spec.left_key)?,
+        left_out_readers: spec
+            .left_output
+            .iter()
+            .map(|&c| store.reader(spec.left, c))
+            .collect::<Result<_>>()?,
+    };
+
+    // ---- Probe phase: span-parallel over the left table ----------------
+    let pipeline = FragmentPipeline::new(
+        left_info.num_rows,
+        opts.granule.max(1),
+        opts.parallelism.max(1),
+    );
+    let fragments: Vec<Vec<Value>> =
+        pipeline.run(store.meter(), |span| probe_span(spec, inner, &build, span))?;
+
+    // Fragments are row-major and spans ascend, so concatenation
+    // reproduces the serial row order byte for byte.
+    let mut fragments = fragments.into_iter();
+    let mut flat = fragments.next().expect("at least one span");
+    for frag in fragments {
+        flat.extend(frag);
+    }
+    Ok(QueryResult::from_flat(names, flat))
+}
+
+/// Run the full filter→probe→fetch→stitch pipeline over one left span,
+/// returning the span's row-major output fragment.
+fn probe_span(
+    spec: &JoinSpec,
+    inner: InnerStrategy,
+    build: &BuildSide,
+    span: PosRange,
+) -> Result<Vec<Value>> {
+    // ---- Left (outer) side, span-local ---------------------------------
+    let desc = match (&spec.left_filter, &build.left_filter_reader) {
+        (Some((_, pred)), Some(reader)) => {
+            let mini = MiniColumn::fetch(reader, span)?;
             mini.scan_positions(pred)
         }
-        None => PosList::full(left_window),
+        _ => PosList::full(span),
     };
-    let lkey_mini = MiniColumn::fetch(&store.reader(spec.left, spec.left_key)?, left_window)?;
+    let lkey_mini = MiniColumn::fetch(&build.left_key_reader, span)?;
     let mut lkeys = Vec::with_capacity(desc.count() as usize);
     lkey_mini.fetch_values(&desc, &mut lkeys)?;
 
-    // ---- Probe phase ----------------------------------------------------
+    // ---- Probe ----------------------------------------------------------
     // Matched left positions (sorted, since desc is iterated in order) and
     // the matched right position per output row.
     let mut left_pos: Vec<Pos> = Vec::new();
     let mut right_pos: Vec<u32> = Vec::new();
     for (i, p) in desc.iter().enumerate() {
-        if let Some(rps) = table.get(&lkeys[i]) {
+        if let Some(rps) = build.table.get(&lkeys[i]) {
             for &rp in rps {
                 left_pos.push(p);
                 right_pos.push(rp);
@@ -164,8 +300,8 @@ pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result
         let mut uniq = left_pos.clone();
         uniq.dedup();
         let pl = PosList::Explicit(PosVec::from_sorted(uniq.clone()));
-        for &c in &spec.left_output {
-            let mini = MiniColumn::fetch(&store.reader(spec.left, c)?, left_window)?;
+        for reader in &build.left_out_readers {
+            let mini = MiniColumn::fetch(reader, span)?;
             let mut vals = Vec::with_capacity(uniq.len());
             mini.fetch_values(&pl, &mut vals)?;
             if uniq.len() == left_pos.len() {
@@ -186,10 +322,11 @@ pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result
     }
 
     // ---- Right output values, per strategy ------------------------------
+    let rwidth = spec.right_output.len();
     let mut right_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(out_rows); rwidth];
     match inner {
         InnerStrategy::Materialized => {
-            let flat = materialized.as_ref().expect("built above");
+            let flat = build.materialized.as_ref().expect("built above");
             for &rp in &right_pos {
                 let base = rp as usize * rwidth;
                 for (c, col) in right_cols.iter_mut().enumerate() {
@@ -201,7 +338,7 @@ pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result
             // Construct right tuples on the fly from the compressed
             // mini-columns at each matched position.
             for &rp in &right_pos {
-                for (c, mini) in right_minis.iter().enumerate() {
+                for (c, mini) in build.right_minis.iter().enumerate() {
                     right_cols[c].push(mini.value_at(rp as u64)?);
                 }
             }
@@ -212,19 +349,20 @@ pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result
             // be used to fetch column values" (§4.3). The extra positional
             // join is a second pass over the matches probing each right
             // column at a random position per output row.
-            for (c, mini) in right_minis.iter().enumerate() {
+            for (c, mini) in build.right_minis.iter().enumerate() {
                 let col = &mut right_cols[c];
-                if mini.supports_position_fetch() {
-                    for &rp in &right_pos {
-                        col.push(mini.value_at(rp as u64)?);
+                match &build.decoded[c] {
+                    None => {
+                        for &rp in &right_pos {
+                            col.push(mini.value_at(rp as u64)?);
+                        }
                     }
-                } else {
-                    // Bit-vector right column: decompress once, then index
-                    // (value_at would rescan k bit-strings per probe).
-                    let mut decoded = Vec::new();
-                    mini.decode(&mut decoded)?;
-                    for &rp in &right_pos {
-                        col.push(decoded[rp as usize]);
+                    // Bit-vector right column: indexed into the shared
+                    // build-time decode.
+                    Some(decoded) => {
+                        for &rp in &right_pos {
+                            col.push(decoded[rp as usize]);
+                        }
                     }
                 }
             }
@@ -232,17 +370,7 @@ pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result
     }
 
     // ---- Final tuple stitching ------------------------------------------
-    let mut names: Vec<String> = Vec::with_capacity(lwidth + rwidth);
-    for &c in &spec.left_output {
-        names.push(left_info.column(c)?.name.clone());
-    }
-    for &c in &spec.right_output {
-        names.push(right_info.column(c)?.name.clone());
-    }
-    if names.is_empty() {
-        return Err(Error::invalid("join must output at least one column"));
-    }
-    let width = names.len();
+    let width = lwidth + rwidth;
     let mut flat = Vec::with_capacity(out_rows * width);
     for i in 0..out_rows {
         for col in &left_cols {
@@ -252,7 +380,7 @@ pub fn hash_join(store: &Store, spec: &JoinSpec, inner: InnerStrategy) -> Result
             flat.push(col[i]);
         }
     }
-    Ok(QueryResult::from_flat(names, flat))
+    Ok(flat)
 }
 
 #[cfg(test)]
@@ -321,6 +449,39 @@ mod tests {
         for inner in InnerStrategy::ALL {
             let res = hash_join(&store, &spec, inner).unwrap();
             assert_eq!(res.num_rows(), 60, "{inner:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_probe_is_byte_identical() {
+        let (store, spec) = setup();
+        for inner in InnerStrategy::ALL {
+            let serial = hash_join_with_options(
+                &store,
+                &spec,
+                inner,
+                &ExecOptions {
+                    granule: 8,
+                    parallelism: 1,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+            for workers in [2, 3, 8] {
+                let par = hash_join_with_options(
+                    &store,
+                    &spec,
+                    inner,
+                    &ExecOptions {
+                        granule: 8,
+                        parallelism: workers,
+                        ..ExecOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(par.flat(), serial.flat(), "{inner:?} workers={workers}");
+                assert_eq!(par.column_names, serial.column_names);
+            }
         }
     }
 
@@ -420,5 +581,12 @@ mod tests {
             InnerStrategy::SingleColumn.name(),
             "Right Table Single Column"
         );
+    }
+
+    #[test]
+    fn plan_kind_mapping_is_bijective() {
+        use std::collections::HashSet;
+        let kinds: HashSet<_> = InnerStrategy::ALL.iter().map(|s| s.plan_kind()).collect();
+        assert_eq!(kinds.len(), 3);
     }
 }

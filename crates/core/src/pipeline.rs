@@ -1,0 +1,231 @@
+//! The fragment pipeline: one parallel execution substrate for every
+//! operator that decomposes into independent position spans.
+//!
+//! PR 2 inlined a morsel-style worker pool in the scan executor; this
+//! module extracts it so scans, the hash-join probe, and any future
+//! span-decomposable operator share one implementation of the three
+//! invariants the engine's parallelism contract rests on:
+//!
+//! * **Partitioning** — the position range `[0, rows)` splits into
+//!   contiguous, granule-aligned spans of near-equal granule counts, one
+//!   per worker. The skew guard lives here and only here: when the table
+//!   has fewer granules than the knob requests workers, the pipeline
+//!   collapses to granule-count workers, so a one-granule table runs
+//!   serially no matter the setting and every caller (executor, join,
+//!   planner pricing) observes the same effective worker count.
+//! * **Span-ordered merge** — [`FragmentPipeline::run`] returns the
+//!   per-span fragments in span order. Spans are contiguous and
+//!   ascending, so concatenating fragments reproduces the serial output
+//!   byte for byte at any worker count.
+//! * **Meter hygiene** — worker threads are per query; the pipeline
+//!   drops each worker's [`IoMeter`] thread state when its span
+//!   completes, so a long-lived store never accumulates entries for dead
+//!   threads (the global counters survive). The serial path runs on the
+//!   calling thread and gets the same cleanup.
+
+use matstrat_common::{PosRange, Result};
+use matstrat_storage::IoMeter;
+
+/// A reusable span-parallel execution plan over a position range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FragmentPipeline {
+    spans: Vec<PosRange>,
+}
+
+impl FragmentPipeline {
+    /// Plan `[0, rows)` as contiguous, granule-aligned spans for up to
+    /// `workers` workers. `granule` and `workers` are clamped to ≥ 1; the
+    /// worker count is capped by the granule count (the skew guard).
+    pub fn new(rows: u64, granule: u64, workers: usize) -> FragmentPipeline {
+        let granule = granule.max(1);
+        let num_granules = rows.div_ceil(granule);
+        let workers = Self::effective_workers(rows, granule, workers) as u64;
+        let per = num_granules / workers;
+        let rem = num_granules % workers;
+        let mut spans = Vec::with_capacity(workers as usize);
+        let mut at = 0u64; // in granules
+        for w in 0..workers {
+            let take = per + u64::from(w < rem);
+            let start = at * granule;
+            let end = ((at + take) * granule).min(rows);
+            spans.push(PosRange::new(start, end.max(start)));
+            at += take;
+        }
+        FragmentPipeline { spans }
+    }
+
+    /// The worker count a `rows`/`granule`/`workers` pipeline actually
+    /// runs with: `workers` clamped to `[1, ceil(rows / granule)]`. The
+    /// single source of truth for the skew guard — the planner prices
+    /// plans with this so CPU terms never divide by threads that will
+    /// not spawn.
+    pub fn effective_workers(rows: u64, granule: u64, workers: usize) -> usize {
+        let num_granules = rows.div_ceil(granule.max(1)).max(1);
+        (workers as u64).clamp(1, num_granules) as usize
+    }
+
+    /// The planned spans, in ascending position order. Spans partition
+    /// `[0, rows)` exactly.
+    pub fn spans(&self) -> &[PosRange] {
+        &self.spans
+    }
+
+    /// The effective worker count (number of spans).
+    pub fn workers(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Run `task` over every span and return the fragments **in span
+    /// order**. The first span runs on the calling thread; the remaining
+    /// spans run on scoped worker threads, one per span, so an N-span
+    /// plan occupies exactly N threads. Each thread's per-thread
+    /// [`IoMeter`] state is dropped when its span completes (the global
+    /// counters are unaffected). The first error in span order wins;
+    /// worker panics propagate to the caller.
+    pub fn run<T, F>(&self, meter: &IoMeter, task: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(PosRange) -> Result<T> + Sync,
+    {
+        let run_one = |span: PosRange| {
+            let out = task(span);
+            meter.forget_current_thread();
+            out
+        };
+        // The constructor always plans at least one (possibly empty)
+        // span; it belongs to the calling thread.
+        if self.spans.len() <= 1 {
+            return Ok(vec![run_one(self.spans[0])?]);
+        }
+        let outs: Vec<Result<T>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self.spans[1..]
+                .iter()
+                .map(|&span| {
+                    let run_one = &run_one;
+                    scope.spawn(move || run_one(span))
+                })
+                .collect();
+            let mut outs = Vec::with_capacity(self.spans.len());
+            outs.push(run_one(self.spans[0]));
+            outs.extend(handles.into_iter().map(matstrat_common::join_unwinding));
+            outs
+        });
+        outs.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn spans_partition_range_exactly() {
+        for (rows, granule, workers) in [
+            (10_000u64, 128u64, 4usize),
+            (10_000, 128, 7),
+            (1, 128, 8),
+            (0, 128, 8),
+            (999, 1, 3),
+        ] {
+            let p = FragmentPipeline::new(rows, granule, workers);
+            let spans = p.spans();
+            assert_eq!(spans.first().map(|s| s.start), Some(0));
+            assert_eq!(spans.last().map(|s| s.end), Some(rows));
+            for w in spans.windows(2) {
+                assert_eq!(w[0].end, w[1].start, "contiguous");
+                assert!(w[1].start % granule == 0, "granule aligned");
+            }
+            let total: u64 = spans.iter().map(|s| s.len()).sum();
+            assert_eq!(total, rows);
+        }
+    }
+
+    #[test]
+    fn skew_guard_caps_workers_at_granule_count() {
+        // 3 granules, 8 requested workers: 3 spans.
+        let p = FragmentPipeline::new(3 * 64, 64, 8);
+        assert_eq!(p.workers(), 3);
+        assert_eq!(FragmentPipeline::effective_workers(3 * 64, 64, 8), 3);
+        // One-granule table runs serially no matter the knob.
+        assert_eq!(FragmentPipeline::effective_workers(10, 64, 8), 1);
+        // Degenerate inputs clamp rather than panic.
+        assert_eq!(FragmentPipeline::effective_workers(0, 64, 8), 1);
+        assert_eq!(FragmentPipeline::effective_workers(100, 0, 0), 1);
+        assert_eq!(FragmentPipeline::new(0, 64, 4).workers(), 1);
+    }
+
+    #[test]
+    fn near_equal_granule_counts() {
+        // 10 granules over 4 workers: 3,3,2,2.
+        let p = FragmentPipeline::new(10 * 32, 32, 4);
+        let counts: Vec<u64> = p.spans().iter().map(|s| s.len() / 32).collect();
+        assert_eq!(counts, vec![3, 3, 2, 2]);
+    }
+
+    #[test]
+    fn run_returns_fragments_in_span_order() {
+        let meter = IoMeter::new();
+        let p = FragmentPipeline::new(1000, 10, 8);
+        let frags = p.run(&meter, |span| Ok(span.start)).unwrap();
+        let starts: Vec<u64> = p.spans().iter().map(|s| s.start).collect();
+        assert_eq!(frags, starts, "fragments arrive in span order");
+    }
+
+    #[test]
+    fn run_serial_uses_calling_thread() {
+        let meter = IoMeter::new();
+        let p = FragmentPipeline::new(100, 64 * 1024, 8);
+        assert_eq!(p.workers(), 1);
+        let caller = std::thread::current().id();
+        let frags = p.run(&meter, |_| Ok(std::thread::current().id())).unwrap();
+        assert_eq!(frags, vec![caller]);
+    }
+
+    #[test]
+    fn run_multi_span_runs_first_span_on_caller() {
+        let meter = IoMeter::new();
+        let p = FragmentPipeline::new(400, 100, 4);
+        let caller = std::thread::current().id();
+        let ids = p.run(&meter, |_| Ok(std::thread::current().id())).unwrap();
+        assert_eq!(ids.len(), 4);
+        assert_eq!(ids[0], caller, "first span belongs to the caller");
+        for id in &ids[1..] {
+            assert_ne!(*id, caller, "remaining spans run on workers");
+        }
+    }
+
+    #[test]
+    fn run_propagates_first_error() {
+        let meter = IoMeter::new();
+        let p = FragmentPipeline::new(400, 100, 4);
+        let calls = AtomicUsize::new(0);
+        let err = p
+            .run(&meter, |span| {
+                calls.fetch_add(1, Ordering::SeqCst);
+                if span.start == 100 {
+                    Err(matstrat_common::Error::invalid("boom"))
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("boom"));
+        assert_eq!(calls.load(Ordering::SeqCst), 4, "all spans still ran");
+    }
+
+    #[test]
+    fn run_forgets_worker_meter_state() {
+        let meter = IoMeter::new();
+        let p = FragmentPipeline::new(400, 100, 4);
+        p.run(&meter, |span| {
+            meter.record_read("f", span.start, 10);
+            Ok(())
+        })
+        .unwrap();
+        // Global counters survive; per-thread state is gone, so a fresh
+        // thread snapshot on this thread is empty.
+        assert_eq!(meter.snapshot().block_reads, 4);
+        assert_eq!(meter.thread_snapshot(), Default::default());
+    }
+}

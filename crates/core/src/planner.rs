@@ -11,9 +11,11 @@
 
 use matstrat_common::{Result, Value};
 use matstrat_model::plans::QueryParams;
-use matstrat_model::{ColumnParams, Constants, CostBreakdown, CostModel};
+use matstrat_model::{ColumnParams, Constants, CostBreakdown, CostModel, JoinParams};
 use matstrat_storage::{ColumnInfo, EncodingKind, ProjectionInfo, SortOrder, Store};
 
+use crate::ops::join::{InnerStrategy, JoinSpec};
+use crate::pipeline::FragmentPipeline;
 use crate::query::QuerySpec;
 use crate::strategy::Strategy;
 
@@ -26,6 +28,19 @@ pub struct PlanChoice {
     pub estimate: Option<CostBreakdown>,
     /// Estimates for every strategy the model could price.
     pub alternatives: Vec<(Strategy, CostBreakdown)>,
+    /// Human-readable reasoning.
+    pub reason: String,
+}
+
+/// The planner's pick of an inner-table representation for a hash join.
+#[derive(Debug, Clone)]
+pub struct JoinChoice {
+    /// The chosen inner-table strategy.
+    pub inner: InnerStrategy,
+    /// Model estimate for the chosen plan at the effective worker count.
+    pub estimate: CostBreakdown,
+    /// Estimates for all three representations.
+    pub alternatives: Vec<(InnerStrategy, CostBreakdown)>,
     /// Human-readable reasoning.
     pub reason: String,
 }
@@ -73,6 +88,86 @@ impl Planner {
         }
     }
 
+    /// Pick an inner-table representation for `spec`, priced at the
+    /// worker count the join executor will actually use: the probe side
+    /// spans the **left** table's granules, so the pipeline's skew guard
+    /// is applied to the left row count, probe CPU divides by that
+    /// effective count, and the serial build plus shared I/O do not.
+    pub fn choose_join(&self, store: &Store, spec: &JoinSpec) -> Result<JoinChoice> {
+        let params = self.join_params(store, spec)?;
+        let left_rows = store.projection(spec.left)?.num_rows;
+        let effective =
+            FragmentPipeline::effective_workers(left_rows, crate::GRANULE, self.parallelism);
+        let alternatives: Vec<(InnerStrategy, CostBreakdown)> = InnerStrategy::ALL
+            .iter()
+            .map(|&s| {
+                (
+                    s,
+                    self.model
+                        .hash_join_parallel(&params, s.plan_kind(), effective),
+                )
+            })
+            .collect();
+        let &(inner, estimate) = alternatives
+            .iter()
+            .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
+            .expect("three join plans always estimable");
+        let workers = if effective > 1 {
+            format!(", {effective} probe workers")
+        } else {
+            String::new()
+        };
+        Ok(JoinChoice {
+            inner,
+            estimate,
+            alternatives,
+            reason: format!(
+                "analytical model: {} predicted {:.2} ms (cpu {:.2} + io {:.2}{workers})",
+                inner.name(),
+                estimate.total_ms(),
+                estimate.cpu_us / 1000.0,
+                estimate.io_us / 1000.0
+            ),
+        })
+    }
+
+    /// Build the model's [`JoinParams`] for an equi-join from catalog
+    /// statistics.
+    pub fn join_params(&self, store: &Store, spec: &JoinSpec) -> Result<JoinParams> {
+        let left = store.projection(spec.left)?;
+        let right = store.projection(spec.right)?;
+        let lkey = left.column(spec.left_key)?;
+        let rkey = right.column(spec.right_key)?;
+        let sf = match &spec.left_filter {
+            Some((col, pred)) => Self::selectivity(left.column(*col)?, pred),
+            None => 1.0,
+        };
+        let sum_blocks = |proj: &ProjectionInfo, cols: &[usize]| -> Result<f64> {
+            let mut total = 0.0;
+            for &c in cols {
+                total += proj.column(c)?.stats.num_blocks as f64;
+            }
+            Ok(total)
+        };
+        let mut params = JoinParams::fk_join(
+            Self::column_params_for(store, spec.left, spec.left_key, lkey),
+            Self::column_params_for(store, spec.right, spec.right_key, rkey),
+            sf,
+        );
+        // Fraction of surviving left keys that land inside the right
+        // key's min/max domain, under uniformity — 1.0 for a clean FK
+        // join, < 1 when left keys overhang the right domain.
+        let lo = lkey.stats.min.max(rkey.stats.min) as f64;
+        let hi = lkey.stats.max.min(rkey.stats.max) as f64;
+        let l_span = (lkey.stats.max - lkey.stats.min) as f64 + 1.0;
+        params.match_rate = ((hi - lo + 1.0) / l_span).clamp(0.0, 1.0);
+        params.left_out_cols = spec.left_output.len() as f64;
+        params.left_out_blocks = sum_blocks(&left, &spec.left_output)?;
+        params.right_out_cols = spec.right_output.len() as f64;
+        params.right_out_blocks = sum_blocks(&right, &spec.right_output)?;
+        Ok(params)
+    }
+
     /// Estimate a predicate's selectivity from min/max statistics under a
     /// uniformity assumption.
     fn selectivity(col: &ColumnInfo, pred: &matstrat_common::Predicate) -> f64 {
@@ -104,14 +199,14 @@ impl Planner {
         }
     }
 
-    fn column_params(
+    fn column_params_for(
         store: &Store,
-        q: &QuerySpec,
+        table: matstrat_common::TableId,
         col_idx: usize,
         col: &ColumnInfo,
     ) -> ColumnParams {
         let resident = store
-            .reader(q.table, col_idx)
+            .reader(table, col_idx)
             .map(|r| r.resident_fraction())
             .unwrap_or(0.0);
         ColumnParams {
@@ -134,8 +229,8 @@ impl Planner {
         let sf2 = Self::selectivity(c2, &p2);
         let mut params = QueryParams::selection(
             n,
-            Self::column_params(store, q, c1_idx, c1),
-            Self::column_params(store, q, c2_idx, c2),
+            Self::column_params_for(store, q.table, c1_idx, c1),
+            Self::column_params_for(store, q.table, c2_idx, c2),
             sf1,
             sf2,
         );
@@ -160,13 +255,13 @@ impl Planner {
         q: &QuerySpec,
     ) -> Result<PlanChoice> {
         let params = self.query_params(store, q)?;
-        // The executor caps workers at the table's granule count — a
-        // one-granule table runs serially no matter the knob — so price
-        // with the worker count that will actually run, not the nominal
-        // one; otherwise small tables get CPU terms divided by threads
-        // that never spawn and the plan choice can flip wrongly.
-        let granules = proj.num_rows.div_ceil(crate::GRANULE).max(1);
-        let effective = (self.parallelism as u64).min(granules) as usize;
+        // The pipeline's skew guard caps workers at the table's granule
+        // count — a one-granule table runs serially no matter the knob —
+        // so price with the worker count that will actually run, not the
+        // nominal one; otherwise small tables get CPU terms divided by
+        // threads that never spawn and the plan choice can flip wrongly.
+        let effective =
+            FragmentPipeline::effective_workers(proj.num_rows, crate::GRANULE, self.parallelism);
         let mut alternatives = Vec::new();
         for s in Strategy::ALL {
             if let Some(cost) = self
@@ -427,6 +522,110 @@ mod tests {
             assert_eq!(s1, s4);
             assert!((e4.cpu_us - e1.cpu_us / 4.0).abs() < 1e-9, "{s1:?}");
             assert!((e4.io_us - e1.io_us).abs() < 1e-9, "{s1:?}");
+        }
+    }
+
+    /// orders(custkey FK, shipdate) ⋈ customer(custkey PK, nation), with
+    /// `left_granules` granules of left rows.
+    fn join_setup(left_granules: u64) -> (Store, crate::ops::join::JoinSpec) {
+        let store = Store::in_memory();
+        let n = (left_granules * crate::GRANULE) as usize;
+        let n_cust = 500i64;
+        let custkey: Vec<Value> = (0..n).map(|i| (i as Value * 13) % n_cust).collect();
+        let shipdate: Vec<Value> = (0..n).map(|i| (i % 2500) as Value).collect();
+        let left = store
+            .load_projection(
+                &ProjectionSpec::new("orders")
+                    .column("custkey", EncodingKind::Plain, So::None)
+                    .column("shipdate", EncodingKind::Plain, So::None),
+                &[&custkey, &shipdate],
+            )
+            .unwrap();
+        let ckey: Vec<Value> = (0..n_cust).collect();
+        let nation: Vec<Value> = (0..n_cust).map(|i| i % 25).collect();
+        let right = store
+            .load_projection(
+                &ProjectionSpec::new("customer")
+                    .column("custkey", EncodingKind::Plain, So::Primary)
+                    .column("nation", EncodingKind::Plain, So::None),
+                &[&ckey, &nation],
+            )
+            .unwrap();
+        let spec = crate::ops::join::JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: Some((0, Predicate::lt(250))),
+            left_output: vec![1],
+            right_output: vec![1],
+        };
+        (store, spec)
+    }
+
+    #[test]
+    fn choose_join_prices_all_three_representations() {
+        let (store, spec) = join_setup(1);
+        let planner = Planner::default();
+        let choice = planner.choose_join(&store, &spec).unwrap();
+        assert_eq!(choice.alternatives.len(), 3);
+        let best = choice
+            .alternatives
+            .iter()
+            .map(|(_, c)| c.total_us())
+            .fold(f64::INFINITY, f64::min);
+        assert!((choice.estimate.total_us() - best).abs() < 1e-9);
+        assert!(
+            choice.reason.contains("analytical model"),
+            "{}",
+            choice.reason
+        );
+        // The FK-shaped params came out of the catalog sensibly.
+        let params = planner.join_params(&store, &spec).unwrap();
+        assert_eq!(params.left_rows(), crate::GRANULE as f64);
+        assert_eq!(params.right_rows(), 500.0);
+        assert!((params.sf - 0.5).abs() < 0.01, "sf = {}", params.sf);
+        assert!((params.match_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_planner_divides_probe_cpu_by_effective_workers() {
+        // 4 granules of left rows: an 8-worker planner runs 4 probe
+        // workers (the pipeline skew guard), so probe CPU shrinks while
+        // build CPU and I/O stay serial — the estimate drops but not by a
+        // full 8x.
+        let (store, spec) = join_setup(4);
+        let serial = Planner::with_parallelism(Constants::host_defaults(), 1);
+        let eight = Planner::with_parallelism(Constants::host_defaults(), 8);
+        let c1 = serial.choose_join(&store, &spec).unwrap();
+        let c8 = eight.choose_join(&store, &spec).unwrap();
+        assert!(c8.reason.contains("4 probe workers"), "{}", c8.reason);
+        let params = serial.join_params(&store, &spec).unwrap();
+        let model = serial.model();
+        for ((s1, e1), (s8, e8)) in c1.alternatives.iter().zip(&c8.alternatives) {
+            assert_eq!(s1, s8);
+            let cost = model.hash_join(&params, s1.plan_kind());
+            let expect = cost.build.cpu_us + cost.probe.cpu_us / 4.0;
+            assert!((e8.cpu_us - expect).abs() < 1e-6, "{s1:?}");
+            assert!((e8.io_us - e1.io_us).abs() < 1e-9, "{s1:?}: io shared");
+            assert!(e8.cpu_us < e1.cpu_us, "{s1:?}");
+        }
+    }
+
+    #[test]
+    fn join_planner_caps_workers_at_left_granule_count() {
+        // One granule of left rows: the probe runs serially no matter the
+        // knob, so an 8-worker planner must price serially too.
+        let (store, spec) = join_setup(1);
+        let serial = Planner::with_parallelism(Constants::host_defaults(), 1);
+        let eight = Planner::with_parallelism(Constants::host_defaults(), 8);
+        let c1 = serial.choose_join(&store, &spec).unwrap();
+        let c8 = eight.choose_join(&store, &spec).unwrap();
+        assert!(!c8.reason.contains("workers"), "{}", c8.reason);
+        for ((s1, e1), (s8, e8)) in c1.alternatives.iter().zip(&c8.alternatives) {
+            assert_eq!(s1, s8);
+            assert!((e8.cpu_us - e1.cpu_us).abs() < 1e-9, "{s1:?}");
+            assert!((e8.io_us - e1.io_us).abs() < 1e-9, "{s1:?}");
         }
     }
 

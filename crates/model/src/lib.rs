@@ -34,4 +34,4 @@ pub mod plans;
 
 pub use constants::Constants;
 pub use ops::{AndInput, ColumnParams};
-pub use plans::{CostBreakdown, CostModel, QueryParams};
+pub use plans::{CostBreakdown, CostModel, JoinCost, JoinInnerKind, JoinParams, QueryParams};

@@ -349,6 +349,236 @@ impl CostModel {
             .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
             .expect("EM plans are always supported")
     }
+
+    /// Price a hash join under the chosen inner-table representation.
+    ///
+    /// * **Build** (serial): read the right key column fully, decode it,
+    ///   and hash every row. `Materialized` additionally decodes every
+    ///   right output column and constructs the full right tuples up
+    ///   front; the other representations ship the output columns
+    ///   compressed (their blocks are still read at build time — all
+    ///   three representations touch the same blocks, as the executor
+    ///   does).
+    /// * **Probe** (span-parallel): read the left key and output columns,
+    ///   probe the table once per surviving left row, fetch left values
+    ///   with a merge on the sorted positions, and fetch right values per
+    ///   representation: an array index for `Materialized`, a positional
+    ///   probe into the compressed mini-columns for `MultiColumn`, and
+    ///   the Figure 13 positional-join penalty (sort + gather + scatter
+    ///   over the *unsorted* right positions) for `SingleColumn`.
+    pub fn hash_join(&self, q: &JoinParams, kind: JoinInnerKind) -> JoinCost {
+        let c = &self.constants;
+        let out = q.out_rows();
+
+        // ---- Build ------------------------------------------------------
+        let mut build = CostBreakdown::default();
+        // Right key: a DS1-shaped full scan whose "emit" term (SF = 1) is
+        // the hash insert per row.
+        build.add(ds1(&q.right_key, 1.0, c));
+        // Right output blocks enter the pool at build for every
+        // representation (compressed mini-columns or full decode).
+        build.add((q.right_out_blocks * c.bic, q.right_out_io(c)));
+        if kind == JoinInnerKind::Materialized {
+            // Decode every output column and construct row-major tuples.
+            build.add_cpu(q.right_rows() * q.right_out_cols * (c.tic_col + c.tic_tup));
+        }
+
+        // ---- Probe ------------------------------------------------------
+        let mut probe = CostBreakdown::default();
+        // Left key: a DS1 at the filter's selectivity, plus one hash
+        // probe per surviving row.
+        probe.add(ds1(&q.left_key, q.sf, c));
+        probe.add_cpu(q.left_rows() * q.sf * c.fc);
+        // Left output values: merge on sorted positions (one column-
+        // iterator step + function call per output value), blocks read in
+        // full like the executor's span-local fetch.
+        probe.add((
+            q.left_out_blocks * c.bic + out * q.left_out_cols * (c.tic_col + c.fc),
+            q.left_out_io(c),
+        ));
+        // Right output values per representation.
+        let right_fetch = match kind {
+            // Array index + tuple copy.
+            JoinInnerKind::Materialized => out * q.right_out_cols * c.tic_tup,
+            // Positional probe into compressed blocks: block binary
+            // search (FC-scaled) + column-iterator step + tuple write.
+            JoinInnerKind::MultiColumn => {
+                out * q.right_out_cols * (q.right_block_search(c) + c.tic_col + c.tic_tup)
+            }
+            // The same positional probes, plus the extra positional join
+            // on unsorted right positions: sort the matches, gather, and
+            // scatter back into output order (§4.3, Figure 13).
+            JoinInnerKind::SingleColumn => {
+                out * q.right_out_cols * (q.right_block_search(c) + c.tic_col + c.tic_tup)
+                    + out * (2.0 * c.fc) * (out.max(2.0)).log2()
+                    + out * q.right_out_cols * c.fc
+            }
+        };
+        probe.add_cpu(right_fetch);
+        // Stitch the final tuples.
+        probe.add_cpu(out * c.tic_tup);
+
+        JoinCost { build, probe }
+    }
+
+    /// Price a join as executed with `workers` probe threads: the build
+    /// runs serially, the probe CPU divides by the effective worker
+    /// count, I/O is shared.
+    pub fn hash_join_parallel(
+        &self,
+        q: &JoinParams,
+        kind: JoinInnerKind,
+        workers: usize,
+    ) -> CostBreakdown {
+        self.hash_join(q, kind).with_workers(workers)
+    }
+
+    /// The cheapest inner-table representation at the given worker count.
+    pub fn best_join_plan(&self, q: &JoinParams, workers: usize) -> (JoinInnerKind, CostBreakdown) {
+        JoinInnerKind::ALL
+            .iter()
+            .map(|&k| (k, self.hash_join_parallel(q, k, workers)))
+            .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
+            .expect("three plans are always estimable")
+    }
+}
+
+/// Which inner-table representation a hash join uses (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinInnerKind {
+    /// Right tuples constructed before the join (EM).
+    Materialized,
+    /// Right columns shipped compressed; tuples built per match.
+    MultiColumn,
+    /// Only the key column enters the join; values fetched by position
+    /// afterwards (pure LM).
+    SingleColumn,
+}
+
+impl JoinInnerKind {
+    /// All three representations, in the paper's Figure 13 order.
+    pub const ALL: [JoinInnerKind; 3] = [
+        JoinInnerKind::Materialized,
+        JoinInnerKind::MultiColumn,
+        JoinInnerKind::SingleColumn,
+    ];
+
+    /// Short name used in harness output.
+    pub fn name(self) -> &'static str {
+        match self {
+            JoinInnerKind::Materialized => "Right Table Materialized",
+            JoinInnerKind::MultiColumn => "Right Table Multi-Column",
+            JoinInnerKind::SingleColumn => "Right Table Single Column",
+        }
+    }
+}
+
+/// Parameters of the §4.3 equi-join: `left ⋈ right` on a key pair with
+/// an optional filter on the left side.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinParams {
+    /// Left (probe-side) key column.
+    pub left_key: ColumnParams,
+    /// Right (build-side) key column.
+    pub right_key: ColumnParams,
+    /// Selectivity of the optional left filter (1.0 = no filter).
+    pub sf: f64,
+    /// Fraction of surviving left rows that find a match (1.0 for a
+    /// foreign-key join).
+    pub match_rate: f64,
+    /// Number of left output columns.
+    pub left_out_cols: f64,
+    /// Total blocks across the left output columns.
+    pub left_out_blocks: f64,
+    /// Number of right output columns.
+    pub right_out_cols: f64,
+    /// Total blocks across the right output columns.
+    pub right_out_blocks: f64,
+    /// Resident fraction of the left output blocks.
+    pub left_out_resident: f64,
+    /// Resident fraction of the right output blocks.
+    pub right_out_resident: f64,
+}
+
+impl JoinParams {
+    /// A cold foreign-key join with sensible defaults.
+    pub fn fk_join(left_key: ColumnParams, right_key: ColumnParams, sf: f64) -> JoinParams {
+        JoinParams {
+            left_key,
+            right_key,
+            sf,
+            match_rate: 1.0,
+            left_out_cols: 1.0,
+            left_out_blocks: left_key.blocks,
+            right_out_cols: 1.0,
+            right_out_blocks: right_key.blocks,
+            left_out_resident: 0.0,
+            right_out_resident: 0.0,
+        }
+    }
+
+    /// Left row count.
+    pub fn left_rows(&self) -> f64 {
+        self.left_key.rows
+    }
+
+    /// Right row count.
+    pub fn right_rows(&self) -> f64 {
+        self.right_key.rows
+    }
+
+    /// Output rows: surviving left rows that match.
+    pub fn out_rows(&self) -> f64 {
+        self.left_rows() * self.sf * self.match_rate
+    }
+
+    /// Cold-I/O term for the left output columns.
+    pub fn left_out_io(&self, c: &Constants) -> f64 {
+        (self.left_out_blocks / c.pf * c.seek + self.left_out_blocks * c.read)
+            * (1.0 - self.left_out_resident)
+    }
+
+    /// Cold-I/O term for the right output columns.
+    pub fn right_out_io(&self, c: &Constants) -> f64 {
+        (self.right_out_blocks / c.pf * c.seek + self.right_out_blocks * c.read)
+            * (1.0 - self.right_out_resident)
+    }
+
+    /// CPU of locating one right position's block: a binary search over
+    /// the per-column block index, FC per comparison.
+    fn right_block_search(&self, c: &Constants) -> f64 {
+        let per_col_blocks = (self.right_out_blocks / self.right_out_cols.max(1.0)).max(2.0);
+        c.fc * per_col_blocks.log2()
+    }
+}
+
+/// CPU/IO split of a join estimate, separating the serial build from the
+/// span-parallel probe so parallelism can be priced honestly: probe CPU
+/// divides across workers, build CPU and all I/O do not.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct JoinCost {
+    /// The serial build phase (hash table + right representations).
+    pub build: CostBreakdown,
+    /// The span-parallel probe phase.
+    pub probe: CostBreakdown,
+}
+
+impl JoinCost {
+    /// Collapse to one estimate at `workers` probe threads: the probe CPU
+    /// divides by the worker count the executor will actually use, build
+    /// CPU stays serial, and the shared cold-I/O terms are unchanged (the
+    /// workers share one disk arm and one buffer pool).
+    pub fn with_workers(self, workers: usize) -> CostBreakdown {
+        CostBreakdown {
+            cpu_us: self.build.cpu_us + self.probe.cpu_us / workers.max(1) as f64,
+            io_us: self.build.io_us + self.probe.io_us,
+        }
+    }
+
+    /// Serial total microseconds.
+    pub fn total_us(&self) -> f64 {
+        self.build.total_us() + self.probe.total_us()
+    }
 }
 
 #[cfg(test)]
@@ -546,5 +776,92 @@ mod tests {
     fn plan_names() {
         assert_eq!(PlanKind::EmParallel.name(), "EM-parallel");
         assert_eq!(PlanKind::LmPipelined.name(), "LM-pipelined");
+    }
+
+    /// Figure 13-scale FK join: 1.5 M orders probing 150 K customers.
+    fn join_params(sf: f64) -> JoinParams {
+        let left_key = ColumnParams::cold(23.0, 1_500_000.0, 1.0);
+        let right_key = ColumnParams::cold(3.0, 150_000.0, 1.0);
+        JoinParams::fk_join(left_key, right_key, sf)
+    }
+
+    #[test]
+    fn join_cpu_orders_single_column_worst() {
+        // Figure 13: materialized ≈ multi-column, single-column pays the
+        // extra positional join and lands clearly slower.
+        let m = model();
+        let q = join_params(0.5);
+        let mat = m.hash_join(&q, JoinInnerKind::Materialized);
+        let mc = m.hash_join(&q, JoinInnerKind::MultiColumn);
+        let sc = m.hash_join(&q, JoinInnerKind::SingleColumn);
+        assert!(
+            mc.probe.cpu_us < sc.probe.cpu_us,
+            "single-column pays the positional join: {} vs {}",
+            mc.probe.cpu_us,
+            sc.probe.cpu_us
+        );
+        // All three read the same blocks.
+        assert!((mat.build.io_us - mc.build.io_us).abs() < 1e-9);
+        assert!((mc.build.io_us - sc.build.io_us).abs() < 1e-9);
+        assert!((mat.probe.io_us - sc.probe.io_us).abs() < 1e-9);
+        // Materialized fronts the tuple construction at build time.
+        assert!(mat.build.cpu_us > mc.build.cpu_us);
+    }
+
+    #[test]
+    fn join_cost_grows_with_selectivity() {
+        let m = model();
+        for kind in JoinInnerKind::ALL {
+            let lo = m.hash_join(&join_params(0.1), kind).total_us();
+            let hi = m.hash_join(&join_params(0.9), kind).total_us();
+            assert!(hi > lo, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn join_workers_divide_probe_cpu_only() {
+        let m = model();
+        let q = join_params(0.5);
+        for kind in JoinInnerKind::ALL {
+            let cost = m.hash_join(&q, kind);
+            let serial = cost.with_workers(1);
+            let four = cost.with_workers(4);
+            // Probe CPU divides; build CPU and all I/O stay put.
+            let expect_cpu = cost.build.cpu_us + cost.probe.cpu_us / 4.0;
+            assert!((four.cpu_us - expect_cpu).abs() < 1e-9, "{kind:?}");
+            assert!((four.io_us - serial.io_us).abs() < 1e-9, "{kind:?}");
+            assert!(four.cpu_us < serial.cpu_us, "{kind:?}");
+            // Degenerate worker counts clamp to serial.
+            assert_eq!(cost.with_workers(0).total_us(), serial.total_us());
+            // Serial collapse equals the two-phase total.
+            assert!((serial.total_us() - cost.total_us()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn join_parallelism_cannot_flip_to_a_dearer_plan() {
+        let m = model();
+        for sf in [0.1, 0.5, 1.0] {
+            let q = join_params(sf);
+            let (_, serial) = m.best_join_plan(&q, 1);
+            let (_, eight) = m.best_join_plan(&q, 8);
+            assert!(eight.total_us() <= serial.total_us() + 1e-9, "sf={sf}");
+        }
+    }
+
+    #[test]
+    fn join_kind_names_match_figure13() {
+        assert_eq!(
+            JoinInnerKind::Materialized.name(),
+            "Right Table Materialized"
+        );
+        assert_eq!(
+            JoinInnerKind::MultiColumn.name(),
+            "Right Table Multi-Column"
+        );
+        assert_eq!(
+            JoinInnerKind::SingleColumn.name(),
+            "Right Table Single Column"
+        );
     }
 }

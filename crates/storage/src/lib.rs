@@ -33,7 +33,7 @@ pub use disk::{Disk, FileDisk, MemDisk};
 pub use encoding::EncodingKind;
 pub use file::{BlockIndexEntry, ColumnFileReader, ColumnFileWriter, ColumnStats};
 pub use meter::{IoMeter, IoStats};
-pub use pool::{BufferPool, PoolStats};
+pub use pool::{default_pool_shards, BufferPool, PoolStats};
 pub use store::{ColumnReader, Store};
 
 /// Size of an on-disk block: 64 KB, as in C-Store.

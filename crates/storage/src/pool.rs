@@ -1,4 +1,5 @@
-//! Buffer pool: a capacity-bounded LRU cache of parsed blocks.
+//! Buffer pool: a capacity-bounded LRU cache of parsed blocks, striped
+//! into independently locked shards.
 //!
 //! Parsed blocks stay in their compressed form ([`EncodedBlock`]), so the
 //! pool is the in-memory home of the paper's mini-columns: a multi-column
@@ -6,6 +7,27 @@
 //! to the page in the buffer pool" of §3.6. Handing out `Arc`s also means
 //! eviction never invalidates an operator's data — no pinning protocol is
 //! needed.
+//!
+//! # Sharding
+//!
+//! A single LRU mutex serializes every block lookup once the
+//! granule-parallel executor and the parallel join probe put eight-plus
+//! workers on the pool at once. The pool therefore stripes by block key:
+//! each shard owns its own entry map, LRU clock, single-flight stripes,
+//! and share of the capacity, so lookups of different blocks proceed in
+//! parallel and only true same-block races synchronize. The striping is
+//! invisible from outside:
+//!
+//! * a key maps to exactly one shard, so every lookup is still exactly
+//!   one hit or one miss and [`PoolStats`] — summed over shards — stays
+//!   **globally exact** at any worker count;
+//! * per-shard capacities sum to the requested capacity, so the global
+//!   bound holds at every moment;
+//! * `MATSTRAT_POOL_SHARDS=1` collapses to the previous single-LRU pool,
+//!   byte-for-byte (the CI degenerate leg).
+//!
+//! Eviction is LRU *within a shard*. Shard count is capped by capacity so
+//! every shard owns at least one block.
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
@@ -15,11 +37,33 @@ use parking_lot::Mutex;
 
 use crate::block::EncodedBlock;
 
-/// Number of single-flight stripes guarding concurrent cold fills.
+/// Number of single-flight stripes guarding concurrent cold fills, per
+/// shard — kept at the pre-sharding pool's stripe count so even a
+/// single-shard pool serializes concurrent fills of *distinct* blocks
+/// no more often than it ever did.
 const FLIGHT_STRIPES: usize = 64;
 
 /// Cache key: (column file name, block index within the file).
 pub type BlockKey = (String, u32);
+
+/// The shard-count default: `MATSTRAT_POOL_SHARDS` when set (`0` means
+/// "all available cores"), otherwise the `MATSTRAT_THREADS` worker
+/// default. Tying the fallback to the thread knob keeps the paper's
+/// serial configuration (threads unset → 1 worker → 1 shard) on the
+/// exact single-LRU eviction behavior of the pre-sharding pool — shard
+/// count only grows when workers exist to contend — while
+/// `MATSTRAT_POOL_SHARDS` still pins it independently (CI's `=1` leg
+/// proves the degenerate equivalence under 4 workers). Read once per
+/// process.
+pub fn default_pool_shards() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        matstrat_common::env_worker_count(
+            "MATSTRAT_POOL_SHARDS",
+            matstrat_common::default_parallelism(),
+        )
+    })
+}
 
 /// Hit/miss counters for one pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -44,6 +88,14 @@ impl PoolStats {
     }
 }
 
+impl std::ops::AddAssign for PoolStats {
+    fn add_assign(&mut self, rhs: PoolStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.evictions += rhs.evictions;
+    }
+}
+
 #[derive(Debug)]
 struct Entry {
     block: Arc<EncodedBlock>,
@@ -51,21 +103,19 @@ struct Entry {
 }
 
 #[derive(Debug, Default)]
-struct PoolInner {
+struct ShardInner {
     entries: HashMap<BlockKey, Entry>,
     tick: u64,
     stats: PoolStats,
 }
 
-/// An LRU cache of `Arc<EncodedBlock>` bounded by block count.
-///
-/// Capacity is in blocks (each ≤ 64 KB), so `capacity = 16384` ≈ 1 GB —
-/// the knob used to emulate the paper's `F` (fraction of a column already
-/// resident).
+/// One stripe of the pool: its own LRU, counters, and single-flight
+/// locks. Lock order within a shard is flight stripe → inner mutex,
+/// never the reverse; shards never lock each other.
 #[derive(Debug)]
-pub struct BufferPool {
+struct Shard {
     capacity: usize,
-    inner: Mutex<PoolInner>,
+    inner: Mutex<ShardInner>,
     /// Single-flight stripes: a cold fill holds its key's stripe for the
     /// duration of the disk read, so concurrent misses on one block do one
     /// read and charge one `block_read` — parallel cold runs keep the
@@ -73,36 +123,24 @@ pub struct BufferPool {
     flight: Vec<Mutex<()>>,
 }
 
-impl BufferPool {
-    /// Pool holding at most `capacity` blocks (minimum 1).
-    pub fn new(capacity: usize) -> BufferPool {
-        BufferPool {
-            capacity: capacity.max(1),
-            inner: Mutex::new(PoolInner::default()),
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            capacity,
+            inner: Mutex::new(ShardInner::default()),
             flight: std::iter::repeat_with(|| Mutex::new(()))
                 .take(FLIGHT_STRIPES)
                 .collect(),
         }
     }
 
-    /// Capacity in blocks.
-    pub fn capacity(&self) -> usize {
-        self.capacity
-    }
-
-    /// Number of blocks currently cached.
-    pub fn len(&self) -> usize {
-        self.inner.lock().entries.len()
-    }
-
-    /// Whether the pool is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Look up a block, refreshing its recency on hit.
-    pub fn get(&self, key: &BlockKey) -> Option<Arc<EncodedBlock>> {
-        let mut inner = self.inner.lock();
+    /// Look up `key` in one critical section: refresh recency and count
+    /// the hit; on absence count a miss only when `count_miss` is set.
+    /// The single-flight path defers its miss — a first probe that turns
+    /// into a hit after the stripe wait is one hit, not a miss plus a
+    /// hit.
+    fn find(&self, key: &BlockKey, count_miss: bool) -> Option<Arc<EncodedBlock>> {
+        let inner = &mut *self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.entries.get_mut(key) {
@@ -113,67 +151,19 @@ impl BufferPool {
                 Some(b)
             }
             None => {
-                inner.stats.misses += 1;
+                if count_miss {
+                    inner.stats.misses += 1;
+                }
                 None
             }
         }
     }
 
-    /// Refresh recency and return the block if cached, without touching
-    /// the hit/miss counters.
-    fn touch(&self, key: &BlockKey) -> Option<Arc<EncodedBlock>> {
-        let mut inner = self.inner.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        inner.entries.get_mut(key).map(|e| {
-            e.last_used = tick;
-            Arc::clone(&e.block)
-        })
+    fn record_miss(&self) {
+        self.inner.lock().stats.misses += 1;
     }
 
-    fn record_lookup(&self, hit: bool) {
-        let mut inner = self.inner.lock();
-        if hit {
-            inner.stats.hits += 1;
-        } else {
-            inner.stats.misses += 1;
-        }
-    }
-
-    fn stripe(&self, key: &BlockKey) -> &Mutex<()> {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        &self.flight[h.finish() as usize % self.flight.len()]
-    }
-
-    /// Look up `key`, filling it with `fill` on a miss. Concurrent callers
-    /// of the same key are single-flighted: exactly one runs `fill`, the
-    /// rest wait on the key's stripe and are served from the pool. Each
-    /// call counts exactly one hit (served from cache) or miss (`fill`
-    /// ran, or was attempted and failed).
-    pub fn get_or_insert_with<E>(
-        &self,
-        key: &BlockKey,
-        fill: impl FnOnce() -> std::result::Result<Arc<EncodedBlock>, E>,
-    ) -> std::result::Result<Arc<EncodedBlock>, E> {
-        if let Some(b) = self.touch(key) {
-            self.record_lookup(true);
-            return Ok(b);
-        }
-        let _inflight = self.stripe(key).lock();
-        if let Some(b) = self.touch(key) {
-            // Another caller filled it while we waited on the stripe.
-            self.record_lookup(true);
-            return Ok(b);
-        }
-        self.record_lookup(false);
-        let block = fill()?;
-        self.insert(key.clone(), Arc::clone(&block));
-        Ok(block)
-    }
-
-    /// Insert a block, evicting the least-recently-used entry if full.
-    pub fn insert(&self, key: BlockKey, block: Arc<EncodedBlock>) {
+    fn insert(&self, key: BlockKey, block: Arc<EncodedBlock>) {
         let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
@@ -198,29 +188,149 @@ impl BufferPool {
             },
         );
     }
+}
+
+/// A sharded LRU cache of `Arc<EncodedBlock>` bounded by block count.
+///
+/// Capacity is in blocks (each ≤ 64 KB), so `capacity = 16384` ≈ 1 GB —
+/// the knob used to emulate the paper's `F` (fraction of a column already
+/// resident). [`BufferPool::new`] stripes over the `MATSTRAT_POOL_SHARDS`
+/// default; [`BufferPool::with_shards`] pins the shard count (1 restores
+/// the single global LRU).
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    shards: Vec<Shard>,
+}
+
+impl BufferPool {
+    /// Pool holding at most `capacity` blocks (minimum 1), striped over
+    /// the process-default shard count.
+    pub fn new(capacity: usize) -> BufferPool {
+        BufferPool::with_shards(capacity, default_pool_shards())
+    }
+
+    /// Pool holding at most `capacity` blocks over exactly `shards`
+    /// stripes (both clamped to ≥ 1; shards additionally capped by the
+    /// capacity so every shard owns at least one block). Per-shard
+    /// capacities sum to `capacity`.
+    pub fn with_shards(capacity: usize, shards: usize) -> BufferPool {
+        let capacity = capacity.max(1);
+        let shards = shards.clamp(1, capacity);
+        let per = capacity / shards;
+        let rem = capacity % shards;
+        BufferPool {
+            capacity,
+            shards: (0..shards)
+                .map(|s| Shard::new(per + usize::from(s < rem)))
+                .collect(),
+        }
+    }
+
+    /// Total capacity in blocks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of stripes.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of blocks currently cached, across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.inner.lock().entries.len())
+            .sum()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn shard(&self, key: &BlockKey) -> (&Shard, u64) {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let hash = h.finish();
+        (&self.shards[hash as usize % self.shards.len()], hash)
+    }
+
+    /// Look up a block, refreshing its recency on hit.
+    pub fn get(&self, key: &BlockKey) -> Option<Arc<EncodedBlock>> {
+        self.shard(key).0.find(key, true)
+    }
+
+    /// Look up `key`, filling it with `fill` on a miss. Concurrent callers
+    /// of the same key are single-flighted: exactly one runs `fill`, the
+    /// rest wait on the key's stripe and are served from the pool. Each
+    /// call counts exactly one hit (served from cache) or miss (`fill`
+    /// ran, or was attempted and failed).
+    pub fn get_or_insert_with<E>(
+        &self,
+        key: &BlockKey,
+        fill: impl FnOnce() -> std::result::Result<Arc<EncodedBlock>, E>,
+    ) -> std::result::Result<Arc<EncodedBlock>, E> {
+        let (shard, hash) = self.shard(key);
+        if let Some(b) = shard.find(key, false) {
+            return Ok(b);
+        }
+        // The shard index consumed the low hash bits; pick the flight
+        // stripe from the high bits so one shard's keys still spread over
+        // its stripes.
+        let _inflight = shard.flight[(hash >> 32) as usize % shard.flight.len()].lock();
+        if let Some(b) = shard.find(key, false) {
+            // Another caller filled it while we waited on the stripe.
+            return Ok(b);
+        }
+        shard.record_miss();
+        let block = fill()?;
+        shard.insert(key.clone(), Arc::clone(&block));
+        Ok(block)
+    }
+
+    /// Insert a block, evicting the shard's least-recently-used entry if
+    /// the shard is full.
+    pub fn insert(&self, key: BlockKey, block: Arc<EncodedBlock>) {
+        let (shard, _) = self.shard(&key);
+        shard.insert(key, block);
+    }
 
     /// How many blocks of `file` are currently resident — the numerator of
     /// the model's `F` for that column.
     pub fn resident_blocks(&self, file: &str) -> usize {
-        self.inner
-            .lock()
-            .entries
-            .keys()
-            .filter(|(f, _)| f == file)
-            .count()
+        self.shards
+            .iter()
+            .map(|s| {
+                s.inner
+                    .lock()
+                    .entries
+                    .keys()
+                    .filter(|(f, _)| f == file)
+                    .count()
+            })
+            .sum()
     }
 
-    /// Counter snapshot.
+    /// Counter snapshot, summed over shards — exact: every lookup lands
+    /// in exactly one shard and counts exactly one hit or miss there.
     pub fn stats(&self) -> PoolStats {
-        self.inner.lock().stats
+        let mut total = PoolStats::default();
+        for s in &self.shards {
+            total += s.inner.lock().stats;
+        }
+        total
     }
 
     /// Drop all cached blocks and zero the counters (a "cold cache" reset
     /// for benchmarks).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock();
-        inner.entries.clear();
-        inner.stats = PoolStats::default();
+        for s in &self.shards {
+            let mut inner = s.inner.lock();
+            inner.entries.clear();
+            inner.stats = PoolStats::default();
+        }
     }
 }
 
@@ -256,7 +366,8 @@ mod tests {
 
     #[test]
     fn lru_eviction_order() {
-        let pool = BufferPool::new(2);
+        // One shard: the historical global-LRU behavior, exactly.
+        let pool = BufferPool::with_shards(2, 1);
         pool.insert(key(0), block(0));
         pool.insert(key(1), block(1));
         // Touch 0 so 1 becomes LRU.
@@ -270,7 +381,7 @@ mod tests {
 
     #[test]
     fn reinsert_does_not_evict() {
-        let pool = BufferPool::new(2);
+        let pool = BufferPool::with_shards(2, 1);
         pool.insert(key(0), block(0));
         pool.insert(key(1), block(1));
         pool.insert(key(0), block(0)); // same key: no eviction needed
@@ -291,7 +402,7 @@ mod tests {
 
     #[test]
     fn arc_survives_eviction() {
-        let pool = BufferPool::new(1);
+        let pool = BufferPool::with_shards(1, 1);
         let b = block(7);
         pool.insert(key(0), Arc::clone(&b));
         let held = pool.get(&key(0)).unwrap();
@@ -361,7 +472,60 @@ mod tests {
     fn zero_capacity_clamps_to_one() {
         let pool = BufferPool::new(0);
         assert_eq!(pool.capacity(), 1);
+        assert_eq!(pool.num_shards(), 1, "shards capped by capacity");
         pool.insert(key(0), block(0));
         assert_eq!(pool.len(), 1);
+    }
+
+    #[test]
+    fn shard_capacities_sum_to_total() {
+        // 10 blocks over 4 shards: 3+3+2+2, never more.
+        let pool = BufferPool::with_shards(10, 4);
+        assert_eq!(pool.num_shards(), 4);
+        let caps: Vec<usize> = pool.shards.iter().map(|s| s.capacity).collect();
+        assert_eq!(caps.iter().sum::<usize>(), 10);
+        assert_eq!(caps, vec![3, 3, 2, 2]);
+        // Shard count is capped by capacity.
+        let tiny = BufferPool::with_shards(3, 64);
+        assert_eq!(tiny.num_shards(), 3);
+        assert!(tiny.shards.iter().all(|s| s.capacity == 1));
+    }
+
+    #[test]
+    fn sharded_pool_bounds_capacity_under_churn() {
+        let pool = BufferPool::with_shards(8, 4);
+        for i in 0..200u32 {
+            pool.insert(key(i), block(u64::from(i)));
+            assert!(pool.len() <= 8, "global bound holds at every moment");
+        }
+        let s = pool.stats();
+        assert!(s.evictions >= 192, "churn evicts: {}", s.evictions);
+    }
+
+    #[test]
+    fn degenerate_single_shard_matches_multi_shard_counters() {
+        // The same deterministic workload against 1 shard and 4 shards:
+        // hits and misses must agree exactly (a key lands in exactly one
+        // shard, so lookup outcomes are sharding-invariant as long as
+        // nothing evicts), proving the striping never double- or
+        // under-counts.
+        let run = |pool: &BufferPool| {
+            for i in 0..32u32 {
+                let _: Result<_, ()> = pool.get_or_insert_with(&key(i), || Ok(block(u64::from(i))));
+            }
+            for i in 0..32u32 {
+                assert!(pool.get(&key(i)).is_some());
+            }
+            pool.stats()
+        };
+        // Capacity 128 over 4 shards: 32 per shard, so even a worst-case
+        // hash distribution (all 32 keys in one shard) cannot evict —
+        // the no-eviction precondition holds for any hasher.
+        let single = run(&BufferPool::with_shards(128, 1));
+        let sharded = run(&BufferPool::with_shards(128, 4));
+        assert_eq!(single.hits, sharded.hits);
+        assert_eq!(single.misses, sharded.misses);
+        assert_eq!(single.evictions, 0);
+        assert_eq!(sharded.evictions, 0);
     }
 }

@@ -6,9 +6,11 @@
 //!
 //! * the capacity bound holds at every observable moment;
 //! * no deadlock (single-flight stripes are only ever taken before the
-//!   inner mutex, never after);
+//!   inner mutex, never after; shards never lock each other);
 //! * the hit/miss counters reconcile with the number of lookups issued,
-//!   and misses reconcile with the number of fills actually run.
+//!   and misses reconcile with the number of fills actually run —
+//!   **globally exact across shards**, even while every shard is
+//!   evicting under churn.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -26,12 +28,34 @@ fn block(start: u64) -> Arc<EncodedBlock> {
 
 #[test]
 fn tiny_pool_survives_eight_thread_hammering() {
+    hammer(BufferPool::new(4), 4);
+}
+
+#[test]
+fn single_shard_pool_survives_eight_thread_hammering() {
+    // The degenerate-sharding configuration (`MATSTRAT_POOL_SHARDS=1`
+    // in CI): one global LRU, exactly the pre-sharding pool.
+    hammer(BufferPool::with_shards(4, 1), 4);
+}
+
+#[test]
+fn sharded_pool_counters_reconcile_under_cross_stripe_eviction() {
+    // Capacity 8 over 4 stripes (2 blocks each) with a 64-key space:
+    // every stripe evicts constantly, and the walk crosses stripes on
+    // almost every step. The global counters must still account for
+    // every lookup exactly.
+    let pool = BufferPool::with_shards(8, 4);
+    assert_eq!(pool.num_shards(), 4);
+    hammer(pool, 8);
+}
+
+/// Deterministic multi-threaded churn against `pool`, asserting the
+/// capacity bound at every moment and exact counter reconciliation at
+/// the end.
+fn hammer(pool: BufferPool, capacity: usize) {
     const THREADS: usize = 8;
     const OPS: usize = 4_000;
-    const CAPACITY: usize = 4;
-    const KEYS: u64 = 32;
-
-    let pool = BufferPool::new(CAPACITY);
+    const KEYS: u64 = 64;
     let lookups = AtomicUsize::new(0);
     let fills = AtomicUsize::new(0);
 
@@ -68,8 +92,8 @@ fn tiny_pool_survives_eight_thread_hammering() {
                     // The capacity bound must hold at every moment, not
                     // just after the dust settles.
                     assert!(
-                        pool.len() <= CAPACITY,
-                        "pool overflowed: {} > {CAPACITY}",
+                        pool.len() <= capacity,
+                        "pool overflowed: {} > {capacity}",
                         pool.len()
                     );
                 }
@@ -78,7 +102,7 @@ fn tiny_pool_survives_eight_thread_hammering() {
     });
 
     let stats = pool.stats();
-    assert!(pool.len() <= CAPACITY);
+    assert!(pool.len() <= capacity);
     assert_eq!(
         stats.hits + stats.misses,
         lookups.load(Ordering::Relaxed) as u64,

@@ -62,8 +62,8 @@ pub use matstrat_tpch as tpch;
 pub mod prelude {
     pub use matstrat_common::{CompareOp, Error, Pos, PosRange, Predicate, Result, Value};
     pub use matstrat_core::{
-        default_parallelism, AggSpec, Database, ExecOptions, ExecStats, InnerStrategy, JoinSpec,
-        MiniColumn, MultiColumn, QueryResult, QuerySpec, Strategy,
+        default_parallelism, AggSpec, Database, ExecOptions, ExecStats, FragmentPipeline,
+        InnerStrategy, JoinSpec, MiniColumn, MultiColumn, QueryResult, QuerySpec, Strategy,
     };
     pub use matstrat_model::{Constants, CostModel};
     pub use matstrat_poslist::{PosList, Repr};
