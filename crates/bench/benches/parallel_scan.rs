@@ -59,6 +59,54 @@ fn bench_thread_scaling(c: &mut Criterion) {
     }
 }
 
+/// Work-stealing rebalance under clustered selectivity: every match
+/// lives in the first 1/16th of the table — inside worker 0's original
+/// span at any thread count — so without stealing the other workers
+/// would scan their empty spans and idle while worker 0 fetched and
+/// stitched every survivor. With stealing, idle workers drain worker
+/// 0's tail; `tests/steal_skew_diff.rs` proves the results stay
+/// byte-identical while they do.
+fn bench_skewed_scaling(c: &mut Criterion) {
+    let db = Database::in_memory();
+    let hot = ROWS / 16;
+    let a: Vec<Value> = (0..ROWS).map(|i| (i / (ROWS / 64)) as Value).collect();
+    let b: Vec<Value> = (0..ROWS).map(|i| Value::from(i < hot)).collect();
+    let payload: Vec<Value> = (0..ROWS).map(|i| ((i * 7919) % 1000) as Value).collect();
+    let spec = ProjectionSpec::new("skewed")
+        .column("a", EncodingKind::Rle, SortOrder::Primary)
+        .column("b", EncodingKind::Plain, SortOrder::None)
+        .column("c", EncodingKind::Plain, SortOrder::None);
+    let t = db.load_projection(&spec, &[&a, &b, &payload]).unwrap();
+    let q = QuerySpec::select(t, vec![0, 2]).filter(1, Predicate::eq(1));
+    db.run(&q, Strategy::LmParallel).expect("warm-up");
+
+    let mut g = c.benchmark_group("parallel_scan_1M_skewed_LM-parallel");
+    for threads in [1usize, 2, 4, 8] {
+        let opts = ExecOptions {
+            // 64 granules: fine enough that stolen runs rebalance the
+            // hot span, coarse enough that claims stay cheap.
+            granule: 16 * 1024,
+            parallelism: threads,
+            ..ExecOptions::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &q,
+            |bch, q| {
+                bch.iter(|| {
+                    black_box(
+                        db.run_with_options(q, Strategy::LmParallel, &opts)
+                            .unwrap()
+                            .0,
+                    )
+                    .num_rows()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
 fn config() -> Criterion {
     Criterion::default()
         .sample_size(10)
@@ -69,6 +117,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_thread_scaling
+    targets = bench_thread_scaling, bench_skewed_scaling
 }
 criterion_main!(benches);

@@ -15,6 +15,6 @@ pub mod pred;
 pub mod types;
 
 pub use error::{Error, Result};
-pub use par::{default_parallelism, env_worker_count, join_unwinding};
+pub use par::{default_parallelism, env_worker_count, join_unwinding, par_map_indexed};
 pub use pred::{CompareOp, Predicate};
 pub use types::{ColumnId, Pos, PosRange, TableId, Value, Width};

@@ -44,6 +44,70 @@ pub fn join_unwinding<T>(handle: std::thread::ScopedJoinHandle<'_, T>) -> T {
         .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
 }
 
+/// Run `f` over indices `0..n` on up to `workers` scoped threads, each
+/// claiming indices from a shared counter (independent items vary
+/// wildly in cost — column encodings, decode fallbacks — so striding
+/// would skew), and reassemble the results **by index**, so the output
+/// is identical to a serial pass. The calling thread participates as
+/// one of the workers and keeps its thread-local state; each *spawned*
+/// worker runs `worker_exit` before finishing (per-thread cleanup such
+/// as `IoMeter::forget_current_thread`). The first error in index order
+/// wins; worker panics propagate to the caller.
+///
+/// This is the one claim-counter fan-out shared by the column-parallel
+/// projection loader and the join build's column-parallel
+/// representations.
+pub fn par_map_indexed<T, E>(
+    n: usize,
+    workers: usize,
+    f: impl Fn(usize) -> std::result::Result<T, E> + Sync,
+    worker_exit: impl Fn() + Sync,
+) -> std::result::Result<Vec<T>, E>
+where
+    T: Send,
+    E: Send,
+{
+    let workers = workers.min(n).max(1);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    let next = AtomicUsize::new(0);
+    let run = |spawned: bool| {
+        let mut mine = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            mine.push((i, f(i)));
+        }
+        if spawned {
+            worker_exit();
+        }
+        mine
+    };
+    let per_worker: Vec<Vec<(usize, std::result::Result<T, E>)>> = std::thread::scope(|scope| {
+        let run = &run;
+        let handles: Vec<_> = (1..workers)
+            .map(|_| scope.spawn(move || run(true)))
+            .collect();
+        let mut all = Vec::with_capacity(workers);
+        all.push(run(false));
+        all.extend(handles.into_iter().map(join_unwinding));
+        all
+    });
+    let mut slots: Vec<Option<std::result::Result<T, E>>> = Vec::new();
+    slots.resize_with(n, || None);
+    for (i, out) in per_worker.into_iter().flatten() {
+        slots[i] = Some(out);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index claimed exactly once"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +119,54 @@ mod tests {
         // OnceLock: the value never changes within a process, even if the
         // environment does.
         assert_eq!(default_parallelism(), first);
+    }
+
+    #[test]
+    fn par_map_indexed_matches_serial_at_any_worker_count() {
+        let f = |i: usize| Ok::<_, ()>(i * i);
+        let expect: Vec<usize> = (0..37).map(|i| i * i).collect();
+        for workers in [1, 2, 4, 8, 64] {
+            assert_eq!(par_map_indexed(37, workers, f, || {}).unwrap(), expect);
+        }
+        assert_eq!(par_map_indexed(0, 4, f, || {}).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn par_map_indexed_first_error_in_index_order_wins() {
+        let f = |i: usize| if i >= 3 { Err(i) } else { Ok(i) };
+        for workers in [1, 2, 4] {
+            assert_eq!(par_map_indexed(8, workers, f, || {}).unwrap_err(), 3);
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_runs_worker_exit_on_spawned_threads_only() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let exits = AtomicUsize::new(0);
+        let caller = std::thread::current().id();
+        par_map_indexed(
+            16,
+            4,
+            |_| Ok::<_, ()>(()),
+            || {
+                exits.fetch_add(1, Ordering::SeqCst);
+                assert_ne!(std::thread::current().id(), caller);
+            },
+        )
+        .unwrap();
+        assert_eq!(exits.load(Ordering::SeqCst), 3, "workers - 1 spawned");
+        // Serial path spawns nothing and cleans nothing.
+        exits.store(0, Ordering::SeqCst);
+        par_map_indexed(
+            4,
+            1,
+            |_| Ok::<_, ()>(()),
+            || {
+                exits.fetch_add(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+        assert_eq!(exits.load(Ordering::SeqCst), 0);
     }
 
     #[test]

@@ -77,13 +77,39 @@ impl Database {
     /// `MATSTRAT_POOL_SHARDS` (defaulting to the `MATSTRAT_THREADS`
     /// worker default) and is *not* re-derived here: raising the worker
     /// count programmatically on a pool built serial leaves one LRU
-    /// stripe. For high worker counts set `MATSTRAT_POOL_SHARDS` (or
-    /// `MATSTRAT_THREADS`) before creating the store; results are
-    /// identical either way, only lock contention differs.
+    /// stripe. Rather than re-stripe silently (or not at all), the
+    /// mismatch is surfaced: a warning is logged once per
+    /// `set_parallelism` call that outgrows the stripe count, and
+    /// [`Database::pool_undersharded`] / [`PoolStats::shards`] report it
+    /// programmatically so soak harnesses can assert on it. For high
+    /// worker counts set `MATSTRAT_POOL_SHARDS` (or `MATSTRAT_THREADS`)
+    /// before creating the store; results are identical either way, only
+    /// lock contention differs.
+    ///
+    /// [`PoolStats::shards`]: matstrat_storage::PoolStats
     pub fn set_parallelism(&mut self, workers: usize) {
         self.parallelism = workers.max(1);
         let constants = *self.planner.model().constants();
         self.planner = Planner::with_parallelism(constants, self.parallelism);
+        if let Some((workers, shards)) = self.pool_undersharded() {
+            eprintln!(
+                "matstrat: worker knob ({workers}) exceeds the buffer pool's stripe count \
+                 ({shards}); lookups of distinct blocks will contend. Set \
+                 MATSTRAT_POOL_SHARDS (or MATSTRAT_THREADS) before store construction \
+                 to stripe the pool for this worker count."
+            );
+        }
+    }
+
+    /// `Some((workers, shards))` when the executor worker knob exceeds
+    /// the buffer pool's stripe count — the pool is then striped more
+    /// coarsely than the contention the knob will generate, because the
+    /// stripe count froze at store construction. `None` when the pool is
+    /// striped at least as wide as the knob. The same stripe count is
+    /// visible on every [`matstrat_storage::PoolStats`] snapshot.
+    pub fn pool_undersharded(&self) -> Option<(usize, usize)> {
+        let shards = self.store.pool().num_shards();
+        (self.parallelism > shards).then_some((self.parallelism, shards))
     }
 
     /// The executor worker count queries run with.
@@ -263,6 +289,30 @@ mod tests {
         let r = db.run(&q, Strategy::EmPipelined).unwrap();
         db.set_parallelism(1);
         assert_eq!(r.flat(), db.run(&q, Strategy::EmPipelined).unwrap().flat());
+    }
+
+    #[test]
+    fn undersharding_is_surfaced_not_silent() {
+        let (mut db, t) = demo_db();
+        let shards = db.store().pool().num_shards();
+        // Pool striped at least as wide as the knob: no mismatch.
+        db.set_parallelism(shards);
+        assert_eq!(db.pool_undersharded(), None);
+        // Outgrow the frozen stripe count: the mismatch is reported with
+        // both sides, and the stripe count is visible on PoolStats for
+        // soak harnesses that only see snapshots.
+        db.set_parallelism(shards + 3);
+        assert_eq!(db.pool_undersharded(), Some((shards + 3, shards)));
+        assert_eq!(db.store().pool().stats().shards, shards as u64);
+        // The mismatch is advisory: results stay identical.
+        let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(4));
+        let wide = db.run(&q, Strategy::LmParallel).unwrap();
+        db.set_parallelism(1);
+        assert_eq!(db.pool_undersharded(), None);
+        assert_eq!(
+            wide.flat(),
+            db.run(&q, Strategy::LmParallel).unwrap().flat()
+        );
     }
 
     #[test]

@@ -31,15 +31,19 @@
 //! result without looking at any other window. The executor exploits
 //! this morsel-style through the shared [`FragmentPipeline`] substrate
 //! (also used by the parallel join probe): [`ExecOptions::parallelism`]
-//! workers each take one contiguous, granule-aligned span of the
+//! workers each start on one contiguous, granule-aligned span of the
 //! position range and run the full DS1→AND→DS3 (or SPC / DS2→DS4)
-//! pipeline over it. Per-worker fragments — result values, partial
-//! aggregates, [`ExecStats`] — are merged in span order, so the produced
-//! [`QueryResult`] is **byte-identical** to the serial run at any worker
-//! count, and the deterministic counters (`positions_matched`,
-//! `rows_out`, cold `block_reads`) are exact: the buffer pool
-//! single-flights concurrent cold misses and the I/O meter tracks
-//! sequentiality per (file, worker).
+//! pipeline over chunk-sized granule runs claimed from it; a worker
+//! that drains its span **steals** runs from the tail of the most
+//! loaded sibling's span (the [`ExecStats::steals`] counter), so
+//! clustered selectivity cannot strand the matches on one core. The
+//! per-run fragments — result values, partial aggregates, [`ExecStats`]
+//! — are merged in global granule order, so the produced [`QueryResult`]
+//! is **byte-identical** to the serial run at any worker count, and the
+//! deterministic counters (`positions_matched`, `rows_out`, cold
+//! `block_reads`) are exact: the buffer pool single-flights concurrent
+//! cold misses and the I/O meter tracks sequentiality per (file,
+//! worker).
 
 use std::collections::HashMap;
 use std::time::Instant;
@@ -172,11 +176,14 @@ pub fn execute_with_options(
     };
 
     let t0 = Instant::now();
-    let fragments: Vec<Fragment> = pipeline.run(store.meter(), |span| task.run_span(span))?;
+    let (fragments, steals): (Vec<Fragment>, u64) =
+        pipeline.run_counted(store.meter(), |span| task.run_span(span))?;
 
-    // Merge fragments in span order: values concatenate (spans are
-    // contiguous and ascending, so this reproduces the serial output
-    // byte for byte), aggregates fold, stats merge associatively.
+    // Merge fragments in global granule order: values concatenate (runs
+    // are contiguous, disjoint, and ascending — stealing moves who
+    // computes a granule, never where it lands — so this reproduces the
+    // serial output byte for byte), aggregates fold, stats merge
+    // associatively.
     let mut fragments = fragments.into_iter();
     let first = fragments.next().expect("at least one span");
     let mut flat = first.flat;
@@ -218,6 +225,7 @@ pub fn execute_with_options(
 
     stats.wall = t0.elapsed();
     stats.rows_out = result.num_rows() as u64;
+    stats.steals = steals;
     Ok((result, stats))
 }
 
@@ -290,6 +298,7 @@ impl SpanTask<'_> {
                 rows_out: 0, // set after the merged result is assembled
                 positions_matched,
                 decompressed_fetch: decompressed,
+                steals: 0, // a scheduler-level count, set after the merge
             },
         })
     }

@@ -18,26 +18,45 @@
 //!   output values costs an extra sort + gather + scatter — the Figure 13
 //!   penalty.
 //!
+//! # Parallel build
+//!
+//! The build side is itself parallel. The right key column is scanned
+//! span-parallel on the [`FragmentPipeline`] substrate, each worker
+//! scattering its `(position, key)` pairs into per-worker **radix
+//! partitions** by key hash; one worker per partition then folds the
+//! scattered buckets — in ascending fragment order — into that
+//! partition's hash map. A key lives in exactly one partition, and the
+//! folds visit positions ascending, so every key's position list is
+//! identical to the one a serial 0..n insertion loop produces; the
+//! probe simply hashes a key to its partition before the map lookup.
+//! The right output representations are built column-parallel the same
+//! way the projection loader encodes columns (decodes, bit-vector
+//! fallbacks, and the Materialized row-major flatten all split across
+//! workers), which changes nothing observable: each column file is
+//! still read once, sequentially, by exactly one worker.
+//!
 //! # Parallel probe
 //!
-//! The build side is read-only once constructed, so the probe side runs
-//! on the same [`FragmentPipeline`] substrate as the scan executor:
-//! [`ExecOptions::parallelism`] workers each take one contiguous,
-//! granule-aligned span of the left position range, run the full
-//! filter→probe→fetch→stitch pipeline over it, and the per-span row
-//! fragments concatenate in span order. Left positions are ascending
-//! within each span and spans are ascending, so the output is
-//! **byte-identical** to the serial run at any worker count — for every
-//! [`InnerStrategy`] — and cold `block_reads` stay exact: span-local
-//! fetches touch the same distinct blocks a full-window fetch does, and
-//! the buffer pool single-flights concurrent misses.
+//! Once built, the build side is shared read-only, so the probe side
+//! runs on the same [`FragmentPipeline`] substrate as the scan
+//! executor: [`ExecOptions::parallelism`] workers start on contiguous,
+//! granule-aligned spans of the left position range, run the full
+//! filter→probe→fetch→stitch pipeline over chunk-sized granule runs
+//! (work-stealing runs from loaded siblings when their own span
+//! drains), and the per-run row fragments concatenate in global granule
+//! order. Left positions are ascending within each run and runs are
+//! merged ascending, so the output is **byte-identical** to the serial
+//! run at any worker count — for every [`InnerStrategy`] — and cold
+//! `block_reads` stay exact: run-local fetches touch the same distinct
+//! blocks a full-window fetch does, and the buffer pool single-flights
+//! concurrent misses.
 
 use std::collections::HashMap;
 
 use matstrat_common::{Error, Pos, PosRange, Predicate, Result, TableId, Value};
 use matstrat_model::plans::JoinInnerKind;
 use matstrat_poslist::{PosList, PosVec};
-use matstrat_storage::{ColumnReader, Store};
+use matstrat_storage::{ColumnReader, IoMeter, Store};
 
 use crate::exec::ExecOptions;
 use crate::multicol::MiniColumn;
@@ -109,12 +128,146 @@ pub struct JoinSpec {
     pub right_output: Vec<usize>,
 }
 
+/// The shared read-only hash table on the right key: one plain map when
+/// the build ran serial, or `workers` radix partitions by key hash when
+/// it ran parallel. Each key's position list is ascending — identical to
+/// a serial 0..n insertion — in either shape, so the partitioning is
+/// invisible to the probe's output.
+struct PartitionedTable {
+    parts: Vec<HashMap<Value, Vec<u32>>>,
+}
+
+/// The radix partition a key belongs to, shared by build and probe.
+/// A Fibonacci multiply-shift mixer, not a full hash pass: the probe
+/// pays this once per surviving row *on top of* the partition map's own
+/// SipHash, so the partition choice must be nearly free — it needs
+/// determinism and spread, not DoS resistance (the map lookup keeps
+/// SipHash for that).
+#[inline]
+fn partition_of(key: Value, parts: usize) -> usize {
+    let mix = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    ((mix >> 32) as usize) % parts
+}
+
+impl PartitionedTable {
+    /// Build the table over `keys` on the pipeline's workers: serial
+    /// insertion for a single-span plan, otherwise a span-parallel
+    /// scatter into per-fragment radix buckets followed by a
+    /// partition-parallel fold. Fragments arrive in global granule
+    /// order and every fold walks them in that order, so each key's
+    /// position list ascends exactly as the serial loop's does.
+    fn build(
+        keys: &[Value],
+        pipeline: &FragmentPipeline,
+        meter: &IoMeter,
+    ) -> Result<PartitionedTable> {
+        let parts_n = pipeline.workers();
+        if parts_n <= 1 {
+            let mut table: HashMap<Value, Vec<u32>> = HashMap::with_capacity(keys.len());
+            for (pos, &k) in keys.iter().enumerate() {
+                table.entry(k).or_default().push(pos as u32);
+            }
+            return Ok(PartitionedTable { parts: vec![table] });
+        }
+        // Phase A: scatter. Each granule run hashes its keys into
+        // `parts_n` buckets; pure CPU, so the scheduler's stealing can
+        // rebalance it freely.
+        let buckets: Vec<Vec<Vec<(u32, Value)>>> = pipeline.run(meter, |span| {
+            let mut local: Vec<Vec<(u32, Value)>> = vec![Vec::new(); parts_n];
+            for pos in span.start..span.end {
+                let k = keys[pos as usize];
+                local[partition_of(k, parts_n)].push((pos as u32, k));
+            }
+            Ok(local)
+        })?;
+        // Phase B: fold, one worker per partition (pure CPU: no meter
+        // state to clean up).
+        let parts = matstrat_common::par_map_indexed(
+            parts_n,
+            parts_n,
+            |p| -> Result<HashMap<Value, Vec<u32>>> {
+                let cap = buckets.iter().map(|frag| frag[p].len()).sum();
+                let mut m: HashMap<Value, Vec<u32>> = HashMap::with_capacity(cap);
+                for frag in &buckets {
+                    for &(pos, k) in &frag[p] {
+                        m.entry(k).or_default().push(pos);
+                    }
+                }
+                Ok(m)
+            },
+            || {},
+        )?;
+        Ok(PartitionedTable { parts })
+    }
+
+    /// The ascending right positions holding `key`, if any.
+    #[inline]
+    fn get(&self, key: &Value) -> Option<&Vec<u32>> {
+        if self.parts.len() == 1 {
+            self.parts[0].get(key)
+        } else {
+            self.parts[partition_of(*key, self.parts.len())].get(key)
+        }
+    }
+}
+
+/// Run `f` over indices `0..n` on the shared claim-counter fan-out
+/// ([`matstrat_common::par_map_indexed`], the projection loader's
+/// pattern), dropping each spawned worker's per-thread meter state on
+/// exit. The calling thread keeps its meter state: its reads belong to
+/// the surrounding query, exactly as on the serial path.
+fn par_indexed<T: Send>(
+    n: usize,
+    workers: usize,
+    meter: &IoMeter,
+    f: impl Fn(usize) -> Result<T> + Sync,
+) -> Result<Vec<T>> {
+    matstrat_common::par_map_indexed(n, workers, f, || meter.forget_current_thread())
+}
+
+/// Flatten decoded columns into row-major tuples — the Materialized
+/// strategy's up-front tuple construction — splitting the row range
+/// across up to `workers` scoped threads. Each worker writes a disjoint
+/// slice of the output, so the result is identical to the serial double
+/// loop at any worker count.
+fn flatten_row_major(cols: &[Vec<Value>], rows: usize, workers: usize) -> Vec<Value> {
+    let width = cols.len();
+    if rows == 0 || width == 0 {
+        return Vec::new();
+    }
+    let mut flat = vec![0 as Value; rows * width];
+    let workers = workers.min(rows).max(1);
+    let chunk_rows = rows.div_ceil(workers);
+    let fill = |chunk_idx: usize, chunk: &mut [Value]| {
+        let base = chunk_idx * chunk_rows;
+        for (r, row) in chunk.chunks_exact_mut(width).enumerate() {
+            for (c, col) in cols.iter().enumerate() {
+                row[c] = col[base + r];
+            }
+        }
+    };
+    std::thread::scope(|scope| {
+        let fill = &fill;
+        let mut chunks = flat.chunks_mut(chunk_rows * width).enumerate();
+        let (first_idx, first_chunk) = chunks.next().expect("rows > 0");
+        let handles: Vec<_> = chunks
+            .map(|(ci, chunk)| scope.spawn(move || fill(ci, chunk)))
+            .collect();
+        fill(first_idx, first_chunk);
+        for h in handles {
+            matstrat_common::join_unwinding(h);
+        }
+    });
+    flat
+}
+
 /// The immutable build-side state every probe worker shares: the hash
 /// table on the right key, the right output representations, and the
 /// opened left-side readers.
 struct BuildSide {
-    /// right key value → right positions holding it.
-    table: HashMap<Value, Vec<u32>>,
+    /// right key value → right positions holding it (radix-partitioned
+    /// when the build ran parallel).
+    table: PartitionedTable,
     /// Right output columns as compressed mini-columns (all strategies
     /// fetch these blocks at build time).
     right_minis: Vec<MiniColumn>,
@@ -163,41 +316,40 @@ pub fn hash_join_with_options(
         return Err(Error::invalid("join must output at least one column"));
     }
 
-    // ---- Build phase (right/inner table, serial) -----------------------
+    // ---- Build phase (right/inner table, span- and column-parallel) ----
     let right_rows = right_info.num_rows;
     let right_window = PosRange::new(0, right_rows);
     let rkey_reader = store.reader(spec.right, spec.right_key)?;
     let rkey_mini = MiniColumn::fetch(&rkey_reader, right_window)?;
     let mut rkeys = Vec::with_capacity(right_rows as usize);
     rkey_mini.decode(&mut rkeys)?;
-    let mut table: HashMap<Value, Vec<u32>> = HashMap::with_capacity(rkeys.len());
-    for (pos, &k) in rkeys.iter().enumerate() {
-        table.entry(k).or_default().push(pos as u32);
-    }
+    // The build's worker count obeys the same skew guard as the probe's,
+    // applied to the *right* table: a one-granule inner table builds
+    // serially no matter the knob, and the planner prices build CPU with
+    // exactly this count.
+    let build_pipeline =
+        FragmentPipeline::new(right_rows, opts.granule.max(1), opts.parallelism.max(1));
+    let build_workers = build_pipeline.workers();
+    let table = PartitionedTable::build(&rkeys, &build_pipeline, store.meter())?;
 
-    // Right output columns, represented per strategy.
-    let right_minis: Vec<MiniColumn> = spec
-        .right_output
-        .iter()
-        .map(|&c| MiniColumn::fetch(&store.reader(spec.right, c)?, right_window))
-        .collect::<Result<_>>()?;
+    // Right output columns, represented per strategy; fetched (and
+    // decoded, where the strategy needs it) column-parallel.
     let rwidth = spec.right_output.len();
+    let right_minis: Vec<MiniColumn> = par_indexed(rwidth, build_workers, store.meter(), |c| {
+        MiniColumn::fetch(
+            &store.reader(spec.right, spec.right_output[c])?,
+            right_window,
+        )
+    })?;
     // Materialized: construct every right tuple up front (row-major).
     let materialized: Option<Vec<Value>> = match inner {
         InnerStrategy::Materialized => {
-            let mut cols: Vec<Vec<Value>> = Vec::with_capacity(rwidth);
-            for m in &right_minis {
+            let cols: Vec<Vec<Value>> = par_indexed(rwidth, build_workers, store.meter(), |c| {
                 let mut v = Vec::with_capacity(right_rows as usize);
-                m.decode(&mut v)?;
-                cols.push(v);
-            }
-            let mut flat = Vec::with_capacity(right_rows as usize * rwidth);
-            for r in 0..right_rows as usize {
-                for col in &cols {
-                    flat.push(col[r]);
-                }
-            }
-            Some(flat)
+                right_minis[c].decode(&mut v)?;
+                Ok(v)
+            })?;
+            Some(flatten_row_major(&cols, right_rows as usize, build_workers))
         }
         _ => None,
     };
@@ -205,18 +357,15 @@ pub fn hash_join_with_options(
     // (value_at would rescan k bit-strings per probe): decompress such
     // columns once, shared read-only by every probe worker.
     let decoded: Vec<Option<Vec<Value>>> = match inner {
-        InnerStrategy::SingleColumn => right_minis
-            .iter()
-            .map(|m| {
-                if m.supports_position_fetch() {
-                    Ok(None)
-                } else {
-                    let mut v = Vec::with_capacity(right_rows as usize);
-                    m.decode(&mut v)?;
-                    Ok(Some(v))
-                }
-            })
-            .collect::<Result<_>>()?,
+        InnerStrategy::SingleColumn => par_indexed(rwidth, build_workers, store.meter(), |c| {
+            if right_minis[c].supports_position_fetch() {
+                Ok(None)
+            } else {
+                let mut v = Vec::with_capacity(right_rows as usize);
+                right_minis[c].decode(&mut v)?;
+                Ok(Some(v))
+            }
+        })?,
         _ => vec![None; rwidth],
     };
 

@@ -1,10 +1,11 @@
 //! The fragment pipeline: one parallel execution substrate for every
 //! operator that decomposes into independent position spans.
 //!
-//! PR 2 inlined a morsel-style worker pool in the scan executor; this
-//! module extracts it so scans, the hash-join probe, and any future
-//! span-decomposable operator share one implementation of the three
-//! invariants the engine's parallelism contract rests on:
+//! PR 2 inlined a morsel-style worker pool in the scan executor; PR 3
+//! extracted it here; this revision replaces the blind span-per-worker
+//! dispatch with a **work-stealing granule scheduler**. The engine's
+//! parallelism contract rests on four invariants, all owned by this
+//! module:
 //!
 //! * **Partitioning** — the position range `[0, rows)` splits into
 //!   contiguous, granule-aligned spans of near-equal granule counts, one
@@ -13,24 +14,58 @@
 //!   collapses to granule-count workers, so a one-granule table runs
 //!   serially no matter the setting and every caller (executor, join,
 //!   planner pricing) observes the same effective worker count.
-//! * **Span-ordered merge** — [`FragmentPipeline::run`] returns the
-//!   per-span fragments in span order. Spans are contiguous and
-//!   ascending, so concatenating fragments reproduces the serial output
-//!   byte for byte at any worker count.
+//! * **Work stealing** — a worker *starts* on its own span and claims
+//!   chunk-sized granule runs from the span's **head**, so its read
+//!   stream stays sequential and the per-(file, worker) seek accounting
+//!   of the I/O meter keeps meaning. A worker whose span is drained
+//!   turns thief: it steals a chunk-sized granule run from the **tail**
+//!   of the most loaded worker's remaining span, and exits only when
+//!   every span is empty. Clustered selectivity can no longer strand one
+//!   worker with all the matches while its siblings idle.
+//! * **Granule-ordered merge** — every claimed run produces one
+//!   fragment tagged with its start position; [`FragmentPipeline::run`]
+//!   sorts the fragments into **global granule order** before returning
+//!   them. Runs are contiguous, granule-aligned, and disjoint, and
+//!   together they partition `[0, rows)`, so concatenating the fragments
+//!   reproduces the serial output byte for byte at any worker count —
+//!   stealing moves *who* computes a granule, never *what* or *where in
+//!   the output* it lands. Cold `block_reads` stay exact for the same
+//!   reason: the same granule windows are fetched exactly once each
+//!   (the buffer pool single-flights concurrent misses).
 //! * **Meter hygiene** — worker threads are per query; the pipeline
-//!   drops each worker's [`IoMeter`] thread state when its span
-//!   completes, so a long-lived store never accumulates entries for dead
-//!   threads (the global counters survive). The serial path runs on the
-//!   calling thread and gets the same cleanup.
+//!   drops each worker's [`IoMeter`] thread state when the worker (not
+//!   each run) completes, so a long-lived store never accumulates
+//!   entries for dead threads and a worker's stream stays one stream
+//!   across its claims. The serial path runs on the calling thread and
+//!   gets the same cleanup.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use matstrat_common::{PosRange, Result};
 use matstrat_storage::IoMeter;
+
+/// Granule runs each worker is expected to claim over its lifetime: the
+/// scheduler sizes its chunk as `num_granules / (workers ×
+/// CHUNKS_PER_WORKER)` (clamped to ≥ 1 granule), so claim bookkeeping
+/// stays a ~16th-order overhead while the tail of every span remains
+/// fine-grained enough to steal. The cost model mirrors this constant
+/// when pricing scheduler overhead (`CostModel::steal_overhead`).
+pub const CHUNKS_PER_WORKER: u64 = 16;
 
 /// A reusable span-parallel execution plan over a position range.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FragmentPipeline {
     spans: Vec<PosRange>,
+    granule: u64,
+    /// Granules per claim/steal.
+    chunk: u64,
 }
+
+/// Remaining granule range `[head, tail)` of one worker's span, on the
+/// global granule grid. The owner claims from `head`; thieves steal
+/// from `tail`.
+type SpanQueue = Mutex<(u64, u64)>;
 
 impl FragmentPipeline {
     /// Plan `[0, rows)` as contiguous, granule-aligned spans for up to
@@ -51,7 +86,12 @@ impl FragmentPipeline {
             spans.push(PosRange::new(start, end.max(start)));
             at += take;
         }
-        FragmentPipeline { spans }
+        let chunk = (num_granules / (workers * CHUNKS_PER_WORKER)).max(1);
+        FragmentPipeline {
+            spans,
+            granule,
+            chunk,
+        }
     }
 
     /// The worker count a `rows`/`granule`/`workers` pipeline actually
@@ -65,7 +105,8 @@ impl FragmentPipeline {
     }
 
     /// The planned spans, in ascending position order. Spans partition
-    /// `[0, rows)` exactly.
+    /// `[0, rows)` exactly. With stealing, a span names where its worker
+    /// *starts*, not everything it will execute.
     pub fn spans(&self) -> &[PosRange] {
         &self.spans
     }
@@ -75,42 +116,139 @@ impl FragmentPipeline {
         self.spans.len()
     }
 
-    /// Run `task` over every span and return the fragments **in span
-    /// order**. The first span runs on the calling thread; the remaining
-    /// spans run on scoped worker threads, one per span, so an N-span
-    /// plan occupies exactly N threads. Each thread's per-thread
-    /// [`IoMeter`] state is dropped when its span completes (the global
-    /// counters are unaffected). The first error in span order wins;
-    /// worker panics propagate to the caller.
+    /// Granules per scheduler claim/steal.
+    pub fn chunk_granules(&self) -> u64 {
+        self.chunk
+    }
+
+    /// Run `task` over the position range and return the fragments **in
+    /// global granule order** (see [`Self::run_counted`] for the steal
+    /// counter). Concatenating the fragments reproduces the serial
+    /// output byte for byte at any worker count.
     pub fn run<T, F>(&self, meter: &IoMeter, task: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(PosRange) -> Result<T> + Sync,
     {
-        let run_one = |span: PosRange| {
-            let out = task(span);
-            meter.forget_current_thread();
-            out
-        };
+        Ok(self.run_counted(meter, task)?.0)
+    }
+
+    /// [`Self::run`], additionally reporting how many granule runs were
+    /// **stolen** — claimed from the tail of another worker's span by a
+    /// worker that had drained its own. A single-span (serial) plan
+    /// never steals; a multi-span plan steals exactly when the work is
+    /// skewed enough (or the host slow enough) for some worker to go
+    /// idle while another still holds unclaimed granules.
+    ///
+    /// The first span runs on the calling thread; the remaining spans
+    /// run on scoped worker threads, one per span, so an N-span plan
+    /// occupies exactly N threads. Each worker processes chunk-sized
+    /// granule runs: its own span head-first (sequential read stream),
+    /// then stolen tail runs. Each thread's per-thread [`IoMeter`] state
+    /// is dropped when the thread finishes all its runs (the global
+    /// counters are unaffected). The first error in granule order wins;
+    /// worker panics propagate to the caller; every granule runs even
+    /// when an earlier one errors (matching the serial executor's
+    /// whole-range semantics under the differential batteries).
+    pub fn run_counted<T, F>(&self, meter: &IoMeter, task: F) -> Result<(Vec<T>, u64)>
+    where
+        T: Send,
+        F: Fn(PosRange) -> Result<T> + Sync,
+    {
         // The constructor always plans at least one (possibly empty)
-        // span; it belongs to the calling thread.
+        // span; a single span belongs to the calling thread, runs whole
+        // (no chunking overhead), and cannot steal.
         if self.spans.len() <= 1 {
-            return Ok(vec![run_one(self.spans[0])?]);
+            let out = task(self.spans[0]);
+            meter.forget_current_thread();
+            return Ok((vec![out?], 0));
         }
-        let outs: Vec<Result<T>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self.spans[1..]
-                .iter()
-                .map(|&span| {
-                    let run_one = &run_one;
-                    scope.spawn(move || run_one(span))
+
+        let rows = self.spans.last().expect("planned above").end;
+        let queues: Vec<SpanQueue> = self
+            .spans
+            .iter()
+            .map(|s| Mutex::new((s.start / self.granule, s.end.div_ceil(self.granule))))
+            .collect();
+        let steals = AtomicU64::new(0);
+
+        let worker = |w: usize| -> Vec<(u64, Result<T>)> {
+            let mut frags = Vec::new();
+            while let Some((g0, g1)) = self.claim(&queues, w, &steals) {
+                let span = PosRange::new(g0 * self.granule, (g1 * self.granule).min(rows));
+                frags.push((span.start, task(span)));
+            }
+            meter.forget_current_thread();
+            frags
+        };
+
+        let mut tagged: Vec<(u64, Result<T>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..self.spans.len())
+                .map(|w| {
+                    let worker = &worker;
+                    scope.spawn(move || worker(w))
                 })
                 .collect();
-            let mut outs = Vec::with_capacity(self.spans.len());
-            outs.push(run_one(self.spans[0]));
-            outs.extend(handles.into_iter().map(matstrat_common::join_unwinding));
-            outs
+            let mut all = worker(0);
+            for h in handles {
+                all.extend(matstrat_common::join_unwinding(h));
+            }
+            all
         });
-        outs.into_iter().collect()
+
+        // Global granule order: runs are disjoint and granule-aligned,
+        // so sorting by start position restores the serial layout.
+        tagged.sort_unstable_by_key(|&(start, _)| start);
+        debug_assert!(
+            tagged.windows(2).all(|w| w[0].0 < w[1].0),
+            "claimed runs must be disjoint"
+        );
+        let mut out = Vec::with_capacity(tagged.len());
+        for (_, r) in tagged {
+            out.push(r?);
+        }
+        Ok((out, steals.load(Ordering::Relaxed)))
+    }
+
+    /// Claim the next chunk-sized granule run for worker `w`: from the
+    /// head of its own span while any remains, otherwise stolen from the
+    /// tail of the most loaded span. `None` when every span is drained.
+    fn claim(&self, queues: &[SpanQueue], w: usize, steals: &AtomicU64) -> Option<(u64, u64)> {
+        {
+            let mut q = queues[w].lock().expect("span queue poisoned");
+            let (head, tail) = *q;
+            if head < tail {
+                let take = self.chunk.min(tail - head);
+                q.0 = head + take;
+                return Some((head, head + take));
+            }
+        }
+        loop {
+            // Pick the victim with the most unclaimed granules — the
+            // best rebalance per steal, and the span least likely to be
+            // drained by the time we lock it.
+            let mut best: Option<(usize, u64)> = None;
+            for (i, q) in queues.iter().enumerate() {
+                if i == w {
+                    continue;
+                }
+                let (head, tail) = *q.lock().expect("span queue poisoned");
+                let remaining = tail.saturating_sub(head);
+                if remaining > 0 && best.is_none_or(|(_, r)| remaining > r) {
+                    best = Some((i, remaining));
+                }
+            }
+            let (victim, _) = best?;
+            let mut q = queues[victim].lock().expect("span queue poisoned");
+            let (head, tail) = *q;
+            if head < tail {
+                let take = self.chunk.min(tail - head);
+                q.1 = tail - take;
+                steals.fetch_add(1, Ordering::Relaxed);
+                return Some((tail - take, tail));
+            }
+            // Lost the race for this victim; rescan for another.
+        }
     }
 }
 
@@ -164,54 +302,160 @@ mod tests {
     }
 
     #[test]
-    fn run_returns_fragments_in_span_order() {
+    fn chunking_policy_matches_cost_model() {
+        // The model prices scheduler bookkeeping from its mirror of the
+        // chunking constant; the two must not drift apart.
+        assert_eq!(
+            CHUNKS_PER_WORKER as f64,
+            matstrat_model::plans::SCHED_CHUNKS_PER_WORKER
+        );
+    }
+
+    #[test]
+    fn chunk_scales_with_granules_per_worker() {
+        // Few granules: chunk clamps to one granule.
+        assert_eq!(FragmentPipeline::new(10 * 32, 32, 4).chunk_granules(), 1);
+        // Many granules: ~CHUNKS_PER_WORKER claims per worker.
+        let p = FragmentPipeline::new(1280 * 32, 32, 4);
+        assert_eq!(p.chunk_granules(), 1280 / (4 * CHUNKS_PER_WORKER));
+    }
+
+    #[test]
+    fn run_returns_fragments_in_global_granule_order() {
         let meter = IoMeter::new();
         let p = FragmentPipeline::new(1000, 10, 8);
-        let frags = p.run(&meter, |span| Ok(span.start)).unwrap();
-        let starts: Vec<u64> = p.spans().iter().map(|s| s.start).collect();
-        assert_eq!(frags, starts, "fragments arrive in span order");
-    }
-
-    #[test]
-    fn run_serial_uses_calling_thread() {
-        let meter = IoMeter::new();
-        let p = FragmentPipeline::new(100, 64 * 1024, 8);
-        assert_eq!(p.workers(), 1);
-        let caller = std::thread::current().id();
-        let frags = p.run(&meter, |_| Ok(std::thread::current().id())).unwrap();
-        assert_eq!(frags, vec![caller]);
-    }
-
-    #[test]
-    fn run_multi_span_runs_first_span_on_caller() {
-        let meter = IoMeter::new();
-        let p = FragmentPipeline::new(400, 100, 4);
-        let caller = std::thread::current().id();
-        let ids = p.run(&meter, |_| Ok(std::thread::current().id())).unwrap();
-        assert_eq!(ids.len(), 4);
-        assert_eq!(ids[0], caller, "first span belongs to the caller");
-        for id in &ids[1..] {
-            assert_ne!(*id, caller, "remaining spans run on workers");
+        let frags = p.run(&meter, Ok).unwrap();
+        // Fragments partition [0, 1000) in ascending position order,
+        // chunked on the granule grid — regardless of who ran them.
+        assert_eq!(frags.first().map(|s| s.start), Some(0));
+        assert_eq!(frags.last().map(|s| s.end), Some(1000));
+        for w in frags.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "contiguous in position order");
+            assert_eq!(w[1].start % 10, 0, "granule aligned");
         }
     }
 
     #[test]
-    fn run_propagates_first_error() {
+    fn run_serial_uses_calling_thread_and_never_steals() {
+        let meter = IoMeter::new();
+        let p = FragmentPipeline::new(100, 64 * 1024, 8);
+        assert_eq!(p.workers(), 1);
+        let caller = std::thread::current().id();
+        let (frags, steals) = p
+            .run_counted(&meter, |_| Ok(std::thread::current().id()))
+            .unwrap();
+        assert_eq!(frags, vec![caller]);
+        assert_eq!(steals, 0);
+    }
+
+    #[test]
+    fn run_multi_span_uses_worker_threads() {
+        let meter = IoMeter::new();
+        let p = FragmentPipeline::new(400, 100, 4);
+        let caller = std::thread::current().id();
+        let done = AtomicUsize::new(0);
+        // Park granule 0's runner until the rest ran. If the caller
+        // parks, the other three granules ran on worker threads; if a
+        // worker parks (it stole granule 0 first), that worker is the
+        // non-caller participant. Either way ≥ 1 granule provably ran
+        // off the calling thread.
+        let ids = p
+            .run(&meter, |span| {
+                if span.start == 0 {
+                    while done.load(Ordering::SeqCst) < 3 {
+                        std::thread::yield_now();
+                    }
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                Ok(std::thread::current().id())
+            })
+            .unwrap();
+        assert_eq!(ids.len(), 4);
+        assert!(
+            ids.iter().any(|id| *id != caller),
+            "worker threads participated"
+        );
+    }
+
+    #[test]
+    fn idle_workers_steal_from_a_loaded_span() {
+        // Two workers, two granules each, chunk = 1. The task for
+        // granule 0 blocks until three other granules completed: worker
+        // 0 claims granule 0 (its own head — heads are never stolen) and
+        // parks in it, so granule 1 can only ever be executed by worker
+        // 1 stealing it from worker 0's tail. Deterministic: worker 1
+        // exits only when every span queue is empty, and worker 0's
+        // queue still holds granule 1 while worker 0 is parked.
+        let meter = IoMeter::new();
+        let p = FragmentPipeline::new(4 * 64, 64, 2);
+        assert_eq!(p.chunk_granules(), 1);
+        let done = AtomicUsize::new(0);
+        let (frags, steals) = p
+            .run_counted(&meter, |span| {
+                if span.start == 0 {
+                    while done.load(Ordering::SeqCst) < 3 {
+                        std::thread::yield_now();
+                    }
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                Ok(span.start)
+            })
+            .unwrap();
+        assert_eq!(frags, vec![0, 64, 128, 192], "global granule order");
+        assert!(steals >= 1, "granule 64 must have been stolen");
+    }
+
+    #[test]
+    fn stolen_results_merge_in_granule_order() {
+        // Same gating trick at a larger scale: worker 0 parks on its
+        // first granule until everything else ran (mostly via steals),
+        // and the merged output must still be the serial layout.
+        let meter = IoMeter::new();
+        let p = FragmentPipeline::new(64 * 16, 16, 4);
+        let total_granules = 64usize;
+        let done = AtomicUsize::new(0);
+        let (frags, steals) = p
+            .run_counted(&meter, |span| {
+                if span.start == 0 {
+                    while done.load(Ordering::SeqCst) < total_granules - 1 {
+                        std::thread::yield_now();
+                    }
+                }
+                done.fetch_add(1, Ordering::SeqCst);
+                Ok(span)
+            })
+            .unwrap();
+        let rejoined: Vec<u64> = frags.iter().map(|s| s.start).collect();
+        let mut expect = rejoined.clone();
+        expect.sort_unstable();
+        assert_eq!(rejoined, expect, "fragments in ascending position order");
+        assert_eq!(frags.iter().map(|s| s.len()).sum::<u64>(), 64 * 16);
+        assert!(steals >= 1, "worker 0's span tail must have been stolen");
+    }
+
+    #[test]
+    fn run_propagates_first_error_in_granule_order() {
         let meter = IoMeter::new();
         let p = FragmentPipeline::new(400, 100, 4);
         let calls = AtomicUsize::new(0);
         let err = p
             .run(&meter, |span| {
                 calls.fetch_add(1, Ordering::SeqCst);
-                if span.start == 100 {
-                    Err(matstrat_common::Error::invalid("boom"))
+                if span.start >= 100 {
+                    Err(matstrat_common::Error::invalid(format!(
+                        "boom@{}",
+                        span.start
+                    )))
                 } else {
                     Ok(())
                 }
             })
             .unwrap_err();
-        assert!(err.to_string().contains("boom"));
-        assert_eq!(calls.load(Ordering::SeqCst), 4, "all spans still ran");
+        assert!(
+            err.to_string().contains("boom@100"),
+            "first error in granule order wins: {err}"
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 4, "all granules still ran");
     }
 
     #[test]

@@ -89,22 +89,33 @@ impl Planner {
     }
 
     /// Pick an inner-table representation for `spec`, priced at the
-    /// worker count the join executor will actually use: the probe side
-    /// spans the **left** table's granules, so the pipeline's skew guard
-    /// is applied to the left row count, probe CPU divides by that
-    /// effective count, and the serial build plus shared I/O do not.
+    /// worker counts the join executor will actually use: the probe side
+    /// spans the **left** table's granules and the partitioned build
+    /// spans the **right** table's, so the pipeline's skew guard is
+    /// applied to each row count separately — probe CPU divides by the
+    /// probe's effective count, build CPU by the build's, and the shared
+    /// I/O by neither. The partitioning pass and the work-stealing
+    /// scheduler's bookkeeping are priced on top
+    /// (`CostModel::hash_join_parallel`).
     pub fn choose_join(&self, store: &Store, spec: &JoinSpec) -> Result<JoinChoice> {
         let params = self.join_params(store, spec)?;
         let left_rows = store.projection(spec.left)?.num_rows;
-        let effective =
+        let right_rows = store.projection(spec.right)?.num_rows;
+        let probe_workers =
             FragmentPipeline::effective_workers(left_rows, crate::GRANULE, self.parallelism);
+        let build_workers =
+            FragmentPipeline::effective_workers(right_rows, crate::GRANULE, self.parallelism);
         let alternatives: Vec<(InnerStrategy, CostBreakdown)> = InnerStrategy::ALL
             .iter()
             .map(|&s| {
                 (
                     s,
-                    self.model
-                        .hash_join_parallel(&params, s.plan_kind(), effective),
+                    self.model.hash_join_parallel(
+                        &params,
+                        s.plan_kind(),
+                        build_workers,
+                        probe_workers,
+                    ),
                 )
             })
             .collect();
@@ -112,11 +123,13 @@ impl Planner {
             .iter()
             .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
             .expect("three join plans always estimable");
-        let workers = if effective > 1 {
-            format!(", {effective} probe workers")
-        } else {
-            String::new()
-        };
+        let mut workers = String::new();
+        if probe_workers > 1 {
+            workers.push_str(&format!(", {probe_workers} probe workers"));
+        }
+        if build_workers > 1 {
+            workers.push_str(&format!(", {build_workers} build workers"));
+        }
         Ok(JoinChoice {
             inner,
             estimate,
@@ -518,9 +531,13 @@ mod tests {
         let c1 = serial.choose(&store, &q).unwrap();
         let c4 = four.choose(&store, &q).unwrap();
         assert!(c4.reason.contains("4 workers"), "{}", c4.reason);
+        let overhead = four.model().steal_overhead(4);
         for ((s1, e1), (s4, e4)) in c1.alternatives.iter().zip(&c4.alternatives) {
             assert_eq!(s1, s4);
-            assert!((e4.cpu_us - e1.cpu_us / 4.0).abs() < 1e-9, "{s1:?}");
+            assert!(
+                (e4.cpu_us - (e1.cpu_us / 4.0 + overhead)).abs() < 1e-9,
+                "{s1:?}: CPU divides plus scheduler bookkeeping"
+            );
             assert!((e4.io_us - e1.io_us).abs() < 1e-9, "{s1:?}");
         }
     }
@@ -590,25 +607,84 @@ mod tests {
 
     #[test]
     fn join_planner_divides_probe_cpu_by_effective_workers() {
-        // 4 granules of left rows: an 8-worker planner runs 4 probe
-        // workers (the pipeline skew guard), so probe CPU shrinks while
-        // build CPU and I/O stay serial — the estimate drops but not by a
-        // full 8x.
+        // 4 granules of left rows but a sub-granule right table: an
+        // 8-worker planner runs 4 probe workers and 1 build worker (the
+        // pipeline skew guard per table), so probe CPU shrinks while
+        // build CPU and I/O stay serial — the estimate drops but not by
+        // a full 8x, and no partitioning terms appear.
         let (store, spec) = join_setup(4);
         let serial = Planner::with_parallelism(Constants::host_defaults(), 1);
         let eight = Planner::with_parallelism(Constants::host_defaults(), 8);
         let c1 = serial.choose_join(&store, &spec).unwrap();
         let c8 = eight.choose_join(&store, &spec).unwrap();
         assert!(c8.reason.contains("4 probe workers"), "{}", c8.reason);
+        assert!(!c8.reason.contains("build workers"), "{}", c8.reason);
         let params = serial.join_params(&store, &spec).unwrap();
         let model = serial.model();
         for ((s1, e1), (s8, e8)) in c1.alternatives.iter().zip(&c8.alternatives) {
             assert_eq!(s1, s8);
             let cost = model.hash_join(&params, s1.plan_kind());
-            let expect = cost.build.cpu_us + cost.probe.cpu_us / 4.0;
+            let expect = cost.build.cpu_us + cost.probe.cpu_us / 4.0 + model.steal_overhead(4);
             assert!((e8.cpu_us - expect).abs() < 1e-6, "{s1:?}");
             assert!((e8.io_us - e1.io_us).abs() < 1e-9, "{s1:?}: io shared");
             assert!(e8.cpu_us < e1.cpu_us, "{s1:?}");
+        }
+    }
+
+    #[test]
+    fn join_planner_divides_build_cpu_on_multi_granule_right_tables() {
+        // Both sides span multiple granules: the planner prices the
+        // partitioned build (build CPU / build workers + radix terms)
+        // and the parallel probe independently.
+        let store = Store::in_memory();
+        let n_left = 2 * crate::GRANULE as usize;
+        let n_right = 2 * crate::GRANULE as usize;
+        let lk: Vec<Value> = (0..n_left).map(|i| (i % 1000) as Value).collect();
+        let lv: Vec<Value> = (0..n_left).map(|i| i as Value).collect();
+        let left = store
+            .load_projection(
+                &ProjectionSpec::new("l")
+                    .column("k", EncodingKind::Plain, So::None)
+                    .column("v", EncodingKind::Plain, So::None),
+                &[&lk, &lv],
+            )
+            .unwrap();
+        let rk: Vec<Value> = (0..n_right).map(|i| i as Value).collect();
+        let rv: Vec<Value> = (0..n_right).map(|i| (i % 25) as Value).collect();
+        let right = store
+            .load_projection(
+                &ProjectionSpec::new("r")
+                    .column("k", EncodingKind::Plain, So::Primary)
+                    .column("v", EncodingKind::Plain, So::None),
+                &[&rk, &rv],
+            )
+            .unwrap();
+        let spec = crate::ops::join::JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![1],
+            right_output: vec![1],
+        };
+        let serial = Planner::with_parallelism(Constants::host_defaults(), 1);
+        let two = Planner::with_parallelism(Constants::host_defaults(), 2);
+        let c1 = serial.choose_join(&store, &spec).unwrap();
+        let c2 = two.choose_join(&store, &spec).unwrap();
+        assert!(
+            c2.reason.contains("2 probe workers") && c2.reason.contains("2 build workers"),
+            "{}",
+            c2.reason
+        );
+        let params = serial.join_params(&store, &spec).unwrap();
+        let model = serial.model();
+        for ((s1, e1), (s2, e2)) in c1.alternatives.iter().zip(&c2.alternatives) {
+            assert_eq!(s1, s2);
+            let expect = model.hash_join_parallel(&params, s1.plan_kind(), 2, 2);
+            assert!((e2.cpu_us - expect.cpu_us).abs() < 1e-6, "{s1:?}");
+            assert!((e2.io_us - e1.io_us).abs() < 1e-9, "{s1:?}: io shared");
+            assert!(e2.cpu_us < e1.cpu_us, "{s1:?}: both phases shrink");
         }
     }
 

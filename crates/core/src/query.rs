@@ -196,6 +196,13 @@ pub struct ExecStats {
     pub positions_matched: u64,
     /// Whether a bit-vector decompression fallback was taken.
     pub decompressed_fetch: bool,
+    /// Granule runs the work-stealing scheduler moved between workers:
+    /// claims taken from the tail of another worker's span by a worker
+    /// that had drained its own. Always 0 for a serial run; under
+    /// clustered selectivity and ≥ 2 workers it is the rebalance at
+    /// work. Unlike the other counters it is *not* deterministic — it
+    /// measures scheduling, not semantics.
+    pub steals: u64,
 }
 
 impl ExecStats {
@@ -209,6 +216,7 @@ impl ExecStats {
             rows_out: 0,
             positions_matched: 0,
             decompressed_fetch: false,
+            steals: 0,
         }
     }
 
@@ -231,6 +239,7 @@ impl AddAssign for ExecStats {
         self.rows_out += rhs.rows_out;
         self.positions_matched += rhs.positions_matched;
         self.decompressed_fetch |= rhs.decompressed_fetch;
+        self.steals += rhs.steals;
     }
 }
 
@@ -287,6 +296,7 @@ mod tests {
             rows_out: 0,
             positions_matched: 0,
             decompressed_fetch: false,
+            steals: 0,
         };
         // 10ms wall + (2500 + 2000)us = 14.5ms
         assert!((s.modeled_total_ms(2500.0, 1000.0) - 14.5).abs() < 1e-9);
@@ -304,6 +314,7 @@ mod tests {
             rows_out: matched,
             positions_matched: matched,
             decompressed_fetch: dec,
+            steals: 1,
         };
         let (a, b, c) = (
             frag(5, 2, 10, false),
@@ -329,6 +340,7 @@ mod tests {
             assert_eq!(s.rows_out, 35);
             assert_eq!(s.positions_matched, 35);
             assert!(s.decompressed_fetch);
+            assert_eq!(s.steals, 3, "steal counters sum");
         }
     }
 
@@ -345,6 +357,7 @@ mod tests {
             rows_out: 7,
             positions_matched: 8,
             decompressed_fetch: true,
+            steals: 2,
         };
         z += s.clone();
         assert_eq!(z.wall, s.wall);
@@ -352,5 +365,6 @@ mod tests {
         assert_eq!(z.rows_out, s.rows_out);
         assert_eq!(z.positions_matched, s.positions_matched);
         assert_eq!(z.decompressed_fetch, s.decompressed_fetch);
+        assert_eq!(z.steals, s.steals);
     }
 }

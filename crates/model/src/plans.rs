@@ -16,6 +16,14 @@
 use crate::constants::Constants;
 use crate::ops::{and_cost, ds1, ds2, ds3, ds4, merge_cost, spc, AndInput, ColumnParams};
 
+/// Granule runs each worker claims from the work-stealing scheduler
+/// over a query's lifetime — mirrors the executor's chunking policy
+/// (`FragmentPipeline::CHUNKS_PER_WORKER` in `matstrat-core`; the core
+/// crate asserts the two stay equal). The scheduler's own cost is
+/// `workers × CHUNKS_PER_WORKER` claim/steal bookkeeping operations, one
+/// `FC` each.
+pub const SCHED_CHUNKS_PER_WORKER: f64 = 16.0;
+
 /// Which of the four strategy plans to price.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlanKind {
@@ -322,15 +330,35 @@ impl CostModel {
         }
     }
 
-    /// Price one plan as executed by `workers` granule-parallel threads;
-    /// `None` when the plan is unsupported for the parameters.
+    /// CPU the work-stealing scheduler itself burns at `workers`
+    /// granule-parallel threads: every worker performs about
+    /// [`SCHED_CHUNKS_PER_WORKER`] chunk claims (own-span head claims
+    /// and tail steals cost the same bookkeeping), each one mutex
+    /// round-trip priced at `FC`. Zero for a serial run — a single-span
+    /// plan never enters the scheduler loop.
+    pub fn steal_overhead(&self, workers: usize) -> f64 {
+        if workers <= 1 {
+            0.0
+        } else {
+            workers as f64 * SCHED_CHUNKS_PER_WORKER * self.constants.fc
+        }
+    }
+
+    /// Price one plan as executed by `workers` granule-parallel threads
+    /// under the work-stealing scheduler (CPU divides, I/O does not, and
+    /// the scheduler's claim/steal bookkeeping is added on top); `None`
+    /// when the plan is unsupported for the parameters.
     pub fn estimate_parallel(
         &self,
         kind: PlanKind,
         q: &QueryParams,
         workers: usize,
     ) -> Option<CostBreakdown> {
-        self.estimate(kind, q).map(|c| c.with_workers(workers))
+        self.estimate(kind, q).map(|c| {
+            let mut c = c.with_workers(workers);
+            c.cpu_us += self.steal_overhead(workers);
+            c
+        })
     }
 
     /// The cheapest supported plan — the §6 optimizer decision.
@@ -352,8 +380,9 @@ impl CostModel {
 
     /// Price a hash join under the chosen inner-table representation.
     ///
-    /// * **Build** (serial): read the right key column fully, decode it,
-    ///   and hash every row. `Materialized` additionally decodes every
+    /// * **Build** (span- and column-parallel): read the right key
+    ///   column fully, decode it, and hash every row into the
+    ///   partitioned table. `Materialized` additionally decodes every
     ///   right output column and constructs the full right tuples up
     ///   front; the other representations ship the output columns
     ///   compressed (their blocks are still read at build time — all
@@ -421,23 +450,53 @@ impl CostModel {
         JoinCost { build, probe }
     }
 
-    /// Price a join as executed with `workers` probe threads: the build
-    /// runs serially, the probe CPU divides by the effective worker
-    /// count, I/O is shared.
+    /// Price a join as executed with `build_workers` build threads and
+    /// `probe_workers` probe threads: build CPU divides by the build
+    /// count, probe CPU by the probe count, I/O is shared by all. On top
+    /// of the division the parallel machinery itself is priced:
+    ///
+    /// * **Radix partitioning** (`build_workers > 1`) — the partitioned
+    ///   build hashes and scatters every right row once more than the
+    ///   serial insertion loop does (`FC` each, parallel across build
+    ///   workers), and every surviving probe pays one extra partition
+    ///   hash (`FC`, parallel across probe workers).
+    /// * **Scheduler bookkeeping** — each parallel phase pays the
+    ///   work-stealing claim overhead ([`Self::steal_overhead`]).
     pub fn hash_join_parallel(
         &self,
         q: &JoinParams,
         kind: JoinInnerKind,
-        workers: usize,
+        build_workers: usize,
+        probe_workers: usize,
     ) -> CostBreakdown {
-        self.hash_join(q, kind).with_workers(workers)
+        let c = &self.constants;
+        let mut cost = self
+            .hash_join(q, kind)
+            .with_workers(build_workers, probe_workers);
+        if build_workers > 1 {
+            cost.cpu_us += q.right_rows() * c.fc / build_workers as f64;
+            cost.cpu_us += q.left_rows() * q.sf * c.fc / probe_workers.max(1) as f64;
+        }
+        cost.cpu_us += self.steal_overhead(build_workers) + self.steal_overhead(probe_workers);
+        cost
     }
 
-    /// The cheapest inner-table representation at the given worker count.
-    pub fn best_join_plan(&self, q: &JoinParams, workers: usize) -> (JoinInnerKind, CostBreakdown) {
+    /// The cheapest inner-table representation at the given worker
+    /// counts.
+    pub fn best_join_plan(
+        &self,
+        q: &JoinParams,
+        build_workers: usize,
+        probe_workers: usize,
+    ) -> (JoinInnerKind, CostBreakdown) {
         JoinInnerKind::ALL
             .iter()
-            .map(|&k| (k, self.hash_join_parallel(q, k, workers)))
+            .map(|&k| {
+                (
+                    k,
+                    self.hash_join_parallel(q, k, build_workers, probe_workers),
+                )
+            })
             .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
             .expect("three plans are always estimable")
     }
@@ -552,25 +611,31 @@ impl JoinParams {
     }
 }
 
-/// CPU/IO split of a join estimate, separating the serial build from the
-/// span-parallel probe so parallelism can be priced honestly: probe CPU
-/// divides across workers, build CPU and all I/O do not.
+/// CPU/IO split of a join estimate, separating the build from the probe
+/// so parallelism can be priced honestly: the two phases run on
+/// different tables (right vs left), so each divides by its *own*
+/// effective worker count, and the shared I/O divides by neither.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct JoinCost {
-    /// The serial build phase (hash table + right representations).
+    /// The build phase (partitioned hash table + right representations),
+    /// span-parallel over the right table.
     pub build: CostBreakdown,
-    /// The span-parallel probe phase.
+    /// The probe phase, span-parallel over the left table.
     pub probe: CostBreakdown,
 }
 
 impl JoinCost {
-    /// Collapse to one estimate at `workers` probe threads: the probe CPU
-    /// divides by the worker count the executor will actually use, build
-    /// CPU stays serial, and the shared cold-I/O terms are unchanged (the
-    /// workers share one disk arm and one buffer pool).
-    pub fn with_workers(self, workers: usize) -> CostBreakdown {
+    /// Collapse to one estimate: build CPU divides by the worker count
+    /// the partitioned build will actually use (the skew guard applied
+    /// to the *right* table), probe CPU by the probe's (the guard on the
+    /// *left* table), and the shared cold-I/O terms are unchanged (the
+    /// workers share one disk arm and one buffer pool). Raw division
+    /// only — [`CostModel::hash_join_parallel`] layers the partitioning
+    /// and scheduler overheads on top.
+    pub fn with_workers(self, build_workers: usize, probe_workers: usize) -> CostBreakdown {
         CostBreakdown {
-            cpu_us: self.build.cpu_us + self.probe.cpu_us / workers.max(1) as f64,
+            cpu_us: self.build.cpu_us / build_workers.max(1) as f64
+                + self.probe.cpu_us / probe_workers.max(1) as f64,
             io_us: self.build.io_us + self.probe.io_us,
         }
     }
@@ -746,16 +811,37 @@ mod tests {
                 (Some(s), Some(p)) => (s, p),
                 _ => continue,
             };
-            assert!((four.cpu_us - serial.cpu_us / 4.0).abs() < 1e-9, "{kind:?}");
+            // CPU divides, plus the scheduler's claim/steal bookkeeping.
+            let expect = serial.cpu_us / 4.0 + m.steal_overhead(4);
+            assert!((four.cpu_us - expect).abs() < 1e-9, "{kind:?}");
             assert!(
                 (four.io_us - serial.io_us).abs() < 1e-9,
                 "{kind:?}: io is shared"
             );
         }
-        // Degenerate worker counts clamp to serial.
+        // Degenerate worker counts clamp to serial, with no scheduler
+        // overhead (a single-span plan never enters the steal loop).
+        assert_eq!(m.steal_overhead(0), 0.0);
+        assert_eq!(m.steal_overhead(1), 0.0);
         let s = m.em_parallel(&q);
         assert_eq!(s.with_workers(0).total_us(), s.total_us());
         assert_eq!(s.with_workers(1).total_us(), s.total_us());
+        assert_eq!(
+            m.estimate_parallel(PlanKind::EmParallel, &q, 1)
+                .unwrap()
+                .total_us(),
+            s.total_us()
+        );
+    }
+
+    #[test]
+    fn steal_overhead_is_small_but_priced() {
+        let m = model();
+        // workers × CHUNKS_PER_WORKER × FC, microseconds.
+        let c = m.constants();
+        assert!((m.steal_overhead(8) - 8.0 * SCHED_CHUNKS_PER_WORKER * c.fc).abs() < 1e-12);
+        // Monotone in workers — more claimants, more bookkeeping.
+        assert!(m.steal_overhead(8) > m.steal_overhead(2));
     }
 
     #[test]
@@ -819,22 +905,62 @@ mod tests {
     }
 
     #[test]
-    fn join_workers_divide_probe_cpu_only() {
+    fn join_workers_divide_each_phase_cpu_only() {
         let m = model();
         let q = join_params(0.5);
         for kind in JoinInnerKind::ALL {
             let cost = m.hash_join(&q, kind);
-            let serial = cost.with_workers(1);
-            let four = cost.with_workers(4);
-            // Probe CPU divides; build CPU and all I/O stay put.
+            let serial = cost.with_workers(1, 1);
+            // Probe workers alone: probe CPU divides, build CPU and all
+            // I/O stay put.
+            let probe4 = cost.with_workers(1, 4);
             let expect_cpu = cost.build.cpu_us + cost.probe.cpu_us / 4.0;
-            assert!((four.cpu_us - expect_cpu).abs() < 1e-9, "{kind:?}");
-            assert!((four.io_us - serial.io_us).abs() < 1e-9, "{kind:?}");
-            assert!(four.cpu_us < serial.cpu_us, "{kind:?}");
+            assert!((probe4.cpu_us - expect_cpu).abs() < 1e-9, "{kind:?}");
+            assert!((probe4.io_us - serial.io_us).abs() < 1e-9, "{kind:?}");
+            // Build workers divide the build phase independently.
+            let both4 = cost.with_workers(4, 4);
+            let expect_cpu = cost.build.cpu_us / 4.0 + cost.probe.cpu_us / 4.0;
+            assert!((both4.cpu_us - expect_cpu).abs() < 1e-9, "{kind:?}");
+            assert!((both4.io_us - serial.io_us).abs() < 1e-9, "{kind:?}");
+            assert!(both4.cpu_us < probe4.cpu_us && probe4.cpu_us < serial.cpu_us);
             // Degenerate worker counts clamp to serial.
-            assert_eq!(cost.with_workers(0).total_us(), serial.total_us());
+            assert_eq!(cost.with_workers(0, 0).total_us(), serial.total_us());
             // Serial collapse equals the two-phase total.
             assert!((serial.total_us() - cost.total_us()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn parallel_join_prices_partitioning_and_steal_overhead() {
+        let m = model();
+        let q = join_params(0.5);
+        let c = *m.constants();
+        for kind in JoinInnerKind::ALL {
+            let cost = m.hash_join(&q, kind);
+            // Serial worker counts collapse to the raw estimate: no
+            // partitioning, no scheduler.
+            let serial = m.hash_join_parallel(&q, kind, 1, 1);
+            assert!(
+                (serial.total_us() - cost.total_us()).abs() < 1e-9,
+                "{kind:?}"
+            );
+            // Parallel build pays the radix scatter (right rows) and the
+            // per-probe partition hash (surviving left rows), both
+            // divided by their phase's workers, plus two scheduler
+            // overheads.
+            let par = m.hash_join_parallel(&q, kind, 4, 8);
+            let expect = cost.build.cpu_us / 4.0
+                + cost.probe.cpu_us / 8.0
+                + q.right_rows() * c.fc / 4.0
+                + q.left_rows() * q.sf * c.fc / 8.0
+                + m.steal_overhead(4)
+                + m.steal_overhead(8);
+            assert!((par.cpu_us - expect).abs() < 1e-6, "{kind:?}");
+            // Probe-only parallelism keeps the build unpartitioned: no
+            // radix terms, one scheduler.
+            let probe_only = m.hash_join_parallel(&q, kind, 1, 8);
+            let expect = cost.build.cpu_us + cost.probe.cpu_us / 8.0 + m.steal_overhead(8);
+            assert!((probe_only.cpu_us - expect).abs() < 1e-6, "{kind:?}");
         }
     }
 
@@ -843,8 +969,8 @@ mod tests {
         let m = model();
         for sf in [0.1, 0.5, 1.0] {
             let q = join_params(sf);
-            let (_, serial) = m.best_join_plan(&q, 1);
-            let (_, eight) = m.best_join_plan(&q, 8);
+            let (_, serial) = m.best_join_plan(&q, 1, 1);
+            let (_, eight) = m.best_join_plan(&q, 8, 8);
             assert!(eight.total_us() <= serial.total_us() + 1e-9, "sf={sf}");
         }
     }

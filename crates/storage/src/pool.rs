@@ -74,6 +74,12 @@ pub struct PoolStats {
     pub misses: u64,
     /// Blocks evicted to make room.
     pub evictions: u64,
+    /// Stripe count of the pool this snapshot came from. Not a counter:
+    /// it lets stats consumers (the nightly soak, `Database`'s
+    /// undersharding check) see when a pool is striped more coarsely
+    /// than the worker knob asks for — the stripe count is frozen at
+    /// store construction, so a later `set_parallelism` cannot grow it.
+    pub shards: u64,
 }
 
 impl PoolStats {
@@ -93,6 +99,8 @@ impl std::ops::AddAssign for PoolStats {
         self.hits += rhs.hits;
         self.misses += rhs.misses;
         self.evictions += rhs.evictions;
+        // Not a counter: merged snapshots describe the widest pool seen.
+        self.shards = self.shards.max(rhs.shards);
     }
 }
 
@@ -315,11 +323,13 @@ impl BufferPool {
 
     /// Counter snapshot, summed over shards — exact: every lookup lands
     /// in exactly one shard and counts exactly one hit or miss there.
+    /// The snapshot also reports the pool's stripe count (`shards`).
     pub fn stats(&self) -> PoolStats {
         let mut total = PoolStats::default();
         for s in &self.shards {
             total += s.inner.lock().stats;
         }
+        total.shards = self.shards.len() as u64;
         total
     }
 
@@ -413,13 +423,25 @@ mod tests {
     }
 
     #[test]
-    fn clear_resets_everything() {
+    fn clear_resets_counters_but_not_the_stripe_count() {
         let pool = BufferPool::new(4);
         pool.insert(key(0), block(0));
         pool.get(&key(0));
         pool.clear();
         assert!(pool.is_empty());
-        assert_eq!(pool.stats(), PoolStats::default());
+        let s = pool.stats();
+        assert_eq!((s.hits, s.misses, s.evictions), (0, 0, 0));
+        assert_eq!(s.shards, pool.num_shards() as u64, "structure survives");
+    }
+
+    #[test]
+    fn stats_report_stripe_count() {
+        assert_eq!(BufferPool::with_shards(16, 4).stats().shards, 4);
+        assert_eq!(BufferPool::with_shards(16, 1).stats().shards, 1);
+        // Merged snapshots keep the widest pool seen, not a sum.
+        let mut merged = BufferPool::with_shards(16, 4).stats();
+        merged += BufferPool::with_shards(16, 2).stats();
+        assert_eq!(merged.shards, 4);
     }
 
     #[test]

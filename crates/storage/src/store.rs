@@ -158,48 +158,13 @@ impl Store {
                 file,
             })
         };
-        let workers = workers.min(spec.columns.len()).max(1);
-        let infos: Vec<ColumnInfo> = if workers <= 1 || spec.columns.len() <= 1 {
-            (0..spec.columns.len())
-                .map(encode_one)
-                .collect::<Result<_>>()?
-        } else {
-            // Scoped workers claim column indices from a shared counter
-            // (columns vary wildly in encoding cost, so striding would
-            // skew); results are reordered by index afterwards, so the
-            // catalog entry is identical to a serial load.
-            use std::sync::atomic::{AtomicUsize, Ordering};
-            let next = AtomicUsize::new(0);
-            let per_worker: Vec<Vec<(usize, Result<ColumnInfo>)>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|_| {
-                        scope.spawn(|| {
-                            let mut mine = Vec::new();
-                            loop {
-                                let ci = next.fetch_add(1, Ordering::Relaxed);
-                                if ci >= spec.columns.len() {
-                                    break mine;
-                                }
-                                mine.push((ci, encode_one(ci)));
-                            }
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(matstrat_common::join_unwinding)
-                    .collect()
-            });
-            let mut slots: Vec<Option<Result<ColumnInfo>>> = Vec::new();
-            slots.resize_with(spec.columns.len(), || None);
-            for (ci, out) in per_worker.into_iter().flatten() {
-                slots[ci] = Some(out);
-            }
-            slots
-                .into_iter()
-                .map(|s| s.expect("every column claimed exactly once"))
-                .collect::<Result<_>>()?
-        };
+        // Scoped workers claim column indices from a shared counter
+        // (columns vary wildly in encoding cost, so striding would
+        // skew); results are reordered by index afterwards, so the
+        // catalog entry is identical to a serial load. Encoding only
+        // *writes* — there is no per-thread meter state to clean up.
+        let infos: Vec<ColumnInfo> =
+            matstrat_common::par_map_indexed(spec.columns.len(), workers, encode_one, || {})?;
         let id = self
             .inner
             .catalog

@@ -69,14 +69,22 @@ fn cold_run(
         ..ExecOptions::default()
     };
     match db.run_with_options(q, s, &opts) {
-        Ok((r, stats)) => Some((
-            r.flat().to_vec(),
-            r.column_names.clone(),
-            stats.positions_matched,
-            stats.rows_out,
-            stats.io.block_reads,
-            stats.decompressed_fetch,
-        )),
+        Ok((r, stats)) => {
+            if threads == 1 {
+                // The steal counter is scheduling, not semantics, so it
+                // is not part of the differential tuple — but a serial
+                // run must never report one.
+                assert_eq!(stats.steals, 0, "{s}: serial runs cannot steal");
+            }
+            Some((
+                r.flat().to_vec(),
+                r.column_names.clone(),
+                stats.positions_matched,
+                stats.rows_out,
+                stats.io.block_reads,
+                stats.decompressed_fetch,
+            ))
+        }
         Err(Error::Unsupported(_)) => None,
         Err(e) => panic!("{s} threads={threads}: {e}"),
     }

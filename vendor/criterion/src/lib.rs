@@ -7,8 +7,20 @@
 //! spread of its per-iteration wall time as plain text. There are no
 //! statistical regressions, plots, or baselines — run the real criterion
 //! for those; run this to compare strategies on one machine in one sitting.
+//!
+//! Two extras support the CI perf trajectory:
+//!
+//! * **`--quick`** (after `cargo bench ... --`) shrinks every
+//!   benchmark's budget to a smoke-test size — upstream criterion's
+//!   quick mode — so a full bench binary finishes in seconds. The
+//!   numbers are noisier; they seed a trajectory, they do not settle
+//!   arguments.
+//! * **`BENCH_JSON=<path>`** writes the collected `(id, median, low,
+//!   high)` tuples as a small JSON document when the binary exits, for
+//!   CI to upload as an artifact and later jobs to diff.
 
 use std::fmt;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier — prevents the optimiser from deleting the work.
@@ -193,6 +205,23 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
+/// One finished benchmark, kept for the optional JSON report.
+struct Recorded {
+    id: String,
+    median_ns: f64,
+    low_ns: f64,
+    high_ns: f64,
+}
+
+static RESULTS: Mutex<Vec<Recorded>> = Mutex::new(Vec::new());
+
+/// Whether `--quick` was passed to the bench binary (cached; cargo
+/// forwards everything after `--` to the binary).
+fn quick_mode() -> bool {
+    static QUICK: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *QUICK.get_or_init(|| std::env::args().any(|a| a == "--quick"))
+}
+
 fn run_one(c: &Criterion, id: &str, mut f: impl FnMut(&mut Bencher)) {
     let mut b = Bencher {
         samples: Vec::new(),
@@ -200,6 +229,11 @@ fn run_one(c: &Criterion, id: &str, mut f: impl FnMut(&mut Bencher)) {
         measurement_time: c.measurement_time,
         warm_up_time: c.warm_up_time,
     };
+    if quick_mode() {
+        b.sample_size = b.sample_size.clamp(2, 5);
+        b.measurement_time = b.measurement_time.min(Duration::from_millis(250));
+        b.warm_up_time = b.warm_up_time.min(Duration::from_millis(50));
+    }
     f(&mut b);
     if b.samples.is_empty() {
         eprintln!("{id:<56} (no samples)");
@@ -215,6 +249,55 @@ fn run_one(c: &Criterion, id: &str, mut f: impl FnMut(&mut Bencher)) {
         fmt_duration(lo),
         fmt_duration(hi)
     );
+    RESULTS.lock().expect("results poisoned").push(Recorded {
+        id: id.to_string(),
+        median_ns: median.as_nanos() as f64,
+        low_ns: lo.as_nanos() as f64,
+        high_ns: hi.as_nanos() as f64,
+    });
+}
+
+/// Minimal JSON string escaping (bench ids are plain ASCII, but be
+/// correct anyway).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write the collected results as JSON to the `BENCH_JSON` path, if the
+/// variable is set. Called by [`criterion_main!`]'s generated `main`
+/// after every group ran; a no-op otherwise.
+pub fn finalize() {
+    let Some(path) = std::env::var_os("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results poisoned");
+    let mut doc = String::from("{\n");
+    doc.push_str(&format!("  \"quick\": {},\n", quick_mode()));
+    doc.push_str("  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\"id\": \"{}\", \"median_ns\": {:.1}, \"low_ns\": {:.1}, \"high_ns\": {:.1}}}{}\n",
+            json_escape(&r.id),
+            r.median_ns,
+            r.low_ns,
+            r.high_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    match std::fs::write(&path, doc) {
+        Ok(()) => eprintln!("\nwrote {} benchmark(s) to {:?}", results.len(), path),
+        Err(e) => eprintln!("\nfailed to write BENCH_JSON {path:?}: {e}"),
+    }
 }
 
 /// Declare a group of benchmark functions, optionally with a config.
@@ -240,8 +323,10 @@ macro_rules! criterion_group {
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench`/`cargo test` pass harness flags; none apply here.
+            // `cargo bench`/`cargo test` pass harness flags; only
+            // `--quick` applies here (read lazily by the runner).
             $($group();)+
+            $crate::finalize();
         }
     };
 }
