@@ -1,0 +1,165 @@
+//! Multi-way join-tree benchmarks: edge-count × thread matrix over the
+//! TPC-H-style star/snowflake (orders ⋈ customer ⋈ date, customer ⋈
+//! nation), plus the planner's auto path and the build-reuse win.
+//!
+//! The serial CI leg runs this in `--quick` mode with
+//! `BENCH_JSON=BENCH_join_tree.json`, archiving the medians as a perf
+//! trend artifact next to the scan and single-join numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use matstrat_common::Predicate;
+use matstrat_core::{ExecOptions, InnerStrategy, JoinSpec, JoinTreePlan, JoinTreeSpec};
+use matstrat_tpch::join_tables::{customer_cols, date_cols, nation_cols, orders_cols};
+
+use matstrat_bench::Harness;
+
+/// Up to three edges: customer (filtered star), date (star), nation
+/// (snowflake through customer).
+fn tree_spec(h: &Harness, edges: usize) -> JoinTreeSpec {
+    let x = h.join.custkey_cutoff(0.5);
+    let mut spec = vec![JoinSpec {
+        left: h.orders,
+        right: h.customer,
+        left_key: orders_cols::CUSTKEY,
+        right_key: customer_cols::CUSTKEY,
+        left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+        left_output: vec![orders_cols::SHIPDATE],
+        right_output: vec![customer_cols::NATIONCODE],
+    }];
+    if edges >= 2 {
+        spec.push(JoinSpec {
+            left: h.orders,
+            right: h.date,
+            left_key: orders_cols::ORDERDATE,
+            right_key: date_cols::DATEKEY,
+            left_filter: None,
+            left_output: vec![],
+            right_output: vec![date_cols::MONTH],
+        });
+    }
+    if edges >= 3 {
+        spec.push(JoinSpec {
+            left: h.customer,
+            right: h.nation,
+            left_key: customer_cols::NATIONCODE,
+            right_key: nation_cols::NATIONKEY,
+            left_filter: None,
+            left_output: vec![],
+            right_output: vec![nation_cols::REGIONKEY],
+        });
+    }
+    JoinTreeSpec::new(spec)
+}
+
+/// Edge-count × thread matrix on a warm pool: the tree executor's
+/// scaling surface. Results are byte-identical across each row — only
+/// wall time moves.
+fn bench_tree_matrix(c: &mut Criterion) {
+    let h = Harness::new(0.05).expect("harness"); // 75 K orders
+    let mut g = c.benchmark_group("join_tree");
+    for edges in [1usize, 2, 3] {
+        let spec = tree_spec(&h, edges);
+        let plan = JoinTreePlan::in_spec_order(vec![InnerStrategy::MultiColumn; edges]);
+        for threads in [1usize, 2, 4, 8] {
+            let opts = ExecOptions {
+                granule: 8 * 1024,
+                parallelism: threads,
+                ..ExecOptions::default()
+            };
+            g.bench_with_input(
+                BenchmarkId::new(format!("edges={edges}"), format!("threads={threads}")),
+                &spec,
+                |b, spec| {
+                    b.iter(|| {
+                        black_box(h.db.run_join_tree_with_options(spec, &plan, &opts).unwrap())
+                            .0
+                            .num_rows()
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// The planner's full auto path (order + per-edge strategy enumeration
+/// + execution) vs a fixed spec-order MultiColumn plan.
+fn bench_tree_auto(c: &mut Criterion) {
+    let h = Harness::new(0.05).expect("harness");
+    let spec = tree_spec(&h, 3);
+    let mut g = c.benchmark_group("join_tree_auto");
+    g.bench_function("plan_only", |b| {
+        b.iter(|| {
+            black_box(h.db.plan_join_tree(&spec).unwrap())
+                .estimate
+                .total_us()
+        })
+    });
+    g.bench_function("auto", |b| {
+        b.iter(|| {
+            black_box(h.db.run_join_tree_auto(&spec).unwrap())
+                .1
+                .num_rows()
+        })
+    });
+    g.finish();
+}
+
+/// Build-table reuse: the same date dimension probed on two columns,
+/// with the partitioned build cached vs rebuilt per edge.
+fn bench_build_reuse(c: &mut Criterion) {
+    let h = Harness::new(0.05).expect("harness");
+    let spec = JoinTreeSpec::new(vec![
+        JoinSpec {
+            left: h.orders,
+            right: h.date,
+            left_key: orders_cols::ORDERDATE,
+            right_key: date_cols::DATEKEY,
+            left_filter: None,
+            left_output: vec![orders_cols::SHIPDATE],
+            right_output: vec![date_cols::MONTH],
+        },
+        JoinSpec {
+            left: h.orders,
+            right: h.date,
+            left_key: orders_cols::SHIPDATE,
+            right_key: date_cols::DATEKEY,
+            left_filter: None,
+            left_output: vec![],
+            right_output: vec![date_cols::MONTH],
+        },
+    ]);
+    let mut g = c.benchmark_group("join_tree_build_reuse");
+    for (label, reuse) in [("reuse", true), ("rebuild", false)] {
+        let plan = JoinTreePlan {
+            order: vec![0, 1],
+            inners: vec![InnerStrategy::MultiColumn; 2],
+            reuse_builds: reuse,
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                black_box(
+                    h.db.run_join_tree_with_options(&spec, &plan, &ExecOptions::default())
+                        .unwrap(),
+                )
+                .0
+                .num_rows()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_tree_matrix, bench_tree_auto, bench_build_reuse
+}
+criterion_main!(benches);

@@ -73,6 +73,10 @@ pub struct Harness {
     pub orders: TableId,
     /// customer table id.
     pub customer: TableId,
+    /// nation dimension table id (snowflake behind customer).
+    pub nation: TableId,
+    /// date dimension table id (star on orderdate).
+    pub date: TableId,
     /// Model constants: paper disk numbers + host-calibrated CPU numbers.
     pub constants: Constants,
 }
@@ -95,6 +99,8 @@ impl Harness {
         let join = JoinTables::generate(cfg);
         let orders = join.load_orders(&db, "orders")?;
         let customer = join.load_customer(&db, "customer")?;
+        let nation = join.load_nation(&db, "nation")?;
+        let date = join.load_date(&db, "date")?;
         let constants = calibrate::calibrate(Constants::host_defaults());
         Ok(Harness {
             db,
@@ -103,6 +109,8 @@ impl Harness {
             join,
             orders,
             customer,
+            nation,
+            date,
             constants,
         })
     }

@@ -8,8 +8,9 @@ use matstrat_storage::{ProjectionSpec, Store};
 
 use crate::exec::{default_parallelism, execute_with_options, ExecOptions};
 use crate::ops::join::{hash_join_with_options, InnerStrategy, JoinSpec};
-use crate::planner::{JoinChoice, PlanChoice, Planner};
-use crate::query::{ExecStats, QueryResult, QuerySpec};
+use crate::ops::join_tree::{hash_join_tree_with_options, JoinTreePlan};
+use crate::planner::{JoinChoice, JoinTreeChoice, PlanChoice, Planner};
+use crate::query::{ExecStats, JoinTreeSpec, JoinTreeStats, QueryResult, QuerySpec};
 use crate::strategy::Strategy;
 
 /// A column-store database with pluggable materialization strategies.
@@ -73,40 +74,47 @@ impl Database {
     /// to ≥ 1) and re-price the planner accordingly. Results are
     /// identical at any setting; only wall time changes.
     ///
-    /// The buffer pool's shard count is fixed at store construction from
-    /// `MATSTRAT_POOL_SHARDS` (defaulting to the `MATSTRAT_THREADS`
-    /// worker default) and is *not* re-derived here: raising the worker
-    /// count programmatically on a pool built serial leaves one LRU
-    /// stripe. Rather than re-stripe silently (or not at all), the
-    /// mismatch is surfaced: a warning is logged once per
-    /// `set_parallelism` call that outgrows the stripe count, and
-    /// [`Database::pool_undersharded`] / [`PoolStats::shards`] report it
-    /// programmatically so soak harnesses can assert on it. For high
-    /// worker counts set `MATSTRAT_POOL_SHARDS` (or `MATSTRAT_THREADS`)
-    /// before creating the store; results are identical either way, only
-    /// lock contention differs.
+    /// When the new worker count outgrows the buffer pool's stripe
+    /// count (chosen at store construction from `MATSTRAT_POOL_SHARDS`,
+    /// defaulting to the `MATSTRAT_THREADS` worker default), the pool is
+    /// **re-sharded in place** to match: cached entries rehash into the
+    /// wider striping and the summed [`PoolStats`] counters are
+    /// preserved exactly ([`matstrat_storage::BufferPool::reshard`]).
+    /// Shrinking the knob never narrows the pool — extra stripes only
+    /// cost a few bytes. The only residual mismatch is a pool whose
+    /// *capacity* is smaller than the worker count (a stripe must own at
+    /// least one block); that corner still surfaces through
+    /// [`Database::pool_undersharded`] / [`PoolStats::shards`] and a
+    /// debug-build log line.
     ///
+    /// [`PoolStats`]: matstrat_storage::PoolStats
     /// [`PoolStats::shards`]: matstrat_storage::PoolStats
     pub fn set_parallelism(&mut self, workers: usize) {
         self.parallelism = workers.max(1);
         let constants = *self.planner.model().constants();
         self.planner = Planner::with_parallelism(constants, self.parallelism);
-        if let Some((workers, shards)) = self.pool_undersharded() {
-            eprintln!(
-                "matstrat: worker knob ({workers}) exceeds the buffer pool's stripe count \
-                 ({shards}); lookups of distinct blocks will contend. Set \
-                 MATSTRAT_POOL_SHARDS (or MATSTRAT_THREADS) before store construction \
-                 to stripe the pool for this worker count."
-            );
+        let pool = self.store.pool();
+        if self.parallelism > pool.num_shards() {
+            pool.reshard(self.parallelism);
+        }
+        if cfg!(debug_assertions) {
+            if let Some((workers, shards)) = self.pool_undersharded() {
+                eprintln!(
+                    "matstrat (debug): worker knob ({workers}) exceeds the buffer pool's \
+                     {shards}-stripe maximum (capacity-capped: every stripe owns ≥ 1 \
+                     block); lookups of distinct blocks may contend."
+                );
+            }
         }
     }
 
     /// `Some((workers, shards))` when the executor worker knob exceeds
-    /// the buffer pool's stripe count — the pool is then striped more
-    /// coarsely than the contention the knob will generate, because the
-    /// stripe count froze at store construction. `None` when the pool is
-    /// striped at least as wide as the knob. The same stripe count is
-    /// visible on every [`matstrat_storage::PoolStats`] snapshot.
+    /// the buffer pool's stripe count. Since [`Database::set_parallelism`]
+    /// re-shards the pool in place, this is only reachable when the pool
+    /// *capacity* caps the stripe count below the knob (every stripe must
+    /// own at least one block). `None` when the pool is striped at least
+    /// as wide as the knob. The same stripe count is visible on every
+    /// [`matstrat_storage::PoolStats`] snapshot.
     pub fn pool_undersharded(&self) -> Option<(usize, usize)> {
         let shards = self.store.pool().num_shards();
         (self.parallelism > shards).then_some((self.parallelism, shards))
@@ -218,6 +226,56 @@ impl Database {
         let result = self.run_join(spec, choice.inner)?;
         Ok((choice, result))
     }
+
+    /// Run a multi-way join tree in spec order under explicit per-edge
+    /// inner-table strategies, on this database's worker count.
+    pub fn run_join_tree(
+        &self,
+        spec: &JoinTreeSpec,
+        inners: &[InnerStrategy],
+    ) -> Result<QueryResult> {
+        Ok(self
+            .run_join_tree_with_options(
+                spec,
+                &JoinTreePlan::in_spec_order(inners.to_vec()),
+                &self.exec_options(),
+            )?
+            .0)
+    }
+
+    /// Run a join tree under an explicit [`JoinTreePlan`] (edge order,
+    /// per-edge strategies, build-reuse switch) and executor options,
+    /// returning the tree-level measurements ([`JoinTreeStats`]) —
+    /// `builds` vs `build_reuses` shows the partitioned-build cache at
+    /// work when one inner table feeds several edges.
+    pub fn run_join_tree_with_options(
+        &self,
+        spec: &JoinTreeSpec,
+        plan: &JoinTreePlan,
+        opts: &ExecOptions,
+    ) -> Result<(QueryResult, JoinTreeStats)> {
+        hash_join_tree_with_options(&self.store, spec, plan, opts)
+    }
+
+    /// Ask the planner for a join-tree plan (edge order + per-edge
+    /// strategies) without running it.
+    pub fn plan_join_tree(&self, spec: &JoinTreeSpec) -> Result<JoinTreeChoice> {
+        self.planner.choose_join_tree(&self.store, spec)
+    }
+
+    /// Plan, then run the join tree under the chosen edge order and
+    /// per-edge strategies. A single-edge tree delegates to the plain
+    /// join planner ([`Planner::choose_join`]), so the two auto paths
+    /// can never disagree on an ordinary join.
+    pub fn run_join_tree_auto(
+        &self,
+        spec: &JoinTreeSpec,
+    ) -> Result<(JoinTreeChoice, QueryResult, JoinTreeStats)> {
+        let choice = self.plan_join_tree(spec)?;
+        let (result, stats) =
+            self.run_join_tree_with_options(spec, &choice.plan(), &self.exec_options())?;
+        Ok((choice, result, stats))
+    }
 }
 
 #[cfg(test)]
@@ -292,23 +350,38 @@ mod tests {
     }
 
     #[test]
-    fn undersharding_is_surfaced_not_silent() {
+    fn set_parallelism_reshards_the_pool_in_place() {
         let (mut db, t) = demo_db();
         let shards = db.store().pool().num_shards();
-        // Pool striped at least as wide as the knob: no mismatch.
+        // Pool striped at least as wide as the knob: nothing to do.
         db.set_parallelism(shards);
         assert_eq!(db.pool_undersharded(), None);
-        // Outgrow the frozen stripe count: the mismatch is reported with
-        // both sides, and the stripe count is visible on PoolStats for
-        // soak harnesses that only see snapshots.
-        db.set_parallelism(shards + 3);
-        assert_eq!(db.pool_undersharded(), Some((shards + 3, shards)));
-        assert_eq!(db.store().pool().stats().shards, shards as u64);
-        // The mismatch is advisory: results stay identical.
+        assert_eq!(db.store().pool().num_shards(), shards);
+        // Warm the pool so the reshard has entries to move, and snapshot
+        // the counters it must preserve.
         let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(4));
+        let warm = db.run(&q, Strategy::LmParallel).unwrap();
+        let before = db.store().pool().stats();
+        // Outgrowing the stripe count now re-shards in place instead of
+        // warning: the knob and the striping agree again, counters carry
+        // over exactly, and the new width shows on PoolStats.
+        db.set_parallelism(shards + 3);
+        assert_eq!(db.pool_undersharded(), None, "re-sharded, not surfaced");
+        let pool = db.store().pool();
+        assert_eq!(pool.num_shards(), shards + 3);
+        let after = pool.stats();
+        assert_eq!(after.hits, before.hits);
+        assert_eq!(after.misses, before.misses);
+        assert_eq!(after.shards, (shards + 3) as u64);
+        // Results stay identical across the reshard, and the moved
+        // entries still serve hits (a warm re-run does no extra reads).
         let wide = db.run(&q, Strategy::LmParallel).unwrap();
+        assert_eq!(wide.flat(), warm.flat());
+        assert_eq!(db.store().pool().stats().misses, before.misses);
+        // Shrinking the knob never narrows the pool.
         db.set_parallelism(1);
         assert_eq!(db.pool_undersharded(), None);
+        assert_eq!(db.store().pool().num_shards(), shards + 3);
         assert_eq!(
             wide.flat(),
             db.run(&q, Strategy::LmParallel).unwrap().flat()

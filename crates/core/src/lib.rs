@@ -39,9 +39,12 @@ pub use exec::{default_parallelism, execute, execute_with_options, ExecOptions};
 pub use multicol::{MiniColumn, MultiColumn};
 pub use ops::agg::AggFunc;
 pub use ops::join::{hash_join, hash_join_with_options, InnerStrategy, JoinSpec};
+pub use ops::join_tree::{hash_join_tree, hash_join_tree_with_options, JoinTreePlan};
 pub use pipeline::FragmentPipeline;
-pub use planner::{JoinChoice, PlanChoice, Planner};
-pub use query::{AggSpec, ExecStats, QueryResult, QuerySpec};
+pub use planner::{JoinChoice, JoinTreeChoice, PlanChoice, Planner};
+pub use query::{
+    AggSpec, ExecStats, JoinKeySource, JoinTreeSpec, JoinTreeStats, QueryResult, QuerySpec,
+};
 pub use strategy::Strategy;
 
 /// Number of positions processed per pipeline iteration (one "granule").

@@ -52,6 +52,7 @@
 //! concurrent misses.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use matstrat_common::{Error, Pos, PosRange, Predicate, Result, TableId, Value};
 use matstrat_model::plans::JoinInnerKind;
@@ -133,7 +134,7 @@ pub struct JoinSpec {
 /// it ran parallel. Each key's position list is ascending — identical to
 /// a serial 0..n insertion — in either shape, so the partitioning is
 /// invisible to the probe's output.
-struct PartitionedTable {
+pub(crate) struct PartitionedTable {
     parts: Vec<HashMap<Value, Vec<u32>>>,
 }
 
@@ -202,13 +203,229 @@ impl PartitionedTable {
 
     /// The ascending right positions holding `key`, if any.
     #[inline]
-    fn get(&self, key: &Value) -> Option<&Vec<u32>> {
+    pub(crate) fn get(&self, key: &Value) -> Option<&Vec<u32>> {
         if self.parts.len() == 1 {
             self.parts[0].get(key)
         } else {
             self.parts[partition_of(*key, self.parts.len())].get(key)
         }
     }
+}
+
+/// The strategy-independent half of a join's build side: the partitioned
+/// hash table on one (inner table, key column) pair plus the decoded key
+/// values it was built from. This is the piece the join-tree executor
+/// caches and reuses when the same inner table is probed by multiple
+/// edges — the table depends only on the key column, never on an edge's
+/// output columns or inner strategy — and the decoded keys double as the
+/// zero-I/O key source for snowflake edges that join *through* this
+/// table on the same column.
+pub(crate) struct SharedBuild {
+    /// right key value → ascending right positions holding it.
+    pub(crate) table: PartitionedTable,
+    /// The decoded key column, indexable by right position.
+    pub(crate) keys: Arc<Vec<Value>>,
+    /// Workers the build pipeline ran with (the skew guard applied to
+    /// the *right* table) — also the radix partition count when > 1.
+    pub(crate) build_workers: usize,
+    /// Right table row count.
+    pub(crate) rows: u64,
+}
+
+impl SharedBuild {
+    /// Scan + decode the key column and build the partitioned hash table
+    /// on the pipeline's workers (serial insertion for a single-span
+    /// plan).
+    pub(crate) fn build(
+        store: &Store,
+        right: TableId,
+        right_key: usize,
+        opts: &ExecOptions,
+    ) -> Result<SharedBuild> {
+        let rows = store.projection(right)?.num_rows;
+        let rkey_reader = store.reader(right, right_key)?;
+        let rkey_mini = MiniColumn::fetch(&rkey_reader, PosRange::new(0, rows))?;
+        let mut keys = Vec::with_capacity(rows as usize);
+        rkey_mini.decode(&mut keys)?;
+        // The build's worker count obeys the same skew guard as the
+        // probe's, applied to the *right* table: a one-granule inner
+        // table builds serially no matter the knob, and the planner
+        // prices build CPU with exactly this count.
+        let pipeline = FragmentPipeline::new(rows, opts.granule.max(1), opts.parallelism.max(1));
+        let build_workers = pipeline.workers();
+        let table = PartitionedTable::build(&keys, &pipeline, store.meter())?;
+        Ok(SharedBuild {
+            table,
+            keys: Arc::new(keys),
+            build_workers,
+            rows,
+        })
+    }
+}
+
+/// The per-edge, strategy-dependent right-side representation: the
+/// compressed mini-columns of the output columns, plus the Materialized
+/// row-major flatten or the SingleColumn bit-vector decodes where the
+/// strategy calls for them. Built column-parallel on `build_workers`
+/// scoped threads, exactly as the projection loader encodes columns.
+pub(crate) struct InnerRep {
+    /// Right output columns as compressed mini-columns (all strategies
+    /// fetch these blocks at build time).
+    minis: Vec<MiniColumn>,
+    /// Row-major right tuples (Materialized only).
+    materialized: Option<Vec<Value>>,
+    /// Per right output column: fully decoded values when the codec
+    /// cannot fetch by position (bit-vector; SingleColumn only). Decoded
+    /// once at build so parallel workers share the work.
+    decoded: Vec<Option<Vec<Value>>>,
+    /// The strategy the representation was built for.
+    inner: InnerStrategy,
+}
+
+impl InnerRep {
+    /// Fetch (and decode, where `inner` needs it) the right output
+    /// columns of `right`.
+    pub(crate) fn build(
+        store: &Store,
+        right: TableId,
+        right_output: &[usize],
+        inner: InnerStrategy,
+        build_workers: usize,
+        rows: u64,
+    ) -> Result<InnerRep> {
+        let window = PosRange::new(0, rows);
+        let rwidth = right_output.len();
+        let minis: Vec<MiniColumn> = par_indexed(rwidth, build_workers, store.meter(), |c| {
+            MiniColumn::fetch(&store.reader(right, right_output[c])?, window)
+        })?;
+        // Materialized: construct every right tuple up front (row-major).
+        let materialized: Option<Vec<Value>> = match inner {
+            InnerStrategy::Materialized => {
+                let cols: Vec<Vec<Value>> =
+                    par_indexed(rwidth, build_workers, store.meter(), |c| {
+                        let mut v = Vec::with_capacity(rows as usize);
+                        minis[c].decode(&mut v)?;
+                        Ok(v)
+                    })?;
+                Some(flatten_row_major(&cols, rows as usize, build_workers))
+            }
+            _ => None,
+        };
+        // Single-column right fetch cannot gather from bit-vector blocks
+        // (value_at would rescan k bit-strings per probe): decompress
+        // such columns once, shared read-only by every probe worker.
+        let decoded: Vec<Option<Vec<Value>>> = match inner {
+            InnerStrategy::SingleColumn => {
+                par_indexed(rwidth, build_workers, store.meter(), |c| {
+                    if minis[c].supports_position_fetch() {
+                        Ok(None)
+                    } else {
+                        let mut v = Vec::with_capacity(rows as usize);
+                        minis[c].decode(&mut v)?;
+                        Ok(Some(v))
+                    }
+                })?
+            }
+            _ => vec![None; rwidth],
+        };
+        Ok(InnerRep {
+            minis,
+            materialized,
+            decoded,
+            inner,
+        })
+    }
+
+    /// Output width (number of right output columns).
+    pub(crate) fn width(&self) -> usize {
+        self.minis.len()
+    }
+
+    /// Fetch the output values at the matched right positions, one
+    /// column-major vector per output column, by the representation's
+    /// strategy: an array index into the row-major tuples for
+    /// Materialized, a positional probe into the compressed mini-columns
+    /// for MultiColumn, and the same positional probes over *unsorted*
+    /// positions (via the build-time decodes for bit-vector columns) for
+    /// SingleColumn — the Figure 13 penalty.
+    pub(crate) fn gather(&self, right_pos: &[u32]) -> Result<Vec<Vec<Value>>> {
+        let rwidth = self.width();
+        let out_rows = right_pos.len();
+        let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(out_rows); rwidth];
+        match self.inner {
+            InnerStrategy::Materialized => {
+                let flat = self.materialized.as_ref().expect("built above");
+                for &rp in right_pos {
+                    let base = rp as usize * rwidth;
+                    for (c, col) in cols.iter_mut().enumerate() {
+                        col.push(flat[base + c]);
+                    }
+                }
+            }
+            InnerStrategy::MultiColumn => {
+                // Construct right tuples on the fly from the compressed
+                // mini-columns at each matched position.
+                for &rp in right_pos {
+                    for (c, mini) in self.minis.iter().enumerate() {
+                        cols[c].push(mini.value_at(rp as u64)?);
+                    }
+                }
+            }
+            InnerStrategy::SingleColumn => {
+                // Pure LM: the join emitted only positions, and the right
+                // positions are *unsorted* — "a merge-join on position
+                // cannot be used to fetch column values" (§4.3). The
+                // extra positional join is a second pass over the matches
+                // probing each right column at a random position per
+                // output row.
+                for (c, mini) in self.minis.iter().enumerate() {
+                    let col = &mut cols[c];
+                    match &self.decoded[c] {
+                        None => {
+                            for &rp in right_pos {
+                                col.push(mini.value_at(rp as u64)?);
+                            }
+                        }
+                        // Bit-vector right column: indexed into the
+                        // shared build-time decode.
+                        Some(decoded) => {
+                            for &rp in right_pos {
+                                col.push(decoded[rp as usize]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cols)
+    }
+}
+
+/// Fetch one span-local column at a **sorted, possibly duplicated**
+/// position list: gather over the deduplicated list, then expand the
+/// duplicates by walking both lists. The shape every merge-on-position
+/// fetch in the join paths uses (left output values, join-tree base
+/// keys): positions exit the probe sorted, duplicates come from
+/// non-unique right keys.
+pub(crate) fn fetch_expanded(mini: &MiniColumn, positions: &[Pos]) -> Result<Vec<Value>> {
+    let mut uniq = positions.to_vec();
+    uniq.dedup();
+    let pl = PosList::Explicit(PosVec::from_sorted(uniq.clone()));
+    let mut vals = Vec::with_capacity(uniq.len());
+    mini.fetch_values(&pl, &mut vals)?;
+    if uniq.len() == positions.len() {
+        return Ok(vals);
+    }
+    // Expand duplicates by walking both lists.
+    let mut expanded = Vec::with_capacity(positions.len());
+    let mut ui = 0usize;
+    for &p in positions {
+        while uniq[ui] != p {
+            ui += 1;
+        }
+        expanded.push(vals[ui]);
+    }
+    Ok(expanded)
 }
 
 /// Run `f` over indices `0..n` on the shared claim-counter fan-out
@@ -262,22 +479,13 @@ fn flatten_row_major(cols: &[Vec<Value>], rows: usize, workers: usize) -> Vec<Va
 }
 
 /// The immutable build-side state every probe worker shares: the hash
-/// table on the right key, the right output representations, and the
+/// table on the right key, the right output representation, and the
 /// opened left-side readers.
 struct BuildSide {
-    /// right key value → right positions holding it (radix-partitioned
-    /// when the build ran parallel).
-    table: PartitionedTable,
-    /// Right output columns as compressed mini-columns (all strategies
-    /// fetch these blocks at build time).
-    right_minis: Vec<MiniColumn>,
-    /// Row-major right tuples (Materialized only).
-    materialized: Option<Vec<Value>>,
-    /// Per right output column: fully decoded values when the codec
-    /// cannot fetch by position (bit-vector). Decoded once at build so
-    /// parallel workers share the work, exactly as the serial pass
-    /// decodes once per column.
-    decoded: Vec<Option<Vec<Value>>>,
+    /// The strategy-independent hash table + decoded keys.
+    shared: SharedBuild,
+    /// The per-strategy right output representation.
+    rep: InnerRep,
     /// Left-side readers: filter column (when filtered), key column,
     /// output columns.
     left_filter_reader: Option<ColumnReader>,
@@ -317,63 +525,23 @@ pub fn hash_join_with_options(
     }
 
     // ---- Build phase (right/inner table, span- and column-parallel) ----
-    let right_rows = right_info.num_rows;
-    let right_window = PosRange::new(0, right_rows);
-    let rkey_reader = store.reader(spec.right, spec.right_key)?;
-    let rkey_mini = MiniColumn::fetch(&rkey_reader, right_window)?;
-    let mut rkeys = Vec::with_capacity(right_rows as usize);
-    rkey_mini.decode(&mut rkeys)?;
-    // The build's worker count obeys the same skew guard as the probe's,
-    // applied to the *right* table: a one-granule inner table builds
-    // serially no matter the knob, and the planner prices build CPU with
-    // exactly this count.
-    let build_pipeline =
-        FragmentPipeline::new(right_rows, opts.granule.max(1), opts.parallelism.max(1));
-    let build_workers = build_pipeline.workers();
-    let table = PartitionedTable::build(&rkeys, &build_pipeline, store.meter())?;
-
-    // Right output columns, represented per strategy; fetched (and
-    // decoded, where the strategy needs it) column-parallel.
-    let rwidth = spec.right_output.len();
-    let right_minis: Vec<MiniColumn> = par_indexed(rwidth, build_workers, store.meter(), |c| {
-        MiniColumn::fetch(
-            &store.reader(spec.right, spec.right_output[c])?,
-            right_window,
-        )
-    })?;
-    // Materialized: construct every right tuple up front (row-major).
-    let materialized: Option<Vec<Value>> = match inner {
-        InnerStrategy::Materialized => {
-            let cols: Vec<Vec<Value>> = par_indexed(rwidth, build_workers, store.meter(), |c| {
-                let mut v = Vec::with_capacity(right_rows as usize);
-                right_minis[c].decode(&mut v)?;
-                Ok(v)
-            })?;
-            Some(flatten_row_major(&cols, right_rows as usize, build_workers))
-        }
-        _ => None,
-    };
-    // Single-column right fetch cannot gather from bit-vector blocks
-    // (value_at would rescan k bit-strings per probe): decompress such
-    // columns once, shared read-only by every probe worker.
-    let decoded: Vec<Option<Vec<Value>>> = match inner {
-        InnerStrategy::SingleColumn => par_indexed(rwidth, build_workers, store.meter(), |c| {
-            if right_minis[c].supports_position_fetch() {
-                Ok(None)
-            } else {
-                let mut v = Vec::with_capacity(right_rows as usize);
-                right_minis[c].decode(&mut v)?;
-                Ok(Some(v))
-            }
-        })?,
-        _ => vec![None; rwidth],
-    };
+    // Strategy-independent half (hash table + decoded keys), then the
+    // per-strategy right output representation — the same two pieces the
+    // join-tree executor builds per edge, with the first cached across
+    // edges that share an inner table.
+    let shared = SharedBuild::build(store, spec.right, spec.right_key, opts)?;
+    let rep = InnerRep::build(
+        store,
+        spec.right,
+        &spec.right_output,
+        inner,
+        shared.build_workers,
+        right_info.num_rows,
+    )?;
 
     let build = BuildSide {
-        table,
-        right_minis,
-        materialized,
-        decoded,
+        shared,
+        rep,
         left_filter_reader: match &spec.left_filter {
             Some((col, _)) => Some(store.reader(spec.left, *col)?),
             None => None,
@@ -393,7 +561,7 @@ pub fn hash_join_with_options(
         opts.parallelism.max(1),
     );
     let fragments: Vec<Vec<Value>> =
-        pipeline.run(store.meter(), |span| probe_span(spec, inner, &build, span))?;
+        pipeline.run(store.meter(), |span| probe_span(spec, &build, span))?;
 
     // Fragments are row-major and spans ascend, so concatenation
     // reproduces the serial row order byte for byte.
@@ -407,12 +575,7 @@ pub fn hash_join_with_options(
 
 /// Run the full filter→probe→fetch→stitch pipeline over one left span,
 /// returning the span's row-major output fragment.
-fn probe_span(
-    spec: &JoinSpec,
-    inner: InnerStrategy,
-    build: &BuildSide,
-    span: PosRange,
-) -> Result<Vec<Value>> {
+fn probe_span(spec: &JoinSpec, build: &BuildSide, span: PosRange) -> Result<Vec<Value>> {
     // ---- Left (outer) side, span-local ---------------------------------
     let desc = match (&spec.left_filter, &build.left_filter_reader) {
         (Some((_, pred)), Some(reader)) => {
@@ -431,7 +594,7 @@ fn probe_span(
     let mut left_pos: Vec<Pos> = Vec::new();
     let mut right_pos: Vec<u32> = Vec::new();
     for (i, p) in desc.iter().enumerate() {
-        if let Some(rps) = build.table.get(&lkeys[i]) {
+        if let Some(rps) = build.shared.table.get(&lkeys[i]) {
             for &rp in rps {
                 left_pos.push(p);
                 right_pos.push(rp);
@@ -441,82 +604,18 @@ fn probe_span(
     let out_rows = left_pos.len();
 
     // ---- Left output values: merge on sorted positions ------------------
+    // left_pos may contain duplicates (non-unique right keys); gather
+    // over the deduplicated sorted list, then expand.
     let lwidth = spec.left_output.len();
     let mut left_cols: Vec<Vec<Value>> = Vec::with_capacity(lwidth);
-    {
-        // left_pos may contain duplicates (non-unique right keys); gather
-        // over the deduplicated sorted list, then expand.
-        let mut uniq = left_pos.clone();
-        uniq.dedup();
-        let pl = PosList::Explicit(PosVec::from_sorted(uniq.clone()));
-        for reader in &build.left_out_readers {
-            let mini = MiniColumn::fetch(reader, span)?;
-            let mut vals = Vec::with_capacity(uniq.len());
-            mini.fetch_values(&pl, &mut vals)?;
-            if uniq.len() == left_pos.len() {
-                left_cols.push(vals);
-            } else {
-                // Expand duplicates by walking both lists.
-                let mut expanded = Vec::with_capacity(left_pos.len());
-                let mut ui = 0usize;
-                for &p in &left_pos {
-                    while uniq[ui] != p {
-                        ui += 1;
-                    }
-                    expanded.push(vals[ui]);
-                }
-                left_cols.push(expanded);
-            }
-        }
+    for reader in &build.left_out_readers {
+        let mini = MiniColumn::fetch(reader, span)?;
+        left_cols.push(fetch_expanded(&mini, &left_pos)?);
     }
 
     // ---- Right output values, per strategy ------------------------------
     let rwidth = spec.right_output.len();
-    let mut right_cols: Vec<Vec<Value>> = vec![Vec::with_capacity(out_rows); rwidth];
-    match inner {
-        InnerStrategy::Materialized => {
-            let flat = build.materialized.as_ref().expect("built above");
-            for &rp in &right_pos {
-                let base = rp as usize * rwidth;
-                for (c, col) in right_cols.iter_mut().enumerate() {
-                    col.push(flat[base + c]);
-                }
-            }
-        }
-        InnerStrategy::MultiColumn => {
-            // Construct right tuples on the fly from the compressed
-            // mini-columns at each matched position.
-            for &rp in &right_pos {
-                for (c, mini) in build.right_minis.iter().enumerate() {
-                    right_cols[c].push(mini.value_at(rp as u64)?);
-                }
-            }
-        }
-        InnerStrategy::SingleColumn => {
-            // Pure LM: the join emitted only positions, and the right
-            // positions are *unsorted* — "a merge-join on position cannot
-            // be used to fetch column values" (§4.3). The extra positional
-            // join is a second pass over the matches probing each right
-            // column at a random position per output row.
-            for (c, mini) in build.right_minis.iter().enumerate() {
-                let col = &mut right_cols[c];
-                match &build.decoded[c] {
-                    None => {
-                        for &rp in &right_pos {
-                            col.push(mini.value_at(rp as u64)?);
-                        }
-                    }
-                    // Bit-vector right column: indexed into the shared
-                    // build-time decode.
-                    Some(decoded) => {
-                        for &rp in &right_pos {
-                            col.push(decoded[rp as usize]);
-                        }
-                    }
-                }
-            }
-        }
-    }
+    let right_cols = build.rep.gather(&right_pos)?;
 
     // ---- Final tuple stitching ------------------------------------------
     let width = lwidth + rwidth;

@@ -1,0 +1,650 @@
+//! Multi-way join execution: a left-deep tree of hash joins pipelining
+//! **position lists** through successive probes.
+//!
+//! The single-join executor (§4.3, [`crate::ops::join`]) materializes
+//! its output after one probe. Composing N of them naively would
+//! materialize — and re-scan — every intermediate. The tree executor
+//! instead keeps the intermediate in its cheapest form for as long as
+//! possible: a vector of base-table positions plus one matched-position
+//! vector per completed edge, all row-aligned. Each edge's probe only
+//! ever *extends* this position state (fan-out duplicates positions, a
+//! missed probe drops the row); **values are fetched exactly once, at
+//! the very top** — base columns with a merge on the sorted (possibly
+//! duplicated) base positions, right columns per edge through the same
+//! three inner-table representations the single join offers. That is
+//! the paper's late-materialization discipline carried across a whole
+//! join tree.
+//!
+//! # Build caching
+//!
+//! The partitioned hash table depends only on the (inner table, key
+//! column) pair — never on an edge's strategy or output columns — so
+//! when the same inner table is probed by multiple edges (the date
+//! dimension joined on both order date and ship date, say), the table
+//! is built **once** and every later edge reuses it
+//! ([`JoinTreeStats::builds`] / [`JoinTreeStats::build_reuses`] count
+//! both sides). The cached decoded key column doubles as the zero-I/O
+//! key source for snowflake edges probing *through* a previous table.
+//!
+//! # Parallelism contract
+//!
+//! The probe phase runs on the same [`FragmentPipeline`] substrate as
+//! every other operator, span-parallel over the **base** table: each
+//! granule run executes the full filter→probe→…→probe→fetch→stitch
+//! pipeline for its positions, and fragments merge in global granule
+//! order. All per-row state is span-local and the build side is shared
+//! read-only, so the result is **byte-identical** at any worker count
+//! with exact cold `block_reads` — the property
+//! `tests/join_tree_diff.rs` proves against the serial composition of
+//! single joins.
+//!
+//! # Edge ordering
+//!
+//! Execution order is a plan property ([`JoinTreePlan::order`]), chosen
+//! by `Planner::choose_join_tree` to shrink the intermediate early.
+//! Output *columns* always follow spec order; output *row* order follows
+//! the execution order's fan-out nesting (like any join reorder). For
+//! the identity order the rows are byte-identical to the spec-order
+//! composition of single joins.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use matstrat_common::{Error, Pos, PosRange, Result, TableId, Value};
+use matstrat_poslist::PosList;
+use matstrat_storage::{ColumnReader, Store};
+
+use crate::exec::ExecOptions;
+use crate::multicol::MiniColumn;
+use crate::ops::join::{fetch_expanded, InnerRep, InnerStrategy, SharedBuild};
+use crate::pipeline::FragmentPipeline;
+use crate::query::{JoinKeySource, JoinTreeSpec, JoinTreeStats, QueryResult};
+
+/// How a [`JoinTreeSpec`] is to be executed: the edge order, one inner
+/// strategy per edge, and whether build tables are cached across edges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JoinTreePlan {
+    /// Execution order as indices into `spec.edges`. Must be a
+    /// permutation in which every snowflake edge runs after the edge it
+    /// keys through.
+    pub order: Vec<usize>,
+    /// Inner-table strategy per edge, indexed by **spec** position.
+    pub inners: Vec<InnerStrategy>,
+    /// Reuse the partitioned build table across edges sharing an
+    /// (inner table, key column) pair. On by default; the differential
+    /// battery turns it off to prove reuse is invisible in the bytes.
+    pub reuse_builds: bool,
+}
+
+impl JoinTreePlan {
+    /// Execute in spec order under the given per-edge strategies.
+    pub fn in_spec_order(inners: Vec<InnerStrategy>) -> JoinTreePlan {
+        JoinTreePlan {
+            order: (0..inners.len()).collect(),
+            inners,
+            reuse_builds: true,
+        }
+    }
+
+    /// Check the plan fits `spec`: one strategy per edge, and `order` a
+    /// dependency-respecting permutation.
+    pub fn validate(&self, spec: &JoinTreeSpec) -> Result<()> {
+        let n = spec.edges.len();
+        if self.inners.len() != n {
+            return Err(Error::invalid(format!(
+                "join tree plan: {} strategies for {n} edges",
+                self.inners.len()
+            )));
+        }
+        let mut seen = vec![false; n];
+        for &ei in &self.order {
+            if ei >= n || seen[ei] {
+                return Err(Error::invalid(
+                    "join tree plan: order must be a permutation of the edges",
+                ));
+            }
+            if let JoinKeySource::Edge(j) = spec.key_source(ei)? {
+                if !seen[j] {
+                    return Err(Error::invalid(format!(
+                        "join tree plan: edge {ei} keys through edge {j}, \
+                         which has not executed yet"
+                    )));
+                }
+            }
+            seen[ei] = true;
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(Error::invalid(
+                "join tree plan: order must cover every edge",
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Everything one edge's probe needs, shared read-only by all workers.
+struct EdgeRun {
+    /// The (possibly cache-shared) hash table + decoded keys.
+    shared: Arc<SharedBuild>,
+    /// The per-edge right output representation.
+    rep: InnerRep,
+    /// Where this edge's probe keys come from.
+    source: KeyFetch,
+}
+
+/// Resolved key source: a base-column reader, or the decoded key column
+/// of an earlier edge's inner table (by execution slot).
+enum KeyFetch {
+    Base(ColumnReader),
+    Prev { slot: usize, keys: Arc<Vec<Value>> },
+}
+
+/// Execute the tree in spec order under per-edge strategies, with
+/// default options.
+pub fn hash_join_tree(
+    store: &Store,
+    spec: &JoinTreeSpec,
+    inners: &[InnerStrategy],
+) -> Result<QueryResult> {
+    Ok(hash_join_tree_with_options(
+        store,
+        spec,
+        &JoinTreePlan::in_spec_order(inners.to_vec()),
+        &ExecOptions::default(),
+    )?
+    .0)
+}
+
+/// Execute the tree under an explicit [`JoinTreePlan`] and
+/// [`ExecOptions`], returning the result and the tree-level
+/// measurements. Byte-identical at any worker count for a fixed plan.
+pub fn hash_join_tree_with_options(
+    store: &Store,
+    spec: &JoinTreeSpec,
+    plan: &JoinTreePlan,
+    opts: &ExecOptions,
+) -> Result<(QueryResult, JoinTreeStats)> {
+    spec.validate()?;
+    plan.validate(spec)?;
+    let base = spec.base();
+    let base_info = store.projection(base)?;
+    let edge0 = &spec.edges[0];
+
+    // Output shape in spec order, validated before any I/O.
+    let mut names: Vec<String> = Vec::with_capacity(spec.output_width());
+    for &c in &edge0.left_output {
+        names.push(base_info.column(c)?.name.clone());
+    }
+    for e in &spec.edges {
+        let right_info = store.projection(e.right)?;
+        for &c in &e.right_output {
+            names.push(right_info.column(c)?.name.clone());
+        }
+    }
+    if names.is_empty() {
+        return Err(Error::invalid("join tree must output at least one column"));
+    }
+
+    let t0 = Instant::now();
+    let io0 = store.meter().snapshot();
+    let mut stats = JoinTreeStats::default();
+
+    // ---- Build phase, in execution order --------------------------------
+    // One SharedBuild per distinct (inner table, key column); the
+    // per-edge representation is always edge-local (outputs and strategy
+    // differ per edge; re-fetches of shared columns are pool hits).
+    let mut cache: HashMap<(TableId, usize), Arc<SharedBuild>> = HashMap::new();
+    let mut spec_to_slot = vec![usize::MAX; spec.edges.len()];
+    let mut runs: Vec<EdgeRun> = Vec::with_capacity(spec.edges.len());
+    for &ei in &plan.order {
+        let edge = &spec.edges[ei];
+        let cache_key = (edge.right, edge.right_key);
+        let shared = match cache.get(&cache_key) {
+            Some(s) if plan.reuse_builds => {
+                stats.build_reuses += 1;
+                Arc::clone(s)
+            }
+            _ => {
+                let s = Arc::new(SharedBuild::build(store, edge.right, edge.right_key, opts)?);
+                stats.builds += 1;
+                cache.insert(cache_key, Arc::clone(&s));
+                s
+            }
+        };
+        let rep = InnerRep::build(
+            store,
+            edge.right,
+            &edge.right_output,
+            plan.inners[ei],
+            shared.build_workers,
+            shared.rows,
+        )?;
+        let source = match spec.key_source(ei)? {
+            JoinKeySource::Base => KeyFetch::Base(store.reader(base, edge.left_key)?),
+            JoinKeySource::Edge(j) => {
+                let j_slot = spec_to_slot[j];
+                debug_assert_ne!(j_slot, usize::MAX, "plan validated above");
+                let through = &runs[j_slot];
+                // Keying through the column the table was hashed on
+                // reuses its decoded keys; any other column decodes once
+                // here, shared read-only by every probe worker.
+                let keys = if spec.edges[j].right_key == edge.left_key {
+                    Arc::clone(&through.shared.keys)
+                } else {
+                    let reader = store.reader(spec.edges[j].right, edge.left_key)?;
+                    let mini = MiniColumn::fetch(&reader, PosRange::new(0, through.shared.rows))?;
+                    let mut v = Vec::with_capacity(through.shared.rows as usize);
+                    mini.decode(&mut v)?;
+                    Arc::new(v)
+                };
+                KeyFetch::Prev { slot: j_slot, keys }
+            }
+        };
+        spec_to_slot[ei] = runs.len();
+        runs.push(EdgeRun {
+            shared,
+            rep,
+            source,
+        });
+    }
+
+    // Base-side readers, shared by every probe worker.
+    let base_filter_reader = match &edge0.left_filter {
+        Some((col, _)) => Some(store.reader(base, *col)?),
+        None => None,
+    };
+    let base_out_readers: Vec<ColumnReader> = edge0
+        .left_output
+        .iter()
+        .map(|&c| store.reader(base, c))
+        .collect::<Result<_>>()?;
+
+    // ---- Probe phase: span-parallel over the base table -----------------
+    let pipeline = FragmentPipeline::new(
+        base_info.num_rows,
+        opts.granule.max(1),
+        opts.parallelism.max(1),
+    );
+    let (fragments, steals) = pipeline.run_counted(store.meter(), |span| {
+        probe_tree_span(
+            spec,
+            &runs,
+            &spec_to_slot,
+            &base_filter_reader,
+            &base_out_readers,
+            span,
+        )
+    })?;
+
+    // Fragments are row-major and runs merge in global granule order, so
+    // concatenation reproduces the serial row order byte for byte.
+    let mut fragments = fragments.into_iter();
+    let mut flat = fragments.next().expect("at least one span");
+    for frag in fragments {
+        flat.extend(frag);
+    }
+    let result = QueryResult::from_flat(names, flat);
+    stats.steals = steals;
+    stats.rows_out = result.num_rows() as u64;
+    stats.wall = t0.elapsed();
+    stats.io = store.meter().snapshot().since(&io0);
+    Ok((result, stats))
+}
+
+/// Run the full filter→probe→…→probe→fetch→stitch pipeline over one
+/// base-table span, returning the span's row-major output fragment.
+fn probe_tree_span(
+    spec: &JoinTreeSpec,
+    runs: &[EdgeRun],
+    spec_to_slot: &[usize],
+    base_filter_reader: &Option<ColumnReader>,
+    base_out_readers: &[ColumnReader],
+    span: PosRange,
+) -> Result<Vec<Value>> {
+    let edge0 = &spec.edges[0];
+    // ---- Base side, span-local ------------------------------------------
+    let desc = match (&edge0.left_filter, base_filter_reader) {
+        (Some((_, pred)), Some(reader)) => {
+            let mini = MiniColumn::fetch(reader, span)?;
+            mini.scan_positions(pred)
+        }
+        _ => PosList::full(span),
+    };
+
+    // ---- The pipelined position intermediate ----------------------------
+    // Row i of the intermediate is (base_pos[i], rights[0][i], ...,
+    // rights[slot-1][i]); every probe extends it in place.
+    let mut base_pos: Vec<Pos> = desc.iter().collect();
+    let mut rights: Vec<Vec<u32>> = Vec::with_capacity(runs.len());
+    for run in runs {
+        let keys: Vec<Value> = match &run.source {
+            KeyFetch::Base(reader) => {
+                let mini = MiniColumn::fetch(reader, span)?;
+                fetch_expanded(&mini, &base_pos)?
+            }
+            KeyFetch::Prev { slot: j, keys } => {
+                rights[*j].iter().map(|&rp| keys[rp as usize]).collect()
+            }
+        };
+        // Fan out: base positions ascend and each key's match list
+        // ascends, so row order stays the nested-loop order of the
+        // execution sequence.
+        let mut new_base = Vec::with_capacity(base_pos.len());
+        let mut new_rights: Vec<Vec<u32>> =
+            rights.iter().map(|r| Vec::with_capacity(r.len())).collect();
+        let mut this_right: Vec<u32> = Vec::with_capacity(base_pos.len());
+        for (i, k) in keys.iter().enumerate() {
+            if let Some(rps) = run.shared.table.get(k) {
+                for &rp in rps {
+                    new_base.push(base_pos[i]);
+                    for (c, col) in new_rights.iter_mut().enumerate() {
+                        col.push(rights[c][i]);
+                    }
+                    this_right.push(rp);
+                }
+            }
+        }
+        base_pos = new_base;
+        rights = new_rights;
+        rights.push(this_right);
+    }
+    let out_rows = base_pos.len();
+
+    // ---- Value fetch, once, at the top ----------------------------------
+    // Base output values: merge on the sorted (duplicated) positions.
+    let mut base_cols: Vec<Vec<Value>> = Vec::with_capacity(base_out_readers.len());
+    for reader in base_out_readers {
+        let mini = MiniColumn::fetch(reader, span)?;
+        base_cols.push(fetch_expanded(&mini, &base_pos)?);
+    }
+    // Right output values per edge, by that edge's strategy.
+    let mut right_cols: Vec<Vec<Vec<Value>>> = Vec::with_capacity(runs.len());
+    for (slot, run) in runs.iter().enumerate() {
+        right_cols.push(run.rep.gather(&rights[slot])?);
+    }
+
+    // ---- Final tuple stitching, columns in spec order --------------------
+    let width = base_cols.len() + runs.iter().map(|r| r.rep.width()).sum::<usize>();
+    let mut flat = Vec::with_capacity(out_rows * width);
+    for i in 0..out_rows {
+        for col in &base_cols {
+            flat.push(col[i]);
+        }
+        for ei in 0..spec.edges.len() {
+            for col in &right_cols[spec_to_slot[ei]] {
+                flat.push(col[i]);
+            }
+        }
+    }
+    Ok(flat)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::join::{hash_join, JoinSpec};
+    use matstrat_common::Predicate;
+    use matstrat_storage::{EncodingKind as Ek, ProjectionSpec, SortOrder, Store};
+
+    /// orders(custkey, datekey, shipdate) star-joined to customer and a
+    /// date dimension; customer snowflakes to nation.
+    fn setup() -> (Store, JoinTreeSpec) {
+        let store = Store::in_memory();
+        let n = 90i64;
+        let custkey: Vec<Value> = (0..n).map(|i| i % 15).collect();
+        let datekey: Vec<Value> = (0..n).map(|i| (i * 7) % 10).collect();
+        let shipdate: Vec<Value> = (0..n).collect();
+        let orders = store
+            .load_projection(
+                &ProjectionSpec::new("orders")
+                    .column("custkey", Ek::Plain, SortOrder::None)
+                    .column("datekey", Ek::Plain, SortOrder::None)
+                    .column("shipdate", Ek::Plain, SortOrder::None),
+                &[&custkey, &datekey, &shipdate],
+            )
+            .unwrap();
+        let ck: Vec<Value> = (0..15).collect();
+        let nationkey: Vec<Value> = (0..15).map(|i| i % 4).collect();
+        let customer = store
+            .load_projection(
+                &ProjectionSpec::new("customer")
+                    .column("custkey", Ek::Plain, SortOrder::Primary)
+                    .column("nationkey", Ek::Plain, SortOrder::None),
+                &[&ck, &nationkey],
+            )
+            .unwrap();
+        let dk: Vec<Value> = (0..10).collect();
+        let dname: Vec<Value> = (0..10).map(|i| 100 + i).collect();
+        let date = store
+            .load_projection(
+                &ProjectionSpec::new("date")
+                    .column("datekey", Ek::Plain, SortOrder::Primary)
+                    .column("dname", Ek::Plain, SortOrder::None),
+                &[&dk, &dname],
+            )
+            .unwrap();
+        let nk: Vec<Value> = (0..4).collect();
+        let region: Vec<Value> = (0..4).map(|i| i * 1000).collect();
+        let nation = store
+            .load_projection(
+                &ProjectionSpec::new("nation")
+                    .column("nationkey", Ek::Plain, SortOrder::Primary)
+                    .column("region", Ek::Plain, SortOrder::None),
+                &[&nk, &region],
+            )
+            .unwrap();
+        let spec = JoinTreeSpec::new(vec![
+            JoinSpec {
+                left: orders,
+                right: customer,
+                left_key: 0,
+                right_key: 0,
+                left_filter: Some((0, Predicate::lt(12))),
+                left_output: vec![2],
+                right_output: vec![1],
+            },
+            JoinSpec {
+                left: orders,
+                right: date,
+                left_key: 1,
+                right_key: 0,
+                left_filter: None,
+                left_output: vec![],
+                right_output: vec![1],
+            },
+            JoinSpec {
+                left: customer,
+                right: nation,
+                left_key: 1,
+                right_key: 0,
+                left_filter: None,
+                left_output: vec![],
+                right_output: vec![1],
+            },
+        ]);
+        (store, spec)
+    }
+
+    /// Row-level oracle straight from the generators.
+    fn reference_rows() -> Vec<Vec<Value>> {
+        let mut rows = Vec::new();
+        for i in 0..90i64 {
+            let ck = i % 15;
+            if ck >= 12 {
+                continue;
+            }
+            let nk = ck % 4;
+            rows.push(vec![i, nk, 100 + (i * 7) % 10, nk * 1000]);
+        }
+        rows.sort_unstable();
+        rows
+    }
+
+    #[test]
+    fn three_edge_tree_matches_row_oracle_for_all_strategies() {
+        let (store, spec) = setup();
+        for inner in InnerStrategy::ALL {
+            let r = hash_join_tree(&store, &spec, &[inner; 3]).unwrap();
+            assert_eq!(
+                r.column_names,
+                vec!["shipdate", "nationkey", "dname", "region"],
+                "columns in spec order"
+            );
+            assert_eq!(r.sorted_rows(), reference_rows(), "{inner:?}");
+        }
+    }
+
+    #[test]
+    fn single_edge_tree_is_byte_identical_to_hash_join() {
+        let (store, spec) = setup();
+        let one = JoinTreeSpec::new(vec![spec.edges[0].clone()]);
+        for inner in InnerStrategy::ALL {
+            let tree = hash_join_tree(&store, &one, &[inner]).unwrap();
+            let single = hash_join(&store, &spec.edges[0], inner).unwrap();
+            assert_eq!(tree.flat(), single.flat(), "{inner:?}");
+            assert_eq!(tree.column_names, single.column_names);
+        }
+    }
+
+    #[test]
+    fn execution_order_changes_rows_not_the_row_set_or_columns() {
+        let (store, spec) = setup();
+        let inners = [InnerStrategy::MultiColumn; 3];
+        let spec_order = hash_join_tree(&store, &spec, &inners).unwrap();
+        // date first, then customer, then nation (still dependency-valid).
+        let plan = JoinTreePlan {
+            order: vec![1, 0, 2],
+            inners: inners.to_vec(),
+            reuse_builds: true,
+        };
+        let reordered = hash_join_tree_with_options(&store, &spec, &plan, &ExecOptions::default())
+            .unwrap()
+            .0;
+        assert_eq!(reordered.column_names, spec_order.column_names);
+        assert_eq!(reordered.sorted_rows(), spec_order.sorted_rows());
+    }
+
+    #[test]
+    fn snowflake_before_its_parent_is_rejected() {
+        let (store, spec) = setup();
+        let plan = JoinTreePlan {
+            order: vec![2, 0, 1], // nation keys through customer: invalid first
+            inners: vec![InnerStrategy::MultiColumn; 3],
+            reuse_builds: true,
+        };
+        let err =
+            hash_join_tree_with_options(&store, &spec, &plan, &ExecOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("has not executed yet"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_trees() {
+        let (store, spec) = setup();
+        // Later edge with a filter.
+        let mut bad = spec.clone();
+        bad.edges[1].left_filter = Some((0, Predicate::lt(3)));
+        assert!(hash_join_tree(&store, &bad, &[InnerStrategy::MultiColumn; 3]).is_err());
+        // Later edge with base outputs.
+        let mut bad = spec.clone();
+        bad.edges[2].left_output = vec![0];
+        assert!(hash_join_tree(&store, &bad, &[InnerStrategy::MultiColumn; 3]).is_err());
+        // Unresolvable key source: nation joined through a table that is
+        // in no earlier edge.
+        let mut bad = spec.clone();
+        bad.edges[2].left = bad.edges[2].right;
+        assert!(hash_join_tree(&store, &bad, &[InnerStrategy::MultiColumn; 3]).is_err());
+        // Strategy count mismatch.
+        assert!(hash_join_tree(&store, &spec, &[InnerStrategy::MultiColumn; 2]).is_err());
+        // Empty tree.
+        assert!(hash_join_tree(&store, &JoinTreeSpec::new(vec![]), &[]).is_err());
+    }
+
+    #[test]
+    fn duplicate_inner_table_builds_once_and_reuse_is_invisible() {
+        // The date dimension probed on two different base columns: one
+        // build, two probes — and the bytes match a rebuild-per-edge run.
+        let store = Store::in_memory();
+        let n = 200i64;
+        let odate: Vec<Value> = (0..n).map(|i| i % 10).collect();
+        let sdate: Vec<Value> = (0..n).map(|i| (i * 3) % 10).collect();
+        let orders = store
+            .load_projection(
+                &ProjectionSpec::new("orders")
+                    .column("odate", Ek::Plain, SortOrder::None)
+                    .column("sdate", Ek::Plain, SortOrder::None),
+                &[&odate, &sdate],
+            )
+            .unwrap();
+        let dk: Vec<Value> = (0..10).collect();
+        let dname: Vec<Value> = (0..10).map(|i| 100 + i).collect();
+        let date = store
+            .load_projection(
+                &ProjectionSpec::new("date")
+                    .column("datekey", Ek::Plain, SortOrder::Primary)
+                    .column("dname", Ek::Plain, SortOrder::None),
+                &[&dk, &dname],
+            )
+            .unwrap();
+        let spec = JoinTreeSpec::new(vec![
+            JoinSpec {
+                left: orders,
+                right: date,
+                left_key: 0,
+                right_key: 0,
+                left_filter: None,
+                left_output: vec![0, 1],
+                right_output: vec![1],
+            },
+            JoinSpec {
+                left: orders,
+                right: date,
+                left_key: 1,
+                right_key: 0,
+                left_filter: None,
+                left_output: vec![],
+                right_output: vec![1],
+            },
+        ]);
+        let inners = vec![InnerStrategy::MultiColumn; 2];
+        let reuse = JoinTreePlan::in_spec_order(inners.clone());
+        let (r1, s1) =
+            hash_join_tree_with_options(&store, &spec, &reuse, &ExecOptions::default()).unwrap();
+        assert_eq!(s1.builds, 1, "one build for two edges");
+        assert_eq!(s1.build_reuses, 1);
+        let rebuild = JoinTreePlan {
+            reuse_builds: false,
+            ..reuse
+        };
+        let (r2, s2) =
+            hash_join_tree_with_options(&store, &spec, &rebuild, &ExecOptions::default()).unwrap();
+        assert_eq!(s2.builds, 2, "rebuild per edge when reuse is off");
+        assert_eq!(s2.build_reuses, 0);
+        assert_eq!(r1.flat(), r2.flat(), "reuse is invisible in the bytes");
+        assert_eq!(r1.num_rows() as u64, s1.rows_out);
+        // Every order row matches both date probes: n rows out.
+        assert_eq!(r1.num_rows(), 200);
+    }
+
+    #[test]
+    fn parallel_tree_is_byte_identical() {
+        let (store, spec) = setup();
+        for inner in InnerStrategy::ALL {
+            let opts = |workers| ExecOptions {
+                granule: 16,
+                parallelism: workers,
+                ..ExecOptions::default()
+            };
+            let plan = JoinTreePlan::in_spec_order(vec![inner; 3]);
+            let serial = hash_join_tree_with_options(&store, &spec, &plan, &opts(1))
+                .unwrap()
+                .0;
+            for workers in [2, 3, 8] {
+                let par = hash_join_tree_with_options(&store, &spec, &plan, &opts(workers))
+                    .unwrap()
+                    .0;
+                assert_eq!(par.flat(), serial.flat(), "{inner:?} workers={workers}");
+            }
+        }
+    }
+}

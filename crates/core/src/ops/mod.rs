@@ -13,9 +13,11 @@
 //! | SPC | [`spc::spc_scan`] |
 //! | aggregator | [`agg::SumAggregator`] (tuple- and column-input forms) |
 //! | join | [`join`] (three inner-table strategies, §4.3) |
+//! | join tree | [`join_tree`] (left-deep multi-way joins, position-list pipelined) |
 
 pub mod agg;
 pub mod join;
+pub mod join_tree;
 pub mod merge;
 pub mod probe;
 pub mod spc;

@@ -10,13 +10,14 @@
 //! materialization; otherwise early materialization.
 
 use matstrat_common::{Result, Value};
-use matstrat_model::plans::QueryParams;
+use matstrat_model::plans::{JoinTreeCost, JoinTreeEdgeParams, QueryParams};
 use matstrat_model::{ColumnParams, Constants, CostBreakdown, CostModel, JoinParams};
 use matstrat_storage::{ColumnInfo, EncodingKind, ProjectionInfo, SortOrder, Store};
 
 use crate::ops::join::{InnerStrategy, JoinSpec};
+use crate::ops::join_tree::JoinTreePlan;
 use crate::pipeline::FragmentPipeline;
-use crate::query::QuerySpec;
+use crate::query::{JoinKeySource, JoinTreeSpec, QuerySpec};
 use crate::strategy::Strategy;
 
 /// Why the planner picked what it picked.
@@ -44,6 +45,46 @@ pub struct JoinChoice {
     /// Human-readable reasoning.
     pub reason: String,
 }
+
+/// The planner's pick for a whole join tree: an execution order plus one
+/// inner-table strategy per edge, with every candidate it rejected.
+#[derive(Debug, Clone)]
+pub struct JoinTreeChoice {
+    /// Chosen execution order (indices into `spec.edges`).
+    pub order: Vec<usize>,
+    /// Chosen inner-table strategy per edge, indexed by **spec**
+    /// position.
+    pub inners: Vec<InnerStrategy>,
+    /// Total estimate of the chosen plan.
+    pub estimate: CostBreakdown,
+    /// The chosen plan's per-edge costs and chained cardinality
+    /// estimates (execution order), from [`CostModel::join_tree`].
+    pub tree: JoinTreeCost,
+    /// For each execution slot of the chosen order: all three
+    /// representations priced, the rejected ones included.
+    pub edge_alternatives: Vec<Vec<(InnerStrategy, CostBreakdown)>>,
+    /// Every execution order evaluated (each with its per-edge-best
+    /// strategies) and its total estimate — the chosen order included.
+    pub candidates: Vec<(Vec<usize>, f64)>,
+    /// Human-readable reasoning.
+    pub reason: String,
+}
+
+impl JoinTreeChoice {
+    /// The executable plan this choice describes.
+    pub fn plan(&self) -> JoinTreePlan {
+        JoinTreePlan {
+            order: self.order.clone(),
+            inners: self.inners.clone(),
+            reuse_builds: true,
+        }
+    }
+}
+
+/// Edge-order enumeration switches from exhaustive to greedy above this
+/// many edges (4! = 24 orders × 3 representations per edge stays cheap;
+/// 7! would not).
+const EXHAUSTIVE_ORDER_EDGES: usize = 4;
 
 /// The strategy chooser.
 #[derive(Debug, Clone)]
@@ -142,6 +183,375 @@ impl Planner {
                 estimate.io_us / 1000.0
             ),
         })
+    }
+
+    /// Pick an execution order **and** a per-edge inner-table strategy
+    /// for a join tree, priced with [`CostModel::join_tree`]'s chained
+    /// intermediate cardinalities and build-reuse discounts.
+    ///
+    /// A single-edge tree delegates to [`Planner::choose_join`] — the
+    /// two entry points must never disagree on a plain join — and wraps
+    /// its choice. For multi-edge trees every dependency-respecting
+    /// order is enumerated exhaustively up to 4 edges; larger trees are
+    /// planned greedily (smallest estimated cardinality multiplier
+    /// first), with the spec order always among the candidates. Within
+    /// an order, each edge's representation is chosen independently —
+    /// an edge's strategy affects its own cost but never the chained
+    /// cardinality, so per-edge minimization is globally optimal for
+    /// that order.
+    pub fn choose_join_tree(&self, store: &Store, spec: &JoinTreeSpec) -> Result<JoinTreeChoice> {
+        spec.validate()?;
+        if spec.edges.len() == 1 {
+            let single = self.choose_join(store, &spec.edges[0])?;
+            return Ok(Self::wrap_single_edge(single));
+        }
+        let probe_workers = FragmentPipeline::effective_workers(
+            store.projection(spec.base())?.num_rows,
+            crate::GRANULE,
+            self.parallelism,
+        );
+
+        let mut best: Option<(Vec<usize>, Vec<InnerStrategy>, f64)> = None;
+        let mut candidates: Vec<(Vec<usize>, f64)> = Vec::new();
+        for order in self.candidate_orders(store, spec)? {
+            let (inners, total) = self.price_order(store, spec, &order, probe_workers)?;
+            candidates.push((order.clone(), total));
+            if best.as_ref().is_none_or(|(_, _, t)| total < *t) {
+                best = Some((order, inners, total));
+            }
+        }
+        let (order, inners, _) = best.expect("at least the spec order is a candidate");
+
+        // Authoritative estimate of the winner via the model's composer,
+        // plus the per-slot alternatives the choice rejected.
+        let edge_params = self.tree_edge_params(store, spec, &order, probe_workers)?;
+        let tree = self.model.join_tree(
+            &edge_params
+                .iter()
+                .zip(&order)
+                .map(|(p, &ei)| JoinTreeEdgeParams {
+                    kind: inners[ei].plan_kind(),
+                    ..*p
+                })
+                .collect::<Vec<_>>(),
+        );
+        let mut edge_alternatives = Vec::with_capacity(order.len());
+        for (slot, p) in edge_params.iter().enumerate() {
+            let mut chained = *p;
+            chained.params.left_key.rows = if slot == 0 {
+                p.params.left_rows()
+            } else {
+                tree.cards[slot - 1]
+            };
+            edge_alternatives.push(
+                InnerStrategy::ALL
+                    .iter()
+                    .map(|&s| {
+                        (
+                            s,
+                            self.model.hash_join_parallel_with_reuse(
+                                &chained.params,
+                                s.plan_kind(),
+                                chained.build_workers,
+                                chained.probe_workers,
+                                chained.build_reused,
+                            ),
+                        )
+                    })
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let estimate = tree.total;
+        let reused = edge_params.iter().filter(|p| p.build_reused).count();
+        let reuse_note = if reused > 0 {
+            format!(
+                ", {reused} build reuse{}",
+                if reused > 1 { "s" } else { "" }
+            )
+        } else {
+            String::new()
+        };
+        let reason = format!(
+            "analytical model over {} orders: [{}] with [{}] predicted {:.2} ms \
+             (cpu {:.2} + io {:.2}, ~{:.0} rows out{reuse_note})",
+            candidates.len(),
+            order
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(" → "),
+            order
+                .iter()
+                .map(|&e| inners[e].name())
+                .collect::<Vec<_>>()
+                .join(", "),
+            estimate.total_ms(),
+            estimate.cpu_us / 1000.0,
+            estimate.io_us / 1000.0,
+            tree.out_rows(),
+        );
+        Ok(JoinTreeChoice {
+            order,
+            inners,
+            estimate,
+            tree,
+            edge_alternatives,
+            candidates,
+            reason,
+        })
+    }
+
+    /// Wrap a single join's [`JoinChoice`] as a one-edge tree choice —
+    /// the delegation that keeps `choose_join_tree` and `choose_join`
+    /// in exact agreement on plain joins.
+    fn wrap_single_edge(single: JoinChoice) -> JoinTreeChoice {
+        JoinTreeChoice {
+            order: vec![0],
+            inners: vec![single.inner],
+            estimate: single.estimate,
+            tree: JoinTreeCost {
+                edges: vec![(single.inner.plan_kind(), single.estimate)],
+                cards: Vec::new(),
+                total: single.estimate,
+            },
+            edge_alternatives: vec![single.alternatives.clone()],
+            candidates: vec![(vec![0], single.estimate.total_us())],
+            reason: format!("single edge, delegated to choose_join: {}", single.reason),
+        }
+    }
+
+    /// Every execution order worth pricing: all dependency-respecting
+    /// permutations for small trees, or spec order plus a greedy
+    /// smallest-multiplier-first order for large ones.
+    fn candidate_orders(&self, store: &Store, spec: &JoinTreeSpec) -> Result<Vec<Vec<usize>>> {
+        let n = spec.edges.len();
+        if n <= EXHAUSTIVE_ORDER_EDGES {
+            let mut orders = Vec::new();
+            let mut current = Vec::with_capacity(n);
+            let mut placed = vec![false; n];
+            Self::permute_orders(spec, &mut current, &mut placed, &mut orders)?;
+            return Ok(orders);
+        }
+        // Greedy: repeatedly run the edge that shrinks (or grows) the
+        // intermediate least — the standard smallest-intermediate
+        // heuristic — among the dependency-eligible ones.
+        let mut multipliers = Vec::with_capacity(n);
+        for ei in 0..n {
+            let p = self.tree_edge_raw_params(store, spec, ei)?;
+            multipliers.push(p.match_rate * p.fanout);
+        }
+        let mut greedy = Vec::with_capacity(n);
+        let mut placed = vec![false; n];
+        while greedy.len() < n {
+            let next = (0..n)
+                .filter(|&e| !placed[e] && Self::deps_placed(spec, e, &placed))
+                .min_by(|&a, &b| multipliers[a].total_cmp(&multipliers[b]))
+                .expect("spec order is dependency-valid, so some edge is eligible");
+            placed[next] = true;
+            greedy.push(next);
+        }
+        let spec_order: Vec<usize> = (0..n).collect();
+        if greedy == spec_order {
+            Ok(vec![spec_order])
+        } else {
+            Ok(vec![spec_order, greedy])
+        }
+    }
+
+    fn deps_placed(spec: &JoinTreeSpec, edge: usize, placed: &[bool]) -> bool {
+        match spec.key_source(edge) {
+            Ok(JoinKeySource::Edge(j)) => placed[j],
+            _ => true,
+        }
+    }
+
+    fn permute_orders(
+        spec: &JoinTreeSpec,
+        current: &mut Vec<usize>,
+        placed: &mut [bool],
+        out: &mut Vec<Vec<usize>>,
+    ) -> Result<()> {
+        let n = spec.edges.len();
+        if current.len() == n {
+            out.push(current.clone());
+            return Ok(());
+        }
+        for e in 0..n {
+            if !placed[e] && Self::deps_placed(spec, e, placed) {
+                placed[e] = true;
+                current.push(e);
+                Self::permute_orders(spec, current, placed, out)?;
+                current.pop();
+                placed[e] = false;
+            }
+        }
+        Ok(())
+    }
+
+    /// Price one execution order: chained cardinalities via the model's
+    /// composer, with each edge's representation chosen independently
+    /// (kind never feeds back into the cardinality chain).
+    fn price_order(
+        &self,
+        store: &Store,
+        spec: &JoinTreeSpec,
+        order: &[usize],
+        probe_workers: usize,
+    ) -> Result<(Vec<InnerStrategy>, f64)> {
+        let edge_params = self.tree_edge_params(store, spec, order, probe_workers)?;
+        // Cards are kind-independent: compose once at any kind.
+        let cards = self.model.join_tree(&edge_params).cards;
+        let mut inners = vec![InnerStrategy::MultiColumn; spec.edges.len()];
+        let mut total = 0.0;
+        for (slot, p) in edge_params.iter().enumerate() {
+            let mut chained = p.params;
+            if slot > 0 {
+                chained.left_key.rows = cards[slot - 1];
+            }
+            let (kind, cost) = InnerStrategy::ALL
+                .iter()
+                .map(|&s| {
+                    (
+                        s,
+                        self.model.hash_join_parallel_with_reuse(
+                            &chained,
+                            s.plan_kind(),
+                            p.build_workers,
+                            p.probe_workers,
+                            p.build_reused,
+                        ),
+                    )
+                })
+                .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
+                .expect("three join plans always estimable");
+            inners[order[slot]] = kind;
+            total += cost.total_us();
+        }
+        Ok((inners, total))
+    }
+
+    /// The model inputs for `order`, in execution order: per-edge
+    /// [`JoinParams`] (left rows set for the first edge, chained by the
+    /// model for the rest), skew-guarded worker counts, and build-reuse
+    /// flags for repeated (inner table, key column) pairs.
+    fn tree_edge_params(
+        &self,
+        store: &Store,
+        spec: &JoinTreeSpec,
+        order: &[usize],
+        probe_workers: usize,
+    ) -> Result<Vec<JoinTreeEdgeParams>> {
+        let mut out = Vec::with_capacity(order.len());
+        let mut built: Vec<(matstrat_common::TableId, usize)> = Vec::new();
+        for (slot, &ei) in order.iter().enumerate() {
+            let edge = &spec.edges[ei];
+            let mut params = self.tree_edge_raw_params(store, spec, ei)?;
+            if slot == 0 {
+                // The base filter is applied once, before the first probe
+                // of whatever edge executes first.
+                params.sf = match &spec.edges[0].left_filter {
+                    Some((col, pred)) => {
+                        let base = store.projection(spec.base())?;
+                        Self::selectivity(base.column(*col)?, pred)
+                    }
+                    None => 1.0,
+                };
+            }
+            if slot + 1 == order.len() {
+                // Base output values are fetched once, at the top of the
+                // tree — price them on the last edge, whose output
+                // cardinality is the tree's.
+                let base = store.projection(spec.base())?;
+                params.left_out_cols = spec.edges[0].left_output.len() as f64;
+                params.left_out_blocks = {
+                    let mut total = 0.0;
+                    for &c in &spec.edges[0].left_output {
+                        total += base.column(c)?.stats.num_blocks as f64;
+                    }
+                    total
+                };
+            }
+            let right_rows = store.projection(edge.right)?.num_rows;
+            let build_workers =
+                FragmentPipeline::effective_workers(right_rows, crate::GRANULE, self.parallelism);
+            let key = (edge.right, edge.right_key);
+            let build_reused = built.contains(&key);
+            built.push(key);
+            out.push(JoinTreeEdgeParams {
+                params,
+                kind: matstrat_model::plans::JoinInnerKind::MultiColumn,
+                build_workers,
+                probe_workers,
+                build_reused,
+            });
+        }
+        Ok(out)
+    }
+
+    /// Order-independent [`JoinParams`] for one edge: key column shapes,
+    /// match rate from the key domains' overlap, fan-out from the right
+    /// key's duplication, and the edge's right outputs. `sf` and the
+    /// base outputs are order-dependent and filled by
+    /// [`Self::tree_edge_params`]; no filter selectivity enters here.
+    fn tree_edge_raw_params(
+        &self,
+        store: &Store,
+        spec: &JoinTreeSpec,
+        ei: usize,
+    ) -> Result<JoinParams> {
+        let edge = &spec.edges[ei];
+        let right = store.projection(edge.right)?;
+        let rkey = right.column(edge.right_key)?;
+        let (lkey_params, lkey) = match spec.key_source(ei)? {
+            JoinKeySource::Base => {
+                let base_id = spec.base();
+                let base = store.projection(base_id)?;
+                let col = base.column(edge.left_key)?;
+                (
+                    Self::column_params_for(store, base_id, edge.left_key, col),
+                    col.clone(),
+                )
+            }
+            JoinKeySource::Edge(j) => {
+                let through = spec.edges[j].right;
+                let proj = store.projection(through)?;
+                let col = proj.column(edge.left_key)?;
+                let mut p = Self::column_params_for(store, through, edge.left_key, col);
+                // Snowflake keys indexed out of the through table's
+                // *hash-key* decode cost no I/O — the executor reuses the
+                // `SharedBuild::keys` it already holds. Keying on any
+                // other column makes the executor fetch + decode that
+                // column once at build time, so its blocks stay priced.
+                if spec.edges[j].right_key == edge.left_key {
+                    p.blocks = 0.0;
+                }
+                (p, col.clone())
+            }
+        };
+        let mut params = JoinParams::fk_join(
+            lkey_params,
+            Self::column_params_for(store, edge.right, edge.right_key, rkey),
+            1.0,
+        );
+        // Fraction of probe keys inside the right domain, under
+        // uniformity (see `join_params`).
+        let lo = lkey.stats.min.max(rkey.stats.min) as f64;
+        let hi = lkey.stats.max.min(rkey.stats.max) as f64;
+        let l_span = (lkey.stats.max - lkey.stats.min) as f64 + 1.0;
+        params.match_rate = ((hi - lo + 1.0) / l_span).clamp(0.0, 1.0);
+        // Right-key duplication: matches per matching probe.
+        params.fanout = rkey.stats.num_rows as f64 / rkey.stats.distinct.max(1) as f64;
+        params.left_out_cols = 0.0;
+        params.left_out_blocks = 0.0;
+        params.right_out_cols = edge.right_output.len() as f64;
+        params.right_out_blocks = {
+            let mut total = 0.0;
+            for &c in &edge.right_output {
+                total += right.column(c)?.stats.num_blocks as f64;
+            }
+            total
+        };
+        Ok(params)
     }
 
     /// Build the model's [`JoinParams`] for an equi-join from catalog
@@ -703,6 +1113,221 @@ mod tests {
             assert!((e8.cpu_us - e1.cpu_us).abs() < 1e-9, "{s1:?}");
             assert!((e8.io_us - e1.io_us).abs() < 1e-9, "{s1:?}");
         }
+    }
+
+    /// orders(custkey FK, datekey FK, shipdate) star-joined to customer
+    /// (filtered side) and a tiny date dimension.
+    fn tree_setup(left_granules: u64) -> (Store, crate::query::JoinTreeSpec) {
+        let store = Store::in_memory();
+        let n = (left_granules * crate::GRANULE) as usize;
+        let n_cust = 500i64;
+        let n_date = 100i64;
+        let custkey: Vec<Value> = (0..n).map(|i| (i as Value * 13) % n_cust).collect();
+        let datekey: Vec<Value> = (0..n).map(|i| (i as Value * 7) % n_date).collect();
+        let shipdate: Vec<Value> = (0..n).map(|i| (i % 2500) as Value).collect();
+        let orders = store
+            .load_projection(
+                &ProjectionSpec::new("orders")
+                    .column("custkey", EncodingKind::Plain, So::None)
+                    .column("datekey", EncodingKind::Plain, So::None)
+                    .column("shipdate", EncodingKind::Plain, So::None),
+                &[&custkey, &datekey, &shipdate],
+            )
+            .unwrap();
+        let ck: Vec<Value> = (0..n_cust).collect();
+        let nation: Vec<Value> = (0..n_cust).map(|i| i % 25).collect();
+        let customer = store
+            .load_projection(
+                &ProjectionSpec::new("customer")
+                    .column("custkey", EncodingKind::Plain, So::Primary)
+                    .column("nation", EncodingKind::Plain, So::None),
+                &[&ck, &nation],
+            )
+            .unwrap();
+        // Two rows per datekey: a fan-out-2 dimension, so edge order
+        // genuinely matters (probing it early doubles the intermediate).
+        let dk: Vec<Value> = (0..2 * n_date).map(|i| i / 2).collect();
+        let dname: Vec<Value> = (0..2 * n_date).map(|i| 1000 + i).collect();
+        let date = store
+            .load_projection(
+                &ProjectionSpec::new("date")
+                    .column("datekey", EncodingKind::Plain, So::Primary)
+                    .column("dname", EncodingKind::Plain, So::None),
+                &[&dk, &dname],
+            )
+            .unwrap();
+        let spec = crate::query::JoinTreeSpec::new(vec![
+            crate::ops::join::JoinSpec {
+                left: orders,
+                right: customer,
+                left_key: 0,
+                right_key: 0,
+                left_filter: Some((0, Predicate::lt(125))),
+                left_output: vec![2],
+                right_output: vec![1],
+            },
+            crate::ops::join::JoinSpec {
+                left: orders,
+                right: date,
+                left_key: 1,
+                right_key: 0,
+                left_filter: None,
+                left_output: vec![],
+                right_output: vec![1],
+            },
+        ]);
+        (store, spec)
+    }
+
+    #[test]
+    fn single_edge_tree_choice_equals_choose_join() {
+        // The delegation contract: a one-edge tree must produce exactly
+        // the plain join planner's pick — strategy, estimate, and
+        // alternatives.
+        let (store, spec) = join_setup(2);
+        let planner = Planner::default();
+        let single = planner.choose_join(&store, &spec).unwrap();
+        let tree = planner
+            .choose_join_tree(&store, &crate::query::JoinTreeSpec::new(vec![spec]))
+            .unwrap();
+        assert_eq!(tree.order, vec![0]);
+        assert_eq!(tree.inners, vec![single.inner]);
+        assert_eq!(tree.estimate, single.estimate);
+        assert_eq!(tree.edge_alternatives.len(), 1);
+        for ((s_tree, c_tree), (s_join, c_join)) in
+            tree.edge_alternatives[0].iter().zip(&single.alternatives)
+        {
+            assert_eq!(s_tree, s_join);
+            assert_eq!(c_tree, c_join);
+        }
+        assert!(
+            tree.reason.contains("delegated to choose_join"),
+            "{}",
+            tree.reason
+        );
+    }
+
+    #[test]
+    fn choose_join_tree_picks_the_cheapest_candidate() {
+        let (store, spec) = tree_setup(2);
+        let planner = Planner::default();
+        let choice = planner.choose_join_tree(&store, &spec).unwrap();
+        // Two star edges, no dependencies: both orders priced.
+        assert_eq!(choice.candidates.len(), 2);
+        let best = choice
+            .candidates
+            .iter()
+            .map(|(_, t)| *t)
+            .fold(f64::INFINITY, f64::min);
+        let chosen = choice
+            .candidates
+            .iter()
+            .find(|(o, _)| *o == choice.order)
+            .expect("chosen order among candidates");
+        assert!(
+            chosen.1 <= best + 1e-9,
+            "picked plan priced above a rejected one: {} vs {best}",
+            chosen.1
+        );
+        // The non-expanding customer edge runs before the fan-out-2 date
+        // edge: probing the dimension early would double the
+        // intermediate the customer probe then has to chew through.
+        assert_eq!(choice.order, vec![0, 1], "{}", choice.reason);
+        // Per-edge choice is the per-slot minimum of its alternatives.
+        for (slot, alts) in choice.edge_alternatives.iter().enumerate() {
+            let chosen_kind = choice.inners[choice.order[slot]];
+            let chosen_cost = alts
+                .iter()
+                .find(|(s, _)| *s == chosen_kind)
+                .expect("chosen kind priced")
+                .1;
+            for (s, c) in alts {
+                assert!(
+                    chosen_cost.total_us() <= c.total_us() + 1e-9,
+                    "slot {slot}: {chosen_kind:?} dearer than {s:?}"
+                );
+            }
+        }
+        // Cardinality chain: ~0.25 × left rows after the filtered
+        // customer edge, doubled by the fan-out-2 date edge.
+        let n = (2 * crate::GRANULE) as f64;
+        assert!((choice.tree.cards[0] / (0.25 * n) - 1.0).abs() < 0.05);
+        assert!((choice.tree.out_rows() / (0.5 * n) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn choose_join_tree_prices_build_reuse() {
+        // The same date dimension probed on two base columns: the second
+        // edge must carry the reuse discount and the reason must say so.
+        let (store, mut spec) = tree_setup(1);
+        let date = spec.edges[1].right;
+        spec.edges[0] = crate::ops::join::JoinSpec {
+            left: spec.edges[0].left,
+            right: date,
+            left_key: 2, // shipdate % domain happens to overlap; fine for pricing
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![2],
+            right_output: vec![1],
+        };
+        let planner = Planner::default();
+        let choice = planner.choose_join_tree(&store, &spec).unwrap();
+        assert!(choice.reason.contains("build reuse"), "{}", choice.reason);
+        // Whichever order won, its second slot reuses the first's build.
+        let params = planner
+            .tree_edge_params(&store, &spec, &choice.order, 1)
+            .unwrap();
+        assert!(!params[0].build_reused && params[1].build_reused);
+    }
+
+    #[test]
+    fn choose_join_tree_respects_snowflake_dependencies() {
+        // customer → nation snowflake: nation can never execute before
+        // customer, in any candidate order.
+        let (store, mut spec) = tree_setup(1);
+        let customer = spec.edges[0].right;
+        let nk: Vec<Value> = (0..25).collect();
+        let rg: Vec<Value> = (0..25).map(|i| i % 5).collect();
+        let nation = store
+            .load_projection(
+                &ProjectionSpec::new("nation")
+                    .column("nationkey", EncodingKind::Plain, So::Primary)
+                    .column("region", EncodingKind::Plain, So::None),
+                &[&nk, &rg],
+            )
+            .unwrap();
+        spec.edges.push(crate::ops::join::JoinSpec {
+            left: customer,
+            right: nation,
+            left_key: 1,
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![],
+            right_output: vec![1],
+        });
+        let planner = Planner::default();
+        let choice = planner.choose_join_tree(&store, &spec).unwrap();
+        // 3 edges, one dependency (2 after 0): 3 valid orders, not 6.
+        assert_eq!(choice.candidates.len(), 3);
+        for (order, _) in &choice.candidates {
+            let pos0 = order.iter().position(|&e| e == 0).unwrap();
+            let pos2 = order.iter().position(|&e| e == 2).unwrap();
+            assert!(pos0 < pos2, "snowflake dependency violated: {order:?}");
+        }
+        // The snowflake hop keys on customer.nation (col 1), not the
+        // column customer was hashed on (col 0): the executor will fetch
+        // and decode that column at build time, so the planner must keep
+        // its blocks priced — only a hash-key-aligned hop is free.
+        let p2 = planner.tree_edge_raw_params(&store, &spec, 2).unwrap();
+        assert!(
+            p2.left_key.blocks > 0.0,
+            "non-hash-key snowflake key I/O priced"
+        );
+        // A hop aligned with the hash key prices as zero-I/O.
+        let mut aligned = spec.clone();
+        aligned.edges[2].left_key = 0;
+        let p2 = planner.tree_edge_raw_params(&store, &aligned, 2).unwrap();
+        assert_eq!(p2.left_key.blocks, 0.0, "hash-key hop reuses the decode");
     }
 
     #[test]

@@ -3,10 +3,11 @@
 use std::ops::AddAssign;
 use std::time::Duration;
 
-use matstrat_common::{Predicate, TableId, Value};
+use matstrat_common::{Error, Predicate, Result, TableId, Value};
 use matstrat_storage::IoStats;
 
 use crate::ops::agg::AggFunc;
+use crate::ops::join::JoinSpec;
 use crate::strategy::Strategy;
 
 /// An aggregation over one column, grouped by another
@@ -98,6 +99,133 @@ impl QuerySpec {
         }
         cols
     }
+}
+
+/// Where a join-tree edge's probe keys come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKeySource {
+    /// The base (leftmost) table: key values are fetched at the
+    /// intermediate's base positions with a merge on position.
+    Base,
+    /// The right table of an earlier edge (by spec index): key values
+    /// are indexed out of that table at the intermediate's matched right
+    /// positions — a snowflake hop, no extra I/O.
+    Edge(usize),
+}
+
+/// A left-deep tree of equi-joins over [`JoinSpec`] edges:
+///
+/// ```sql
+/// SELECT base.<outputs...>, r1.<outputs...>, ..., rN.<outputs...>
+/// FROM base, r1, ..., rN
+/// WHERE base.k1 = r1.key AND ... [AND base.<filter col> <op> const]
+/// ```
+///
+/// Edge 0 is an ordinary [`JoinSpec`] — its `left` names the **base**
+/// (probe) table, its `left_filter`/`left_output` the base predicate and
+/// output columns. Every later edge joins one more inner table into the
+/// running intermediate: its `left` must be the base table (a star edge)
+/// or the `right` of an earlier edge (a snowflake edge, keyed through
+/// that table's matched positions), its `left_key` a column of that
+/// table, and — since the intermediate carries the base state — its
+/// `left_filter` must be `None` and `left_output` empty.
+///
+/// Output columns are the base outputs followed by every edge's right
+/// outputs **in spec order**, whatever execution order the planner
+/// picks. A one-edge tree is exactly its [`JoinSpec`].
+#[derive(Debug, Clone)]
+pub struct JoinTreeSpec {
+    /// The join edges, in declaration order.
+    pub edges: Vec<JoinSpec>,
+}
+
+impl JoinTreeSpec {
+    /// Wrap edges into a tree (validated at execution/planning time).
+    pub fn new(edges: Vec<JoinSpec>) -> JoinTreeSpec {
+        JoinTreeSpec { edges }
+    }
+
+    /// The base (probe) table: edge 0's left side.
+    pub fn base(&self) -> TableId {
+        self.edges.first().map(|e| e.left).unwrap_or(TableId(0))
+    }
+
+    /// Where edge `idx`'s probe keys come from: the base table, or the
+    /// right side of the first earlier edge whose inner table matches
+    /// (duplicate inner tables resolve to their first occurrence, which
+    /// is also the build every later occurrence reuses).
+    pub fn key_source(&self, idx: usize) -> Result<JoinKeySource> {
+        let edge = &self.edges[idx];
+        if edge.left == self.base() {
+            return Ok(JoinKeySource::Base);
+        }
+        self.edges[..idx]
+            .iter()
+            .position(|e| e.right == edge.left)
+            .map(JoinKeySource::Edge)
+            .ok_or_else(|| {
+                Error::invalid(format!(
+                    "join tree edge {idx}: left table {:?} is neither the base table \
+                     nor the inner table of an earlier edge",
+                    edge.left
+                ))
+            })
+    }
+
+    /// Check tree shape: at least one edge, later edges carry no base
+    /// state of their own, and every edge's key source resolves.
+    pub fn validate(&self) -> Result<()> {
+        if self.edges.is_empty() {
+            return Err(Error::invalid("join tree needs at least one edge"));
+        }
+        for (i, e) in self.edges.iter().enumerate().skip(1) {
+            if e.left_filter.is_some() {
+                return Err(Error::invalid(format!(
+                    "join tree edge {i}: only edge 0 may filter the base table"
+                )));
+            }
+            if !e.left_output.is_empty() {
+                return Err(Error::invalid(format!(
+                    "join tree edge {i}: base outputs belong to edge 0 \
+                     (left_output must be empty)"
+                )));
+            }
+            self.key_source(i)?;
+        }
+        Ok(())
+    }
+
+    /// Output width: base outputs plus every edge's right outputs.
+    pub fn output_width(&self) -> usize {
+        self.edges.first().map_or(0, |e| e.left_output.len())
+            + self
+                .edges
+                .iter()
+                .map(|e| e.right_output.len())
+                .sum::<usize>()
+    }
+}
+
+/// Measurements of one join-tree execution.
+#[derive(Debug, Clone, Default)]
+pub struct JoinTreeStats {
+    /// Wall-clock execution time.
+    pub wall: Duration,
+    /// Simulated-disk activity during execution (global meter delta).
+    pub io: IoStats,
+    /// Result rows produced.
+    pub rows_out: u64,
+    /// Partitioned hash-table builds that actually ran — one per
+    /// distinct (inner table, key column) pair when reuse is on.
+    pub builds: u64,
+    /// Probes served by a cached build table instead of a rebuild: the
+    /// reuse the tree executor (and the planner's pricing) counts on
+    /// when one inner table appears in multiple edges.
+    pub build_reuses: u64,
+    /// Granule runs the probe pipeline's work-stealing scheduler moved
+    /// between workers (see [`ExecStats::steals`]); build-phase
+    /// pipelines are not included. Not deterministic.
+    pub steals: u64,
 }
 
 /// A materialized result: row-major tuples of `width` values.

@@ -396,14 +396,35 @@ impl CostModel {
     ///   the Figure 13 positional-join penalty (sort + gather + scatter
     ///   over the *unsorted* right positions) for `SingleColumn`.
     pub fn hash_join(&self, q: &JoinParams, kind: JoinInnerKind) -> JoinCost {
+        self.hash_join_with_reuse(q, kind, false)
+    }
+
+    /// [`Self::hash_join`] with the build-reuse discount the join-tree
+    /// executor earns: when `build_reused` is set, the partitioned hash
+    /// table on the right key already exists (built by an earlier edge of
+    /// the same tree probing the same inner table), so the key-column
+    /// scan, its cold I/O, and the per-row hash inserts all drop out of
+    /// the build phase. The right output *representations* are still
+    /// priced — an edge may project different columns than the edge that
+    /// built the table — which makes the discount conservative when the
+    /// projections coincide (the executor's second fetch is then served
+    /// by the buffer pool).
+    pub fn hash_join_with_reuse(
+        &self,
+        q: &JoinParams,
+        kind: JoinInnerKind,
+        build_reused: bool,
+    ) -> JoinCost {
         let c = &self.constants;
         let out = q.out_rows();
 
         // ---- Build ------------------------------------------------------
         let mut build = CostBreakdown::default();
-        // Right key: a DS1-shaped full scan whose "emit" term (SF = 1) is
-        // the hash insert per row.
-        build.add(ds1(&q.right_key, 1.0, c));
+        if !build_reused {
+            // Right key: a DS1-shaped full scan whose "emit" term (SF = 1)
+            // is the hash insert per row.
+            build.add(ds1(&q.right_key, 1.0, c));
+        }
         // Right output blocks enter the pool at build for every
         // representation (compressed mini-columns or full decode).
         build.add((q.right_out_blocks * c.bic, q.right_out_io(c)));
@@ -469,15 +490,38 @@ impl CostModel {
         build_workers: usize,
         probe_workers: usize,
     ) -> CostBreakdown {
+        self.hash_join_parallel_with_reuse(q, kind, build_workers, probe_workers, false)
+    }
+
+    /// [`Self::hash_join_parallel`] with the build-reuse discount
+    /// ([`Self::hash_join_with_reuse`]). A reused build additionally
+    /// skips the radix scatter pass and the build phase's scheduler
+    /// bookkeeping — no build pipeline runs at all — while the probe
+    /// still pays its per-row partition hash when the *cached* table was
+    /// built partitioned (`build_workers > 1` describes how the table
+    /// was built, whether by this edge or the one it reuses).
+    pub fn hash_join_parallel_with_reuse(
+        &self,
+        q: &JoinParams,
+        kind: JoinInnerKind,
+        build_workers: usize,
+        probe_workers: usize,
+        build_reused: bool,
+    ) -> CostBreakdown {
         let c = &self.constants;
         let mut cost = self
-            .hash_join(q, kind)
+            .hash_join_with_reuse(q, kind, build_reused)
             .with_workers(build_workers, probe_workers);
         if build_workers > 1 {
-            cost.cpu_us += q.right_rows() * c.fc / build_workers as f64;
+            if !build_reused {
+                cost.cpu_us += q.right_rows() * c.fc / build_workers as f64;
+            }
             cost.cpu_us += q.left_rows() * q.sf * c.fc / probe_workers.max(1) as f64;
         }
-        cost.cpu_us += self.steal_overhead(build_workers) + self.steal_overhead(probe_workers);
+        if !build_reused {
+            cost.cpu_us += self.steal_overhead(build_workers);
+        }
+        cost.cpu_us += self.steal_overhead(probe_workers);
         cost
     }
 
@@ -499,6 +543,97 @@ impl CostModel {
             })
             .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
             .expect("three plans are always estimable")
+    }
+
+    /// Price a left-deep join tree: the edges execute in slice order,
+    /// each probing the running intermediate with the hash table built
+    /// (or reused) on its inner table.
+    ///
+    /// The composition is where multi-way pricing differs from summing
+    /// independent joins: each edge's probe-side row count is **rewritten
+    /// to the previous edge's estimated output cardinality** (`left_rows
+    /// × sf × match_rate × fanout`, chained), so a plan that shrinks the
+    /// intermediate early makes every later probe cheaper — the quantity
+    /// edge ordering optimizes. Edges flagged `build_reused` take the
+    /// [`Self::hash_join_parallel_with_reuse`] discount.
+    pub fn join_tree(&self, edges: &[JoinTreeEdgeParams]) -> JoinTreeCost {
+        let mut per_edge = Vec::with_capacity(edges.len());
+        let mut cards = Vec::with_capacity(edges.len());
+        let mut total = CostBreakdown::default();
+        let mut rows = edges.first().map_or(0.0, |e| e.params.left_rows());
+        for e in edges {
+            let mut p = e.params;
+            p.left_key.rows = rows;
+            let cost = self.hash_join_parallel_with_reuse(
+                &p,
+                e.kind,
+                e.build_workers,
+                e.probe_workers,
+                e.build_reused,
+            );
+            rows = p.out_rows();
+            cards.push(rows);
+            total.cpu_us += cost.cpu_us;
+            total.io_us += cost.io_us;
+            per_edge.push((e.kind, cost));
+        }
+        JoinTreeCost {
+            edges: per_edge,
+            cards,
+            total,
+        }
+    }
+}
+
+/// One edge of a join-tree pricing request, in execution order.
+///
+/// `params.left_key.rows` is only honored for the first edge (the base
+/// table's surviving row count enters there); later edges have it
+/// overwritten by the chained intermediate cardinality — callers
+/// describe each edge *locally* (key column shape, filter selectivity,
+/// match rate, fan-out, output widths) and [`CostModel::join_tree`]
+/// does the composing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JoinTreeEdgeParams {
+    /// The edge's single-join parameters (probe rows chained by the
+    /// composition for all but the first edge).
+    pub params: JoinParams,
+    /// Inner-table representation this edge runs.
+    pub kind: JoinInnerKind,
+    /// Workers the partitioned build would use (how the table is
+    /// partitioned — also for a reused build, which was built by the
+    /// edge it reuses).
+    pub build_workers: usize,
+    /// Workers the probe pipeline uses (skew-guarded on the base table).
+    pub probe_workers: usize,
+    /// Whether this edge reuses a hash table an earlier edge built on
+    /// the same (inner table, key column).
+    pub build_reused: bool,
+}
+
+/// The priced join tree: per-edge estimates (execution order), the
+/// chained intermediate-cardinality estimates, and the plan total the
+/// planner minimizes over edge orders × inner strategies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinTreeCost {
+    /// Per-edge representation and estimate, in execution order.
+    pub edges: Vec<(JoinInnerKind, CostBreakdown)>,
+    /// Estimated output cardinality *after* each edge (same order); the
+    /// last entry is the tree's estimated result rows.
+    pub cards: Vec<f64>,
+    /// Sum of the per-edge estimates.
+    pub total: CostBreakdown,
+}
+
+impl JoinTreeCost {
+    /// Total microseconds of the whole tree.
+    pub fn total_us(&self) -> f64 {
+        self.total.total_us()
+    }
+
+    /// Estimated result rows of the whole tree.
+    pub fn out_rows(&self) -> f64 {
+        self.cards.last().copied().unwrap_or(0.0)
     }
 }
 
@@ -545,6 +680,11 @@ pub struct JoinParams {
     /// Fraction of surviving left rows that find a match (1.0 for a
     /// foreign-key join).
     pub match_rate: f64,
+    /// Average matches per matching probe — the duplication factor of
+    /// the right key (`right_rows / distinct right keys`; 1.0 for a
+    /// primary-key build side). Output rows multiply by this, which is
+    /// what makes intermediate cardinalities compose across a join tree.
+    pub fanout: f64,
     /// Number of left output columns.
     pub left_out_cols: f64,
     /// Total blocks across the left output columns.
@@ -567,6 +707,7 @@ impl JoinParams {
             right_key,
             sf,
             match_rate: 1.0,
+            fanout: 1.0,
             left_out_cols: 1.0,
             left_out_blocks: left_key.blocks,
             right_out_cols: 1.0,
@@ -586,9 +727,10 @@ impl JoinParams {
         self.right_key.rows
     }
 
-    /// Output rows: surviving left rows that match.
+    /// Output rows: surviving left rows that match, times the right
+    /// key's duplication fan-out.
     pub fn out_rows(&self) -> f64 {
-        self.left_rows() * self.sf * self.match_rate
+        self.left_rows() * self.sf * self.match_rate * self.fanout
     }
 
     /// Cold-I/O term for the left output columns.
@@ -973,6 +1115,148 @@ mod tests {
             let (_, eight) = m.best_join_plan(&q, 8, 8);
             assert!(eight.total_us() <= serial.total_us() + 1e-9, "sf={sf}");
         }
+    }
+
+    #[test]
+    fn build_reuse_discounts_key_scan_but_not_representations() {
+        let m = model();
+        let q = join_params(0.5);
+        for kind in JoinInnerKind::ALL {
+            let fresh = m.hash_join(&q, kind);
+            let reused = m.hash_join_with_reuse(&q, kind, true);
+            // The probe is untouched; the build drops the key scan + hash
+            // inserts (CPU) and the key column's cold read (I/O).
+            assert_eq!(reused.probe, fresh.probe, "{kind:?}");
+            assert!(reused.build.cpu_us < fresh.build.cpu_us, "{kind:?}");
+            assert!(reused.build.io_us < fresh.build.io_us, "{kind:?}");
+            // Representations are still priced: Materialized keeps its
+            // up-front tuple construction even on a reused table.
+            if kind == JoinInnerKind::Materialized {
+                let mc = m.hash_join_with_reuse(&q, JoinInnerKind::MultiColumn, true);
+                assert!(reused.build.cpu_us > mc.build.cpu_us);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reuse_skips_radix_and_build_scheduler() {
+        let m = model();
+        let q = join_params(0.5);
+        let c = *m.constants();
+        for kind in JoinInnerKind::ALL {
+            let cost = m.hash_join_with_reuse(&q, kind, true);
+            let par = m.hash_join_parallel_with_reuse(&q, kind, 4, 8, true);
+            // No radix scatter, no build-side steal overhead; the probe
+            // still pays its per-row partition hash (the cached table is
+            // partitioned) and its own scheduler bookkeeping.
+            let expect = cost.build.cpu_us / 4.0
+                + cost.probe.cpu_us / 8.0
+                + q.left_rows() * q.sf * c.fc / 8.0
+                + m.steal_overhead(8);
+            assert!((par.cpu_us - expect).abs() < 1e-6, "{kind:?}");
+            // The non-reused path is untouched by the refactor.
+            let fresh = m.hash_join_parallel_with_reuse(&q, kind, 4, 8, false);
+            assert_eq!(fresh, m.hash_join_parallel(&q, kind, 4, 8), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn fanout_multiplies_output_cardinality() {
+        let mut q = join_params(0.5);
+        let base = q.out_rows();
+        q.fanout = 3.0;
+        assert!((q.out_rows() - 3.0 * base).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_tree_chains_intermediate_cardinalities() {
+        let m = model();
+        // Edge 1 filters to half; edge 2's probe must be priced at the
+        // intermediate cardinality, not its own left_rows.
+        let e1 = join_params(0.5);
+        let mut e2 = join_params(1.0);
+        e2.sf = 1.0;
+        let tree = m.join_tree(&[
+            JoinTreeEdgeParams {
+                params: e1,
+                kind: JoinInnerKind::MultiColumn,
+                build_workers: 1,
+                probe_workers: 1,
+                build_reused: false,
+            },
+            JoinTreeEdgeParams {
+                params: e2,
+                kind: JoinInnerKind::MultiColumn,
+                build_workers: 1,
+                probe_workers: 1,
+                build_reused: false,
+            },
+        ]);
+        assert_eq!(tree.edges.len(), 2);
+        assert_eq!(tree.cards.len(), 2);
+        // Edge 1: 1.5 M × 0.5 = 750 K; edge 2 probes 750 K.
+        assert!((tree.cards[0] - 750_000.0).abs() < 1e-6);
+        assert!((tree.out_rows() - 750_000.0).abs() < 1e-6);
+        let mut chained = e2;
+        chained.left_key.rows = 750_000.0;
+        let edge2_alone = m.hash_join(&chained, JoinInnerKind::MultiColumn);
+        assert!(
+            (tree.edges[1].1.total_us() - edge2_alone.total_us()).abs() < 1e-6,
+            "edge 2 priced at the chained cardinality"
+        );
+        // Totals sum.
+        let sum: f64 = tree.edges.iter().map(|(_, c)| c.total_us()).sum();
+        assert!((tree.total_us() - sum).abs() < 1e-6);
+        // A selective edge first makes the whole tree cheaper than the
+        // reverse order — the quantity edge ordering optimizes.
+        let rev = m.join_tree(&[
+            JoinTreeEdgeParams {
+                params: e2,
+                kind: JoinInnerKind::MultiColumn,
+                build_workers: 1,
+                probe_workers: 1,
+                build_reused: false,
+            },
+            JoinTreeEdgeParams {
+                params: e1,
+                kind: JoinInnerKind::MultiColumn,
+                build_workers: 1,
+                probe_workers: 1,
+                build_reused: false,
+            },
+        ]);
+        // Note: the filter's sf travels with its edge here, so both
+        // orders produce the same final cardinality...
+        assert!((rev.out_rows() - tree.out_rows()).abs() < 1e-6);
+        // ...but the selective-first order pays less along the way.
+        assert!(tree.total_us() < rev.total_us());
+    }
+
+    #[test]
+    fn join_tree_reuse_is_cheaper_than_rebuild() {
+        let m = model();
+        let e = JoinTreeEdgeParams {
+            params: join_params(0.5),
+            kind: JoinInnerKind::MultiColumn,
+            build_workers: 1,
+            probe_workers: 1,
+            build_reused: false,
+        };
+        let rebuilt = m.join_tree(&[e, e]);
+        let mut reused_edge = e;
+        reused_edge.build_reused = true;
+        let reused = m.join_tree(&[e, reused_edge]);
+        assert!(reused.total_us() < rebuilt.total_us());
+        assert!((reused.out_rows() - rebuilt.out_rows()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_join_tree_prices_to_zero() {
+        let m = model();
+        let tree = m.join_tree(&[]);
+        assert_eq!(tree.total_us(), 0.0);
+        assert_eq!(tree.out_rows(), 0.0);
+        assert!(tree.edges.is_empty());
     }
 
     #[test]

@@ -28,12 +28,38 @@
 //!
 //! Eviction is LRU *within a shard*. Shard count is capped by capacity so
 //! every shard owns at least one block.
+//!
+//! # Runtime re-sharding
+//!
+//! The stripe count is chosen at construction, but it is no longer
+//! frozen: [`BufferPool::reshard`] rehashes every cached entry into a new
+//! stripe count **in place**, so a `Database::set_parallelism` call that
+//! outgrows the construction-time striping widens the pool instead of
+//! merely warning. Re-sharding preserves the pool exactly:
+//!
+//! * the cached block set survives (each entry rehashes to its new home
+//!   stripe), with per-stripe LRU order carried over — entries re-insert
+//!   in ascending recency, so a stripe's eviction order after the move
+//!   matches the relative recency the entries had before it;
+//! * the summed `hits`/`misses`/`evictions` counters are preserved
+//!   **exactly** (they carry into the new stripes), so long-running stats
+//!   consumers see a monotone history across the transition — the only
+//!   way `evictions` moves during a reshard is when rehashing genuinely
+//!   overflows one new stripe's capacity share, and then every overflow
+//!   eviction is counted like any other;
+//! * the global capacity bound holds at every moment — per-stripe
+//!   capacities of the new layout sum to the same total, and overflowing
+//!   stripes evict down during the move.
+//!
+//! Lookups synchronize with a reshard through a readers-writer lock on
+//! the stripe vector: steady-state lookups take the (uncontended) read
+//! side, a reshard takes the write side for the duration of the rehash.
 
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::block::EncodedBlock;
 
@@ -76,9 +102,10 @@ pub struct PoolStats {
     pub evictions: u64,
     /// Stripe count of the pool this snapshot came from. Not a counter:
     /// it lets stats consumers (the nightly soak, `Database`'s
-    /// undersharding check) see when a pool is striped more coarsely
-    /// than the worker knob asks for — the stripe count is frozen at
-    /// store construction, so a later `set_parallelism` cannot grow it.
+    /// undersharding check) see how finely the pool is striped right
+    /// now — [`BufferPool::reshard`] can change it at runtime (e.g. when
+    /// `Database::set_parallelism` outgrows the construction-time stripe
+    /// count), capped by the pool capacity.
     pub shards: u64,
 }
 
@@ -208,7 +235,17 @@ impl Shard {
 #[derive(Debug)]
 pub struct BufferPool {
     capacity: usize,
-    shards: Vec<Shard>,
+    shards: RwLock<Vec<Shard>>,
+}
+
+/// Build `shards` stripes whose capacities sum to `capacity` (the first
+/// `capacity % shards` stripes take the remainder, one block each).
+fn make_shards(capacity: usize, shards: usize) -> Vec<Shard> {
+    let per = capacity / shards;
+    let rem = capacity % shards;
+    (0..shards)
+        .map(|s| Shard::new(per + usize::from(s < rem)))
+        .collect()
 }
 
 impl BufferPool {
@@ -225,13 +262,9 @@ impl BufferPool {
     pub fn with_shards(capacity: usize, shards: usize) -> BufferPool {
         let capacity = capacity.max(1);
         let shards = shards.clamp(1, capacity);
-        let per = capacity / shards;
-        let rem = capacity % shards;
         BufferPool {
             capacity,
-            shards: (0..shards)
-                .map(|s| Shard::new(per + usize::from(s < rem)))
-                .collect(),
+            shards: RwLock::new(make_shards(capacity, shards)),
         }
     }
 
@@ -242,12 +275,13 @@ impl BufferPool {
 
     /// Number of stripes.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.shards.read().len()
     }
 
     /// Number of blocks currently cached, across all shards.
     pub fn len(&self) -> usize {
         self.shards
+            .read()
             .iter()
             .map(|s| s.inner.lock().entries.len())
             .sum()
@@ -258,29 +292,44 @@ impl BufferPool {
         self.len() == 0
     }
 
-    fn shard(&self, key: &BlockKey) -> (&Shard, u64) {
+    /// The stripe index `key` lives in under an `n`-stripe layout, plus
+    /// the full hash (whose high bits pick the single-flight stripe).
+    fn shard_index(key: &BlockKey, n: usize) -> (usize, u64) {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
         let hash = h.finish();
-        (&self.shards[hash as usize % self.shards.len()], hash)
+        (hash as usize % n, hash)
     }
 
     /// Look up a block, refreshing its recency on hit.
     pub fn get(&self, key: &BlockKey) -> Option<Arc<EncodedBlock>> {
-        self.shard(key).0.find(key, true)
+        let shards = self.shards.read();
+        let (i, _) = Self::shard_index(key, shards.len());
+        shards[i].find(key, true)
     }
 
     /// Look up `key`, filling it with `fill` on a miss. Concurrent callers
     /// of the same key are single-flighted: exactly one runs `fill`, the
     /// rest wait on the key's stripe and are served from the pool. Each
     /// call counts exactly one hit (served from cache) or miss (`fill`
-    /// ran, or was attempted and failed).
+    /// ran, or was attempted and failed). The stripe layout is pinned for
+    /// the duration of the call (read side of the reshard lock), so a
+    /// concurrent [`Self::reshard`] waits for in-flight fills and never
+    /// strands one between layouts. That wait is deliberate: completing
+    /// a fill against a detached layout would drop its entry and its
+    /// miss from the ledger, breaking the exact-counter guarantee the
+    /// reshard promises — the cost is that a queued reshard (rare,
+    /// explicit `set_parallelism` only) briefly stalls lookups behind
+    /// the slowest in-flight fill; steady-state readers only share an
+    /// uncontended read word.
     pub fn get_or_insert_with<E>(
         &self,
         key: &BlockKey,
         fill: impl FnOnce() -> std::result::Result<Arc<EncodedBlock>, E>,
     ) -> std::result::Result<Arc<EncodedBlock>, E> {
-        let (shard, hash) = self.shard(key);
+        let shards = self.shards.read();
+        let (i, hash) = Self::shard_index(key, shards.len());
+        let shard = &shards[i];
         if let Some(b) = shard.find(key, false) {
             return Ok(b);
         }
@@ -301,14 +350,60 @@ impl BufferPool {
     /// Insert a block, evicting the shard's least-recently-used entry if
     /// the shard is full.
     pub fn insert(&self, key: BlockKey, block: Arc<EncodedBlock>) {
-        let (shard, _) = self.shard(&key);
-        shard.insert(key, block);
+        let shards = self.shards.read();
+        let (i, _) = Self::shard_index(&key, shards.len());
+        shards[i].insert(key, block);
+    }
+
+    /// Re-stripe the pool to `shards` stripes **in place** (clamped to
+    /// `[1, capacity]`), rehashing every cached entry into its new home
+    /// stripe. A no-op when the pool already has that many stripes.
+    ///
+    /// The summed [`PoolStats`] counters are preserved exactly: the
+    /// hit/miss/eviction history carries into the new layout (parked in
+    /// the first stripe; [`Self::stats`] only ever reports the sum).
+    /// Entries re-insert in ascending recency with per-stripe ticks
+    /// rebuilt, so each new stripe's LRU order reflects the entries'
+    /// relative recency from before the move. If rehashing overflows a
+    /// new stripe's capacity share, the overflow evicts oldest-first and
+    /// is counted in `evictions` — the capacity bound holds at every
+    /// moment, through the reshard included.
+    pub fn reshard(&self, shards: usize) {
+        let new_n = shards.clamp(1, self.capacity);
+        let mut guard = self.shards.write();
+        if guard.len() == new_n {
+            return;
+        }
+        // Drain the old stripes: summed counters plus every entry tagged
+        // with its pre-move recency (per-stripe tick, then stripe index —
+        // deterministic, and order within a stripe is its real LRU order).
+        let mut total = PoolStats::default();
+        let mut entries: Vec<(u64, usize, BlockKey, Arc<EncodedBlock>)> = Vec::new();
+        for (si, s) in guard.iter_mut().enumerate() {
+            let inner = s.inner.get_mut();
+            total += inner.stats;
+            for (key, e) in inner.entries.drain() {
+                entries.push((e.last_used, si, key, e.block));
+            }
+        }
+        entries.sort_unstable_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
+
+        let mut new_shards = make_shards(self.capacity, new_n);
+        new_shards[0].inner.get_mut().stats = total;
+        for (_, _, key, block) in entries {
+            let (i, _) = Self::shard_index(&key, new_n);
+            // Ascending recency: on overflow the stripe evicts its oldest
+            // entry, exactly as a live insert would.
+            new_shards[i].insert(key, block);
+        }
+        *guard = new_shards;
     }
 
     /// How many blocks of `file` are currently resident — the numerator of
     /// the model's `F` for that column.
     pub fn resident_blocks(&self, file: &str) -> usize {
         self.shards
+            .read()
             .iter()
             .map(|s| {
                 s.inner
@@ -325,18 +420,19 @@ impl BufferPool {
     /// in exactly one shard and counts exactly one hit or miss there.
     /// The snapshot also reports the pool's stripe count (`shards`).
     pub fn stats(&self) -> PoolStats {
+        let shards = self.shards.read();
         let mut total = PoolStats::default();
-        for s in &self.shards {
+        for s in shards.iter() {
             total += s.inner.lock().stats;
         }
-        total.shards = self.shards.len() as u64;
+        total.shards = shards.len() as u64;
         total
     }
 
     /// Drop all cached blocks and zero the counters (a "cold cache" reset
     /// for benchmarks).
     pub fn clear(&self) {
-        for s in &self.shards {
+        for s in self.shards.read().iter() {
             let mut inner = s.inner.lock();
             inner.entries.clear();
             inner.stats = PoolStats::default();
@@ -504,13 +600,123 @@ mod tests {
         // 10 blocks over 4 shards: 3+3+2+2, never more.
         let pool = BufferPool::with_shards(10, 4);
         assert_eq!(pool.num_shards(), 4);
-        let caps: Vec<usize> = pool.shards.iter().map(|s| s.capacity).collect();
+        let caps: Vec<usize> = pool.shards.read().iter().map(|s| s.capacity).collect();
         assert_eq!(caps.iter().sum::<usize>(), 10);
         assert_eq!(caps, vec![3, 3, 2, 2]);
         // Shard count is capped by capacity.
         let tiny = BufferPool::with_shards(3, 64);
         assert_eq!(tiny.num_shards(), 3);
-        assert!(tiny.shards.iter().all(|s| s.capacity == 1));
+        assert!(tiny.shards.read().iter().all(|s| s.capacity == 1));
+    }
+
+    #[test]
+    fn reshard_preserves_entries_and_counters_exactly() {
+        // 2 stripes → 8: the nightly-soak mismatch (threads=8, shards=2)
+        // fixed in place. 8 entries in a 64-block pool: even the worst
+        // hash clustering (all 8 keys in one new stripe of capacity 8)
+        // cannot overflow, so the move is eviction-free by construction.
+        let pool = BufferPool::with_shards(64, 2);
+        for i in 0..8u32 {
+            let _: Result<_, ()> = pool.get_or_insert_with(&key(i), || Ok(block(u64::from(i))));
+        }
+        for i in 0..4u32 {
+            assert!(pool.get(&key(i)).is_some());
+        }
+        let before = pool.stats();
+        let cached = pool.len();
+
+        pool.reshard(8);
+
+        assert_eq!(pool.num_shards(), 8);
+        assert_eq!(pool.len(), cached, "cached set survives the move");
+        let after = pool.stats();
+        assert_eq!(after.hits, before.hits, "hits preserved exactly");
+        assert_eq!(after.misses, before.misses, "misses preserved exactly");
+        assert_eq!(after.evictions, before.evictions, "no overflow evictions");
+        assert_eq!(after.shards, 8);
+        // Every pre-move block is still served as a hit.
+        for i in 0..8u32 {
+            assert!(pool.get(&key(i)).is_some(), "key {i} lost in reshard");
+        }
+        assert_eq!(pool.stats().hits, before.hits + 8);
+    }
+
+    #[test]
+    fn reshard_is_idempotent_and_clamped() {
+        let pool = BufferPool::with_shards(4, 2);
+        pool.insert(key(0), block(0));
+        pool.reshard(2); // no-op
+        assert_eq!(pool.num_shards(), 2);
+        assert!(pool.get(&key(0)).is_some());
+        // Clamped by capacity: asking for 64 stripes of a 4-block pool
+        // yields 4 — the same cap construction applies.
+        pool.reshard(64);
+        assert_eq!(pool.num_shards(), 4);
+        // And back down to one global LRU.
+        pool.reshard(1);
+        assert_eq!(pool.num_shards(), 1);
+        assert!(pool.get(&key(0)).is_some());
+    }
+
+    #[test]
+    fn reshard_overflow_evicts_oldest_first_and_counts() {
+        // One stripe holding 4 entries, resharded to 4 stripes of 1: any
+        // stripe receiving k > 1 entries must evict k-1, keeping its most
+        // recent. Total entries after = 4 - total overflow, and every
+        // overflow eviction is counted.
+        let pool = BufferPool::with_shards(4, 1);
+        for i in 0..4u32 {
+            pool.insert(key(i), block(u64::from(i)));
+        }
+        let before = pool.stats();
+        assert_eq!(before.evictions, 0);
+        pool.reshard(4);
+        let after = pool.stats();
+        let lost = 4 - pool.len() as u64;
+        assert_eq!(
+            after.evictions,
+            before.evictions + lost,
+            "every overflow eviction is counted"
+        );
+        assert!(!pool.is_empty());
+        // Recency carried over: the newest entry (key 3) always survives —
+        // whatever stripe it landed in, it is that stripe's most recent.
+        assert!(pool.get(&key(3)).is_some(), "most recent entry survives");
+    }
+
+    #[test]
+    fn reshard_under_concurrent_lookups_stays_consistent() {
+        let pool = BufferPool::with_shards(256, 2);
+        for i in 0..64u32 {
+            pool.insert(key(i), block(u64::from(i)));
+        }
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for round in 0..200u32 {
+                        let i = (t * 50 + round) % 64;
+                        let b: Result<_, ()> =
+                            pool.get_or_insert_with(&key(i), || Ok(block(u64::from(i))));
+                        assert_eq!(b.unwrap().start_pos(), u64::from(i));
+                    }
+                });
+            }
+            s.spawn(|| {
+                for n in [4usize, 8, 2, 16, 1] {
+                    pool.reshard(n);
+                    std::thread::yield_now();
+                }
+            });
+        });
+        let stats = pool.stats();
+        assert_eq!(
+            stats.hits + stats.misses,
+            800,
+            "every lookup counted exactly once across reshards"
+        );
+        assert_eq!(pool.num_shards(), 1);
+        assert_eq!(pool.len(), 64, "no entry lost (capacity ample)");
     }
 
     #[test]

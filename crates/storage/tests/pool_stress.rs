@@ -124,3 +124,75 @@ fn hammer(pool: BufferPool, capacity: usize) {
 fn key_idx(key: &(String, u32)) -> u32 {
     key.1
 }
+
+/// The nightly-soak reproduction (threads=8, shards=2), now *fixed*
+/// rather than surfaced: hammer a 2-stripe pool with 8 threads, re-shard
+/// it to 8 stripes in place, and prove the counters carried over
+/// **exactly** before hammering the widened pool again. Counter
+/// exactness must hold across the reshard boundary, not merely within
+/// each layout.
+#[test]
+fn reshard_under_hammering_preserves_counters_exactly() {
+    const THREADS: usize = 8;
+    const OPS: usize = 2_000;
+    // Capacity 512 over a 64-key space: even the worst-case hash
+    // clustering (all 64 keys in one stripe of the widest layout, 512/8
+    // = 64 blocks) cannot evict, so the counter ledger across the
+    // reshard has no third column to hide in.
+    let pool = BufferPool::with_shards(512, 2);
+    assert_eq!(pool.num_shards(), 2);
+    let lookups = AtomicUsize::new(0);
+
+    let hammer_once = |pool: &BufferPool| {
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let lookups = &lookups;
+                s.spawn(move || {
+                    let mut x = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    for _ in 0..OPS {
+                        x = x
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        let key = ("reshard.col".to_string(), (x % 64) as u32);
+                        lookups.fetch_add(1, Ordering::Relaxed);
+                        let b: Result<_, ()> =
+                            pool.get_or_insert_with(&key, || Ok(block(u64::from(key.1))));
+                        assert_eq!(b.unwrap().start_pos(), u64::from(key.1));
+                    }
+                });
+            }
+        });
+    };
+
+    // Phase 1: contended 2-stripe pool (8 workers on 2 LRUs).
+    hammer_once(&pool);
+    let before = pool.stats();
+    assert_eq!(
+        before.hits + before.misses,
+        lookups.load(Ordering::Relaxed) as u64
+    );
+    assert_eq!(before.evictions, 0, "capacity covers the key space");
+    let cached = pool.len();
+
+    // The fix: rehash in place to the worker count.
+    pool.reshard(THREADS);
+    assert_eq!(pool.num_shards(), THREADS);
+    let after = pool.stats();
+    assert_eq!(after.hits, before.hits, "hits preserved exactly");
+    assert_eq!(after.misses, before.misses, "misses preserved exactly");
+    assert_eq!(after.evictions, 0, "eviction-free move");
+    assert_eq!(after.shards, THREADS as u64);
+    assert_eq!(pool.len(), cached, "cached set survives");
+
+    // Phase 2: the widened pool keeps exact accounting — every
+    // pre-reshard block is found where its key now hashes (all hits:
+    // the full key space was resident before the move).
+    hammer_once(&pool);
+    let end = pool.stats();
+    assert_eq!(
+        end.hits + end.misses,
+        lookups.load(Ordering::Relaxed) as u64,
+        "ledger exact across the reshard boundary"
+    );
+    assert_eq!(end.misses, before.misses, "phase 2 is all hits");
+}

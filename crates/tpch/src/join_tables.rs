@@ -35,13 +35,39 @@ pub struct CustomerData {
     pub nationcode: Vec<Value>,
 }
 
-/// Both join tables plus loader helpers.
+/// Nation dimension, sorted by nationkey: the snowflake hop behind
+/// customer (`customer.nationcode → nation.nationkey`).
+#[derive(Debug, Clone)]
+pub struct NationData {
+    /// Primary key `0..NATIONS`.
+    pub nationkey: Vec<Value>,
+    /// TPC-H region code `0..5`.
+    pub regionkey: Vec<Value>,
+}
+
+/// Date dimension, one row per day of the generator's calendar: the
+/// second star edge out of orders (`orders.orderdate → date.datekey`).
+#[derive(Debug, Clone)]
+pub struct DateData {
+    /// Primary key `0..SHIPDATE_DAYS`.
+    pub datekey: Vec<Value>,
+    /// Month number (30-day months keep it simple).
+    pub month: Vec<Value>,
+}
+
+/// The join tables plus loader helpers: the §4.3 pair (orders ⋈
+/// customer) extended with the nation and date dimensions that turn it
+/// into a proper multi-way star/snowflake workload.
 #[derive(Debug, Clone)]
 pub struct JoinTables {
     /// The outer (probe) table.
     pub orders: OrdersData,
     /// The inner (build) table.
     pub customer: CustomerData,
+    /// Snowflake dimension behind customer.
+    pub nation: NationData,
+    /// Star dimension on order date.
+    pub date: DateData,
 }
 
 /// Column indices for the loaded orders projection.
@@ -60,6 +86,22 @@ pub mod customer_cols {
     pub const CUSTKEY: usize = 0;
     /// NATIONCODE column index.
     pub const NATIONCODE: usize = 1;
+}
+
+/// Column indices for the loaded nation projection.
+pub mod nation_cols {
+    /// NATIONKEY column index.
+    pub const NATIONKEY: usize = 0;
+    /// REGIONKEY column index.
+    pub const REGIONKEY: usize = 1;
+}
+
+/// Column indices for the loaded date projection.
+pub mod date_cols {
+    /// DATEKEY column index.
+    pub const DATEKEY: usize = 0;
+    /// MONTH column index.
+    pub const MONTH: usize = 1;
 }
 
 impl JoinTables {
@@ -83,6 +125,14 @@ impl JoinTables {
             custkey: (0..n_cust as Value).collect(),
             nationcode: (0..n_cust).map(|_| rng.gen_range(0..NATIONS)).collect(),
         };
+        let nation = NationData {
+            nationkey: (0..NATIONS).collect(),
+            regionkey: (0..NATIONS).map(|k| k % 5).collect(),
+        };
+        let date = DateData {
+            datekey: (0..SHIPDATE_DAYS).collect(),
+            month: (0..SHIPDATE_DAYS).map(|d| d / 30).collect(),
+        };
         JoinTables {
             orders: OrdersData {
                 orderdate: orders.iter().map(|o| o.0).collect(),
@@ -90,6 +140,8 @@ impl JoinTables {
                 shipdate: orders.iter().map(|o| o.2).collect(),
             },
             customer,
+            nation,
+            date,
         }
     }
 
@@ -127,6 +179,22 @@ impl JoinTables {
             .column("custkey", EncodingKind::Plain, SortOrder::Primary)
             .column("nationcode", EncodingKind::Plain, SortOrder::None);
         db.load_projection(&spec, &[&self.customer.custkey, &self.customer.nationcode])
+    }
+
+    /// Load the nation projection (sorted by nationkey).
+    pub fn load_nation(&self, db: &Database, name: &str) -> Result<TableId> {
+        let spec = ProjectionSpec::new(name)
+            .column("nationkey", EncodingKind::Plain, SortOrder::Primary)
+            .column("regionkey", EncodingKind::Plain, SortOrder::None);
+        db.load_projection(&spec, &[&self.nation.nationkey, &self.nation.regionkey])
+    }
+
+    /// Load the date projection (sorted by datekey).
+    pub fn load_date(&self, db: &Database, name: &str) -> Result<TableId> {
+        let spec = ProjectionSpec::new(name)
+            .column("datekey", EncodingKind::Plain, SortOrder::Primary)
+            .column("month", EncodingKind::Rle, SortOrder::None);
+        db.load_projection(&spec, &[&self.date.datekey, &self.date.month])
     }
 }
 
@@ -215,5 +283,75 @@ mod tests {
             .collect();
         reference.sort_unstable();
         assert_eq!(rows, reference);
+    }
+
+    #[test]
+    fn dimensions_are_dense_fk_targets() {
+        let t = JoinTables::generate(cfg());
+        // nation: dense PK covering every customer nationcode.
+        assert_eq!(t.nation.nationkey.len(), NATIONS as usize);
+        for (i, &k) in t.nation.nationkey.iter().enumerate() {
+            assert_eq!(k, i as Value);
+        }
+        assert!(t.nation.regionkey.iter().all(|&r| (0..5).contains(&r)));
+        // date: dense PK covering every orderdate.
+        assert_eq!(t.date.datekey.len(), crate::SHIPDATE_DAYS as usize);
+        assert!(t
+            .orders
+            .orderdate
+            .iter()
+            .all(|&d| (0..crate::SHIPDATE_DAYS).contains(&d)));
+    }
+
+    #[test]
+    fn star_snowflake_tree_joins_end_to_end() {
+        use matstrat_core::JoinTreeSpec;
+        let t = JoinTables::generate(cfg());
+        let db = Database::in_memory();
+        let orders = t.load_orders(&db, "orders").unwrap();
+        let customer = t.load_customer(&db, "customer").unwrap();
+        let nation = t.load_nation(&db, "nation").unwrap();
+        let date = t.load_date(&db, "date").unwrap();
+        let x = t.custkey_cutoff(0.4);
+        let spec = JoinTreeSpec::new(vec![
+            JoinSpec {
+                left: orders,
+                right: customer,
+                left_key: orders_cols::CUSTKEY,
+                right_key: customer_cols::CUSTKEY,
+                left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+                left_output: vec![orders_cols::SHIPDATE],
+                right_output: vec![customer_cols::NATIONCODE],
+            },
+            JoinSpec {
+                left: orders,
+                right: date,
+                left_key: orders_cols::ORDERDATE,
+                right_key: date_cols::DATEKEY,
+                left_filter: None,
+                left_output: vec![],
+                right_output: vec![date_cols::MONTH],
+            },
+            JoinSpec {
+                left: customer,
+                right: nation,
+                left_key: customer_cols::NATIONCODE,
+                right_key: nation_cols::NATIONKEY,
+                left_filter: None,
+                left_output: vec![],
+                right_output: vec![nation_cols::REGIONKEY],
+            },
+        ]);
+        let expected = t.orders.custkey.iter().filter(|&&k| k < x).count();
+        let (choice, result, stats) = db.run_join_tree_auto(&spec).unwrap();
+        assert_eq!(result.num_rows(), expected, "{}", choice.reason);
+        assert_eq!(stats.rows_out, expected as u64);
+        assert_eq!(stats.builds, 3);
+        // Spot-check one row end to end against the generators.
+        let row = result.row(0);
+        let month = row[2];
+        let region = row[3];
+        assert!(t.date.month.contains(&month));
+        assert!((0..5).contains(&region));
     }
 }

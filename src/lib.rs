@@ -63,7 +63,8 @@ pub mod prelude {
     pub use matstrat_common::{CompareOp, Error, Pos, PosRange, Predicate, Result, Value};
     pub use matstrat_core::{
         default_parallelism, AggSpec, Database, ExecOptions, ExecStats, FragmentPipeline,
-        InnerStrategy, JoinSpec, MiniColumn, MultiColumn, QueryResult, QuerySpec, Strategy,
+        InnerStrategy, JoinSpec, JoinTreePlan, JoinTreeSpec, JoinTreeStats, MiniColumn,
+        MultiColumn, QueryResult, QuerySpec, Strategy,
     };
     pub use matstrat_model::{Constants, CostModel};
     pub use matstrat_poslist::{PosList, Repr};
