@@ -1,0 +1,118 @@
+//! Query-service benchmarks: dialect compilation cost and multi-session
+//! batch throughput at 1–8 client threads over one shared server.
+//!
+//! The client matrix holds the work fixed (one 8-query mixed batch on a
+//! warm pool) and varies only how many sessions submit it, so the curve
+//! isolates admission/fair-share overhead and buffer-pool sharing from
+//! query cost. Results are byte-identical across the row — the
+//! concurrency battery (`tests/concurrent_diff.rs`) pins that; this
+//! bench only times it.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use matstrat_common::Value;
+use matstrat_core::{Request, Server, ServerConfig};
+use matstrat_lang::compile;
+use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder, Store};
+
+const ROWS: i64 = 100_000;
+const DIM_ROWS: i64 = 1024;
+
+fn build_store() -> Store {
+    let store = Store::in_memory();
+    let k: Vec<Value> = (0..ROWS).collect();
+    let v: Vec<Value> = (0..ROWS).map(|i| (i * 7919) % 101).collect();
+    let g: Vec<Value> = (0..ROWS).map(|i| i / 4000).collect();
+    let fk: Vec<Value> = (0..ROWS).map(|i| (i * 31) % DIM_ROWS).collect();
+    let spec = ProjectionSpec::new("fact")
+        .column("k", EncodingKind::Plain, SortOrder::Primary)
+        .column("v", EncodingKind::Plain, SortOrder::None)
+        .column("g", EncodingKind::Plain, SortOrder::None)
+        .column("fk", EncodingKind::Plain, SortOrder::None);
+    store.load_projection(&spec, &[&k, &v, &g, &fk]).unwrap();
+
+    let dk: Vec<Value> = (0..DIM_ROWS).collect();
+    let x: Vec<Value> = (0..DIM_ROWS).map(|i| i * 3 + 1).collect();
+    let spec = ProjectionSpec::new("dim")
+        .column("dk", EncodingKind::Plain, SortOrder::Primary)
+        .column("x", EncodingKind::Plain, SortOrder::None);
+    store.load_projection(&spec, &[&dk, &x]).unwrap();
+    store
+}
+
+const SCAN_SQL: &str = "SELECT k, v FROM fact WHERE v < 60 AND g != 3";
+const JOIN_SQL: &str =
+    "SELECT fact.v, dim.x FROM fact JOIN dim ON fact.fk = dim.dk WHERE fact.v < 40";
+
+/// Lexer + parser + catalog lowering, end to end.
+fn bench_compile(c: &mut Criterion) {
+    let store = build_store();
+    let mut g = c.benchmark_group("lang_compile");
+    g.bench_function("scan", |b| {
+        b.iter(|| compile(&store, black_box(SCAN_SQL)).unwrap())
+    });
+    g.bench_function("join", |b| {
+        b.iter(|| compile(&store, black_box(JOIN_SQL)).unwrap())
+    });
+    g.finish();
+}
+
+/// One mixed batch through N concurrent sessions, warm pool.
+fn bench_service(c: &mut Criterion) {
+    let store = build_store();
+    let batch: Vec<Request> = [
+        SCAN_SQL,
+        "SELECT g, SUM(v) FROM fact WHERE v > 10 GROUP BY g",
+        "SELECT v, k FROM fact WHERE k BETWEEN 10000 AND 60000",
+        JOIN_SQL,
+        "SELECT g, COUNT(v) FROM fact GROUP BY g",
+        "SELECT fact.v, dim.x FROM fact JOIN dim ON fact.fk = dim.dk",
+        "SELECT k, v, g FROM fact WHERE v = 7",
+        "SELECT g, MAX(v) FROM fact WHERE g < 20 GROUP BY g",
+    ]
+    .iter()
+    .map(|sql| compile(&store, sql).unwrap().into_request())
+    .collect();
+    let batch = Arc::new(batch);
+
+    let mut g = c.benchmark_group("query_service");
+    for clients in [1usize, 2, 4, 8] {
+        let server = Server::new(
+            store.clone(),
+            ServerConfig {
+                max_concurrent: clients,
+                worker_budget: clients.max(2),
+            },
+        );
+        // Warm the pool once so the matrix times execution, not I/O.
+        let warm = server.connect();
+        for req in batch.iter() {
+            warm.run(req).unwrap();
+        }
+        g.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for t in 0..clients {
+                            let server = &server;
+                            let batch = Arc::clone(&batch);
+                            scope.spawn(move || {
+                                let session = server.connect();
+                                for req in batch.iter().skip(t).step_by(clients) {
+                                    black_box(session.run(req).unwrap());
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_service);
+criterion_main!(benches);

@@ -79,7 +79,10 @@ impl Database {
     /// defaulting to the `MATSTRAT_THREADS` worker default), the pool is
     /// **re-sharded in place** to match: cached entries rehash into the
     /// wider striping and the summed [`PoolStats`] counters are
-    /// preserved exactly ([`matstrat_storage::BufferPool::reshard`]).
+    /// preserved exactly
+    /// ([`matstrat_storage::BufferPool::reshard_at_least`], which makes
+    /// the grow-or-not decision under the stripe write lock so two
+    /// sessions sharing one store can race this call safely).
     /// Shrinking the knob never narrows the pool — extra stripes only
     /// cost a few bytes. The only residual mismatch is a pool whose
     /// *capacity* is smaller than the worker count (a stripe must own at
@@ -93,10 +96,11 @@ impl Database {
         self.parallelism = workers.max(1);
         let constants = *self.planner.model().constants();
         self.planner = Planner::with_parallelism(constants, self.parallelism);
-        let pool = self.store.pool();
-        if self.parallelism > pool.num_shards() {
-            pool.reshard(self.parallelism);
-        }
+        // Grow-only, decided under the pool's stripe write lock: a
+        // check-then-act against `num_shards()` here would race a second
+        // session sharing this store (its stale read could re-shard the
+        // pool *narrower* after we widened it).
+        self.store.pool().reshard_at_least(self.parallelism);
         if cfg!(debug_assertions) {
             if let Some((workers, shards)) = self.pool_undersharded() {
                 eprintln!(
@@ -203,16 +207,18 @@ impl Database {
         hash_join_with_options(&self.store, spec, inner, opts)
     }
 
-    /// Run a join and report wall/I/O measurements.
+    /// Run a join and report wall/I/O measurements. The I/O counters are
+    /// this query's own (per-thread harvest, not a global meter diff), so
+    /// they stay exact when other sessions run concurrently.
     pub fn run_join_with_stats(
         &self,
         spec: &JoinSpec,
         inner: InnerStrategy,
     ) -> Result<(QueryResult, std::time::Duration, matstrat_storage::IoStats)> {
-        let io0 = self.store.meter().snapshot();
         let t0 = std::time::Instant::now();
-        let r = self.run_join(spec, inner)?;
-        Ok((r, t0.elapsed(), self.store.meter().snapshot().since(&io0)))
+        let (r, io) =
+            crate::ops::join::hash_join_with_io(&self.store, spec, inner, &self.exec_options())?;
+        Ok((r, t0.elapsed(), io))
     }
 
     /// Ask the planner to pick an inner-table strategy (without running).
@@ -347,6 +353,20 @@ mod tests {
         let r = db.run(&q, Strategy::EmPipelined).unwrap();
         db.set_parallelism(1);
         assert_eq!(r.flat(), db.run(&q, Strategy::EmPipelined).unwrap().flat());
+    }
+
+    #[test]
+    fn set_parallelism_zero_clamps_to_one_worker() {
+        let (mut db, t) = demo_db();
+        let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(4));
+        let expect = db.run(&q, Strategy::LmParallel).unwrap();
+        db.set_parallelism(0);
+        assert_eq!(db.parallelism(), 1, "knob clamps to ≥ 1");
+        assert_eq!(db.exec_options().parallelism, 1);
+        assert_eq!(db.planner().parallelism(), 1);
+        // And the clamped executor still answers correctly.
+        let got = db.run(&q, Strategy::LmParallel).unwrap();
+        assert_eq!(got.flat(), expect.flat());
     }
 
     #[test]

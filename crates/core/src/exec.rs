@@ -101,6 +101,18 @@ impl Default for ExecOptions {
     }
 }
 
+impl ExecOptions {
+    /// Default options at an explicit worker count (clamped to ≥ 1) —
+    /// the shape schedulers like the query service's fair-share
+    /// admission hand to the executor.
+    pub fn with_parallelism(workers: usize) -> ExecOptions {
+        ExecOptions {
+            parallelism: workers.max(1),
+            ..ExecOptions::default()
+        }
+    }
+}
+
 /// Execute `q` under `strategy` with default options.
 pub fn execute(
     store: &Store,

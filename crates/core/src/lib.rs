@@ -32,19 +32,23 @@ pub mod pipeline;
 pub mod planner;
 pub mod query;
 pub mod rowstore;
+pub mod session;
 pub mod strategy;
 
 pub use db::Database;
 pub use exec::{default_parallelism, execute, execute_with_options, ExecOptions};
 pub use multicol::{MiniColumn, MultiColumn};
 pub use ops::agg::AggFunc;
-pub use ops::join::{hash_join, hash_join_with_options, InnerStrategy, JoinSpec};
+pub use ops::join::{
+    hash_join, hash_join_with_io, hash_join_with_options, InnerStrategy, JoinSpec,
+};
 pub use ops::join_tree::{hash_join_tree, hash_join_tree_with_options, JoinTreePlan};
 pub use pipeline::FragmentPipeline;
 pub use planner::{JoinChoice, JoinTreeChoice, PlanChoice, Planner};
 pub use query::{
     AggSpec, ExecStats, JoinKeySource, JoinTreeSpec, JoinTreeStats, QueryResult, QuerySpec,
 };
+pub use session::{Reply, Request, Server, ServerConfig, ServerStats, Session};
 pub use strategy::Strategy;
 
 /// Number of positions processed per pipeline iteration (one "granule").

@@ -57,7 +57,7 @@ use std::sync::Arc;
 use matstrat_common::{Error, Pos, PosRange, Predicate, Result, TableId, Value};
 use matstrat_model::plans::JoinInnerKind;
 use matstrat_poslist::{PosList, PosVec};
-use matstrat_storage::{ColumnReader, IoMeter, Store};
+use matstrat_storage::{ColumnReader, IoMeter, IoSink, IoStats, Store};
 
 use crate::exec::ExecOptions;
 use crate::multicol::MiniColumn;
@@ -111,7 +111,7 @@ impl InnerStrategy {
 /// FROM left l, right r
 /// WHERE l.<left_key> = r.<right_key> [AND l.<filter col> <op> const]
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinSpec {
     /// Outer (probe) projection.
     pub left: TableId,
@@ -161,6 +161,7 @@ impl PartitionedTable {
         keys: &[Value],
         pipeline: &FragmentPipeline,
         meter: &IoMeter,
+        sink: Option<&IoSink>,
     ) -> Result<PartitionedTable> {
         let parts_n = pipeline.workers();
         if parts_n <= 1 {
@@ -172,15 +173,19 @@ impl PartitionedTable {
         }
         // Phase A: scatter. Each granule run hashes its keys into
         // `parts_n` buckets; pure CPU, so the scheduler's stealing can
-        // rebalance it freely.
-        let buckets: Vec<Vec<Vec<(u32, Value)>>> = pipeline.run(meter, |span| {
-            let mut local: Vec<Vec<(u32, Value)>> = vec![Vec::new(); parts_n];
-            for pos in span.start..span.end {
-                let k = keys[pos as usize];
-                local[partition_of(k, parts_n)].push((pos as u32, k));
-            }
-            Ok(local)
-        })?;
+        // rebalance it freely. (The run still harvests meter state into
+        // the query's sink: the calling thread's forget sweeps up the key
+        // column reads the surrounding build just made.)
+        let buckets: Vec<Vec<Vec<(u32, Value)>>> = pipeline
+            .run_counted_sunk(meter, sink, |span| {
+                let mut local: Vec<Vec<(u32, Value)>> = vec![Vec::new(); parts_n];
+                for pos in span.start..span.end {
+                    let k = keys[pos as usize];
+                    local[partition_of(k, parts_n)].push((pos as u32, k));
+                }
+                Ok(local)
+            })?
+            .0;
         // Phase B: fold, one worker per partition (pure CPU: no meter
         // state to clean up).
         let parts = matstrat_common::par_map_indexed(
@@ -241,6 +246,7 @@ impl SharedBuild {
         right: TableId,
         right_key: usize,
         opts: &ExecOptions,
+        sink: Option<&IoSink>,
     ) -> Result<SharedBuild> {
         let rows = store.projection(right)?.num_rows;
         let rkey_reader = store.reader(right, right_key)?;
@@ -253,7 +259,7 @@ impl SharedBuild {
         // prices build CPU with exactly this count.
         let pipeline = FragmentPipeline::new(rows, opts.granule.max(1), opts.parallelism.max(1));
         let build_workers = pipeline.workers();
-        let table = PartitionedTable::build(&keys, &pipeline, store.meter())?;
+        let table = PartitionedTable::build(&keys, &pipeline, store.meter(), sink)?;
         Ok(SharedBuild {
             table,
             keys: Arc::new(keys),
@@ -292,17 +298,19 @@ impl InnerRep {
         inner: InnerStrategy,
         build_workers: usize,
         rows: u64,
+        sink: Option<&IoSink>,
     ) -> Result<InnerRep> {
         let window = PosRange::new(0, rows);
         let rwidth = right_output.len();
-        let minis: Vec<MiniColumn> = par_indexed(rwidth, build_workers, store.meter(), |c| {
-            MiniColumn::fetch(&store.reader(right, right_output[c])?, window)
-        })?;
+        let minis: Vec<MiniColumn> =
+            par_indexed(rwidth, build_workers, store.meter(), sink, |c| {
+                MiniColumn::fetch(&store.reader(right, right_output[c])?, window)
+            })?;
         // Materialized: construct every right tuple up front (row-major).
         let materialized: Option<Vec<Value>> = match inner {
             InnerStrategy::Materialized => {
                 let cols: Vec<Vec<Value>> =
-                    par_indexed(rwidth, build_workers, store.meter(), |c| {
+                    par_indexed(rwidth, build_workers, store.meter(), sink, |c| {
                         let mut v = Vec::with_capacity(rows as usize);
                         minis[c].decode(&mut v)?;
                         Ok(v)
@@ -316,7 +324,7 @@ impl InnerRep {
         // such columns once, shared read-only by every probe worker.
         let decoded: Vec<Option<Vec<Value>>> = match inner {
             InnerStrategy::SingleColumn => {
-                par_indexed(rwidth, build_workers, store.meter(), |c| {
+                par_indexed(rwidth, build_workers, store.meter(), sink, |c| {
                     if minis[c].supports_position_fetch() {
                         Ok(None)
                     } else {
@@ -431,15 +439,23 @@ pub(crate) fn fetch_expanded(mini: &MiniColumn, positions: &[Pos]) -> Result<Vec
 /// Run `f` over indices `0..n` on the shared claim-counter fan-out
 /// ([`matstrat_common::par_map_indexed`], the projection loader's
 /// pattern), dropping each spawned worker's per-thread meter state on
-/// exit. The calling thread keeps its meter state: its reads belong to
-/// the surrounding query, exactly as on the serial path.
+/// exit — harvested into `sink` when the surrounding query is keeping
+/// per-query I/O. The calling thread keeps its meter state: its reads
+/// belong to the surrounding query and are swept into the sink by the
+/// next pipeline run's forget, exactly as on the serial path.
 fn par_indexed<T: Send>(
     n: usize,
     workers: usize,
     meter: &IoMeter,
+    sink: Option<&IoSink>,
     f: impl Fn(usize) -> Result<T> + Sync,
 ) -> Result<Vec<T>> {
-    matstrat_common::par_map_indexed(n, workers, f, || meter.forget_current_thread())
+    matstrat_common::par_map_indexed(n, workers, f, || {
+        let dropped = meter.forget_current_thread();
+        if let Some(sink) = sink {
+            sink.add(dropped);
+        }
+    })
 }
 
 /// Flatten decoded columns into row-major tuples — the Materialized
@@ -508,6 +524,34 @@ pub fn hash_join_with_options(
     inner: InnerStrategy,
     opts: &ExecOptions,
 ) -> Result<QueryResult> {
+    Ok(hash_join_with_io(store, spec, inner, opts)?.0)
+}
+
+/// [`hash_join_with_options`], additionally reporting the I/O **this
+/// query** caused. The counters are harvested per thread (see
+/// [`IoSink`]), not diffed off the global meter, so they stay exact when
+/// several sessions run concurrently on one store.
+pub fn hash_join_with_io(
+    store: &Store,
+    spec: &JoinSpec,
+    inner: InnerStrategy,
+    opts: &ExecOptions,
+) -> Result<(QueryResult, IoStats)> {
+    // Drop any residue a previous, errored-out execution left on this
+    // thread: it must not be billed to this query.
+    store.meter().forget_current_thread();
+    let sink = IoSink::new();
+    let result = hash_join_sunk(store, spec, inner, opts, &sink)?;
+    Ok((result, sink.total()))
+}
+
+fn hash_join_sunk(
+    store: &Store,
+    spec: &JoinSpec,
+    inner: InnerStrategy,
+    opts: &ExecOptions,
+    sink: &IoSink,
+) -> Result<QueryResult> {
     let left_info = store.projection(spec.left)?;
     let right_info = store.projection(spec.right)?;
 
@@ -529,7 +573,7 @@ pub fn hash_join_with_options(
     // per-strategy right output representation — the same two pieces the
     // join-tree executor builds per edge, with the first cached across
     // edges that share an inner table.
-    let shared = SharedBuild::build(store, spec.right, spec.right_key, opts)?;
+    let shared = SharedBuild::build(store, spec.right, spec.right_key, opts, Some(sink))?;
     let rep = InnerRep::build(
         store,
         spec.right,
@@ -537,6 +581,7 @@ pub fn hash_join_with_options(
         inner,
         shared.build_workers,
         right_info.num_rows,
+        Some(sink),
     )?;
 
     let build = BuildSide {
@@ -561,7 +606,7 @@ pub fn hash_join_with_options(
         opts.parallelism.max(1),
     );
     let fragments: Vec<Vec<Value>> =
-        pipeline.run(store.meter(), |span| probe_span(spec, &build, span))?;
+        pipeline.run_sunk(store.meter(), sink, |span| probe_span(spec, &build, span))?;
 
     // Fragments are row-major and spans ascend, so concatenation
     // reproduces the serial row order byte for byte.

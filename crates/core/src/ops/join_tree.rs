@@ -53,7 +53,7 @@ use std::time::Instant;
 
 use matstrat_common::{Error, Pos, PosRange, Result, TableId, Value};
 use matstrat_poslist::PosList;
-use matstrat_storage::{ColumnReader, Store};
+use matstrat_storage::{ColumnReader, IoSink, Store};
 
 use crate::exec::ExecOptions;
 use crate::multicol::MiniColumn;
@@ -187,7 +187,13 @@ pub fn hash_join_tree_with_options(
     }
 
     let t0 = Instant::now();
-    let io0 = store.meter().snapshot();
+    // Per-query I/O: every pipeline run and build fan-out below harvests
+    // its threads' meter state into this sink, so `stats.io` is exactly
+    // this query's reads even with other sessions running concurrently
+    // (a global-meter diff would interleave theirs). First drop any
+    // residue an errored-out previous execution left on this thread.
+    store.meter().forget_current_thread();
+    let sink = IoSink::new();
     let mut stats = JoinTreeStats::default();
 
     // ---- Build phase, in execution order --------------------------------
@@ -206,7 +212,13 @@ pub fn hash_join_tree_with_options(
                 Arc::clone(s)
             }
             _ => {
-                let s = Arc::new(SharedBuild::build(store, edge.right, edge.right_key, opts)?);
+                let s = Arc::new(SharedBuild::build(
+                    store,
+                    edge.right,
+                    edge.right_key,
+                    opts,
+                    Some(&sink),
+                )?);
                 stats.builds += 1;
                 cache.insert(cache_key, Arc::clone(&s));
                 s
@@ -219,6 +231,7 @@ pub fn hash_join_tree_with_options(
             plan.inners[ei],
             shared.build_workers,
             shared.rows,
+            Some(&sink),
         )?;
         let source = match spec.key_source(ei)? {
             JoinKeySource::Base => KeyFetch::Base(store.reader(base, edge.left_key)?),
@@ -266,7 +279,7 @@ pub fn hash_join_tree_with_options(
         opts.granule.max(1),
         opts.parallelism.max(1),
     );
-    let (fragments, steals) = pipeline.run_counted(store.meter(), |span| {
+    let (fragments, steals) = pipeline.run_counted_sunk(store.meter(), Some(&sink), |span| {
         probe_tree_span(
             spec,
             &runs,
@@ -288,7 +301,7 @@ pub fn hash_join_tree_with_options(
     stats.steals = steals;
     stats.rows_out = result.num_rows() as u64;
     stats.wall = t0.elapsed();
-    stats.io = store.meter().snapshot().since(&io0);
+    stats.io = sink.total();
     Ok((result, stats))
 }
 

@@ -43,7 +43,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use matstrat_common::{PosRange, Result};
-use matstrat_storage::IoMeter;
+use matstrat_storage::{IoMeter, IoSink};
 
 /// Granule runs each worker is expected to claim over its lifetime: the
 /// scheduler sizes its chunk as `num_granules / (workers ×
@@ -133,6 +133,23 @@ impl FragmentPipeline {
         Ok(self.run_counted(meter, task)?.0)
     }
 
+    /// [`Self::run`] with per-query I/O harvesting: every
+    /// `forget_current_thread` this run performs — each worker thread's
+    /// on exit, and the calling thread's at the end — folds the dropped
+    /// counters into `sink`. Because the calling thread's forget also
+    /// sweeps up reads it made *before* this run (readers opened, build
+    /// columns fetched between pipelines), a query that funnels all its
+    /// pipeline runs into one sink ends with the sink holding exactly
+    /// the query's own I/O, concurrency-proof (see
+    /// [`matstrat_storage::IoSink`]).
+    pub fn run_sunk<T, F>(&self, meter: &IoMeter, sink: &IoSink, task: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(PosRange) -> Result<T> + Sync,
+    {
+        Ok(self.run_counted_sunk(meter, Some(sink), task)?.0)
+    }
+
     /// [`Self::run`], additionally reporting how many granule runs were
     /// **stolen** — claimed from the tail of another worker's span by a
     /// worker that had drained its own. A single-span (serial) plan
@@ -155,12 +172,33 @@ impl FragmentPipeline {
         T: Send,
         F: Fn(PosRange) -> Result<T> + Sync,
     {
+        self.run_counted_sunk(meter, None, task)
+    }
+
+    /// [`Self::run_counted`] with the optional per-query [`IoSink`] of
+    /// [`Self::run_sunk`].
+    pub fn run_counted_sunk<T, F>(
+        &self,
+        meter: &IoMeter,
+        sink: Option<&IoSink>,
+        task: F,
+    ) -> Result<(Vec<T>, u64)>
+    where
+        T: Send,
+        F: Fn(PosRange) -> Result<T> + Sync,
+    {
+        let forget = |meter: &IoMeter| {
+            let dropped = meter.forget_current_thread();
+            if let Some(sink) = sink {
+                sink.add(dropped);
+            }
+        };
         // The constructor always plans at least one (possibly empty)
         // span; a single span belongs to the calling thread, runs whole
         // (no chunking overhead), and cannot steal.
         if self.spans.len() <= 1 {
             let out = task(self.spans[0]);
-            meter.forget_current_thread();
+            forget(meter);
             return Ok((vec![out?], 0));
         }
 
@@ -178,7 +216,7 @@ impl FragmentPipeline {
                 let span = PosRange::new(g0 * self.granule, (g1 * self.granule).min(rows));
                 frags.push((span.start, task(span)));
             }
-            meter.forget_current_thread();
+            forget(meter);
             frags
         };
 
@@ -318,6 +356,57 @@ mod tests {
         // Many granules: ~CHUNKS_PER_WORKER claims per worker.
         let p = FragmentPipeline::new(1280 * 32, 32, 4);
         assert_eq!(p.chunk_granules(), 1280 / (4 * CHUNKS_PER_WORKER));
+    }
+
+    #[test]
+    fn degenerate_parallelism_never_spins_or_emits_zero_chunks() {
+        // The session layer lets callers ask for any worker count, so the
+        // scheduler must stay well-formed at the degenerate corners:
+        // workers = 0 and granule counts of 0, 1, and workers − 1 — all
+        // far below the `workers × CHUNKS_PER_WORKER` chunking regime.
+        // Every configuration must (a) clamp to ≥ 1 worker, (b) never
+        // plan a zero-sized steal chunk, and (c) run to completion with
+        // each granule executed exactly once (an idle-spinning worker
+        // would either hang the scope or double-claim a granule).
+        let meter = IoMeter::new();
+        const GRANULE: u64 = 32;
+        for workers in [0usize, 1, 4, 8] {
+            for granules in [0u64, 1, workers.saturating_sub(1) as u64] {
+                let rows = granules * GRANULE;
+                let p = FragmentPipeline::new(rows, GRANULE, workers);
+                assert!(p.workers() >= 1, "w={workers} g={granules}: worker clamp");
+                assert!(
+                    p.workers() as u64 <= granules.max(1),
+                    "w={workers} g={granules}: skew guard"
+                );
+                assert!(
+                    p.chunk_granules() >= 1,
+                    "w={workers} g={granules}: zero-sized steal chunk"
+                );
+                let hits = AtomicUsize::new(0);
+                let (frags, _steals) = p
+                    .run_counted(&meter, |span| {
+                        hits.fetch_add(span.len().div_ceil(GRANULE) as usize, Ordering::Relaxed);
+                        Ok(span)
+                    })
+                    .unwrap();
+                assert_eq!(
+                    hits.load(Ordering::Relaxed) as u64,
+                    granules,
+                    "w={workers} g={granules}: every granule exactly once"
+                );
+                // Fragments concatenate back to [0, rows) exactly.
+                let covered: u64 = frags.iter().map(|s| s.len()).sum();
+                assert_eq!(covered, rows, "w={workers} g={granules}");
+            }
+        }
+        // workers = 0 with a non-trivial table behaves as serial.
+        let p = FragmentPipeline::new(10 * GRANULE, GRANULE, 0);
+        assert_eq!(p.workers(), 1);
+        let (frags, steals) = p.run_counted(&meter, Ok).unwrap();
+        assert_eq!(steals, 0, "serial plans cannot steal");
+        assert_eq!(frags.len(), 1);
+        assert_eq!(frags[0], PosRange::new(0, 10 * GRANULE));
     }
 
     #[test]

@@ -70,7 +70,22 @@ pub struct JoinTreeChoice {
     pub reason: String,
 }
 
+impl PlanChoice {
+    /// One-line EXPLAIN-style summary: the pick plus the reasoning.
+    pub fn describe(&self) -> String {
+        format!("scan via {}: {}", self.strategy, self.reason)
+    }
+}
+
 impl JoinTreeChoice {
+    /// One-line EXPLAIN-style summary: order, inner strategies, reasoning.
+    pub fn describe(&self) -> String {
+        format!(
+            "join tree, order {:?}, inners {:?}: {}",
+            self.order, self.inners, self.reason
+        )
+    }
+
     /// The executable plan this choice describes.
     pub fn plan(&self) -> JoinTreePlan {
         JoinTreePlan {

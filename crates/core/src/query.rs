@@ -28,7 +28,7 @@ pub struct AggSpec {
 /// SELECT <output...> FROM <table> WHERE <col op const> AND ...
 /// [GROUP BY g -- with SUM(v)]
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct QuerySpec {
     /// The projection to read.
     pub table: TableId,
@@ -133,7 +133,7 @@ pub enum JoinKeySource {
 /// Output columns are the base outputs followed by every edge's right
 /// outputs **in spec order**, whatever execution order the planner
 /// picks. A one-edge tree is exactly its [`JoinSpec`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinTreeSpec {
     /// The join edges, in declaration order.
     pub edges: Vec<JoinSpec>,
@@ -211,7 +211,9 @@ impl JoinTreeSpec {
 pub struct JoinTreeStats {
     /// Wall-clock execution time.
     pub wall: Duration,
-    /// Simulated-disk activity during execution (global meter delta).
+    /// Simulated-disk activity during execution — **this query's only**,
+    /// harvested per thread ([`matstrat_storage::IoSink`]) so the
+    /// counters stay exact when several sessions execute concurrently.
     pub io: IoStats,
     /// Result rows produced.
     pub rows_out: u64,

@@ -1,0 +1,391 @@
+//! The query service: N concurrent sessions over one shared store.
+//!
+//! PRs 2–5 built a single-query engine — one `Database`, one hand-built
+//! spec, one execution at a time. This module is the step to a *served*
+//! system: a [`Server`] owns the shared substrate (sharded buffer pool,
+//! I/O meter, planner) and admits queries from any number of
+//! [`Session`]s onto it, with three properties the concurrency battery
+//! (`tests/concurrent_diff.rs`) proves:
+//!
+//! * **Admission control** — at most [`ServerConfig::max_concurrent`]
+//!   queries execute at once; excess callers block (a condvar queue),
+//!   bounding memory and thread fan-out no matter how many sessions
+//!   exist.
+//! * **Fair span scheduling** — the server's
+//!   [`ServerConfig::worker_budget`] threads are split evenly over the
+//!   queries active at admission time (`max(1, budget / active)`).
+//!   Because every operator is byte-identical at any worker count, the
+//!   share is pure scheduling: it decides wall time, never results.
+//! * **Per-query isolation** — each query's [`ExecStats`] /
+//!   [`JoinTreeStats`] (rows, positions, cold `block_reads`) are its own,
+//!   harvested per thread ([`matstrat_storage::IoSink`]); the buffer
+//!   pool's global [`matstrat_storage::PoolStats`] ledger stays exact
+//!   because the service never touches the pool's counters or striping —
+//!   those belong to the store owner.
+//!
+//! Plans are priced at the **full worker budget**, not the fair share:
+//! planning must be deterministic for a given store, or an interleaved
+//! run could pick different strategies than a serial one and legitimately
+//! read different blocks. Execution parallelism is where the share
+//! lands — there, any value returns the same bytes.
+//!
+//! The text front-end lives in `matstrat-lang` (which depends on this
+//! crate); `examples/query_service.rs` wires the two together.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use matstrat_common::Result;
+use matstrat_model::Constants;
+use matstrat_storage::Store;
+
+use crate::exec::{default_parallelism, execute_with_options, ExecOptions};
+use crate::ops::join_tree::hash_join_tree_with_options;
+use crate::planner::Planner;
+use crate::query::{ExecStats, JoinTreeSpec, JoinTreeStats, QueryResult, QuerySpec};
+
+/// Admission knobs for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Queries allowed to execute simultaneously; further submissions
+    /// block until a slot frees (clamped to ≥ 1).
+    pub max_concurrent: usize,
+    /// Total executor worker threads shared by the active queries; each
+    /// query gets `max(1, worker_budget / active)` at admission
+    /// (clamped to ≥ 1).
+    pub worker_budget: usize,
+}
+
+impl Default for ServerConfig {
+    /// Four concurrent queries sharing the `MATSTRAT_THREADS` worker
+    /// default.
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_concurrent: 4,
+            worker_budget: default_parallelism(),
+        }
+    }
+}
+
+/// Cumulative admission counters (exact: every transition happens under
+/// the gate lock).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Queries admitted so far.
+    pub admitted: u64,
+    /// Queries finished (successfully or not).
+    pub completed: u64,
+    /// Most queries ever active at once (≤ `max_concurrent`).
+    pub peak_active: usize,
+    /// Most queries ever blocked waiting for a slot at once.
+    pub peak_queued: usize,
+}
+
+#[derive(Default)]
+struct GateState {
+    active: usize,
+    queued: usize,
+    stats: ServerStats,
+}
+
+/// The shared query service: one store, one planner, one admission gate.
+/// Create sessions with [`Server::connect`]; all of them execute against
+/// the same buffer pool and worker budget.
+pub struct Server {
+    store: Store,
+    planner: Planner,
+    cfg: ServerConfig,
+    gate: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Server {
+    /// Serve `store` under `cfg`. Pool striping stays whatever the store
+    /// owner set (`BufferPool::reshard*` — see `Database::set_parallelism`
+    /// for the grow-only idiom): it is a throughput knob, never a
+    /// correctness one, and the concurrency battery pins results across
+    /// shard counts.
+    pub fn new(store: Store, cfg: ServerConfig) -> Arc<Server> {
+        let cfg = ServerConfig {
+            max_concurrent: cfg.max_concurrent.max(1),
+            worker_budget: cfg.worker_budget.max(1),
+        };
+        Arc::new(Server {
+            store,
+            // Deterministic planning: priced at the full budget (see the
+            // module docs), never at a transient fair share.
+            planner: Planner::with_parallelism(Constants::host_defaults(), cfg.worker_budget),
+            cfg,
+            gate: Mutex::new(GateState::default()),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// An in-memory server with the given knobs.
+    pub fn in_memory(cfg: ServerConfig) -> Arc<Server> {
+        Server::new(Store::in_memory(), cfg)
+    }
+
+    /// Open a session. Sessions are cheap handles; drop them freely.
+    pub fn connect(self: &Arc<Server>) -> Session {
+        Session {
+            server: Arc::clone(self),
+        }
+    }
+
+    /// The shared store (catalog, buffer pool, meter).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// The admission knobs the server runs with.
+    pub fn config(&self) -> ServerConfig {
+        self.cfg
+    }
+
+    /// Snapshot the admission counters.
+    pub fn stats(&self) -> ServerStats {
+        self.gate.lock().expect("gate poisoned").stats
+    }
+
+    /// Block until a slot frees, then return this query's fair worker
+    /// share. The share is computed from the active count *including*
+    /// this query, under the same lock that admitted it.
+    fn admit(&self) -> AdmitGuard<'_> {
+        let mut g = self.gate.lock().expect("gate poisoned");
+        g.queued += 1;
+        g.stats.peak_queued = g.stats.peak_queued.max(g.queued);
+        while g.active >= self.cfg.max_concurrent {
+            g = self.cv.wait(g).expect("gate poisoned");
+        }
+        g.queued -= 1;
+        g.active += 1;
+        g.stats.admitted += 1;
+        g.stats.peak_active = g.stats.peak_active.max(g.active);
+        let share = (self.cfg.worker_budget / g.active).max(1);
+        drop(g);
+        AdmitGuard {
+            server: self,
+            share,
+        }
+    }
+}
+
+/// Releases the admission slot on drop — error paths included.
+struct AdmitGuard<'a> {
+    server: &'a Server,
+    share: usize,
+}
+
+impl Drop for AdmitGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = self.server.gate.lock().expect("gate poisoned");
+        g.active -= 1;
+        g.stats.completed += 1;
+        drop(g);
+        self.server.cv.notify_all();
+    }
+}
+
+/// One query, in either of the shapes the engine plans: a (possibly
+/// aggregated) scan, or a left-deep join tree. `matstrat-lang` compiles
+/// query text into exactly this enum's payloads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `SELECT ... FROM t WHERE ... [GROUP BY ...]`
+    Scan(QuerySpec),
+    /// `SELECT ... FROM base JOIN ... [WHERE base pred]`
+    JoinTree(JoinTreeSpec),
+}
+
+/// A finished query: the result plus the shape-specific measurements.
+/// Both stats carry this query's own cold `block_reads` (per-thread
+/// harvest), exact under concurrency.
+#[derive(Debug, Clone)]
+pub enum Reply {
+    /// A scan's result and measurements.
+    Scan(QueryResult, ExecStats),
+    /// A join tree's result and measurements.
+    JoinTree(QueryResult, JoinTreeStats),
+}
+
+impl Reply {
+    /// The materialized result, whatever the request shape.
+    pub fn result(&self) -> &QueryResult {
+        match self {
+            Reply::Scan(r, _) => r,
+            Reply::JoinTree(r, _) => r,
+        }
+    }
+
+    /// This query's simulated-disk block reads.
+    pub fn block_reads(&self) -> u64 {
+        match self {
+            Reply::Scan(_, s) => s.io.block_reads,
+            Reply::JoinTree(_, s) => s.io.block_reads,
+        }
+    }
+}
+
+/// A client handle on a [`Server`]. `run` blocks while the server is at
+/// its concurrency bound; use one session per client thread.
+pub struct Session {
+    server: Arc<Server>,
+}
+
+impl Session {
+    /// The server this session talks to.
+    pub fn server(&self) -> &Arc<Server> {
+        &self.server
+    }
+
+    /// EXPLAIN: plan the request (at the full worker budget, like `run`)
+    /// and describe the choice without executing or taking a slot.
+    pub fn explain(&self, req: &Request) -> Result<String> {
+        let srv = &self.server;
+        match req {
+            Request::Scan(q) => Ok(srv.planner.choose(&srv.store, q)?.describe()),
+            Request::JoinTree(t) => Ok(srv.planner.choose_join_tree(&srv.store, t)?.describe()),
+        }
+    }
+
+    /// Plan and execute one request under admission control.
+    pub fn run(&self, req: &Request) -> Result<Reply> {
+        match req {
+            Request::Scan(q) => {
+                let (r, s) = self.run_scan(q)?;
+                Ok(Reply::Scan(r, s))
+            }
+            Request::JoinTree(t) => {
+                let (r, s) = self.run_join_tree(t)?;
+                Ok(Reply::JoinTree(r, s))
+            }
+        }
+    }
+
+    /// Plan (at the full budget) and run a scan (at the fair share).
+    pub fn run_scan(&self, q: &QuerySpec) -> Result<(QueryResult, ExecStats)> {
+        let srv = &self.server;
+        let choice = srv.planner.choose(&srv.store, q)?;
+        let permit = srv.admit();
+        let opts = ExecOptions::with_parallelism(permit.share);
+        execute_with_options(&srv.store, q, choice.strategy, &opts)
+    }
+
+    /// Plan (at the full budget) and run a join tree (at the fair share).
+    pub fn run_join_tree(&self, spec: &JoinTreeSpec) -> Result<(QueryResult, JoinTreeStats)> {
+        let srv = &self.server;
+        let choice = srv.planner.choose_join_tree(&srv.store, spec)?;
+        let permit = srv.admit();
+        let opts = ExecOptions::with_parallelism(permit.share);
+        hash_join_tree_with_options(&srv.store, spec, &choice.plan(), &opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_common::{Predicate, Value};
+    use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
+
+    fn served_store() -> Store {
+        let store = Store::in_memory();
+        let a: Vec<Value> = (0..3000).map(|i| i / 300).collect();
+        let b: Vec<Value> = (0..3000).map(|i| i % 7).collect();
+        let spec = ProjectionSpec::new("t")
+            .column("a", EncodingKind::Rle, SortOrder::Primary)
+            .column("b", EncodingKind::Plain, SortOrder::None);
+        store.load_projection(&spec, &[&a, &b]).unwrap();
+        store
+    }
+
+    #[test]
+    fn sessions_share_one_store_and_results_match_the_database_path() {
+        let store = served_store();
+        let t = store.projection_by_name("t").unwrap().id;
+        let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(3));
+        let oracle = crate::Database::with_store(store.clone())
+            .run(&q, crate::Strategy::LmParallel)
+            .unwrap();
+
+        let server = Server::new(store, ServerConfig::default());
+        let s1 = server.connect();
+        let s2 = server.connect();
+        let plan = s1.explain(&Request::Scan(q.clone())).unwrap();
+        assert!(plan.starts_with("scan via "), "explain text: {plan}");
+        let r1 = s1.run(&Request::Scan(q.clone())).unwrap();
+        let r2 = s2.run(&Request::Scan(q)).unwrap();
+        assert_eq!(r1.result().flat(), oracle.flat());
+        assert_eq!(r2.result().flat(), oracle.flat());
+        let stats = server.stats();
+        assert_eq!(stats.admitted, 2);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn admission_gate_bounds_active_queries_and_counts_peaks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let server = Server::new(
+            served_store(),
+            ServerConfig {
+                max_concurrent: 2,
+                worker_budget: 4,
+            },
+        );
+        let t = server.store().projection_by_name("t").unwrap().id;
+        let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::ge(0));
+        let in_flight = AtomicUsize::new(0);
+        let over_bound = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let server = &server;
+                let q = &q;
+                let in_flight = &in_flight;
+                let over_bound = &over_bound;
+                s.spawn(move || {
+                    let session = server.connect();
+                    // The gate admits before execution; sample the
+                    // active count from inside a running query.
+                    let _ = session.run(&Request::Scan(q.clone())).unwrap();
+                    let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+                    if now > 2 {
+                        over_bound.fetch_add(1, Ordering::SeqCst);
+                    }
+                    in_flight.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        let stats = server.stats();
+        assert_eq!(stats.admitted, 6);
+        assert_eq!(stats.completed, 6);
+        assert!(stats.peak_active <= 2, "admission bound held");
+        assert!(stats.peak_active >= 1);
+    }
+
+    #[test]
+    fn fair_share_never_exceeds_budget_or_drops_below_one() {
+        // Budget 4 split across up to 8 active queries: the share is
+        // computed under the gate lock, so active ∈ [1, max_concurrent]
+        // and share ∈ [1, budget].
+        let server = Server::new(
+            served_store(),
+            ServerConfig {
+                max_concurrent: 8,
+                worker_budget: 4,
+            },
+        );
+        let permit = server.admit();
+        assert_eq!(permit.share, 4, "sole query gets the whole budget");
+        let second = server.admit();
+        assert_eq!(second.share, 2, "two active: half each");
+        drop(permit);
+        drop(second);
+        let zero_knobs = Server::in_memory(ServerConfig {
+            max_concurrent: 0,
+            worker_budget: 0,
+        });
+        assert_eq!(zero_knobs.config().max_concurrent, 1, "clamped");
+        assert_eq!(zero_knobs.config().worker_budget, 1, "clamped");
+        let permit = zero_knobs.admit();
+        assert_eq!(permit.share, 1);
+    }
+}

@@ -1,0 +1,56 @@
+//! The parsed (pre-catalog) form of a query. Every node keeps the byte
+//! offset of its defining token so lowering errors can point at source.
+
+use matstrat_common::{CompareOp, Value};
+use matstrat_core::AggFunc;
+
+/// `column` or `table.column`.
+#[derive(Debug, Clone)]
+pub(crate) struct ColRef {
+    pub table: Option<String>,
+    pub column: String,
+    pub at: usize,
+}
+
+/// One entry of the select list.
+#[derive(Debug, Clone)]
+pub(crate) enum SelectItem {
+    Col(ColRef),
+    Agg {
+        func: AggFunc,
+        arg: ColRef,
+        at: usize,
+    },
+}
+
+/// `JOIN table ON a = b`.
+#[derive(Debug, Clone)]
+pub(crate) struct JoinClause {
+    pub table: String,
+    pub table_at: usize,
+    pub lhs: ColRef,
+    pub rhs: ColRef,
+}
+
+/// One WHERE conjunct: a SARGable comparison against constants.
+#[derive(Debug, Clone)]
+pub(crate) struct PredClause {
+    pub col: ColRef,
+    pub op: CompareOp,
+    /// Operand (lower bound for BETWEEN).
+    pub lo: Value,
+    /// Upper bound for BETWEEN; equal to `lo` otherwise.
+    pub hi: Value,
+}
+
+/// A full `SELECT` statement, before name resolution.
+#[derive(Debug, Clone)]
+pub(crate) struct SelectAst {
+    pub items: Vec<SelectItem>,
+    pub from: String,
+    pub from_at: usize,
+    pub joins: Vec<JoinClause>,
+    pub preds: Vec<PredClause>,
+    pub group_by: Option<ColRef>,
+    pub group_at: usize,
+}

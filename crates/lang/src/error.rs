@@ -1,0 +1,93 @@
+//! Parse and lowering errors, located in the source text.
+
+use std::fmt;
+
+/// An error produced while compiling query text — lexing, parsing, or
+/// lowering against the catalog. Every variant points at the offending
+/// token: [`ParseError::line`]/[`ParseError::col`] are 1-based, and
+/// `Display` renders the source line with a caret under the position:
+///
+/// ```text
+/// line 1, column 12: expected FROM, found WHERE
+///   | SELECT a b WHERE a < 3
+///   |            ^
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    msg: String,
+    line: usize,
+    col: usize,
+    src_line: String,
+}
+
+impl ParseError {
+    /// An error at byte `offset` of `src`.
+    pub(crate) fn at(src: &str, offset: usize, msg: impl Into<String>) -> ParseError {
+        let offset = offset.min(src.len());
+        let before = &src[..offset];
+        let line = before.matches('\n').count() + 1;
+        let line_start = before.rfind('\n').map_or(0, |p| p + 1);
+        let col = src[line_start..offset].chars().count() + 1;
+        let src_line = src[line_start..]
+            .lines()
+            .next()
+            .unwrap_or_default()
+            .to_string();
+        ParseError {
+            msg: msg.into(),
+            line,
+            col,
+            src_line,
+        }
+    }
+
+    /// What went wrong, without the location.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+
+    /// 1-based source line of the offending token.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// 1-based column (in characters) of the offending token.
+    pub fn col(&self) -> usize {
+        self.col
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "line {}, column {}: {}", self.line, self.col, self.msg)?;
+        writeln!(f, "  | {}", self.src_line)?;
+        write!(f, "  | {}^", " ".repeat(self.col - 1))
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_lands_on_the_offending_column() {
+        let src = "SELECT a\nFROM nowhere";
+        let e = ParseError::at(src, src.find("nowhere").unwrap(), "unknown projection");
+        assert_eq!(e.line(), 2);
+        assert_eq!(e.col(), 6);
+        assert_eq!(
+            e.to_string(),
+            "line 2, column 6: unknown projection\n  | FROM nowhere\n  |      ^"
+        );
+    }
+
+    #[test]
+    fn offset_past_the_end_clamps_to_the_last_line() {
+        let e = ParseError::at("SELECT", 999, "unexpected end of query");
+        assert_eq!(e.line(), 1);
+        assert_eq!(e.col(), 7);
+        assert!(e.to_string().contains("  | SELECT\n  |       ^"));
+    }
+}

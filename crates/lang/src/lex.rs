@@ -1,0 +1,253 @@
+//! The lexer: query text → located tokens.
+
+use matstrat_common::Value;
+
+use crate::error::ParseError;
+
+/// One token of the dialect. Keywords are case-insensitive; identifiers
+/// keep their spelling (the catalog is case-sensitive).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    Ident(String),
+    Int(Value),
+    Select,
+    From,
+    Join,
+    On,
+    Where,
+    Group,
+    By,
+    And,
+    Between,
+    Sum,
+    Count,
+    Min,
+    Max,
+    Comma,
+    Dot,
+    LParen,
+    RParen,
+    Eq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Ne,
+    Eof,
+}
+
+impl Tok {
+    /// How the token reads in an error message.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier '{s}'"),
+            Tok::Int(v) => format!("integer {v}"),
+            Tok::Select => "SELECT".into(),
+            Tok::From => "FROM".into(),
+            Tok::Join => "JOIN".into(),
+            Tok::On => "ON".into(),
+            Tok::Where => "WHERE".into(),
+            Tok::Group => "GROUP".into(),
+            Tok::By => "BY".into(),
+            Tok::And => "AND".into(),
+            Tok::Between => "BETWEEN".into(),
+            Tok::Sum => "SUM".into(),
+            Tok::Count => "COUNT".into(),
+            Tok::Min => "MIN".into(),
+            Tok::Max => "MAX".into(),
+            Tok::Comma => "','".into(),
+            Tok::Dot => "'.'".into(),
+            Tok::LParen => "'('".into(),
+            Tok::RParen => "')'".into(),
+            Tok::Eq => "'='".into(),
+            Tok::Lt => "'<'".into(),
+            Tok::Le => "'<='".into(),
+            Tok::Gt => "'>'".into(),
+            Tok::Ge => "'>='".into(),
+            Tok::Ne => "'!='".into(),
+            Tok::Eof => "end of query".into(),
+        }
+    }
+}
+
+/// A token plus the byte offset where it starts.
+#[derive(Debug, Clone)]
+pub(crate) struct Lexed {
+    pub tok: Tok,
+    pub at: usize,
+}
+
+fn keyword(word: &str) -> Option<Tok> {
+    match word.to_ascii_uppercase().as_str() {
+        "SELECT" => Some(Tok::Select),
+        "FROM" => Some(Tok::From),
+        "JOIN" => Some(Tok::Join),
+        "ON" => Some(Tok::On),
+        "WHERE" => Some(Tok::Where),
+        "GROUP" => Some(Tok::Group),
+        "BY" => Some(Tok::By),
+        "AND" => Some(Tok::And),
+        "BETWEEN" => Some(Tok::Between),
+        "SUM" => Some(Tok::Sum),
+        "COUNT" => Some(Tok::Count),
+        "MIN" => Some(Tok::Min),
+        "MAX" => Some(Tok::Max),
+        _ => None,
+    }
+}
+
+/// Tokenize `src`, ending with an [`Tok::Eof`] sentinel.
+pub(crate) fn lex(src: &str) -> Result<Vec<Lexed>, ParseError> {
+    let bytes = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let at = i;
+        let tok = match c {
+            ',' => {
+                i += 1;
+                Tok::Comma
+            }
+            '.' => {
+                i += 1;
+                Tok::Dot
+            }
+            '(' => {
+                i += 1;
+                Tok::LParen
+            }
+            ')' => {
+                i += 1;
+                Tok::RParen
+            }
+            '=' => {
+                i += 1;
+                Tok::Eq
+            }
+            '<' => {
+                i += 1;
+                match bytes.get(i).copied() {
+                    Some(b'=') => {
+                        i += 1;
+                        Tok::Le
+                    }
+                    Some(b'>') => {
+                        i += 1;
+                        Tok::Ne
+                    }
+                    _ => Tok::Lt,
+                }
+            }
+            '>' => {
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            '!' => {
+                i += 1;
+                if bytes.get(i) == Some(&b'=') {
+                    i += 1;
+                    Tok::Ne
+                } else {
+                    return Err(ParseError::at(src, at, "expected '=' after '!'"));
+                }
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                if text == "-" {
+                    return Err(ParseError::at(src, at, "expected digits after '-'"));
+                }
+                let v: Value = text.parse().map_err(|_| {
+                    ParseError::at(src, at, format!("integer '{text}' out of range"))
+                })?;
+                Tok::Int(v)
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string()))
+            }
+            other => {
+                return Err(ParseError::at(
+                    src,
+                    at,
+                    format!("unexpected character '{other}'"),
+                ))
+            }
+        };
+        out.push(Lexed { tok, at });
+    }
+    out.push(Lexed {
+        tok: Tok::Eof,
+        at: src.len(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|l| l.tok).collect()
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive_but_idents_keep_case() {
+        assert_eq!(
+            toks("select Foo froM t"),
+            vec![
+                Tok::Select,
+                Tok::Ident("Foo".into()),
+                Tok::From,
+                Tok::Ident("t".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn operators_and_negative_ints() {
+        assert_eq!(
+            toks("a <= -42 <> != >="),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Le,
+                Tok::Int(-42),
+                Tok::Ne,
+                Tok::Ne,
+                Tok::Ge,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_characters_point_at_themselves() {
+        let e = lex("a ; b").unwrap_err();
+        assert_eq!(e.col(), 3);
+        assert!(e.message().contains("unexpected character ';'"));
+        assert!(lex("a ! b").unwrap_err().message().contains("after '!'"));
+        assert!(lex("a - b").unwrap_err().message().contains("digits"));
+        let huge = "99999999999999999999";
+        assert!(lex(huge).unwrap_err().message().contains("out of range"));
+    }
+}

@@ -1,0 +1,47 @@
+//! The text front-end: a small SQL dialect for the matstrat engine.
+//!
+//! The engine plans and executes two query shapes — (optionally
+//! aggregated) selections over one projection
+//! ([`matstrat_core::QuerySpec`]) and left-deep equi-join trees
+//! ([`matstrat_core::JoinTreeSpec`]). This crate gives both a textual
+//! form:
+//!
+//! ```sql
+//! SELECT shipdate, quantity FROM lineitem
+//!   WHERE shipdate BETWEEN 9000 AND 9030 AND quantity < 25
+//!
+//! SELECT shipdate, SUM(price) FROM lineitem
+//!   WHERE retflag = 1 GROUP BY shipdate
+//!
+//! SELECT l.quantity, o.odate, c.nation FROM l
+//!   JOIN o ON l.okey = o.okey
+//!   JOIN c ON o.ckey = c.ckey
+//!   WHERE l.shipdate < 9100
+//! ```
+//!
+//! [`compile`] runs a hand-rolled lexer and recursive-descent parser,
+//! then lowers the tree against the store's catalog (names → column
+//! indices) into a [`Statement`] holding exactly the spec the engine
+//! already executes — the text layer adds **zero** execution paths.
+//! Errors carry the line/column and a caret snippet ([`ParseError`]).
+//!
+//! The inverse direction, [`print_query`] / [`print_join_tree`], renders
+//! a spec back to canonical text; `tests/roundtrip.rs` proves
+//! `compile(print(spec)) == spec` by property over generated specs.
+//!
+//! Dialect limits mirror the engine's shapes (each rejected with a
+//! specific message): predicates compare one column to integer
+//! constants; `GROUP BY` selects exactly the group column and one
+//! aggregate; join queries take at most one `WHERE` predicate (on the
+//! base table), qualified column names, and no `GROUP BY`.
+
+mod ast;
+mod error;
+mod lex;
+mod lower;
+mod parse;
+mod print;
+
+pub use error::ParseError;
+pub use lower::{compile, Statement};
+pub use print::{print_join_tree, print_query, print_statement};

@@ -1,0 +1,302 @@
+//! Lowering: parsed AST + catalog → engine specs.
+
+use matstrat_common::{CompareOp, Predicate};
+use matstrat_core::{JoinSpec, JoinTreeSpec, QuerySpec, Request};
+use matstrat_storage::{ProjectionInfo, Store};
+
+use crate::ast::{ColRef, PredClause, SelectAst, SelectItem};
+use crate::error::ParseError;
+use crate::parse::parse;
+
+/// A compiled statement: exactly the spec the engine already plans and
+/// executes — the text layer adds no execution paths of its own.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A (possibly aggregated) selection over one projection.
+    Select(QuerySpec),
+    /// A left-deep tree of equi-joins.
+    JoinTree(JoinTreeSpec),
+}
+
+impl Statement {
+    /// The query-service request this statement executes as.
+    pub fn into_request(self) -> Request {
+        match self {
+            Statement::Select(q) => Request::Scan(q),
+            Statement::JoinTree(t) => Request::JoinTree(t),
+        }
+    }
+}
+
+/// Compile query text against `store`'s catalog.
+pub fn compile(store: &Store, text: &str) -> Result<Statement, ParseError> {
+    let ast = parse(text)?;
+    if ast.joins.is_empty() {
+        lower_scan(store, text, &ast).map(Statement::Select)
+    } else {
+        lower_join_tree(store, text, &ast).map(Statement::JoinTree)
+    }
+}
+
+fn predicate(p: &PredClause) -> Predicate {
+    match p.op {
+        CompareOp::Lt => Predicate::lt(p.lo),
+        CompareOp::Le => Predicate::le(p.lo),
+        CompareOp::Gt => Predicate::gt(p.lo),
+        CompareOp::Ge => Predicate::ge(p.lo),
+        CompareOp::Eq => Predicate::eq(p.lo),
+        CompareOp::Ne => Predicate::ne(p.lo),
+        CompareOp::Between => Predicate::between(p.lo, p.hi),
+    }
+}
+
+fn lookup_projection(
+    store: &Store,
+    src: &str,
+    name: &str,
+    at: usize,
+) -> Result<ProjectionInfo, ParseError> {
+    store
+        .projection_by_name(name)
+        .map_err(|_| ParseError::at(src, at, format!("unknown projection '{name}'")))
+}
+
+/// Resolve `col` against one projection (the scan case). A qualifier, if
+/// present, must name that projection.
+fn resolve_in(src: &str, proj: &ProjectionInfo, col: &ColRef) -> Result<usize, ParseError> {
+    if let Some(t) = &col.table {
+        if *t != proj.name {
+            return Err(ParseError::at(
+                src,
+                col.at,
+                format!("unknown table '{t}' in this query (FROM {})", proj.name),
+            ));
+        }
+    }
+    column_index(src, proj, col)
+}
+
+fn column_index(src: &str, proj: &ProjectionInfo, col: &ColRef) -> Result<usize, ParseError> {
+    proj.column_by_name(&col.column)
+        .map(|(idx, _)| idx)
+        .ok_or_else(|| {
+            ParseError::at(
+                src,
+                col.at,
+                format!("no column '{}' in projection '{}'", col.column, proj.name),
+            )
+        })
+}
+
+fn lower_scan(store: &Store, src: &str, ast: &SelectAst) -> Result<QuerySpec, ParseError> {
+    let proj = lookup_projection(store, src, &ast.from, ast.from_at)?;
+    let mut q = QuerySpec::select(proj.id, Vec::new());
+    for p in &ast.preds {
+        let col = resolve_in(src, &proj, &p.col)?;
+        q = q.filter(col, predicate(p));
+    }
+
+    if let Some(group) = &ast.group_by {
+        let group_col = resolve_in(src, &proj, group)?;
+        // The engine's aggregated scan is exactly `SELECT g, F(v) ...
+        // GROUP BY g`; hold the select list to that shape.
+        if ast.items.len() != 2 {
+            return Err(ParseError::at(
+                src,
+                ast.group_at,
+                "GROUP BY queries must select exactly the group column and one aggregate",
+            ));
+        }
+        let first = match &ast.items[0] {
+            SelectItem::Col(c) => resolve_in(src, &proj, c)?,
+            SelectItem::Agg { at, .. } => {
+                return Err(ParseError::at(
+                    src,
+                    *at,
+                    "the first select item must be the GROUP BY column, not an aggregate",
+                ))
+            }
+        };
+        if first != group_col {
+            return Err(ParseError::at(
+                src,
+                ast.items[0].at(),
+                "the first select item must be the GROUP BY column",
+            ));
+        }
+        let (func, value_col) = match &ast.items[1] {
+            SelectItem::Agg { func, arg, .. } => (*func, resolve_in(src, &proj, arg)?),
+            SelectItem::Col(c) => {
+                return Err(ParseError::at(
+                    src,
+                    c.at,
+                    "the second select item must be an aggregate (SUM/COUNT/MIN/MAX)",
+                ))
+            }
+        };
+        return Ok(q.aggregate_fn(group_col, value_col, func));
+    }
+
+    let mut output = Vec::with_capacity(ast.items.len());
+    for item in &ast.items {
+        match item {
+            SelectItem::Col(c) => output.push(resolve_in(src, &proj, c)?),
+            SelectItem::Agg { at, .. } => {
+                return Err(ParseError::at(src, *at, "aggregates require GROUP BY"))
+            }
+        }
+    }
+    q.output = output;
+    Ok(q)
+}
+
+impl SelectItem {
+    fn at(&self) -> usize {
+        match self {
+            SelectItem::Col(c) => c.at,
+            SelectItem::Agg { at, .. } => *at,
+        }
+    }
+}
+
+fn lower_join_tree(store: &Store, src: &str, ast: &SelectAst) -> Result<JoinTreeSpec, ParseError> {
+    if let Some(g) = &ast.group_by {
+        return Err(ParseError::at(
+            src,
+            g.at,
+            "GROUP BY is not supported with JOIN",
+        ));
+    }
+
+    // The tables in scope, in introduction order: FROM, then each JOIN.
+    let mut scope: Vec<ProjectionInfo> =
+        vec![lookup_projection(store, src, &ast.from, ast.from_at)?];
+    for j in &ast.joins {
+        if scope.iter().any(|p| p.name == j.table) {
+            return Err(ParseError::at(
+                src,
+                j.table_at,
+                format!("table '{}' appears twice in this query", j.table),
+            ));
+        }
+        scope.push(lookup_projection(store, src, &j.table, j.table_at)?);
+    }
+
+    // Multi-table resolution requires qualified names throughout.
+    let resolve = |col: &ColRef, upto: usize| -> Result<(usize, usize), ParseError> {
+        let t = col.table.as_ref().ok_or_else(|| {
+            ParseError::at(
+                src,
+                col.at,
+                format!(
+                    "unqualified column '{}': qualify columns as table.column in multi-table queries",
+                    col.column
+                ),
+            )
+        })?;
+        let slot = scope[..upto]
+            .iter()
+            .position(|p| p.name == *t)
+            .ok_or_else(|| {
+                ParseError::at(src, col.at, format!("unknown table '{t}' in this query"))
+            })?;
+        Ok((slot, column_index(src, &scope[slot], col)?))
+    };
+
+    let mut edges = Vec::with_capacity(ast.joins.len());
+    for (i, j) in ast.joins.iter().enumerate() {
+        // Scope slot of this edge's inner table (FROM is slot 0).
+        let right_slot = i + 1;
+        // One ON side names the fresh table, the other an earlier one.
+        let (lhs, rhs) = (
+            resolve(&j.lhs, right_slot + 1)?,
+            resolve(&j.rhs, right_slot + 1)?,
+        );
+        let ((left_slot, left_key), (_, right_key)) =
+            match (lhs.0 == right_slot, rhs.0 == right_slot) {
+                (false, true) => (lhs, rhs),
+                (true, false) => (rhs, lhs),
+                _ => {
+                    return Err(ParseError::at(
+                        src,
+                        j.lhs.at,
+                        format!(
+                            "ON must equate a column of '{}' with a column of an earlier table",
+                            j.table
+                        ),
+                    ))
+                }
+            };
+        // left_slot ≤ i here: slot 0 is the base (a star edge), any
+        // other slot is an earlier edge's inner table (a snowflake hop,
+        // keyed through that edge's matched positions).
+        edges.push(JoinSpec {
+            left: scope[left_slot].id,
+            right: scope[right_slot].id,
+            left_key,
+            right_key,
+            left_filter: None,
+            left_output: Vec::new(),
+            right_output: Vec::new(),
+        });
+    }
+
+    // The engine's join tree takes at most one base-table predicate.
+    match ast.preds.len() {
+        0 => {}
+        1 => {
+            let p = &ast.preds[0];
+            let (slot, col) = resolve(&p.col, scope.len())?;
+            if slot != 0 {
+                return Err(ParseError::at(
+                    src,
+                    p.col.at,
+                    format!(
+                        "WHERE in a join query may only filter the base table '{}'",
+                        scope[0].name
+                    ),
+                ));
+            }
+            edges[0].left_filter = Some((col, predicate(p)));
+        }
+        _ => {
+            return Err(ParseError::at(
+                src,
+                ast.preds[1].col.at,
+                "join queries support a single WHERE predicate (on the base table)",
+            ))
+        }
+    }
+
+    // Select list: base columns first, then each joined table's columns,
+    // in join order — the fixed output order of the tree executor.
+    let mut current_slot = 0usize;
+    for item in &ast.items {
+        let col = match item {
+            SelectItem::Col(c) => c,
+            SelectItem::Agg { at, .. } => {
+                return Err(ParseError::at(src, *at, "aggregates require GROUP BY"))
+            }
+        };
+        let (slot, idx) = resolve(col, scope.len())?;
+        if slot < current_slot {
+            return Err(ParseError::at(
+                src,
+                col.at,
+                "select columns must appear in join order: base table columns first, \
+                 then each joined table's columns",
+            ));
+        }
+        current_slot = slot;
+        if slot == 0 {
+            edges[0].left_output.push(idx);
+        } else {
+            edges[slot - 1].right_output.push(idx);
+        }
+    }
+
+    let tree = JoinTreeSpec::new(edges);
+    tree.validate()
+        .map_err(|e| ParseError::at(src, ast.from_at, format!("invalid join tree: {e}")))?;
+    Ok(tree)
+}

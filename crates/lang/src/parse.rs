@@ -1,0 +1,265 @@
+//! The recursive-descent parser.
+//!
+//! ```text
+//! statement := SELECT item (',' item)* FROM ident
+//!              (JOIN ident ON colref '=' colref)*
+//!              [WHERE pred (AND pred)*]
+//!              [GROUP BY colref]
+//! item      := (SUM|COUNT|MIN|MAX) '(' colref ')' | colref
+//! colref    := ident ['.' ident]
+//! pred      := colref ('<'|'<='|'>'|'>='|'='|'!='|'<>') int
+//!            | colref BETWEEN int AND int
+//! ```
+//!
+//! `BETWEEN lo AND hi` consumes its `AND` greedily, so a following
+//! conjunct needs its own `AND` — exactly SQL's reading.
+
+use matstrat_common::{CompareOp, Value};
+use matstrat_core::AggFunc;
+
+use crate::ast::{ColRef, JoinClause, PredClause, SelectAst, SelectItem};
+use crate::error::ParseError;
+use crate::lex::{lex, Lexed, Tok};
+
+pub(crate) fn parse(src: &str) -> Result<SelectAst, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { src, toks, pos: 0 };
+    let ast = p.statement()?;
+    p.expect_eof()?;
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    toks: Vec<Lexed>,
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn at(&self) -> usize {
+        self.toks[self.pos].at
+    }
+
+    fn bump(&mut self) -> Lexed {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::at(self.src, self.at(), msg)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<Lexed, ParseError> {
+        if *self.peek() == want {
+            Ok(self.bump())
+        } else {
+            Err(self.err(format!(
+                "expected {}, found {}",
+                want.describe(),
+                self.peek().describe()
+            )))
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Eof => Ok(()),
+            other => Err(self.err(format!("expected end of query, found {}", other.describe()))),
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, usize), ParseError> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                let at = self.at();
+                self.bump();
+                Ok((name, at))
+            }
+            other => Err(self.err(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn int(&mut self, what: &str) -> Result<Value, ParseError> {
+        match *self.peek() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            ref other => Err(self.err(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn colref(&mut self) -> Result<ColRef, ParseError> {
+        let (first, at) = self.ident("a column name")?;
+        if *self.peek() == Tok::Dot {
+            self.bump();
+            let (column, _) = self.ident("a column name after '.'")?;
+            Ok(ColRef {
+                table: Some(first),
+                column,
+                at,
+            })
+        } else {
+            Ok(ColRef {
+                table: None,
+                column: first,
+                at,
+            })
+        }
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        let func = match self.peek() {
+            Tok::Sum => Some(AggFunc::Sum),
+            Tok::Count => Some(AggFunc::Count),
+            Tok::Min => Some(AggFunc::Min),
+            Tok::Max => Some(AggFunc::Max),
+            _ => None,
+        };
+        if let Some(func) = func {
+            let at = self.at();
+            self.bump();
+            self.expect(Tok::LParen)?;
+            let arg = self.colref()?;
+            self.expect(Tok::RParen)?;
+            return Ok(SelectItem::Agg { func, arg, at });
+        }
+        Ok(SelectItem::Col(self.colref()?))
+    }
+
+    fn pred(&mut self) -> Result<PredClause, ParseError> {
+        let col = self.colref()?;
+        let op = match self.peek() {
+            Tok::Lt => CompareOp::Lt,
+            Tok::Le => CompareOp::Le,
+            Tok::Gt => CompareOp::Gt,
+            Tok::Ge => CompareOp::Ge,
+            Tok::Eq => CompareOp::Eq,
+            Tok::Ne => CompareOp::Ne,
+            Tok::Between => {
+                self.bump();
+                let lo = self.int("the BETWEEN lower bound")?;
+                self.expect(Tok::And)?;
+                let hi = self.int("the BETWEEN upper bound")?;
+                return Ok(PredClause {
+                    col,
+                    op: CompareOp::Between,
+                    lo,
+                    hi,
+                });
+            }
+            other => {
+                return Err(self.err(format!(
+                    "expected a comparison operator or BETWEEN, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        self.bump();
+        let v = self.int("an integer constant")?;
+        Ok(PredClause {
+            col,
+            op,
+            lo: v,
+            hi: v,
+        })
+    }
+
+    fn statement(&mut self) -> Result<SelectAst, ParseError> {
+        self.expect(Tok::Select)?;
+        let mut items = vec![self.select_item()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            items.push(self.select_item()?);
+        }
+        self.expect(Tok::From)?;
+        let (from, from_at) = self.ident("a projection name after FROM")?;
+
+        let mut joins = Vec::new();
+        while *self.peek() == Tok::Join {
+            self.bump();
+            let (table, table_at) = self.ident("a projection name after JOIN")?;
+            self.expect(Tok::On)?;
+            let lhs = self.colref()?;
+            self.expect(Tok::Eq)?;
+            let rhs = self.colref()?;
+            joins.push(JoinClause {
+                table,
+                table_at,
+                lhs,
+                rhs,
+            });
+        }
+
+        let mut preds = Vec::new();
+        if *self.peek() == Tok::Where {
+            self.bump();
+            preds.push(self.pred()?);
+            while *self.peek() == Tok::And {
+                self.bump();
+                preds.push(self.pred()?);
+            }
+        }
+
+        let mut group_by = None;
+        let mut group_at = 0;
+        if *self.peek() == Tok::Group {
+            group_at = self.at();
+            self.bump();
+            self.expect(Tok::By)?;
+            group_by = Some(self.colref()?);
+        }
+
+        Ok(SelectAst {
+            items,
+            from,
+            from_at,
+            joins,
+            preds,
+            group_by,
+            group_at,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let ast = parse(
+            "SELECT l.a, SUM(l.b) FROM l JOIN o ON l.k = o.k \
+             WHERE l.a BETWEEN 1 AND 5 AND l.b != -2 GROUP BY l.a",
+        )
+        .unwrap();
+        assert_eq!(ast.items.len(), 2);
+        assert_eq!(ast.joins.len(), 1);
+        assert_eq!(ast.preds.len(), 2);
+        assert_eq!(ast.preds[0].op, CompareOp::Between);
+        assert_eq!((ast.preds[0].lo, ast.preds[0].hi), (1, 5));
+        assert_eq!(ast.preds[1].op, CompareOp::Ne);
+        assert_eq!(ast.preds[1].lo, -2);
+        assert!(ast.group_by.is_some());
+    }
+
+    #[test]
+    fn trailing_tokens_are_rejected() {
+        let e = parse("SELECT a FROM t extra").unwrap_err();
+        assert!(e.message().contains("expected end of query"), "{e}");
+    }
+
+    #[test]
+    fn missing_from_points_at_the_culprit() {
+        let e = parse("SELECT a WHERE a < 3").unwrap_err();
+        assert_eq!(e.col(), 10);
+        assert!(e.message().contains("expected FROM"));
+    }
+}

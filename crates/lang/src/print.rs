@@ -1,0 +1,119 @@
+//! Pretty-printing: engine specs → canonical query text.
+//!
+//! The printed form is the dialect's canonical spelling — uppercase
+//! keywords, bare column names for scans, `table.column` everywhere in
+//! join queries — chosen so that `compile(print(spec)) == spec` for any
+//! spec the dialect can express (proved by property in
+//! `tests/roundtrip.rs`). Constructor-built predicates print exactly;
+//! a hand-built `Predicate` whose unused `operand2` differs from
+//! `operand` re-parses with the two equal (the constructors' invariant).
+
+use matstrat_common::{CompareOp, Error, Predicate, Result};
+use matstrat_core::{JoinTreeSpec, QuerySpec};
+use matstrat_storage::{ProjectionInfo, Store};
+
+use crate::lower::Statement;
+
+/// Render either statement shape.
+pub fn print_statement(store: &Store, stmt: &Statement) -> Result<String> {
+    match stmt {
+        Statement::Select(q) => print_query(store, q),
+        Statement::JoinTree(t) => print_join_tree(store, t),
+    }
+}
+
+fn pred_text(col: &str, p: &Predicate) -> Result<String> {
+    let op = match p.op {
+        CompareOp::Lt => "<",
+        CompareOp::Le => "<=",
+        CompareOp::Gt => ">",
+        CompareOp::Ge => ">=",
+        CompareOp::Eq => "=",
+        CompareOp::Ne => "!=",
+        CompareOp::Between => return Ok(format!("{col} BETWEEN {} AND {}", p.operand, p.operand2)),
+    };
+    Ok(format!("{col} {op} {}", p.operand))
+}
+
+fn col_name(proj: &ProjectionInfo, idx: usize) -> Result<&str> {
+    Ok(proj.column(idx)?.name.as_str())
+}
+
+/// `QuerySpec` → canonical scan text (bare column names).
+pub fn print_query(store: &Store, q: &QuerySpec) -> Result<String> {
+    let proj = store.projection(q.table)?;
+    let select = match q.aggregate {
+        Some(agg) => format!(
+            "{}, {}({})",
+            col_name(&proj, agg.group_col)?,
+            agg.func.name().to_ascii_uppercase(),
+            col_name(&proj, agg.value_col)?
+        ),
+        None => {
+            if q.output.is_empty() {
+                return Err(Error::invalid(
+                    "cannot print a query with no output columns",
+                ));
+            }
+            let cols: Result<Vec<&str>> = q.output.iter().map(|&c| col_name(&proj, c)).collect();
+            cols?.join(", ")
+        }
+    };
+    let mut text = format!("SELECT {select} FROM {}", proj.name);
+    for (i, (col, pred)) in q.filters.iter().enumerate() {
+        let kw = if i == 0 { "WHERE" } else { "AND" };
+        text.push_str(&format!(
+            " {kw} {}",
+            pred_text(col_name(&proj, *col)?, pred)?
+        ));
+    }
+    if let Some(agg) = q.aggregate {
+        text.push_str(&format!(" GROUP BY {}", col_name(&proj, agg.group_col)?));
+    }
+    Ok(text)
+}
+
+/// `JoinTreeSpec` → canonical join text (qualified column names).
+pub fn print_join_tree(store: &Store, tree: &JoinTreeSpec) -> Result<String> {
+    tree.validate()?;
+    if tree.output_width() == 0 {
+        return Err(Error::invalid(
+            "cannot print a join tree with no output columns",
+        ));
+    }
+    let base = store.projection(tree.base())?;
+    let inners: Result<Vec<ProjectionInfo>> = tree
+        .edges
+        .iter()
+        .map(|e| store.projection(e.right))
+        .collect();
+    let inners = inners?;
+
+    let mut select = Vec::new();
+    for &c in &tree.edges[0].left_output {
+        select.push(format!("{}.{}", base.name, col_name(&base, c)?));
+    }
+    for (e, inner) in tree.edges.iter().zip(&inners) {
+        for &c in &e.right_output {
+            select.push(format!("{}.{}", inner.name, col_name(inner, c)?));
+        }
+    }
+
+    let mut text = format!("SELECT {} FROM {}", select.join(", "), base.name);
+    for (e, inner) in tree.edges.iter().zip(&inners) {
+        let left = store.projection(e.left)?;
+        text.push_str(&format!(
+            " JOIN {} ON {}.{} = {}.{}",
+            inner.name,
+            left.name,
+            col_name(&left, e.left_key)?,
+            inner.name,
+            col_name(inner, e.right_key)?
+        ));
+    }
+    if let Some((col, pred)) = &tree.edges[0].left_filter {
+        let qualified = format!("{}.{}", base.name, col_name(&base, *col)?);
+        text.push_str(&format!(" WHERE {}", pred_text(&qualified, pred)?));
+    }
+    Ok(text)
+}

@@ -1,0 +1,189 @@
+//! Error-message snapshots: every rejection carries the exact location
+//! and a caret snippet. These strings are the front-end's UI — changes
+//! must be deliberate, so each case pins the full `Display` output.
+
+use matstrat_common::Value;
+use matstrat_lang::compile;
+use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder, Store};
+
+fn fixture() -> Store {
+    let store = Store::in_memory();
+    let rows: Vec<Value> = (0..16).collect();
+    let fact = ProjectionSpec::new("fact")
+        .column("k1", EncodingKind::Plain, SortOrder::Primary)
+        .column("k2", EncodingKind::Plain, SortOrder::None)
+        .column("a", EncodingKind::Plain, SortOrder::None)
+        .column("b", EncodingKind::Plain, SortOrder::None)
+        .column("c", EncodingKind::Plain, SortOrder::None);
+    store
+        .load_projection(&fact, &[&rows, &rows, &rows, &rows, &rows])
+        .unwrap();
+    let d1 = ProjectionSpec::new("d1")
+        .column("k", EncodingKind::Plain, SortOrder::Primary)
+        .column("x1", EncodingKind::Plain, SortOrder::None);
+    store.load_projection(&d1, &[&rows, &rows]).unwrap();
+    store
+}
+
+#[track_caller]
+fn snapshot(sql: &str, expected: &str) {
+    let store = fixture();
+    let err = match compile(&store, sql) {
+        Err(e) => e,
+        Ok(stmt) => panic!("'{sql}' unexpectedly compiled: {stmt:?}"),
+    };
+    assert_eq!(
+        err.to_string(),
+        expected,
+        "\n--- query ---\n{sql}\n--- actual ---\n{err}\n"
+    );
+}
+
+#[test]
+fn syntax_errors_point_at_the_offending_token() {
+    snapshot(
+        "SELECT a WHERE a < 3",
+        "line 1, column 10: expected FROM, found WHERE\n\
+         \x20 | SELECT a WHERE a < 3\n\
+         \x20 |          ^",
+    );
+    snapshot(
+        "SELECT a FROM fact extra",
+        "line 1, column 20: expected end of query, found identifier 'extra'\n\
+         \x20 | SELECT a FROM fact extra\n\
+         \x20 |                    ^",
+    );
+    snapshot(
+        "SELECT SUM(a FROM fact GROUP BY a",
+        "line 1, column 14: expected ')', found FROM\n\
+         \x20 | SELECT SUM(a FROM fact GROUP BY a\n\
+         \x20 |              ^",
+    );
+    snapshot(
+        "SELECT a FROM fact WHERE a BETWEEN 1 5",
+        "line 1, column 38: expected AND, found integer 5\n\
+         \x20 | SELECT a FROM fact WHERE a BETWEEN 1 5\n\
+         \x20 |                                      ^",
+    );
+    snapshot(
+        "SELECT a FROM fact WHERE a ; 3",
+        "line 1, column 28: unexpected character ';'\n\
+         \x20 | SELECT a FROM fact WHERE a ; 3\n\
+         \x20 |                            ^",
+    );
+}
+
+#[test]
+fn name_resolution_errors_cite_the_catalog() {
+    snapshot(
+        "SELECT a FROM nope",
+        "line 1, column 15: unknown projection 'nope'\n\
+         \x20 | SELECT a FROM nope\n\
+         \x20 |               ^",
+    );
+    snapshot(
+        "SELECT zz FROM fact",
+        "line 1, column 8: no column 'zz' in projection 'fact'\n\
+         \x20 | SELECT zz FROM fact\n\
+         \x20 |        ^",
+    );
+    snapshot(
+        "SELECT d1.x1 FROM fact",
+        "line 1, column 8: unknown table 'd1' in this query (FROM fact)\n\
+         \x20 | SELECT d1.x1 FROM fact\n\
+         \x20 |        ^",
+    );
+}
+
+#[test]
+fn group_by_shape_violations_name_the_rule() {
+    snapshot(
+        "SELECT SUM(a) FROM fact",
+        "line 1, column 8: aggregates require GROUP BY\n\
+         \x20 | SELECT SUM(a) FROM fact\n\
+         \x20 |        ^",
+    );
+    snapshot(
+        "SELECT a, b, c FROM fact GROUP BY a",
+        "line 1, column 26: GROUP BY queries must select exactly the group column \
+         and one aggregate\n\
+         \x20 | SELECT a, b, c FROM fact GROUP BY a\n\
+         \x20 |                          ^",
+    );
+    snapshot(
+        "SELECT b, SUM(c) FROM fact GROUP BY a",
+        "line 1, column 8: the first select item must be the GROUP BY column\n\
+         \x20 | SELECT b, SUM(c) FROM fact GROUP BY a\n\
+         \x20 |        ^",
+    );
+    snapshot(
+        "SELECT a, b FROM fact GROUP BY a",
+        "line 1, column 11: the second select item must be an aggregate \
+         (SUM/COUNT/MIN/MAX)\n\
+         \x20 | SELECT a, b FROM fact GROUP BY a\n\
+         \x20 |           ^",
+    );
+}
+
+#[test]
+fn join_dialect_limits_each_carry_their_own_message() {
+    snapshot(
+        "SELECT a FROM fact JOIN d1 ON fact.k2 = d1.k",
+        "line 1, column 8: unqualified column 'a': qualify columns as table.column \
+         in multi-table queries\n\
+         \x20 | SELECT a FROM fact JOIN d1 ON fact.k2 = d1.k\n\
+         \x20 |        ^",
+    );
+    snapshot(
+        "SELECT fact.a FROM fact JOIN d1 ON d1.k = d1.x1",
+        "line 1, column 36: ON must equate a column of 'd1' with a column of an \
+         earlier table\n\
+         \x20 | SELECT fact.a FROM fact JOIN d1 ON d1.k = d1.x1\n\
+         \x20 |                                    ^",
+    );
+    snapshot(
+        "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k JOIN d1 ON fact.k1 = d1.k",
+        "line 1, column 56: table 'd1' appears twice in this query\n\
+         \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k JOIN d1 ON fact.k1 = d1.k\n\
+         \x20 |                                                        ^",
+    );
+    snapshot(
+        "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE d1.x1 < 3",
+        "line 1, column 57: WHERE in a join query may only filter the base table 'fact'\n\
+         \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE d1.x1 < 3\n\
+         \x20 |                                                         ^",
+    );
+    snapshot(
+        "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE fact.a < 3 AND fact.b < 4",
+        "line 1, column 72: join queries support a single WHERE predicate (on the \
+         base table)\n\
+         \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE fact.a < 3 AND fact.b < 4\n\
+         \x20 |                                                                        ^",
+    );
+    snapshot(
+        "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k GROUP BY fact.a",
+        "line 1, column 60: GROUP BY is not supported with JOIN\n\
+         \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k GROUP BY fact.a\n\
+         \x20 |                                                            ^",
+    );
+    snapshot(
+        "SELECT d1.x1, fact.a FROM fact JOIN d1 ON fact.k2 = d1.k",
+        "line 1, column 15: select columns must appear in join order: base table \
+         columns first, then each joined table's columns\n\
+         \x20 | SELECT d1.x1, fact.a FROM fact JOIN d1 ON fact.k2 = d1.k\n\
+         \x20 |               ^",
+    );
+}
+
+#[test]
+fn multi_line_queries_report_the_right_line() {
+    let store = fixture();
+    let err = compile(&store, "SELECT a\nFROM fact\nWHERE zz < 3").unwrap_err();
+    assert_eq!((err.line(), err.col()), (3, 7));
+    assert_eq!(
+        err.to_string(),
+        "line 3, column 7: no column 'zz' in projection 'fact'\n\
+         \x20 | WHERE zz < 3\n\
+         \x20 |       ^"
+    );
+}

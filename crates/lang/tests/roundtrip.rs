@@ -1,0 +1,183 @@
+//! Property: for any spec the dialect can express,
+//! `compile(print(spec)) == spec` — the pretty-printer and the
+//! parser/lowering pipeline are exact inverses over the catalog.
+
+use matstrat_common::{Predicate, TableId, Value};
+use matstrat_core::{AggFunc, JoinSpec, JoinTreeSpec, QuerySpec};
+use matstrat_lang::{compile, print_join_tree, print_query, print_statement, Statement};
+use matstrat_storage::{EncodingKind, ProjectionSpec, Store};
+use proptest::prelude::*;
+
+/// A catalog with one fact projection (5 columns) and three dimension
+/// projections. Row contents are irrelevant to compilation; a handful of
+/// rows keeps loading instant.
+fn fixture() -> (Store, TableId, [TableId; 3]) {
+    use matstrat_storage::SortOrder;
+    let store = Store::in_memory();
+    let rows: Vec<Value> = (0..16).collect();
+    let fact = ProjectionSpec::new("fact")
+        .column("k1", EncodingKind::Plain, SortOrder::Primary)
+        .column("k2", EncodingKind::Plain, SortOrder::None)
+        .column("a", EncodingKind::Plain, SortOrder::None)
+        .column("b", EncodingKind::Plain, SortOrder::None)
+        .column("c", EncodingKind::Plain, SortOrder::None);
+    let fact = store
+        .load_projection(&fact, &[&rows, &rows, &rows, &rows, &rows])
+        .unwrap();
+    let mut dims = [TableId(0); 3];
+    for (i, (name, cols)) in [("d1", 3usize), ("d2", 3), ("d3", 2)].iter().enumerate() {
+        let mut spec =
+            ProjectionSpec::new(*name).column("k", EncodingKind::Plain, SortOrder::Primary);
+        for c in 1..*cols {
+            spec = spec.column(format!("x{c}"), EncodingKind::Plain, SortOrder::None);
+        }
+        let data: Vec<&[Value]> = (0..*cols).map(|_| rows.as_slice()).collect();
+        dims[i] = store.load_projection(&spec, &data).unwrap();
+    }
+    (store, fact, dims)
+}
+
+const FACT_COLS: usize = 5;
+
+/// Build one of the seven predicate shapes from raw draws.
+fn predicate(op: usize, v: Value, v2: Value) -> Predicate {
+    match op {
+        0 => Predicate::lt(v),
+        1 => Predicate::le(v),
+        2 => Predicate::gt(v),
+        3 => Predicate::ge(v),
+        4 => Predicate::eq(v),
+        5 => Predicate::ne(v),
+        _ => Predicate::between(v.min(v2), v.max(v2)),
+    }
+}
+
+/// Decode a non-empty subset of `n` columns from a bitmask.
+fn subset(mask: u32, n: usize) -> Vec<usize> {
+    (0..n).filter(|i| mask & (1 << i) != 0).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn scan_specs_roundtrip(
+        out_mask in 1u32..32,
+        nfilters in 0usize..3,
+        f1 in (0usize..FACT_COLS, 0usize..7, -99i64..100, -99i64..100),
+        f2 in (0usize..FACT_COLS, 0usize..7, -99i64..100, -99i64..100),
+        agg in 0usize..5,
+        gcol in 0usize..FACT_COLS,
+        vcol in 0usize..FACT_COLS,
+    ) {
+        let (store, fact, _) = fixture();
+        let mut q = QuerySpec::select(fact, subset(out_mask, FACT_COLS));
+        for (col, op, v, v2) in [f1, f2].into_iter().take(nfilters) {
+            q = q.filter(col, predicate(op, v, v2));
+        }
+        if agg > 0 {
+            let func = [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max][agg - 1];
+            q.output = Vec::new(); // aggregation replaces the select list
+            q = q.aggregate_fn(gcol, vcol, func);
+        }
+
+        let text = print_query(&store, &q).unwrap();
+        let stmt = compile(&store, &text)
+            .unwrap_or_else(|e| panic!("reparse of '{text}' failed:\n{e}"));
+        prop_assert_eq!(stmt, Statement::Select(q), "text: {}", text);
+    }
+
+    #[test]
+    fn join_tree_specs_roundtrip(
+        nedges in 1usize..4,
+        base_mask in 1u32..4,          // non-empty subset of fact.{a,b}
+        right_masks in (0u32..4, 0u32..4, 0u32..2),
+        left_slots in (0usize..1, 0usize..2, 0usize..3),
+        left_keys in (0usize..FACT_COLS, 0usize..3, 0usize..3),
+        filter in 0usize..8,           // 0 = none, else op + 1
+        fcol in 0usize..FACT_COLS,
+        fval in -99i64..100,
+    ) {
+        let (store, fact, dims) = fixture();
+        let dim_cols = [3usize, 3, 2];
+        let right_masks = [right_masks.0, right_masks.1, right_masks.2];
+        let left_slots = [left_slots.0, left_slots.1, left_slots.2];
+        let left_keys = [left_keys.0, left_keys.1, left_keys.2];
+
+        let mut edges = Vec::new();
+        for i in 0..nedges {
+            // Slot 0 is the fact table; slot j > 0 is dims[j-1] — only
+            // tables already introduced are legal probe sides.
+            let slot = left_slots[i].min(i);
+            let (left, left_key) = if slot == 0 {
+                (fact, left_keys[i].min(FACT_COLS - 1))
+            } else {
+                (dims[slot - 1], left_keys[i].min(dim_cols[slot - 1] - 1))
+            };
+            edges.push(JoinSpec {
+                left,
+                right: dims[i],
+                left_key,
+                right_key: 0,
+                left_filter: None,
+                left_output: Vec::new(),
+                right_output: subset(right_masks[i], dim_cols[i]),
+            });
+        }
+        edges[0].left_output = subset(base_mask, 2).iter().map(|c| c + 2).collect();
+        if filter > 0 {
+            edges[0].left_filter = Some((fcol, predicate(filter - 1, fval, fval + 7)));
+        }
+        let tree = JoinTreeSpec::new(edges);
+
+        let text = print_join_tree(&store, &tree).unwrap();
+        let stmt = compile(&store, &text)
+            .unwrap_or_else(|e| panic!("reparse of '{text}' failed:\n{e}"));
+        prop_assert_eq!(stmt, Statement::JoinTree(tree), "text: {}", text);
+    }
+}
+
+#[test]
+fn statement_printer_dispatches_both_shapes() {
+    let (store, fact, dims) = fixture();
+    let scan =
+        Statement::Select(QuerySpec::select(fact, vec![0, 2]).filter(1, Predicate::between(3, 9)));
+    let text = print_statement(&store, &scan).unwrap();
+    assert_eq!(text, "SELECT k1, a FROM fact WHERE k2 BETWEEN 3 AND 9");
+    assert_eq!(compile(&store, &text).unwrap(), scan);
+
+    let tree = Statement::JoinTree(JoinTreeSpec::new(vec![JoinSpec {
+        left: fact,
+        right: dims[0],
+        left_key: 1,
+        right_key: 0,
+        left_filter: Some((2, Predicate::ne(-5))),
+        left_output: vec![3],
+        right_output: vec![1, 2],
+    }]));
+    let text = print_statement(&store, &tree).unwrap();
+    assert_eq!(
+        text,
+        "SELECT fact.b, d1.x1, d1.x2 FROM fact JOIN d1 ON fact.k2 = d1.k WHERE fact.a != -5"
+    );
+    assert_eq!(compile(&store, &text).unwrap(), tree);
+}
+
+#[test]
+fn unprintable_specs_are_rejected_not_mangled() {
+    let (store, fact, dims) = fixture();
+    let no_output = QuerySpec::select(fact, vec![]);
+    assert!(print_query(&store, &no_output).is_err());
+    let empty_tree = JoinTreeSpec::new(vec![]);
+    assert!(print_join_tree(&store, &empty_tree).is_err());
+    let no_cols = JoinTreeSpec::new(vec![JoinSpec {
+        left: fact,
+        right: dims[0],
+        left_key: 0,
+        right_key: 0,
+        left_filter: None,
+        left_output: vec![],
+        right_output: vec![],
+    }]);
+    assert!(print_join_tree(&store, &no_cols).is_err());
+}

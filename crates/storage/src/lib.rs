@@ -32,7 +32,7 @@ pub use catalog::{Catalog, ColumnInfo, ColumnSpec, ProjectionInfo, ProjectionSpe
 pub use disk::{Disk, FileDisk, MemDisk};
 pub use encoding::EncodingKind;
 pub use file::{BlockIndexEntry, ColumnFileReader, ColumnFileWriter, ColumnStats};
-pub use meter::{IoMeter, IoStats};
+pub use meter::{IoMeter, IoSink, IoStats};
 pub use pool::{default_pool_shards, BufferPool, PoolStats};
 pub use store::{ColumnReader, Store};
 

@@ -76,6 +76,42 @@ pub struct IoMeter {
     inner: Mutex<MeterInner>,
 }
 
+/// Lock-free accumulator for one query's I/O, fed by
+/// [`IoMeter::forget_current_thread`] harvests from the threads that ran
+/// the query (scoped pipeline workers and the calling thread). Summing
+/// per-thread forgets — instead of diffing the global counters — keeps a
+/// query's [`IoStats`] exact when several sessions execute concurrently
+/// on one store: the global snapshot would interleave every session's
+/// reads, the sink sees only its own query's threads.
+#[derive(Debug, Default)]
+pub struct IoSink {
+    block_reads: std::sync::atomic::AtomicU64,
+    seeks: std::sync::atomic::AtomicU64,
+}
+
+impl IoSink {
+    /// A zeroed sink.
+    pub fn new() -> IoSink {
+        IoSink::default()
+    }
+
+    /// Fold one thread's forgotten counters in.
+    pub fn add(&self, s: IoStats) {
+        use std::sync::atomic::Ordering;
+        self.block_reads.fetch_add(s.block_reads, Ordering::Relaxed);
+        self.seeks.fetch_add(s.seeks, Ordering::Relaxed);
+    }
+
+    /// The accumulated total.
+    pub fn total(&self) -> IoStats {
+        use std::sync::atomic::Ordering;
+        IoStats {
+            block_reads: self.block_reads.load(Ordering::Relaxed),
+            seeks: self.seeks.load(Ordering::Relaxed),
+        }
+    }
+}
+
 impl IoMeter {
     /// New meter with zeroed counters.
     pub fn new() -> IoMeter {
@@ -118,17 +154,25 @@ impl IoMeter {
     }
 
     /// Drop the calling thread's per-thread state (counters and
-    /// sequential-position tracking). The query executor calls this at
-    /// the end of every execution — worker threads and the serial path
-    /// alike — so a long-lived meter does not accumulate entries for
-    /// dead threads; code driving [`record_read`](Self::record_read)
-    /// directly from short-lived threads should do the same. The global
-    /// counters are unaffected.
-    pub fn forget_current_thread(&self) {
+    /// sequential-position tracking), returning the dropped counters.
+    /// The query executor calls this at the end of every execution —
+    /// worker threads and the serial path alike — so a long-lived meter
+    /// does not accumulate entries for dead threads; code driving
+    /// [`record_read`](Self::record_read) directly from short-lived
+    /// threads should do the same. The global counters are unaffected.
+    ///
+    /// The returned delta is what makes **per-query** accounting possible
+    /// under concurrency: a query funnels every forget of its own threads
+    /// (scoped pipeline workers and the session thread between pipeline
+    /// runs) into an [`IoSink`], and the sink total is exactly the I/O
+    /// that query caused — no other session's reads can reach it, because
+    /// no other session's query ever runs on these threads.
+    pub fn forget_current_thread(&self) -> IoStats {
         let tid = thread::current().id();
         let mut inner = self.inner.lock();
-        inner.per_thread.remove(&tid);
+        let dropped = inner.per_thread.remove(&tid).unwrap_or_default();
         inner.last_end.retain(|(_, t), _| *t != tid);
+        dropped
     }
 
     /// Reset counters and sequential-position tracking.
@@ -250,6 +294,25 @@ mod tests {
         let s = m.snapshot();
         assert_eq!(s.block_reads, 4);
         assert_eq!(s.seeks, 2, "one seek per worker stream, not per switch");
+    }
+
+    #[test]
+    fn forget_returns_the_dropped_share_and_sinks_sum_exactly() {
+        let m = IoMeter::new();
+        let sink = IoSink::new();
+        m.record_read("f", 0, 10);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                m.record_read("f", 100, 10);
+                m.record_read("f", 110, 10);
+                sink.add(m.forget_current_thread());
+            });
+        });
+        sink.add(m.forget_current_thread());
+        assert_eq!(sink.total(), m.snapshot(), "harvests cover every read");
+        assert_eq!(sink.total().block_reads, 3);
+        // A second forget harvests nothing: the state really was dropped.
+        assert_eq!(m.forget_current_thread(), IoStats::default());
     }
 
     #[test]

@@ -374,6 +374,31 @@ impl BufferPool {
         if guard.len() == new_n {
             return;
         }
+        Self::rehash_into(&mut guard, self.capacity, new_n);
+    }
+
+    /// Widen the pool to at least `shards` stripes (clamped to
+    /// `[1, capacity]`); never narrows. The grow-or-not decision is made
+    /// **under the stripe write lock**, so two sessions racing this call
+    /// (e.g. concurrent `set_parallelism`) serialize: the pool ends at
+    /// the widest request and the summed [`PoolStats`] counters are
+    /// preserved exactly, same as [`Self::reshard`]. A check-then-act at
+    /// the caller (`if n > pool.num_shards() { pool.reshard(n) }`) is
+    /// racy — a stale read lets the smaller request re-shard *after* the
+    /// larger one, shrinking the pool; this entry point closes that gap.
+    pub fn reshard_at_least(&self, shards: usize) {
+        let new_n = shards.clamp(1, self.capacity);
+        let mut guard = self.shards.write();
+        if guard.len() >= new_n {
+            return;
+        }
+        Self::rehash_into(&mut guard, self.capacity, new_n);
+    }
+
+    /// Rebuild `guard` as `new_n` stripes, carrying counters and entries
+    /// over exactly. Callers hold the write lock and have already decided
+    /// the move is real (`guard.len() != new_n`).
+    fn rehash_into(guard: &mut Vec<Shard>, capacity: usize, new_n: usize) {
         // Drain the old stripes: summed counters plus every entry tagged
         // with its pre-move recency (per-stripe tick, then stripe index —
         // deterministic, and order within a stripe is its real LRU order).
@@ -388,7 +413,7 @@ impl BufferPool {
         }
         entries.sort_unstable_by(|a, b| (a.0, a.1, &a.2).cmp(&(b.0, b.1, &b.2)));
 
-        let mut new_shards = make_shards(self.capacity, new_n);
+        let mut new_shards = make_shards(capacity, new_n);
         new_shards[0].inner.get_mut().stats = total;
         for (_, _, key, block) in entries {
             let (i, _) = Self::shard_index(&key, new_n);

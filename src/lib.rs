@@ -23,7 +23,8 @@
 //! | [`poslist`] | `matstrat-poslist` | range/bitmap/explicit position lists |
 //! | [`storage`] | `matstrat-storage` | 64 KB blocks, codecs, buffer pool, catalog |
 //! | [`model`] | `matstrat-model` | the §3 analytical cost model |
-//! | [`core`] | `matstrat-core` | multi-columns, operators, strategies, planner |
+//! | [`core`] | `matstrat-core` | multi-columns, operators, strategies, planner, query service |
+//! | [`lang`] | `matstrat-lang` | the SQL-dialect front-end (parse, lower, pretty-print) |
 //! | [`tpch`] | `matstrat-tpch` | TPC-H-style workload generator |
 //!
 //! ## Quickstart
@@ -53,6 +54,7 @@
 
 pub use matstrat_common as common;
 pub use matstrat_core as core;
+pub use matstrat_lang as lang;
 pub use matstrat_model as model;
 pub use matstrat_poslist as poslist;
 pub use matstrat_storage as storage;
@@ -64,8 +66,10 @@ pub mod prelude {
     pub use matstrat_core::{
         default_parallelism, AggSpec, Database, ExecOptions, ExecStats, FragmentPipeline,
         InnerStrategy, JoinSpec, JoinTreePlan, JoinTreeSpec, JoinTreeStats, MiniColumn,
-        MultiColumn, QueryResult, QuerySpec, Strategy,
+        MultiColumn, QueryResult, QuerySpec, Reply, Request, Server, ServerConfig, ServerStats,
+        Session, Strategy,
     };
+    pub use matstrat_lang::{compile, print_statement, ParseError, Statement};
     pub use matstrat_model::{Constants, CostModel};
     pub use matstrat_poslist::{PosList, Repr};
     pub use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};

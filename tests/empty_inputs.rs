@@ -1,0 +1,266 @@
+//! Regression battery for the empty-input hardening sweep: 0-row tables,
+//! predicates that select nothing, and empty position-list intermediates
+//! must flow through scan, join, and join-tree execution returning
+//! well-formed empty results — correct schema, zero counters — never a
+//! panic or a malformed fragment.
+
+use matstrat::common::TableId;
+use matstrat::core::{AggFunc, Strategy};
+use matstrat::prelude::*;
+
+const ENCODINGS: [EncodingKind; 3] = [EncodingKind::Plain, EncodingKind::Rle, EncodingKind::BitVec];
+
+/// A 0-row two-column projection in the encoding under test.
+fn empty_table(db: &Database, name: &str, enc: EncodingKind) -> TableId {
+    let spec = ProjectionSpec::new(name)
+        .column("k", enc, SortOrder::Primary)
+        .column("v", EncodingKind::Plain, SortOrder::None);
+    db.load_projection(&spec, &[&[], &[]]).unwrap()
+}
+
+/// A populated two-column projection (k = 0..n, v = k * 2).
+fn filled_table(db: &Database, name: &str, n: i64) -> TableId {
+    let k: Vec<Value> = (0..n).collect();
+    let v: Vec<Value> = (0..n).map(|i| i * 2).collect();
+    let spec = ProjectionSpec::new(name)
+        .column("k", EncodingKind::Plain, SortOrder::Primary)
+        .column("v", EncodingKind::Plain, SortOrder::None);
+    db.load_projection(&spec, &[&k, &v]).unwrap()
+}
+
+#[test]
+fn scan_over_zero_row_table_returns_empty_schema_and_zero_stats() {
+    for enc in ENCODINGS {
+        let db = Database::in_memory();
+        let t = empty_table(&db, "empty", enc);
+        let q = QuerySpec::select(t, vec![0, 1]).filter(0, Predicate::lt(5));
+        for s in Strategy::ALL {
+            db.store().cold_reset();
+            let got = db.run_with_stats(&q, s);
+            let (r, stats) = match got {
+                Ok(ok) => ok,
+                Err(matstrat::common::Error::Unsupported(_)) => continue,
+                Err(e) => panic!("{s} over empty table ({enc:?}): {e}"),
+            };
+            assert_eq!(r.column_names, vec!["k", "v"], "{s} schema survives");
+            assert_eq!(r.num_rows(), 0, "{s}");
+            assert!(r.flat().is_empty(), "{s}");
+            assert_eq!(stats.rows_out, 0, "{s}");
+            assert_eq!(stats.positions_matched, 0, "{s}");
+            assert_eq!(stats.io.block_reads, 0, "{s}: no blocks to read");
+        }
+    }
+}
+
+#[test]
+fn aggregation_over_zero_row_table_yields_zero_groups() {
+    let db = Database::in_memory();
+    let t = empty_table(&db, "empty", EncodingKind::Plain);
+    for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+        let q = QuerySpec::select(t, vec![])
+            .filter(1, Predicate::ge(0))
+            .aggregate_fn(0, 1, func);
+        for s in Strategy::ALL {
+            let got = db.run_with_stats(&q, s);
+            let (r, stats) = match got {
+                Ok(ok) => ok,
+                Err(matstrat::common::Error::Unsupported(_)) => continue,
+                Err(e) => panic!("{s} {func:?}: {e}"),
+            };
+            assert_eq!(r.num_rows(), 0, "{s} {func:?}: no groups");
+            assert_eq!(r.column_names.len(), 2, "{s} {func:?}");
+            assert_eq!(stats.rows_out, 0, "{s} {func:?}");
+        }
+    }
+}
+
+#[test]
+fn predicate_selecting_nothing_returns_well_formed_empty_result() {
+    let db = Database::in_memory();
+    let t = filled_table(&db, "t", 3000);
+    // k is 0..3000; nothing is < 0.
+    let q = QuerySpec::select(t, vec![0, 1]).filter(0, Predicate::lt(0));
+    for s in Strategy::ALL {
+        let (r, stats) = db.run_with_stats(&q, s).unwrap();
+        assert_eq!(r.column_names, vec!["k", "v"], "{s}");
+        assert_eq!(r.num_rows(), 0, "{s}");
+        assert_eq!(stats.positions_matched, 0, "{s}");
+        assert_eq!(stats.rows_out, 0, "{s}");
+    }
+    // Same through the planner.
+    let (_, r) = db.run_auto(&q).unwrap();
+    assert_eq!(r.num_rows(), 0);
+}
+
+#[test]
+fn join_with_zero_row_probe_side() {
+    let db = Database::in_memory();
+    let left = empty_table(&db, "l", EncodingKind::Plain);
+    let right = filled_table(&db, "r", 50);
+    let spec = JoinSpec {
+        left,
+        right,
+        left_key: 0,
+        right_key: 0,
+        left_filter: Some((0, Predicate::lt(10))),
+        left_output: vec![1],
+        right_output: vec![1],
+    };
+    for inner in InnerStrategy::ALL {
+        let r = db.run_join(&spec, inner).unwrap();
+        assert_eq!(r.column_names, vec!["v", "v"], "{inner:?}");
+        assert_eq!(r.num_rows(), 0, "{inner:?}");
+    }
+    let (_, r) = db.run_join_auto(&spec).unwrap();
+    assert_eq!(r.num_rows(), 0);
+}
+
+#[test]
+fn join_with_zero_row_build_side() {
+    let db = Database::in_memory();
+    let left = filled_table(&db, "l", 50);
+    let right = empty_table(&db, "r", EncodingKind::Plain);
+    let spec = JoinSpec {
+        left,
+        right,
+        left_key: 0,
+        right_key: 0,
+        left_filter: None,
+        left_output: vec![0, 1],
+        right_output: vec![1],
+    };
+    for inner in InnerStrategy::ALL {
+        let r = db.run_join(&spec, inner).unwrap();
+        assert_eq!(r.column_names, vec!["k", "v", "v"], "{inner:?}");
+        assert_eq!(r.num_rows(), 0, "{inner:?}: empty build matches nothing");
+    }
+    let (_, r) = db.run_join_auto(&spec).unwrap();
+    assert_eq!(r.num_rows(), 0);
+}
+
+#[test]
+fn join_filter_selecting_nothing_produces_empty_intermediate() {
+    let db = Database::in_memory();
+    let left = filled_table(&db, "l", 500);
+    let right = filled_table(&db, "r", 20);
+    let spec = JoinSpec {
+        left,
+        right,
+        left_key: 0,
+        right_key: 0,
+        left_filter: Some((0, Predicate::lt(0))), // empty position list
+        left_output: vec![1],
+        right_output: vec![1],
+    };
+    for inner in InnerStrategy::ALL {
+        let r = db.run_join(&spec, inner).unwrap();
+        assert_eq!(r.num_rows(), 0, "{inner:?}");
+        assert_eq!(r.column_names, vec!["v", "v"], "{inner:?}");
+    }
+}
+
+#[test]
+fn join_tree_with_empty_intermediates_at_every_stage() {
+    let db = Database::in_memory();
+    let base = filled_table(&db, "base", 300);
+    let dim_full = filled_table(&db, "dim_full", 300);
+    let dim_empty = empty_table(&db, "dim_empty", EncodingKind::Plain);
+
+    // Edge 0 matches everything, edge 1 joins a 0-row dimension: the
+    // intermediate empties mid-tree and edge 1's fetch must cope.
+    let spec = JoinTreeSpec::new(vec![
+        JoinSpec {
+            left: base,
+            right: dim_full,
+            left_key: 0,
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![1],
+            right_output: vec![1],
+        },
+        JoinSpec {
+            left: base,
+            right: dim_empty,
+            left_key: 0,
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![],
+            right_output: vec![1],
+        },
+    ]);
+    for inner in InnerStrategy::ALL {
+        let r = db.run_join_tree(&spec, &[inner; 2]).unwrap();
+        assert_eq!(r.num_rows(), 0, "{inner:?}");
+        assert_eq!(r.column_names, vec!["v", "v", "v"], "{inner:?}");
+    }
+    let (_, r, stats) = db.run_join_tree_auto(&spec).unwrap();
+    assert_eq!(r.num_rows(), 0);
+    assert_eq!(stats.rows_out, 0);
+
+    // A 0-row *base* table: the whole tree is empty from the start.
+    let spec = JoinTreeSpec::new(vec![JoinSpec {
+        left: dim_empty,
+        right: dim_full,
+        left_key: 0,
+        right_key: 0,
+        left_filter: Some((0, Predicate::ge(0))),
+        left_output: vec![1],
+        right_output: vec![1],
+    }]);
+    for inner in InnerStrategy::ALL {
+        let r = db.run_join_tree(&spec, &[inner]).unwrap();
+        assert_eq!(r.num_rows(), 0, "{inner:?}");
+    }
+
+    // A base filter selecting nothing empties the position intermediate
+    // before the first probe.
+    let spec = JoinTreeSpec::new(vec![
+        JoinSpec {
+            left: base,
+            right: dim_full,
+            left_key: 0,
+            right_key: 0,
+            left_filter: Some((0, Predicate::lt(0))),
+            left_output: vec![1],
+            right_output: vec![1],
+        },
+        JoinSpec {
+            left: dim_full,
+            right: dim_full,
+            left_key: 0,
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![],
+            right_output: vec![1],
+        },
+    ]);
+    for inner in InnerStrategy::ALL {
+        let r = db.run_join_tree(&spec, &[inner; 2]).unwrap();
+        assert_eq!(r.num_rows(), 0, "{inner:?}");
+        assert_eq!(r.column_names.len(), 3, "{inner:?}");
+    }
+}
+
+#[test]
+fn planner_survives_zero_row_tables() {
+    let db = Database::in_memory();
+    let t = empty_table(&db, "empty", EncodingKind::Plain);
+    let q = QuerySpec::select(t, vec![0, 1]).filter(0, Predicate::lt(5));
+    let choice = db.plan(&q).unwrap();
+    let r = db.run(&q, choice.strategy).unwrap();
+    assert_eq!(r.num_rows(), 0);
+
+    let full = filled_table(&db, "full", 100);
+    let spec = JoinSpec {
+        left: t,
+        right: full,
+        left_key: 0,
+        right_key: 0,
+        left_filter: None,
+        left_output: vec![1],
+        right_output: vec![1],
+    };
+    let choice = db.plan_join(&spec).unwrap();
+    let r = db.run_join(&spec, choice.inner).unwrap();
+    assert_eq!(r.num_rows(), 0);
+}
