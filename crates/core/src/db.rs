@@ -2,9 +2,12 @@
 
 use std::path::Path;
 
-use matstrat_common::{Result, TableId, Value};
+use matstrat_common::{PosRange, Predicate, Result, TableId, Value};
 use matstrat_model::Constants;
-use matstrat_storage::{ProjectionSpec, Store};
+use matstrat_poslist::PosList;
+use matstrat_storage::{CompactorHandle, ProjectionSpec, Store};
+
+use crate::multicol::MiniColumn;
 
 use crate::exec::{default_parallelism, execute_with_options, ExecOptions};
 use crate::ops::join::{hash_join_with_options, InnerStrategy, JoinSpec};
@@ -153,6 +156,39 @@ impl Database {
         self.store.load_projection(spec, columns)
     }
 
+    /// Insert rows (row-major, projection arity) into `table`: logged to
+    /// the WAL, then applied to the in-memory delta. Durable when this
+    /// returns; visible to every subsequent query on any session.
+    /// Returns the position stamp of the first inserted row.
+    pub fn insert(&self, table: TableId, rows: &[Vec<Value>]) -> Result<u64> {
+        self.store.insert_rows(table, rows)
+    }
+
+    /// Delete every row of `table` matching all of `filters` (an empty
+    /// list deletes every row). Returns how many rows were newly marked
+    /// deleted. See [`delete_where`].
+    pub fn delete_where(&self, table: TableId, filters: &[(usize, Predicate)]) -> Result<u64> {
+        delete_where(&self.store, table, filters)
+    }
+
+    /// Fold `table`'s delta into fresh immutable blocks (no-op on a
+    /// clean table). Queries racing this stay byte-identical.
+    pub fn compact(&self, table: TableId) -> Result<bool> {
+        self.store.compact(table)
+    }
+
+    /// [`Database::compact`] for every dirty table; returns how many
+    /// were folded.
+    pub fn compact_all(&self) -> Result<usize> {
+        self.store.compact_all()
+    }
+
+    /// Start a background compactor that folds dirty tables every
+    /// `interval`. Stops when the handle drops.
+    pub fn spawn_compactor(&self, interval: std::time::Duration) -> CompactorHandle {
+        self.store.spawn_compactor(interval)
+    }
+
     /// Run a query under an explicit strategy.
     pub fn run(&self, q: &QuerySpec, strategy: Strategy) -> Result<QueryResult> {
         Ok(self.run_with_stats(q, strategy)?.0)
@@ -284,10 +320,65 @@ impl Database {
     }
 }
 
+/// Resolve every row of `table` matching all of `filters` and mark it
+/// deleted (an empty list deletes every row). Returns how many rows
+/// were newly marked.
+///
+/// Find-then-delete is epoch-guarded: positions are resolved against
+/// one [`Store::scan_snapshot`] — granule DS1 scans ANDed on the
+/// immutable side, row-at-a-time over the live delta — and applied with
+/// [`Store::delete_positions_at_epoch`], which refuses (and this
+/// function rescans) if a compaction rewrote the position space in
+/// between.
+pub fn delete_where(store: &Store, table: TableId, filters: &[(usize, Predicate)]) -> Result<u64> {
+    loop {
+        let (proj, delta) = store.scan_snapshot(table)?;
+        let mut doomed: Vec<u64> = Vec::new();
+        if proj.num_rows > 0 {
+            let readers = filters
+                .iter()
+                .map(|(c, _)| store.reader_for(proj.column(*c)?))
+                .collect::<Result<Vec<_>>>()?;
+            let mut at = 0u64;
+            while at < proj.num_rows {
+                let window = PosRange::new(at, (at + crate::GRANULE).min(proj.num_rows));
+                at = window.end;
+                let mut desc = PosList::full(window);
+                for (reader, (_, pred)) in readers.iter().zip(filters) {
+                    if desc.is_empty() {
+                        break;
+                    }
+                    let mini = MiniColumn::fetch(reader, window)?;
+                    desc = desc.and(&mini.scan_positions(pred));
+                }
+                doomed.extend(desc.iter());
+            }
+        }
+        if let Some(d) = &delta {
+            // Already-deleted positions may re-match on the base side;
+            // `delete_positions` skips them, so only the delta loop
+            // bothers to pre-filter.
+            for (i, row) in d.inserts.iter().enumerate() {
+                let pos = d.base_rows + i as u64;
+                if !d.is_deleted(pos) && filters.iter().all(|(c, p)| p.matches(row[*c])) {
+                    doomed.push(pos);
+                }
+            }
+        }
+        if doomed.is_empty() {
+            return Ok(0);
+        }
+        if let Some(n) = store.delete_positions_at_epoch(table, proj.wal_epoch, &doomed)? {
+            return Ok(n);
+        }
+        // A compaction swapped the table between resolve and apply;
+        // the positions are stale — resolve again.
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use matstrat_common::Predicate;
     use matstrat_storage::{EncodingKind, SortOrder};
 
     fn demo_db() -> (Database, TableId) {

@@ -44,13 +44,30 @@
 //! `block_reads`) are exact: the buffer pool single-flights concurrent
 //! cold misses and the I/O meter tracks sequentiality per (file,
 //! worker).
+//!
+//! # The write path's delta merge
+//!
+//! A table with pending writes is *immutable blocks + delta*
+//! (`matstrat_storage::TableDelta`). The executor takes one consistent
+//! `Store::scan_snapshot` up front and pins every [`ColumnReader`] to
+//! that snapshot's catalog entry, so a compaction racing the query can
+//! never mix generations. Deleted base positions are filtered inside
+//! each granule — after the AND for LM-parallel, after the descriptor
+//! pipeline for LM-pipelined, and on the constructed tuples for both EM
+//! shapes — before `positions_matched` counts them. Live inserted rows
+//! (position-stamped past the base) are evaluated serially *after* the
+//! granule fragments merge, in stamp order: they are the tail of the
+//! table's logical row order, so the result is byte-identical to a run
+//! over the compacted table at any thread count. The aggregate domain
+//! is widened with the delta's group values up front (the dense
+//! accumulator's `seen` bitmap keeps widening output-invariant).
 
 use std::collections::HashMap;
 use std::time::Instant;
 
 use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
 use matstrat_poslist::{PosList, PosListBuilder, PosVec};
-use matstrat_storage::{ColumnReader, EncodingKind, IoMeter, Store};
+use matstrat_storage::{set_thread_query_token, ColumnReader, EncodingKind, IoMeter, Store};
 
 use crate::multicol::{FetchKind, MiniColumn, MultiColumn};
 use crate::ops::agg::{aggregate_runs, AggFunc, Aggregator};
@@ -88,6 +105,13 @@ pub struct ExecOptions {
     /// of granules. The result is identical at any setting. Defaults to
     /// [`default_parallelism`] (the `MATSTRAT_THREADS` environment knob).
     pub parallelism: usize,
+    /// The query's identity for cold-read attribution (0 = untracked).
+    /// Every executor thread tags itself with it, so a buffer-pool fill
+    /// raced by *another* query credits the waiter's per-thread meter
+    /// share (see `matstrat_storage::BufferPool::get_or_insert_with_owner`).
+    /// The query service allocates one per request; standalone callers
+    /// can leave the default.
+    pub query_token: u64,
 }
 
 impl Default for ExecOptions {
@@ -97,6 +121,7 @@ impl Default for ExecOptions {
             force_repr: None,
             granule: GRANULE,
             parallelism: default_parallelism(),
+            query_token: 0,
         }
     }
 }
@@ -129,7 +154,7 @@ pub fn execute_with_options(
     strategy: Strategy,
     opts: &ExecOptions,
 ) -> Result<(QueryResult, ExecStats)> {
-    let proj = store.projection(q.table)?;
+    let (proj, delta) = store.scan_snapshot(q.table)?;
     let accessed = q.accessed_columns();
     if accessed.is_empty() {
         return Err(Error::invalid("query accesses no columns"));
@@ -151,20 +176,43 @@ pub fn execute_with_options(
         }
     }
 
+    // Readers are pinned to the snapshot's catalog entries: even if a
+    // compaction swaps the table mid-query, every granule resolves
+    // against the generation the snapshot captured.
     let readers: HashMap<usize, ColumnReader> = accessed
         .iter()
-        .map(|&c| Ok((c, store.reader(q.table, c)?)))
+        .map(|&c| Ok((c, store.reader_for(proj.column(c)?)?)))
         .collect::<Result<_>>()?;
+
+    // Live inserted rows in stamp order — the tail of the table's
+    // logical row order, scanned serially after the fragments merge.
+    let live_inserts: Vec<&Vec<Value>> = match &delta {
+        Some(d) => d
+            .inserts
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !d.is_deleted(d.base_rows + *i as u64))
+            .map(|(_, row)| row)
+            .collect(),
+        None => Vec::new(),
+    };
+    // Deleted positions on the immutable side, filtered inside granules.
+    let base_deletes: &[u64] = delta.as_ref().map_or(&[], |d| d.base_deletes());
 
     // Output shape. Workers build their own accumulator from the shared
     // domain so partial aggregates merge representation-for-representation.
     let (out_cols, agg_domain): (Vec<usize>, Option<(AggFunc, Value, Value)>) = match q.aggregate {
         Some(a) => {
             let g = proj.column(a.group_col)?;
-            (
-                vec![a.group_col, a.value_col],
-                Some((a.func, g.stats.min, g.stats.max)),
-            )
+            // Widen the block-statistics domain with the delta's group
+            // values; the dense accumulator's `seen` bitmap keeps the
+            // widening invisible in the output.
+            let (mut lo, mut hi) = (g.stats.min, g.stats.max);
+            for row in &live_inserts {
+                lo = lo.min(row[a.group_col]);
+                hi = hi.max(row[a.group_col]);
+            }
+            (vec![a.group_col, a.value_col], Some((a.func, lo, hi)))
         }
         None => {
             if q.output.is_empty() {
@@ -185,6 +233,7 @@ pub fn execute_with_options(
         agg_domain,
         strategy,
         meter: store.meter(),
+        deletes: base_deletes,
     };
 
     let t0 = Instant::now();
@@ -206,6 +255,21 @@ pub fn execute_with_options(
         flat.extend(frag.flat);
         if let (Some(a), Some(partial)) = (agg.as_mut(), frag.agg) {
             a.merge(partial);
+        }
+    }
+
+    // The delta pass: live inserted rows, row-at-a-time (the delta is
+    // tiny and row-major — strategy distinctions do not apply to it),
+    // appended after every immutable fragment so the output order is the
+    // table's logical row order.
+    for row in &live_inserts {
+        if !q.filters.iter().all(|(c, p)| p.matches(row[*c])) {
+            continue;
+        }
+        stats.positions_matched += 1;
+        match (agg.as_mut(), q.aggregate) {
+            (Some(a), Some(spec)) => a.add(row[spec.group_col], row[spec.value_col]),
+            _ => flat.extend(out_cols.iter().map(|&c| row[c])),
         }
     }
 
@@ -261,6 +325,9 @@ struct SpanTask<'a> {
     agg_domain: Option<(AggFunc, Value, Value)>,
     strategy: Strategy,
     meter: &'a IoMeter,
+    /// Deleted base positions (sorted) — each granule filters its window's
+    /// slice of them out of the surviving descriptor/tuples.
+    deletes: &'a [u64],
 }
 
 impl SpanTask<'_> {
@@ -269,6 +336,9 @@ impl SpanTask<'_> {
     /// calling thread's meter view, so a worker reports only what it
     /// caused.
     fn run_span(&self, span: PosRange) -> Result<Fragment> {
+        // Tag the worker with the query's identity so cold fills it waits
+        // on (raced by another query) credit this query's meter share.
+        set_thread_query_token(self.opts.query_token);
         let t0 = Instant::now();
         let io0 = self.meter.thread_snapshot();
         let mut agg = self
@@ -283,12 +353,15 @@ impl SpanTask<'_> {
         while start < span.end {
             let window = PosRange::new(start, (start + granule).min(span.end));
             start = window.end;
+            let lo = self.deletes.partition_point(|&p| p < window.start);
+            let hi = self.deletes.partition_point(|&p| p < window.end);
             let g = Granule {
                 q: self.q,
                 readers: self.readers,
                 window,
                 accessed: self.accessed,
                 opts: self.opts,
+                deletes: &self.deletes[lo..hi],
             };
             let got = match self.strategy {
                 Strategy::LmParallel => g.lm_parallel(self.out_cols, &mut agg, &mut flat)?,
@@ -329,6 +402,9 @@ struct Granule<'a> {
     window: PosRange,
     accessed: &'a [usize],
     opts: &'a ExecOptions,
+    /// Deleted positions within `window` (sorted) — the write path's
+    /// base-side tombstones, filtered before positions count as matched.
+    deletes: &'a [u64],
 }
 
 impl Granule<'_> {
@@ -344,6 +420,49 @@ impl Granule<'_> {
             Some(matstrat_poslist::Repr::Bitmap) => PosList::Bitmap(pl.to_bitmap(self.window)),
             Some(matstrat_poslist::Repr::Explicit) => PosList::Explicit(pl.to_explicit()),
         }
+    }
+
+    /// Drop deleted positions from a surviving descriptor. A no-op (and
+    /// no rebuild) when the window holds no tombstones — the read-only
+    /// fast path pays one emptiness check.
+    fn filter_desc(&self, desc: PosList) -> PosList {
+        if self.deletes.is_empty() {
+            return desc;
+        }
+        let mut b = PosListBuilder::new();
+        let mut di = 0usize;
+        for p in desc.iter() {
+            while di < self.deletes.len() && self.deletes[di] < p {
+                di += 1;
+            }
+            if di < self.deletes.len() && self.deletes[di] == p {
+                continue;
+            }
+            b.push(p);
+        }
+        self.coerce_repr(b.finish())
+    }
+
+    /// Drop deleted rows from an EM `(positions, tuples)` pair in place.
+    fn filter_em(&self, positions: &mut Vec<Pos>, tuples: &mut Vec<Value>, width: usize) {
+        if self.deletes.is_empty() {
+            return;
+        }
+        let mut keep_pos = Vec::with_capacity(positions.len());
+        let mut keep_tup = Vec::with_capacity(tuples.len());
+        let mut di = 0usize;
+        for (r, &pos) in positions.iter().enumerate() {
+            while di < self.deletes.len() && self.deletes[di] < pos {
+                di += 1;
+            }
+            if di < self.deletes.len() && self.deletes[di] == pos {
+                continue;
+            }
+            keep_pos.push(pos);
+            keep_tup.extend_from_slice(&tuples[r * width..(r + 1) * width]);
+        }
+        *positions = keep_pos;
+        *tuples = keep_tup;
     }
 
     /// All predicates on `col`, in filter order.
@@ -430,7 +549,8 @@ impl Granule<'_> {
             mcs.push(mc);
         }
         let mc = MultiColumn::and_many(mcs, self.window);
-        let matched = mc.valid_count();
+        let desc = self.filter_desc(mc.descriptor().clone());
+        let matched = desc.count();
         if matched == 0 {
             return Ok(GranuleOut {
                 matched,
@@ -441,7 +561,6 @@ impl Granule<'_> {
             .columns()
             .map(|c| (c, mc.mini(c).expect("listed").clone()))
             .collect();
-        let desc = mc.descriptor().clone();
         // Output columns without predicates were not touched by DS1, so
         // DS3 fetches only the blocks holding AND survivors (§3.6) —
         // skipping whole blocks is the LM I/O win on selective queries.
@@ -489,6 +608,7 @@ impl Granule<'_> {
                 desc = b.finish();
             }
         }
+        let desc = self.filter_desc(desc);
         let matched = desc.count();
         if matched == 0 {
             return Ok(GranuleOut {
@@ -542,6 +662,7 @@ impl Granule<'_> {
             out.positions = keep_pos;
             out.tuples = keep_tup;
         }
+        self.filter_em(&mut out.positions, &mut out.tuples, out.width);
         let matched = out.positions.len() as u64;
         self.consume_em(&out.positions, &out.tuples, out.width, out_cols, agg, flat)?;
         Ok(GranuleOut {
@@ -580,6 +701,9 @@ impl Granule<'_> {
             positions = keep_pos;
             tuples = keep_tup;
         }
+        // Tombstones drop out at the leaf, before any DS4 probe spends
+        // I/O on them.
+        self.filter_em(&mut positions, &mut tuples, 1);
         let mut width = 1usize;
         for &col in &self.accessed[1..] {
             if positions.is_empty() {

@@ -35,7 +35,7 @@ pub mod rowstore;
 pub mod session;
 pub mod strategy;
 
-pub use db::Database;
+pub use db::{delete_where, Database};
 pub use exec::{default_parallelism, execute, execute_with_options, ExecOptions};
 pub use multicol::{MiniColumn, MultiColumn};
 pub use ops::agg::AggFunc;
@@ -48,7 +48,7 @@ pub use planner::{JoinChoice, JoinTreeChoice, PlanChoice, Planner};
 pub use query::{
     AggSpec, ExecStats, JoinKeySource, JoinTreeSpec, JoinTreeStats, QueryResult, QuerySpec,
 };
-pub use session::{Reply, Request, Server, ServerConfig, ServerStats, Session};
+pub use session::{fair_share, Reply, Request, Server, ServerConfig, ServerStats, Session};
 pub use strategy::Strategy;
 
 /// Number of positions processed per pipeline iteration (one "granule").

@@ -56,8 +56,11 @@ use std::sync::Arc;
 
 use matstrat_common::{Error, Pos, PosRange, Predicate, Result, TableId, Value};
 use matstrat_model::plans::JoinInnerKind;
-use matstrat_poslist::{PosList, PosVec};
-use matstrat_storage::{ColumnReader, IoMeter, IoSink, IoStats, Store};
+use matstrat_poslist::{PosList, PosListBuilder, PosVec};
+use matstrat_storage::{
+    set_thread_query_token, ColumnReader, IoMeter, IoSink, IoStats, ProjectionInfo, Store,
+    TableDelta,
+};
 
 use crate::exec::ExecOptions;
 use crate::multicol::MiniColumn;
@@ -159,6 +162,7 @@ impl PartitionedTable {
     /// position list ascends exactly as the serial loop's does.
     fn build(
         keys: &[Value],
+        deletes: &[u64],
         pipeline: &FragmentPipeline,
         meter: &IoMeter,
         sink: Option<&IoSink>,
@@ -166,7 +170,14 @@ impl PartitionedTable {
         let parts_n = pipeline.workers();
         if parts_n <= 1 {
             let mut table: HashMap<Value, Vec<u32>> = HashMap::with_capacity(keys.len());
+            let mut di = 0usize;
             for (pos, &k) in keys.iter().enumerate() {
+                while di < deletes.len() && deletes[di] < pos as u64 {
+                    di += 1;
+                }
+                if di < deletes.len() && deletes[di] == pos as u64 {
+                    continue;
+                }
                 table.entry(k).or_default().push(pos as u32);
             }
             return Ok(PartitionedTable { parts: vec![table] });
@@ -179,7 +190,14 @@ impl PartitionedTable {
         let buckets: Vec<Vec<Vec<(u32, Value)>>> = pipeline
             .run_counted_sunk(meter, sink, |span| {
                 let mut local: Vec<Vec<(u32, Value)>> = vec![Vec::new(); parts_n];
+                let mut di = deletes.partition_point(|&p| p < span.start);
                 for pos in span.start..span.end {
+                    while di < deletes.len() && deletes[di] < pos {
+                        di += 1;
+                    }
+                    if di < deletes.len() && deletes[di] == pos {
+                        continue;
+                    }
                     let k = keys[pos as usize];
                     local[partition_of(k, parts_n)].push((pos as u32, k));
                 }
@@ -226,21 +244,36 @@ impl PartitionedTable {
 /// zero-I/O key source for snowflake edges that join *through* this
 /// table on the same column.
 pub(crate) struct SharedBuild {
-    /// right key value → ascending right positions holding it.
+    /// right key value → ascending right positions holding it. Deleted
+    /// right positions never enter the table.
     pub(crate) table: PartitionedTable,
-    /// The decoded key column, indexable by right position.
+    /// The decoded key column, indexable by **logical** right position:
+    /// immutable base rows first, then every delta-insert row in stamp
+    /// order (deleted rows included, so indexing stays positional).
     pub(crate) keys: Arc<Vec<Value>>,
     /// Workers the build pipeline ran with (the skew guard applied to
     /// the *right* table) — also the radix partition count when > 1.
     pub(crate) build_workers: usize,
-    /// Right table row count.
+    /// Logical right table row count (base + delta inserts).
     pub(crate) rows: u64,
+    /// Immutable right rows at snapshot time; positions `>= base_rows`
+    /// live in the delta.
+    pub(crate) base_rows: u64,
+    /// The right projection at snapshot time: [`InnerRep::build`] pins
+    /// its column fetches to these files so build and rep read one
+    /// consistent epoch even while a compaction swaps the catalog.
+    pub(crate) info: ProjectionInfo,
+    /// The right table's delta at the same snapshot.
+    pub(crate) delta: Option<Arc<TableDelta>>,
 }
 
 impl SharedBuild {
     /// Scan + decode the key column and build the partitioned hash table
     /// on the pipeline's workers (serial insertion for a single-span
-    /// plan).
+    /// plan). Takes one consistent snapshot of the right table: base
+    /// keys come from the snapshot's column files, delta-insert keys are
+    /// appended in stamp order, and deleted positions are skipped by the
+    /// hash-table build.
     pub(crate) fn build(
         store: &Store,
         right: TableId,
@@ -248,23 +281,35 @@ impl SharedBuild {
         opts: &ExecOptions,
         sink: Option<&IoSink>,
     ) -> Result<SharedBuild> {
-        let rows = store.projection(right)?.num_rows;
-        let rkey_reader = store.reader(right, right_key)?;
-        let rkey_mini = MiniColumn::fetch(&rkey_reader, PosRange::new(0, rows))?;
-        let mut keys = Vec::with_capacity(rows as usize);
-        rkey_mini.decode(&mut keys)?;
+        let (info, delta) = store.scan_snapshot(right)?;
+        let base_rows = info.num_rows;
+        let insert_rows = delta.as_ref().map_or(0, |d| d.inserts.len());
+        let mut keys = Vec::with_capacity(base_rows as usize + insert_rows);
+        if base_rows > 0 {
+            let rkey_reader = store.reader_for(info.column(right_key)?)?;
+            let rkey_mini = MiniColumn::fetch(&rkey_reader, PosRange::new(0, base_rows))?;
+            rkey_mini.decode(&mut keys)?;
+        }
+        if let Some(d) = &delta {
+            keys.extend(d.inserts.iter().map(|row| row[right_key]));
+        }
+        let rows = keys.len() as u64;
+        let deletes: &[u64] = delta.as_ref().map_or(&[], |d| &d.deletes);
         // The build's worker count obeys the same skew guard as the
         // probe's, applied to the *right* table: a one-granule inner
         // table builds serially no matter the knob, and the planner
         // prices build CPU with exactly this count.
         let pipeline = FragmentPipeline::new(rows, opts.granule.max(1), opts.parallelism.max(1));
         let build_workers = pipeline.workers();
-        let table = PartitionedTable::build(&keys, &pipeline, store.meter(), sink)?;
+        let table = PartitionedTable::build(&keys, deletes, &pipeline, store.meter(), sink)?;
         Ok(SharedBuild {
             table,
             keys: Arc::new(keys),
             build_workers,
             rows,
+            base_rows,
+            info,
+            delta,
         })
     }
 }
@@ -275,60 +320,80 @@ impl SharedBuild {
 /// strategy calls for them. Built column-parallel on `build_workers`
 /// scoped threads, exactly as the projection loader encodes columns.
 pub(crate) struct InnerRep {
-    /// Right output columns as compressed mini-columns (all strategies
-    /// fetch these blocks at build time).
+    /// Right output columns as compressed mini-columns over the
+    /// **immutable base** rows (all strategies fetch these blocks at
+    /// build time; empty when the base is empty).
     minis: Vec<MiniColumn>,
-    /// Row-major right tuples (Materialized only).
+    /// Row-major right tuples over the base rows (Materialized only).
     materialized: Option<Vec<Value>>,
     /// Per right output column: fully decoded values when the codec
     /// cannot fetch by position (bit-vector; SingleColumn only). Decoded
     /// once at build so parallel workers share the work.
     decoded: Vec<Option<Vec<Value>>>,
+    /// Delta-insert rows projected to the output columns, indexable by
+    /// `logical position - base_rows`. Row-oriented already, so every
+    /// strategy gathers them the same way.
+    delta_vals: Vec<Vec<Value>>,
+    /// Immutable right rows; gather positions at or above this index the
+    /// delta values.
+    base_rows: u64,
+    /// Output width (delta rows may exist where `minis` is empty).
+    out_width: usize,
     /// The strategy the representation was built for.
     inner: InnerStrategy,
 }
 
 impl InnerRep {
     /// Fetch (and decode, where `inner` needs it) the right output
-    /// columns of `right`.
+    /// columns from the build's snapshot: base columns from the
+    /// snapshot's files, delta inserts projected row-major.
     pub(crate) fn build(
         store: &Store,
-        right: TableId,
+        shared: &SharedBuild,
         right_output: &[usize],
         inner: InnerStrategy,
-        build_workers: usize,
-        rows: u64,
+        token: u64,
         sink: Option<&IoSink>,
     ) -> Result<InnerRep> {
-        let window = PosRange::new(0, rows);
+        let base_rows = shared.base_rows;
+        let window = PosRange::new(0, base_rows);
         let rwidth = right_output.len();
-        let minis: Vec<MiniColumn> =
-            par_indexed(rwidth, build_workers, store.meter(), sink, |c| {
-                MiniColumn::fetch(&store.reader(right, right_output[c])?, window)
-            })?;
-        // Materialized: construct every right tuple up front (row-major).
+        let build_workers = shared.build_workers;
+        let minis: Vec<MiniColumn> = if base_rows > 0 {
+            par_indexed(rwidth, build_workers, token, store.meter(), sink, |c| {
+                MiniColumn::fetch(
+                    &store.reader_for(shared.info.column(right_output[c])?)?,
+                    window,
+                )
+            })?
+        } else {
+            Vec::new()
+        };
+        // Materialized: construct every base right tuple up front
+        // (row-major). Delta tuples are already row-major in delta_vals.
         let materialized: Option<Vec<Value>> = match inner {
-            InnerStrategy::Materialized => {
+            InnerStrategy::Materialized if base_rows > 0 => {
                 let cols: Vec<Vec<Value>> =
-                    par_indexed(rwidth, build_workers, store.meter(), sink, |c| {
-                        let mut v = Vec::with_capacity(rows as usize);
+                    par_indexed(rwidth, build_workers, token, store.meter(), sink, |c| {
+                        let mut v = Vec::with_capacity(base_rows as usize);
                         minis[c].decode(&mut v)?;
                         Ok(v)
                     })?;
-                Some(flatten_row_major(&cols, rows as usize, build_workers))
+                Some(flatten_row_major(&cols, base_rows as usize, build_workers))
             }
+            InnerStrategy::Materialized => Some(Vec::new()),
             _ => None,
         };
         // Single-column right fetch cannot gather from bit-vector blocks
         // (value_at would rescan k bit-strings per probe): decompress
         // such columns once, shared read-only by every probe worker.
         let decoded: Vec<Option<Vec<Value>>> = match inner {
-            InnerStrategy::SingleColumn => {
-                par_indexed(rwidth, build_workers, store.meter(), sink, |c| {
+            InnerStrategy::SingleColumn if base_rows > 0 => {
+                par_indexed(rwidth, build_workers, token, store.meter(), sink, |c| {
                     if minis[c].supports_position_fetch() {
                         Ok(None)
                     } else {
-                        let mut v = Vec::with_capacity(rows as usize);
+                        let mut v = Vec::with_capacity(base_rows as usize);
                         minis[c].decode(&mut v)?;
                         Ok(Some(v))
                     }
@@ -336,17 +401,28 @@ impl InnerRep {
             }
             _ => vec![None; rwidth],
         };
+        let delta_vals: Vec<Vec<Value>> = match &shared.delta {
+            Some(d) => d
+                .inserts
+                .iter()
+                .map(|row| right_output.iter().map(|&c| row[c]).collect())
+                .collect(),
+            None => Vec::new(),
+        };
         Ok(InnerRep {
             minis,
             materialized,
             decoded,
+            delta_vals,
+            base_rows,
+            out_width: rwidth,
             inner,
         })
     }
 
     /// Output width (number of right output columns).
     pub(crate) fn width(&self) -> usize {
-        self.minis.len()
+        self.out_width
     }
 
     /// Fetch the output values at the matched right positions, one
@@ -359,23 +435,39 @@ impl InnerRep {
     pub(crate) fn gather(&self, right_pos: &[u32]) -> Result<Vec<Vec<Value>>> {
         let rwidth = self.width();
         let out_rows = right_pos.len();
+        let base_rows = self.base_rows;
         let mut cols: Vec<Vec<Value>> = vec![Vec::with_capacity(out_rows); rwidth];
         match self.inner {
             InnerStrategy::Materialized => {
                 let flat = self.materialized.as_ref().expect("built above");
                 for &rp in right_pos {
-                    let base = rp as usize * rwidth;
-                    for (c, col) in cols.iter_mut().enumerate() {
-                        col.push(flat[base + c]);
+                    if (rp as u64) < base_rows {
+                        let base = rp as usize * rwidth;
+                        for (c, col) in cols.iter_mut().enumerate() {
+                            col.push(flat[base + c]);
+                        }
+                    } else {
+                        let row = &self.delta_vals[(rp as u64 - base_rows) as usize];
+                        for (c, col) in cols.iter_mut().enumerate() {
+                            col.push(row[c]);
+                        }
                     }
                 }
             }
             InnerStrategy::MultiColumn => {
                 // Construct right tuples on the fly from the compressed
-                // mini-columns at each matched position.
+                // mini-columns at each matched position (row-oriented
+                // delta rows are already constructed).
                 for &rp in right_pos {
-                    for (c, mini) in self.minis.iter().enumerate() {
-                        cols[c].push(mini.value_at(rp as u64)?);
+                    if (rp as u64) < base_rows {
+                        for (c, mini) in self.minis.iter().enumerate() {
+                            cols[c].push(mini.value_at(rp as u64)?);
+                        }
+                    } else {
+                        let row = &self.delta_vals[(rp as u64 - base_rows) as usize];
+                        for (c, col) in cols.iter_mut().enumerate() {
+                            col.push(row[c]);
+                        }
                     }
                 }
             }
@@ -386,20 +478,17 @@ impl InnerRep {
                 // extra positional join is a second pass over the matches
                 // probing each right column at a random position per
                 // output row.
-                for (c, mini) in self.minis.iter().enumerate() {
-                    let col = &mut cols[c];
-                    match &self.decoded[c] {
-                        None => {
-                            for &rp in right_pos {
-                                col.push(mini.value_at(rp as u64)?);
-                            }
+                for (c, col) in cols.iter_mut().enumerate() {
+                    for &rp in right_pos {
+                        if (rp as u64) >= base_rows {
+                            col.push(self.delta_vals[(rp as u64 - base_rows) as usize][c]);
+                            continue;
                         }
-                        // Bit-vector right column: indexed into the
-                        // shared build-time decode.
-                        Some(decoded) => {
-                            for &rp in right_pos {
-                                col.push(decoded[rp as usize]);
-                            }
+                        match &self.decoded[c] {
+                            None => col.push(self.minis[c].value_at(rp as u64)?),
+                            // Bit-vector right column: indexed into the
+                            // shared build-time decode.
+                            Some(decoded) => col.push(decoded[rp as usize]),
                         }
                     }
                 }
@@ -446,16 +535,49 @@ pub(crate) fn fetch_expanded(mini: &MiniColumn, positions: &[Pos]) -> Result<Vec
 fn par_indexed<T: Send>(
     n: usize,
     workers: usize,
+    token: u64,
     meter: &IoMeter,
     sink: Option<&IoSink>,
     f: impl Fn(usize) -> Result<T> + Sync,
 ) -> Result<Vec<T>> {
-    matstrat_common::par_map_indexed(n, workers, f, || {
-        let dropped = meter.forget_current_thread();
-        if let Some(sink) = sink {
-            sink.add(dropped);
+    matstrat_common::par_map_indexed(
+        n,
+        workers,
+        |i| {
+            // Tag each worker with the owning query's token so the
+            // buffer pool can credit single-flight fills it waits on to
+            // this query's meters.
+            set_thread_query_token(token);
+            f(i)
+        },
+        || {
+            let dropped = meter.forget_current_thread();
+            if let Some(sink) = sink {
+                sink.add(dropped);
+            }
+        },
+    )
+}
+
+/// Drop the positions in `deletes` (sorted ascending) from `desc`. Both
+/// probe paths use this to hide deleted base rows from the outer side of
+/// a join before any key or output value is fetched.
+pub(crate) fn filter_deleted(desc: PosList, deletes: &[u64]) -> PosList {
+    if deletes.is_empty() {
+        return desc;
+    }
+    let mut b = PosListBuilder::new();
+    let mut di = 0usize;
+    for p in desc.iter() {
+        while di < deletes.len() && deletes[di] < p {
+            di += 1;
         }
-    })
+        if di < deletes.len() && deletes[di] == p {
+            continue;
+        }
+        b.push(p);
+    }
+    b.finish()
 }
 
 /// Flatten decoded columns into row-major tuples — the Materialized
@@ -503,10 +625,13 @@ struct BuildSide {
     /// The per-strategy right output representation.
     rep: InnerRep,
     /// Left-side readers: filter column (when filtered), key column,
-    /// output columns.
+    /// output columns. Pinned to the left snapshot's files.
     left_filter_reader: Option<ColumnReader>,
     left_key_reader: ColumnReader,
     left_out_readers: Vec<ColumnReader>,
+    /// Deleted positions among the left snapshot's **base** rows, sorted
+    /// ascending; probe spans hide them before fetching keys.
+    left_deletes: Vec<u64>,
 }
 
 /// Execute the join under the chosen inner-table strategy with default
@@ -552,10 +677,12 @@ fn hash_join_sunk(
     opts: &ExecOptions,
     sink: &IoSink,
 ) -> Result<QueryResult> {
-    let left_info = store.projection(spec.left)?;
+    let (left_info, left_delta) = store.scan_snapshot(spec.left)?;
     let right_info = store.projection(spec.right)?;
 
-    // Output shape, validated before any I/O.
+    // Output shape, validated before any I/O. (Schema is
+    // compaction-invariant, so the pre-build right lookup cannot diverge
+    // from the snapshot the build takes below.)
     let mut names: Vec<String> =
         Vec::with_capacity(spec.left_output.len() + spec.right_output.len());
     for &c in &spec.left_output {
@@ -572,15 +699,15 @@ fn hash_join_sunk(
     // Strategy-independent half (hash table + decoded keys), then the
     // per-strategy right output representation — the same two pieces the
     // join-tree executor builds per edge, with the first cached across
-    // edges that share an inner table.
+    // edges that share an inner table. Both halves read the one right
+    // snapshot `SharedBuild::build` takes.
     let shared = SharedBuild::build(store, spec.right, spec.right_key, opts, Some(sink))?;
     let rep = InnerRep::build(
         store,
-        spec.right,
+        &shared,
         &spec.right_output,
         inner,
-        shared.build_workers,
-        right_info.num_rows,
+        opts.query_token,
         Some(sink),
     )?;
 
@@ -588,25 +715,31 @@ fn hash_join_sunk(
         shared,
         rep,
         left_filter_reader: match &spec.left_filter {
-            Some((col, _)) => Some(store.reader(spec.left, *col)?),
+            Some((col, _)) => Some(store.reader_for(left_info.column(*col)?)?),
             None => None,
         },
-        left_key_reader: store.reader(spec.left, spec.left_key)?,
+        left_key_reader: store.reader_for(left_info.column(spec.left_key)?)?,
         left_out_readers: spec
             .left_output
             .iter()
-            .map(|&c| store.reader(spec.left, c))
+            .map(|&c| store.reader_for(left_info.column(c)?))
             .collect::<Result<_>>()?,
+        left_deletes: left_delta
+            .as_ref()
+            .map_or(Vec::new(), |d| d.base_deletes().to_vec()),
     };
 
-    // ---- Probe phase: span-parallel over the left table ----------------
+    // ---- Probe phase: span-parallel over the left base rows ------------
     let pipeline = FragmentPipeline::new(
         left_info.num_rows,
         opts.granule.max(1),
         opts.parallelism.max(1),
     );
-    let fragments: Vec<Vec<Value>> =
-        pipeline.run_sunk(store.meter(), sink, |span| probe_span(spec, &build, span))?;
+    let token = opts.query_token;
+    let fragments: Vec<Vec<Value>> = pipeline.run_sunk(store.meter(), sink, |span| {
+        set_thread_query_token(token);
+        probe_span(spec, &build, span)
+    })?;
 
     // Fragments are row-major and spans ascend, so concatenation
     // reproduces the serial row order byte for byte.
@@ -614,6 +747,42 @@ fn hash_join_sunk(
     let mut flat = fragments.next().expect("at least one span");
     for frag in fragments {
         flat.extend(frag);
+    }
+
+    // ---- Left delta pass: serial, in stamp order ------------------------
+    // Row-oriented delta inserts probe the same shared hash table after
+    // every base fragment — exactly where those rows sit in position
+    // order — so the merged output equals a serial run over the logical
+    // table.
+    if let Some(d) = &left_delta {
+        let mut drows: Vec<(&Vec<Value>, u32)> = Vec::new();
+        for (i, row) in d.inserts.iter().enumerate() {
+            if d.is_deleted(d.base_rows + i as u64) {
+                continue;
+            }
+            if let Some((c, pred)) = &spec.left_filter {
+                if !pred.matches(row[*c]) {
+                    continue;
+                }
+            }
+            if let Some(rps) = build.shared.table.get(&row[spec.left_key]) {
+                for &rp in rps {
+                    drows.push((row, rp));
+                }
+            }
+        }
+        if !drows.is_empty() {
+            let rps: Vec<u32> = drows.iter().map(|&(_, rp)| rp).collect();
+            let right_cols = build.rep.gather(&rps)?;
+            for (i, (row, _)) in drows.iter().enumerate() {
+                for &c in &spec.left_output {
+                    flat.push(row[c]);
+                }
+                for col in &right_cols {
+                    flat.push(col[i]);
+                }
+            }
+        }
     }
     Ok(QueryResult::from_flat(names, flat))
 }
@@ -629,6 +798,10 @@ fn probe_span(spec: &JoinSpec, build: &BuildSide, span: PosRange) -> Result<Vec<
         }
         _ => PosList::full(span),
     };
+    // Deleted base rows never reach the probe (nor the key fetch).
+    let lo = build.left_deletes.partition_point(|&p| p < span.start);
+    let hi = build.left_deletes.partition_point(|&p| p < span.end);
+    let desc = filter_deleted(desc, &build.left_deletes[lo..hi]);
     let lkey_mini = MiniColumn::fetch(&build.left_key_reader, span)?;
     let mut lkeys = Vec::with_capacity(desc.count() as usize);
     lkey_mini.fetch_values(&desc, &mut lkeys)?;

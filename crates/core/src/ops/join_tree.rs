@@ -53,11 +53,11 @@ use std::time::Instant;
 
 use matstrat_common::{Error, Pos, PosRange, Result, TableId, Value};
 use matstrat_poslist::PosList;
-use matstrat_storage::{ColumnReader, IoSink, Store};
+use matstrat_storage::{set_thread_query_token, ColumnReader, IoSink, Store, TableDelta};
 
 use crate::exec::ExecOptions;
 use crate::multicol::MiniColumn;
-use crate::ops::join::{fetch_expanded, InnerRep, InnerStrategy, SharedBuild};
+use crate::ops::join::{fetch_expanded, filter_deleted, InnerRep, InnerStrategy, SharedBuild};
 use crate::pipeline::FragmentPipeline;
 use crate::query::{JoinKeySource, JoinTreeSpec, JoinTreeStats, QueryResult};
 
@@ -168,7 +168,7 @@ pub fn hash_join_tree_with_options(
     spec.validate()?;
     plan.validate(spec)?;
     let base = spec.base();
-    let base_info = store.projection(base)?;
+    let (base_info, base_delta) = store.scan_snapshot(base)?;
     let edge0 = &spec.edges[0];
 
     // Output shape in spec order, validated before any I/O.
@@ -226,29 +226,39 @@ pub fn hash_join_tree_with_options(
         };
         let rep = InnerRep::build(
             store,
-            edge.right,
+            &shared,
             &edge.right_output,
             plan.inners[ei],
-            shared.build_workers,
-            shared.rows,
+            opts.query_token,
             Some(&sink),
         )?;
         let source = match spec.key_source(ei)? {
-            JoinKeySource::Base => KeyFetch::Base(store.reader(base, edge.left_key)?),
+            JoinKeySource::Base => {
+                KeyFetch::Base(store.reader_for(base_info.column(edge.left_key)?)?)
+            }
             JoinKeySource::Edge(j) => {
                 let j_slot = spec_to_slot[j];
                 debug_assert_ne!(j_slot, usize::MAX, "plan validated above");
                 let through = &runs[j_slot];
                 // Keying through the column the table was hashed on
                 // reuses its decoded keys; any other column decodes once
-                // here, shared read-only by every probe worker.
+                // here — base rows from the through-table's snapshot
+                // files, delta inserts appended in stamp order so the
+                // array stays indexable by logical position — shared
+                // read-only by every probe worker.
                 let keys = if spec.edges[j].right_key == edge.left_key {
                     Arc::clone(&through.shared.keys)
                 } else {
-                    let reader = store.reader(spec.edges[j].right, edge.left_key)?;
-                    let mini = MiniColumn::fetch(&reader, PosRange::new(0, through.shared.rows))?;
-                    let mut v = Vec::with_capacity(through.shared.rows as usize);
-                    mini.decode(&mut v)?;
+                    let ts = &through.shared;
+                    let mut v = Vec::with_capacity(ts.rows as usize);
+                    if ts.base_rows > 0 {
+                        let reader = store.reader_for(ts.info.column(edge.left_key)?)?;
+                        let mini = MiniColumn::fetch(&reader, PosRange::new(0, ts.base_rows))?;
+                        mini.decode(&mut v)?;
+                    }
+                    if let Some(d) = &ts.delta {
+                        v.extend(d.inserts.iter().map(|row| row[edge.left_key]));
+                    }
                     Arc::new(v)
                 };
                 KeyFetch::Prev { slot: j_slot, keys }
@@ -262,30 +272,37 @@ pub fn hash_join_tree_with_options(
         });
     }
 
-    // Base-side readers, shared by every probe worker.
+    // Base-side readers, pinned to the base snapshot, shared by every
+    // probe worker.
     let base_filter_reader = match &edge0.left_filter {
-        Some((col, _)) => Some(store.reader(base, *col)?),
+        Some((col, _)) => Some(store.reader_for(base_info.column(*col)?)?),
         None => None,
     };
     let base_out_readers: Vec<ColumnReader> = edge0
         .left_output
         .iter()
-        .map(|&c| store.reader(base, c))
+        .map(|&c| store.reader_for(base_info.column(c)?))
         .collect::<Result<_>>()?;
+    let base_deletes: Vec<u64> = base_delta
+        .as_ref()
+        .map_or(Vec::new(), |d| d.base_deletes().to_vec());
 
-    // ---- Probe phase: span-parallel over the base table -----------------
+    // ---- Probe phase: span-parallel over the base table's base rows -----
     let pipeline = FragmentPipeline::new(
         base_info.num_rows,
         opts.granule.max(1),
         opts.parallelism.max(1),
     );
+    let token = opts.query_token;
     let (fragments, steals) = pipeline.run_counted_sunk(store.meter(), Some(&sink), |span| {
+        set_thread_query_token(token);
         probe_tree_span(
             spec,
             &runs,
             &spec_to_slot,
             &base_filter_reader,
             &base_out_readers,
+            &base_deletes,
             span,
         )
     })?;
@@ -296,6 +313,19 @@ pub fn hash_join_tree_with_options(
     let mut flat = fragments.next().expect("at least one span");
     for frag in fragments {
         flat.extend(frag);
+    }
+    // ---- Base delta pass: serial, in stamp order ------------------------
+    // Row-oriented base-table inserts run the same probe pipeline after
+    // every base fragment — exactly where those rows sit in position
+    // order.
+    if let Some(d) = &base_delta {
+        flat.extend(probe_tree_delta(
+            spec,
+            &runs,
+            &spec_to_slot,
+            &plan.order,
+            d,
+        )?);
     }
     let result = QueryResult::from_flat(names, flat);
     stats.steals = steals;
@@ -313,6 +343,7 @@ fn probe_tree_span(
     spec_to_slot: &[usize],
     base_filter_reader: &Option<ColumnReader>,
     base_out_readers: &[ColumnReader],
+    base_deletes: &[u64],
     span: PosRange,
 ) -> Result<Vec<Value>> {
     let edge0 = &spec.edges[0];
@@ -324,6 +355,10 @@ fn probe_tree_span(
         }
         _ => PosList::full(span),
     };
+    // Deleted base rows never reach the probes (nor any value fetch).
+    let lo = base_deletes.partition_point(|&p| p < span.start);
+    let hi = base_deletes.partition_point(|&p| p < span.end);
+    let desc = filter_deleted(desc, &base_deletes[lo..hi]);
 
     // ---- The pipelined position intermediate ----------------------------
     // Row i of the intermediate is (base_pos[i], rights[0][i], ...,
@@ -387,6 +422,76 @@ fn probe_tree_span(
         for ei in 0..spec.edges.len() {
             for col in &right_cols[spec_to_slot[ei]] {
                 flat.push(col[i]);
+            }
+        }
+    }
+    Ok(flat)
+}
+
+/// Probe every live base-table delta-insert row through the whole edge
+/// sequence, serially, in stamp order — the delta counterpart of
+/// [`probe_tree_span`]. Keys come straight from the row-oriented insert
+/// (base key columns) or from a previous slot's key array (which covers
+/// delta positions of *that* table too), so the fan-out nesting matches
+/// the span path's exactly.
+fn probe_tree_delta(
+    spec: &JoinTreeSpec,
+    runs: &[EdgeRun],
+    spec_to_slot: &[usize],
+    slot_to_spec: &[usize],
+    delta: &TableDelta,
+) -> Result<Vec<Value>> {
+    let edge0 = &spec.edges[0];
+    let mut flat = Vec::new();
+    for (i, row) in delta.inserts.iter().enumerate() {
+        if delta.is_deleted(delta.base_rows + i as u64) {
+            continue;
+        }
+        if let Some((c, pred)) = &edge0.left_filter {
+            if !pred.matches(row[*c]) {
+                continue;
+            }
+        }
+        // One combo per surviving intermediate row: the matched right
+        // position per completed slot. Every probe extends the set in
+        // nested-loop order, exactly as the span path's fan-out does.
+        let mut combos: Vec<Vec<u32>> = vec![Vec::new()];
+        for (slot, run) in runs.iter().enumerate() {
+            let mut next: Vec<Vec<u32>> = Vec::new();
+            for combo in &combos {
+                let key = match &run.source {
+                    KeyFetch::Base(_) => row[spec.edges[slot_to_spec[slot]].left_key],
+                    KeyFetch::Prev { slot: j, keys } => keys[combo[*j] as usize],
+                };
+                if let Some(rps) = run.shared.table.get(&key) {
+                    for &rp in rps {
+                        let mut c = combo.clone();
+                        c.push(rp);
+                        next.push(c);
+                    }
+                }
+            }
+            combos = next;
+            if combos.is_empty() {
+                break;
+            }
+        }
+        if combos.is_empty() {
+            continue;
+        }
+        let mut right_cols: Vec<Vec<Vec<Value>>> = Vec::with_capacity(runs.len());
+        for (slot, run) in runs.iter().enumerate() {
+            let rps: Vec<u32> = combos.iter().map(|c| c[slot]).collect();
+            right_cols.push(run.rep.gather(&rps)?);
+        }
+        for ci in 0..combos.len() {
+            for &c in &edge0.left_output {
+                flat.push(row[c]);
+            }
+            for ei in 0..spec.edges.len() {
+                for col in &right_cols[spec_to_slot[ei]] {
+                    flat.push(col[ci]);
+                }
             }
         }
     }

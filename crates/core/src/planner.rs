@@ -144,6 +144,25 @@ impl Planner {
         }
     }
 
+    /// Serial CPU surcharge for merging `table`'s in-memory delta rows
+    /// into a query: the delta pass is row-oriented and runs on one
+    /// thread after the span fragments, so it is priced at `fc` (the
+    /// model's per-tuple function-call cost) per live insert row — for
+    /// **every** strategy, since the pass is strategy-independent. The
+    /// term never flips a single-table strategy choice (it is a constant
+    /// across alternatives) but keeps reported totals honest as the
+    /// delta fraction grows and compaction lag becomes visible in plans.
+    fn delta_merge_cpu_us(&self, store: &Store, table: matstrat_common::TableId) -> f64 {
+        match store.scan_snapshot(table) {
+            Ok((_, Some(d))) => {
+                let dead_inserts = (d.deletes.len() - d.base_deletes().len()) as f64;
+                let live_inserts = d.inserts.len() as f64 - dead_inserts;
+                live_inserts * self.model.constants().fc
+            }
+            _ => 0.0,
+        }
+    }
+
     /// Pick an inner-table representation for `spec`, priced at the
     /// worker counts the join executor will actually use: the probe side
     /// spans the **left** table's granules and the partitioned build
@@ -161,18 +180,21 @@ impl Planner {
             FragmentPipeline::effective_workers(left_rows, crate::GRANULE, self.parallelism);
         let build_workers =
             FragmentPipeline::effective_workers(right_rows, crate::GRANULE, self.parallelism);
+        // The left delta probes serially after the fragments; right
+        // delta keys append to the build. Both are strategy-independent.
+        let delta_cpu =
+            self.delta_merge_cpu_us(store, spec.left) + self.delta_merge_cpu_us(store, spec.right);
         let alternatives: Vec<(InnerStrategy, CostBreakdown)> = InnerStrategy::ALL
             .iter()
             .map(|&s| {
-                (
-                    s,
-                    self.model.hash_join_parallel(
-                        &params,
-                        s.plan_kind(),
-                        build_workers,
-                        probe_workers,
-                    ),
-                )
+                let mut cost = self.model.hash_join_parallel(
+                    &params,
+                    s.plan_kind(),
+                    build_workers,
+                    probe_workers,
+                );
+                cost.cpu_us += delta_cpu;
+                (s, cost)
             })
             .collect();
         let &(inner, estimate) = alternatives
@@ -240,7 +262,7 @@ impl Planner {
         // Authoritative estimate of the winner via the model's composer,
         // plus the per-slot alternatives the choice rejected.
         let edge_params = self.tree_edge_params(store, spec, &order, probe_workers)?;
-        let tree = self.model.join_tree(
+        let mut tree = self.model.join_tree(
             &edge_params
                 .iter()
                 .zip(&order)
@@ -250,6 +272,16 @@ impl Planner {
                 })
                 .collect::<Vec<_>>(),
         );
+        // Delta-merge surcharge: base inserts probe serially after the
+        // fragments, each inner table's inserts append to its build.
+        // Order-invariant (the same tables participate in every order),
+        // so it is added to the winner's total rather than per candidate.
+        tree.total.cpu_us += self.delta_merge_cpu_us(store, spec.base())
+            + spec
+                .edges
+                .iter()
+                .map(|e| self.delta_merge_cpu_us(store, e.right))
+                .sum::<f64>();
         let mut edge_alternatives = Vec::with_capacity(order.len());
         for (slot, p) in edge_params.iter().enumerate() {
             let mut chained = *p;
@@ -700,12 +732,14 @@ impl Planner {
         // threads that never spawn and the plan choice can flip wrongly.
         let effective =
             FragmentPipeline::effective_workers(proj.num_rows, crate::GRANULE, self.parallelism);
+        let delta_cpu = self.delta_merge_cpu_us(store, q.table);
         let mut alternatives = Vec::new();
         for s in Strategy::ALL {
-            if let Some(cost) = self
+            if let Some(mut cost) = self
                 .model
                 .estimate_parallel(s.plan_kind(), &params, effective)
             {
+                cost.cpu_us += delta_cpu;
                 alternatives.push((s, cost));
             }
         }

@@ -12,10 +12,14 @@
 //!   bounding memory and thread fan-out no matter how many sessions
 //!   exist.
 //! * **Fair span scheduling** — the server's
-//!   [`ServerConfig::worker_budget`] threads are split evenly over the
-//!   queries active at admission time (`max(1, budget / active)`).
-//!   Because every operator is byte-identical at any worker count, the
-//!   share is pure scheduling: it decides wall time, never results.
+//!   [`ServerConfig::worker_budget`] threads are split over the queries
+//!   active at admission time: `budget / active` each, with the
+//!   remainder going one-each to the earliest-admitted slots (clamped
+//!   to ≥ 1), so shares always sum to the whole budget when it covers
+//!   the active set — plain truncation stranded `budget % active`
+//!   workers (8 over 3 handed out 2 + 2 + 2). Because every operator is
+//!   byte-identical at any worker count, the share is pure scheduling:
+//!   it decides wall time, never results.
 //! * **Per-query isolation** — each query's [`ExecStats`] /
 //!   [`JoinTreeStats`] (rows, positions, cold `block_reads`) are its own,
 //!   harvested per thread ([`matstrat_storage::IoSink`]); the buffer
@@ -34,9 +38,9 @@
 
 use std::sync::{Arc, Condvar, Mutex};
 
-use matstrat_common::Result;
+use matstrat_common::{Predicate, Result, TableId, Value};
 use matstrat_model::Constants;
-use matstrat_storage::Store;
+use matstrat_storage::{next_query_token, set_thread_query_token, Store};
 
 use crate::exec::{default_parallelism, execute_with_options, ExecOptions};
 use crate::ops::join_tree::hash_join_tree_with_options;
@@ -50,8 +54,7 @@ pub struct ServerConfig {
     /// block until a slot frees (clamped to ≥ 1).
     pub max_concurrent: usize,
     /// Total executor worker threads shared by the active queries; each
-    /// query gets `max(1, worker_budget / active)` at admission
-    /// (clamped to ≥ 1).
+    /// query gets its [`fair_share`] at admission (clamped to ≥ 1).
     pub worker_budget: usize,
 }
 
@@ -84,7 +87,24 @@ pub struct ServerStats {
 struct GateState {
     active: usize,
     queued: usize,
+    /// Occupied admission slots; a query claims the lowest free one, so
+    /// a slot index is also the query's seniority rank among the active
+    /// set — the remainder of the worker budget goes to the lowest
+    /// ranks.
+    slots: Vec<bool>,
     stats: ServerStats,
+}
+
+/// The worker share of the query admitted at seniority `rank` (0-based)
+/// among `active` queries sharing `budget` threads: `budget / active`,
+/// plus one of the `budget % active` remainder threads for the lowest
+/// ranks, clamped to ≥ 1. For any `(budget, active)` the shares over
+/// ranks `0..active` sum to exactly `budget` whenever `budget ≥ active`
+/// (and to `active` otherwise — nobody runs with zero workers), differ
+/// by at most one, and never increase with rank.
+pub fn fair_share(budget: usize, rank: usize, active: usize) -> usize {
+    let active = active.max(1);
+    (budget / active + usize::from(rank < budget % active)).max(1)
 }
 
 /// The shared query service: one store, one planner, one admission gate.
@@ -161,11 +181,22 @@ impl Server {
         g.active += 1;
         g.stats.admitted += 1;
         g.stats.peak_active = g.stats.peak_active.max(g.active);
-        let share = (self.cfg.worker_budget / g.active).max(1);
+        // Claim the lowest free slot. Everything below it is occupied,
+        // so the slot index is this query's seniority rank.
+        let slot = match g.slots.iter().position(|occupied| !occupied) {
+            Some(s) => s,
+            None => {
+                g.slots.push(false);
+                g.slots.len() - 1
+            }
+        };
+        g.slots[slot] = true;
+        let share = fair_share(self.cfg.worker_budget, slot, g.active);
         drop(g);
         AdmitGuard {
             server: self,
             share,
+            slot,
         }
     }
 }
@@ -174,12 +205,14 @@ impl Server {
 struct AdmitGuard<'a> {
     server: &'a Server,
     share: usize,
+    slot: usize,
 }
 
 impl Drop for AdmitGuard<'_> {
     fn drop(&mut self) {
         let mut g = self.server.gate.lock().expect("gate poisoned");
         g.active -= 1;
+        g.slots[self.slot] = false;
         g.stats.completed += 1;
         drop(g);
         self.server.cv.notify_all();
@@ -195,6 +228,22 @@ pub enum Request {
     Scan(QuerySpec),
     /// `SELECT ... FROM base JOIN ... [WHERE base pred]`
     JoinTree(JoinTreeSpec),
+    /// `INSERT INTO t VALUES (...), (...)` — rows land in the table's
+    /// delta after a durable WAL append.
+    Insert {
+        /// Target projection.
+        table: TableId,
+        /// Row-major values, one inner vec per row (projection arity).
+        rows: Vec<Vec<Value>>,
+    },
+    /// `DELETE FROM t [WHERE ...]` — marks every matching row deleted
+    /// (base and delta alike) after a durable WAL append.
+    Delete {
+        /// Target projection.
+        table: TableId,
+        /// Conjunctive column predicates; empty deletes every row.
+        filters: Vec<(usize, Predicate)>,
+    },
 }
 
 /// A finished query: the result plus the shape-specific measurements.
@@ -206,22 +255,45 @@ pub enum Reply {
     Scan(QueryResult, ExecStats),
     /// A join tree's result and measurements.
     JoinTree(QueryResult, JoinTreeStats),
+    /// A write's acknowledgement: a one-cell `rows_affected` table
+    /// (rows inserted, or rows newly marked deleted).
+    Wrote(QueryResult),
 }
 
 impl Reply {
-    /// The materialized result, whatever the request shape.
+    /// The acknowledgement table for a write of `rows` rows.
+    fn wrote(rows: u64) -> Reply {
+        Reply::Wrote(QueryResult::from_flat(
+            vec!["rows_affected".to_string()],
+            vec![rows as Value],
+        ))
+    }
+
+    /// The materialized result, whatever the request shape (a one-cell
+    /// `rows_affected` table for writes).
     pub fn result(&self) -> &QueryResult {
         match self {
             Reply::Scan(r, _) => r,
             Reply::JoinTree(r, _) => r,
+            Reply::Wrote(r) => r,
         }
     }
 
-    /// This query's simulated-disk block reads.
+    /// Rows a write affected; `None` for read replies.
+    pub fn rows_affected(&self) -> Option<u64> {
+        match self {
+            Reply::Wrote(r) => Some(r.flat()[0] as u64),
+            _ => None,
+        }
+    }
+
+    /// This query's simulated-disk block reads (write acknowledgements
+    /// carry no read measurements: 0).
     pub fn block_reads(&self) -> u64 {
         match self {
             Reply::Scan(_, s) => s.io.block_reads,
             Reply::JoinTree(_, s) => s.io.block_reads,
+            Reply::Wrote(_) => 0,
         }
     }
 }
@@ -245,10 +317,17 @@ impl Session {
         match req {
             Request::Scan(q) => Ok(srv.planner.choose(&srv.store, q)?.describe()),
             Request::JoinTree(t) => Ok(srv.planner.choose_join_tree(&srv.store, t)?.describe()),
+            Request::Insert { rows, .. } => Ok(format!("insert {} row(s) via WAL", rows.len())),
+            Request::Delete { filters, .. } => Ok(format!(
+                "delete where {} predicate(s) match, via WAL",
+                filters.len()
+            )),
         }
     }
 
-    /// Plan and execute one request under admission control.
+    /// Plan and execute one request under admission control. Writes
+    /// bypass the admission gate: they serialize on the store's write
+    /// lock and never consume executor workers.
     pub fn run(&self, req: &Request) -> Result<Reply> {
         match req {
             Request::Scan(q) => {
@@ -259,25 +338,62 @@ impl Session {
                 let (r, s) = self.run_join_tree(t)?;
                 Ok(Reply::JoinTree(r, s))
             }
+            Request::Insert { table, rows } => {
+                self.server.store.insert_rows(*table, rows)?;
+                Ok(Reply::wrote(rows.len() as u64))
+            }
+            Request::Delete { table, filters } => {
+                let n = crate::db::delete_where(&self.server.store, *table, filters)?;
+                Ok(Reply::wrote(n))
+            }
         }
     }
 
-    /// Plan (at the full budget) and run a scan (at the fair share).
+    /// Plan (at the full budget) and run a scan (at the fair share),
+    /// tagged with a fresh query token for cold-read attribution.
     pub fn run_scan(&self, q: &QuerySpec) -> Result<(QueryResult, ExecStats)> {
         let srv = &self.server;
         let choice = srv.planner.choose(&srv.store, q)?;
         let permit = srv.admit();
-        let opts = ExecOptions::with_parallelism(permit.share);
+        let opts = ExecOptions {
+            query_token: next_query_token(),
+            ..ExecOptions::with_parallelism(permit.share)
+        };
+        let _tag = ThreadTokenGuard::tag(opts.query_token);
         execute_with_options(&srv.store, q, choice.strategy, &opts)
     }
 
-    /// Plan (at the full budget) and run a join tree (at the fair share).
+    /// Plan (at the full budget) and run a join tree (at the fair
+    /// share), tagged with a fresh query token.
     pub fn run_join_tree(&self, spec: &JoinTreeSpec) -> Result<(QueryResult, JoinTreeStats)> {
         let srv = &self.server;
         let choice = srv.planner.choose_join_tree(&srv.store, spec)?;
         let permit = srv.admit();
-        let opts = ExecOptions::with_parallelism(permit.share);
+        let opts = ExecOptions {
+            query_token: next_query_token(),
+            ..ExecOptions::with_parallelism(permit.share)
+        };
+        let _tag = ThreadTokenGuard::tag(opts.query_token);
         hash_join_tree_with_options(&srv.store, spec, &choice.plan(), &opts)
+    }
+}
+
+/// Tags the calling (session) thread with a query token for the scope
+/// of one request — executor workers tag themselves in their span loop;
+/// this covers reads issued inline on the session thread — and untags
+/// on drop so a later query on the same client thread starts clean.
+struct ThreadTokenGuard;
+
+impl ThreadTokenGuard {
+    fn tag(token: u64) -> ThreadTokenGuard {
+        set_thread_query_token(token);
+        ThreadTokenGuard
+    }
+}
+
+impl Drop for ThreadTokenGuard {
+    fn drop(&mut self) {
+        set_thread_query_token(0);
     }
 }
 
@@ -387,5 +503,58 @@ mod tests {
         assert_eq!(zero_knobs.config().worker_budget, 1, "clamped");
         let permit = zero_knobs.admit();
         assert_eq!(permit.share, 1);
+    }
+
+    #[test]
+    fn fair_shares_spend_the_whole_budget_without_stranding_workers() {
+        // The remainder bug: 8 workers over 3 active used to hand out
+        // 2 + 2 + 2, stranding two. Earliest-admitted ranks soak up the
+        // remainder instead.
+        assert_eq!(
+            (0..3).map(|r| fair_share(8, r, 3)).collect::<Vec<_>>(),
+            vec![3, 3, 2]
+        );
+        for budget in 1..=9usize {
+            for active in 1..=8usize {
+                let shares: Vec<usize> =
+                    (0..active).map(|r| fair_share(budget, r, active)).collect();
+                let share_max = *shares.iter().max().unwrap();
+                // The sum identity: everything the budget covers is
+                // handed out (never more than active × the top share),
+                // and when the budget cannot cover the active set every
+                // query still gets its floor of one.
+                assert_eq!(
+                    shares.iter().sum::<usize>(),
+                    budget.max(active).min(active * share_max),
+                    "budget {budget} active {active}: {shares:?}"
+                );
+                // Shares are within one of each other, never ascending.
+                assert!(shares.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1));
+            }
+        }
+    }
+
+    #[test]
+    fn admission_ranks_reuse_freed_slots() {
+        let server = Server::new(
+            served_store(),
+            ServerConfig {
+                max_concurrent: 8,
+                worker_budget: 7,
+            },
+        );
+        let first = server.admit(); // slot 0, alone: whole budget
+        assert_eq!(first.share, 7);
+        let second = server.admit(); // slot 1 of 2: 7/2 = 3, no remainder
+        assert_eq!(second.share, 3);
+        drop(first);
+        // Slot 0 is free again; the next admission takes it and, as the
+        // senior of two active queries, gets the remainder thread.
+        let third = server.admit();
+        assert_eq!(third.slot, 0);
+        assert_eq!(third.share, 4);
+        drop(second);
+        drop(third);
+        assert_eq!(server.stats().completed, 3);
     }
 }

@@ -54,3 +54,29 @@ pub(crate) struct SelectAst {
     pub group_by: Option<ColRef>,
     pub group_at: usize,
 }
+
+/// `INSERT INTO table VALUES (..), (..)`, before name resolution. Each
+/// row keeps the offset of its opening parenthesis so arity errors can
+/// point at the offending tuple.
+#[derive(Debug, Clone)]
+pub(crate) struct InsertAst {
+    pub table: String,
+    pub table_at: usize,
+    pub rows: Vec<(Vec<Value>, usize)>,
+}
+
+/// `DELETE FROM table [WHERE ...]`, before name resolution.
+#[derive(Debug, Clone)]
+pub(crate) struct DeleteAst {
+    pub table: String,
+    pub table_at: usize,
+    pub preds: Vec<PredClause>,
+}
+
+/// Any parsed statement.
+#[derive(Debug, Clone)]
+pub(crate) enum StatementAst {
+    Select(SelectAst),
+    Insert(InsertAst),
+    Delete(DeleteAst),
+}

@@ -1,4 +1,10 @@
 //! The lexer: query text → located tokens.
+//!
+//! Lexing walks `char_indices`, never raw bytes: a multi-byte character
+//! in the input (a `π` in an identifier position, a typo'd `≤`) is
+//! reported as itself — not as its mangled first byte — and every
+//! token's recorded offset is a character boundary, so the caret in
+//! [`ParseError`]'s snippet lands on the right column.
 
 use matstrat_common::Value;
 
@@ -23,6 +29,10 @@ pub(crate) enum Tok {
     Count,
     Min,
     Max,
+    Insert,
+    Into,
+    Values,
+    Delete,
     Comma,
     Dot,
     LParen,
@@ -55,6 +65,10 @@ impl Tok {
             Tok::Count => "COUNT".into(),
             Tok::Min => "MIN".into(),
             Tok::Max => "MAX".into(),
+            Tok::Insert => "INSERT".into(),
+            Tok::Into => "INTO".into(),
+            Tok::Values => "VALUES".into(),
+            Tok::Delete => "DELETE".into(),
             Tok::Comma => "','".into(),
             Tok::Dot => "'.'".into(),
             Tok::LParen => "'('".into(),
@@ -70,7 +84,8 @@ impl Tok {
     }
 }
 
-/// A token plus the byte offset where it starts.
+/// A token plus the byte offset where it starts (always a character
+/// boundary of the source).
 #[derive(Debug, Clone)]
 pub(crate) struct Lexed {
     pub tok: Tok,
@@ -92,22 +107,29 @@ fn keyword(word: &str) -> Option<Tok> {
         "COUNT" => Some(Tok::Count),
         "MIN" => Some(Tok::Min),
         "MAX" => Some(Tok::Max),
+        "INSERT" => Some(Tok::Insert),
+        "INTO" => Some(Tok::Into),
+        "VALUES" => Some(Tok::Values),
+        "DELETE" => Some(Tok::Delete),
         _ => None,
     }
 }
 
 /// Tokenize `src`, ending with an [`Tok::Eof`] sentinel.
 pub(crate) fn lex(src: &str) -> Result<Vec<Lexed>, ParseError> {
-    let bytes = src.as_bytes();
+    let chars: Vec<(usize, char)> = src.char_indices().collect();
+    let n = chars.len();
+    // Byte offset where the character *after* index `i` starts.
+    let end_of = |i: usize| chars.get(i).map_or(src.len(), |&(off, _)| off);
+    let char_at = |i: usize| chars.get(i).map(|&(_, c)| c);
     let mut out = Vec::new();
     let mut i = 0;
-    while i < bytes.len() {
-        let c = bytes[i] as char;
-        if c.is_ascii_whitespace() {
+    while i < n {
+        let (at, c) = chars[i];
+        if c.is_whitespace() {
             i += 1;
             continue;
         }
-        let at = i;
         let tok = match c {
             ',' => {
                 i += 1;
@@ -131,12 +153,12 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Lexed>, ParseError> {
             }
             '<' => {
                 i += 1;
-                match bytes.get(i).copied() {
-                    Some(b'=') => {
+                match char_at(i) {
+                    Some('=') => {
                         i += 1;
                         Tok::Le
                     }
-                    Some(b'>') => {
+                    Some('>') => {
                         i += 1;
                         Tok::Ne
                     }
@@ -145,7 +167,7 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Lexed>, ParseError> {
             }
             '>' => {
                 i += 1;
-                if bytes.get(i) == Some(&b'=') {
+                if char_at(i) == Some('=') {
                     i += 1;
                     Tok::Ge
                 } else {
@@ -154,7 +176,7 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Lexed>, ParseError> {
             }
             '!' => {
                 i += 1;
-                if bytes.get(i) == Some(&b'=') {
+                if char_at(i) == Some('=') {
                     i += 1;
                     Tok::Ne
                 } else {
@@ -162,12 +184,11 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Lexed>, ParseError> {
                 }
             }
             '-' | '0'..='9' => {
-                let start = i;
                 i += 1;
-                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                while char_at(i).is_some_and(|c| c.is_ascii_digit()) {
                     i += 1;
                 }
-                let text = &src[start..i];
+                let text = &src[at..end_of(i)];
                 if text == "-" {
                     return Err(ParseError::at(src, at, "expected digits after '-'"));
                 }
@@ -177,12 +198,11 @@ pub(crate) fn lex(src: &str) -> Result<Vec<Lexed>, ParseError> {
                 Tok::Int(v)
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
-                let start = i;
                 i += 1;
-                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                while char_at(i).is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
                     i += 1;
                 }
-                let word = &src[start..i];
+                let word = &src[at..end_of(i)];
                 keyword(word).unwrap_or_else(|| Tok::Ident(word.to_string()))
             }
             other => {
@@ -225,6 +245,21 @@ mod tests {
     }
 
     #[test]
+    fn write_keywords_lex() {
+        assert_eq!(
+            toks("insert INTO t values delete"),
+            vec![
+                Tok::Insert,
+                Tok::Into,
+                Tok::Ident("t".into()),
+                Tok::Values,
+                Tok::Delete,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
     fn operators_and_negative_ints() {
         assert_eq!(
             toks("a <= -42 <> != >="),
@@ -249,5 +284,19 @@ mod tests {
         assert!(lex("a - b").unwrap_err().message().contains("digits"));
         let huge = "99999999999999999999";
         assert!(lex(huge).unwrap_err().message().contains("out of range"));
+    }
+
+    #[test]
+    fn multi_byte_characters_are_reported_whole_at_the_right_column() {
+        // 'π' is two bytes; a byte-oriented lexer would report its first
+        // byte as 'Ï' and desynchronize every later offset.
+        let e = lex("a π b").unwrap_err();
+        assert_eq!(e.col(), 3);
+        assert!(e.message().contains("unexpected character 'π'"), "{e}");
+        // Multi-byte garbage *after* other tokens still points at its
+        // own (character) column.
+        let e = lex("aa ≤ 3").unwrap_err();
+        assert_eq!(e.col(), 4);
+        assert!(e.message().contains("unexpected character '≤'"), "{e}");
     }
 }

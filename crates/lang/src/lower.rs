@@ -1,10 +1,10 @@
 //! Lowering: parsed AST + catalog → engine specs.
 
-use matstrat_common::{CompareOp, Predicate};
+use matstrat_common::{CompareOp, Predicate, TableId, Value};
 use matstrat_core::{JoinSpec, JoinTreeSpec, QuerySpec, Request};
 use matstrat_storage::{ProjectionInfo, Store};
 
-use crate::ast::{ColRef, PredClause, SelectAst, SelectItem};
+use crate::ast::{ColRef, DeleteAst, InsertAst, PredClause, SelectAst, SelectItem, StatementAst};
 use crate::error::ParseError;
 use crate::parse::parse;
 
@@ -16,6 +16,16 @@ pub enum Statement {
     Select(QuerySpec),
     /// A left-deep tree of equi-joins.
     JoinTree(JoinTreeSpec),
+    /// Rows appended to a table's delta store (and WAL).
+    Insert {
+        table: TableId,
+        rows: Vec<Vec<Value>>,
+    },
+    /// Predicate-qualified row deletion.
+    Delete {
+        table: TableId,
+        filters: Vec<(usize, Predicate)>,
+    },
 }
 
 impl Statement {
@@ -24,17 +34,21 @@ impl Statement {
         match self {
             Statement::Select(q) => Request::Scan(q),
             Statement::JoinTree(t) => Request::JoinTree(t),
+            Statement::Insert { table, rows } => Request::Insert { table, rows },
+            Statement::Delete { table, filters } => Request::Delete { table, filters },
         }
     }
 }
 
 /// Compile query text against `store`'s catalog.
 pub fn compile(store: &Store, text: &str) -> Result<Statement, ParseError> {
-    let ast = parse(text)?;
-    if ast.joins.is_empty() {
-        lower_scan(store, text, &ast).map(Statement::Select)
-    } else {
-        lower_join_tree(store, text, &ast).map(Statement::JoinTree)
+    match parse(text)? {
+        StatementAst::Select(ast) if ast.joins.is_empty() => {
+            lower_scan(store, text, &ast).map(Statement::Select)
+        }
+        StatementAst::Select(ast) => lower_join_tree(store, text, &ast).map(Statement::JoinTree),
+        StatementAst::Insert(ast) => lower_insert(store, text, &ast),
+        StatementAst::Delete(ast) => lower_delete(store, text, &ast),
     }
 }
 
@@ -157,6 +171,43 @@ impl SelectItem {
             SelectItem::Agg { at, .. } => *at,
         }
     }
+}
+
+fn lower_insert(store: &Store, src: &str, ast: &InsertAst) -> Result<Statement, ParseError> {
+    let proj = lookup_projection(store, src, &ast.table, ast.table_at)?;
+    let width = proj.columns.len();
+    let mut rows = Vec::with_capacity(ast.rows.len());
+    for (row, at) in &ast.rows {
+        if row.len() != width {
+            return Err(ParseError::at(
+                src,
+                *at,
+                format!(
+                    "projection '{}' has {width} column{}, this tuple has {}",
+                    proj.name,
+                    if width == 1 { "" } else { "s" },
+                    row.len()
+                ),
+            ));
+        }
+        rows.push(row.clone());
+    }
+    Ok(Statement::Insert {
+        table: proj.id,
+        rows,
+    })
+}
+
+fn lower_delete(store: &Store, src: &str, ast: &DeleteAst) -> Result<Statement, ParseError> {
+    let proj = lookup_projection(store, src, &ast.table, ast.table_at)?;
+    let mut filters = Vec::with_capacity(ast.preds.len());
+    for p in &ast.preds {
+        filters.push((resolve_in(src, &proj, &p.col)?, predicate(p)));
+    }
+    Ok(Statement::Delete {
+        table: proj.id,
+        filters,
+    })
 }
 
 fn lower_join_tree(store: &Store, src: &str, ast: &SelectAst) -> Result<JoinTreeSpec, ParseError> {

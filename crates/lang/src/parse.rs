@@ -1,10 +1,14 @@
 //! The recursive-descent parser.
 //!
 //! ```text
-//! statement := SELECT item (',' item)* FROM ident
+//! statement := select | insert | delete
+//! select    := SELECT item (',' item)* FROM ident
 //!              (JOIN ident ON colref '=' colref)*
 //!              [WHERE pred (AND pred)*]
 //!              [GROUP BY colref]
+//! insert    := INSERT INTO ident VALUES row (',' row)*
+//! row       := '(' int (',' int)* ')'
+//! delete    := DELETE FROM ident [WHERE pred (AND pred)*]
 //! item      := (SUM|COUNT|MIN|MAX) '(' colref ')' | colref
 //! colref    := ident ['.' ident]
 //! pred      := colref ('<'|'<='|'>'|'>='|'='|'!='|'<>') int
@@ -17,14 +21,20 @@
 use matstrat_common::{CompareOp, Value};
 use matstrat_core::AggFunc;
 
-use crate::ast::{ColRef, JoinClause, PredClause, SelectAst, SelectItem};
+use crate::ast::{
+    ColRef, DeleteAst, InsertAst, JoinClause, PredClause, SelectAst, SelectItem, StatementAst,
+};
 use crate::error::ParseError;
 use crate::lex::{lex, Lexed, Tok};
 
-pub(crate) fn parse(src: &str) -> Result<SelectAst, ParseError> {
+pub(crate) fn parse(src: &str) -> Result<StatementAst, ParseError> {
     let toks = lex(src)?;
     let mut p = Parser { src, toks, pos: 0 };
-    let ast = p.statement()?;
+    let ast = match p.peek() {
+        Tok::Insert => StatementAst::Insert(p.insert_statement()?),
+        Tok::Delete => StatementAst::Delete(p.delete_statement()?),
+        _ => StatementAst::Select(p.statement()?),
+    };
     p.expect_eof()?;
     Ok(ast)
 }
@@ -227,15 +237,71 @@ impl Parser<'_> {
             group_at,
         })
     }
+
+    fn insert_statement(&mut self) -> Result<InsertAst, ParseError> {
+        self.expect(Tok::Insert)?;
+        self.expect(Tok::Into)?;
+        let (table, table_at) = self.ident("a projection name after INTO")?;
+        self.expect(Tok::Values)?;
+        let mut rows = vec![self.values_row()?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            rows.push(self.values_row()?);
+        }
+        Ok(InsertAst {
+            table,
+            table_at,
+            rows,
+        })
+    }
+
+    fn values_row(&mut self) -> Result<(Vec<Value>, usize), ParseError> {
+        let at = self.at();
+        self.expect(Tok::LParen)?;
+        let mut row = vec![self.int("an integer value")?];
+        while *self.peek() == Tok::Comma {
+            self.bump();
+            row.push(self.int("an integer value")?);
+        }
+        self.expect(Tok::RParen)?;
+        Ok((row, at))
+    }
+
+    fn delete_statement(&mut self) -> Result<DeleteAst, ParseError> {
+        self.expect(Tok::Delete)?;
+        self.expect(Tok::From)?;
+        let (table, table_at) = self.ident("a projection name after FROM")?;
+        let mut preds = Vec::new();
+        if *self.peek() == Tok::Where {
+            self.bump();
+            preds.push(self.pred()?);
+            while *self.peek() == Tok::And {
+                self.bump();
+                preds.push(self.pred()?);
+            }
+        }
+        Ok(DeleteAst {
+            table,
+            table_at,
+            preds,
+        })
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn parse_select(src: &str) -> Result<SelectAst, ParseError> {
+        match parse(src)? {
+            StatementAst::Select(s) => Ok(s),
+            other => panic!("expected a SELECT, parsed {other:?}"),
+        }
+    }
+
     #[test]
     fn parses_the_full_shape() {
-        let ast = parse(
+        let ast = parse_select(
             "SELECT l.a, SUM(l.b) FROM l JOIN o ON l.k = o.k \
              WHERE l.a BETWEEN 1 AND 5 AND l.b != -2 GROUP BY l.a",
         )
@@ -261,5 +327,34 @@ mod tests {
         let e = parse("SELECT a WHERE a < 3").unwrap_err();
         assert_eq!(e.col(), 10);
         assert!(e.message().contains("expected FROM"));
+    }
+
+    #[test]
+    fn parses_multi_row_insert() {
+        let StatementAst::Insert(ast) = parse("INSERT INTO t VALUES (1, 2), (-3, 4)").unwrap()
+        else {
+            panic!("expected INSERT")
+        };
+        assert_eq!(ast.table, "t");
+        assert_eq!(ast.rows.len(), 2);
+        assert_eq!(ast.rows[0].0, vec![1, 2]);
+        assert_eq!(ast.rows[1].0, vec![-3, 4]);
+        // Empty tuples are a parse error, not an arity error.
+        let e = parse("INSERT INTO t VALUES ()").unwrap_err();
+        assert!(e.message().contains("expected an integer value"), "{e}");
+    }
+
+    #[test]
+    fn parses_delete_with_and_without_where() {
+        let StatementAst::Delete(ast) = parse("DELETE FROM t WHERE a < 3 AND b = 4").unwrap()
+        else {
+            panic!("expected DELETE")
+        };
+        assert_eq!(ast.table, "t");
+        assert_eq!(ast.preds.len(), 2);
+        let StatementAst::Delete(all) = parse("DELETE FROM t").unwrap() else {
+            panic!("expected DELETE")
+        };
+        assert!(all.preds.is_empty());
     }
 }

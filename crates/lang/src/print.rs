@@ -14,11 +14,41 @@ use matstrat_storage::{ProjectionInfo, Store};
 
 use crate::lower::Statement;
 
-/// Render either statement shape.
+/// Render any statement shape.
 pub fn print_statement(store: &Store, stmt: &Statement) -> Result<String> {
     match stmt {
         Statement::Select(q) => print_query(store, q),
         Statement::JoinTree(t) => print_join_tree(store, t),
+        Statement::Insert { table, rows } => {
+            let proj = store.projection(*table)?;
+            if rows.is_empty() {
+                return Err(Error::invalid("cannot print an INSERT with no rows"));
+            }
+            let tuples: Vec<String> = rows
+                .iter()
+                .map(|r| {
+                    let vals: Vec<String> = r.iter().map(|v| v.to_string()).collect();
+                    format!("({})", vals.join(", "))
+                })
+                .collect();
+            Ok(format!(
+                "INSERT INTO {} VALUES {}",
+                proj.name,
+                tuples.join(", ")
+            ))
+        }
+        Statement::Delete { table, filters } => {
+            let proj = store.projection(*table)?;
+            let mut text = format!("DELETE FROM {}", proj.name);
+            for (i, (col, pred)) in filters.iter().enumerate() {
+                let kw = if i == 0 { "WHERE" } else { "AND" };
+                text.push_str(&format!(
+                    " {kw} {}",
+                    pred_text(col_name(&proj, *col)?, pred)?
+                ));
+            }
+            Ok(text)
+        }
     }
 }
 

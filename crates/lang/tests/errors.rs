@@ -176,6 +176,48 @@ fn join_dialect_limits_each_carry_their_own_message() {
 }
 
 #[test]
+fn multi_byte_input_keeps_caret_columns_in_characters() {
+    // 'Σ' and 'π' are two bytes each; columns must count characters,
+    // not bytes, or every caret after the first multi-byte character
+    // drifts right. The offending character itself must print whole —
+    // a byte-oriented lexer reports its mangled first byte instead.
+    snapshot(
+        "SELECT a FROM fact WHERE a ≤ 3",
+        "line 1, column 28: unexpected character '≤'\n\
+         \x20 | SELECT a FROM fact WHERE a ≤ 3\n\
+         \x20 |                            ^",
+    );
+    snapshot(
+        "SELECT Σum FROM fact WHERE a < 3",
+        "line 1, column 8: unexpected character 'Σ'\n\
+         \x20 | SELECT Σum FROM fact WHERE a < 3\n\
+         \x20 |        ^",
+    );
+}
+
+#[test]
+fn write_statement_errors_point_at_the_culprit() {
+    snapshot(
+        "INSERT INTO nope VALUES (1)",
+        "line 1, column 13: unknown projection 'nope'\n\
+         \x20 | INSERT INTO nope VALUES (1)\n\
+         \x20 |             ^",
+    );
+    snapshot(
+        "INSERT INTO fact VALUES (1, 2, 3, 4, 5), (6, 7)",
+        "line 1, column 42: projection 'fact' has 5 columns, this tuple has 2\n\
+         \x20 | INSERT INTO fact VALUES (1, 2, 3, 4, 5), (6, 7)\n\
+         \x20 |                                          ^",
+    );
+    snapshot(
+        "DELETE FROM fact WHERE zz < 3",
+        "line 1, column 24: no column 'zz' in projection 'fact'\n\
+         \x20 | DELETE FROM fact WHERE zz < 3\n\
+         \x20 |                        ^",
+    );
+}
+
+#[test]
 fn multi_line_queries_report_the_right_line() {
     let store = fixture();
     let err = compile(&store, "SELECT a\nFROM fact\nWHERE zz < 3").unwrap_err();

@@ -152,6 +152,10 @@ pub struct ProjectionInfo {
     pub num_rows: u64,
     /// Columns in schema order.
     pub columns: Vec<ColumnInfo>,
+    /// Compaction epoch: bumped each time the projection's immutable
+    /// blocks are rewritten. WAL records stamped with an older epoch
+    /// are already folded into the blocks and ignored on replay.
+    pub wal_epoch: u32,
 }
 
 impl ProjectionInfo {
@@ -205,9 +209,42 @@ impl Catalog {
             name: name.to_string(),
             num_rows,
             columns,
+            wal_epoch: 0,
         });
         self.by_name.insert(name.to_string(), id);
         Ok(id)
+    }
+
+    /// Swap a projection's immutable layout in place (compaction): new
+    /// row count and column entries under the same id and name, fresh
+    /// column ids, and a bumped WAL epoch. The old entry's files are
+    /// left on disk for in-flight readers; the caller invalidates pool
+    /// and reader caches.
+    pub fn replace_projection(
+        &mut self,
+        id: TableId,
+        num_rows: u64,
+        mut columns: Vec<ColumnInfo>,
+    ) -> Result<()> {
+        let slot = self
+            .projections
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| Error::not_found(format!("{id}")))?;
+        if columns.len() != slot.columns.len() {
+            return Err(Error::invalid(format!(
+                "replace_projection: {} columns for a {}-column projection",
+                columns.len(),
+                slot.columns.len()
+            )));
+        }
+        for c in &mut columns {
+            c.id = ColumnId(self.next_column_id);
+            self.next_column_id += 1;
+        }
+        slot.num_rows = num_rows;
+        slot.columns = columns;
+        slot.wal_epoch += 1;
+        Ok(())
     }
 
     /// Look up by id.
@@ -235,12 +272,13 @@ impl Catalog {
     pub fn serialize(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         buf.extend_from_slice(b"MSCT");
-        put_u32(&mut buf, 1); // version
+        put_u32(&mut buf, 2); // version (2 adds per-projection wal_epoch)
         put_u32(&mut buf, self.projections.len() as u32);
         put_u32(&mut buf, self.next_column_id);
         for p in &self.projections {
             put_str(&mut buf, &p.name);
             put_u64(&mut buf, p.num_rows);
+            put_u32(&mut buf, p.wal_epoch);
             put_u32(&mut buf, p.columns.len() as u32);
             for c in &p.columns {
                 put_str(&mut buf, &c.name);
@@ -267,7 +305,7 @@ impl Catalog {
             return Err(Error::corrupt("catalog: bad magic"));
         }
         let version = r.u32()?;
-        if version != 1 {
+        if version != 1 && version != 2 {
             return Err(Error::corrupt(format!(
                 "catalog: unknown version {version}"
             )));
@@ -281,6 +319,8 @@ impl Catalog {
         for pi in 0..nproj {
             let name = get_str(&mut r)?;
             let num_rows = r.u64()?;
+            // Version 1 predates the write path: no epoch, nothing in a WAL.
+            let wal_epoch = if version >= 2 { r.u32()? } else { 0 };
             let ncols = r.u32()?;
             let mut columns = Vec::with_capacity(ncols as usize);
             for _ in 0..ncols {
@@ -319,6 +359,7 @@ impl Catalog {
                 name: name.clone(),
                 num_rows,
                 columns,
+                wal_epoch,
             });
             cat.by_name.insert(name, TableId(pi));
         }
@@ -452,6 +493,43 @@ mod tests {
         assert_eq!(p.columns[1].name, "shipdate");
         assert_eq!(p.columns[1].sort, SortOrder::Secondary);
         assert_eq!(p.columns[0].stats, stats());
+    }
+
+    #[test]
+    fn replace_projection_bumps_epoch_and_keeps_identity() {
+        let mut cat = Catalog::new();
+        let id = cat
+            .add_projection("t", 10, vec![col("a", SortOrder::Primary)])
+            .unwrap();
+        assert_eq!(cat.projection(id).unwrap().wal_epoch, 0);
+        cat.replace_projection(id, 13, vec![col("a", SortOrder::None)])
+            .unwrap();
+        let p = cat.projection(id).unwrap();
+        assert_eq!((p.id, p.name.as_str()), (id, "t"));
+        assert_eq!(p.num_rows, 13);
+        assert_eq!(p.wal_epoch, 1);
+        // Fresh column ids, so stale reader caches can never alias.
+        assert_eq!(p.columns[0].id, ColumnId(1));
+        // Epoch survives a persistence roundtrip.
+        let back = Catalog::parse(&cat.serialize()).unwrap();
+        assert_eq!(back.projection(id).unwrap().wal_epoch, 1);
+        // Wrong arity is rejected.
+        assert!(cat.replace_projection(id, 1, vec![]).is_err());
+    }
+
+    #[test]
+    fn parse_accepts_version_1_with_epoch_zero() {
+        let mut cat = Catalog::new();
+        cat.add_projection("t", 10, vec![col("a", SortOrder::Primary)])
+            .unwrap();
+        let mut bytes = cat.serialize();
+        // Rewrite the header version to 1 and splice out the 4-byte
+        // epoch field that v1 lacks (it sits right after name + rows).
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let epoch_at = 4 + 4 + 4 + 4 + (4 + 1) + 8;
+        bytes.drain(epoch_at..epoch_at + 4);
+        let back = Catalog::parse(&bytes).unwrap();
+        assert_eq!(back.projection_by_name("t").unwrap().wal_epoch, 0);
     }
 
     #[test]

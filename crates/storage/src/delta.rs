@@ -1,0 +1,252 @@
+//! The mutable half of every table: a row-oriented, position-stamped
+//! delta that scans merge with the immutable column blocks.
+//!
+//! A projection's immutable blocks cover positions `[0, base_rows)`.
+//! Inserted rows are **position-stamped** past that: the i-th delta row
+//! is the logical row at position `base_rows + i`, so the table's
+//! logical row order is always *immutable rows in position order, then
+//! delta rows in insertion order* — a total order that does not depend
+//! on who scans it or with how many threads. Deletes are a sorted
+//! position set over the combined space; a deleted row stays physically
+//! present (in blocks or in the delta) and is filtered at merge time.
+//! Compaction folds the whole delta back into fresh immutable blocks in
+//! exactly this logical order, which is why a query is byte-identical
+//! before, during, and after a compaction.
+//!
+//! Snapshots are copy-on-write: a scan grabs an `Arc<TableDelta>` in
+//! O(1) and is immune to later writes; a writer mutates through
+//! [`Arc::make_mut`], which only pays for a clone while some scan still
+//! holds the previous snapshot.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use matstrat_common::{Error, Result, TableId, Value};
+use parking_lot::RwLock;
+
+/// The in-memory delta of one table: inserted rows (row-major) and
+/// deleted positions, both against a fixed immutable base.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TableDelta {
+    /// Immutable row count the stamps are relative to — always equal to
+    /// the catalog's `num_rows` for the same table (both change only
+    /// together, under the store's write lock).
+    pub base_rows: u64,
+    /// Inserted rows, row-major; row `i` is logical position
+    /// `base_rows + i`.
+    pub inserts: Vec<Vec<Value>>,
+    /// Deleted positions over `[0, base_rows + inserts.len())`, sorted
+    /// and deduplicated.
+    pub deletes: Vec<u64>,
+}
+
+impl TableDelta {
+    /// An empty delta over `base_rows` immutable rows.
+    pub fn new(base_rows: u64) -> TableDelta {
+        TableDelta {
+            base_rows,
+            ..TableDelta::default()
+        }
+    }
+
+    /// Total logical positions (immutable + inserted, deleted included).
+    pub fn total_rows(&self) -> u64 {
+        self.base_rows + self.inserts.len() as u64
+    }
+
+    /// Rows a merge-time scan yields: total minus deleted.
+    pub fn live_rows(&self) -> u64 {
+        self.total_rows() - self.deletes.len() as u64
+    }
+
+    /// `true` when there is nothing to merge or compact.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Whether position `pos` is deleted.
+    pub fn is_deleted(&self, pos: u64) -> bool {
+        self.deletes.binary_search(&pos).is_ok()
+    }
+
+    /// Deleted positions below `base_rows` (the immutable side), as a
+    /// sorted slice.
+    pub fn base_deletes(&self) -> &[u64] {
+        let split = self.deletes.partition_point(|&p| p < self.base_rows);
+        &self.deletes[..split]
+    }
+
+    /// Mark `pos` deleted. Returns `false` (and changes nothing) when
+    /// the position was already deleted; errors when it is out of range.
+    fn delete(&mut self, pos: u64) -> Result<bool> {
+        if pos >= self.total_rows() {
+            return Err(Error::invalid(format!(
+                "delete position {pos} out of range (table has {} rows)",
+                self.total_rows()
+            )));
+        }
+        match self.deletes.binary_search(&pos) {
+            Ok(_) => Ok(false),
+            Err(at) => {
+                self.deletes.insert(at, pos);
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// All tables' deltas, keyed by projection. Writers and the compactor
+/// synchronize through the store's write lock; this lock only protects
+/// the map itself and the copy-on-write snapshot swap.
+#[derive(Debug, Default)]
+pub struct DeltaStore {
+    tables: RwLock<HashMap<TableId, Arc<TableDelta>>>,
+}
+
+impl DeltaStore {
+    /// An empty delta store.
+    pub fn new() -> DeltaStore {
+        DeltaStore::default()
+    }
+
+    /// O(1) snapshot of one table's delta. `None` when the table has no
+    /// pending writes (the common read-only case pays one map lookup).
+    pub fn snapshot(&self, table: TableId) -> Option<Arc<TableDelta>> {
+        self.tables.read().get(&table).cloned()
+    }
+
+    /// Tables that currently have a non-empty delta.
+    pub fn dirty_tables(&self) -> Vec<TableId> {
+        let tables = self.tables.read();
+        let mut v: Vec<TableId> = tables
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(&t, _)| t)
+            .collect();
+        v.sort_unstable_by_key(|t| t.0);
+        v
+    }
+
+    /// Append `rows` to `table`'s delta (base `base_rows` when the delta
+    /// does not exist yet), returning the position stamp of the first
+    /// appended row. Caller must hold the store's write lock.
+    pub fn append_rows(&self, table: TableId, base_rows: u64, rows: &[Vec<Value>]) -> u64 {
+        let mut tables = self.tables.write();
+        let delta = tables
+            .entry(table)
+            .or_insert_with(|| Arc::new(TableDelta::new(base_rows)));
+        let delta = Arc::make_mut(delta);
+        debug_assert_eq!(delta.base_rows, base_rows, "stale base for delta append");
+        let first = delta.total_rows();
+        delta.inserts.extend(rows.iter().cloned());
+        first
+    }
+
+    /// Mark `positions` of `table` deleted, returning how many were
+    /// newly deleted (already-deleted positions are skipped). Caller
+    /// must hold the store's write lock.
+    pub fn delete_positions(
+        &self,
+        table: TableId,
+        base_rows: u64,
+        positions: &[u64],
+    ) -> Result<u64> {
+        let mut tables = self.tables.write();
+        let delta = tables
+            .entry(table)
+            .or_insert_with(|| Arc::new(TableDelta::new(base_rows)));
+        let delta = Arc::make_mut(delta);
+        let mut fresh = 0;
+        for &p in positions {
+            if delta.delete(p)? {
+                fresh += 1;
+            }
+        }
+        Ok(fresh)
+    }
+
+    /// Replace `table`'s delta wholesale (compaction swap / recovery).
+    /// An empty `delta` removes the entry.
+    pub fn replace(&self, table: TableId, delta: TableDelta) {
+        let mut tables = self.tables.write();
+        if delta.is_empty() {
+            tables.remove(&table);
+        } else {
+            tables.insert(table, Arc::new(delta));
+        }
+    }
+}
+
+/// Filter `positions` (ascending) down to those not present in the
+/// sorted `deletes` set, walking both lists once.
+pub fn retain_live(positions: &mut Vec<u64>, deletes: &[u64]) {
+    if deletes.is_empty() {
+        return;
+    }
+    let mut di = 0usize;
+    positions.retain(|&p| {
+        while di < deletes.len() && deletes[di] < p {
+            di += 1;
+        }
+        !(di < deletes.len() && deletes[di] == p)
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamps_ascend_and_snapshots_are_immutable() {
+        let ds = DeltaStore::new();
+        let t = TableId(0);
+        assert!(ds.snapshot(t).is_none());
+        let first = ds.append_rows(t, 100, &[vec![1, 2], vec![3, 4]]);
+        assert_eq!(first, 100);
+        let snap = ds.snapshot(t).unwrap();
+        assert_eq!(snap.total_rows(), 102);
+        // A later write does not disturb the held snapshot.
+        let next = ds.append_rows(t, 100, &[vec![5, 6]]);
+        assert_eq!(next, 102);
+        assert_eq!(snap.inserts.len(), 2, "snapshot is copy-on-write");
+        assert_eq!(ds.snapshot(t).unwrap().inserts.len(), 3);
+    }
+
+    #[test]
+    fn deletes_sort_dedup_and_split_by_base() {
+        let ds = DeltaStore::new();
+        let t = TableId(1);
+        ds.append_rows(t, 10, &[vec![7], vec![8]]);
+        assert_eq!(ds.delete_positions(t, 10, &[11, 3, 3, 0]).unwrap(), 3);
+        let snap = ds.snapshot(t).unwrap();
+        assert_eq!(snap.deletes, vec![0, 3, 11]);
+        assert_eq!(snap.base_deletes(), &[0, 3]);
+        assert!(snap.is_deleted(11));
+        assert!(!snap.is_deleted(10));
+        assert_eq!(snap.live_rows(), 9);
+        // Out-of-range delete errors without changing anything.
+        assert!(ds.delete_positions(t, 10, &[12]).is_err());
+        assert_eq!(ds.snapshot(t).unwrap().deletes.len(), 3);
+    }
+
+    #[test]
+    fn replace_with_empty_removes_the_entry() {
+        let ds = DeltaStore::new();
+        let t = TableId(2);
+        ds.append_rows(t, 0, &[vec![1]]);
+        assert_eq!(ds.dirty_tables(), vec![t]);
+        ds.replace(t, TableDelta::new(1));
+        assert!(ds.snapshot(t).is_none());
+        assert!(ds.dirty_tables().is_empty());
+    }
+
+    #[test]
+    fn retain_live_filters_sorted_deletes() {
+        let mut pos = vec![0, 1, 2, 5, 6, 9];
+        retain_live(&mut pos, &[1, 5, 7]);
+        assert_eq!(pos, vec![0, 2, 6, 9]);
+        let mut pos = vec![3, 4];
+        retain_live(&mut pos, &[]);
+        assert_eq!(pos, vec![3, 4]);
+    }
+}

@@ -34,6 +34,15 @@ pub trait Disk: Send + Sync {
 
     /// List all file names (unordered).
     fn list(&self) -> Vec<String>;
+
+    /// Durability barrier: flush `name` so everything written so far
+    /// survives a crash. The write-ahead log batches appends behind a
+    /// single `sync` per group commit. Default is a no-op — correct for
+    /// [`MemDisk`] (a crash loses the process and the "disk" with it);
+    /// [`FileDisk`] overrides with a real fsync.
+    fn sync(&self, _name: &str) -> Result<()> {
+        Ok(())
+    }
 }
 
 /// An in-memory disk image: `HashMap<name, Vec<u8>>` behind a mutex.
@@ -162,6 +171,11 @@ impl Disk for FileDisk {
                     .collect()
             })
             .unwrap_or_default()
+    }
+
+    fn sync(&self, name: &str) -> Result<()> {
+        File::open(self.path(name))?.sync_all()?;
+        Ok(())
     }
 }
 

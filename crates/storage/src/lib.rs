@@ -16,9 +16,16 @@
 //! All data sources support the two basic C-Store access patterns —
 //! reading positions and reading (position, value) pairs — with SARGable
 //! predicates pushed into the encoded data.
+//!
+//! On top of the immutable blocks sits the **write path**: a per-table
+//! write-ahead log (the `matstrat-wal` crate), a row-oriented, position-
+//! stamped [`delta`] store that scans merge with the blocks, and a
+//! compactor that folds deltas back into fresh blocks — see
+//! [`store`]'s module docs.
 
 pub mod block;
 pub mod catalog;
+pub mod delta;
 pub mod disk;
 pub mod encoding;
 pub mod file;
@@ -29,12 +36,15 @@ pub mod wire;
 
 pub use block::{BitVecBlock, DictBlock, EncodedBlock, PlainBlock, RleBlock, RleRun};
 pub use catalog::{Catalog, ColumnInfo, ColumnSpec, ProjectionInfo, ProjectionSpec, SortOrder};
+pub use delta::{retain_live, DeltaStore, TableDelta};
 pub use disk::{Disk, FileDisk, MemDisk};
 pub use encoding::EncodingKind;
 pub use file::{BlockIndexEntry, ColumnFileReader, ColumnFileWriter, ColumnStats};
-pub use meter::{IoMeter, IoSink, IoStats};
+pub use meter::{
+    current_query_token, next_query_token, set_thread_query_token, IoMeter, IoSink, IoStats,
+};
 pub use pool::{default_pool_shards, BufferPool, PoolStats};
-pub use store::{ColumnReader, Store};
+pub use store::{ColumnReader, CompactorHandle, RecoveryReport, Store};
 
 /// Size of an on-disk block: 64 KB, as in C-Store.
 pub const BLOCK_SIZE: usize = 64 * 1024;

@@ -4,26 +4,108 @@
 //! projection writes one file per column; reading goes through
 //! [`ColumnReader`], which pulls blocks through the buffer pool and
 //! charges the I/O meter on misses.
+//!
+//! # The write path
+//!
+//! Bulk loads aside, a table changes through [`Store::insert_rows`] and
+//! [`Store::delete_positions`]. Both log to the table's write-ahead log
+//! first (`wal_t{N}.log`, one group commit per call — see the
+//! `matstrat-wal` crate), then apply to the in-memory
+//! [`DeltaStore`](crate::delta::DeltaStore). Scans merge the delta with
+//! the immutable blocks through the `(ProjectionInfo, delta snapshot)`
+//! pair returned by [`Store::scan_snapshot`].
+//!
+//! [`Store::compact`] folds a table's delta back into fresh immutable
+//! column files, in logical row order (so results are byte-identical
+//! across a compaction), and swaps the catalog entry atomically with
+//! respect to `scan_snapshot`. Crash safety comes from ordering: new
+//! files are written first, then the catalog with a bumped
+//! `wal_epoch` is persisted, and only then is the WAL truncated — a
+//! crash anywhere in between replays old-epoch records as stale no-ops.
+//! Writers serialize with each other and with compaction on a single
+//! write mutex; readers never take it.
 
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
 use matstrat_common::{Error, Pos, Result, TableId, Value, Width};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
 use crate::block::EncodedBlock;
-use crate::catalog::{verify_sort_order, Catalog, ColumnInfo, ProjectionInfo, ProjectionSpec};
+use crate::catalog::{
+    verify_sort_order, Catalog, ColumnInfo, ProjectionInfo, ProjectionSpec, SortOrder,
+};
+use crate::delta::{DeltaStore, TableDelta};
 use crate::disk::{Disk, FileDisk, MemDisk};
 use crate::encoding::EncodingKind;
 use crate::file::{BlockIndexEntry, ColumnFileReader, ColumnFileWriter};
 use crate::meter::IoMeter;
 use crate::pool::BufferPool;
+use matstrat_wal::{Wal, WalRecord, WalStorage, MAX_VALUES};
 
 /// Default buffer pool capacity: 16 Ki blocks ≈ 1 GB.
 pub const DEFAULT_POOL_BLOCKS: usize = 16 * 1024;
 
 const CATALOG_FILE: &str = "catalog.msc";
+
+/// The WAL file of table `t` — one log per table, so compacting one
+/// table truncates only its own log.
+fn wal_file(t: TableId) -> String {
+    format!("wal_t{}.log", t.0)
+}
+
+/// Adapts the store's [`Disk`] to the wal crate's [`WalStorage`]: the
+/// log is just another named file, created on first append.
+struct DiskWal {
+    disk: Arc<dyn Disk>,
+    name: String,
+}
+
+impl WalStorage for DiskWal {
+    fn len(&self) -> Result<u64> {
+        if self.disk.exists(&self.name) {
+            self.disk.len(&self.name)
+        } else {
+            Ok(0)
+        }
+    }
+
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        if !self.disk.exists(&self.name) {
+            self.disk.create(&self.name)?;
+        }
+        let at = self.disk.len(&self.name)?;
+        self.disk.write_at(&self.name, at, bytes)
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let bytes = self.disk.read_at(&self.name, offset, buf.len())?;
+        buf.copy_from_slice(&bytes);
+        Ok(())
+    }
+
+    fn reset(&self) -> Result<()> {
+        self.disk.create(&self.name)
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.disk.sync(&self.name)
+    }
+}
+
+/// What WAL replay found for one table when the store opened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The table whose log was replayed.
+    pub table: TableId,
+    /// Live records applied to the rebuilt delta.
+    pub applied: u64,
+    /// Whole records that passed CRC + sequence checks (live + stale).
+    pub recovered: u64,
+    /// `true` when replay stopped at a torn or corrupt tail.
+    pub torn: bool,
+}
 
 struct StoreInner {
     disk: Arc<dyn Disk>,
@@ -32,6 +114,15 @@ struct StoreInner {
     catalog: RwLock<Catalog>,
     readers: RwLock<HashMap<String, Arc<ColumnFileReader>>>,
     persistent: bool,
+    /// Mutable side of every table; see [`crate::delta`].
+    delta: DeltaStore,
+    /// Open per-table logs, created lazily on first write.
+    wals: Mutex<HashMap<TableId, Wal>>,
+    /// Serializes writers and compaction. Readers never take it: they
+    /// get consistency from [`Store::scan_snapshot`]'s retry loop.
+    write_lock: Mutex<()>,
+    /// What replay found when this store opened (empty for fresh disks).
+    recovery: Mutex<Vec<RecoveryReport>>,
 }
 
 /// Cheap-to-clone handle to the storage engine.
@@ -53,11 +144,21 @@ impl Store {
     }
 
     /// A store backed by real files under `dir`; reloads the catalog if
-    /// one was persisted there.
+    /// one was persisted there and replays any write-ahead logs.
     pub fn open_dir(dir: impl AsRef<Path>) -> Result<Store> {
-        let disk = Arc::new(FileDisk::open(dir)?);
-        let store = Store::with_disk(disk, DEFAULT_POOL_BLOCKS, true);
+        let disk: Arc<dyn Disk> = Arc::new(FileDisk::open(dir)?);
+        Store::open_disk(disk, DEFAULT_POOL_BLOCKS)
+    }
+
+    /// Open (rather than create) a store over an existing [`Disk`]:
+    /// reload the persisted catalog, then replay every table's
+    /// write-ahead log into a rebuilt delta. This is `open_dir` without
+    /// the directory — crash-recovery tests hand the same `Arc<MemDisk>`
+    /// to a second store to simulate a restart.
+    pub fn open_disk(disk: Arc<dyn Disk>, pool_blocks: usize) -> Result<Store> {
+        let store = Store::with_disk(disk, pool_blocks, true);
         store.reload_catalog()?;
+        store.recover_wals()?;
         Ok(store)
     }
 
@@ -71,6 +172,10 @@ impl Store {
                 catalog: RwLock::new(Catalog::new()),
                 readers: RwLock::new(HashMap::new()),
                 persistent,
+                delta: DeltaStore::new(),
+                wals: Mutex::new(HashMap::new()),
+                write_lock: Mutex::new(()),
+                recovery: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -201,10 +306,19 @@ impl Store {
             let cat = self.inner.catalog.read();
             cat.projection(table)?.column(col_idx)?.clone()
         };
+        self.reader_for(&info)
+    }
+
+    /// Open a reader for a column whose [`ColumnInfo`] the caller already
+    /// holds — the executor pins every reader to the catalog entry from
+    /// one [`Self::scan_snapshot`], so a compaction that swaps the
+    /// projection mid-query cannot hand it a mix of generations (the old
+    /// files stay on disk for exactly this reason).
+    pub fn reader_for(&self, info: &ColumnInfo) -> Result<ColumnReader> {
         let file = self.open_file(&info.file)?;
         Ok(ColumnReader {
             store: self.inner.clone(),
-            info,
+            info: info.clone(),
             file,
         })
     }
@@ -235,6 +349,459 @@ impl Store {
     pub fn cold_reset(&self) {
         self.inner.pool.clear();
         self.inner.meter.reset();
+    }
+
+    /// The disk this store reads and writes (crash tests reopen a second
+    /// store over the same image and tamper with WAL bytes through it).
+    pub fn disk(&self) -> &Arc<dyn Disk> {
+        &self.inner.disk
+    }
+
+    /// What WAL replay found when this store opened, one entry per table
+    /// that had a log on disk. Empty for stores created fresh.
+    pub fn recovery_reports(&self) -> Vec<RecoveryReport> {
+        self.inner.recovery.lock().clone()
+    }
+
+    /// Replay every table's WAL (if present) into a rebuilt delta.
+    fn recover_wals(&self) -> Result<()> {
+        let projections: Vec<(TableId, u64, u32)> = {
+            let cat = self.inner.catalog.read();
+            cat.projections()
+                .iter()
+                .map(|p| (p.id, p.num_rows, p.wal_epoch))
+                .collect()
+        };
+        let mut reports = Vec::new();
+        for (table, base_rows, epoch) in projections {
+            let name = wal_file(table);
+            if !self.inner.disk.exists(&name) {
+                continue;
+            }
+            let storage = DiskWal {
+                disk: Arc::clone(&self.inner.disk),
+                name,
+            };
+            let (wal, recovery) = Wal::open(Box::new(storage), epoch)?;
+            self.apply_records(table, base_rows, &recovery.records)?;
+            reports.push(RecoveryReport {
+                table,
+                applied: recovery.records.len() as u64,
+                recovered: recovery.recovered,
+                torn: recovery.torn,
+            });
+            self.inner.wals.lock().insert(table, wal);
+        }
+        *self.inner.recovery.lock() = reports;
+        Ok(())
+    }
+
+    /// Rebuild delta state from replayed records, in log order.
+    fn apply_records(&self, table: TableId, base_rows: u64, records: &[WalRecord]) -> Result<()> {
+        for rec in records {
+            debug_assert_eq!(rec.table(), table.0, "record in the wrong table's log");
+            match rec {
+                WalRecord::Insert { pos, values, .. } => {
+                    let stamped = self.inner.delta.append_rows(
+                        table,
+                        base_rows,
+                        std::slice::from_ref(values),
+                    );
+                    if stamped != *pos {
+                        return Err(Error::corrupt(format!(
+                            "WAL replay: insert stamped {stamped}, log says {pos}"
+                        )));
+                    }
+                }
+                WalRecord::Delete { pos, .. } => {
+                    self.inner
+                        .delta
+                        .delete_positions(table, base_rows, &[*pos])?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Run `f` on `table`'s open WAL, opening it (empty or not) first if
+    /// needed. Callers hold the write lock.
+    fn with_wal<R>(
+        &self,
+        table: TableId,
+        epoch: u32,
+        f: impl FnOnce(&mut Wal) -> Result<R>,
+    ) -> Result<R> {
+        let mut wals = self.inner.wals.lock();
+        if let std::collections::hash_map::Entry::Vacant(slot) = wals.entry(table) {
+            let storage = DiskWal {
+                disk: Arc::clone(&self.inner.disk),
+                name: wal_file(table),
+            };
+            let (wal, _) = Wal::open(Box::new(storage), epoch)?;
+            slot.insert(wal);
+        }
+        f(wals.get_mut(&table).expect("just inserted"))
+    }
+
+    /// Insert `rows` into `table`: logged to the WAL (one group commit),
+    /// then applied to the delta. Returns the position stamp of the
+    /// first inserted row. Durable when this returns.
+    pub fn insert_rows(&self, table: TableId, rows: &[Vec<Value>]) -> Result<u64> {
+        let _w = self.inner.write_lock.lock();
+        let (ncols, base_rows, epoch) = {
+            let cat = self.inner.catalog.read();
+            let p = cat.projection(table)?;
+            (p.columns.len(), p.num_rows, p.wal_epoch)
+        };
+        if ncols > MAX_VALUES {
+            return Err(Error::unsupported(format!(
+                "insert into a {ncols}-column projection exceeds the \
+                 {MAX_VALUES}-value WAL record budget"
+            )));
+        }
+        for row in rows {
+            if row.len() != ncols {
+                return Err(Error::invalid(format!(
+                    "insert row has {} values, projection has {ncols} columns",
+                    row.len()
+                )));
+            }
+        }
+        let start = self
+            .inner
+            .delta
+            .snapshot(table)
+            .map_or(base_rows, |d| d.total_rows());
+        let records: Vec<WalRecord> = rows
+            .iter()
+            .enumerate()
+            .map(|(i, values)| WalRecord::Insert {
+                table: table.0,
+                pos: start + i as u64,
+                values: values.clone(),
+            })
+            .collect();
+        self.with_wal(table, epoch, |wal| wal.append_batch(&records))?;
+        let stamped = self.inner.delta.append_rows(table, base_rows, rows);
+        debug_assert_eq!(stamped, start);
+        Ok(start)
+    }
+
+    /// Delete the rows at `positions` of `table`: logged to the WAL,
+    /// then applied to the delta. Positions already deleted are skipped;
+    /// out-of-range positions are an error (nothing is logged or
+    /// applied). Returns how many rows were newly deleted. Durable when
+    /// this returns.
+    pub fn delete_positions(&self, table: TableId, positions: &[u64]) -> Result<u64> {
+        self.delete_positions_inner(table, None, positions)
+            .map(|n| n.expect("unconditional delete"))
+    }
+
+    /// [`delete_positions`], but only if the table's compaction epoch
+    /// still equals `epoch` — the find-then-delete idiom: a caller that
+    /// resolved positions against a [`scan_snapshot`] passes that
+    /// snapshot's `wal_epoch`, and gets `None` (nothing logged or
+    /// applied) when a compaction has since rewritten the position
+    /// space; rescan and retry.
+    ///
+    /// [`delete_positions`]: Self::delete_positions
+    /// [`scan_snapshot`]: Self::scan_snapshot
+    pub fn delete_positions_at_epoch(
+        &self,
+        table: TableId,
+        epoch: u32,
+        positions: &[u64],
+    ) -> Result<Option<u64>> {
+        self.delete_positions_inner(table, Some(epoch), positions)
+    }
+
+    fn delete_positions_inner(
+        &self,
+        table: TableId,
+        expect_epoch: Option<u32>,
+        positions: &[u64],
+    ) -> Result<Option<u64>> {
+        let _w = self.inner.write_lock.lock();
+        let (base_rows, epoch) = {
+            let cat = self.inner.catalog.read();
+            let p = cat.projection(table)?;
+            (p.num_rows, p.wal_epoch)
+        };
+        if expect_epoch.is_some_and(|e| e != epoch) {
+            return Ok(None);
+        }
+        let snap = self.inner.delta.snapshot(table);
+        let total = snap.as_ref().map_or(base_rows, |d| d.total_rows());
+        let mut fresh: Vec<u64> = positions.to_vec();
+        fresh.sort_unstable();
+        fresh.dedup();
+        if let Some(&worst) = fresh.last() {
+            if worst >= total {
+                return Err(Error::invalid(format!(
+                    "delete position {worst} out of range (table has {total} rows)"
+                )));
+            }
+        }
+        if let Some(d) = &snap {
+            fresh.retain(|&p| !d.is_deleted(p));
+        }
+        if fresh.is_empty() {
+            return Ok(Some(0));
+        }
+        let records: Vec<WalRecord> = fresh
+            .iter()
+            .map(|&pos| WalRecord::Delete {
+                table: table.0,
+                pos,
+            })
+            .collect();
+        self.with_wal(table, epoch, |wal| wal.append_batch(&records))?;
+        self.inner
+            .delta
+            .delete_positions(table, base_rows, &fresh)
+            .map(Some)
+    }
+
+    /// A consistent `(projection, delta)` pair for scanning `table`.
+    ///
+    /// The delta is `None` when the table has no pending writes — the
+    /// read-only fast path. Consistency against a racing [`compact`]
+    /// (which swaps both under the catalog write lock) comes from
+    /// optimistic retry: re-read until the pair demonstrably belongs to
+    /// one moment — delta base matches the catalog row count and the
+    /// catalog epoch did not move between the two reads.
+    ///
+    /// [`compact`]: Self::compact
+    pub fn scan_snapshot(
+        &self,
+        table: TableId,
+    ) -> Result<(ProjectionInfo, Option<Arc<TableDelta>>)> {
+        loop {
+            let info = self.inner.catalog.read().projection(table)?.clone();
+            let delta = self.inner.delta.snapshot(table);
+            if let Some(d) = &delta {
+                if d.base_rows != info.num_rows {
+                    continue; // caught mid-swap; go again
+                }
+            }
+            let epoch_now = self.inner.catalog.read().projection(table)?.wal_epoch;
+            if epoch_now == info.wal_epoch {
+                return Ok((info, delta));
+            }
+        }
+    }
+
+    /// Tables with a non-empty delta, in id order.
+    pub fn dirty_tables(&self) -> Vec<TableId> {
+        self.inner.delta.dirty_tables()
+    }
+
+    /// Fold `table`'s delta into fresh immutable column files and swap
+    /// them in. Returns `false` (and does nothing) when the delta is
+    /// empty. See the module docs for the crash-ordering argument.
+    ///
+    /// Holds the write lock for the duration: writers queue behind the
+    /// rewrite, readers race it freely and stay byte-identical — the
+    /// merge preserves logical row order (immutable positions, then
+    /// surviving inserts in stamp order), so the same scan sees the same
+    /// rows whether it resolves against old blocks + delta or the new
+    /// blocks. Columns whose declared sort order the merged data no
+    /// longer satisfies are demoted to [`SortOrder::None`] rather than
+    /// re-sorted — reordering rows would change query output.
+    pub fn compact(&self, table: TableId) -> Result<bool> {
+        let _w = self.inner.write_lock.lock();
+        let info = self.projection(table)?;
+        let delta = match self.inner.delta.snapshot(table) {
+            Some(d) if !d.is_empty() => d,
+            _ => return Ok(false),
+        };
+        debug_assert_eq!(delta.base_rows, info.num_rows, "write-lock invariant");
+
+        // Merge every column in logical row order. Maintenance I/O goes
+        // straight to the file reader: no pool churn, no meter charges —
+        // the cold-read ledger stays a pure account of query work.
+        let base_deletes = delta.base_deletes();
+        let live_insert_idx: Vec<usize> = (0..delta.inserts.len())
+            .filter(|&i| !delta.is_deleted(delta.base_rows + i as u64))
+            .collect();
+        let new_epoch = info.wal_epoch + 1;
+        let mut merged: Vec<Vec<Value>> = Vec::with_capacity(info.columns.len());
+        for (ci, col) in info.columns.iter().enumerate() {
+            let file = self.open_file(&col.file)?;
+            let mut vals: Vec<Value> = Vec::with_capacity(delta.live_rows() as usize);
+            let mut block_buf = Vec::new();
+            for b in 0..file.num_blocks() {
+                let block = file.fetch_block(self.inner.disk.as_ref(), b)?;
+                block_buf.clear();
+                block.decode_all(&mut block_buf);
+                vals.extend_from_slice(&block_buf);
+            }
+            if vals.len() as u64 != delta.base_rows {
+                return Err(Error::corrupt(format!(
+                    "column {} decoded {} rows, catalog says {}",
+                    col.name,
+                    vals.len(),
+                    delta.base_rows
+                )));
+            }
+            if !base_deletes.is_empty() {
+                let mut di = 0usize;
+                let mut keep = 0u64;
+                vals.retain(|_| {
+                    let pos = keep;
+                    keep += 1;
+                    while di < base_deletes.len() && base_deletes[di] < pos {
+                        di += 1;
+                    }
+                    !(di < base_deletes.len() && base_deletes[di] == pos)
+                });
+            }
+            vals.extend(live_insert_idx.iter().map(|&i| delta.inserts[i][ci]));
+            merged.push(vals);
+        }
+        let new_rows = merged.first().map_or(0, |c| c.len()) as u64;
+        debug_assert_eq!(new_rows, delta.live_rows());
+
+        // Does the merged data still satisfy the declared sort key?
+        let mut key: Vec<(u8, usize)> = info
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.sort != SortOrder::None)
+            .map(|(ci, c)| (c.sort.rank(), ci))
+            .collect();
+        key.sort_unstable();
+        let sort_cols: Vec<&[Value]> = key.iter().map(|&(_, ci)| merged[ci].as_slice()).collect();
+        let keep_sort = verify_sort_order(&sort_cols).is_ok();
+
+        // Write the new generation of column files (versioned names, so
+        // stale pool keys and reader handles can never alias them).
+        let mut new_infos = Vec::with_capacity(info.columns.len());
+        for (ci, col) in info.columns.iter().enumerate() {
+            let data = &merged[ci];
+            let (min, max) = data.iter().fold((Value::MAX, Value::MIN), |(lo, hi), &v| {
+                (lo.min(v), hi.max(v))
+            });
+            let width = if data.is_empty() {
+                Width::W8
+            } else {
+                Width::fitting(min, max)
+            };
+            let file = format!("t{}_c{ci}_{}_e{new_epoch}.col", table.0, col.name);
+            let mut w =
+                ColumnFileWriter::create(self.inner.disk.as_ref(), &file, col.encoding, width)?;
+            w.push_all(data)?;
+            let stats = w.finish()?;
+            new_infos.push(ColumnInfo {
+                id: matstrat_common::ColumnId(0), // assigned by the catalog
+                name: col.name.clone(),
+                encoding: col.encoding,
+                width,
+                sort: if keep_sort { col.sort } else { SortOrder::None },
+                stats,
+                file,
+            });
+        }
+
+        // Swap catalog + delta atomically with respect to scan_snapshot
+        // (readers block on the catalog lock or retry on the epoch).
+        let catalog_bytes = {
+            let mut cat = self.inner.catalog.write();
+            cat.replace_projection(table, new_rows, new_infos)?;
+            self.inner.delta.replace(table, TableDelta::new(new_rows));
+            self.inner.persistent.then(|| cat.serialize())
+        };
+        // Persist the new epoch BEFORE truncating the log: a crash in
+        // between replays the old records as stale-epoch no-ops.
+        if let Some(bytes) = catalog_bytes {
+            self.inner.disk.create(CATALOG_FILE)?;
+            self.inner.disk.write_at(CATALOG_FILE, 0, &bytes)?;
+            self.inner.disk.sync(CATALOG_FILE)?;
+        }
+        self.with_wal(table, new_epoch, |wal| wal.truncate_to_epoch(new_epoch))?;
+
+        // The old generation is unreachable from the catalog; release
+        // its cached blocks and file handles (files stay on disk for
+        // readers that started before the swap).
+        for col in &info.columns {
+            self.inner.pool.invalidate_file(&col.file);
+            self.inner.readers.write().remove(&col.file);
+        }
+        Ok(true)
+    }
+
+    /// Compact every table with a non-empty delta; returns how many
+    /// tables were compacted.
+    pub fn compact_all(&self) -> Result<usize> {
+        let mut n = 0;
+        for t in self.dirty_tables() {
+            if self.compact(t)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Start a background compactor: a thread that folds dirty tables
+    /// into fresh immutable blocks every `interval` until the returned
+    /// handle is stopped (or dropped). Queries race it freely — that is
+    /// the point of the atomic swap.
+    pub fn spawn_compactor(&self, interval: std::time::Duration) -> CompactorHandle {
+        let store = self.clone();
+        let signal = Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let thread_signal = Arc::clone(&signal);
+        let thread = std::thread::spawn(move || {
+            let (stop, cvar) = &*thread_signal;
+            let mut stopped = stop.lock().unwrap();
+            loop {
+                if *stopped {
+                    return;
+                }
+                let (guard, _) = cvar.wait_timeout(stopped, interval).unwrap();
+                stopped = guard;
+                if *stopped {
+                    return;
+                }
+                drop(stopped);
+                // Errors are swallowed by design: a failed maintenance
+                // pass leaves the (still consistent) delta for the next
+                // tick; queries and writes are unaffected.
+                let _ = store.compact_all();
+                stopped = stop.lock().unwrap();
+            }
+        });
+        CompactorHandle {
+            signal,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Handle to a running background compactor; stops it on drop.
+pub struct CompactorHandle {
+    signal: Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CompactorHandle {
+    /// Stop the compactor and wait for it to exit.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            let (stop, cvar) = &*self.signal;
+            *stop.lock().unwrap() = true;
+            cvar.notify_all();
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        self.shutdown();
     }
 }
 
@@ -284,18 +851,27 @@ impl ColumnReader {
     /// Fetch block `idx` through the buffer pool; a miss reads from disk
     /// and charges the I/O meter. Concurrent misses on one block are
     /// single-flighted by the pool, so parallel cold runs read and count
-    /// each block exactly once, like a serial run.
+    /// each block exactly once, like a serial run — within one query.
+    /// Across queries, a caller served by *another* query's in-flight
+    /// fill gets a credited `block_read` on its per-thread meter share
+    /// (the global physical count is untouched), so each concurrent
+    /// query's cold ledger matches what it does when run alone.
     pub fn block(&self, idx: usize) -> Result<Arc<EncodedBlock>> {
         let key = (self.info.file.clone(), idx as u32);
         let meta = self.block_meta(idx)?;
-        self.store.pool.get_or_insert_with(&key, || {
+        let token = crate::meter::current_query_token();
+        let (block, waited) = self.store.pool.get_or_insert_with_owner(&key, token, || {
             self.store
                 .meter
                 .record_read(&self.info.file, meta.offset, meta.len as u64);
-            Ok(Arc::new(
+            Ok::<_, Error>(Arc::new(
                 self.file.fetch_block(self.store.disk.as_ref(), idx)?,
             ))
-        })
+        })?;
+        if waited {
+            self.store.meter.credit_block_read(&self.info.file);
+        }
+        Ok(block)
     }
 
     /// Fraction of this column's blocks currently resident in the pool —
@@ -529,5 +1105,180 @@ mod tests {
         assert_eq!(store.projection_names(), vec!["demo".to_string()]);
         assert!(store.projection_by_name("demo").is_ok());
         assert!(store.projection_by_name("nope").is_err());
+    }
+
+    /// The logical row view of a (projection, delta) snapshot, column-
+    /// major — the oracle the compaction tests compare against.
+    fn logical_rows(store: &Store, table: TableId) -> Vec<Vec<Value>> {
+        let (info, delta) = store.scan_snapshot(table).unwrap();
+        let mut cols: Vec<Vec<Value>> = Vec::new();
+        for ci in 0..info.columns.len() {
+            let r = store.reader(table, ci).unwrap();
+            let mut vals = Vec::new();
+            let mut buf = Vec::new();
+            for b in 0..r.num_blocks() {
+                buf.clear();
+                r.block(b).unwrap().decode_all(&mut buf);
+                vals.extend_from_slice(&buf);
+            }
+            if let Some(d) = &delta {
+                let mut live: Vec<Value> = vals
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(i, _)| !d.is_deleted(*i as u64))
+                    .map(|(_, v)| v)
+                    .collect();
+                for (i, row) in d.inserts.iter().enumerate() {
+                    if !d.is_deleted(d.base_rows + i as u64) {
+                        live.push(row[ci]);
+                    }
+                }
+                cols.push(live);
+            } else {
+                cols.push(vals);
+            }
+        }
+        cols
+    }
+
+    #[test]
+    fn inserts_and_deletes_survive_a_reopen() {
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let (a, b) = demo_data();
+        let id = {
+            let store = Store::open_disk(Arc::clone(&disk), 64).unwrap();
+            let id = store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+            assert_eq!(
+                store.insert_rows(id, &[vec![9, 1], vec![9, 2]]).unwrap(),
+                1000
+            );
+            assert_eq!(store.delete_positions(id, &[3, 1000]).unwrap(), 2);
+            // Re-deleting is a no-op, out of range is an error.
+            assert_eq!(store.delete_positions(id, &[3]).unwrap(), 0);
+            assert!(store.delete_positions(id, &[5000]).is_err());
+            id
+        };
+        // "Crash" (drop) and reopen over the same disk image.
+        let store = Store::open_disk(disk, 64).unwrap();
+        let reports = store.recovery_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].applied, 4, "2 inserts + 2 deletes");
+        assert!(!reports[0].torn);
+        let (info, delta) = store.scan_snapshot(id).unwrap();
+        assert_eq!(info.num_rows, 1000);
+        let d = delta.expect("replay rebuilt the delta");
+        assert_eq!(d.inserts, vec![vec![9, 1], vec![9, 2]]);
+        assert_eq!(d.deletes, vec![3, 1000]);
+        assert_eq!(d.live_rows(), 1000);
+    }
+
+    #[test]
+    fn insert_arity_and_width_are_validated() {
+        let store = Store::in_memory();
+        let (a, b) = demo_data();
+        let id = store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        assert!(store.insert_rows(id, &[vec![1]]).is_err(), "arity");
+        let wide_spec = (0..13).fold(ProjectionSpec::new("wide"), |s, i| {
+            s.column(format!("c{i}"), EncodingKind::Plain, SortOrder::None)
+        });
+        let col: Vec<Value> = vec![0; 4];
+        let cols: Vec<&[Value]> = (0..13).map(|_| col.as_slice()).collect();
+        let wide = store.load_projection(&wide_spec, &cols).unwrap();
+        let err = store.insert_rows(wide, &[vec![0; 13]]).unwrap_err();
+        assert!(err.to_string().contains("record budget"), "{err}");
+    }
+
+    #[test]
+    fn compaction_preserves_logical_rows_and_bumps_epoch() {
+        let store = Store::in_memory();
+        let (a, b) = demo_data();
+        let id = store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        store
+            .insert_rows(id, &[vec![10, 100], vec![11, 101], vec![12, 102]])
+            .unwrap();
+        // Delete one base row, one inserted row.
+        store.delete_positions(id, &[17, 1001]).unwrap();
+        let before = logical_rows(&store, id);
+        assert_eq!(before[0].len(), 1001);
+        assert_eq!(store.dirty_tables(), vec![id]);
+
+        assert!(store.compact(id).unwrap());
+
+        let (info, delta) = store.scan_snapshot(id).unwrap();
+        assert!(delta.is_none(), "compaction empties the delta");
+        assert_eq!(info.num_rows, 1001);
+        assert_eq!(info.wal_epoch, 1);
+        assert_eq!(logical_rows(&store, id), before, "byte-identical view");
+        assert!(!store.compact(id).unwrap(), "nothing left to fold");
+        // Appending past a compaction stamps from the new base.
+        assert_eq!(store.insert_rows(id, &[vec![13, 103]]).unwrap(), 1001);
+    }
+
+    #[test]
+    fn compaction_demotes_broken_sort_order_but_keeps_valid_one() {
+        let store = Store::in_memory();
+        let (a, b) = demo_data();
+        let id = store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        // `a` is Primary-sorted and ends at 9; appending 10 keeps order.
+        store.insert_rows(id, &[vec![10, 0]]).unwrap();
+        store.compact(id).unwrap();
+        let p = store.projection(id).unwrap();
+        assert_eq!(p.columns[0].sort, SortOrder::Primary, "order still holds");
+        // Appending 0 breaks it; compaction must demote, not re-sort.
+        store.insert_rows(id, &[vec![0, 0]]).unwrap();
+        store.compact(id).unwrap();
+        let p = store.projection(id).unwrap();
+        assert_eq!(p.columns[0].sort, SortOrder::None, "demoted");
+        assert_eq!(p.num_rows, 1002);
+        let rows = logical_rows(&store, id);
+        assert_eq!(rows[0][1000..], [10, 0], "stamp order preserved");
+    }
+
+    #[test]
+    fn crash_between_catalog_swap_and_truncation_is_safe() {
+        // Simulate the narrowest crash window by hand: persist a catalog
+        // with the bumped epoch, keep the full WAL, reopen. The stale-
+        // epoch records must replay as no-ops.
+        let disk: Arc<dyn Disk> = Arc::new(MemDisk::new());
+        let (a, b) = demo_data();
+        let store = Store::open_disk(Arc::clone(&disk), 64).unwrap();
+        let id = store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        store.insert_rows(id, &[vec![10, 0]]).unwrap();
+        // Capture the epoch-0 log, compact (which truncates it), then
+        // put the old log back — as if the crash hit mid-window.
+        let wal_name = "wal_t0.log";
+        let wal_len = disk.len(wal_name).unwrap() as usize;
+        let old_log = disk.read_at(wal_name, 0, wal_len).unwrap();
+        store.compact(id).unwrap();
+        disk.create(wal_name).unwrap();
+        disk.write_at(wal_name, 0, &old_log).unwrap();
+        drop(store);
+
+        let store2 = Store::open_disk(Arc::clone(&disk), 64).unwrap();
+        let reports = store2.recovery_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].recovered, 1, "the record still parses");
+        assert_eq!(reports[0].applied, 0, "but its epoch is stale");
+        let (info, delta) = store2.scan_snapshot(id).unwrap();
+        assert_eq!(info.num_rows, 1001, "compacted state, applied once");
+        assert!(delta.is_none());
+    }
+
+    #[test]
+    fn background_compactor_folds_dirty_tables() {
+        let store = Store::in_memory();
+        let (a, b) = demo_data();
+        let id = store.load_projection(&demo_spec(), &[&a, &b]).unwrap();
+        let handle = store.spawn_compactor(std::time::Duration::from_millis(5));
+        store.insert_rows(id, &[vec![10, 7]]).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while !store.dirty_tables().is_empty() {
+            assert!(std::time::Instant::now() < deadline, "compactor never ran");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        handle.stop();
+        let (info, delta) = store.scan_snapshot(id).unwrap();
+        assert_eq!(info.num_rows, 1001);
+        assert!(delta.is_none());
     }
 }

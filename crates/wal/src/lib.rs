@@ -1,0 +1,485 @@
+//! The write-ahead log: the durability half of the write path.
+//!
+//! One log file per table, a sequence of **128-byte fixed records**.
+//! Every record carries a CRC-32 over its payload, a monotonically
+//! increasing sequence number, and the table's **compaction epoch**:
+//! replay applies a record only when its epoch matches the catalog's,
+//! so a crash *between* a compaction's catalog swap and its log
+//! truncation cannot re-apply records that the swap already folded into
+//! immutable blocks. A batch of records is appended with **one** write
+//! and **one** [`WalStorage::sync`] (group commit) — per-record fsyncs
+//! would make small inserts pay the whole durability tax each.
+//!
+//! Replay is torn-tail tolerant: it walks whole records from the front,
+//! stops cleanly at the first record whose CRC or sequence number does
+//! not check out (a crash mid-append tears at most the final batch),
+//! and reports how many records survived. The storage layer rebuilds
+//! the in-memory delta from those records; bytes after the corruption
+//! point are unreachable by construction, never reinterpreted.
+//!
+//! The crate deliberately depends only on `matstrat-common`: it defines
+//! its own minimal [`WalStorage`] trait and the storage crate adapts its
+//! `Disk` (whose `sync` extension exists for exactly this) to it —
+//! keeping `wal` reusable and the crate graph acyclic.
+
+use matstrat_common::{Error, Result, Value};
+
+/// Size of one log record on storage, CRC included.
+pub const RECORD_SIZE: usize = 128;
+
+/// Values one insert record can carry — the record's fixed payload
+/// budget. Projections wider than this cannot go through the WAL write
+/// path (the store rejects them with a clear error).
+pub const MAX_VALUES: usize = 12;
+
+/// What the log needs from its backing storage: append-only writes, a
+/// whole-file reset (truncation), reads for replay, and a durability
+/// barrier. Object-safe so the storage layer can adapt any `Disk`.
+pub trait WalStorage: Send + Sync {
+    /// Current length in bytes.
+    fn len(&self) -> Result<u64>;
+
+    /// `true` when the log holds no bytes.
+    fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Append `bytes` at the current end.
+    fn append(&self, bytes: &[u8]) -> Result<()>;
+
+    /// Read exactly `buf.len()` bytes at `offset`.
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()>;
+
+    /// Truncate to zero length.
+    fn reset(&self) -> Result<()>;
+
+    /// Durability barrier: everything appended so far survives a crash.
+    fn sync(&self) -> Result<()>;
+}
+
+/// One logical operation, as logged and as replayed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// A row inserted into `table` at (position-stamped) `pos`.
+    Insert {
+        table: u32,
+        pos: u64,
+        values: Vec<Value>,
+    },
+    /// The row at `pos` of `table` deleted.
+    Delete { table: u32, pos: u64 },
+}
+
+impl WalRecord {
+    /// The table the record belongs to.
+    pub fn table(&self) -> u32 {
+        match self {
+            WalRecord::Insert { table, .. } | WalRecord::Delete { table, .. } => *table,
+        }
+    }
+}
+
+const KIND_INSERT: u8 = 1;
+const KIND_DELETE: u8 = 2;
+
+/// CRC-32 (IEEE 802.3, reflected) over `bytes`. Table-free bitwise
+/// form: replay touches a few KB at startup, not a hot path.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc: u32 = !0;
+    for &b in bytes {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Record layout (all little-endian):
+///
+/// ```text
+/// [0..4)    crc32 of bytes [4..128)
+/// [4..12)   seqno   (u64, starts at 1, +1 per record)
+/// [12..16)  epoch   (u32, the table's compaction epoch)
+/// [16..20)  table   (u32)
+/// [20]      kind    (1 = insert, 2 = delete)
+/// [21]      nvals   (insert: number of values, ≤ MAX_VALUES)
+/// [22..24)  zero
+/// [24..32)  pos     (u64, position stamp / delete target)
+/// [32..128) values  (nvals × i64, zero-padded)
+/// ```
+fn encode(rec: &WalRecord, seqno: u64, epoch: u32, buf: &mut Vec<u8>) -> Result<()> {
+    let start = buf.len();
+    buf.resize(start + RECORD_SIZE, 0);
+    let b = &mut buf[start..start + RECORD_SIZE];
+    b[4..12].copy_from_slice(&seqno.to_le_bytes());
+    b[12..16].copy_from_slice(&epoch.to_le_bytes());
+    match rec {
+        WalRecord::Insert { table, pos, values } => {
+            if values.len() > MAX_VALUES {
+                return Err(Error::invalid(format!(
+                    "WAL insert of {} values exceeds the {MAX_VALUES}-value record budget",
+                    values.len()
+                )));
+            }
+            b[16..20].copy_from_slice(&table.to_le_bytes());
+            b[20] = KIND_INSERT;
+            b[21] = values.len() as u8;
+            b[24..32].copy_from_slice(&pos.to_le_bytes());
+            for (i, v) in values.iter().enumerate() {
+                b[32 + i * 8..40 + i * 8].copy_from_slice(&v.to_le_bytes());
+            }
+        }
+        WalRecord::Delete { table, pos } => {
+            b[16..20].copy_from_slice(&table.to_le_bytes());
+            b[20] = KIND_DELETE;
+            b[24..32].copy_from_slice(&pos.to_le_bytes());
+        }
+    }
+    let crc = crc32(&b[4..]);
+    b[0..4].copy_from_slice(&crc.to_le_bytes());
+    Ok(())
+}
+
+/// Parse one record. `None` when the CRC fails or the record is
+/// malformed — the torn-tail signal, never an error.
+fn decode(b: &[u8; RECORD_SIZE]) -> Option<(u64, u32, WalRecord)> {
+    let stored = u32::from_le_bytes(b[0..4].try_into().ok()?);
+    if crc32(&b[4..]) != stored {
+        return None;
+    }
+    let seqno = u64::from_le_bytes(b[4..12].try_into().ok()?);
+    let epoch = u32::from_le_bytes(b[12..16].try_into().ok()?);
+    let table = u32::from_le_bytes(b[16..20].try_into().ok()?);
+    let pos = u64::from_le_bytes(b[24..32].try_into().ok()?);
+    let rec = match b[20] {
+        KIND_INSERT => {
+            let nvals = b[21] as usize;
+            if nvals > MAX_VALUES {
+                return None;
+            }
+            let values = (0..nvals)
+                .map(|i| Value::from_le_bytes(b[32 + i * 8..40 + i * 8].try_into().unwrap()))
+                .collect();
+            WalRecord::Insert { table, pos, values }
+        }
+        KIND_DELETE => WalRecord::Delete { table, pos },
+        _ => return None,
+    };
+    Some((seqno, epoch, rec))
+}
+
+/// What replay found in a log file.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Recovery {
+    /// Records that passed CRC + sequence checks *and* matched
+    /// `live_epoch`, in log order — the delta to rebuild.
+    pub records: Vec<WalRecord>,
+    /// Whole records recovered (including stale-epoch ones skipped).
+    pub recovered: u64,
+    /// `true` when replay stopped before the end of the file — a torn
+    /// or corrupt tail was detected and everything after it ignored.
+    pub torn: bool,
+    /// The highest sequence number seen (0 for an empty log).
+    pub last_seqno: u64,
+}
+
+/// An open write-ahead log for one table.
+pub struct Wal {
+    storage: Box<dyn WalStorage>,
+    next_seqno: u64,
+    epoch: u32,
+}
+
+impl Wal {
+    /// Open the log, replaying whatever it holds. Records whose epoch
+    /// differs from `live_epoch` are counted but not returned: they
+    /// predate the table's last compaction and are already folded into
+    /// its immutable blocks.
+    pub fn open(storage: Box<dyn WalStorage>, live_epoch: u32) -> Result<(Wal, Recovery)> {
+        let len = storage.len()?;
+        let whole = len / RECORD_SIZE as u64;
+        let mut rec_buf = [0u8; RECORD_SIZE];
+        let mut recovery = Recovery {
+            // A trailing partial record is itself a torn tail.
+            torn: len % RECORD_SIZE as u64 != 0,
+            ..Recovery::default()
+        };
+        let mut expect_seqno = 1u64;
+        for i in 0..whole {
+            storage.read_at(i * RECORD_SIZE as u64, &mut rec_buf)?;
+            match decode(&rec_buf) {
+                Some((seqno, epoch, rec)) if seqno == expect_seqno => {
+                    expect_seqno += 1;
+                    recovery.recovered += 1;
+                    recovery.last_seqno = seqno;
+                    if epoch == live_epoch {
+                        recovery.records.push(rec);
+                    }
+                }
+                // CRC failure, malformed kind, or a sequence break:
+                // stop cleanly; everything after is unreachable.
+                _ => {
+                    recovery.torn = true;
+                    break;
+                }
+            }
+        }
+        let wal = Wal {
+            storage,
+            next_seqno: expect_seqno,
+            epoch: live_epoch,
+        };
+        Ok((wal, recovery))
+    }
+
+    /// The epoch stamped on appended records.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Append `records` as one group commit: one write, one sync.
+    /// Durable when this returns.
+    pub fn append_batch(&mut self, records: &[WalRecord]) -> Result<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut buf = Vec::with_capacity(records.len() * RECORD_SIZE);
+        for rec in records {
+            encode(rec, self.next_seqno, self.epoch, &mut buf)?;
+            self.next_seqno += 1;
+        }
+        self.storage.append(&buf)?;
+        self.storage.sync()
+    }
+
+    /// Truncate the log and bump to `epoch` (post-compaction): the
+    /// table's delta is now empty and every previous record obsolete.
+    /// Safe against a crash at any point *before* this call thanks to
+    /// the epoch check — the caller persists the new epoch in the
+    /// catalog first, so old records replay as stale even if the
+    /// truncation itself never happens.
+    pub fn truncate_to_epoch(&mut self, epoch: u32) -> Result<()> {
+        self.storage.reset()?;
+        self.storage.sync()?;
+        self.epoch = epoch;
+        self.next_seqno = 1;
+        Ok(())
+    }
+}
+
+/// An in-memory [`WalStorage`] for tests and transient stores.
+#[derive(Default)]
+pub struct MemWal(std::sync::Mutex<Vec<u8>>);
+
+impl MemWal {
+    /// An empty in-memory log.
+    pub fn new() -> MemWal {
+        MemWal::default()
+    }
+}
+
+impl WalStorage for MemWal {
+    fn len(&self) -> Result<u64> {
+        Ok(self.0.lock().unwrap().len() as u64)
+    }
+
+    fn append(&self, bytes: &[u8]) -> Result<()> {
+        self.0.lock().unwrap().extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+        let data = self.0.lock().unwrap();
+        let start = offset as usize;
+        let end = start + buf.len();
+        if end > data.len() {
+            return Err(Error::corrupt("short WAL read"));
+        }
+        buf.copy_from_slice(&data[start..end]);
+        Ok(())
+    }
+
+    fn reset(&self) -> Result<()> {
+        self.0.lock().unwrap().clear();
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    /// A `WalStorage` that shares bytes with an outer handle, so tests
+    /// can tamper between a "crash" (drop) and a reopen.
+    #[derive(Clone, Default)]
+    struct SharedWal(Arc<MemWal>);
+
+    impl WalStorage for SharedWal {
+        fn len(&self) -> Result<u64> {
+            self.0.len()
+        }
+        fn append(&self, bytes: &[u8]) -> Result<()> {
+            self.0.append(bytes)
+        }
+        fn read_at(&self, offset: u64, buf: &mut [u8]) -> Result<()> {
+            self.0.read_at(offset, buf)
+        }
+        fn reset(&self) -> Result<()> {
+            self.0.reset()
+        }
+        fn sync(&self) -> Result<()> {
+            self.0.sync()
+        }
+    }
+
+    impl SharedWal {
+        fn bytes(&self) -> Vec<u8> {
+            let mut v = vec![0u8; self.0.len().unwrap() as usize];
+            self.0.read_at(0, &mut v).unwrap();
+            v
+        }
+
+        fn overwrite(&self, bytes: &[u8]) {
+            self.0.reset().unwrap();
+            self.0.append(bytes).unwrap();
+        }
+    }
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Insert {
+                table: 0,
+                pos: 100,
+                values: vec![1, -2, 3],
+            },
+            WalRecord::Insert {
+                table: 0,
+                pos: 101,
+                values: vec![4, 5, 6],
+            },
+            WalRecord::Delete { table: 0, pos: 7 },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_replays_in_order() {
+        let shared = SharedWal::default();
+        let (mut wal, rec) = Wal::open(Box::new(shared.clone()), 0).unwrap();
+        assert_eq!(rec, Recovery::default());
+        wal.append_batch(&sample_records()).unwrap();
+        wal.append_batch(&[WalRecord::Delete { table: 0, pos: 8 }])
+            .unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(Box::new(shared), 0).unwrap();
+        assert_eq!(rec.recovered, 4);
+        assert!(!rec.torn);
+        assert_eq!(rec.last_seqno, 4);
+        assert_eq!(rec.records[..3], sample_records());
+        assert_eq!(rec.records[3], WalRecord::Delete { table: 0, pos: 8 });
+    }
+
+    #[test]
+    fn truncated_tail_stops_cleanly() {
+        let shared = SharedWal::default();
+        let (mut wal, _) = Wal::open(Box::new(shared.clone()), 0).unwrap();
+        wal.append_batch(&sample_records()).unwrap();
+        drop(wal);
+        // Tear mid-record: two whole records survive, the partial third
+        // is reported torn, never reinterpreted.
+        let bytes = shared.bytes();
+        shared.overwrite(&bytes[..2 * RECORD_SIZE + 17]);
+        let (_, rec) = Wal::open(Box::new(shared), 0).unwrap();
+        assert_eq!(rec.recovered, 2);
+        assert!(rec.torn);
+        assert_eq!(rec.records, sample_records()[..2].to_vec());
+    }
+
+    #[test]
+    fn bitflip_in_last_record_is_caught_by_crc() {
+        let shared = SharedWal::default();
+        let (mut wal, _) = Wal::open(Box::new(shared.clone()), 0).unwrap();
+        wal.append_batch(&sample_records()).unwrap();
+        drop(wal);
+        let mut bytes = shared.bytes();
+        let n = bytes.len();
+        bytes[n - 40] ^= 0x10; // flip one bit in the last record's payload
+        shared.overwrite(&bytes);
+        let (_, rec) = Wal::open(Box::new(shared), 0).unwrap();
+        assert_eq!(rec.recovered, 2);
+        assert!(rec.torn);
+        assert_eq!(rec.records, sample_records()[..2].to_vec());
+    }
+
+    #[test]
+    fn stale_epoch_records_are_counted_but_not_applied() {
+        let shared = SharedWal::default();
+        let (mut wal, _) = Wal::open(Box::new(shared.clone()), 0).unwrap();
+        wal.append_batch(&sample_records()).unwrap();
+        drop(wal);
+        // The catalog advanced to epoch 1 (compaction swapped) but the
+        // crash hit before the log truncation: records must be skipped.
+        let (_, rec) = Wal::open(Box::new(shared), 1).unwrap();
+        assert_eq!(rec.recovered, 3, "records still parse");
+        assert!(rec.records.is_empty(), "but none are live");
+        assert!(!rec.torn);
+    }
+
+    #[test]
+    fn truncate_bumps_epoch_and_restarts_seqnos() {
+        let shared = SharedWal::default();
+        let (mut wal, _) = Wal::open(Box::new(shared.clone()), 0).unwrap();
+        wal.append_batch(&sample_records()).unwrap();
+        wal.truncate_to_epoch(1).unwrap();
+        assert_eq!(wal.epoch(), 1);
+        wal.append_batch(&[WalRecord::Delete { table: 0, pos: 9 }])
+            .unwrap();
+        drop(wal);
+        let (_, rec) = Wal::open(Box::new(shared), 1).unwrap();
+        assert_eq!(rec.recovered, 1);
+        assert_eq!(rec.last_seqno, 1, "sequence restarted");
+        assert_eq!(rec.records, vec![WalRecord::Delete { table: 0, pos: 9 }]);
+    }
+
+    #[test]
+    fn sequence_break_reads_as_torn() {
+        // Concatenating two logs (a stale tail scenario) breaks the
+        // seqno chain; replay must stop at the break.
+        let shared = SharedWal::default();
+        let (mut wal, _) = Wal::open(Box::new(shared.clone()), 0).unwrap();
+        wal.append_batch(&sample_records()).unwrap();
+        drop(wal);
+        let mut bytes = shared.bytes();
+        let copy = bytes.clone();
+        bytes.extend_from_slice(&copy); // seqnos 1,2,3,1,2,3
+        shared.overwrite(&bytes);
+        let (_, rec) = Wal::open(Box::new(shared), 0).unwrap();
+        assert_eq!(rec.recovered, 3);
+        assert!(rec.torn);
+    }
+
+    #[test]
+    fn oversized_insert_is_rejected() {
+        let (mut wal, _) = Wal::open(Box::new(MemWal::new()), 0).unwrap();
+        let err = wal
+            .append_batch(&[WalRecord::Insert {
+                table: 0,
+                pos: 0,
+                values: vec![0; MAX_VALUES + 1],
+            }])
+            .unwrap_err();
+        assert!(err.to_string().contains("record budget"), "{err}");
+    }
+
+    #[test]
+    fn crc32_matches_known_vector() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+}

@@ -4,13 +4,14 @@
 //! every client-thread count in {1, 2, 4, 8} and pool shard count in
 //! {1, 2}.
 //!
-//! Per-query I/O is harvested per thread (`IoSink`), which is exact
-//! under concurrency *when the queries touch disjoint blocks*: the
-//! buffer pool's single-flight fill attributes a block's read to
-//! whichever query fills it first, so two queries racing on the same
-//! table could legitimately split the reads between them. Every query
-//! here therefore owns its tables outright — the differential then has
-//! an exact expectation, not a statistical one.
+//! Per-query I/O is harvested per thread (`IoSink`), and the buffer
+//! pool's single-flight fill credits each block's read to the query
+//! whose worker fills it (worker threads carry their query's token).
+//! Queries racing on the *same* table may therefore split the reads
+//! between them nondeterministically — but exactly: every cold fill is
+//! charged to precisely one of them. The main battery gives each query
+//! its own tables so the per-query expectation is exact; the
+//! overlapping-table test below pins the split-but-exact contract.
 //!
 //! The batch is written in the dialect and compiled against the catalog
 //! (`matstrat_lang`), so the text front-end sits in the proven path too.
@@ -125,6 +126,7 @@ fn fingerprint(reply: Reply) -> Fingerprint {
     let (result, rows_out) = match reply {
         Reply::Scan(r, s) => (r, s.rows_out),
         Reply::JoinTree(r, s) => (r, s.rows_out),
+        Reply::Wrote(r) => (r, 0),
     };
     Fingerprint {
         result,
@@ -226,6 +228,76 @@ fn interleaved_batches_are_byte_identical_to_serial() {
         // The serial reference itself is shard-invariant.
         let again = run_serial(&store);
         assert_eq!(again, reference, "serial rerun drifted at shards={shards}");
+    }
+}
+
+/// The overlapping-table case: identical queries racing on **one**
+/// table have the same block footprint, so single-flight fill must
+/// split the cold reads between them *without loss or double-count* —
+/// per query ≤ the solo cold cost, summed exactly equal to it — while
+/// every result stays byte-identical.
+#[test]
+fn overlapping_queries_split_cold_reads_exactly() {
+    const SQL: &str = "SELECT k, v, w FROM t1 WHERE v < 120";
+    let store = build_store();
+    let req = compile(&store, SQL).unwrap().into_request();
+
+    let solo = {
+        let server = Server::new(
+            store.clone(),
+            ServerConfig {
+                max_concurrent: 1,
+                worker_budget: 1,
+            },
+        );
+        store.cold_reset();
+        fingerprint(server.connect().run(&req).unwrap())
+    };
+    assert!(solo.block_reads > 0, "the reference scan must be cold");
+
+    for clients in [2usize, 4] {
+        let server = Server::new(
+            store.clone(),
+            ServerConfig {
+                max_concurrent: clients,
+                worker_budget: clients.max(2),
+            },
+        );
+        store.cold_reset();
+        let barrier = Arc::new(Barrier::new(clients));
+        let fps: Vec<Fingerprint> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..clients)
+                .map(|_| {
+                    let (server, req) = (&server, &req);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        let session = server.connect();
+                        barrier.wait();
+                        fingerprint(session.run(req).unwrap())
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        let mut total = 0;
+        for (c, fp) in fps.iter().enumerate() {
+            assert_eq!(fp.result, solo.result, "client {c} of {clients}: result");
+            assert_eq!(fp.rows_out, solo.rows_out, "client {c}: rows_out");
+            assert!(
+                fp.block_reads <= solo.block_reads,
+                "client {c} of {clients}: charged {} reads, solo cost is {}",
+                fp.block_reads,
+                solo.block_reads
+            );
+            total += fp.block_reads;
+        }
+        // Same footprint + single-flight: every distinct block was read
+        // from disk exactly once and charged to exactly one query.
+        assert_eq!(
+            total, solo.block_reads,
+            "{clients} clients: cold reads lost or double-counted"
+        );
     }
 }
 
