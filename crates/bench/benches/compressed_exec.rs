@@ -1,0 +1,120 @@
+//! Ablation for the compressed-execution layer: the same encoded data,
+//! predicate, and aggregate evaluated two ways — decode-then-eval (the
+//! pre-compressed-execution behavior: materialize values, then compare
+//! per value) against the never-decode path (one comparison per RLE run,
+//! code-domain predicates over dictionary codes, run-granular
+//! aggregation).
+//!
+//! On the serial CI leg this runs in `--quick` mode with
+//! `BENCH_JSON=BENCH_compressed.json`, archiving the medians as a perf
+//! trajectory; the acceptance bar is ≥ 1.5× on the RLE-run scan and the
+//! dict-eq scan.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use matstrat_common::{PosRange, Predicate, Value};
+use matstrat_core::MiniColumn;
+use matstrat_poslist::PosListBuilder;
+use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder, Store};
+
+const ROWS: usize = 500_000;
+
+fn mini(store: &Store, id: matstrat_common::TableId) -> MiniColumn {
+    MiniColumn::fetch(&store.reader(id, 0).unwrap(), PosRange::new(0, ROWS as u64)).unwrap()
+}
+
+/// RLE-heavy: runs of average length 50 over 7 distinct values.
+fn rle_mini() -> (Store, matstrat_common::TableId) {
+    let values: Vec<Value> = (0..ROWS).map(|i| ((i / 50) % 7) as Value).collect();
+    let store = Store::in_memory();
+    let spec = ProjectionSpec::new("c").column("v", EncodingKind::Rle, SortOrder::None);
+    let id = store.load_projection(&spec, &[&values]).unwrap();
+    (store, id)
+}
+
+/// Low-cardinality shared-dict column: 10 distinct values in a sorted
+/// column-wide dictionary, so point predicates translate to single-code
+/// comparisons and ranges to contiguous code intervals.
+fn dict_mini() -> (Store, matstrat_common::TableId) {
+    let values: Vec<Value> = (0..ROWS).map(|i| (((i * 31) % 10) * 5) as Value).collect();
+    let store = Store::in_memory();
+    let spec = ProjectionSpec::new("c").column_shared_dict("v", SortOrder::None);
+    let id = store.load_projection(&spec, &[&values]).unwrap();
+    (store, id)
+}
+
+/// The pre-compressed-execution scan: materialize every value, evaluate
+/// the predicate per value, and build the same position list the
+/// executor's DS1 leaf emits — apples-to-apples with `scan_positions`.
+fn decode_then_scan(m: &MiniColumn, pred: &Predicate) -> u64 {
+    let mut out = Vec::with_capacity(ROWS);
+    m.decode(&mut out).unwrap();
+    let mut b = PosListBuilder::new();
+    for (i, &v) in out.iter().enumerate() {
+        if pred.matches(v) {
+            b.push(i as u64);
+        }
+    }
+    b.finish().count()
+}
+
+fn bench_rle_scan(c: &mut Criterion) {
+    let (store, id) = rle_mini();
+    let m = mini(&store, id);
+    let pred = Predicate::lt(4);
+    let mut g = c.benchmark_group("compressed_rle_scan");
+    g.bench_with_input(
+        BenchmarkId::from_parameter("decode_then_eval"),
+        &m,
+        |b, m| b.iter(|| black_box(decode_then_scan(m, &pred))),
+    );
+    g.bench_with_input(BenchmarkId::from_parameter("run_granular"), &m, |b, m| {
+        b.iter(|| black_box(m.scan_positions(&pred)).count())
+    });
+    g.finish();
+}
+
+fn bench_dict_eq_scan(c: &mut Criterion) {
+    let (store, id) = dict_mini();
+    let m = mini(&store, id);
+    let pred = Predicate::eq(25);
+    let mut g = c.benchmark_group("compressed_dict_eq_scan");
+    g.bench_with_input(
+        BenchmarkId::from_parameter("decode_then_eval"),
+        &m,
+        |b, m| b.iter(|| black_box(decode_then_scan(m, &pred))),
+    );
+    g.bench_with_input(BenchmarkId::from_parameter("code_domain"), &m, |b, m| {
+        b.iter(|| black_box(m.scan_positions(&pred)).count())
+    });
+    g.finish();
+}
+
+fn bench_dict_range_scan(c: &mut Criterion) {
+    let (store, id) = dict_mini();
+    let m = mini(&store, id);
+    let pred = Predicate::between(10, 30);
+    let mut g = c.benchmark_group("compressed_dict_range_scan");
+    g.bench_with_input(
+        BenchmarkId::from_parameter("decode_then_eval"),
+        &m,
+        |b, m| b.iter(|| black_box(decode_then_scan(m, &pred))),
+    );
+    g.bench_with_input(BenchmarkId::from_parameter("code_domain"), &m, |b, m| {
+        b.iter(|| black_box(m.scan_positions(&pred)).count())
+    });
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_rle_scan, bench_dict_eq_scan, bench_dict_range_scan
+}
+criterion_main!(benches);

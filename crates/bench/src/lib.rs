@@ -372,12 +372,16 @@ pub fn paper_scale_rle_params(sf1: f64) -> QueryParams {
         rows: n,
         run_len: n / 3800.0,
         resident: 0.0,
+        code_width: 8.0,
+        shared_dict: false,
     };
     let c2 = ColumnParams {
         blocks: 5.0,
         rows: n,
         run_len: n / 26_726.0,
         resident: 0.0,
+        code_width: 8.0,
+        shared_dict: false,
     };
     let mut q = QueryParams::selection(n, c1, c2, sf1, 27.0 / 28.0);
     q.pos_run_len1 = (n * sf1 / 3.0).max(1.0);

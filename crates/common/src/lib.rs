@@ -9,6 +9,7 @@
 //! (ICDE 2007): every attribute is stored as a separate column of
 //! fixed-width integer-coded values, addressed by 0-based *positions*.
 
+pub mod codeops;
 pub mod error;
 pub mod par;
 pub mod pred;
@@ -16,5 +17,5 @@ pub mod types;
 
 pub use error::{Error, Result};
 pub use par::{default_parallelism, env_worker_count, join_unwinding, par_map_indexed};
-pub use pred::{CompareOp, Predicate};
+pub use pred::{CodePredicate, CompareOp, Predicate};
 pub use types::{ColumnId, Pos, PosRange, TableId, Value, Width};

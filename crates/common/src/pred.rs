@@ -154,6 +154,57 @@ impl Predicate {
         }
     }
 
+    /// Translate the predicate into the code domain of `dict`: the
+    /// returned [`CodePredicate`] matches code `c` exactly when `self`
+    /// matches `dict[c]`.
+    ///
+    /// This is what lets dictionary blocks filter without decoding:
+    /// equality and inequality collapse to a single code compare (or to
+    /// `None`/`All` when the operand is absent from the dictionary),
+    /// range operators collapse to a code range when the dictionary is
+    /// sorted, and only an unsorted dictionary falls back to a per-code
+    /// match table — still one predicate evaluation per *distinct* value
+    /// instead of one per row.
+    pub fn to_code_domain(&self, dict: &[Value]) -> CodePredicate {
+        let k = dict.len() as u32;
+        match self.op {
+            CompareOp::Eq => match dict.iter().position(|&d| d == self.operand) {
+                Some(c) => CodePredicate::Eq(c as u32),
+                None => CodePredicate::None,
+            },
+            CompareOp::Ne => match dict.iter().position(|&d| d == self.operand) {
+                Some(c) if k == 1 => {
+                    debug_assert_eq!(c, 0);
+                    CodePredicate::None
+                }
+                Some(c) => CodePredicate::Ne(c as u32),
+                None => {
+                    if k == 0 {
+                        CodePredicate::None
+                    } else {
+                        CodePredicate::All
+                    }
+                }
+            },
+            _ => {
+                let (lo, hi) = self
+                    .value_interval()
+                    .expect("every non-Ne operator is an interval");
+                if hi < lo || k == 0 {
+                    return CodePredicate::None;
+                }
+                if dict.windows(2).all(|w| w[0] < w[1]) {
+                    // Sorted dictionary: the matching codes are contiguous.
+                    let lo_c = dict.partition_point(|&d| d < lo) as u32;
+                    let hi_c = dict.partition_point(|&d| d <= hi) as u32;
+                    CodePredicate::from_range(lo_c, hi_c, k)
+                } else {
+                    CodePredicate::from_table(dict.iter().map(|&d| self.matches(d)).collect())
+                }
+            }
+        }
+    }
+
     /// Estimated fraction of values matching, assuming a uniform domain
     /// `[min, max]` (inclusive). Used by the planner for selectivity (SF)
     /// estimates fed into the analytical model.
@@ -175,6 +226,93 @@ impl Predicate {
             // Ne: everything except one domain value.
             None => ((n - 1.0) / n).clamp(0.0, 1.0),
         }
+    }
+}
+
+/// A [`Predicate`] translated into a dictionary's code domain
+/// (see [`Predicate::to_code_domain`]).
+///
+/// Codes are dictionary indices, so `matches_code(c)` is defined for
+/// `c < dict.len()` and conservatively `false` beyond it. The variants
+/// are normalized: a table that matches everything becomes `All`, one
+/// that matches nothing becomes `None`, and single-code (or
+/// single-exclusion) tables become `Eq`/`Ne`, so scans can dispatch on
+/// the cheapest possible comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodePredicate {
+    /// No code matches.
+    None,
+    /// Every code matches.
+    All,
+    /// Exactly one code matches.
+    Eq(u32),
+    /// Every code except one matches.
+    Ne(u32),
+    /// Codes in `lo..=hi` match (sorted dictionaries).
+    Range(u32, u32),
+    /// Per-code match table (unsorted dictionaries).
+    Table(Vec<bool>),
+}
+
+impl CodePredicate {
+    /// Normalize the half-open code range `[lo, hi)` over a `k`-entry
+    /// dictionary into the cheapest equivalent variant.
+    pub fn from_range(lo: u32, hi: u32, k: u32) -> CodePredicate {
+        if hi <= lo {
+            CodePredicate::None
+        } else if lo == 0 && hi >= k {
+            CodePredicate::All
+        } else if hi == lo + 1 {
+            CodePredicate::Eq(lo)
+        } else if lo == 0 && hi + 1 == k {
+            CodePredicate::Ne(k - 1)
+        } else if lo == 1 && hi >= k {
+            CodePredicate::Ne(0)
+        } else {
+            CodePredicate::Range(lo, hi - 1)
+        }
+    }
+
+    /// Normalize a per-code match table into the cheapest equivalent
+    /// variant.
+    pub fn from_table(table: Vec<bool>) -> CodePredicate {
+        let hits = table.iter().filter(|&&m| m).count();
+        match hits {
+            0 => CodePredicate::None,
+            n if n == table.len() => CodePredicate::All,
+            1 => {
+                let c = table.iter().position(|&m| m).expect("one hit") as u32;
+                CodePredicate::Eq(c)
+            }
+            n if n + 1 == table.len() => {
+                let c = table.iter().position(|&m| !m).expect("one miss") as u32;
+                CodePredicate::Ne(c)
+            }
+            _ => CodePredicate::Table(table),
+        }
+    }
+
+    /// Evaluate against a single code.
+    #[inline(always)]
+    pub fn matches_code(&self, c: u32) -> bool {
+        match self {
+            CodePredicate::None => false,
+            CodePredicate::All => true,
+            CodePredicate::Eq(c0) => c == *c0,
+            CodePredicate::Ne(c0) => c != *c0,
+            CodePredicate::Range(lo, hi) => c >= *lo && c <= *hi,
+            CodePredicate::Table(t) => t.get(c as usize).copied().unwrap_or(false),
+        }
+    }
+
+    /// Whether no code can match (scans skip the block entirely).
+    pub fn matches_nothing(&self) -> bool {
+        matches!(self, CodePredicate::None)
+    }
+
+    /// Whether every code matches (scans emit the whole window).
+    pub fn matches_everything(&self) -> bool {
+        matches!(self, CodePredicate::All)
     }
 }
 
@@ -249,6 +387,104 @@ mod tests {
         assert_eq!(Predicate::le(9).uniform_selectivity(0, 9), 1.0);
         // Degenerate domain.
         assert_eq!(Predicate::eq(5).uniform_selectivity(9, 0), 0.0);
+    }
+
+    /// Oracle check: the code-domain translation must agree with
+    /// value-domain evaluation on every dictionary entry.
+    fn assert_code_domain_agrees(pred: &Predicate, dict: &[Value]) {
+        let cp = pred.to_code_domain(dict);
+        for (c, &v) in dict.iter().enumerate() {
+            assert_eq!(
+                cp.matches_code(c as u32),
+                pred.matches(v),
+                "pred {pred:?} dict {dict:?} code {c} value {v} via {cp:?}"
+            );
+        }
+        // A match table is conservative beyond the dictionary (codes out
+        // of range cannot occur in well-formed blocks anyway).
+        if matches!(cp, CodePredicate::Table(_)) {
+            assert!(!cp.matches_code(dict.len() as u32 + 7));
+        }
+    }
+
+    #[test]
+    fn code_domain_eq_ne_collapse_to_single_compare() {
+        let dict = [30, 10, 20]; // first-appearance order, unsorted
+        assert_eq!(
+            Predicate::eq(10).to_code_domain(&dict),
+            CodePredicate::Eq(1)
+        );
+        assert_eq!(
+            Predicate::ne(20).to_code_domain(&dict),
+            CodePredicate::Ne(2)
+        );
+        // Absent operands: eq matches nothing, ne matches everything.
+        assert_eq!(Predicate::eq(99).to_code_domain(&dict), CodePredicate::None);
+        assert_eq!(Predicate::ne(99).to_code_domain(&dict), CodePredicate::All);
+        // A one-entry dictionary: ne of the entry matches nothing.
+        assert_eq!(Predicate::ne(5).to_code_domain(&[5]), CodePredicate::None);
+        assert_eq!(Predicate::eq(5).to_code_domain(&[]), CodePredicate::None);
+    }
+
+    #[test]
+    fn code_domain_ranges_on_sorted_dict() {
+        let dict = [10, 20, 30, 40];
+        assert_eq!(
+            Predicate::between(15, 35).to_code_domain(&dict),
+            CodePredicate::Range(1, 2)
+        );
+        assert_eq!(Predicate::lt(10).to_code_domain(&dict), CodePredicate::None);
+        assert_eq!(Predicate::le(40).to_code_domain(&dict), CodePredicate::All);
+        assert_eq!(
+            Predicate::ge(40).to_code_domain(&dict),
+            CodePredicate::Eq(3)
+        );
+        assert_eq!(
+            Predicate::lt(40).to_code_domain(&dict),
+            CodePredicate::Ne(3)
+        );
+        assert_eq!(
+            Predicate::gt(10).to_code_domain(&dict),
+            CodePredicate::Ne(0)
+        );
+        assert_eq!(
+            Predicate::between(4, 2).to_code_domain(&dict),
+            CodePredicate::None
+        );
+    }
+
+    #[test]
+    fn code_domain_table_on_unsorted_dict() {
+        let dict = [30, 10, 40, 20];
+        let cp = Predicate::le(25).to_code_domain(&dict);
+        assert_eq!(cp, CodePredicate::Table(vec![false, true, false, true]));
+        assert_code_domain_agrees(&Predicate::le(25), &dict);
+    }
+
+    #[test]
+    fn code_domain_agrees_for_every_op() {
+        let dicts: [&[Value]; 4] = [
+            &[10, 20, 30, 40], // sorted
+            &[30, 10, 40, 20], // unsorted
+            &[7],              // singleton
+            &[Value::MIN, 0, Value::MAX],
+        ];
+        for dict in dicts {
+            for c in [Value::MIN, -1, 0, 7, 10, 25, 40, Value::MAX] {
+                for p in [
+                    Predicate::lt(c),
+                    Predicate::le(c),
+                    Predicate::gt(c),
+                    Predicate::ge(c),
+                    Predicate::eq(c),
+                    Predicate::ne(c),
+                    Predicate::between(c, c.saturating_add(15)),
+                    Predicate::between(c, c),
+                ] {
+                    assert_code_domain_agrees(&p, dict);
+                }
+            }
+        }
     }
 
     #[test]

@@ -70,7 +70,7 @@ use matstrat_poslist::{PosList, PosListBuilder, PosVec};
 use matstrat_storage::{set_thread_query_token, ColumnReader, EncodingKind, IoMeter, Store};
 
 use crate::multicol::{FetchKind, MiniColumn, MultiColumn};
-use crate::ops::agg::{aggregate_runs, AggFunc, Aggregator};
+use crate::ops::agg::{aggregate_runs, aggregate_runs_compressed, AggFunc, Aggregator};
 use crate::ops::merge::merge_columns;
 use crate::ops::probe::ds4_extend;
 use crate::ops::spc::spc_scan;
@@ -341,6 +341,11 @@ impl SpanTask<'_> {
         set_thread_query_token(self.opts.query_token);
         let t0 = Instant::now();
         let io0 = self.meter.thread_snapshot();
+        // Like the I/O meter, the code-op ledger is thread-local and
+        // monotonic: the span's share is the snapshot difference. The
+        // count is data-dependent only (granule partitioning is
+        // deterministic), so it is exact at any worker count.
+        let ops0 = matstrat_common::codeops::snapshot();
         let mut agg = self
             .agg_domain
             .map(|(func, lo, hi)| Aggregator::with_domain_fn(func, lo, hi));
@@ -383,6 +388,7 @@ impl SpanTask<'_> {
                 rows_out: 0, // set after the merged result is assembled
                 positions_matched,
                 decompressed_fetch: decompressed,
+                code_path_ops: matstrat_common::codeops::snapshot().wrapping_sub(ops0),
                 steals: 0, // a scheduler-level count, set after the merge
             },
         })
@@ -505,16 +511,31 @@ impl Granule<'_> {
         match self.q.aggregate {
             Some(a) => {
                 let gmini = fetch_mini(a.group_col, minis)?;
-                let mut vals = Vec::new();
                 if a.func.needs_values() {
-                    // COUNT never touches the value column — an LM-only win.
                     let vmini = fetch_mini(a.value_col, minis)?;
-                    vals.reserve(desc.count() as usize);
-                    if vmini.fetch_values(desc, &mut vals)? == FetchKind::Decompressed {
-                        decompressed = true;
+                    if vmini.runs_without_decode() {
+                        // Compressed execution: the RLE value column is
+                        // consumed run-at-a-time — no value vector is
+                        // ever materialized. Same blocks were fetched,
+                        // so I/O accounting is unchanged; the result is
+                        // byte-identical (see `aggregate_runs_compressed`).
+                        aggregate_runs_compressed(
+                            desc,
+                            &gmini,
+                            &vmini,
+                            agg.as_mut().expect("agg set"),
+                        )?;
+                    } else {
+                        let mut vals = Vec::with_capacity(desc.count() as usize);
+                        if vmini.fetch_values(desc, &mut vals)? == FetchKind::Decompressed {
+                            decompressed = true;
+                        }
+                        aggregate_runs(desc, &gmini, &vals, agg.as_mut().expect("agg set"))?;
                     }
+                } else {
+                    // COUNT never touches the value column — an LM-only win.
+                    aggregate_runs(desc, &gmini, &[], agg.as_mut().expect("agg set"))?;
                 }
-                aggregate_runs(desc, &gmini, &vals, agg.as_mut().expect("agg set"))?;
             }
             None => {
                 let mut cols: Vec<Vec<Value>> = Vec::with_capacity(out_cols.len());

@@ -18,7 +18,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
-use matstrat_poslist::{PosList, PosListBuilder};
+use matstrat_poslist::{Bitmap, PosList, PosListBuilder};
 use matstrat_storage::{ColumnReader, EncodedBlock};
 
 /// How a value fetch was satisfied — used by execution stats to report
@@ -132,14 +132,37 @@ impl MiniColumn {
 
     /// DS1 over the window: positions whose values pass `pred`.
     pub fn scan_positions(&self, pred: &Predicate) -> PosList {
-        let mut builder = PosListBuilder::new();
-        let mut force_bitmap = false;
-        for b in &self.blocks {
-            let pl = b.scan_positions_in(pred, self.window);
-            if matches!(pl, PosList::Bitmap(_)) {
-                force_bitmap = true;
+        let lists: Vec<PosList> = self
+            .blocks
+            .iter()
+            .map(|b| b.scan_positions_in(pred, self.window))
+            .collect();
+        if lists.iter().any(|pl| matches!(pl, PosList::Bitmap(_))) {
+            // Any dense block makes the result a bit-map over the window.
+            // Merge wholesale — bitmap parts OR in 64 positions per
+            // instruction, runs set word-wise — instead of re-pushing
+            // every position through the builder one at a time.
+            let mut bm = Bitmap::zeros(self.window);
+            for pl in &lists {
+                match pl {
+                    PosList::Bitmap(b) => bm.union(b),
+                    PosList::Ranges(r) => {
+                        for range in r.ranges() {
+                            bm.set_run(*range);
+                        }
+                    }
+                    PosList::Explicit(_) => {
+                        for p in pl.iter() {
+                            bm.set(p);
+                        }
+                    }
+                }
             }
-            match &pl {
+            return PosList::Bitmap(bm);
+        }
+        let mut builder = PosListBuilder::new();
+        for pl in &lists {
+            match pl {
                 PosList::Ranges(r) => {
                     for range in r.ranges() {
                         builder.push_run(*range);
@@ -152,11 +175,7 @@ impl MiniColumn {
                 }
             }
         }
-        if force_bitmap {
-            builder.finish_as_bitmap(self.window)
-        } else {
-            builder.finish()
-        }
+        builder.finish()
     }
 
     /// DS2 over the window: matching (position, value) pairs.
@@ -269,6 +288,85 @@ impl MiniColumn {
         for b in &self.blocks {
             b.for_each_run_in(self.window, &mut f);
         }
+    }
+
+    /// Whether [`for_each_run`](Self::for_each_run) visits stored runs
+    /// without per-row decoding — true only when every backing block is
+    /// RLE. Gates the compressed aggregation path: on other codecs
+    /// `for_each_run` decodes internally, which would defeat it.
+    pub fn runs_without_decode(&self) -> bool {
+        !self.blocks.is_empty()
+            && self
+                .blocks
+                .iter()
+                .all(|b| matches!(b.as_ref(), EncodedBlock::Rle(_)))
+    }
+
+    /// If every backing block is dict-encoded against the *same*
+    /// dictionary, the shared fingerprint — the precondition for
+    /// code-granular operations across the window (code-keyed joins).
+    /// `None` when the window is empty, any block is not dict, or the
+    /// blocks disagree.
+    pub fn shared_dict_fingerprint(&self) -> Option<u64> {
+        let mut fp = None;
+        for b in &self.blocks {
+            match b.as_ref() {
+                EncodedBlock::Dict(d) => match fp {
+                    None => fp = Some(d.fingerprint()),
+                    Some(f) if f == d.fingerprint() => {}
+                    Some(_) => return None,
+                },
+                _ => return None,
+            }
+        }
+        fp
+    }
+
+    /// The dictionary shared by every backing block (first block's copy);
+    /// call only after [`shared_dict_fingerprint`] returned `Some`.
+    pub fn shared_dict(&self) -> Option<&[Value]> {
+        match self.blocks.first().map(|b| b.as_ref()) {
+            Some(EncodedBlock::Dict(d)) => Some(d.dictionary()),
+            _ => None,
+        }
+    }
+
+    /// Dictionary codes at the descriptor's positions, in position order —
+    /// the probe-side fetch of a code-keyed join: no value is ever
+    /// decoded. Errors on non-dict blocks; meaningful across blocks only
+    /// under a shared dictionary ([`shared_dict_fingerprint`]).
+    pub fn gather_codes(&self, positions: &PosList, out: &mut Vec<u32>) -> Result<()> {
+        let mut batch: Vec<Pos> = Vec::new();
+        let mut current: Option<&Arc<EncodedBlock>> = None;
+        let flush = |b: &EncodedBlock, batch: &[Pos], out: &mut Vec<u32>| -> Result<()> {
+            match b {
+                EncodedBlock::Dict(d) => d.gather_codes(batch, out),
+                other => Err(Error::unsupported(format!(
+                    "code gather on a {} block",
+                    other.encoding().name()
+                ))),
+            }
+        };
+        for p in positions.iter() {
+            if !self.window.contains(p) {
+                continue;
+            }
+            match current {
+                Some(b) if b.covering().contains(p) => batch.push(p),
+                _ => {
+                    if let Some(b) = current {
+                        flush(b, &batch, out)?;
+                    }
+                    batch.clear();
+                    current = Some(self.block_for(p)?);
+                    batch.push(p);
+                }
+            }
+        }
+        if let Some(b) = current {
+            flush(b, &batch, out)?;
+        }
+        Ok(())
     }
 }
 
@@ -577,6 +675,45 @@ mod tests {
             io_before,
             "clones re-read nothing"
         );
+    }
+
+    #[test]
+    fn shared_dict_fingerprint_and_code_gather() {
+        let store = Store::in_memory();
+        let k: Vec<Value> = (0..150_000).map(|i| ((i * 31) % 10) * 5).collect();
+        let spec = ProjectionSpec::new("t").column_shared_dict("k", SortOrder::None);
+        let id = store.load_projection(&spec, &[&k]).unwrap();
+        let r = store.reader(id, 0).unwrap();
+        let mc = MiniColumn::fetch(&r, PosRange::new(0, 150_000)).unwrap();
+        assert!(mc.blocks().len() > 1, "want a multi-block window");
+        let fp = mc.shared_dict_fingerprint().expect("shared dict");
+        assert_ne!(fp, 0);
+        let dict = mc.shared_dict().unwrap();
+        // Codes decode to the same values the value gather returns, even
+        // across a block boundary.
+        let pl = PosList::from_positions(vec![0, 3, 70_000, 149_999]);
+        let (mut codes, mut vals) = (Vec::new(), Vec::new());
+        mc.gather_codes(&pl, &mut codes).unwrap();
+        mc.gather(&pl, &mut vals).unwrap();
+        let via_dict: Vec<Value> = codes.iter().map(|&c| dict[c as usize]).collect();
+        assert_eq!(via_dict, vals);
+        // Non-dict windows refuse both.
+        let (store2, id2, ..) = setup();
+        let mc2 =
+            MiniColumn::fetch(&store2.reader(id2, 0).unwrap(), PosRange::new(0, 3000)).unwrap();
+        assert!(mc2.shared_dict_fingerprint().is_none());
+        assert!(mc2.gather_codes(&pl, &mut codes).is_err());
+    }
+
+    #[test]
+    fn runs_without_decode_only_for_rle() {
+        let (store, id, ..) = setup();
+        let w = PosRange::new(0, 3000);
+        let rle = MiniColumn::fetch(&store.reader(id, 0).unwrap(), w).unwrap();
+        let plain = MiniColumn::fetch(&store.reader(id, 1).unwrap(), w).unwrap();
+        assert!(rle.runs_without_decode());
+        assert!(!plain.runs_without_decode());
+        assert!(!MiniColumn::empty(w).runs_without_decode());
     }
 
     #[test]

@@ -181,6 +181,24 @@ impl Aggregator {
         self.merge_partial(group, count as Value);
     }
 
+    /// Add a run of `len` copies of value `v` for `group` in O(1): the
+    /// compressed-execution path that never materializes the run. SUM
+    /// contributes `v × len` (`wrapping_mul` equals `len` wrapping adds
+    /// in two's complement, so it matches the decoded path bit-for-bit),
+    /// COUNT contributes `len`, MIN/MAX contribute `v` once.
+    #[inline]
+    pub fn add_run(&mut self, group: Value, v: Value, len: u64) {
+        if len == 0 {
+            return;
+        }
+        let partial = match self.func {
+            AggFunc::Sum => v.wrapping_mul(len as Value),
+            AggFunc::Count => len as Value,
+            AggFunc::Min | AggFunc::Max => v,
+        };
+        self.merge_partial(group, partial);
+    }
+
     #[inline]
     fn merge_partial(&mut self, group: Value, partial: Value) {
         let func = self.func;
@@ -287,6 +305,57 @@ pub fn aggregate_runs(
             at = end;
         }
     }
+    Ok(())
+}
+
+/// Fully compressed aggregation: both the group column *and* the value
+/// column are consumed run-at-a-time, so no value vector is ever
+/// materialized. Each (descriptor-range × group-run × value-run) overlap
+/// costs one [`Aggregator::add_run`] — for RLE inputs that is one
+/// accumulator update per run boundary regardless of run length.
+///
+/// Byte-identical to gathering the values and calling
+/// [`aggregate_runs`]: SUM folds `v × len` with wrapping arithmetic,
+/// which equals `len` wrapping adds.
+///
+/// Each run overlap consumed is charged to the code-path ledger
+/// (`matstrat_common::codeops`).
+pub fn aggregate_runs_compressed(
+    desc: &PosList,
+    group_col: &MiniColumn,
+    val_col: &MiniColumn,
+    agg: &mut Aggregator,
+) -> Result<()> {
+    debug_assert!(agg.func().needs_values(), "COUNT never fetches values");
+    if desc.is_empty() {
+        return Ok(());
+    }
+    let mut gruns: Vec<(Value, PosRange)> = Vec::new();
+    group_col.for_each_run(|v, r| gruns.push((v, r)));
+    let mut vruns: Vec<(Value, PosRange)> = Vec::new();
+    val_col.for_each_run(|v, r| vruns.push((v, r)));
+    let mut gi = 0usize;
+    let mut vi = 0usize;
+    let mut ops = 0u64;
+    for dr in desc.to_ranges().ranges() {
+        let mut at = dr.start;
+        while at < dr.end {
+            while gi < gruns.len() && gruns[gi].1.end <= at {
+                gi += 1;
+            }
+            while vi < vruns.len() && vruns[vi].1.end <= at {
+                vi += 1;
+            }
+            let (gv, gr) = gruns[gi];
+            let (vv, vr) = vruns[vi];
+            debug_assert!(gr.contains(at) && vr.contains(at));
+            let end = dr.end.min(gr.end).min(vr.end);
+            agg.add_run(gv, vv, end - at);
+            ops += 1;
+            at = end;
+        }
+    }
+    matstrat_common::codeops::add(ops);
     Ok(())
 }
 
@@ -431,6 +500,54 @@ mod tests {
                 em.add(g[p as usize], v[p as usize]);
             }
             assert_eq!(lm.finish(), em.finish(), "{func:?}");
+        }
+    }
+
+    #[test]
+    fn add_run_equals_repeated_add_for_every_func() {
+        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+            for (v, len) in [(7, 1u64), (-3, 1000), (Value::MAX, 3), (0, 5)] {
+                let mut a = Aggregator::new_fn(func);
+                let mut b = Aggregator::new_fn(func);
+                for _ in 0..len {
+                    a.add(1, v);
+                }
+                b.add_run(1, v, len);
+                b.add_run(2, v, 0); // no-op
+                assert_eq!(a.finish(), b.finish(), "{func:?} v={v} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn aggregate_runs_compressed_matches_decoded_path() {
+        // Both columns RLE-friendly with misaligned run boundaries, and
+        // a descriptor that fragments both.
+        let store = Store::in_memory();
+        let g: Vec<Value> = (0..2000).map(|i| i / 70).collect();
+        let v: Vec<Value> = (0..2000).map(|i| (i / 45) % 6 - 2).collect();
+        let spec = ProjectionSpec::new("t")
+            .column("g", EncodingKind::Rle, SortOrder::Primary)
+            .column("v", EncodingKind::Rle, SortOrder::None);
+        let id = store.load_projection(&spec, &[&g, &v]).unwrap();
+        let window = matstrat_common::PosRange::new(0, 2000);
+        let mg = MiniColumn::fetch(&store.reader(id, 0).unwrap(), window).unwrap();
+        let mv = MiniColumn::fetch(&store.reader(id, 1).unwrap(), window).unwrap();
+        let desc = mv.scan_positions(&Predicate::ne(1));
+        let mut vals = Vec::new();
+        mv.gather(&desc, &mut vals).unwrap();
+
+        for func in [AggFunc::Sum, AggFunc::Min, AggFunc::Max] {
+            let mut decoded = Aggregator::with_domain_fn(func, 0, 30);
+            aggregate_runs(&desc, &mg, &vals, &mut decoded).unwrap();
+            let before = matstrat_common::codeops::snapshot();
+            let mut compressed = Aggregator::with_domain_fn(func, 0, 30);
+            aggregate_runs_compressed(&desc, &mg, &mv, &mut compressed).unwrap();
+            assert!(
+                matstrat_common::codeops::snapshot() > before,
+                "compressed path must charge the code-op ledger"
+            );
+            assert_eq!(compressed.finish(), decoded.finish(), "{func:?}");
         }
     }
 

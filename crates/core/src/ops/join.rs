@@ -132,13 +132,36 @@ pub struct JoinSpec {
     pub right_output: Vec<usize>,
 }
 
+/// A hash-table key the partitioned build can scatter: the decoded
+/// value on the classic path, or the u32 dictionary code on the
+/// compressed path (§ compressed execution) — same radix machinery,
+/// narrower key.
+pub(crate) trait JoinKey: Copy + Eq + std::hash::Hash + Send + Sync {
+    /// The bits the Fibonacci partition mixer consumes.
+    fn mix(self) -> u64;
+}
+
+impl JoinKey for Value {
+    #[inline]
+    fn mix(self) -> u64 {
+        self as u64
+    }
+}
+
+impl JoinKey for u32 {
+    #[inline]
+    fn mix(self) -> u64 {
+        self as u64
+    }
+}
+
 /// The shared read-only hash table on the right key: one plain map when
 /// the build ran serial, or `workers` radix partitions by key hash when
 /// it ran parallel. Each key's position list is ascending — identical to
 /// a serial 0..n insertion — in either shape, so the partitioning is
 /// invisible to the probe's output.
-pub(crate) struct PartitionedTable {
-    parts: Vec<HashMap<Value, Vec<u32>>>,
+pub(crate) struct PartitionedTable<K: JoinKey = Value> {
+    parts: Vec<HashMap<K, Vec<u32>>>,
 }
 
 /// The radix partition a key belongs to, shared by build and probe.
@@ -148,12 +171,12 @@ pub(crate) struct PartitionedTable {
 /// determinism and spread, not DoS resistance (the map lookup keeps
 /// SipHash for that).
 #[inline]
-fn partition_of(key: Value, parts: usize) -> usize {
-    let mix = (key as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+fn partition_of<K: JoinKey>(key: K, parts: usize) -> usize {
+    let mix = key.mix().wrapping_mul(0x9E37_79B9_7F4A_7C15);
     ((mix >> 32) as usize) % parts
 }
 
-impl PartitionedTable {
+impl<K: JoinKey> PartitionedTable<K> {
     /// Build the table over `keys` on the pipeline's workers: serial
     /// insertion for a single-span plan, otherwise a span-parallel
     /// scatter into per-fragment radix buckets followed by a
@@ -161,15 +184,15 @@ impl PartitionedTable {
     /// order and every fold walks them in that order, so each key's
     /// position list ascends exactly as the serial loop's does.
     fn build(
-        keys: &[Value],
+        keys: &[K],
         deletes: &[u64],
         pipeline: &FragmentPipeline,
         meter: &IoMeter,
         sink: Option<&IoSink>,
-    ) -> Result<PartitionedTable> {
+    ) -> Result<PartitionedTable<K>> {
         let parts_n = pipeline.workers();
         if parts_n <= 1 {
-            let mut table: HashMap<Value, Vec<u32>> = HashMap::with_capacity(keys.len());
+            let mut table: HashMap<K, Vec<u32>> = HashMap::with_capacity(keys.len());
             let mut di = 0usize;
             for (pos, &k) in keys.iter().enumerate() {
                 while di < deletes.len() && deletes[di] < pos as u64 {
@@ -187,9 +210,9 @@ impl PartitionedTable {
         // rebalance it freely. (The run still harvests meter state into
         // the query's sink: the calling thread's forget sweeps up the key
         // column reads the surrounding build just made.)
-        let buckets: Vec<Vec<Vec<(u32, Value)>>> = pipeline
+        let buckets: Vec<Vec<Vec<(u32, K)>>> = pipeline
             .run_counted_sunk(meter, sink, |span| {
-                let mut local: Vec<Vec<(u32, Value)>> = vec![Vec::new(); parts_n];
+                let mut local: Vec<Vec<(u32, K)>> = vec![Vec::new(); parts_n];
                 let mut di = deletes.partition_point(|&p| p < span.start);
                 for pos in span.start..span.end {
                     while di < deletes.len() && deletes[di] < pos {
@@ -209,9 +232,9 @@ impl PartitionedTable {
         let parts = matstrat_common::par_map_indexed(
             parts_n,
             parts_n,
-            |p| -> Result<HashMap<Value, Vec<u32>>> {
+            |p| -> Result<HashMap<K, Vec<u32>>> {
                 let cap = buckets.iter().map(|frag| frag[p].len()).sum();
-                let mut m: HashMap<Value, Vec<u32>> = HashMap::with_capacity(cap);
+                let mut m: HashMap<K, Vec<u32>> = HashMap::with_capacity(cap);
                 for frag in &buckets {
                     for &(pos, k) in &frag[p] {
                         m.entry(k).or_default().push(pos);
@@ -226,13 +249,37 @@ impl PartitionedTable {
 
     /// The ascending right positions holding `key`, if any.
     #[inline]
-    pub(crate) fn get(&self, key: &Value) -> Option<&Vec<u32>> {
+    pub(crate) fn get(&self, key: K) -> Option<&Vec<u32>> {
         if self.parts.len() == 1 {
-            self.parts[0].get(key)
+            self.parts[0].get(&key)
         } else {
-            self.parts[partition_of(*key, self.parts.len())].get(key)
+            self.parts[partition_of(key, self.parts.len())].get(&key)
         }
     }
+}
+
+/// The build side's hash table, in one of two key domains.
+///
+/// `Codes` is the compressed-execution path: when every base block of
+/// the right key column carries one shared, sorted dictionary *and*
+/// every delta-insert key encodes under it, the table hashes the u32
+/// dictionary codes instead of decoded values. A probe whose key column
+/// shares that exact dictionary then probes with gathered codes and
+/// never decodes a key; probes arriving with decoded values translate
+/// through the sorted dictionary by binary search (a key absent from
+/// the dictionary matches nothing — sound, because the build proved
+/// every right key encodes). `Values` is the decoded fallback,
+/// byte-identical in output.
+pub(crate) enum KeyTable {
+    Values(PartitionedTable<Value>),
+    Codes {
+        table: PartitionedTable<u32>,
+        /// The shared dictionary, sorted strictly ascending.
+        dict: Arc<Vec<Value>>,
+        /// The dictionary's FNV fingerprint, compared against probe-side
+        /// blocks before any code is trusted.
+        fingerprint: u64,
+    },
 }
 
 /// The strategy-independent half of a join's build side: the partitioned
@@ -244,9 +291,11 @@ impl PartitionedTable {
 /// zero-I/O key source for snowflake edges that join *through* this
 /// table on the same column.
 pub(crate) struct SharedBuild {
-    /// right key value → ascending right positions holding it. Deleted
-    /// right positions never enter the table.
-    pub(crate) table: PartitionedTable,
+    /// right key → ascending right positions holding it, keyed on u32
+    /// dictionary codes when the key column carries a shared sorted
+    /// dictionary (see [`KeyTable`]). Deleted right positions never
+    /// enter the table.
+    pub(crate) table: KeyTable,
     /// The decoded key column, indexable by **logical** right position:
     /// immutable base rows first, then every delta-insert row in stamp
     /// order (deleted rows included, so indexing stays positional).
@@ -285,13 +334,47 @@ impl SharedBuild {
         let base_rows = info.num_rows;
         let insert_rows = delta.as_ref().map_or(0, |d| d.inserts.len());
         let mut keys = Vec::with_capacity(base_rows as usize + insert_rows);
+        // Shared-dictionary base codes, harvested alongside the decode
+        // when every base block agrees on one sorted dictionary. The
+        // decoded keys are kept regardless: snowflake edges index them
+        // by position ([`KeyFetch::Prev`]) whichever domain the table
+        // hashes.
+        let mut code_build: Option<(u64, Vec<Value>, Vec<u32>)> = None;
         if base_rows > 0 {
             let rkey_reader = store.reader_for(info.column(right_key)?)?;
-            let rkey_mini = MiniColumn::fetch(&rkey_reader, PosRange::new(0, base_rows))?;
+            let window = PosRange::new(0, base_rows);
+            let rkey_mini = MiniColumn::fetch(&rkey_reader, window)?;
             rkey_mini.decode(&mut keys)?;
+            if let (Some(fp), Some(dict)) =
+                (rkey_mini.shared_dict_fingerprint(), rkey_mini.shared_dict())
+            {
+                // Binary-search translation below needs sorted codes;
+                // the shared-dict loader guarantees this, a per-block
+                // first-appearance dictionary that happens to span one
+                // block does not.
+                if dict.windows(2).all(|w| w[0] < w[1]) {
+                    let mut codes = Vec::with_capacity(base_rows as usize);
+                    rkey_mini.gather_codes(&PosList::full(window), &mut codes)?;
+                    code_build = Some((fp, dict.to_vec(), codes));
+                }
+            }
         }
         if let Some(d) = &delta {
             keys.extend(d.inserts.iter().map(|row| row[right_key]));
+            // Delta keys are raw values; translate each through the
+            // dictionary. One untranslatable key sinks the code path —
+            // the value table is always correct.
+            if let Some((_, dict, codes)) = &mut code_build {
+                for row in &d.inserts {
+                    match dict.binary_search(&row[right_key]) {
+                        Ok(c) => codes.push(c as u32),
+                        Err(_) => {
+                            code_build = None;
+                            break;
+                        }
+                    }
+                }
+            }
         }
         let rows = keys.len() as u64;
         let deletes: &[u64] = delta.as_ref().map_or(&[], |d| &d.deletes);
@@ -301,7 +384,25 @@ impl SharedBuild {
         // prices build CPU with exactly this count.
         let pipeline = FragmentPipeline::new(rows, opts.granule.max(1), opts.parallelism.max(1));
         let build_workers = pipeline.workers();
-        let table = PartitionedTable::build(&keys, deletes, &pipeline, store.meter(), sink)?;
+        let table = match code_build {
+            Some((fingerprint, dict, codes)) => {
+                let table =
+                    PartitionedTable::build(&codes, deletes, &pipeline, store.meter(), sink)?;
+                matstrat_common::codeops::add(codes.len() as u64);
+                KeyTable::Codes {
+                    table,
+                    dict: Arc::new(dict),
+                    fingerprint,
+                }
+            }
+            None => KeyTable::Values(PartitionedTable::build(
+                &keys,
+                deletes,
+                &pipeline,
+                store.meter(),
+                sink,
+            )?),
+        };
         Ok(SharedBuild {
             table,
             keys: Arc::new(keys),
@@ -311,6 +412,46 @@ impl SharedBuild {
             info,
             delta,
         })
+    }
+
+    /// Probe with a decoded key value, whichever domain the table hashes.
+    /// On the code-keyed table an absent dictionary entry matches
+    /// nothing: the build proved every right key encodes, so a value
+    /// outside the dictionary cannot equal any right key.
+    #[inline]
+    pub(crate) fn probe(&self, key: Value) -> Option<&Vec<u32>> {
+        match &self.table {
+            KeyTable::Values(t) => t.get(key),
+            KeyTable::Codes { table, dict, .. } => match dict.binary_search(&key) {
+                Ok(c) => table.get(c as u32),
+                Err(_) => None,
+            },
+        }
+    }
+
+    /// Probe with a dictionary code — valid only when the probe side
+    /// verified its blocks share the build dictionary (see
+    /// [`SharedBuild::code_dict`]).
+    #[inline]
+    pub(crate) fn probe_code(&self, code: u32) -> Option<&Vec<u32>> {
+        match &self.table {
+            KeyTable::Codes { table, .. } => table.get(code),
+            KeyTable::Values(_) => unreachable!("probe_code on a value-keyed table"),
+        }
+    }
+
+    /// The code table's (fingerprint, dictionary), when the build took
+    /// the code-keyed path. Probe sides compare both — fingerprint for
+    /// the cheap reject, the dictionary itself to rule out a
+    /// fingerprint collision — before gathering codes.
+    #[inline]
+    pub(crate) fn code_dict(&self) -> Option<(u64, &[Value])> {
+        match &self.table {
+            KeyTable::Codes {
+                dict, fingerprint, ..
+            } => Some((*fingerprint, dict.as_slice())),
+            KeyTable::Values(_) => None,
+        }
     }
 }
 
@@ -521,6 +662,30 @@ pub(crate) fn fetch_expanded(mini: &MiniColumn, positions: &[Pos]) -> Result<Vec
             ui += 1;
         }
         expanded.push(vals[ui]);
+    }
+    Ok(expanded)
+}
+
+/// [`fetch_expanded`] in the code domain: gather u32 dictionary codes —
+/// never decoded values — at a sorted, possibly duplicated position
+/// list. Only valid on a mini-column whose blocks all share one
+/// dictionary (the caller verified it against the build's).
+pub(crate) fn fetch_codes_expanded(mini: &MiniColumn, positions: &[Pos]) -> Result<Vec<u32>> {
+    let mut uniq = positions.to_vec();
+    uniq.dedup();
+    let pl = PosList::Explicit(PosVec::from_sorted(uniq.clone()));
+    let mut codes = Vec::with_capacity(uniq.len());
+    mini.gather_codes(&pl, &mut codes)?;
+    if uniq.len() == positions.len() {
+        return Ok(codes);
+    }
+    let mut expanded = Vec::with_capacity(positions.len());
+    let mut ui = 0usize;
+    for &p in positions {
+        while uniq[ui] != p {
+            ui += 1;
+        }
+        expanded.push(codes[ui]);
     }
     Ok(expanded)
 }
@@ -765,7 +930,7 @@ fn hash_join_sunk(
                     continue;
                 }
             }
-            if let Some(rps) = build.shared.table.get(&row[spec.left_key]) {
+            if let Some(rps) = build.shared.probe(row[spec.left_key]) {
                 for &rp in rps {
                     drows.push((row, rp));
                 }
@@ -803,19 +968,40 @@ fn probe_span(spec: &JoinSpec, build: &BuildSide, span: PosRange) -> Result<Vec<
     let hi = build.left_deletes.partition_point(|&p| p < span.end);
     let desc = filter_deleted(desc, &build.left_deletes[lo..hi]);
     let lkey_mini = MiniColumn::fetch(&build.left_key_reader, span)?;
-    let mut lkeys = Vec::with_capacity(desc.count() as usize);
-    lkey_mini.fetch_values(&desc, &mut lkeys)?;
 
     // ---- Probe ----------------------------------------------------------
     // Matched left positions (sorted, since desc is iterated in order) and
-    // the matched right position per output row.
+    // the matched right position per output row. When the build hashed
+    // dictionary codes and this span's key blocks carry the *same*
+    // dictionary (fingerprint matched, then the dictionary itself to
+    // rule out a collision), the probe gathers u32 codes and never
+    // decodes a key — same blocks read either way, so I/O is unchanged.
     let mut left_pos: Vec<Pos> = Vec::new();
     let mut right_pos: Vec<u32> = Vec::new();
-    for (i, p) in desc.iter().enumerate() {
-        if let Some(rps) = build.shared.table.get(&lkeys[i]) {
-            for &rp in rps {
-                left_pos.push(p);
-                right_pos.push(rp);
+    let code_probe = build.shared.code_dict().is_some_and(|(fp, dict)| {
+        lkey_mini.shared_dict_fingerprint() == Some(fp) && lkey_mini.shared_dict() == Some(dict)
+    });
+    if code_probe {
+        let mut lcodes = Vec::with_capacity(desc.count() as usize);
+        lkey_mini.gather_codes(&desc, &mut lcodes)?;
+        matstrat_common::codeops::add(lcodes.len() as u64);
+        for (i, p) in desc.iter().enumerate() {
+            if let Some(rps) = build.shared.probe_code(lcodes[i]) {
+                for &rp in rps {
+                    left_pos.push(p);
+                    right_pos.push(rp);
+                }
+            }
+        }
+    } else {
+        let mut lkeys = Vec::with_capacity(desc.count() as usize);
+        lkey_mini.fetch_values(&desc, &mut lkeys)?;
+        for (i, p) in desc.iter().enumerate() {
+            if let Some(rps) = build.shared.probe(lkeys[i]) {
+                for &rp in rps {
+                    left_pos.push(p);
+                    right_pos.push(rp);
+                }
             }
         }
     }
@@ -1054,5 +1240,134 @@ mod tests {
         use std::collections::HashSet;
         let kinds: HashSet<_> = InnerStrategy::ALL.iter().map(|s| s.plan_kind()).collect();
         assert_eq!(kinds.len(), 3);
+    }
+
+    /// Both key columns over the identical ten-value domain, loaded with
+    /// shared dictionaries — identical sorted dictionaries, identical
+    /// fingerprints, so build and probe both run in the code domain.
+    fn shared_dict_setup(store: &Store) -> (TableId, TableId) {
+        let n = 3000i64;
+        let lk: Vec<Value> = (0..n).map(|i| ((i * 7) % 10) * 10).collect();
+        let lv: Vec<Value> = (0..n).collect();
+        let left = store
+            .load_projection(
+                &ProjectionSpec::new("l_dict")
+                    .column_shared_dict("k", SortOrder::None)
+                    .column("v", Ek::Plain, SortOrder::None),
+                &[&lk, &lv],
+            )
+            .unwrap();
+        let rk: Vec<Value> = (0..10).map(|i| i * 10).collect();
+        let rv: Vec<Value> = (0..10).map(|i| i + 500).collect();
+        let right = store
+            .load_projection(
+                &ProjectionSpec::new("r_dict")
+                    .column_shared_dict("k", SortOrder::Primary)
+                    .column("v", Ek::Plain, SortOrder::None),
+                &[&rk, &rv],
+            )
+            .unwrap();
+        (left, right)
+    }
+
+    #[test]
+    fn code_keyed_join_matches_value_path_and_charges_code_ops() {
+        let store = Store::in_memory();
+        let (left, right) = shared_dict_setup(&store);
+        let spec = JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: Some((1, Predicate::lt(2000))),
+            left_output: vec![1],
+            right_output: vec![1],
+        };
+        // Oracle: the row set from first principles.
+        let expected: Vec<Vec<Value>> = (0..2000i64).map(|i| vec![i, (i * 7) % 10 + 500]).collect();
+        let serial = ExecOptions {
+            granule: 256,
+            parallelism: 1,
+            ..ExecOptions::default()
+        };
+        for inner in InnerStrategy::ALL {
+            let ops0 = matstrat_common::codeops::snapshot();
+            let res = hash_join_with_options(&store, &spec, inner, &serial).unwrap();
+            let ops = matstrat_common::codeops::snapshot().wrapping_sub(ops0);
+            let mut rows = res.sorted_rows();
+            rows.sort_unstable();
+            assert_eq!(rows, expected, "{inner:?}");
+            // Build charged 10 right rows, the probe one op per
+            // surviving left row — all on this thread in serial mode.
+            assert!(ops >= 2000, "{inner:?}: code path must run, got {ops} ops");
+        }
+        // Parallel runs stay byte-identical to serial.
+        let serial_flat =
+            hash_join_with_options(&store, &spec, InnerStrategy::MultiColumn, &serial)
+                .unwrap()
+                .flat()
+                .to_vec();
+        for workers in [2, 4, 8] {
+            let par = hash_join_with_options(
+                &store,
+                &spec,
+                InnerStrategy::MultiColumn,
+                &ExecOptions {
+                    granule: 256,
+                    parallelism: workers,
+                    ..ExecOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(par.flat(), serial_flat, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn delta_key_outside_dict_falls_back_to_value_build() {
+        let store = Store::in_memory();
+        let (left, right) = shared_dict_setup(&store);
+        // 999 encodes under neither dictionary: the right build must
+        // fall back to decoded keys, and both inserted rows still join.
+        store.insert_rows(right, &[vec![999, 777]]).unwrap();
+        store.insert_rows(left, &[vec![999, 5000]]).unwrap();
+        let spec = JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: Some((1, Predicate::ge(5000))),
+            left_output: vec![1],
+            right_output: vec![1],
+        };
+        for inner in InnerStrategy::ALL {
+            let res = hash_join(&store, &spec, inner).unwrap();
+            assert_eq!(res.sorted_rows(), vec![vec![5000, 777]], "{inner:?}");
+        }
+    }
+
+    #[test]
+    fn left_delta_probe_translates_values_through_the_code_table() {
+        let store = Store::in_memory();
+        let (left, right) = shared_dict_setup(&store);
+        // Left-side inserts probe the code-keyed table with raw values:
+        // 30 translates and matches, 31 is absent from the (verified
+        // complete) dictionary and must match nothing.
+        store
+            .insert_rows(left, &[vec![30, 6000], vec![31, 6001]])
+            .unwrap();
+        let spec = JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: Some((1, Predicate::ge(6000))),
+            left_output: vec![1],
+            right_output: vec![1],
+        };
+        for inner in InnerStrategy::ALL {
+            let res = hash_join(&store, &spec, inner).unwrap();
+            assert_eq!(res.sorted_rows(), vec![vec![6000, 503]], "{inner:?}");
+        }
     }
 }

@@ -57,7 +57,9 @@ use matstrat_storage::{set_thread_query_token, ColumnReader, IoSink, Store, Tabl
 
 use crate::exec::ExecOptions;
 use crate::multicol::MiniColumn;
-use crate::ops::join::{fetch_expanded, filter_deleted, InnerRep, InnerStrategy, SharedBuild};
+use crate::ops::join::{
+    fetch_codes_expanded, fetch_expanded, filter_deleted, InnerRep, InnerStrategy, SharedBuild,
+};
 use crate::pipeline::FragmentPipeline;
 use crate::query::{JoinKeySource, JoinTreeSpec, JoinTreeStats, QueryResult};
 
@@ -138,6 +140,23 @@ struct EdgeRun {
 enum KeyFetch {
     Base(ColumnReader),
     Prev { slot: usize, keys: Arc<Vec<Value>> },
+}
+
+/// One span's probe keys for one edge, in whichever domain that edge's
+/// build hashes: u32 dictionary codes when the span's key blocks carry
+/// the build's shared dictionary, decoded values otherwise.
+enum ProbeKeys {
+    Values(Vec<Value>),
+    Codes(Vec<u32>),
+}
+
+impl ProbeKeys {
+    fn len(&self) -> usize {
+        match self {
+            ProbeKeys::Values(v) => v.len(),
+            ProbeKeys::Codes(c) => c.len(),
+        }
+    }
 }
 
 /// Execute the tree in spec order under per-edge strategies, with
@@ -366,13 +385,25 @@ fn probe_tree_span(
     let mut base_pos: Vec<Pos> = desc.iter().collect();
     let mut rights: Vec<Vec<u32>> = Vec::with_capacity(runs.len());
     for run in runs {
-        let keys: Vec<Value> = match &run.source {
+        let keys: ProbeKeys = match &run.source {
             KeyFetch::Base(reader) => {
                 let mini = MiniColumn::fetch(reader, span)?;
-                fetch_expanded(&mini, &base_pos)?
+                // Compressed probe: key blocks sharing the build's
+                // dictionary (fingerprint, then the dictionary itself)
+                // probe with gathered u32 codes — no key decodes.
+                let code_probe = run.shared.code_dict().is_some_and(|(fp, dict)| {
+                    mini.shared_dict_fingerprint() == Some(fp) && mini.shared_dict() == Some(dict)
+                });
+                if code_probe {
+                    let codes = fetch_codes_expanded(&mini, &base_pos)?;
+                    matstrat_common::codeops::add(codes.len() as u64);
+                    ProbeKeys::Codes(codes)
+                } else {
+                    ProbeKeys::Values(fetch_expanded(&mini, &base_pos)?)
+                }
             }
             KeyFetch::Prev { slot: j, keys } => {
-                rights[*j].iter().map(|&rp| keys[rp as usize]).collect()
+                ProbeKeys::Values(rights[*j].iter().map(|&rp| keys[rp as usize]).collect())
             }
         };
         // Fan out: base positions ascend and each key's match list
@@ -382,8 +413,12 @@ fn probe_tree_span(
         let mut new_rights: Vec<Vec<u32>> =
             rights.iter().map(|r| Vec::with_capacity(r.len())).collect();
         let mut this_right: Vec<u32> = Vec::with_capacity(base_pos.len());
-        for (i, k) in keys.iter().enumerate() {
-            if let Some(rps) = run.shared.table.get(k) {
+        for i in 0..keys.len() {
+            let rps = match &keys {
+                ProbeKeys::Values(v) => run.shared.probe(v[i]),
+                ProbeKeys::Codes(c) => run.shared.probe_code(c[i]),
+            };
+            if let Some(rps) = rps {
                 for &rp in rps {
                     new_base.push(base_pos[i]);
                     for (c, col) in new_rights.iter_mut().enumerate() {
@@ -463,7 +498,7 @@ fn probe_tree_delta(
                     KeyFetch::Base(_) => row[spec.edges[slot_to_spec[slot]].left_key],
                     KeyFetch::Prev { slot: j, keys } => keys[combo[*j] as usize],
                 };
-                if let Some(rps) = run.shared.table.get(&key) {
+                if let Some(rps) = run.shared.probe(key) {
                     for &rp in rps {
                         let mut c = combo.clone();
                         c.push(rp);

@@ -77,6 +77,13 @@ impl PlanChoice {
     }
 }
 
+impl JoinChoice {
+    /// One-line EXPLAIN-style summary: the pick plus the reasoning.
+    pub fn describe(&self) -> String {
+        format!("hash join via {}: {}", self.inner.name(), self.reason)
+    }
+}
+
 impl JoinTreeChoice {
     /// One-line EXPLAIN-style summary: order, inner strategies, reasoning.
     pub fn describe(&self) -> String {
@@ -208,12 +215,17 @@ impl Planner {
         if build_workers > 1 {
             workers.push_str(&format!(", {build_workers} build workers"));
         }
+        let code_note = if params.code_keyed {
+            ", code-keyed (shared-dict keys hashed without decoding)"
+        } else {
+            ""
+        };
         Ok(JoinChoice {
             inner,
             estimate,
             alternatives,
             reason: format!(
-                "analytical model: {} predicted {:.2} ms (cpu {:.2} + io {:.2}{workers})",
+                "analytical model: {} predicted {:.2} ms (cpu {:.2} + io {:.2}{workers}){code_note}",
                 inner.name(),
                 estimate.total_ms(),
                 estimate.cpu_us / 1000.0,
@@ -318,9 +330,18 @@ impl Planner {
         } else {
             String::new()
         };
+        let code_edges = edge_params.iter().filter(|p| p.params.code_keyed).count();
+        let code_note = if code_edges > 0 {
+            format!(
+                ", {code_edges} code-keyed edge{}",
+                if code_edges > 1 { "s" } else { "" }
+            )
+        } else {
+            String::new()
+        };
         let reason = format!(
             "analytical model over {} orders: [{}] with [{}] predicted {:.2} ms \
-             (cpu {:.2} + io {:.2}, ~{:.0} rows out{reuse_note})",
+             (cpu {:.2} + io {:.2}, ~{:.0} rows out{reuse_note}{code_note})",
             candidates.len(),
             order
                 .iter()
@@ -575,11 +596,14 @@ impl Planner {
                 (p, col.clone())
             }
         };
+        let code_eligible = matches!(spec.key_source(ei)?, JoinKeySource::Base)
+            && Self::code_keyed_eligible(&lkey, rkey);
         let mut params = JoinParams::fk_join(
             lkey_params,
             Self::column_params_for(store, edge.right, edge.right_key, rkey),
             1.0,
         );
+        params.code_keyed = code_eligible;
         // Fraction of probe keys inside the right domain, under
         // uniformity (see `join_params`).
         let lo = lkey.stats.min.max(rkey.stats.min) as f64;
@@ -624,6 +648,7 @@ impl Planner {
             Self::column_params_for(store, spec.right, spec.right_key, rkey),
             sf,
         );
+        params.code_keyed = Self::code_keyed_eligible(lkey, rkey);
         // Fraction of surviving left keys that land inside the right
         // key's min/max domain, under uniformity — 1.0 for a clean FK
         // join, < 1 when left keys overhang the right domain.
@@ -636,6 +661,22 @@ impl Planner {
         params.right_out_cols = spec.right_output.len() as f64;
         params.right_out_blocks = sum_blocks(&right, &spec.right_output)?;
         Ok(params)
+    }
+
+    /// Whether a hash join over these two key columns can run in the
+    /// code domain: both sides dictionary-encoded against a column-wide
+    /// shared (sorted) dictionary, over what the statistics say is the
+    /// same value domain — the executor additionally verifies the dict
+    /// fingerprints at build time, so this is a pricing signal, not a
+    /// correctness gate.
+    fn code_keyed_eligible(lkey: &ColumnInfo, rkey: &ColumnInfo) -> bool {
+        lkey.shared_dict
+            && rkey.shared_dict
+            && lkey.encoding == EncodingKind::Dict
+            && rkey.encoding == EncodingKind::Dict
+            && lkey.stats.distinct == rkey.stats.distinct
+            && lkey.stats.min == rkey.stats.min
+            && lkey.stats.max == rkey.stats.max
     }
 
     /// Estimate a predicate's selectivity from min/max statistics under a
@@ -679,11 +720,24 @@ impl Planner {
             .reader(table, col_idx)
             .map(|r| r.resident_fraction())
             .unwrap_or(0.0);
+        // Stored code width mirrors DictBlock's choice: 1/2/4 bytes by
+        // dictionary cardinality; non-dict columns iterate full values.
+        let code_width = if col.encoding == EncodingKind::Dict {
+            match col.stats.distinct {
+                0..=255 => 1.0,
+                256..=65_535 => 2.0,
+                _ => 4.0,
+            }
+        } else {
+            8.0
+        };
         ColumnParams {
             blocks: col.stats.num_blocks as f64,
             rows: col.stats.num_rows as f64,
             run_len: col.stats.avg_run_len(),
             resident,
+            code_width,
+            shared_dict: col.shared_dict,
         }
     }
 
@@ -1062,6 +1116,75 @@ mod tests {
         assert_eq!(params.right_rows(), 500.0);
         assert!((params.sf - 0.5).abs() < 0.01, "sf = {}", params.sf);
         assert!((params.match_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn code_keyed_join_is_detected_priced_cheaper_and_reported() {
+        let store = Store::in_memory();
+        let n = crate::GRANULE as usize;
+        let lk: Vec<Value> = (0..n).map(|i| ((i as Value * 7) % 10) * 10).collect();
+        let lv: Vec<Value> = (0..n).map(|i| i as Value).collect();
+        let left = store
+            .load_projection(
+                &ProjectionSpec::new("l_dict")
+                    .column_shared_dict("k", So::None)
+                    .column("v", EncodingKind::Plain, So::None),
+                &[&lk, &lv],
+            )
+            .unwrap();
+        let rk: Vec<Value> = (0..10).map(|i| i * 10).collect();
+        let rv: Vec<Value> = (0..10).map(|i| i + 500).collect();
+        let right = store
+            .load_projection(
+                &ProjectionSpec::new("r_dict")
+                    .column_shared_dict("k", So::Primary)
+                    .column("v", EncodingKind::Plain, So::None),
+                &[&rk, &rv],
+            )
+            .unwrap();
+        let spec = crate::ops::join::JoinSpec {
+            left,
+            right,
+            left_key: 0,
+            right_key: 0,
+            left_filter: None,
+            left_output: vec![1],
+            right_output: vec![1],
+        };
+        let planner = Planner::default();
+        let params = planner.join_params(&store, &spec).unwrap();
+        assert!(params.code_keyed, "shared-dict keys over one domain");
+        // 10 distinct values → 1-byte codes on both sides.
+        assert!((params.left_key.code_width - 1.0).abs() < 1e-9);
+        assert!((params.right_key.code_width - 1.0).abs() < 1e-9);
+        assert!(params.left_key.shared_dict && params.right_key.shared_dict);
+        let choice = planner.choose_join(&store, &spec).unwrap();
+        assert!(choice.reason.contains("code-keyed"), "{}", choice.reason);
+        assert!(
+            choice.describe().starts_with("hash join via"),
+            "{}",
+            choice.describe()
+        );
+        // The code path discounts CPU on every representation; I/O is
+        // identical — the executor reads the same blocks either way.
+        let mut value_params = params;
+        value_params.code_keyed = false;
+        let model = planner.model();
+        for (s, _) in &choice.alternatives {
+            let coded = model.hash_join_parallel(&params, s.plan_kind(), 1, 1);
+            let plain = model.hash_join_parallel(&value_params, s.plan_kind(), 1, 1);
+            assert!(coded.cpu_us < plain.cpu_us, "{s:?}");
+            assert!((coded.io_us - plain.io_us).abs() < 1e-9, "{s:?}");
+        }
+        // Keying on a plain column disables the code path.
+        let mut vspec = spec.clone();
+        vspec.left_key = 1;
+        assert!(!planner.join_params(&store, &vspec).unwrap().code_keyed);
+        // A single-edge tree carries the note through the delegation.
+        let tree = planner
+            .choose_join_tree(&store, &crate::query::JoinTreeSpec::new(vec![spec]))
+            .unwrap();
+        assert!(tree.reason.contains("code-keyed"), "{}", tree.reason);
     }
 
     #[test]

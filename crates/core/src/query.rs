@@ -326,6 +326,13 @@ pub struct ExecStats {
     pub positions_matched: u64,
     /// Whether a bit-vector decompression fallback was taken.
     pub decompressed_fetch: bool,
+    /// Operations executed directly on compressed representations —
+    /// code comparisons in dict scans, per-run comparisons in RLE
+    /// scans, per-distinct-value predicate evaluations in bit-vector
+    /// scans, run folds in compressed aggregation. Data-dependent only,
+    /// so exact at any worker count; > 0 proves the decode-free path
+    /// actually ran.
+    pub code_path_ops: u64,
     /// Granule runs the work-stealing scheduler moved between workers:
     /// claims taken from the tail of another worker's span by a worker
     /// that had drained its own. Always 0 for a serial run; under
@@ -346,6 +353,7 @@ impl ExecStats {
             rows_out: 0,
             positions_matched: 0,
             decompressed_fetch: false,
+            code_path_ops: 0,
             steals: 0,
         }
     }
@@ -369,6 +377,7 @@ impl AddAssign for ExecStats {
         self.rows_out += rhs.rows_out;
         self.positions_matched += rhs.positions_matched;
         self.decompressed_fetch |= rhs.decompressed_fetch;
+        self.code_path_ops += rhs.code_path_ops;
         self.steals += rhs.steals;
     }
 }
@@ -426,6 +435,7 @@ mod tests {
             rows_out: 0,
             positions_matched: 0,
             decompressed_fetch: false,
+            code_path_ops: 0,
             steals: 0,
         };
         // 10ms wall + (2500 + 2000)us = 14.5ms
@@ -444,6 +454,7 @@ mod tests {
             rows_out: matched,
             positions_matched: matched,
             decompressed_fetch: dec,
+            code_path_ops: matched * 2,
             steals: 1,
         };
         let (a, b, c) = (
@@ -470,6 +481,7 @@ mod tests {
             assert_eq!(s.rows_out, 35);
             assert_eq!(s.positions_matched, 35);
             assert!(s.decompressed_fetch);
+            assert_eq!(s.code_path_ops, 70, "code-op counters sum");
             assert_eq!(s.steals, 3, "steal counters sum");
         }
     }
@@ -487,6 +499,7 @@ mod tests {
             rows_out: 7,
             positions_matched: 8,
             decompressed_fetch: true,
+            code_path_ops: 11,
             steals: 2,
         };
         z += s.clone();
@@ -495,6 +508,7 @@ mod tests {
         assert_eq!(z.rows_out, s.rows_out);
         assert_eq!(z.positions_matched, s.positions_matched);
         assert_eq!(z.decompressed_fetch, s.decompressed_fetch);
+        assert_eq!(z.code_path_ops, s.code_path_ops);
         assert_eq!(z.steals, s.steals);
     }
 }

@@ -19,16 +19,26 @@ pub struct ColumnParams {
     pub run_len: f64,
     /// `F`: fraction of the column's pages already in the buffer pool.
     pub resident: f64,
+    /// `W`: bytes per stored code when dictionary-encoded (1, 2 or 4),
+    /// or 8 — the decoded value width — otherwise. The decode-avoidance
+    /// term: operators running in the code domain touch `W` bytes per
+    /// unit instead of 8.
+    pub code_width: f64,
+    /// Whether every block of the column shares one sorted dictionary,
+    /// making the column eligible for code-keyed joins.
+    pub shared_dict: bool,
 }
 
 impl ColumnParams {
-    /// Convenience constructor with `F = 0` (cold).
+    /// Convenience constructor with `F = 0` (cold) and no dictionary.
     pub fn cold(blocks: f64, rows: f64, run_len: f64) -> ColumnParams {
         ColumnParams {
             blocks,
             rows,
             run_len,
             resident: 0.0,
+            code_width: 8.0,
+            shared_dict: false,
         }
     }
 
@@ -36,6 +46,13 @@ impl ColumnParams {
     /// `(|Ci|/PF * SEEK + |Ci| * READ) * (1 - F)`.
     pub fn io_full_scan(&self, c: &Constants) -> f64 {
         (self.blocks / c.pf * c.seek + self.blocks * c.read) * (1.0 - self.resident)
+    }
+
+    /// Multiplier on the per-unit column-iterator step when the operator
+    /// stays in the code domain: a `W`-byte code costs `W/8` of touching
+    /// a decoded 8-byte value. 1 for undictionaried columns.
+    pub fn code_cpu_factor(&self) -> f64 {
+        (self.code_width / 8.0).clamp(0.125, 1.0)
     }
 }
 
@@ -72,6 +89,21 @@ pub fn ds1(col: &ColumnParams, sf: f64, c: &Constants) -> (f64, f64) {
         + col.rows * (c.tic_col + c.fc) / col.run_len.max(1.0)     // (3,4)
         + sf * col.rows * c.fc; // (5)
     (cpu, col.io_full_scan(c)) // (2)
+}
+
+/// DS Case 1 run entirely in the **code domain** — the compressed-
+/// execution variant of [`ds1`]. The per-unit decode call (`FC`) drops
+/// out and the column-iterator step touches a `code_width`-byte code
+/// instead of an 8-byte value; the emit term (`SF*||C||*FC` — hash
+/// inserts, position pushes) is unchanged, as is the I/O: the same
+/// blocks are read either way.
+///
+/// `CPU = |C|*BIC + ||C||*TICCOL*(W/8)/RL + SF*||C||*FC`
+pub fn ds1_code(col: &ColumnParams, sf: f64, c: &Constants) -> (f64, f64) {
+    let cpu = col.blocks * c.bic
+        + col.rows * c.tic_col * col.code_cpu_factor() / col.run_len.max(1.0)
+        + sf * col.rows * c.fc;
+    (cpu, col.io_full_scan(c))
 }
 
 /// DS Case 2: scan + predicate → (position, value) pairs.
@@ -334,6 +366,36 @@ mod tests {
         );
         let expected = (10.0 * 2500.0 + 10.0 * 1000.0) + (20.0 * 2500.0 + 20.0 * 1000.0);
         assert!((io - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ds1_code_drops_decode_and_narrows_the_iterator_step() {
+        let cc = c();
+        let mut p = col(5.0, 1000.0, 10.0);
+        p.code_width = 1.0; // one-byte dictionary codes
+        let (cpu, io) = ds1_code(&p, 0.5, &cc);
+        // |C|*BIC + ||C||*TICCOL*(1/8)/RL + SF*||C||*FC — no FC decode
+        // per unit.
+        let expected = 5.0 * 0.020 + 1000.0 * 0.014 * 0.125 / 10.0 + 0.5 * 1000.0 * 0.009;
+        assert!((cpu - expected).abs() < 1e-9);
+        // Same blocks read either way.
+        let (_, io_value) = ds1(&p, 0.5, &cc);
+        assert!((io - io_value).abs() < 1e-9);
+        // The code path is strictly cheaper than the decoded pass.
+        let (cpu_value, _) = ds1(&p, 0.5, &cc);
+        assert!(cpu < cpu_value);
+    }
+
+    #[test]
+    fn code_cpu_factor_by_width() {
+        let mut p = col(1.0, 1.0, 1.0);
+        assert_eq!(p.code_cpu_factor(), 1.0, "undictionaried = decoded width");
+        p.code_width = 1.0;
+        assert_eq!(p.code_cpu_factor(), 0.125);
+        p.code_width = 2.0;
+        assert_eq!(p.code_cpu_factor(), 0.25);
+        p.code_width = 4.0;
+        assert_eq!(p.code_cpu_factor(), 0.5);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! suggests embedding in an optimizer.
 
 use crate::constants::Constants;
-use crate::ops::{and_cost, ds1, ds2, ds3, ds4, merge_cost, spc, AndInput, ColumnParams};
+use crate::ops::{and_cost, ds1, ds1_code, ds2, ds3, ds4, merge_cost, spc, AndInput, ColumnParams};
 
 /// Granule runs each worker claims from the work-stealing scheduler
 /// over a query's lifetime — mirrors the executor's chunking policy
@@ -422,8 +422,13 @@ impl CostModel {
         let mut build = CostBreakdown::default();
         if !build_reused {
             // Right key: a DS1-shaped full scan whose "emit" term (SF = 1)
-            // is the hash insert per row.
-            build.add(ds1(&q.right_key, 1.0, c));
+            // is the hash insert per row. Code-keyed builds hash the
+            // stored codes and skip the per-unit decode.
+            build.add(if q.code_keyed {
+                ds1_code(&q.right_key, 1.0, c)
+            } else {
+                ds1(&q.right_key, 1.0, c)
+            });
         }
         // Right output blocks enter the pool at build for every
         // representation (compressed mini-columns or full decode).
@@ -437,7 +442,11 @@ impl CostModel {
         let mut probe = CostBreakdown::default();
         // Left key: a DS1 at the filter's selectivity, plus one hash
         // probe per surviving row.
-        probe.add(ds1(&q.left_key, q.sf, c));
+        probe.add(if q.code_keyed {
+            ds1_code(&q.left_key, q.sf, c)
+        } else {
+            ds1(&q.left_key, q.sf, c)
+        });
         probe.add_cpu(q.left_rows() * q.sf * c.fc);
         // Left output values: merge on sorted positions (one column-
         // iterator step + function call per output value), blocks read in
@@ -697,6 +706,11 @@ pub struct JoinParams {
     pub left_out_resident: f64,
     /// Resident fraction of the right output blocks.
     pub right_out_resident: f64,
+    /// Whether both key columns carry one shared sorted dictionary over
+    /// the same domain, so the join hashes and probes u32 codes and
+    /// never decodes a key (compressed execution). Key scans are then
+    /// priced with [`ds1_code`]; I/O is unchanged.
+    pub code_keyed: bool,
 }
 
 impl JoinParams {
@@ -714,6 +728,7 @@ impl JoinParams {
             right_out_blocks: right_key.blocks,
             left_out_resident: 0.0,
             right_out_resident: 0.0,
+            code_keyed: false,
         }
     }
 
@@ -805,12 +820,16 @@ mod tests {
             rows: n,
             run_len: n / 3800.0,
             resident: 0.0,
+            code_width: 8.0,
+            shared_dict: false,
         };
         let c2 = ColumnParams {
             blocks: 5.0,
             rows: n,
             run_len: n / 26_726.0,
             resident: 0.0,
+            code_width: 8.0,
+            shared_dict: false,
         };
         let mut q = QueryParams::selection(n, c1, c2, sf1, 0.96);
         // Positions from a range predicate over the semi-sorted shipdate
@@ -827,12 +846,16 @@ mod tests {
             rows: n,
             run_len: n / 3800.0,
             resident: 0.0,
+            code_width: 8.0,
+            shared_dict: false,
         };
         let c2 = ColumnParams {
             blocks: 916.0,
             rows: n,
             run_len: 1.0,
             resident: 0.0,
+            code_width: 8.0,
+            shared_dict: false,
         };
         let mut q = QueryParams::selection(n, c1, c2, sf1, 0.96);
         q.pos_run_len1 = (n * sf1 / 3.0).max(1.0);
@@ -1135,6 +1158,44 @@ mod tests {
                 let mc = m.hash_join_with_reuse(&q, JoinInnerKind::MultiColumn, true);
                 assert!(reused.build.cpu_us > mc.build.cpu_us);
             }
+        }
+    }
+
+    #[test]
+    fn code_keyed_join_drops_key_decode_from_both_scans() {
+        let m = model();
+        let c = *m.constants();
+        let mut q = join_params(0.5);
+        q.left_key.code_width = 2.0;
+        q.left_key.shared_dict = true;
+        q.right_key.code_width = 2.0;
+        q.right_key.shared_dict = true;
+        let mut qc = q;
+        qc.code_keyed = true;
+        // Per key scan: the per-unit decode (FC) disappears and the
+        // iterator step narrows to W/8 of TICCOL; the emit term and all
+        // I/O are untouched. SF cancels out of the difference.
+        let save = |col: &ColumnParams| {
+            col.rows * ((c.tic_col + c.fc) - c.tic_col * col.code_cpu_factor())
+                / col.run_len.max(1.0)
+        };
+        for kind in JoinInnerKind::ALL {
+            let plain = m.hash_join(&q, kind);
+            let coded = m.hash_join(&qc, kind);
+            let expect_build = plain.build.cpu_us - save(&qc.right_key);
+            let expect_probe = plain.probe.cpu_us - save(&qc.left_key);
+            assert!((coded.build.cpu_us - expect_build).abs() < 1e-6, "{kind:?}");
+            assert!((coded.probe.cpu_us - expect_probe).abs() < 1e-6, "{kind:?}");
+            assert_eq!(coded.build.io_us, plain.build.io_us, "{kind:?}");
+            assert_eq!(coded.probe.io_us, plain.probe.io_us, "{kind:?}");
+            assert!(coded.total_us() < plain.total_us(), "{kind:?}");
+        }
+        // A reused build skips its key scan entirely — nothing left for
+        // the code path to discount on that side.
+        for kind in JoinInnerKind::ALL {
+            let plain = m.hash_join_with_reuse(&q, kind, true);
+            let coded = m.hash_join_with_reuse(&qc, kind, true);
+            assert_eq!(coded.build, plain.build, "{kind:?}");
         }
     }
 

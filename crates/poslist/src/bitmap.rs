@@ -214,6 +214,60 @@ impl Bitmap {
         out
     }
 
+    /// In-place OR of another bitmap whose covering range must be
+    /// contained in this bitmap's range, with no alignment requirement:
+    /// 64 positions merge per iteration even when the operands' word
+    /// boundaries disagree. This is how per-block scan results are
+    /// folded into a window-wide bitmap.
+    ///
+    /// # Panics
+    /// Panics if `other`'s covering range is not contained in this one.
+    pub fn union(&mut self, other: &Bitmap) {
+        if other.range.is_empty() {
+            return;
+        }
+        assert!(
+            self.range.start <= other.range.start && other.range.end <= self.range.end,
+            "union requires {} to contain {}",
+            self.range,
+            other.range
+        );
+        let first = ((other.range.start - self.range.start) / 64) as usize;
+        let last = ((other.range.end - 1 - self.range.start) / 64) as usize;
+        for w in first..=last {
+            let abs = self.range.start + (w as u64) * 64;
+            self.words[w] |= other.get_word(abs);
+        }
+    }
+
+    /// Set every bit of a run of consecutive positions, word-wise.
+    ///
+    /// # Panics
+    /// Panics if the run is not contained in the covering range.
+    pub fn set_run(&mut self, run: PosRange) {
+        if run.is_empty() {
+            return;
+        }
+        assert!(
+            self.range.start <= run.start && run.end <= self.range.end,
+            "run {run} outside {}",
+            self.range
+        );
+        let s = (run.start - self.range.start) as usize;
+        let e = (run.end - 1 - self.range.start) as usize; // inclusive
+        let (sw, sb) = (s / 64, (s % 64) as u32);
+        let (ew, eb) = (e / 64, (e % 64) as u32);
+        if sw == ew {
+            self.words[sw] |= (u64::MAX >> (63 - eb)) & (u64::MAX << sb);
+        } else {
+            self.words[sw] |= u64::MAX << sb;
+            for w in &mut self.words[sw + 1..ew] {
+                *w = u64::MAX;
+            }
+            self.words[ew] |= u64::MAX >> (63 - eb);
+        }
+    }
+
     /// In-place OR of another bitmap whose covering range must be contained
     /// in (or equal to) this bitmap's range. Used when ORing per-value
     /// bit-strings of a bit-vector encoded block, which are always aligned.
@@ -358,6 +412,49 @@ mod tests {
         let c = a.or(&b);
         assert_eq!(c.covering(), r(0, 160));
         assert_eq!(c.iter().collect::<Vec<_>>(), vec![0, 69, 100, 159]);
+    }
+
+    #[test]
+    fn union_merges_misaligned_contained_bitmaps() {
+        let mut acc = Bitmap::zeros(r(0, 300));
+        acc.union(&Bitmap::from_positions(r(3, 70), [3, 42, 69]));
+        acc.union(&Bitmap::from_positions(r(70, 200), [70, 127, 128, 199]));
+        acc.union(&Bitmap::zeros(PosRange::empty()));
+        assert_eq!(
+            acc.iter().collect::<Vec<_>>(),
+            vec![3, 42, 69, 70, 127, 128, 199]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "contain")]
+    fn union_rejects_uncontained_operand() {
+        let mut acc = Bitmap::zeros(r(10, 50));
+        acc.union(&Bitmap::zeros(r(40, 60)));
+    }
+
+    #[test]
+    fn set_run_within_one_word_and_across_words() {
+        let mut b = Bitmap::zeros(r(5, 400));
+        b.set_run(r(7, 10)); // single word, interior
+        b.set_run(r(64, 64)); // empty: no-op
+        b.set_run(r(60, 200)); // spans full words
+        b.set_run(r(399, 400)); // final position
+        let got: Vec<Pos> = b.iter().collect();
+        let mut expected: Vec<Pos> = (7..10).collect();
+        expected.extend(60..200);
+        expected.push(399);
+        assert_eq!(got, expected);
+        assert_eq!(b.count(), 3 + 140 + 1);
+    }
+
+    #[test]
+    fn set_run_word_aligned_boundaries() {
+        let mut b = Bitmap::zeros(r(0, 256));
+        b.set_run(r(64, 128)); // exactly one full word
+        b.set_run(r(0, 64)); // from bit zero
+        assert_eq!(b.count(), 128);
+        assert_eq!(b.iter().collect::<Vec<_>>(), (0..128).collect::<Vec<_>>());
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! values (no value access). Position fetch (DS3) is unsupported: a
 //! position's value is only discoverable by probing every bit-string.
 
-use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
+use matstrat_common::{codeops, Error, Pos, PosRange, Predicate, Result, Value};
 use matstrat_poslist::{Bitmap, PosList};
 
 use crate::wire::{put_i64, put_u32, put_u64, Reader};
@@ -99,6 +99,9 @@ impl BitVecBlock {
     /// DS1: OR together the bit-strings of matching values — the §2.1.1
     /// "positions derived directly from the index" path. Emits a bitmap.
     pub fn scan_positions(&self, pred: &Predicate) -> PosList {
+        // One predicate evaluation per distinct value, then pure word ORs:
+        // the whole scan runs on the encoded representation.
+        codeops::add(self.values.len() as u64);
         let covering = PosRange::new(self.start_pos, self.start_pos + self.count as u64);
         let mut acc = vec![0u64; self.words_per_value];
         for (i, &v) in self.values.iter().enumerate() {
@@ -171,6 +174,22 @@ impl BitVecBlock {
                 out[base + p as usize] = v;
             }
         }
+    }
+
+    /// Number of maximal equal-value runs, without decompression: every
+    /// run of some value `v` is a maximal 1-run in `v`'s bit-string and
+    /// vice versa, so the total is the number of 1-run starts (a set bit
+    /// whose predecessor bit is clear) summed over all bit-strings.
+    pub fn num_runs(&self) -> u64 {
+        let mut total = 0u64;
+        for i in 0..self.values.len() {
+            let mut prev_top = 0u64; // previous word's bit 63, moved to bit 0
+            for &w in self.bitstring(i) {
+                total += (w & !((w << 1) | prev_top)).count_ones() as u64;
+                prev_top = w >> 63;
+            }
+        }
+        total
     }
 
     /// Visit equal-value runs in position order (requires decompression).
@@ -321,6 +340,22 @@ mod tests {
         let pl = b.scan_positions(&Predicate::eq(1));
         let expected: Vec<Pos> = (0..130).filter(|p| p % 2 == 1).collect();
         assert_eq!(pl.to_vec(), expected);
+    }
+
+    #[test]
+    fn num_runs_counts_bitstring_run_starts() {
+        for vals in [
+            vec![5, 7, 5, 9, 7, 5],
+            vec![1; 6],
+            (0..130).map(|i| i % 2).collect::<Vec<Value>>(),
+            vec![3, 3, 4, 4, 4, 3, 5, 5],
+            Vec::new(),
+        ] {
+            let b = BitVecBlock::from_values(0, &vals);
+            let mut expect = 0u64;
+            b.for_each_run(|_, _| expect += 1);
+            assert_eq!(b.num_runs(), expect, "{vals:?}");
+        }
     }
 
     #[test]

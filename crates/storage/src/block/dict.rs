@@ -6,8 +6,10 @@
 //! codes. Unlike bit-vector encoding, dictionary blocks support position
 //! fetch (DS3) in O(1), so every materialization strategy runs on them.
 
-use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
-use matstrat_poslist::{PosList, PosListBuilder};
+use std::collections::HashMap;
+
+use matstrat_common::{codeops, CodePredicate, Error, Pos, PosRange, Predicate, Result, Value};
+use matstrat_poslist::{Bitmap, PosList};
 
 use crate::wire::{put_i64, put_u32, Reader};
 use crate::BLOCK_SIZE;
@@ -18,10 +20,15 @@ use super::BLOCK_HEADER_SIZE;
 #[derive(Debug, Clone, PartialEq)]
 pub struct DictBlock {
     start_pos: Pos,
-    /// Distinct values in first-appearance order; codes index this table.
+    /// Distinct values; codes index this table. First-appearance order
+    /// for per-block dictionaries, ascending for shared dictionaries.
     dict: Vec<Value>,
     /// One code per row.
     codes: Vec<u32>,
+    /// Content hash of `dict` (see [`dict_fingerprint`]): two columns
+    /// whose blocks carry equal fingerprints use the same code space, so
+    /// joins can compare codes instead of decoded values.
+    fingerprint: u64,
 }
 
 /// Smallest byte width that can hold codes `0..k`.
@@ -35,6 +42,25 @@ fn code_width_for(k: usize) -> usize {
     }
 }
 
+/// Content fingerprint of a dictionary: FNV-1a over the entry count and
+/// every value, so equal fingerprints mean (up to hash collision, which
+/// consumers guard against by comparing the dictionaries themselves)
+/// that two blocks assign identical codes to identical values.
+pub fn dict_fingerprint(dict: &[Value]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for byte in (dict.len() as u64).to_le_bytes() {
+        h = (h ^ byte as u64).wrapping_mul(PRIME);
+    }
+    for &v in dict {
+        for byte in v.to_le_bytes() {
+            h = (h ^ byte as u64).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
 impl DictBlock {
     /// Serialized size for `k` distinct values and `rows` rows.
     pub fn encoded_size(k: usize, rows: usize) -> usize {
@@ -46,17 +72,18 @@ impl DictBlock {
     /// # Panics
     /// Panics if the block would exceed 64 KB.
     pub fn from_values(start_pos: Pos, values: &[Value]) -> DictBlock {
+        // First-appearance code assignment, indexed by a hash map so
+        // encoding is O(n) instead of O(n·k). The emitted dictionary and
+        // codes are byte-identical to the old linear-probe loop.
         let mut dict: Vec<Value> = Vec::new();
+        let mut index: HashMap<Value, u32> = HashMap::new();
         let mut codes = Vec::with_capacity(values.len());
         for &v in values {
-            let code = match dict.iter().position(|&d| d == v) {
-                Some(i) => i,
-                None => {
-                    dict.push(v);
-                    dict.len() - 1
-                }
-            };
-            codes.push(code as u32);
+            let code = *index.entry(v).or_insert_with(|| {
+                dict.push(v);
+                (dict.len() - 1) as u32
+            });
+            codes.push(code);
         }
         assert!(
             Self::encoded_size(dict.len(), values.len()) <= BLOCK_SIZE,
@@ -64,11 +91,59 @@ impl DictBlock {
             dict.len(),
             values.len()
         );
+        let fingerprint = dict_fingerprint(&dict);
         DictBlock {
             start_pos,
             dict,
             codes,
+            fingerprint,
         }
+    }
+
+    /// Encode `values` against a caller-provided dictionary instead of a
+    /// per-block one — the shared-dictionary path: every block encoded
+    /// against the same table carries the same fingerprint and the same
+    /// value↔code mapping, so predicates, probes, and aggregates can
+    /// compare codes across blocks (and across columns, e.g. a fact
+    /// foreign key against the dimension key it references).
+    ///
+    /// Errors if a value is absent from `dict`; panics (like
+    /// [`from_values`](Self::from_values)) if the block would exceed
+    /// 64 KB.
+    pub fn from_values_shared(
+        start_pos: Pos,
+        values: &[Value],
+        dict: &[Value],
+    ) -> Result<DictBlock> {
+        let index: HashMap<Value, u32> = dict
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
+        let mut codes = Vec::with_capacity(values.len());
+        for &v in values {
+            match index.get(&v) {
+                Some(&c) => codes.push(c),
+                None => {
+                    return Err(Error::invalid(format!(
+                        "value {v} not in the shared dictionary ({} entries)",
+                        dict.len()
+                    )))
+                }
+            }
+        }
+        assert!(
+            Self::encoded_size(dict.len(), values.len()) <= BLOCK_SIZE,
+            "dict block overflow: k={} rows={}",
+            dict.len(),
+            values.len()
+        );
+        Ok(DictBlock {
+            start_pos,
+            dict: dict.to_vec(),
+            codes,
+            fingerprint: dict_fingerprint(dict),
+        })
     }
 
     /// Absolute position of the first row.
@@ -89,9 +164,31 @@ impl DictBlock {
         &self.dict
     }
 
+    /// The packed codes, one per row in position order.
+    #[inline]
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Content fingerprint of the dictionary (see [`dict_fingerprint`]).
+    #[inline]
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     /// Byte width codes are packed at on disk.
     pub fn code_width(&self) -> usize {
         code_width_for(self.dict.len())
+    }
+
+    /// DS3 point fetch of *codes* (no value decode).
+    pub fn gather_codes(&self, positions: &[Pos], out: &mut Vec<u32>) -> Result<()> {
+        out.reserve(positions.len());
+        for &p in positions {
+            let idx = self.check_pos(p)?;
+            out.push(self.codes[idx]);
+        }
+        Ok(())
     }
 
     fn check_pos(&self, pos: Pos) -> Result<usize> {
@@ -101,43 +198,24 @@ impl DictBlock {
         Ok((pos - self.start_pos) as usize)
     }
 
-    /// DS1: evaluate the predicate once per dictionary entry, then test
-    /// codes against the resulting small match table.
+    /// DS1: translate the predicate into the code domain once, then test
+    /// packed codes only — values are never decoded.
     pub fn scan_positions(&self, pred: &Predicate) -> PosList {
-        let matches: Vec<bool> = self.dict.iter().map(|&v| pred.matches(v)).collect();
-        let mut b = PosListBuilder::new();
-        for (i, &c) in self.codes.iter().enumerate() {
-            if matches[c as usize] {
-                b.push(self.start_pos + i as u64);
-            }
-        }
-        b.finish()
+        self.scan_positions_span(pred, 0, self.codes.len())
     }
 
-    /// DS2: matching (pos, value) pairs.
+    /// DS2: matching (pos, value) pairs. The filter runs on codes; only
+    /// matching rows decode (one dictionary index each).
     pub fn scan_pairs(&self, pred: &Predicate, out_pos: &mut Vec<Pos>, out_val: &mut Vec<Value>) {
-        let matches: Vec<bool> = self.dict.iter().map(|&v| pred.matches(v)).collect();
-        for (i, &c) in self.codes.iter().enumerate() {
-            if matches[c as usize] {
-                out_pos.push(self.start_pos + i as u64);
-                out_val.push(self.dict[c as usize]);
-            }
-        }
+        self.scan_pairs_span(pred, 0, self.codes.len(), out_pos, out_val);
     }
 
     /// DS1 restricted to `window` (already intersected with the covering
     /// range by the caller).
     pub fn scan_positions_in(&self, pred: &Predicate, window: PosRange) -> PosList {
-        let matches: Vec<bool> = self.dict.iter().map(|&v| pred.matches(v)).collect();
         let lo = (window.start - self.start_pos) as usize;
         let hi = (window.end - self.start_pos) as usize;
-        let mut b = PosListBuilder::new();
-        for i in lo..hi {
-            if matches[self.codes[i] as usize] {
-                b.push(self.start_pos + i as u64);
-            }
-        }
-        b.finish()
+        self.scan_positions_span(pred, lo, hi)
     }
 
     /// DS2 restricted to `window`.
@@ -148,14 +226,70 @@ impl DictBlock {
         out_pos: &mut Vec<Pos>,
         out_val: &mut Vec<Value>,
     ) {
-        let matches: Vec<bool> = self.dict.iter().map(|&v| pred.matches(v)).collect();
         let lo = (window.start - self.start_pos) as usize;
         let hi = (window.end - self.start_pos) as usize;
+        self.scan_pairs_span(pred, lo, hi, out_pos, out_val);
+    }
+
+    fn scan_positions_span(&self, pred: &Predicate, lo: usize, hi: usize) -> PosList {
+        let cp = pred.to_code_domain(&self.dict);
+        codeops::add((hi - lo) as u64);
+        let span = PosRange::new(self.start_pos + lo as u64, self.start_pos + hi as u64);
+        // Dictionary codes are unsorted, so matches arrive as scattered
+        // singletons; the predicate dispatch runs once per span and each
+        // variant fills a bit-map with one branch-free OR per code.
+        match &cp {
+            CodePredicate::None => PosList::empty(),
+            CodePredicate::All => PosList::full(span),
+            CodePredicate::Eq(k) => self.fill_span_bitmap(span, lo, hi, |c| c == *k),
+            CodePredicate::Ne(k) => self.fill_span_bitmap(span, lo, hi, |c| c != *k),
+            CodePredicate::Range(clo, chi) => {
+                self.fill_span_bitmap(span, lo, hi, |c| c >= *clo && c <= *chi)
+            }
+            // Codes are dictionary indices by construction, so the table
+            // variant indexes without a bounds probe.
+            CodePredicate::Table(t) => self.fill_span_bitmap(span, lo, hi, |c| t[c as usize]),
+        }
+    }
+
+    /// Evaluate `matches` over the span's codes 64 at a time, packing the
+    /// outcomes straight into bitmap words.
+    fn fill_span_bitmap(
+        &self,
+        span: PosRange,
+        lo: usize,
+        hi: usize,
+        matches: impl Fn(u32) -> bool,
+    ) -> PosList {
+        let mut words = vec![0u64; (hi - lo).div_ceil(64)];
+        for (chunk, word) in self.codes[lo..hi].chunks(64).zip(words.iter_mut()) {
+            let mut bits = 0u64;
+            for (b, &c) in chunk.iter().enumerate() {
+                bits |= (matches(c) as u64) << b;
+            }
+            *word = bits;
+        }
+        PosList::Bitmap(Bitmap::from_words(span, words))
+    }
+
+    fn scan_pairs_span(
+        &self,
+        pred: &Predicate,
+        lo: usize,
+        hi: usize,
+        out_pos: &mut Vec<Pos>,
+        out_val: &mut Vec<Value>,
+    ) {
+        let cp = pred.to_code_domain(&self.dict);
+        codeops::add((hi - lo) as u64);
+        if cp.matches_nothing() {
+            return;
+        }
         for i in lo..hi {
-            let c = self.codes[i] as usize;
-            if matches[c] {
+            let c = self.codes[i];
+            if cp.matches_code(c) {
                 out_pos.push(self.start_pos + i as u64);
-                out_val.push(self.dict[c]);
+                out_val.push(self.dict[c as usize]);
             }
         }
     }
@@ -196,6 +330,16 @@ impl DictBlock {
         for &c in &self.codes {
             out.push(self.dict[c as usize]);
         }
+    }
+
+    /// Number of maximal equal-value runs: one pass of code compares, no
+    /// value decode. (Codes map 1:1 to values, so code transitions are
+    /// exactly value transitions.)
+    pub fn num_runs(&self) -> u64 {
+        if self.codes.is_empty() {
+            return 0;
+        }
+        self.codes.windows(2).filter(|w| w[0] != w[1]).count() as u64 + 1
     }
 
     /// Visit equal-value runs (coalesced over codes, no value decode until
@@ -290,10 +434,12 @@ impl DictBlock {
                 )));
             }
         }
+        let fingerprint = dict_fingerprint(&dict);
         Ok(DictBlock {
             start_pos,
             dict,
             codes,
+            fingerprint,
         })
     }
 }
@@ -348,6 +494,78 @@ mod tests {
         let mut r = Reader::new(&buf);
         let back = DictBlock::parse_payload(0, 300, 2, &mut r).unwrap();
         assert_eq!(back, b);
+    }
+
+    #[test]
+    fn hashed_encoding_keeps_first_appearance_order() {
+        // The dictionary (and therefore every code) must be identical to
+        // what the old linear-probe loop emitted: first-appearance order.
+        let vals = vec![50, 20, 50, 90, 20, 20, 10, 90];
+        let b = DictBlock::from_values(0, &vals);
+        assert_eq!(b.dictionary(), &[50, 20, 90, 10]);
+        assert_eq!(b.codes(), &[0, 1, 0, 2, 1, 1, 3, 2]);
+    }
+
+    #[test]
+    fn shared_dict_blocks_agree_on_codes_and_fingerprint() {
+        let dict = vec![10, 20, 30, 40];
+        let a = DictBlock::from_values_shared(0, &[20, 40, 20], &dict).unwrap();
+        let b = DictBlock::from_values_shared(100, &[40, 10], &dict).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.codes(), &[1, 3, 1]);
+        assert_eq!(b.codes(), &[3, 0]);
+        // A per-block dictionary over the same values assigns different
+        // codes (first-appearance order) and a different fingerprint.
+        let c = DictBlock::from_values(0, &[20, 40, 20]);
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        // Values outside the dictionary are rejected.
+        assert!(DictBlock::from_values_shared(0, &[99], &dict).is_err());
+    }
+
+    #[test]
+    fn fingerprint_survives_serialization() {
+        let dict = vec![10, 20, 30];
+        let b = DictBlock::from_values_shared(0, &[30, 10, 20, 20], &dict).unwrap();
+        let mut buf = Vec::new();
+        b.serialize_payload(&mut buf);
+        let mut r = Reader::new(&buf);
+        let back = DictBlock::parse_payload(0, 4, 1, &mut r).unwrap();
+        assert_eq!(back.fingerprint(), b.fingerprint());
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn shared_sorted_dict_scans_ranges_without_tables() {
+        // A shared dictionary is sorted, so range predicates translate to
+        // code ranges; the scan result must match value-domain filtering.
+        let dict = vec![10, 20, 30, 40];
+        let vals = vec![40, 10, 30, 20, 30, 40];
+        let b = DictBlock::from_values_shared(0, &vals, &dict).unwrap();
+        let pl = b.scan_positions(&Predicate::between(15, 35));
+        let expect: Vec<Pos> = vals
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| (15..=35).contains(&v))
+            .map(|(i, _)| i as Pos)
+            .collect();
+        assert_eq!(pl.to_vec(), expect);
+    }
+
+    #[test]
+    fn gather_codes_matches_decoded_gather() {
+        let b = DictBlock::from_values(5, &[7, 8, 9, 7]);
+        let mut codes = Vec::new();
+        b.gather_codes(&[5, 8, 6], &mut codes).unwrap();
+        assert_eq!(codes, vec![0, 0, 1]);
+        assert!(b.gather_codes(&[99], &mut codes).is_err());
+    }
+
+    #[test]
+    fn scans_record_code_ops() {
+        let b = DictBlock::from_values(0, &[1, 2, 1, 3]);
+        let before = matstrat_common::codeops::snapshot();
+        b.scan_positions(&Predicate::eq(2));
+        assert_eq!(matstrat_common::codeops::snapshot() - before, 4);
     }
 
     #[test]

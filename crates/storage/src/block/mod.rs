@@ -313,10 +313,17 @@ impl EncodedBlock {
     }
 
     /// Number of runs [`for_each_run`](Self::for_each_run) would visit.
+    ///
+    /// Computed per codec without materializing values: RLE stores its
+    /// runs, plain compares packed bytes, dict compares codes, bit-vector
+    /// counts 1-run starts across its bit-strings.
     pub fn num_runs(&self) -> u64 {
-        let mut n = 0;
-        self.for_each_run(|_, _| n += 1);
-        n
+        match self {
+            EncodedBlock::Plain(b) => b.num_runs(),
+            EncodedBlock::Rle(b) => b.runs().len() as u64,
+            EncodedBlock::BitVec(b) => b.num_runs(),
+            EncodedBlock::Dict(b) => b.num_runs(),
+        }
     }
 
     /// Serialize to the on-disk format (≤ [`BLOCK_SIZE`] bytes).
@@ -525,6 +532,17 @@ mod tests {
         let b = EncodedBlock::Rle(RleBlock::from_values(10, &values));
         assert_eq!(b.covering(), PosRange::new(10, 13));
         assert_eq!(b.num_runs(), 2);
+    }
+
+    #[test]
+    fn num_runs_matches_for_each_run_on_every_codec() {
+        for values in [sample_values(), vec![7; 50], vec![-3], Vec::new()] {
+            for block in all_blocks(&values, 40) {
+                let mut n = 0;
+                block.for_each_run(|_, _| n += 1);
+                assert_eq!(block.num_runs(), n, "{:?} {values:?}", block.encoding());
+            }
+        }
     }
 
     #[test]

@@ -209,6 +209,22 @@ impl PlainBlock {
         }
     }
 
+    /// Number of maximal equal-value runs: one pass of fixed-width byte
+    /// compares over the packed payload, no value materialization.
+    pub fn num_runs(&self) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let w = self.width.bytes();
+        let transitions = self
+            .raw
+            .chunks_exact(w)
+            .zip(self.raw.chunks_exact(w).skip(1))
+            .filter(|(a, b)| a != b)
+            .count();
+        transitions as u64 + 1
+    }
+
     /// Visit maximal equal-value runs (coalesced on the fly).
     pub fn for_each_run(&self, mut f: impl FnMut(Value, PosRange)) {
         if self.count == 0 {

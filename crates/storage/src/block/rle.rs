@@ -6,7 +6,7 @@
 //! (V, L) on disk — S is the running sum — and materialize S when the
 //! block is parsed, so the in-memory form matches the paper's triples.
 
-use matstrat_common::{Error, Pos, PosRange, Predicate, Result, Value};
+use matstrat_common::{codeops, Error, Pos, PosRange, Predicate, Result, Value};
 use matstrat_poslist::{PosList, PosListBuilder};
 
 use crate::wire::{put_i64, put_u32, Reader};
@@ -133,6 +133,7 @@ impl RleBlock {
     /// DS1: one whole run matches or fails per comparison — O(#runs).
     /// Emits the range representation, the natural output for RLE.
     pub fn scan_positions(&self, pred: &Predicate) -> PosList {
+        codeops::add(self.runs.len() as u64);
         let mut b = PosListBuilder::new();
         for r in &self.runs {
             if pred.matches(r.value) {
@@ -164,8 +165,10 @@ impl RleBlock {
 
     /// DS1 restricted to `window`: O(overlapping runs).
     pub fn scan_positions_in(&self, pred: &Predicate, window: PosRange) -> PosList {
+        let overlapping = self.runs_overlapping(window);
+        codeops::add(overlapping.len() as u64);
         let mut b = PosListBuilder::new();
-        for r in self.runs_overlapping(window) {
+        for r in overlapping {
             if pred.matches(r.value) {
                 b.push_run(r.range().intersect(&window));
             }

@@ -62,6 +62,12 @@ pub struct ColumnSpec {
     pub encoding: EncodingKind,
     /// Role in the sort key.
     pub sort: SortOrder,
+    /// Dict only: encode every block against one column-wide dictionary
+    /// of sorted distinct values instead of a per-block first-appearance
+    /// dictionary. Sortedness makes range predicates translate to code
+    /// ranges, and two columns over the same value domain get identical
+    /// dictionaries (equal fingerprints), enabling code-keyed joins.
+    pub shared_dict: bool,
 }
 
 /// Declared layout of a projection to be loaded.
@@ -93,6 +99,23 @@ impl ProjectionSpec {
             name: name.into(),
             encoding,
             sort,
+            shared_dict: false,
+        });
+        self
+    }
+
+    /// Builder-style: append a dict column encoded against a shared
+    /// column-wide sorted dictionary (see [`ColumnSpec::shared_dict`]).
+    pub fn column_shared_dict(
+        mut self,
+        name: impl Into<String>,
+        sort: SortOrder,
+    ) -> ProjectionSpec {
+        self.columns.push(ColumnSpec {
+            name: name.into(),
+            encoding: EncodingKind::Dict,
+            sort,
+            shared_dict: true,
         });
         self
     }
@@ -129,6 +152,9 @@ pub struct ColumnInfo {
     pub stats: ColumnStats,
     /// Backing file name on the disk.
     pub file: String,
+    /// Whether every block shares one sorted column-wide dictionary
+    /// (see [`ColumnSpec::shared_dict`]). Survives compaction.
+    pub shared_dict: bool,
 }
 
 impl ColumnInfo {
@@ -272,7 +298,9 @@ impl Catalog {
     pub fn serialize(&self) -> Vec<u8> {
         let mut buf = Vec::new();
         buf.extend_from_slice(b"MSCT");
-        put_u32(&mut buf, 2); // version (2 adds per-projection wal_epoch)
+        // Version history: 2 added per-projection wal_epoch, 3 added a
+        // per-column flags byte (bit 0 = shared dictionary).
+        put_u32(&mut buf, 3);
         put_u32(&mut buf, self.projections.len() as u32);
         put_u32(&mut buf, self.next_column_id);
         for p in &self.projections {
@@ -286,6 +314,7 @@ impl Catalog {
                 put_u8(&mut buf, c.encoding.tag());
                 put_u8(&mut buf, c.width.bytes() as u8);
                 put_u8(&mut buf, c.sort.tag());
+                put_u8(&mut buf, u8::from(c.shared_dict));
                 put_str(&mut buf, &c.file);
                 put_u64(&mut buf, c.stats.num_rows);
                 put_u64(&mut buf, c.stats.num_blocks);
@@ -305,7 +334,7 @@ impl Catalog {
             return Err(Error::corrupt("catalog: bad magic"));
         }
         let version = r.u32()?;
-        if version != 1 && version != 2 {
+        if !(1..=3).contains(&version) {
             return Err(Error::corrupt(format!(
                 "catalog: unknown version {version}"
             )));
@@ -335,6 +364,8 @@ impl Catalog {
                     w => return Err(Error::corrupt(format!("catalog: bad width {w}"))),
                 };
                 let sort = SortOrder::from_tag(r.u8()?)?;
+                // Versions 1–2 predate per-column flags.
+                let flags = if version >= 3 { r.u8()? } else { 0 };
                 let file = get_str(&mut r)?;
                 let stats = ColumnStats {
                     num_rows: r.u64()?,
@@ -352,6 +383,7 @@ impl Catalog {
                     sort,
                     stats,
                     file,
+                    shared_dict: flags & 1 != 0,
                 });
             }
             cat.projections.push(ProjectionInfo {
@@ -430,6 +462,7 @@ mod tests {
             sort,
             stats: stats(),
             file: format!("{name}.col"),
+            shared_dict: false,
         }
     }
 
@@ -523,13 +556,43 @@ mod tests {
         cat.add_projection("t", 10, vec![col("a", SortOrder::Primary)])
             .unwrap();
         let mut bytes = cat.serialize();
-        // Rewrite the header version to 1 and splice out the 4-byte
-        // epoch field that v1 lacks (it sits right after name + rows).
+        // Rewrite the header version to 1 and splice out the fields v1
+        // lacks: the per-column flags byte (after name/id/enc/width/sort
+        // of column "a") first, then the 4-byte epoch (right after the
+        // projection name + row count) so the earlier offset stays valid.
         bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
         let epoch_at = 4 + 4 + 4 + 4 + (4 + 1) + 8;
+        let flags_at = epoch_at + 4 + 4 + (4 + 1) + 4 + 1 + 1 + 1;
+        bytes.drain(flags_at..flags_at + 1);
         bytes.drain(epoch_at..epoch_at + 4);
         let back = Catalog::parse(&bytes).unwrap();
-        assert_eq!(back.projection_by_name("t").unwrap().wal_epoch, 0);
+        let p = back.projection_by_name("t").unwrap();
+        assert_eq!(p.wal_epoch, 0);
+        assert!(!p.columns[0].shared_dict);
+    }
+
+    #[test]
+    fn shared_dict_flag_survives_roundtrip() {
+        let mut cat = Catalog::new();
+        let mut shared = col("k", SortOrder::None);
+        shared.encoding = EncodingKind::Dict;
+        shared.shared_dict = true;
+        cat.add_projection("t", 10, vec![shared, col("v", SortOrder::None)])
+            .unwrap();
+        let back = Catalog::parse(&cat.serialize()).unwrap();
+        let p = back.projection_by_name("t").unwrap();
+        assert!(p.columns[0].shared_dict);
+        assert!(!p.columns[1].shared_dict);
+    }
+
+    #[test]
+    fn spec_builder_shared_dict_column() {
+        let spec = ProjectionSpec::new("t")
+            .column("a", EncodingKind::Rle, SortOrder::Primary)
+            .column_shared_dict("k", SortOrder::None);
+        assert!(!spec.columns[0].shared_dict);
+        assert!(spec.columns[1].shared_dict);
+        assert_eq!(spec.columns[1].encoding, EncodingKind::Dict);
     }
 
     #[test]

@@ -86,6 +86,9 @@ pub struct ColumnFileWriter<'a> {
     block_distinct: Vec<Value>,
     /// Runs in the current block (RLE size control).
     block_runs: usize,
+    /// Dict only: a column-wide dictionary every block encodes against
+    /// (instead of per-block first-appearance dictionaries).
+    shared_dict: Option<Vec<Value>>,
     next_start: Pos,
     write_offset: u64,
     index: Vec<BlockIndexEntry>,
@@ -117,6 +120,7 @@ impl<'a> ColumnFileWriter<'a> {
             buffer: Vec::new(),
             block_distinct: Vec::new(),
             block_runs: 0,
+            shared_dict: None,
             next_start: 0,
             write_offset: HEADER_SIZE,
             index: Vec::new(),
@@ -128,9 +132,31 @@ impl<'a> ColumnFileWriter<'a> {
         })
     }
 
+    /// Create a dict-encoded column whose blocks all share `dict`
+    /// (must be sorted ascending distinct values; every pushed value
+    /// must be present in it or `finish`/`flush` will error).
+    pub fn create_shared_dict(
+        disk: &'a dyn Disk,
+        name: impl Into<String>,
+        dict: Vec<Value>,
+    ) -> Result<ColumnFileWriter<'a>> {
+        if !dict.windows(2).all(|w| w[0] < w[1]) {
+            return Err(Error::invalid(
+                "shared dictionary must be sorted ascending with distinct values",
+            ));
+        }
+        let mut w = Self::create(disk, name, EncodingKind::Dict, Width::W8)?;
+        w.shared_dict = Some(dict);
+        Ok(w)
+    }
+
     /// Whether appending `v` to the current block would overflow 64 KB.
     fn would_overflow(&self, v: Value) -> bool {
         let n = self.buffer.len();
+        if let Some(dict) = &self.shared_dict {
+            // The dictionary is fixed, so only the packed codes grow.
+            return DictBlock::encoded_size(dict.len(), n + 1) > BLOCK_SIZE;
+        }
         match self.encoding {
             EncodingKind::Plain => n >= PlainBlock::capacity(self.width),
             EncodingKind::Rle => {
@@ -167,7 +193,9 @@ impl<'a> ColumnFileWriter<'a> {
                 }
             }
             EncodingKind::BitVec | EncodingKind::Dict => {
-                if !self.block_distinct.contains(&v) {
+                // With a shared dictionary the block's cardinality is
+                // fixed, so per-block distinct tracking is unnecessary.
+                if self.shared_dict.is_none() && !self.block_distinct.contains(&v) {
                     self.block_distinct.push(v);
                 }
             }
@@ -209,9 +237,14 @@ impl<'a> ColumnFileWriter<'a> {
             EncodingKind::BitVec => {
                 EncodedBlock::BitVec(BitVecBlock::from_values(self.next_start, &self.buffer))
             }
-            EncodingKind::Dict => {
-                EncodedBlock::Dict(DictBlock::from_values(self.next_start, &self.buffer))
-            }
+            EncodingKind::Dict => match &self.shared_dict {
+                Some(dict) => EncodedBlock::Dict(DictBlock::from_values_shared(
+                    self.next_start,
+                    &self.buffer,
+                    dict,
+                )?),
+                None => EncodedBlock::Dict(DictBlock::from_values(self.next_start, &self.buffer)),
+            },
         };
         let bytes = block.serialize();
         self.disk.write_at(&self.name, self.write_offset, &bytes)?;
@@ -521,6 +554,51 @@ mod tests {
         disk.create("junk").unwrap();
         disk.write_at("junk", 0, &[0u8; 80]).unwrap();
         assert!(ColumnFileReader::open(&disk, "junk").is_err());
+    }
+
+    #[test]
+    fn shared_dict_writer_gives_every_block_the_same_fingerprint() {
+        // Enough rows to split into several blocks; values drawn from a
+        // small domain so per-block first-appearance dicts would differ.
+        // 1-byte codes pack ~65k rows per 64 KB block, so 150k rows
+        // forces a split.
+        let values: Vec<Value> = (0..150_000).map(|i| ((i * 7919) % 13) * 100).collect();
+        let mut dict: Vec<Value> = (0..13).map(|v| v * 100).collect();
+        dict.sort_unstable();
+        let disk = MemDisk::new();
+        let mut w = ColumnFileWriter::create_shared_dict(&disk, "c", dict.clone()).unwrap();
+        w.push_all(&values).unwrap();
+        let stats = w.finish().unwrap();
+        assert!(stats.num_blocks > 1, "want a multi-block column");
+        let r = ColumnFileReader::open(&disk, "c").unwrap();
+        let mut decoded = Vec::new();
+        let mut fps = HashSet::new();
+        for i in 0..r.num_blocks() {
+            let b = r.fetch_block(&disk, i).unwrap();
+            if let EncodedBlock::Dict(d) = &b {
+                assert_eq!(
+                    d.dictionary(),
+                    &dict[..],
+                    "block {i} must store the shared dict"
+                );
+                fps.insert(d.fingerprint());
+            } else {
+                panic!("expected dict block");
+            }
+            b.decode_all(&mut decoded);
+        }
+        assert_eq!(fps.len(), 1, "all blocks share one fingerprint");
+        assert_eq!(decoded, values);
+    }
+
+    #[test]
+    fn shared_dict_writer_rejects_unsorted_dict_and_absent_values() {
+        let disk = MemDisk::new();
+        assert!(ColumnFileWriter::create_shared_dict(&disk, "bad", vec![3, 1, 2]).is_err());
+        assert!(ColumnFileWriter::create_shared_dict(&disk, "dup", vec![1, 1]).is_err());
+        let mut w = ColumnFileWriter::create_shared_dict(&disk, "c", vec![1, 2, 3]).unwrap();
+        w.push(99).unwrap(); // caught when the block encodes
+        assert!(w.finish().is_err());
     }
 
     #[test]

@@ -55,6 +55,15 @@ fn wal_file(t: TableId) -> String {
     format!("wal_t{}.log", t.0)
 }
 
+/// Sorted ascending distinct values of a column — the shared dictionary
+/// a `shared_dict` column encodes every block against.
+fn sorted_distinct(data: &[Value]) -> Vec<Value> {
+    let mut d = data.to_vec();
+    d.sort_unstable();
+    d.dedup();
+    d
+}
+
 /// Adapts the store's [`Disk`] to the wal crate's [`WalStorage`]: the
 /// log is just another named file, created on first append.
 struct DiskWal {
@@ -249,8 +258,21 @@ impl Store {
                 Width::fitting(min, max)
             };
             let file = format!("t{table_idx}_c{ci}_{}.col", cspec.name);
-            let mut w =
-                ColumnFileWriter::create(self.inner.disk.as_ref(), &file, cspec.encoding, width)?;
+            if cspec.shared_dict && cspec.encoding != EncodingKind::Dict {
+                return Err(Error::invalid(format!(
+                    "column {}: shared_dict requires dict encoding",
+                    cspec.name
+                )));
+            }
+            let mut w = if cspec.shared_dict {
+                ColumnFileWriter::create_shared_dict(
+                    self.inner.disk.as_ref(),
+                    &file,
+                    sorted_distinct(data),
+                )?
+            } else {
+                ColumnFileWriter::create(self.inner.disk.as_ref(), &file, cspec.encoding, width)?
+            };
             w.push_all(data)?;
             let stats = w.finish()?;
             Ok(ColumnInfo {
@@ -261,6 +283,7 @@ impl Store {
                 sort: cspec.sort,
                 stats,
                 file,
+                shared_dict: cspec.shared_dict,
             })
         };
         // Scoped workers claim column indices from a shared counter
@@ -688,8 +711,18 @@ impl Store {
                 Width::fitting(min, max)
             };
             let file = format!("t{}_c{ci}_{}_e{new_epoch}.col", table.0, col.name);
-            let mut w =
-                ColumnFileWriter::create(self.inner.disk.as_ref(), &file, col.encoding, width)?;
+            // A shared-dict column stays shared-dict across compaction;
+            // the dictionary is recomputed because inserts may have
+            // widened the value domain.
+            let mut w = if col.shared_dict {
+                ColumnFileWriter::create_shared_dict(
+                    self.inner.disk.as_ref(),
+                    &file,
+                    sorted_distinct(data),
+                )?
+            } else {
+                ColumnFileWriter::create(self.inner.disk.as_ref(), &file, col.encoding, width)?
+            };
             w.push_all(data)?;
             let stats = w.finish()?;
             new_infos.push(ColumnInfo {
@@ -700,6 +733,7 @@ impl Store {
                 sort: if keep_sort { col.sort } else { SortOrder::None },
                 stats,
                 file,
+                shared_dict: col.shared_dict,
             });
         }
 
@@ -918,6 +952,44 @@ mod tests {
             ra.block(i).unwrap().decode_all(&mut decoded);
         }
         assert_eq!(decoded, a);
+    }
+
+    #[test]
+    fn shared_dict_survives_insert_and_compaction() {
+        let store = Store::in_memory();
+        let a: Vec<Value> = (0..1000).map(|i| i / 100).collect();
+        let k: Vec<Value> = (0..1000).map(|i| ((i * 31) % 9) * 10).collect();
+        let spec = ProjectionSpec::new("t")
+            .column("a", EncodingKind::Rle, SortOrder::Primary)
+            .column_shared_dict("k", SortOrder::None);
+        let id = store.load_projection(&spec, &[&a, &k]).unwrap();
+        assert!(store.projection(id).unwrap().columns[1].shared_dict);
+
+        // Insert a row whose key widens the dictionary domain, compact,
+        // and check the new generation is still a single shared dict.
+        store.insert_rows(id, &[vec![9, 999]]).unwrap();
+        assert!(store.compact(id).unwrap());
+        let p = store.projection(id).unwrap();
+        assert!(p.columns[1].shared_dict, "flag must survive compaction");
+        let r = store.reader(id, 1).unwrap();
+        let mut fps = std::collections::HashSet::new();
+        let mut decoded = Vec::new();
+        for i in 0..r.num_blocks() {
+            let b = r.block(i).unwrap();
+            match b.as_ref() {
+                EncodedBlock::Dict(d) => {
+                    assert!(d.dictionary().windows(2).all(|w| w[0] < w[1]));
+                    assert!(d.dictionary().contains(&999));
+                    fps.insert(d.fingerprint());
+                }
+                other => panic!("expected dict block, got {:?}", other.encoding()),
+            }
+            b.decode_all(&mut decoded);
+        }
+        assert_eq!(fps.len(), 1);
+        let mut expected = k.clone();
+        expected.push(999);
+        assert_eq!(decoded, expected);
     }
 
     #[test]

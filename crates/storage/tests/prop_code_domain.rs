@@ -1,0 +1,128 @@
+//! Property tests for the compressed-execution contract: translating a
+//! predicate into the code domain (`Predicate::to_code_domain`) and
+//! evaluating it over dictionary codes must agree exactly with evaluating
+//! the original predicate over decoded values — for **every** predicate
+//! constructor, for constants absent from the dictionary, and through
+//! every codec's `scan_positions` (the Dict codec scans codes only, the
+//! others scan runs / bit-strings / raw values).
+
+use matstrat_common::{Predicate, Value, Width};
+use matstrat_storage::{ColumnFileReader, ColumnFileWriter, DictBlock, EncodingKind, MemDisk};
+use proptest::prelude::*;
+use proptest::strategy::Strategy as PropStrategy;
+
+const ENCODINGS: [EncodingKind; 4] = [
+    EncodingKind::Plain,
+    EncodingKind::Rle,
+    EncodingKind::BitVec,
+    EncodingKind::Dict,
+];
+
+/// Every public constructor. Constants range wider than the data domain
+/// so eq/ne/between routinely name values absent from the dictionary.
+fn arb_pred() -> impl PropStrategy<Value = Predicate> {
+    (-30i64..30, 0i64..15, 0usize..8).prop_map(|(x, span, op)| match op {
+        0 => Predicate::lt(x),
+        1 => Predicate::le(x),
+        2 => Predicate::gt(x),
+        3 => Predicate::ge(x),
+        4 => Predicate::eq(x),
+        5 => Predicate::ne(x),
+        6 => Predicate::between(x, x + span),
+        _ => Predicate::always_true(),
+    })
+}
+
+fn arb_values() -> impl PropStrategy<Value = Vec<Value>> {
+    prop::collection::vec((-20i64..20, 1usize..12), 1..60).prop_map(|runs| {
+        runs.into_iter()
+            .flat_map(|(v, n)| std::iter::repeat_n(v, n))
+            .collect()
+    })
+}
+
+fn write_and_open(disk: &MemDisk, enc: EncodingKind, values: &[Value]) -> ColumnFileReader {
+    let mut w = ColumnFileWriter::create(disk, "c.col", enc, Width::W2).unwrap();
+    w.push_all(values).unwrap();
+    w.finish().unwrap();
+    ColumnFileReader::open(disk, "c.col").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The translation itself: over any sorted dictionary, a code
+    /// matches the translated predicate iff its decoded value matches
+    /// the original.
+    #[test]
+    fn code_domain_matches_value_domain(values in arb_values(), pred in arb_pred()) {
+        let mut dict: Vec<Value> = values.clone();
+        dict.sort_unstable();
+        dict.dedup();
+        let cp = pred.to_code_domain(&dict);
+        for (code, &v) in dict.iter().enumerate() {
+            prop_assert_eq!(
+                cp.matches_code(code as u32),
+                pred.matches(v),
+                "code {} (value {}) under {:?} -> {:?}",
+                code, v, pred, cp
+            );
+        }
+        // The shortcut classifications are truthful too.
+        if cp.matches_nothing() {
+            prop_assert!(dict.iter().all(|&v| !pred.matches(v)));
+        }
+        if cp.matches_everything() {
+            prop_assert!(dict.iter().all(|&v| pred.matches(v)));
+        }
+    }
+
+    /// The same contract end-to-end: every codec's position scan (Dict
+    /// evaluates the translated predicate over codes, never decoding)
+    /// returns exactly the positions a decoded filter would.
+    #[test]
+    fn every_codec_scan_agrees_with_decoded_filter(
+        values in arb_values(),
+        pred in arb_pred(),
+    ) {
+        let expected: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| pred.matches(**v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        for enc in ENCODINGS {
+            let disk = MemDisk::new();
+            let r = write_and_open(&disk, enc, &values);
+            let mut got = Vec::new();
+            for i in 0..r.num_blocks() {
+                got.extend(r.fetch_block(&disk, i).unwrap().scan_positions(&pred).to_vec());
+            }
+            prop_assert_eq!(&got, &expected, "{} {:?}", enc, pred);
+        }
+    }
+
+    /// Blocks encoded against a column-wide shared dictionary — the
+    /// dictionary typically holds values the block never stores — scan
+    /// to the same positions as a decoded filter.
+    #[test]
+    fn shared_dict_block_scan_agrees_with_decoded_filter(
+        values in arb_values(),
+        pred in arb_pred(),
+    ) {
+        let mut dict: Vec<Value> = values.clone();
+        // Widen the dictionary beyond the block's own values so the
+        // translation sees entries with no local occurrences.
+        dict.extend([-100, 100]);
+        dict.sort_unstable();
+        dict.dedup();
+        let b = DictBlock::from_values_shared(0, &values, &dict).unwrap();
+        let expected: Vec<u64> = values
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| pred.matches(**v))
+            .map(|(i, _)| i as u64)
+            .collect();
+        prop_assert_eq!(b.scan_positions(&pred).to_vec(), expected, "{:?}", pred);
+    }
+}

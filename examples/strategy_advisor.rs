@@ -19,6 +19,8 @@ fn profile(encoding: &str, sf1: f64) -> QueryParams {
         rows: n,
         run_len: n / 3800.0,
         resident: 0.0,
+        code_width: 8.0,
+        shared_dict: false,
     };
     let c2 = match encoding {
         // LINENUM uncompressed: 916 blocks of 1-byte values.
@@ -27,6 +29,8 @@ fn profile(encoding: &str, sf1: f64) -> QueryParams {
             rows: n,
             run_len: 1.0,
             resident: 0.0,
+            code_width: 8.0,
+            shared_dict: false,
         },
         // LINENUM RLE: 5 blocks, 26,726 runs.
         "rle" => ColumnParams {
@@ -34,6 +38,8 @@ fn profile(encoding: &str, sf1: f64) -> QueryParams {
             rows: n,
             run_len: n / 26_726.0,
             resident: 0.0,
+            code_width: 8.0,
+            shared_dict: false,
         },
         // LINENUM bit-vector: ~25 % of plain size.
         _ => ColumnParams {
@@ -41,6 +47,8 @@ fn profile(encoding: &str, sf1: f64) -> QueryParams {
             rows: n,
             run_len: 1.0,
             resident: 0.0,
+            code_width: 8.0,
+            shared_dict: false,
         },
     };
     let mut q = QueryParams::selection(n, c1, c2, sf1, 27.0 / 28.0);
