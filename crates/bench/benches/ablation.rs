@@ -12,7 +12,7 @@ use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criteri
 use matstrat_common::{PosRange, Predicate, Value};
 use matstrat_core::ops::agg::{aggregate_runs, Aggregator};
 use matstrat_core::MiniColumn;
-use matstrat_core::{AggFunc, Database, ExecOptions, QuerySpec, Strategy};
+use matstrat_core::{AggFunc, Database, ExecOptions, QueryPlan, QuerySpec, Statement, Strategy};
 use matstrat_storage::EncodingKind;
 
 use matstrat_bench::Harness;
@@ -20,22 +20,16 @@ use matstrat_bench::Harness;
 fn bench_multicolumn_reuse(c: &mut Criterion) {
     let h = Harness::new(0.01).expect("harness");
     let table = h.table(EncodingKind::Rle);
-    let q = h.selection_query(table, 0.5);
+    let stmt = Statement::Select(h.selection_query(table, 0.5));
+    let plan = QueryPlan::forced_scan(Strategy::LmParallel);
     let mut g = c.benchmark_group("ablation_multicolumn_reuse");
     for (name, reuse) in [("on", true), ("off", false)] {
         let opts = ExecOptions {
             multicolumn_reuse: reuse,
             ..ExecOptions::default()
         };
-        g.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
-            b.iter(|| {
-                black_box(
-                    h.db.run_with_options(q, Strategy::LmParallel, &opts)
-                        .unwrap()
-                        .0,
-                )
-                .num_rows()
-            })
+        g.bench_with_input(BenchmarkId::from_parameter(name), &stmt, |b, stmt| {
+            b.iter(|| black_box(h.db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows())
         });
     }
     g.finish();
@@ -45,7 +39,8 @@ fn bench_position_representation(c: &mut Criterion) {
     use matstrat_poslist::Repr;
     let h = Harness::new(0.01).expect("harness");
     let table = h.table(EncodingKind::Rle);
-    let q = h.selection_query(table, 0.5);
+    let stmt = Statement::Select(h.selection_query(table, 0.5));
+    let plan = QueryPlan::forced_scan(Strategy::LmParallel);
     let mut g = c.benchmark_group("ablation_poslist_repr");
     for (name, repr) in [
         ("default", None),
@@ -57,15 +52,8 @@ fn bench_position_representation(c: &mut Criterion) {
             force_repr: repr,
             ..ExecOptions::default()
         };
-        g.bench_with_input(BenchmarkId::from_parameter(name), &q, |b, q| {
-            b.iter(|| {
-                black_box(
-                    h.db.run_with_options(q, Strategy::LmParallel, &opts)
-                        .unwrap()
-                        .0,
-                )
-                .num_rows()
-            })
+        g.bench_with_input(BenchmarkId::from_parameter(name), &stmt, |b, stmt| {
+            b.iter(|| black_box(h.db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows())
         });
     }
     g.finish();
@@ -74,7 +62,8 @@ fn bench_position_representation(c: &mut Criterion) {
 fn bench_granule_size(c: &mut Criterion) {
     let h = Harness::new(0.01).expect("harness");
     let table = h.table(EncodingKind::Rle);
-    let q = h.selection_query(table, 0.5);
+    let stmt = Statement::Select(h.selection_query(table, 0.5));
+    let plan = QueryPlan::forced_scan(Strategy::LmParallel);
     let mut g = c.benchmark_group("ablation_granule");
     for shift in [12u32, 14, 16, 18] {
         let opts = ExecOptions {
@@ -83,15 +72,10 @@ fn bench_granule_size(c: &mut Criterion) {
         };
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("2^{shift}")),
-            &q,
-            |b, q| {
+            &stmt,
+            |b, stmt| {
                 b.iter(|| {
-                    black_box(
-                        h.db.run_with_options(q, Strategy::LmParallel, &opts)
-                            .unwrap()
-                            .0,
-                    )
-                    .num_rows()
+                    black_box(h.db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows()
                 })
             },
         );
@@ -140,12 +124,16 @@ fn bench_run_vs_tuple_aggregation(c: &mut Criterion) {
 
     // End-to-end: Figure 12's LM flattening, as one criterion comparison.
     let mut g = c.benchmark_group("ablation_agg_end_to_end");
-    let q = QuerySpec::select(id, vec![])
-        .filter(1, Predicate::lt(90))
-        .aggregate_sum(0, 1);
+    let stmt = Statement::Select(
+        QuerySpec::select(id, vec![])
+            .filter(1, Predicate::lt(90))
+            .aggregate_sum(0, 1),
+    );
     for s in [Strategy::LmParallel, Strategy::EmParallel] {
-        g.bench_with_input(BenchmarkId::from_parameter(s.name()), &q, |b, q| {
-            b.iter(|| black_box(db.run(q, s).unwrap()).num_rows())
+        let plan = QueryPlan::forced_scan(s);
+        let opts = db.exec_options();
+        g.bench_with_input(BenchmarkId::from_parameter(s.name()), &stmt, |b, stmt| {
+            b.iter(|| black_box(db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows())
         });
     }
     g.finish();

@@ -1,0 +1,159 @@
+//! Aggregation over join trees: the pipelined tree-with-aggregate
+//! executor (partial aggregates per granule, no materialized join
+//! output) against the serial composition — flat tree first, aggregate
+//! over its rows second — plus the thread-scaling surface and the
+//! zone-map ablation on the filtered base column.
+//!
+//! The serial CI leg runs this in `--quick` mode with
+//! `BENCH_JSON=BENCH_pipeline.json`, archiving the medians as a perf
+//! trend artifact next to the scan and join numbers.
+
+use std::collections::BTreeMap;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use matstrat_common::{Predicate, Value};
+use matstrat_core::{
+    AggFunc, ExecOptions, InnerStrategy, JoinSpec, JoinTreeSpec, QueryPlan, Statement,
+};
+use matstrat_tpch::join_tables::{customer_cols, date_cols, nation_cols, orders_cols};
+
+use matstrat_bench::Harness;
+
+/// The three-edge star/snowflake: orders ⋈ customer (filtered) ⋈ date,
+/// customer ⋈ nation. Flat spec-order output:
+/// [shipdate, nationcode, month, regionkey].
+fn tree_spec(h: &Harness) -> JoinTreeSpec {
+    let x = h.join.custkey_cutoff(0.5);
+    JoinTreeSpec::new(vec![
+        JoinSpec {
+            left: h.orders,
+            right: h.customer,
+            left_key: orders_cols::CUSTKEY,
+            right_key: customer_cols::CUSTKEY,
+            left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+            right_filter: None,
+            left_output: vec![orders_cols::SHIPDATE],
+            right_output: vec![customer_cols::NATIONCODE],
+        },
+        JoinSpec {
+            left: h.orders,
+            right: h.date,
+            left_key: orders_cols::ORDERDATE,
+            right_key: date_cols::DATEKEY,
+            left_filter: None,
+            right_filter: None,
+            left_output: vec![],
+            right_output: vec![date_cols::MONTH],
+        },
+        JoinSpec {
+            left: h.customer,
+            right: h.nation,
+            left_key: customer_cols::NATIONCODE,
+            right_key: nation_cols::NATIONKEY,
+            left_filter: None,
+            right_filter: None,
+            left_output: vec![],
+            right_output: vec![nation_cols::REGIONKEY],
+        },
+    ])
+}
+
+/// GROUP BY month, SUM(shipdate) over the flat output above.
+fn agg_spec(h: &Harness) -> JoinTreeSpec {
+    tree_spec(h).aggregate_fn(2, 0, AggFunc::Sum)
+}
+
+fn forced_plan() -> QueryPlan {
+    QueryPlan::forced_tree(vec![0, 1, 2], vec![InnerStrategy::MultiColumn; 3])
+}
+
+/// Pipelined aggregate vs the serial composition it must equal: the
+/// pipeline merges partial accumulators and never materializes the
+/// joined rows; the composition pays the full flat result first.
+fn bench_pipeline_vs_composition(c: &mut Criterion) {
+    let h = Harness::new(0.05).expect("harness");
+    let agg = Statement::JoinTree(agg_spec(&h));
+    let flat = Statement::JoinTree(tree_spec(&h));
+    let plan = forced_plan();
+    let opts = ExecOptions::default();
+    let mut g = c.benchmark_group("agg_over_tree");
+    g.bench_function("pipelined", |b| {
+        b.iter(|| black_box(h.db.execute_planned(&agg, &plan, &opts).unwrap().rows).num_rows())
+    });
+    g.bench_function("composed", |b| {
+        b.iter(|| {
+            let rows = h.db.execute_planned(&flat, &plan, &opts).unwrap().rows;
+            let mut groups: BTreeMap<Value, Value> = BTreeMap::new();
+            for row in rows.rows() {
+                *groups.entry(row[2]).or_insert(0) += row[0];
+            }
+            black_box(groups.len())
+        })
+    });
+    g.bench_function("auto", |b| {
+        b.iter(|| black_box(h.db.execute(&agg).unwrap().rows).num_rows())
+    });
+    g.finish();
+}
+
+/// Thread scaling of the aggregated pipeline: partial accumulators
+/// merge associatively, so the bytes never move — only wall time.
+fn bench_agg_thread_scaling(c: &mut Criterion) {
+    let h = Harness::new(0.05).expect("harness");
+    let agg = Statement::JoinTree(agg_spec(&h));
+    let plan = forced_plan();
+    let mut g = c.benchmark_group("agg_over_tree_threads");
+    for threads in [1usize, 2, 4, 8] {
+        let opts = ExecOptions {
+            granule: 8 * 1024,
+            parallelism: threads,
+            ..ExecOptions::default()
+        };
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("threads={threads}")),
+            &agg,
+            |b, stmt| {
+                b.iter(|| {
+                    black_box(h.db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Zone maps on the filtered base column, cold every iteration: with
+/// maps on, blocks outside the predicate's value band are never read.
+fn bench_zone_map_ablation(c: &mut Criterion) {
+    let h = Harness::new(0.05).expect("harness");
+    let agg = Statement::JoinTree(agg_spec(&h));
+    let plan = forced_plan();
+    let mut g = c.benchmark_group("agg_over_tree_zone_maps");
+    for (label, zone_maps) in [("on", true), ("off", false)] {
+        let opts = ExecOptions {
+            zone_maps,
+            ..ExecOptions::default()
+        };
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                h.db.store().cold_reset();
+                black_box(h.db.execute_planned(&agg, &plan, &opts).unwrap().rows).num_rows()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_pipeline_vs_composition, bench_agg_thread_scaling, bench_zone_map_ablation
+}
+criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use matstrat_common::Predicate;
-use matstrat_core::{ExecOptions, InnerStrategy, JoinSpec};
+use matstrat_core::{ExecOptions, InnerStrategy, JoinSpec, JoinTreeSpec, QueryPlan, Statement};
 use matstrat_tpch::join_tables::{customer_cols, orders_cols};
 
 use matstrat_bench::Harness;
@@ -17,6 +17,7 @@ fn join_spec(h: &Harness, sf: f64) -> JoinSpec {
         left_key: orders_cols::CUSTKEY,
         right_key: customer_cols::CUSTKEY,
         left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+        right_filter: None,
         left_output: vec![orders_cols::SHIPDATE],
         right_output: vec![customer_cols::NATIONCODE],
     }
@@ -26,12 +27,18 @@ fn bench_join(c: &mut Criterion) {
     let h = Harness::new(0.01).expect("harness"); // 15 K orders, 1.5 K customers
     let mut g = c.benchmark_group("fig13_join_inner");
     for sf in [0.1, 0.5, 0.9] {
-        let spec = join_spec(&h, sf);
+        let stmt = Statement::JoinTree(JoinTreeSpec::new(vec![join_spec(&h, sf)]));
         for inner in InnerStrategy::ALL {
+            let plan = QueryPlan::forced_tree(vec![0], vec![inner]);
+            let opts = h.db.exec_options();
             g.bench_with_input(
                 BenchmarkId::new(inner.name().replace(' ', "_"), format!("sf={sf}")),
-                &spec,
-                |b, spec| b.iter(|| black_box(h.db.run_join(spec, inner).unwrap()).num_rows()),
+                &stmt,
+                |b, stmt| {
+                    b.iter(|| {
+                        black_box(h.db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows()
+                    })
+                },
             );
         }
     }
@@ -44,9 +51,10 @@ fn bench_join(c: &mut Criterion) {
 /// wall time moves.
 fn bench_join_threads(c: &mut Criterion) {
     let h = Harness::new(0.1).expect("harness"); // 150 K orders, 15 K customers
-    let spec = join_spec(&h, 0.5);
+    let stmt = Statement::JoinTree(JoinTreeSpec::new(vec![join_spec(&h, 0.5)]));
     let mut g = c.benchmark_group("join_probe_threads");
     for inner in InnerStrategy::ALL {
+        let plan = QueryPlan::forced_tree(vec![0], vec![inner]);
         for threads in [1usize, 2, 4, 8] {
             let opts = ExecOptions {
                 granule: 8 * 1024,
@@ -55,11 +63,10 @@ fn bench_join_threads(c: &mut Criterion) {
             };
             g.bench_with_input(
                 BenchmarkId::new(inner.name().replace(' ', "_"), format!("threads={threads}")),
-                &spec,
-                |b, spec| {
+                &stmt,
+                |b, stmt| {
                     b.iter(|| {
-                        black_box(h.db.run_join_with_options(spec, inner, &opts).unwrap())
-                            .num_rows()
+                        black_box(h.db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows()
                     })
                 },
             );

@@ -8,7 +8,10 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use matstrat_common::Predicate;
-use matstrat_core::{ExecOptions, InnerStrategy, JoinSpec, JoinTreePlan, JoinTreeSpec};
+use matstrat_core::{
+    hash_join_tree_with_options, ExecOptions, InnerStrategy, JoinSpec, JoinTreePlan, JoinTreeSpec,
+    QueryPlan, Statement,
+};
 use matstrat_tpch::join_tables::{customer_cols, date_cols, nation_cols, orders_cols};
 
 use matstrat_bench::Harness;
@@ -23,6 +26,7 @@ fn tree_spec(h: &Harness, edges: usize) -> JoinTreeSpec {
         left_key: orders_cols::CUSTKEY,
         right_key: customer_cols::CUSTKEY,
         left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+        right_filter: None,
         left_output: vec![orders_cols::SHIPDATE],
         right_output: vec![customer_cols::NATIONCODE],
     }];
@@ -33,6 +37,7 @@ fn tree_spec(h: &Harness, edges: usize) -> JoinTreeSpec {
             left_key: orders_cols::ORDERDATE,
             right_key: date_cols::DATEKEY,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![date_cols::MONTH],
         });
@@ -44,6 +49,7 @@ fn tree_spec(h: &Harness, edges: usize) -> JoinTreeSpec {
             left_key: customer_cols::NATIONCODE,
             right_key: nation_cols::NATIONKEY,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![nation_cols::REGIONKEY],
         });
@@ -58,8 +64,11 @@ fn bench_tree_matrix(c: &mut Criterion) {
     let h = Harness::new(0.05).expect("harness"); // 75 K orders
     let mut g = c.benchmark_group("join_tree");
     for edges in [1usize, 2, 3] {
-        let spec = tree_spec(&h, edges);
-        let plan = JoinTreePlan::in_spec_order(vec![InnerStrategy::MultiColumn; edges]);
+        let stmt = Statement::JoinTree(tree_spec(&h, edges));
+        let plan = QueryPlan::forced_tree(
+            (0..edges).collect(),
+            vec![InnerStrategy::MultiColumn; edges],
+        );
         for threads in [1usize, 2, 4, 8] {
             let opts = ExecOptions {
                 granule: 8 * 1024,
@@ -68,12 +77,10 @@ fn bench_tree_matrix(c: &mut Criterion) {
             };
             g.bench_with_input(
                 BenchmarkId::new(format!("edges={edges}"), format!("threads={threads}")),
-                &spec,
-                |b, spec| {
+                &stmt,
+                |b, stmt| {
                     b.iter(|| {
-                        black_box(h.db.run_join_tree_with_options(spec, &plan, &opts).unwrap())
-                            .0
-                            .num_rows()
+                        black_box(h.db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows()
                     })
                 },
             );
@@ -86,21 +93,16 @@ fn bench_tree_matrix(c: &mut Criterion) {
 /// + execution) vs a fixed spec-order MultiColumn plan.
 fn bench_tree_auto(c: &mut Criterion) {
     let h = Harness::new(0.05).expect("harness");
-    let spec = tree_spec(&h, 3);
+    let stmt = Statement::JoinTree(tree_spec(&h, 3));
     let mut g = c.benchmark_group("join_tree_auto");
     g.bench_function("plan_only", |b| {
-        b.iter(|| {
-            black_box(h.db.plan_join_tree(&spec).unwrap())
-                .estimate
-                .total_us()
+        b.iter(|| match black_box(h.db.plan(&stmt).unwrap()) {
+            QueryPlan::Tree(c) => c.estimate.total_us(),
+            _ => unreachable!("a join tree plans as a tree"),
         })
     });
     g.bench_function("auto", |b| {
-        b.iter(|| {
-            black_box(h.db.run_join_tree_auto(&spec).unwrap())
-                .1
-                .num_rows()
-        })
+        b.iter(|| black_box(h.db.execute(&stmt).unwrap().rows).num_rows())
     });
     g.finish();
 }
@@ -116,6 +118,7 @@ fn bench_build_reuse(c: &mut Criterion) {
             left_key: orders_cols::ORDERDATE,
             right_key: date_cols::DATEKEY,
             left_filter: None,
+            right_filter: None,
             left_output: vec![orders_cols::SHIPDATE],
             right_output: vec![date_cols::MONTH],
         },
@@ -125,22 +128,31 @@ fn bench_build_reuse(c: &mut Criterion) {
             left_key: orders_cols::SHIPDATE,
             right_key: date_cols::DATEKEY,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![date_cols::MONTH],
         },
     ]);
     let mut g = c.benchmark_group("join_tree_build_reuse");
     for (label, reuse) in [("reuse", true), ("rebuild", false)] {
+        // `reuse_builds: false` exists only on the raw executor plan, so
+        // this ablation drives `hash_join_tree_with_options` directly.
         let plan = JoinTreePlan {
             order: vec![0, 1],
             inners: vec![InnerStrategy::MultiColumn; 2],
+            bushy: Vec::new(),
             reuse_builds: reuse,
         };
         g.bench_function(label, |b| {
             b.iter(|| {
                 black_box(
-                    h.db.run_join_tree_with_options(&spec, &plan, &ExecOptions::default())
-                        .unwrap(),
+                    hash_join_tree_with_options(
+                        h.db.store(),
+                        &spec,
+                        &plan,
+                        &ExecOptions::default(),
+                    )
+                    .unwrap(),
                 )
                 .0
                 .num_rows()

@@ -12,7 +12,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use matstrat_common::{Predicate, TableId, Value};
-use matstrat_core::{Database, ExecOptions, QuerySpec, Strategy};
+use matstrat_core::{Database, ExecOptions, QueryPlan, QuerySpec, Statement, Strategy};
 use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
 
 /// 1 Mi rows: 16 granules at the default 64 Ki granule, so even 8 workers
@@ -34,11 +34,17 @@ fn bench_thread_scaling(c: &mut Criterion) {
     let (db, t) = setup();
     // A predicate that keeps most rows: the scan is dominated by DS2/DS4
     // operator work, the right regime for measuring CPU scaling.
-    let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(900));
+    let stmt = Statement::Select(QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(900)));
     // Warm the pool once so every measured run is pure CPU.
-    db.run(&q, Strategy::EmPipelined).expect("warm-up");
+    db.execute_planned(
+        &stmt,
+        &QueryPlan::forced_scan(Strategy::EmPipelined),
+        &db.exec_options(),
+    )
+    .expect("warm-up");
 
     for strategy in [Strategy::EmPipelined, Strategy::LmParallel] {
+        let plan = QueryPlan::forced_scan(strategy);
         let mut g = c.benchmark_group(format!("parallel_scan_1M_{}", strategy.name()));
         for threads in [1usize, 2, 4, 8] {
             let opts = ExecOptions {
@@ -47,10 +53,10 @@ fn bench_thread_scaling(c: &mut Criterion) {
             };
             g.bench_with_input(
                 BenchmarkId::from_parameter(format!("threads={threads}")),
-                &q,
-                |bch, q| {
+                &stmt,
+                |bch, stmt| {
                     bch.iter(|| {
-                        black_box(db.run_with_options(q, strategy, &opts).unwrap().0).num_rows()
+                        black_box(db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows()
                     })
                 },
             );
@@ -77,8 +83,10 @@ fn bench_skewed_scaling(c: &mut Criterion) {
         .column("b", EncodingKind::Plain, SortOrder::None)
         .column("c", EncodingKind::Plain, SortOrder::None);
     let t = db.load_projection(&spec, &[&a, &b, &payload]).unwrap();
-    let q = QuerySpec::select(t, vec![0, 2]).filter(1, Predicate::eq(1));
-    db.run(&q, Strategy::LmParallel).expect("warm-up");
+    let stmt = Statement::Select(QuerySpec::select(t, vec![0, 2]).filter(1, Predicate::eq(1)));
+    let plan = QueryPlan::forced_scan(Strategy::LmParallel);
+    db.execute_planned(&stmt, &plan, &db.exec_options())
+        .expect("warm-up");
 
     let mut g = c.benchmark_group("parallel_scan_1M_skewed_LM-parallel");
     for threads in [1usize, 2, 4, 8] {
@@ -91,15 +99,10 @@ fn bench_skewed_scaling(c: &mut Criterion) {
         };
         g.bench_with_input(
             BenchmarkId::from_parameter(format!("threads={threads}")),
-            &q,
-            |bch, q| {
+            &stmt,
+            |bch, stmt| {
                 bch.iter(|| {
-                    black_box(
-                        db.run_with_options(q, Strategy::LmParallel, &opts)
-                            .unwrap()
-                            .0,
-                    )
-                    .num_rows()
+                    black_box(db.execute_planned(stmt, &plan, &opts).unwrap().rows).num_rows()
                 })
             },
         );

@@ -72,7 +72,7 @@ fn bench_service(c: &mut Criterion) {
         "SELECT g, MAX(v) FROM fact WHERE g < 20 GROUP BY g",
     ]
     .iter()
-    .map(|sql| compile(&store, sql).unwrap().into_request())
+    .map(|sql| compile(&store, sql).unwrap())
     .collect();
     let batch = Arc::new(batch);
 

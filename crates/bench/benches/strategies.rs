@@ -30,7 +30,7 @@ fn bench_selection(c: &mut Criterion) {
                 g.bench_with_input(
                     BenchmarkId::new(s.name(), format!("sf={sf}")),
                     &q,
-                    |b, q| b.iter(|| black_box(h.db.run(q, s).unwrap()).num_rows()),
+                    |b, q| b.iter(|| black_box(h.run_forced(q, s).unwrap().rows).num_rows()),
                 );
             }
         }
@@ -49,7 +49,7 @@ fn bench_aggregation(c: &mut Criterion) {
                 g.bench_with_input(
                     BenchmarkId::new(s.name(), format!("sf={sf}")),
                     &q,
-                    |b, q| b.iter(|| black_box(h.db.run(q, s).unwrap()).num_rows()),
+                    |b, q| b.iter(|| black_box(h.run_forced(q, s).unwrap().rows).num_rows()),
                 );
             }
         }

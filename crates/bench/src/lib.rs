@@ -14,7 +14,10 @@
 //! preserves the paper's trade-offs.
 
 use matstrat_common::{Predicate, Result, TableId};
-use matstrat_core::{Database, InnerStrategy, JoinSpec, QuerySpec, Strategy};
+use matstrat_core::{
+    Database, InnerStrategy, JoinSpec, JoinTreeSpec, QueryOutcome, QueryPlan, QuerySpec, Statement,
+    Strategy,
+};
 use matstrat_model::plans::QueryParams;
 use matstrat_model::{calibrate, ColumnParams, Constants, CostModel};
 use matstrat_storage::EncodingKind;
@@ -139,6 +142,16 @@ impl Harness {
             .aggregate_sum(cols::SHIPDATE, cols::LINENUM)
     }
 
+    /// Run one scan under a pinned strategy through the unified entry
+    /// point (the figures sweep strategies; the planner stays out of it).
+    pub fn run_forced(&self, q: &QuerySpec, strategy: Strategy) -> Result<QueryOutcome> {
+        self.db.execute_planned(
+            &Statement::Select(q.clone()),
+            &QueryPlan::forced_scan(strategy),
+            &self.db.exec_options(),
+        )
+    }
+
     /// Run one (query, strategy) cold and return its point: median wall
     /// time of [`Self::REPS`] cold runs (single runs are too noisy for
     /// curve shapes).
@@ -148,13 +161,14 @@ impl Harness {
         let mut rows_out = 0u64;
         for _ in 0..Self::REPS {
             self.db.store().cold_reset();
-            let (result, stats) = self.db.run_with_stats(q, strategy)?;
-            walls.push(stats.wall.as_secs_f64() * 1e3);
-            io_ms = stats
+            let out = self.run_forced(q, strategy)?;
+            walls.push(out.stats.wall.as_secs_f64() * 1e3);
+            io_ms = out
+                .stats
                 .io
                 .modeled_micros(self.constants.seek, self.constants.read)
                 / 1e3;
-            rows_out = result.num_rows() as u64;
+            rows_out = out.rows.num_rows() as u64;
         }
         walls.sort_by(f64::total_cmp);
         Ok(Point {
@@ -210,13 +224,13 @@ impl Harness {
             let q = self.selection_query(table, sf);
             for s in Strategy::ALL {
                 // Warm-up then measure, so measured ≈ CPU (matching F=1).
-                let _ = self.db.run(&q, s)?;
+                let _ = self.run_forced(&q, s)?;
                 let mut walls = Vec::with_capacity(Self::REPS);
                 let mut rows_out = 0u64;
                 for _ in 0..Self::REPS {
-                    let (result, stats) = self.db.run_with_stats(&q, s)?;
-                    walls.push(stats.wall.as_secs_f64() * 1e3);
-                    rows_out = result.num_rows() as u64;
+                    let out = self.run_forced(&q, s)?;
+                    walls.push(out.stats.wall.as_secs_f64() * 1e3);
+                    rows_out = out.rows.num_rows() as u64;
                 }
                 walls.sort_by(f64::total_cmp);
                 measured.push(Point {
@@ -259,19 +273,28 @@ impl Harness {
                 left_key: orders_cols::CUSTKEY,
                 right_key: customer_cols::CUSTKEY,
                 left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+                right_filter: None,
                 left_output: vec![orders_cols::SHIPDATE],
                 right_output: vec![customer_cols::NATIONCODE],
             };
+            let stmt = Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()]));
             for inner in InnerStrategy::ALL {
+                let plan = QueryPlan::forced_tree(vec![0], vec![inner]);
                 let mut walls = Vec::with_capacity(Self::REPS);
                 let mut io_ms = 0.0;
                 let mut rows_out = 0u64;
                 for _ in 0..Self::REPS {
                     self.db.store().cold_reset();
-                    let (r, wall, io) = self.db.run_join_with_stats(&spec, inner)?;
-                    walls.push(wall.as_secs_f64() * 1e3);
-                    io_ms = io.modeled_micros(self.constants.seek, self.constants.read) / 1e3;
-                    rows_out = r.num_rows() as u64;
+                    let out = self
+                        .db
+                        .execute_planned(&stmt, &plan, &self.db.exec_options())?;
+                    walls.push(out.stats.wall.as_secs_f64() * 1e3);
+                    io_ms = out
+                        .stats
+                        .io
+                        .modeled_micros(self.constants.seek, self.constants.read)
+                        / 1e3;
+                    rows_out = out.rows.num_rows() as u64;
                 }
                 walls.sort_by(f64::total_cmp);
                 points.push(Point {

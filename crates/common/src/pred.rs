@@ -205,6 +205,22 @@ impl Predicate {
         }
     }
 
+    /// Whether *any* value in the inclusive range `[min, max]` can match —
+    /// the zone-map pruning test: a block (or granule) whose stored
+    /// min/max fails this cannot contain a matching row and is skipped
+    /// without being read. Conservative by construction: `true` means
+    /// "maybe", never "definitely".
+    pub fn overlaps_range(&self, min: Value, max: Value) -> bool {
+        if max < min {
+            return false;
+        }
+        match self.value_interval() {
+            Some((lo, hi)) => lo.max(min) <= hi.min(max),
+            // Ne: only an all-`operand` zone is excluded.
+            None => !(min == max && min == self.operand),
+        }
+    }
+
     /// Estimated fraction of values matching, assuming a uniform domain
     /// `[min, max]` (inclusive). Used by the planner for selectivity (SF)
     /// estimates fed into the analytical model.
@@ -483,6 +499,34 @@ mod tests {
                 ] {
                     assert_code_domain_agrees(&p, dict);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn overlaps_range_agrees_with_matches() {
+        let preds = [
+            Predicate::lt(10),
+            Predicate::le(10),
+            Predicate::gt(10),
+            Predicate::ge(10),
+            Predicate::eq(10),
+            Predicate::ne(10),
+            Predicate::between(3, 17),
+            Predicate::between(17, 3),
+        ];
+        for p in preds {
+            for lo in -25..25 {
+                for hi in lo..25 {
+                    let any = (lo..=hi).any(|v| p.matches(v));
+                    assert_eq!(
+                        p.overlaps_range(lo, hi),
+                        any,
+                        "pred {p:?} zone [{lo}, {hi}]"
+                    );
+                }
+                // Inverted zones never overlap.
+                assert!(!p.overlaps_range(lo, lo - 1));
             }
         }
     }

@@ -2,25 +2,121 @@
 
 use std::path::Path;
 
-use matstrat_common::{PosRange, Predicate, Result, TableId, Value};
-use matstrat_model::Constants;
+use matstrat_common::{Error, PosRange, Predicate, Result, TableId, Value};
+use matstrat_model::plans::JoinTreeCost;
+use matstrat_model::{Constants, CostBreakdown};
 use matstrat_poslist::PosList;
 use matstrat_storage::{CompactorHandle, ProjectionSpec, Store};
 
 use crate::multicol::MiniColumn;
 
 use crate::exec::{default_parallelism, execute_with_options, ExecOptions};
-use crate::ops::join::{hash_join_with_options, InnerStrategy, JoinSpec};
+use crate::ops::join::{InnerStrategy, JoinSpec};
 use crate::ops::join_tree::{hash_join_tree_with_options, JoinTreePlan};
 use crate::planner::{JoinChoice, JoinTreeChoice, PlanChoice, Planner};
-use crate::query::{ExecStats, JoinTreeSpec, JoinTreeStats, QueryResult, QuerySpec};
+use crate::query::{
+    ExecStats, JoinTreeSpec, JoinTreeStats, QueryResult, QuerySpec, QueryStats, Statement,
+};
 use crate::strategy::Strategy;
+
+/// The planner's answer for one [`Statement`]: which executable shape it
+/// takes, with every estimate and rejected alternative behind the pick.
+/// Produced by [`Database::plan`], consumed by
+/// [`Database::execute_planned`].
+#[derive(Debug, Clone)]
+pub enum QueryPlan {
+    /// A materialization-strategy choice for a single-table scan.
+    Scan(PlanChoice),
+    /// Edge order, per-edge inner strategies, and bushy flags for a join
+    /// tree (a single join is a one-edge tree).
+    Tree(JoinTreeChoice),
+    /// Writes execute as themselves; there is nothing to choose.
+    Write,
+}
+
+impl QueryPlan {
+    /// One-line EXPLAIN-style summary.
+    pub fn describe(&self) -> String {
+        match self {
+            QueryPlan::Scan(c) => c.describe(),
+            QueryPlan::Tree(c) => c.describe(),
+            QueryPlan::Write => "write: logged to the WAL, applied to the delta store".into(),
+        }
+    }
+
+    /// A hand-built scan plan that pins `strategy` (no model pricing) —
+    /// for benchmarks and differential tests that sweep strategies
+    /// explicitly instead of asking the planner.
+    pub fn forced_scan(strategy: Strategy) -> QueryPlan {
+        QueryPlan::Scan(PlanChoice {
+            strategy,
+            estimate: None,
+            alternatives: Vec::new(),
+            reason: format!("forced {strategy}"),
+        })
+    }
+
+    /// A hand-built left-deep tree plan that pins the edge order and the
+    /// per-edge inner strategies (no model pricing, no bushy subtrees).
+    pub fn forced_tree(order: Vec<usize>, inners: Vec<InnerStrategy>) -> QueryPlan {
+        QueryPlan::Tree(JoinTreeChoice {
+            order,
+            inners,
+            bushy: Vec::new(),
+            estimate: CostBreakdown::default(),
+            tree: JoinTreeCost {
+                edges: Vec::new(),
+                cards: Vec::new(),
+                total: CostBreakdown::default(),
+            },
+            edge_alternatives: Vec::new(),
+            candidates: Vec::new(),
+            reason: "forced inner strategies".into(),
+        })
+    }
+}
+
+/// Everything one executed [`Statement`] produced: the rows, one unified
+/// [`QueryStats`], and the [`QueryPlan`] that ran. A write's `rows` is a
+/// single `rows_affected` cell.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The result rows (byte-identical at any worker count).
+    pub rows: QueryResult,
+    /// Unified measurements: wall, exact per-query I/O, matched/output
+    /// cardinalities, steal/build/zone-skip counters.
+    pub stats: QueryStats,
+    /// The plan that produced the rows.
+    pub choice: QueryPlan,
+}
+
+impl QueryOutcome {
+    /// The materialized result, whatever the statement shape (a one-cell
+    /// `rows_affected` table for writes).
+    pub fn result(&self) -> &QueryResult {
+        &self.rows
+    }
+
+    /// Rows a write affected; `None` for read outcomes.
+    pub fn rows_affected(&self) -> Option<u64> {
+        match self.choice {
+            QueryPlan::Write => Some(self.stats.rows_out),
+            _ => None,
+        }
+    }
+
+    /// This query's simulated-disk block reads — per-thread harvest, so
+    /// exact under concurrency (write acknowledgements carry 0).
+    pub fn block_reads(&self) -> u64 {
+        self.stats.io.block_reads
+    }
+}
 
 /// A column-store database with pluggable materialization strategies.
 ///
 /// ```
 /// use matstrat_common::Predicate;
-/// use matstrat_core::{Database, QuerySpec, Strategy};
+/// use matstrat_core::{Database, QuerySpec, Statement};
 /// use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
 ///
 /// let db = Database::in_memory();
@@ -31,12 +127,15 @@ use crate::strategy::Strategy;
 ///     .column("b", EncodingKind::Plain, SortOrder::None);
 /// let t = db.load_projection(&spec, &[&a, &b]).unwrap();
 ///
-/// let q = QuerySpec::select(t, vec![0, 1])
-///     .filter(0, Predicate::lt(5))
-///     .filter(1, Predicate::lt(3));
-/// let lm = db.run(&q, Strategy::LmParallel).unwrap();
-/// let em = db.run(&q, Strategy::EmParallel).unwrap();
-/// assert_eq!(lm.sorted_rows(), em.sorted_rows());
+/// let stmt = Statement::Select(
+///     QuerySpec::select(t, vec![0, 1])
+///         .filter(0, Predicate::lt(5))
+///         .filter(1, Predicate::lt(3)),
+/// );
+/// let out = db.execute(&stmt).unwrap();
+/// assert_eq!(out.rows.num_rows(), 216);
+/// assert!(out.stats.strategy.is_some(), "the plan picked a strategy");
+/// println!("{}", out.choice.describe());
 /// ```
 pub struct Database {
     store: Store,
@@ -189,107 +288,236 @@ impl Database {
         self.store.spawn_compactor(interval)
     }
 
+    // ------------------------------------------------------------------
+    // The unified entry point: Statement → QueryPlan → QueryOutcome.
+    // ------------------------------------------------------------------
+
+    /// Plan one statement without running it: `Select` → a
+    /// materialization-strategy choice, `JoinTree` → edge order +
+    /// per-edge inner strategies + bushy flags, writes →
+    /// [`QueryPlan::Write`]. A single-edge tree delegates to the plain
+    /// join planner ([`Planner::choose_join`]), so a tree of one edge and
+    /// an ordinary join can never disagree.
+    pub fn plan(&self, stmt: &Statement) -> Result<QueryPlan> {
+        Ok(match stmt {
+            Statement::Select(q) => QueryPlan::Scan(self.planner.choose(&self.store, q)?),
+            Statement::JoinTree(spec) => {
+                QueryPlan::Tree(self.planner.choose_join_tree(&self.store, spec)?)
+            }
+            Statement::Insert { .. } | Statement::Delete { .. } => QueryPlan::Write,
+        })
+    }
+
+    /// Plan, then run, one statement on this database's worker count —
+    /// the single entry point every query takes. The old `run*`/`plan_*`
+    /// matrix survives as deprecated delegates of this method.
+    pub fn execute(&self, stmt: &Statement) -> Result<QueryOutcome> {
+        self.execute_with_options(stmt, &self.exec_options())
+    }
+
+    /// [`Database::execute`] with explicit executor options (worker
+    /// count, granule, zone-map switch, forced representation).
+    pub fn execute_with_options(
+        &self,
+        stmt: &Statement,
+        opts: &ExecOptions,
+    ) -> Result<QueryOutcome> {
+        let plan = self.plan(stmt)?;
+        self.execute_planned(stmt, &plan, opts)
+    }
+
+    /// Run a statement under an explicit — possibly hand-built — plan
+    /// and executor options. Errors when the plan's shape does not match
+    /// the statement's (e.g. a scan choice handed a join tree).
+    pub fn execute_planned(
+        &self,
+        stmt: &Statement,
+        plan: &QueryPlan,
+        opts: &ExecOptions,
+    ) -> Result<QueryOutcome> {
+        match (stmt, plan) {
+            (Statement::Select(q), QueryPlan::Scan(choice)) => {
+                let (rows, stats) = execute_with_options(&self.store, q, choice.strategy, opts)?;
+                Ok(QueryOutcome {
+                    rows,
+                    stats,
+                    choice: plan.clone(),
+                })
+            }
+            (Statement::JoinTree(spec), QueryPlan::Tree(choice)) => {
+                let (rows, stats) =
+                    hash_join_tree_with_options(&self.store, spec, &choice.plan(), opts)?;
+                Ok(QueryOutcome {
+                    rows,
+                    stats,
+                    choice: plan.clone(),
+                })
+            }
+            (Statement::Insert { table, rows }, QueryPlan::Write) => {
+                let t0 = std::time::Instant::now();
+                self.store.insert_rows(*table, rows)?;
+                Ok(Self::write_outcome(rows.len() as u64, t0))
+            }
+            (Statement::Delete { table, filters }, QueryPlan::Write) => {
+                let t0 = std::time::Instant::now();
+                let n = delete_where(&self.store, *table, filters)?;
+                Ok(Self::write_outcome(n, t0))
+            }
+            _ => Err(Error::invalid(
+                "plan shape does not match the statement (re-plan with Database::plan)",
+            )),
+        }
+    }
+
+    pub(crate) fn write_outcome(affected: u64, t0: std::time::Instant) -> QueryOutcome {
+        QueryOutcome {
+            rows: QueryResult::from_flat(vec!["rows_affected".into()], vec![affected as Value]),
+            stats: QueryStats {
+                wall: t0.elapsed(),
+                rows_out: affected,
+                ..QueryStats::default()
+            },
+            choice: QueryPlan::Write,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Deprecated pre-`execute` surface: thin delegates, kept one release
+    // so callers migrate at their own pace.
+    // ------------------------------------------------------------------
+
     /// Run a query under an explicit strategy.
+    #[deprecated(note = "use Database::execute_planned with a forced QueryPlan::Scan")]
     pub fn run(&self, q: &QuerySpec, strategy: Strategy) -> Result<QueryResult> {
-        Ok(self.run_with_stats(q, strategy)?.0)
+        let stmt = Statement::Select(q.clone());
+        let out = self.execute_planned(
+            &stmt,
+            &QueryPlan::forced_scan(strategy),
+            &self.exec_options(),
+        )?;
+        Ok(out.rows)
     }
 
     /// Run a query under an explicit strategy, returning measurements.
+    #[deprecated(note = "use Database::execute_planned; QueryOutcome carries the stats")]
     pub fn run_with_stats(
         &self,
         q: &QuerySpec,
         strategy: Strategy,
     ) -> Result<(QueryResult, ExecStats)> {
-        execute_with_options(&self.store, q, strategy, &self.exec_options())
+        let stmt = Statement::Select(q.clone());
+        let out = self.execute_planned(
+            &stmt,
+            &QueryPlan::forced_scan(strategy),
+            &self.exec_options(),
+        )?;
+        Ok((out.rows, out.stats))
     }
 
     /// Run with explicit executor options (ablation experiments).
+    #[deprecated(note = "use Database::execute_planned; QueryOutcome carries the stats")]
     pub fn run_with_options(
         &self,
         q: &QuerySpec,
         strategy: Strategy,
         opts: &ExecOptions,
     ) -> Result<(QueryResult, ExecStats)> {
-        execute_with_options(&self.store, q, strategy, opts)
-    }
-
-    /// Ask the planner to pick a strategy (without running).
-    pub fn plan(&self, q: &QuerySpec) -> Result<PlanChoice> {
-        self.planner.choose(&self.store, q)
+        let stmt = Statement::Select(q.clone());
+        let out = self.execute_planned(&stmt, &QueryPlan::forced_scan(strategy), opts)?;
+        Ok((out.rows, out.stats))
     }
 
     /// Plan, then run under the chosen strategy.
+    #[deprecated(note = "use Database::execute; QueryOutcome carries the choice")]
     pub fn run_auto(&self, q: &QuerySpec) -> Result<(PlanChoice, QueryResult)> {
-        let choice = self.plan(q)?;
-        let result = self.run(q, choice.strategy)?;
-        Ok((choice, result))
+        let out = self.execute(&Statement::Select(q.clone()))?;
+        match out.choice {
+            QueryPlan::Scan(choice) => Ok((choice, out.rows)),
+            _ => unreachable!("Select plans as Scan"),
+        }
     }
 
     /// Run an equi-join under the chosen inner-table strategy (§4.3).
-    /// The probe side runs on this database's worker count; results are
-    /// identical at any setting.
+    #[deprecated(note = "use Database::execute_planned on a one-edge Statement::JoinTree")]
     pub fn run_join(&self, spec: &JoinSpec, inner: InnerStrategy) -> Result<QueryResult> {
-        hash_join_with_options(&self.store, spec, inner, &self.exec_options())
+        let stmt = Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()]));
+        let plan = QueryPlan::forced_tree(vec![0], vec![inner]);
+        Ok(self
+            .execute_planned(&stmt, &plan, &self.exec_options())?
+            .rows)
     }
 
     /// Run a join with explicit executor options (worker count, probe
     /// granule).
+    #[deprecated(note = "use Database::execute_planned on a one-edge Statement::JoinTree")]
     pub fn run_join_with_options(
         &self,
         spec: &JoinSpec,
         inner: InnerStrategy,
         opts: &ExecOptions,
     ) -> Result<QueryResult> {
-        hash_join_with_options(&self.store, spec, inner, opts)
+        let stmt = Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()]));
+        let plan = QueryPlan::forced_tree(vec![0], vec![inner]);
+        Ok(self.execute_planned(&stmt, &plan, opts)?.rows)
     }
 
     /// Run a join and report wall/I/O measurements. The I/O counters are
     /// this query's own (per-thread harvest, not a global meter diff), so
     /// they stay exact when other sessions run concurrently.
+    #[deprecated(note = "use Database::execute_planned; QueryStats carries wall and io")]
     pub fn run_join_with_stats(
         &self,
         spec: &JoinSpec,
         inner: InnerStrategy,
     ) -> Result<(QueryResult, std::time::Duration, matstrat_storage::IoStats)> {
-        let t0 = std::time::Instant::now();
-        let (r, io) =
-            crate::ops::join::hash_join_with_io(&self.store, spec, inner, &self.exec_options())?;
-        Ok((r, t0.elapsed(), io))
+        let stmt = Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()]));
+        let plan = QueryPlan::forced_tree(vec![0], vec![inner]);
+        let out = self.execute_planned(&stmt, &plan, &self.exec_options())?;
+        Ok((out.rows, out.stats.wall, out.stats.io))
     }
 
     /// Ask the planner to pick an inner-table strategy (without running).
+    #[deprecated(note = "use Database::plan on a one-edge Statement::JoinTree")]
     pub fn plan_join(&self, spec: &JoinSpec) -> Result<JoinChoice> {
         self.planner.choose_join(&self.store, spec)
     }
 
     /// Plan, then run the join under the chosen inner-table strategy.
+    #[deprecated(note = "use Database::execute on a one-edge Statement::JoinTree")]
     pub fn run_join_auto(&self, spec: &JoinSpec) -> Result<(JoinChoice, QueryResult)> {
-        let choice = self.plan_join(spec)?;
-        let result = self.run_join(spec, choice.inner)?;
-        Ok((choice, result))
+        let choice = self.planner.choose_join(&self.store, spec)?;
+        let stmt = Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()]));
+        let plan = QueryPlan::forced_tree(vec![0], vec![choice.inner]);
+        let out = self.execute_planned(&stmt, &plan, &self.exec_options())?;
+        Ok((choice, out.rows))
     }
 
     /// Run a multi-way join tree in spec order under explicit per-edge
     /// inner-table strategies, on this database's worker count.
+    #[deprecated(note = "use Database::execute_planned with a forced QueryPlan::Tree")]
     pub fn run_join_tree(
         &self,
         spec: &JoinTreeSpec,
         inners: &[InnerStrategy],
     ) -> Result<QueryResult> {
+        let plan = QueryPlan::forced_tree((0..spec.edges.len()).collect(), inners.to_vec());
         Ok(self
-            .run_join_tree_with_options(
-                spec,
-                &JoinTreePlan::in_spec_order(inners.to_vec()),
+            .execute_planned(
+                &Statement::JoinTree(spec.clone()),
+                &plan,
                 &self.exec_options(),
             )?
-            .0)
+            .rows)
     }
 
     /// Run a join tree under an explicit [`JoinTreePlan`] (edge order,
-    /// per-edge strategies, build-reuse switch) and executor options,
-    /// returning the tree-level measurements ([`JoinTreeStats`]) —
-    /// `builds` vs `build_reuses` shows the partitioned-build cache at
-    /// work when one inner table feeds several edges.
+    /// per-edge strategies, bushy flags, build-reuse switch) and executor
+    /// options, returning the tree-level measurements — `builds` vs
+    /// `build_reuses` shows the partitioned-build cache at work when one
+    /// inner table feeds several edges. This is the one legacy entry
+    /// point that bypasses [`QueryPlan`]: a raw [`JoinTreePlan`] can pin
+    /// `reuse_builds: false`, which a planner choice never does.
+    #[deprecated(note = "use Database::execute_planned with a QueryPlan::Tree")]
     pub fn run_join_tree_with_options(
         &self,
         spec: &JoinTreeSpec,
@@ -301,22 +529,23 @@ impl Database {
 
     /// Ask the planner for a join-tree plan (edge order + per-edge
     /// strategies) without running it.
+    #[deprecated(note = "use Database::plan; QueryPlan::Tree carries the choice")]
     pub fn plan_join_tree(&self, spec: &JoinTreeSpec) -> Result<JoinTreeChoice> {
         self.planner.choose_join_tree(&self.store, spec)
     }
 
     /// Plan, then run the join tree under the chosen edge order and
-    /// per-edge strategies. A single-edge tree delegates to the plain
-    /// join planner ([`Planner::choose_join`]), so the two auto paths
-    /// can never disagree on an ordinary join.
+    /// per-edge strategies.
+    #[deprecated(note = "use Database::execute; QueryOutcome carries choice, rows, and stats")]
     pub fn run_join_tree_auto(
         &self,
         spec: &JoinTreeSpec,
     ) -> Result<(JoinTreeChoice, QueryResult, JoinTreeStats)> {
-        let choice = self.plan_join_tree(spec)?;
-        let (result, stats) =
-            self.run_join_tree_with_options(spec, &choice.plan(), &self.exec_options())?;
-        Ok((choice, result, stats))
+        let out = self.execute(&Statement::JoinTree(spec.clone()))?;
+        match out.choice {
+            QueryPlan::Tree(choice) => Ok((choice, out.rows, out.stats)),
+            _ => unreachable!("JoinTree plans as Tree"),
+        }
     }
 }
 
@@ -392,27 +621,86 @@ mod tests {
         (db, t)
     }
 
-    #[test]
-    fn run_with_stats_reports_rows() {
-        let (db, t) = demo_db();
-        let q = QuerySpec::select(t, vec![0, 1]).filter(0, Predicate::lt(3));
-        let (r, stats) = db.run_with_stats(&q, Strategy::LmParallel).unwrap();
-        assert_eq!(r.num_rows(), 600);
-        assert_eq!(stats.rows_out, 600);
-        assert_eq!(stats.positions_matched, 600);
-        assert_eq!(stats.strategy, Strategy::LmParallel);
+    /// Execute `q` with a pinned strategy through the unified surface.
+    fn forced(db: &Database, q: &QuerySpec, s: Strategy, opts: &ExecOptions) -> QueryOutcome {
+        db.execute_planned(
+            &Statement::Select(q.clone()),
+            &QueryPlan::forced_scan(s),
+            opts,
+        )
+        .unwrap()
     }
 
     #[test]
-    fn run_auto_plans_and_runs() {
+    fn execute_forced_scan_reports_rows() {
+        let (db, t) = demo_db();
+        let q = QuerySpec::select(t, vec![0, 1]).filter(0, Predicate::lt(3));
+        let stmt = Statement::Select(q);
+        let out = db
+            .execute_planned(
+                &stmt,
+                &QueryPlan::forced_scan(Strategy::LmParallel),
+                &db.exec_options(),
+            )
+            .unwrap();
+        assert_eq!(out.rows.num_rows(), 600);
+        assert_eq!(out.stats.rows_out, 600);
+        assert_eq!(out.stats.positions_matched, 600);
+        assert_eq!(out.stats.strategy, Some(Strategy::LmParallel));
+        match out.choice {
+            QueryPlan::Scan(c) => assert_eq!(c.strategy, Strategy::LmParallel),
+            other => panic!("expected a scan choice, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn execute_plans_and_runs() {
         let (db, t) = demo_db();
         let q = QuerySpec::select(t, vec![])
             .filter(0, Predicate::lt(5))
             .filter(1, Predicate::lt(6))
             .aggregate_sum(0, 1);
-        let (choice, result) = db.run_auto(&q).unwrap();
-        assert!(choice.strategy.is_late());
-        assert_eq!(result.num_rows(), 5);
+        let out = db.execute(&Statement::Select(q)).unwrap();
+        match &out.choice {
+            QueryPlan::Scan(choice) => assert!(choice.strategy.is_late()),
+            other => panic!("expected a scan choice, got {other:?}"),
+        }
+        assert_eq!(out.rows.num_rows(), 5);
+    }
+
+    #[test]
+    fn execute_writes_report_rows_affected() {
+        let (db, t) = demo_db();
+        let insert = Statement::Insert {
+            table: t,
+            rows: vec![vec![99, 1], vec![99, 2]],
+        };
+        assert!(matches!(db.plan(&insert).unwrap(), QueryPlan::Write));
+        let out = db.execute(&insert).unwrap();
+        assert_eq!(out.rows.column_names, ["rows_affected"]);
+        assert_eq!(out.rows.flat(), &[2]);
+        assert_eq!(out.stats.rows_out, 2);
+        let delete = Statement::Delete {
+            table: t,
+            filters: vec![(0, Predicate::eq(99))],
+        };
+        let out = db.execute(&delete).unwrap();
+        assert_eq!(out.rows.flat(), &[2]);
+        let q = QuerySpec::select(t, vec![0]).filter(0, Predicate::eq(99));
+        assert_eq!(
+            db.execute(&Statement::Select(q)).unwrap().rows.num_rows(),
+            0
+        );
+    }
+
+    #[test]
+    fn execute_planned_rejects_mismatched_shapes() {
+        let (db, t) = demo_db();
+        let q = QuerySpec::select(t, vec![0]);
+        let err = db
+            .execute_planned(&Statement::Select(q), &QueryPlan::Write, &db.exec_options())
+            .unwrap_err();
+        assert!(err.to_string().contains("plan shape"), "{err}");
     }
 
     #[test]
@@ -425,39 +713,44 @@ mod tests {
             parallelism: workers,
             ..ExecOptions::default()
         };
-        let (serial, s1) = db
-            .run_with_options(&q, Strategy::LmParallel, &opts(1))
-            .unwrap();
+        let serial = forced(&db, &q, Strategy::LmParallel, &opts(1));
         for workers in [2, 3, 8] {
-            let (par, sp) = db
-                .run_with_options(&q, Strategy::LmParallel, &opts(workers))
-                .unwrap();
-            assert_eq!(par.flat(), serial.flat(), "byte-identical at {workers}");
-            assert_eq!(sp.positions_matched, s1.positions_matched);
-            assert_eq!(sp.rows_out, s1.rows_out);
+            let par = forced(&db, &q, Strategy::LmParallel, &opts(workers));
+            assert_eq!(
+                par.rows.flat(),
+                serial.rows.flat(),
+                "byte-identical at {workers}"
+            );
+            assert_eq!(par.stats.positions_matched, serial.stats.positions_matched);
+            assert_eq!(par.stats.rows_out, serial.stats.rows_out);
         }
-        // The database-level knob feeds run() and the planner.
+        // The database-level knob feeds execute() and the planner.
         db.set_parallelism(4);
         assert_eq!(db.parallelism(), 4);
         assert_eq!(db.exec_options().parallelism, 4);
         assert_eq!(db.planner().parallelism(), 4);
-        let r = db.run(&q, Strategy::EmPipelined).unwrap();
+        let r = forced(&db, &q, Strategy::EmPipelined, &db.exec_options());
         db.set_parallelism(1);
-        assert_eq!(r.flat(), db.run(&q, Strategy::EmPipelined).unwrap().flat());
+        assert_eq!(
+            r.rows.flat(),
+            forced(&db, &q, Strategy::EmPipelined, &db.exec_options())
+                .rows
+                .flat()
+        );
     }
 
     #[test]
     fn set_parallelism_zero_clamps_to_one_worker() {
         let (mut db, t) = demo_db();
         let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(4));
-        let expect = db.run(&q, Strategy::LmParallel).unwrap();
+        let expect = forced(&db, &q, Strategy::LmParallel, &db.exec_options());
         db.set_parallelism(0);
         assert_eq!(db.parallelism(), 1, "knob clamps to ≥ 1");
         assert_eq!(db.exec_options().parallelism, 1);
         assert_eq!(db.planner().parallelism(), 1);
         // And the clamped executor still answers correctly.
-        let got = db.run(&q, Strategy::LmParallel).unwrap();
-        assert_eq!(got.flat(), expect.flat());
+        let got = forced(&db, &q, Strategy::LmParallel, &db.exec_options());
+        assert_eq!(got.rows.flat(), expect.rows.flat());
     }
 
     #[test]
@@ -471,7 +764,7 @@ mod tests {
         // Warm the pool so the reshard has entries to move, and snapshot
         // the counters it must preserve.
         let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(4));
-        let warm = db.run(&q, Strategy::LmParallel).unwrap();
+        let warm = forced(&db, &q, Strategy::LmParallel, &db.exec_options()).rows;
         let before = db.store().pool().stats();
         // Outgrowing the stripe count now re-shards in place instead of
         // warning: the knob and the striping agree again, counters carry
@@ -486,7 +779,7 @@ mod tests {
         assert_eq!(after.shards, (shards + 3) as u64);
         // Results stay identical across the reshard, and the moved
         // entries still serve hits (a warm re-run does no extra reads).
-        let wide = db.run(&q, Strategy::LmParallel).unwrap();
+        let wide = forced(&db, &q, Strategy::LmParallel, &db.exec_options()).rows;
         assert_eq!(wide.flat(), warm.flat());
         assert_eq!(db.store().pool().stats().misses, before.misses);
         // Shrinking the knob never narrows the pool.
@@ -495,7 +788,9 @@ mod tests {
         assert_eq!(db.store().pool().num_shards(), shards + 3);
         assert_eq!(
             wide.flat(),
-            db.run(&q, Strategy::LmParallel).unwrap().flat()
+            forced(&db, &q, Strategy::LmParallel, &db.exec_options())
+                .rows
+                .flat()
         );
     }
 
@@ -513,8 +808,8 @@ mod tests {
         let db = Database::open(&dir).unwrap();
         let t = db.store().projection_by_name("t").unwrap().id;
         let q = QuerySpec::select(t, vec![0]).filter(0, Predicate::ge(90));
-        let r = db.run(&q, Strategy::EmParallel).unwrap();
-        assert_eq!(r.num_rows(), 10);
+        let r = forced(&db, &q, Strategy::EmParallel, &db.exec_options());
+        assert_eq!(r.rows.num_rows(), 10);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

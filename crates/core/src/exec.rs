@@ -112,6 +112,16 @@ pub struct ExecOptions {
     /// The query service allocates one per request; standalone callers
     /// can leave the default.
     pub query_token: u64,
+    /// Consult per-block min/max zone maps when scanning a **filter**
+    /// column: blocks whose value range cannot satisfy the predicate are
+    /// never read (their positions would not survive the scan anyway, so
+    /// the result is byte-identical). Applies to the LM strategies' DS1
+    /// scans and to join/tree probe-side filters; EM reads every block by
+    /// definition. [`ExecStats::zone_skips`] counts the pruned blocks.
+    /// Granule partitioning is deterministic, so in the scan executor the
+    /// set of read blocks — and exact cold `block_reads` — is
+    /// data-dependent only, at any worker count.
+    pub zone_maps: bool,
 }
 
 impl Default for ExecOptions {
@@ -122,6 +132,7 @@ impl Default for ExecOptions {
             granule: GRANULE,
             parallelism: default_parallelism(),
             query_token: 0,
+            zone_maps: true,
         }
     }
 }
@@ -352,6 +363,7 @@ impl SpanTask<'_> {
         let mut flat: Vec<Value> = Vec::new();
         let mut positions_matched = 0u64;
         let mut decompressed = false;
+        let mut zone_skips = 0u64;
 
         let granule = self.opts.granule.max(1);
         let mut start = span.start;
@@ -376,20 +388,23 @@ impl SpanTask<'_> {
             };
             positions_matched += got.matched;
             decompressed |= got.decompressed;
+            zone_skips += got.zone_skips;
         }
 
         Ok(Fragment {
             flat,
             agg,
             stats: ExecStats {
-                strategy: self.strategy,
+                strategy: Some(self.strategy),
                 wall: t0.elapsed(),
                 io: self.meter.thread_snapshot().since(&io0),
-                rows_out: 0, // set after the merged result is assembled
                 positions_matched,
                 decompressed_fetch: decompressed,
                 code_path_ops: matstrat_common::codeops::snapshot().wrapping_sub(ops0),
-                steals: 0, // a scheduler-level count, set after the merge
+                zone_skips,
+                // rows_out is set after the merged result is assembled;
+                // steals is a scheduler-level count, set after the merge.
+                ..ExecStats::default()
             },
         })
     }
@@ -399,6 +414,7 @@ impl SpanTask<'_> {
 struct GranuleOut {
     matched: u64,
     decompressed: bool,
+    zone_skips: u64,
 }
 
 /// One granule's worth of execution context.
@@ -469,6 +485,24 @@ impl Granule<'_> {
         }
         *positions = keep_pos;
         *tuples = keep_tup;
+    }
+
+    /// Fetch a filter column's mini for a DS1 scan, consulting zone maps
+    /// when enabled: blocks whose min/max range cannot satisfy `pred` are
+    /// skipped (counted into `zone_skips`) and never read.
+    fn fetch_filter_mini(
+        &self,
+        col: usize,
+        pred: &Predicate,
+        zone_skips: &mut u64,
+    ) -> Result<MiniColumn> {
+        if self.opts.zone_maps {
+            let (mini, pruned) = MiniColumn::fetch_pruned(self.reader(col), self.window, pred)?;
+            *zone_skips += pruned;
+            Ok(mini)
+        } else {
+            MiniColumn::fetch(self.reader(col), self.window)
+        }
     }
 
     /// All predicates on `col`, in filter order.
@@ -562,8 +596,14 @@ impl Granule<'_> {
         flat: &mut Vec<Value>,
     ) -> Result<GranuleOut> {
         let mut mcs = Vec::with_capacity(self.q.filters.len());
+        let mut zone_skips = 0u64;
         for (col, pred) in &self.q.filters {
-            let mini = MiniColumn::fetch(self.reader(*col), self.window)?;
+            // Zone maps prune the DS1 scan: a block whose min/max range
+            // cannot satisfy the predicate contributes no positions, so
+            // skipping the read leaves the descriptor unchanged. Survivor
+            // positions always live in present blocks, so the pruned mini
+            // is safe to re-access for output values.
+            let mini = self.fetch_filter_mini(*col, pred, &mut zone_skips)?;
             let pl = self.coerce_repr(mini.scan_positions(pred));
             let mut mc = MultiColumn::with_descriptor(self.window, pl);
             mc.add_mini(*col, mini);
@@ -576,6 +616,7 @@ impl Granule<'_> {
             return Ok(GranuleOut {
                 matched,
                 decompressed: false,
+                zone_skips,
             });
         }
         let mut minis: HashMap<usize, MiniColumn> = mc
@@ -589,6 +630,7 @@ impl Granule<'_> {
         Ok(GranuleOut {
             matched,
             decompressed,
+            zone_skips,
         })
     }
 
@@ -601,9 +643,10 @@ impl Granule<'_> {
     ) -> Result<GranuleOut> {
         let mut minis: HashMap<usize, MiniColumn> = HashMap::new();
         let mut desc: PosList = PosList::full(self.window);
+        let mut zone_skips = 0u64;
         for (i, (col, pred)) in self.q.filters.iter().enumerate() {
             if i == 0 {
-                let mini = MiniColumn::fetch(self.reader(*col), self.window)?;
+                let mini = self.fetch_filter_mini(*col, pred, &mut zone_skips)?;
                 desc = self.coerce_repr(mini.scan_positions(pred));
                 minis.insert(*col, mini);
             } else {
@@ -635,12 +678,14 @@ impl Granule<'_> {
             return Ok(GranuleOut {
                 matched,
                 decompressed: false,
+                zone_skips,
             });
         }
         let decompressed = self.consume_lm(&desc, &mut minis, out_cols, agg, flat, true)?;
         Ok(GranuleOut {
             matched,
             decompressed,
+            zone_skips,
         })
     }
 
@@ -689,6 +734,7 @@ impl Granule<'_> {
         Ok(GranuleOut {
             matched,
             decompressed: out.decompressed,
+            zone_skips: 0, // EM reads every block by definition
         })
     }
 
@@ -764,6 +810,7 @@ impl Granule<'_> {
         Ok(GranuleOut {
             matched,
             decompressed: false,
+            zone_skips: 0, // EM reads every block by definition
         })
     }
 

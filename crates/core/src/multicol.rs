@@ -68,6 +68,42 @@ impl MiniColumn {
         Ok(MiniColumn { window, blocks })
     }
 
+    /// Fetch every block overlapping `window` whose index **zone map**
+    /// admits `pred` — blocks whose [min, max] range provably excludes
+    /// every matching value are never read. Positions inside a pruned
+    /// block cannot survive the scan, so leaving its block out of the
+    /// mini-column changes nothing but the I/O: [`scan_positions`]
+    /// simply never emits them. Returns the mini-column and the number
+    /// of blocks pruned. Files written before zone maps carry
+    /// `(Value::MIN, Value::MAX)` zones and are never pruned.
+    ///
+    /// [`scan_positions`]: MiniColumn::scan_positions
+    pub fn fetch_pruned(
+        reader: &ColumnReader,
+        window: PosRange,
+        pred: &Predicate,
+    ) -> Result<(MiniColumn, u64)> {
+        let window = window.intersect(&PosRange::new(0, reader.num_rows()));
+        let mut blocks = Vec::new();
+        let mut pruned = 0u64;
+        if !window.is_empty() {
+            let mut idx = reader.block_for_pos(window.start)?;
+            while idx < reader.num_blocks() {
+                let meta = reader.block_meta(idx)?;
+                if meta.start_pos >= window.end {
+                    break;
+                }
+                if meta.zone_overlaps(pred) {
+                    blocks.push(reader.block(idx)?);
+                } else {
+                    pruned += 1;
+                }
+                idx += 1;
+            }
+        }
+        Ok((MiniColumn { window, blocks }, pruned))
+    }
+
     /// Fetch only the blocks containing positions of `positions`
     /// (clamped to `window`) — the pipelined block-skipping path: blocks
     /// of this column with no surviving positions are never read.

@@ -53,6 +53,7 @@
 
 use std::collections::HashMap;
 use std::sync::Arc;
+use std::time::Instant;
 
 use matstrat_common::{Error, Pos, PosRange, Predicate, Result, TableId, Value};
 use matstrat_model::plans::JoinInnerKind;
@@ -65,7 +66,7 @@ use matstrat_storage::{
 use crate::exec::ExecOptions;
 use crate::multicol::MiniColumn;
 use crate::pipeline::FragmentPipeline;
-use crate::query::QueryResult;
+use crate::query::{QueryResult, QueryStats};
 
 /// How the inner (right) table is represented inside the join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,14 +107,19 @@ impl InnerStrategy {
     }
 }
 
-/// An equi-join between two projections with an optional predicate on
-/// the left table:
+/// An equi-join between two projections with optional predicates on
+/// either side:
 ///
 /// ```sql
 /// SELECT l.<left_output...>, r.<right_output...>
 /// FROM left l, right r
 /// WHERE l.<left_key> = r.<right_key> [AND l.<filter col> <op> const]
+///                                    [AND r.<filter col> <op> const]
 /// ```
+///
+/// The right-side predicate is applied at **build** time as a semi-join
+/// reduction: failing inner rows never enter the hash table, so the
+/// probe never sees them and pays nothing per probe for the filter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinSpec {
     /// Outer (probe) projection.
@@ -126,6 +132,8 @@ pub struct JoinSpec {
     pub right_key: usize,
     /// Optional predicate on a left column.
     pub left_filter: Option<(usize, Predicate)>,
+    /// Optional predicate on a right column, pushed into the build.
+    pub right_filter: Option<(usize, Predicate)>,
     /// Left columns to output.
     pub left_output: Vec<usize>,
     /// Right columns to output.
@@ -316,17 +324,58 @@ pub(crate) struct SharedBuild {
     pub(crate) delta: Option<Arc<TableDelta>>,
 }
 
+/// A build-time reduction on the inner table: rows it rejects never
+/// enter the hash table (the decoded `keys` stay full-length, so
+/// positional indexing by snowflake edges is unaffected). Both variants
+/// are output-invariant for the queries that use them — a filtered row
+/// fails its own predicate, and a semi-reduced row would die at the
+/// child edge's probe anyway.
+pub(crate) enum BuildReducer<'a> {
+    /// Exclude rows where column `0` fails predicate `1` (pushed-down
+    /// inner-table WHERE).
+    Filter(usize, Predicate),
+    /// Exclude rows whose value in column `col` has no match in
+    /// `child`'s hash table — the bushy-plan reduction that joins a
+    /// dimension subtree before the fact side probes it.
+    SemiJoin {
+        /// Key column of *this* table the child edge joins through.
+        col: usize,
+        /// The child edge's already-built hash table.
+        child: &'a SharedBuild,
+    },
+}
+
+impl BuildReducer<'_> {
+    /// The column this reducer inspects.
+    fn col(&self) -> usize {
+        match self {
+            BuildReducer::Filter(c, _) => *c,
+            BuildReducer::SemiJoin { col, .. } => *col,
+        }
+    }
+
+    /// Whether the row holding `v` in the inspected column survives.
+    fn keeps(&self, v: Value) -> bool {
+        match self {
+            BuildReducer::Filter(_, pred) => pred.matches(v),
+            BuildReducer::SemiJoin { child, .. } => child.probe(v).is_some(),
+        }
+    }
+}
+
 impl SharedBuild {
     /// Scan + decode the key column and build the partitioned hash table
     /// on the pipeline's workers (serial insertion for a single-span
     /// plan). Takes one consistent snapshot of the right table: base
     /// keys come from the snapshot's column files, delta-insert keys are
-    /// appended in stamp order, and deleted positions are skipped by the
+    /// appended in stamp order, and deleted positions — plus every
+    /// position a [`BuildReducer`] rejects — are skipped by the
     /// hash-table build.
     pub(crate) fn build(
         store: &Store,
         right: TableId,
         right_key: usize,
+        reducers: &[BuildReducer<'_>],
         opts: &ExecOptions,
         sink: Option<&IoSink>,
     ) -> Result<SharedBuild> {
@@ -377,7 +426,44 @@ impl SharedBuild {
             }
         }
         let rows = keys.len() as u64;
-        let deletes: &[u64] = delta.as_ref().map_or(&[], |d| &d.deletes);
+        // Positions the hash table must never hold: the snapshot's
+        // deletes plus every row a reducer rejects. Reducers read the
+        // same snapshot the keys came from (the key decode is reused
+        // when a reducer inspects the key column), so the exclusion
+        // list is consistent with `keys` by construction.
+        let mut excluded: Vec<u64> = delta.as_ref().map_or(Vec::new(), |d| d.deletes.to_vec());
+        if !reducers.is_empty() {
+            let mut col_vals: HashMap<usize, Vec<Value>> = HashMap::new();
+            for r in reducers {
+                let col = r.col();
+                if col != right_key && !col_vals.contains_key(&col) {
+                    let mut vals = Vec::with_capacity(rows as usize);
+                    if base_rows > 0 {
+                        let reader = store.reader_for(info.column(col)?)?;
+                        let mini = MiniColumn::fetch(&reader, PosRange::new(0, base_rows))?;
+                        mini.decode(&mut vals)?;
+                    }
+                    if let Some(d) = &delta {
+                        vals.extend(d.inserts.iter().map(|row| row[col]));
+                    }
+                    col_vals.insert(col, vals);
+                }
+            }
+            for r in reducers {
+                let vals: &[Value] = if r.col() == right_key {
+                    &keys
+                } else {
+                    &col_vals[&r.col()]
+                };
+                for (pos, &v) in vals.iter().enumerate() {
+                    if !r.keeps(v) {
+                        excluded.push(pos as u64);
+                    }
+                }
+            }
+            excluded.sort_unstable();
+            excluded.dedup();
+        }
         // The build's worker count obeys the same skew guard as the
         // probe's, applied to the *right* table: a one-granule inner
         // table builds serially no matter the knob, and the planner
@@ -387,7 +473,7 @@ impl SharedBuild {
         let table = match code_build {
             Some((fingerprint, dict, codes)) => {
                 let table =
-                    PartitionedTable::build(&codes, deletes, &pipeline, store.meter(), sink)?;
+                    PartitionedTable::build(&codes, &excluded, &pipeline, store.meter(), sink)?;
                 matstrat_common::codeops::add(codes.len() as u64);
                 KeyTable::Codes {
                     table,
@@ -397,7 +483,7 @@ impl SharedBuild {
             }
             None => KeyTable::Values(PartitionedTable::build(
                 &keys,
-                deletes,
+                &excluded,
                 &pipeline,
                 store.meter(),
                 sink,
@@ -814,7 +900,7 @@ pub fn hash_join_with_options(
     inner: InnerStrategy,
     opts: &ExecOptions,
 ) -> Result<QueryResult> {
-    Ok(hash_join_with_io(store, spec, inner, opts)?.0)
+    Ok(hash_join_with_stats(store, spec, inner, opts)?.0)
 }
 
 /// [`hash_join_with_options`], additionally reporting the I/O **this
@@ -827,12 +913,24 @@ pub fn hash_join_with_io(
     inner: InnerStrategy,
     opts: &ExecOptions,
 ) -> Result<(QueryResult, IoStats)> {
+    let (result, stats) = hash_join_with_stats(store, spec, inner, opts)?;
+    Ok((result, stats.io))
+}
+
+/// [`hash_join_with_options`], reporting the unified [`QueryStats`] the
+/// single-statement API surfaces: wall time, exact per-query I/O, rows
+/// out, build/steal/zone-skip counters.
+pub fn hash_join_with_stats(
+    store: &Store,
+    spec: &JoinSpec,
+    inner: InnerStrategy,
+    opts: &ExecOptions,
+) -> Result<(QueryResult, QueryStats)> {
     // Drop any residue a previous, errored-out execution left on this
     // thread: it must not be billed to this query.
     store.meter().forget_current_thread();
     let sink = IoSink::new();
-    let result = hash_join_sunk(store, spec, inner, opts, &sink)?;
-    Ok((result, sink.total()))
+    hash_join_sunk(store, spec, inner, opts, &sink)
 }
 
 fn hash_join_sunk(
@@ -841,7 +939,8 @@ fn hash_join_sunk(
     inner: InnerStrategy,
     opts: &ExecOptions,
     sink: &IoSink,
-) -> Result<QueryResult> {
+) -> Result<(QueryResult, QueryStats)> {
+    let t0 = Instant::now();
     let (left_info, left_delta) = store.scan_snapshot(spec.left)?;
     let right_info = store.projection(spec.right)?;
 
@@ -866,7 +965,19 @@ fn hash_join_sunk(
     // join-tree executor builds per edge, with the first cached across
     // edges that share an inner table. Both halves read the one right
     // snapshot `SharedBuild::build` takes.
-    let shared = SharedBuild::build(store, spec.right, spec.right_key, opts, Some(sink))?;
+    let reducers: Vec<BuildReducer<'_>> = spec
+        .right_filter
+        .iter()
+        .map(|&(c, p)| BuildReducer::Filter(c, p))
+        .collect();
+    let shared = SharedBuild::build(
+        store,
+        spec.right,
+        spec.right_key,
+        &reducers,
+        opts,
+        Some(sink),
+    )?;
     let rep = InnerRep::build(
         store,
         &shared,
@@ -901,17 +1012,22 @@ fn hash_join_sunk(
         opts.parallelism.max(1),
     );
     let token = opts.query_token;
-    let fragments: Vec<Vec<Value>> = pipeline.run_sunk(store.meter(), sink, |span| {
-        set_thread_query_token(token);
-        probe_span(spec, &build, span)
-    })?;
+    let zone_maps = opts.zone_maps;
+    let (fragments, steals): (Vec<(Vec<Value>, u64)>, u64) =
+        pipeline.run_counted_sunk(store.meter(), Some(sink), |span| {
+            set_thread_query_token(token);
+            probe_span(spec, &build, zone_maps, span)
+        })?;
 
     // Fragments are row-major and spans ascend, so concatenation
     // reproduces the serial row order byte for byte.
+    let mut zone_skips = 0u64;
     let mut fragments = fragments.into_iter();
-    let mut flat = fragments.next().expect("at least one span");
-    for frag in fragments {
+    let (mut flat, zs) = fragments.next().expect("at least one span");
+    zone_skips += zs;
+    for (frag, zs) in fragments {
         flat.extend(frag);
+        zone_skips += zs;
     }
 
     // ---- Left delta pass: serial, in stamp order ------------------------
@@ -949,16 +1065,41 @@ fn hash_join_sunk(
             }
         }
     }
-    Ok(QueryResult::from_flat(names, flat))
+    let result = QueryResult::from_flat(names, flat);
+    let stats = QueryStats {
+        wall: t0.elapsed(),
+        io: sink.total(),
+        rows_out: result.num_rows() as u64,
+        steals,
+        builds: 1,
+        zone_skips,
+        ..QueryStats::default()
+    };
+    Ok((result, stats))
 }
 
 /// Run the full filter→probe→fetch→stitch pipeline over one left span,
-/// returning the span's row-major output fragment.
-fn probe_span(spec: &JoinSpec, build: &BuildSide, span: PosRange) -> Result<Vec<Value>> {
+/// returning the span's row-major output fragment and the number of
+/// zone-map-pruned filter blocks.
+fn probe_span(
+    spec: &JoinSpec,
+    build: &BuildSide,
+    zone_maps: bool,
+    span: PosRange,
+) -> Result<(Vec<Value>, u64)> {
+    let mut zone_skips = 0u64;
     // ---- Left (outer) side, span-local ---------------------------------
     let desc = match (&spec.left_filter, &build.left_filter_reader) {
         (Some((_, pred)), Some(reader)) => {
-            let mini = MiniColumn::fetch(reader, span)?;
+            // Zone-rejected blocks contribute no positions — skipping the
+            // read leaves the descriptor (and every later fetch) unchanged.
+            let mini = if zone_maps {
+                let (mini, pruned) = MiniColumn::fetch_pruned(reader, span, pred)?;
+                zone_skips = pruned;
+                mini
+            } else {
+                MiniColumn::fetch(reader, span)?
+            };
             mini.scan_positions(pred)
         }
         _ => PosList::full(span),
@@ -1032,7 +1173,7 @@ fn probe_span(spec: &JoinSpec, build: &BuildSide, span: PosRange) -> Result<Vec<
             flat.push(col[i]);
         }
     }
-    Ok(flat)
+    Ok((flat, zone_skips))
 }
 
 #[cfg(test)]
@@ -1068,6 +1209,7 @@ mod tests {
             left_key: 0,
             right_key: 0,
             left_filter: Some((0, Predicate::lt(10))),
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         };
@@ -1167,6 +1309,7 @@ mod tests {
             left_key: 0,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![0, 1],
             right_output: vec![1],
         };
@@ -1205,6 +1348,7 @@ mod tests {
             left_key: 0,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![0],
             right_output: vec![1],
         };
@@ -1280,6 +1424,7 @@ mod tests {
             left_key: 0,
             right_key: 0,
             left_filter: Some((1, Predicate::lt(2000))),
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         };
@@ -1337,6 +1482,7 @@ mod tests {
             left_key: 0,
             right_key: 0,
             left_filter: Some((1, Predicate::ge(5000))),
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         };
@@ -1362,6 +1508,7 @@ mod tests {
             left_key: 0,
             right_key: 0,
             left_filter: Some((1, Predicate::ge(6000))),
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         };

@@ -51,20 +51,24 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use matstrat_common::{Error, Pos, PosRange, Result, TableId, Value};
+use matstrat_common::{Error, Pos, PosRange, Predicate, Result, TableId, Value};
 use matstrat_poslist::PosList;
 use matstrat_storage::{set_thread_query_token, ColumnReader, IoSink, Store, TableDelta};
 
 use crate::exec::ExecOptions;
 use crate::multicol::MiniColumn;
+use crate::ops::agg::Aggregator;
 use crate::ops::join::{
-    fetch_codes_expanded, fetch_expanded, filter_deleted, InnerRep, InnerStrategy, SharedBuild,
+    fetch_codes_expanded, fetch_expanded, filter_deleted, BuildReducer, InnerRep, InnerStrategy,
+    SharedBuild,
 };
 use crate::pipeline::FragmentPipeline;
-use crate::query::{JoinKeySource, JoinTreeSpec, JoinTreeStats, QueryResult};
+use crate::query::{AggSpec, JoinKeySource, JoinTreeSpec, JoinTreeStats, QueryResult};
 
 /// How a [`JoinTreeSpec`] is to be executed: the edge order, one inner
-/// strategy per edge, and whether build tables are cached across edges.
+/// strategy per edge, which snowflake edges run **bushy** (their
+/// dimension subtree joined before the fact side probes it), and whether
+/// build tables are cached across edges.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinTreePlan {
     /// Execution order as indices into `spec.edges`. Must be a
@@ -73,9 +77,17 @@ pub struct JoinTreePlan {
     pub order: Vec<usize>,
     /// Inner-table strategy per edge, indexed by **spec** position.
     pub inners: Vec<InnerStrategy>,
+    /// Bushy flag per edge, indexed by **spec** position (empty means
+    /// none). A bushy edge must be a snowflake edge; its hash table is
+    /// built *before* its parent's, and parent rows with no match in it
+    /// are semi-join-reduced out of the parent's table — a dimension
+    /// subtree joined ahead of the fact probe. Output-invariant: the
+    /// reduced rows would die at the bushy edge's own probe anyway.
+    pub bushy: Vec<bool>,
     /// Reuse the partitioned build table across edges sharing an
-    /// (inner table, key column) pair. On by default; the differential
-    /// battery turns it off to prove reuse is invisible in the bytes.
+    /// (inner table, key column, inner filter, bushy reduction)
+    /// signature. On by default; the differential battery turns it off
+    /// to prove reuse is invisible in the bytes.
     pub reuse_builds: bool,
 }
 
@@ -85,18 +97,31 @@ impl JoinTreePlan {
         JoinTreePlan {
             order: (0..inners.len()).collect(),
             inners,
+            bushy: Vec::new(),
             reuse_builds: true,
         }
     }
 
-    /// Check the plan fits `spec`: one strategy per edge, and `order` a
-    /// dependency-respecting permutation.
+    /// Whether edge `ei` (spec index) executes bushy.
+    pub fn is_bushy(&self, ei: usize) -> bool {
+        self.bushy.get(ei).copied().unwrap_or(false)
+    }
+
+    /// Check the plan fits `spec`: one strategy per edge, `order` a
+    /// dependency-respecting permutation, and bushy flags only on
+    /// snowflake edges.
     pub fn validate(&self, spec: &JoinTreeSpec) -> Result<()> {
         let n = spec.edges.len();
         if self.inners.len() != n {
             return Err(Error::invalid(format!(
                 "join tree plan: {} strategies for {n} edges",
                 self.inners.len()
+            )));
+        }
+        if !self.bushy.is_empty() && self.bushy.len() != n {
+            return Err(Error::invalid(format!(
+                "join tree plan: {} bushy flags for {n} edges",
+                self.bushy.len()
             )));
         }
         let mut seen = vec![false; n];
@@ -113,6 +138,11 @@ impl JoinTreePlan {
                          which has not executed yet"
                     )));
                 }
+            } else if self.is_bushy(ei) {
+                return Err(Error::invalid(format!(
+                    "join tree plan: edge {ei} is marked bushy but probes the \
+                     base table (only snowflake edges can reduce a parent build)"
+                )));
             }
             seen[ei] = true;
         }
@@ -124,6 +154,13 @@ impl JoinTreePlan {
         Ok(())
     }
 }
+
+/// The build-cache signature: two edges share one [`SharedBuild`] only
+/// when the inner table, key column, pushed-down inner filter, *and*
+/// the set of bushy children reducing the build all agree — anything
+/// less would let a reduced table serve an edge whose probes must see
+/// the reduced-out rows.
+type BuildKey = (TableId, usize, Option<(usize, Predicate)>, Vec<usize>);
 
 /// Everything one edge's probe needs, shared read-only by all workers.
 struct EdgeRun {
@@ -157,6 +194,128 @@ impl ProbeKeys {
             ProbeKeys::Codes(c) => c.len(),
         }
     }
+}
+
+/// Build (or fetch from cache) edge `ei`'s [`SharedBuild`], first
+/// building every bushy child reducing it. Memoized per spec index, so
+/// the probe loop later finds every build ready whatever order the
+/// recursion produced them in.
+#[allow(clippy::too_many_arguments)]
+fn ensure_shared(
+    store: &Store,
+    spec: &JoinTreeSpec,
+    plan: &JoinTreePlan,
+    opts: &ExecOptions,
+    sink: &IoSink,
+    bushy_children: &[Vec<usize>],
+    cache: &mut HashMap<BuildKey, Arc<SharedBuild>>,
+    shared_by_spec: &mut Vec<Option<Arc<SharedBuild>>>,
+    stats: &mut JoinTreeStats,
+    ei: usize,
+) -> Result<Arc<SharedBuild>> {
+    if let Some(s) = &shared_by_spec[ei] {
+        return Ok(Arc::clone(s));
+    }
+    let mut child_builds: Vec<(usize, Arc<SharedBuild>)> = Vec::new();
+    for &c in &bushy_children[ei] {
+        let cb = ensure_shared(
+            store,
+            spec,
+            plan,
+            opts,
+            sink,
+            bushy_children,
+            cache,
+            shared_by_spec,
+            stats,
+            c,
+        )?;
+        child_builds.push((c, cb));
+    }
+    let edge = &spec.edges[ei];
+    let key: BuildKey = (
+        edge.right,
+        edge.right_key,
+        edge.right_filter,
+        bushy_children[ei].clone(),
+    );
+    let shared = match cache.get(&key) {
+        Some(s) if plan.reuse_builds => {
+            stats.build_reuses += 1;
+            Arc::clone(s)
+        }
+        _ => {
+            let mut reducers: Vec<BuildReducer<'_>> = edge
+                .right_filter
+                .iter()
+                .map(|&(c, p)| BuildReducer::Filter(c, p))
+                .collect();
+            for (c, cb) in &child_builds {
+                reducers.push(BuildReducer::SemiJoin {
+                    col: spec.edges[*c].left_key,
+                    child: cb,
+                });
+            }
+            let s = Arc::new(SharedBuild::build(
+                store,
+                edge.right,
+                edge.right_key,
+                &reducers,
+                opts,
+                Some(sink),
+            )?);
+            stats.builds += 1;
+            cache.insert(key, Arc::clone(&s));
+            s
+        }
+    };
+    shared_by_spec[ei] = Some(Arc::clone(&shared));
+    Ok(shared)
+}
+
+/// Where one flat spec-order output column's values come from.
+#[derive(Clone, Copy)]
+enum OutCol {
+    /// Index into edge 0's `left_output` (a base column).
+    Base(usize),
+    /// Column `col` of edge `spec_idx`'s right output.
+    Edge { spec_idx: usize, col: usize },
+}
+
+/// Resolve flat output index `idx` (validated < output width) to its
+/// source column.
+fn resolve_out_col(spec: &JoinTreeSpec, idx: usize) -> OutCol {
+    let base_w = spec.edges[0].left_output.len();
+    if idx < base_w {
+        return OutCol::Base(idx);
+    }
+    let mut off = base_w;
+    for (ei, e) in spec.edges.iter().enumerate() {
+        if idx < off + e.right_output.len() {
+            return OutCol::Edge {
+                spec_idx: ei,
+                col: idx - off,
+            };
+        }
+        off += e.right_output.len();
+    }
+    unreachable!("output index validated against output_width")
+}
+
+/// The aggregate's columns resolved to their fetch sources.
+struct AggCols {
+    spec: AggSpec,
+    group: OutCol,
+    value: OutCol,
+}
+
+/// One span's contribution: row-major output values, or a partial
+/// aggregate when the tree is topped by a GROUP BY — plus the span's
+/// zone-map block skips.
+struct TreeFragment {
+    flat: Vec<Value>,
+    agg: Option<Aggregator>,
+    zone_skips: u64,
 }
 
 /// Execute the tree in spec order under per-edge strategies, with
@@ -216,33 +375,42 @@ pub fn hash_join_tree_with_options(
     let mut stats = JoinTreeStats::default();
 
     // ---- Build phase, in execution order --------------------------------
-    // One SharedBuild per distinct (inner table, key column); the
-    // per-edge representation is always edge-local (outputs and strategy
-    // differ per edge; re-fetches of shared columns are pool hits).
-    let mut cache: HashMap<(TableId, usize), Arc<SharedBuild>> = HashMap::new();
-    let mut spec_to_slot = vec![usize::MAX; spec.edges.len()];
-    let mut runs: Vec<EdgeRun> = Vec::with_capacity(spec.edges.len());
+    // One SharedBuild per distinct build signature (see [`BuildKey`]);
+    // the per-edge representation is always edge-local (outputs and
+    // strategy differ per edge; re-fetches of shared columns are pool
+    // hits). A bushy edge's table is built *before* its parent's — the
+    // recursion in [`ensure_shared`] — so the parent build can
+    // semi-reduce against it.
+    let n_edges = spec.edges.len();
+    let mut bushy_children: Vec<Vec<usize>> = vec![Vec::new(); n_edges];
+    for ei in 0..n_edges {
+        if plan.is_bushy(ei) {
+            if let JoinKeySource::Edge(p) = spec.key_source(ei)? {
+                bushy_children[p].push(ei);
+            }
+        }
+    }
+    let mut cache: HashMap<BuildKey, Arc<SharedBuild>> = HashMap::new();
+    let mut shared_by_spec: Vec<Option<Arc<SharedBuild>>> = vec![None; n_edges];
+    for &ei in &plan.order {
+        ensure_shared(
+            store,
+            spec,
+            plan,
+            opts,
+            &sink,
+            &bushy_children,
+            &mut cache,
+            &mut shared_by_spec,
+            &mut stats,
+            ei,
+        )?;
+    }
+    let mut spec_to_slot = vec![usize::MAX; n_edges];
+    let mut runs: Vec<EdgeRun> = Vec::with_capacity(n_edges);
     for &ei in &plan.order {
         let edge = &spec.edges[ei];
-        let cache_key = (edge.right, edge.right_key);
-        let shared = match cache.get(&cache_key) {
-            Some(s) if plan.reuse_builds => {
-                stats.build_reuses += 1;
-                Arc::clone(s)
-            }
-            _ => {
-                let s = Arc::new(SharedBuild::build(
-                    store,
-                    edge.right,
-                    edge.right_key,
-                    opts,
-                    Some(&sink),
-                )?);
-                stats.builds += 1;
-                cache.insert(cache_key, Arc::clone(&s));
-                s
-            }
-        };
+        let shared = Arc::clone(shared_by_spec[ei].as_ref().expect("built above"));
         let rep = InnerRep::build(
             store,
             &shared,
@@ -306,6 +474,14 @@ pub fn hash_join_tree_with_options(
         .as_ref()
         .map_or(Vec::new(), |d| d.base_deletes().to_vec());
 
+    // The aggregate's columns, resolved once (validated by
+    // `spec.validate`).
+    let agg_cols: Option<AggCols> = spec.aggregate.map(|a| AggCols {
+        spec: a,
+        group: resolve_out_col(spec, a.group_col),
+        value: resolve_out_col(spec, a.value_col),
+    });
+
     // ---- Probe phase: span-parallel over the base table's base rows -----
     let pipeline = FragmentPipeline::new(
         base_info.num_rows,
@@ -313,6 +489,7 @@ pub fn hash_join_tree_with_options(
         opts.parallelism.max(1),
     );
     let token = opts.query_token;
+    let zone_maps = opts.zone_maps;
     let (fragments, steals) = pipeline.run_counted_sunk(store.meter(), Some(&sink), |span| {
         set_thread_query_token(token);
         probe_tree_span(
@@ -322,31 +499,63 @@ pub fn hash_join_tree_with_options(
             &base_filter_reader,
             &base_out_readers,
             &base_deletes,
+            agg_cols.as_ref(),
+            zone_maps,
             span,
         )
     })?;
 
     // Fragments are row-major and runs merge in global granule order, so
-    // concatenation reproduces the serial row order byte for byte.
+    // concatenation reproduces the serial row order byte for byte;
+    // partial aggregates merge associatively, so the merged accumulator
+    // equals the serial stream's.
     let mut fragments = fragments.into_iter();
-    let mut flat = fragments.next().expect("at least one span");
+    let first = fragments.next().expect("at least one span");
+    let mut flat = first.flat;
+    let mut agg_acc = first.agg;
+    stats.zone_skips = first.zone_skips;
     for frag in fragments {
-        flat.extend(frag);
+        stats.zone_skips += frag.zone_skips;
+        match (&mut agg_acc, frag.agg) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, None) => flat.extend(frag.flat),
+            _ => unreachable!("fragments share the aggregate mode"),
+        }
     }
     // ---- Base delta pass: serial, in stamp order ------------------------
     // Row-oriented base-table inserts run the same probe pipeline after
     // every base fragment — exactly where those rows sit in position
-    // order.
+    // order. Under an aggregate the delta rows feed the accumulator
+    // tuple-at-a-time (the delta is row-oriented already).
     if let Some(d) = &base_delta {
-        flat.extend(probe_tree_delta(
-            spec,
-            &runs,
-            &spec_to_slot,
-            &plan.order,
-            d,
-        )?);
+        let drows = probe_tree_delta(spec, &runs, &spec_to_slot, &plan.order, d)?;
+        match (&mut agg_acc, &agg_cols) {
+            (Some(a), Some(ac)) => {
+                for row in drows.chunks_exact(spec.output_width()) {
+                    a.add(row[ac.spec.group_col], row[ac.spec.value_col]);
+                }
+            }
+            _ => flat.extend(drows),
+        }
     }
-    let result = QueryResult::from_flat(names, flat);
+    let result = match (agg_acc, &agg_cols) {
+        (Some(a), Some(ac)) => {
+            // Output shape matches the scan executor's aggregation:
+            // (group, func_value), rows sorted by group — canonical, so
+            // every plan shape produces identical bytes.
+            let out_names = vec![
+                names[ac.spec.group_col].clone(),
+                format!("{}_{}", ac.spec.func.name(), names[ac.spec.value_col]),
+            ];
+            let mut agg_flat = Vec::with_capacity(a.num_groups() * 2);
+            for (g, v) in a.finish() {
+                agg_flat.push(g);
+                agg_flat.push(v);
+            }
+            QueryResult::from_flat(out_names, agg_flat)
+        }
+        _ => QueryResult::from_flat(names, flat),
+    };
     stats.steals = steals;
     stats.rows_out = result.num_rows() as u64;
     stats.wall = t0.elapsed();
@@ -355,7 +564,10 @@ pub fn hash_join_tree_with_options(
 }
 
 /// Run the full filter→probe→…→probe→fetch→stitch pipeline over one
-/// base-table span, returning the span's row-major output fragment.
+/// base-table span, returning the span's row-major output fragment — or,
+/// under an aggregate, a partial accumulator built from just the group
+/// and value columns (everything else is never fetched).
+#[allow(clippy::too_many_arguments)]
 fn probe_tree_span(
     spec: &JoinTreeSpec,
     runs: &[EdgeRun],
@@ -363,13 +575,26 @@ fn probe_tree_span(
     base_filter_reader: &Option<ColumnReader>,
     base_out_readers: &[ColumnReader],
     base_deletes: &[u64],
+    agg: Option<&AggCols>,
+    zone_maps: bool,
     span: PosRange,
-) -> Result<Vec<Value>> {
+) -> Result<TreeFragment> {
     let edge0 = &spec.edges[0];
+    let mut zone_skips = 0u64;
     // ---- Base side, span-local ------------------------------------------
     let desc = match (&edge0.left_filter, base_filter_reader) {
         (Some((_, pred)), Some(reader)) => {
-            let mini = MiniColumn::fetch(reader, span)?;
+            // Zone maps: blocks whose min/max range cannot satisfy the
+            // predicate are never read. The pruned mini scans the blocks
+            // that remain; a skipped block contributes no positions, which
+            // is exactly what scanning it would have produced.
+            let mini = if zone_maps {
+                let (mini, pruned) = MiniColumn::fetch_pruned(reader, span, pred)?;
+                zone_skips = pruned;
+                mini
+            } else {
+                MiniColumn::fetch(reader, span)?
+            };
             mini.scan_positions(pred)
         }
         _ => PosList::full(span),
@@ -434,6 +659,63 @@ fn probe_tree_span(
     }
     let out_rows = base_pos.len();
 
+    // ---- Aggregate mode: fold, never stitch -----------------------------
+    // Only the group column (and the value column, when the function
+    // reads values) are ever materialized; the other output columns are
+    // never fetched. Adjacent equal groups fold as one run.
+    if let Some(ac) = agg {
+        let mut gathered: Vec<Option<Vec<Vec<Value>>>> = vec![None; runs.len()];
+        let groups = fetch_out_col(
+            &ac.group,
+            base_out_readers,
+            runs,
+            spec_to_slot,
+            &base_pos,
+            &rights,
+            span,
+            &mut gathered,
+        )?;
+        let mut acc = Aggregator::new_fn(ac.spec.func);
+        if ac.spec.func.needs_values() {
+            let vals = fetch_out_col(
+                &ac.value,
+                base_out_readers,
+                runs,
+                spec_to_slot,
+                &base_pos,
+                &rights,
+                span,
+                &mut gathered,
+            )?;
+            let mut i = 0;
+            while i < out_rows {
+                let g = groups[i];
+                let mut j = i + 1;
+                while j < out_rows && groups[j] == g {
+                    j += 1;
+                }
+                acc.add_slice(g, &vals[i..j]);
+                i = j;
+            }
+        } else {
+            let mut i = 0;
+            while i < out_rows {
+                let g = groups[i];
+                let mut j = i + 1;
+                while j < out_rows && groups[j] == g {
+                    j += 1;
+                }
+                acc.add_count(g, (j - i) as u64);
+                i = j;
+            }
+        }
+        return Ok(TreeFragment {
+            flat: Vec::new(),
+            agg: Some(acc),
+            zone_skips,
+        });
+    }
+
     // ---- Value fetch, once, at the top ----------------------------------
     // Base output values: merge on the sorted (duplicated) positions.
     let mut base_cols: Vec<Vec<Value>> = Vec::with_capacity(base_out_readers.len());
@@ -460,7 +742,42 @@ fn probe_tree_span(
             }
         }
     }
-    Ok(flat)
+    Ok(TreeFragment {
+        flat,
+        agg: None,
+        zone_skips,
+    })
+}
+
+/// Materialize one output column of the join tree for the current
+/// intermediate: a base column merges on the (sorted, duplicated) base
+/// positions; an edge column gathers through that edge's inner
+/// representation, memoized per slot so a group and value on the same
+/// edge gather once.
+#[allow(clippy::too_many_arguments)]
+fn fetch_out_col(
+    oc: &OutCol,
+    base_out_readers: &[ColumnReader],
+    runs: &[EdgeRun],
+    spec_to_slot: &[usize],
+    base_pos: &[Pos],
+    rights: &[Vec<u32>],
+    span: PosRange,
+    gathered: &mut [Option<Vec<Vec<Value>>>],
+) -> Result<Vec<Value>> {
+    match *oc {
+        OutCol::Base(i) => {
+            let mini = MiniColumn::fetch(&base_out_readers[i], span)?;
+            fetch_expanded(&mini, base_pos)
+        }
+        OutCol::Edge { spec_idx, col } => {
+            let slot = spec_to_slot[spec_idx];
+            if gathered[slot].is_none() {
+                gathered[slot] = Some(runs[slot].rep.gather(&rights[slot])?);
+            }
+            Ok(gathered[slot].as_ref().unwrap()[col].clone())
+        }
+    }
 }
 
 /// Probe every live base-table delta-insert row through the whole edge
@@ -537,6 +854,7 @@ fn probe_tree_delta(
 mod tests {
     use super::*;
     use crate::ops::join::{hash_join, JoinSpec};
+    use crate::AggFunc;
     use matstrat_common::Predicate;
     use matstrat_storage::{EncodingKind as Ek, ProjectionSpec, SortOrder, Store};
 
@@ -594,6 +912,7 @@ mod tests {
                 left_key: 0,
                 right_key: 0,
                 left_filter: Some((0, Predicate::lt(12))),
+                right_filter: None,
                 left_output: vec![2],
                 right_output: vec![1],
             },
@@ -603,6 +922,7 @@ mod tests {
                 left_key: 1,
                 right_key: 0,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![],
                 right_output: vec![1],
             },
@@ -612,6 +932,7 @@ mod tests {
                 left_key: 1,
                 right_key: 0,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![],
                 right_output: vec![1],
             },
@@ -669,6 +990,7 @@ mod tests {
         let plan = JoinTreePlan {
             order: vec![1, 0, 2],
             inners: inners.to_vec(),
+            bushy: Vec::new(),
             reuse_builds: true,
         };
         let reordered = hash_join_tree_with_options(&store, &spec, &plan, &ExecOptions::default())
@@ -684,6 +1006,7 @@ mod tests {
         let plan = JoinTreePlan {
             order: vec![2, 0, 1], // nation keys through customer: invalid first
             inners: vec![InnerStrategy::MultiColumn; 3],
+            bushy: Vec::new(),
             reuse_builds: true,
         };
         let err =
@@ -746,6 +1069,7 @@ mod tests {
                 left_key: 0,
                 right_key: 0,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![0, 1],
                 right_output: vec![1],
             },
@@ -755,6 +1079,7 @@ mod tests {
                 left_key: 1,
                 right_key: 0,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![],
                 right_output: vec![1],
             },
@@ -777,6 +1102,102 @@ mod tests {
         assert_eq!(r1.num_rows() as u64, s1.rows_out);
         // Every order row matches both date probes: n rows out.
         assert_eq!(r1.num_rows(), 200);
+    }
+
+    #[test]
+    fn bushy_snowflake_edge_is_byte_identical_to_deep_execution() {
+        let (store, spec) = setup();
+        let inners = vec![InnerStrategy::MultiColumn; 3];
+        let deep = JoinTreePlan::in_spec_order(inners.clone());
+        let bushy = JoinTreePlan {
+            bushy: vec![false, false, true], // nation folds into customer's build
+            ..JoinTreePlan::in_spec_order(inners)
+        };
+        for workers in [1usize, 4] {
+            let opts = ExecOptions {
+                granule: 16,
+                parallelism: workers,
+                ..ExecOptions::default()
+            };
+            let d = hash_join_tree_with_options(&store, &spec, &deep, &opts)
+                .unwrap()
+                .0;
+            let b = hash_join_tree_with_options(&store, &spec, &bushy, &opts)
+                .unwrap()
+                .0;
+            assert_eq!(b.flat(), d.flat(), "workers={workers}");
+            assert_eq!(b.column_names, d.column_names);
+        }
+    }
+
+    #[test]
+    fn bushy_flag_on_a_star_edge_is_rejected() {
+        let (store, spec) = setup();
+        let plan = JoinTreePlan {
+            bushy: vec![true, false, false], // edge 0 probes the base
+            ..JoinTreePlan::in_spec_order(vec![InnerStrategy::MultiColumn; 3])
+        };
+        let err =
+            hash_join_tree_with_options(&store, &spec, &plan, &ExecOptions::default()).unwrap_err();
+        assert!(err.to_string().contains("bushy"), "{err}");
+    }
+
+    #[test]
+    fn dimension_predicate_pushdown_matches_the_post_filter_oracle() {
+        let (store, mut spec) = setup();
+        // Keep only nations {0, 1}: push the predicate into customer's
+        // build, versus filtering the unpushed result on the nationkey
+        // output column (index 1 in spec order).
+        spec.edges[0].right_filter = Some((1, Predicate::lt(2)));
+        let mut unpushed = spec.clone();
+        unpushed.edges[0].right_filter = None;
+        for inner in InnerStrategy::ALL {
+            let pushed = hash_join_tree(&store, &spec, &[inner; 3]).unwrap();
+            let oracle: Vec<Vec<Value>> = hash_join_tree(&store, &unpushed, &[inner; 3])
+                .unwrap()
+                .rows()
+                .map(|r| r.to_vec())
+                .filter(|r| r[1] < 2)
+                .collect();
+            let mut got: Vec<Vec<Value>> = pushed.rows().map(|r| r.to_vec()).collect();
+            let mut want = oracle;
+            got.sort_unstable();
+            want.sort_unstable();
+            assert!(!want.is_empty(), "oracle must keep some rows");
+            assert_eq!(got, want, "{inner:?}");
+        }
+    }
+
+    #[test]
+    fn aggregate_over_tree_matches_manual_aggregation_of_the_flat_result() {
+        let (store, spec) = setup();
+        let inners = [InnerStrategy::MultiColumn; 3];
+        let flat = hash_join_tree(&store, &spec, &inners).unwrap();
+        // GROUP BY nationkey (col 1), aggregate over dname (col 2).
+        for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+            let agg_spec = spec.clone().aggregate_fn(1, 2, func);
+            let got = hash_join_tree(&store, &agg_spec, &inners).unwrap();
+            let mut groups: std::collections::BTreeMap<Value, Vec<Value>> =
+                std::collections::BTreeMap::new();
+            for row in flat.rows() {
+                groups.entry(row[1]).or_default().push(row[2]);
+            }
+            let want: Vec<Vec<Value>> = groups
+                .into_iter()
+                .map(|(g, vs)| {
+                    let v = match func {
+                        AggFunc::Sum => vs.iter().sum(),
+                        AggFunc::Count => vs.len() as Value,
+                        AggFunc::Min => *vs.iter().min().unwrap(),
+                        AggFunc::Max => *vs.iter().max().unwrap(),
+                    };
+                    vec![g, v]
+                })
+                .collect();
+            let rows: Vec<Vec<Value>> = got.rows().map(|r| r.to_vec()).collect();
+            assert_eq!(rows, want, "{func:?}");
+            assert_eq!(got.column_names[0], "nationkey", "{func:?}");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! materialization; otherwise early materialization.
 
 use matstrat_common::{Result, Value};
-use matstrat_model::plans::{JoinTreeCost, JoinTreeEdgeParams, QueryParams};
+use matstrat_model::plans::{BushyReduction, JoinTreeCost, JoinTreeEdgeParams, QueryParams};
 use matstrat_model::{ColumnParams, Constants, CostBreakdown, CostModel, JoinParams};
 use matstrat_storage::{ColumnInfo, EncodingKind, ProjectionInfo, SortOrder, Store};
 
@@ -55,6 +55,10 @@ pub struct JoinTreeChoice {
     /// Chosen inner-table strategy per edge, indexed by **spec**
     /// position.
     pub inners: Vec<InnerStrategy>,
+    /// Chosen bushy flag per edge, indexed by **spec** position (empty
+    /// means a pure left-deep plan). A bushy snowflake edge's subtree is
+    /// built first and semi-join-reduces its parent's hash table.
+    pub bushy: Vec<bool>,
     /// Total estimate of the chosen plan.
     pub estimate: CostBreakdown,
     /// The chosen plan's per-edge costs and chained cardinality
@@ -98,6 +102,7 @@ impl JoinTreeChoice {
         JoinTreePlan {
             order: self.order.clone(),
             inners: self.inners.clone(),
+            bushy: self.bushy.clone(),
             reuse_builds: true,
         }
     }
@@ -260,21 +265,24 @@ impl Planner {
             self.parallelism,
         );
 
-        let mut best: Option<(Vec<usize>, Vec<InnerStrategy>, f64)> = None;
+        // (order, per-edge inners, bushy flags, total cost)
+        type BestPlan = (Vec<usize>, Vec<InnerStrategy>, Vec<bool>, f64);
+        let mut best: Option<BestPlan> = None;
         let mut candidates: Vec<(Vec<usize>, f64)> = Vec::new();
         for order in self.candidate_orders(store, spec)? {
-            let (inners, total) = self.price_order(store, spec, &order, probe_workers)?;
+            let (inners, bushy, total) = self.price_order(store, spec, &order, probe_workers)?;
             candidates.push((order.clone(), total));
-            if best.as_ref().is_none_or(|(_, _, t)| total < *t) {
-                best = Some((order, inners, total));
+            if best.as_ref().is_none_or(|(_, _, _, t)| total < *t) {
+                best = Some((order, inners, bushy, total));
             }
         }
-        let (order, inners, _) = best.expect("at least the spec order is a candidate");
+        let (order, inners, bushy, _) = best.expect("at least the spec order is a candidate");
 
         // Authoritative estimate of the winner via the model's composer,
         // plus the per-slot alternatives the choice rejected.
-        let edge_params = self.tree_edge_params(store, spec, &order, probe_workers)?;
-        let mut tree = self.model.join_tree(
+        let mut edge_params = self.tree_edge_params(store, spec, &order, probe_workers)?;
+        let reductions = Self::bushy_setup(spec, &order, &mut edge_params, &bushy);
+        let mut tree = self.model.join_tree_bushy(
             &edge_params
                 .iter()
                 .zip(&order)
@@ -283,6 +291,7 @@ impl Planner {
                     ..*p
                 })
                 .collect::<Vec<_>>(),
+            &reductions,
         );
         // Delta-merge surcharge: base inserts probe serially after the
         // fragments, each inner table's inserts append to its build.
@@ -302,6 +311,9 @@ impl Planner {
             } else {
                 tree.cards[slot - 1]
             };
+            for r in reductions.iter().filter(|r| r.parent_slot == slot) {
+                chained.params.match_rate *= r.keep_rate.clamp(0.0, 1.0);
+            }
             edge_alternatives.push(
                 InnerStrategy::ALL
                     .iter()
@@ -339,9 +351,18 @@ impl Planner {
         } else {
             String::new()
         };
+        let bushy_edges = bushy.iter().filter(|b| **b).count();
+        let bushy_note = if bushy_edges > 0 {
+            format!(
+                ", {bushy_edges} bushy edge{} (semi-join reduced)",
+                if bushy_edges > 1 { "s" } else { "" }
+            )
+        } else {
+            String::new()
+        };
         let reason = format!(
             "analytical model over {} orders: [{}] with [{}] predicted {:.2} ms \
-             (cpu {:.2} + io {:.2}, ~{:.0} rows out{reuse_note}{code_note})",
+             (cpu {:.2} + io {:.2}, ~{:.0} rows out{reuse_note}{code_note}{bushy_note})",
             candidates.len(),
             order
                 .iter()
@@ -361,6 +382,7 @@ impl Planner {
         Ok(JoinTreeChoice {
             order,
             inners,
+            bushy,
             estimate,
             tree,
             edge_alternatives,
@@ -376,6 +398,7 @@ impl Planner {
         JoinTreeChoice {
             order: vec![0],
             inners: vec![single.inner],
+            bushy: Vec::new(),
             estimate: single.estimate,
             tree: JoinTreeCost {
                 edges: vec![(single.inner.plan_kind(), single.estimate)],
@@ -458,44 +481,122 @@ impl Planner {
 
     /// Price one execution order: chained cardinalities via the model's
     /// composer, with each edge's representation chosen independently
-    /// (kind never feeds back into the cardinality chain).
+    /// (kind never feeds back into the cardinality chain). For each
+    /// order, every subset of the snowflake edges is additionally tried
+    /// **bushy** — the subset with the lowest total wins, with ties going
+    /// to fewer bushy edges (the reduction is never free, so a useless
+    /// one strictly loses).
     fn price_order(
         &self,
         store: &Store,
         spec: &JoinTreeSpec,
         order: &[usize],
         probe_workers: usize,
-    ) -> Result<(Vec<InnerStrategy>, f64)> {
-        let edge_params = self.tree_edge_params(store, spec, order, probe_workers)?;
-        // Cards are kind-independent: compose once at any kind.
-        let cards = self.model.join_tree(&edge_params).cards;
-        let mut inners = vec![InnerStrategy::MultiColumn; spec.edges.len()];
-        let mut total = 0.0;
-        for (slot, p) in edge_params.iter().enumerate() {
-            let mut chained = p.params;
-            if slot > 0 {
-                chained.left_key.rows = cards[slot - 1];
+    ) -> Result<(Vec<InnerStrategy>, Vec<bool>, f64)> {
+        let base_params = self.tree_edge_params(store, spec, order, probe_workers)?;
+        let snowflake: Vec<usize> = (0..spec.edges.len())
+            .filter(|&ei| matches!(spec.key_source(ei), Ok(JoinKeySource::Edge(_))))
+            .collect();
+        // 2^k configurations; beyond the exhaustive cap only the
+        // left-deep plan and single-edge reductions are tried.
+        let exhaustive = snowflake.len() <= EXHAUSTIVE_ORDER_EDGES;
+        let configs: Vec<u32> = if exhaustive {
+            (0..(1u32 << snowflake.len())).collect()
+        } else {
+            std::iter::once(0)
+                .chain((0..snowflake.len() as u32).map(|b| 1 << b))
+                .collect()
+        };
+        let mut best: Option<(Vec<InnerStrategy>, Vec<bool>, f64)> = None;
+        for mask in configs {
+            let bushy: Vec<bool> = if mask == 0 {
+                Vec::new()
+            } else {
+                let mut v = vec![false; spec.edges.len()];
+                for (bit, &ei) in snowflake.iter().enumerate() {
+                    if mask & (1 << bit) != 0 {
+                        v[ei] = true;
+                    }
+                }
+                v
+            };
+            let mut edge_params = base_params.clone();
+            let reductions = Self::bushy_setup(spec, order, &mut edge_params, &bushy);
+            // Cards are kind-independent: compose once at any kind.
+            let priced = self.model.join_tree_bushy(&edge_params, &reductions);
+            let mut inners = vec![InnerStrategy::MultiColumn; spec.edges.len()];
+            let mut total = 0.0;
+            for (slot, p) in edge_params.iter().enumerate() {
+                let mut chained = p.params;
+                if slot > 0 {
+                    chained.left_key.rows = priced.cards[slot - 1];
+                }
+                for r in reductions.iter().filter(|r| r.parent_slot == slot) {
+                    chained.match_rate *= r.keep_rate.clamp(0.0, 1.0);
+                }
+                let (kind, cost) = InnerStrategy::ALL
+                    .iter()
+                    .map(|&s| {
+                        (
+                            s,
+                            self.model.hash_join_parallel_with_reuse(
+                                &chained,
+                                s.plan_kind(),
+                                p.build_workers,
+                                p.probe_workers,
+                                p.build_reused,
+                            ),
+                        )
+                    })
+                    .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
+                    .expect("three join plans always estimable");
+                inners[order[slot]] = kind;
+                total += cost.total_us();
             }
-            let (kind, cost) = InnerStrategy::ALL
-                .iter()
-                .map(|&s| {
-                    (
-                        s,
-                        self.model.hash_join_parallel_with_reuse(
-                            &chained,
-                            s.plan_kind(),
-                            p.build_workers,
-                            p.probe_workers,
-                            p.build_reused,
-                        ),
-                    )
-                })
-                .min_by(|a, b| a.1.total_us().total_cmp(&b.1.total_us()))
-                .expect("three join plans always estimable");
-            inners[order[slot]] = kind;
-            total += cost.total_us();
+            // The reduction's build-time scan is kind-independent.
+            for r in &reductions {
+                total += r.scan_rows * self.model.constants().fc
+                    / edge_params[r.parent_slot].build_workers.max(1) as f64;
+            }
+            if best.as_ref().is_none_or(|(_, _, t)| total < *t) {
+                best = Some((inners, bushy, total));
+            }
         }
-        Ok((inners, total))
+        Ok(best.expect("the left-deep configuration is always priced"))
+    }
+
+    /// Fold `bushy` into priced edge params: each bushy child edge is
+    /// re-rated at match rate 1.0 (every surviving parent row matches the
+    /// reduced table by construction) and a [`BushyReduction`] carries
+    /// its original match rate onto the parent's slot. Returns the
+    /// reductions for [`CostModel::join_tree_bushy`].
+    fn bushy_setup(
+        spec: &JoinTreeSpec,
+        order: &[usize],
+        edge_params: &mut [JoinTreeEdgeParams],
+        bushy: &[bool],
+    ) -> Vec<BushyReduction> {
+        let mut reductions = Vec::new();
+        for (child_slot, &ei) in order.iter().enumerate() {
+            if !bushy.get(ei).copied().unwrap_or(false) {
+                continue;
+            }
+            let Ok(JoinKeySource::Edge(parent)) = spec.key_source(ei) else {
+                continue;
+            };
+            let parent_slot = order
+                .iter()
+                .position(|&e| e == parent)
+                .expect("validated order covers every edge");
+            let keep_rate = edge_params[child_slot].params.match_rate;
+            edge_params[child_slot].params.match_rate = 1.0;
+            reductions.push(BushyReduction {
+                parent_slot,
+                keep_rate,
+                scan_rows: edge_params[parent_slot].params.right_rows(),
+            });
+        }
+        reductions
     }
 
     /// The model inputs for `order`, in execution order: per-edge
@@ -610,6 +711,11 @@ impl Planner {
         let hi = lkey.stats.max.min(rkey.stats.max) as f64;
         let l_span = (lkey.stats.max - lkey.stats.min) as f64 + 1.0;
         params.match_rate = ((hi - lo + 1.0) / l_span).clamp(0.0, 1.0);
+        // A pushed-down inner predicate thins the build at construction
+        // time, exactly like a semi-join reduction: fewer probes match.
+        if let Some((col, pred)) = &edge.right_filter {
+            params.match_rate *= Self::selectivity(right.column(*col)?, pred);
+        }
         // Right-key duplication: matches per matching probe.
         params.fanout = rkey.stats.num_rows as f64 / rkey.stats.distinct.max(1) as f64;
         params.left_out_cols = 0.0;
@@ -656,6 +762,11 @@ impl Planner {
         let hi = lkey.stats.max.min(rkey.stats.max) as f64;
         let l_span = (lkey.stats.max - lkey.stats.min) as f64 + 1.0;
         params.match_rate = ((hi - lo + 1.0) / l_span).clamp(0.0, 1.0);
+        // A pushed-down inner predicate thins the build at construction
+        // time: fewer probes match.
+        if let Some((col, pred)) = &spec.right_filter {
+            params.match_rate *= Self::selectivity(right.column(*col)?, pred);
+        }
         params.left_out_cols = spec.left_output.len() as f64;
         params.left_out_blocks = sum_blocks(&left, &spec.left_output)?;
         params.right_out_cols = spec.right_output.len() as f64;
@@ -1087,6 +1198,7 @@ mod tests {
             left_key: 0,
             right_key: 0,
             left_filter: Some((0, Predicate::lt(250))),
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         };
@@ -1148,6 +1260,7 @@ mod tests {
             left_key: 0,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         };
@@ -1247,6 +1360,7 @@ mod tests {
             left_key: 0,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         };
@@ -1335,6 +1449,7 @@ mod tests {
                 left_key: 0,
                 right_key: 0,
                 left_filter: Some((0, Predicate::lt(125))),
+                right_filter: None,
                 left_output: vec![2],
                 right_output: vec![1],
             },
@@ -1344,6 +1459,7 @@ mod tests {
                 left_key: 1,
                 right_key: 0,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![],
                 right_output: vec![1],
             },
@@ -1439,6 +1555,7 @@ mod tests {
             left_key: 2, // shipdate % domain happens to overlap; fine for pricing
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![2],
             right_output: vec![1],
         };
@@ -1474,6 +1591,7 @@ mod tests {
             left_key: 1,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![1],
         });

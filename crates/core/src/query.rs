@@ -113,12 +113,15 @@ pub enum JoinKeySource {
     Edge(usize),
 }
 
-/// A left-deep tree of equi-joins over [`JoinSpec`] edges:
+/// A left-deep tree of equi-joins over [`JoinSpec`] edges, optionally
+/// topped by a GROUP BY aggregation:
 ///
 /// ```sql
 /// SELECT base.<outputs...>, r1.<outputs...>, ..., rN.<outputs...>
 /// FROM base, r1, ..., rN
 /// WHERE base.k1 = r1.key AND ... [AND base.<filter col> <op> const]
+///                               [AND rK.<filter col> <op> const ...]
+/// [GROUP BY g -- with f(v)]
 /// ```
 ///
 /// Edge 0 is an ordinary [`JoinSpec`] — its `left` names the **base**
@@ -128,21 +131,52 @@ pub enum JoinKeySource {
 /// or the `right` of an earlier edge (a snowflake edge, keyed through
 /// that table's matched positions), its `left_key` a column of that
 /// table, and — since the intermediate carries the base state — its
-/// `left_filter` must be `None` and `left_output` empty.
+/// `left_filter` must be `None` and `left_output` empty. Any edge may
+/// carry a `right_filter` on its inner table; the build phase applies
+/// it as a semi-join reduction on the hash table.
 ///
 /// Output columns are the base outputs followed by every edge's right
 /// outputs **in spec order**, whatever execution order the planner
-/// picks. A one-edge tree is exactly its [`JoinSpec`].
+/// picks. A one-edge tree is exactly its [`JoinSpec`]. When `aggregate`
+/// is set, its `group_col`/`value_col` index that flat spec-order
+/// output and the result is `(group, f(value))` rows sorted by group.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JoinTreeSpec {
     /// The join edges, in declaration order.
     pub edges: Vec<JoinSpec>,
+    /// Optional GROUP BY + aggregate over the joined output. Column
+    /// indices address the flat spec-order output columns.
+    pub aggregate: Option<AggSpec>,
 }
 
 impl JoinTreeSpec {
     /// Wrap edges into a tree (validated at execution/planning time).
     pub fn new(edges: Vec<JoinSpec>) -> JoinTreeSpec {
-        JoinTreeSpec { edges }
+        JoinTreeSpec {
+            edges,
+            aggregate: None,
+        }
+    }
+
+    /// Top the tree with `GROUP BY group_col, SUM(value_col)` (indices
+    /// into the flat spec-order output).
+    pub fn aggregate_sum(self, group_col: usize, value_col: usize) -> JoinTreeSpec {
+        self.aggregate_fn(group_col, value_col, AggFunc::Sum)
+    }
+
+    /// Top the tree with `GROUP BY group_col, f(value_col)`.
+    pub fn aggregate_fn(
+        mut self,
+        group_col: usize,
+        value_col: usize,
+        func: AggFunc,
+    ) -> JoinTreeSpec {
+        self.aggregate = Some(AggSpec {
+            group_col,
+            value_col,
+            func,
+        });
+        self
     }
 
     /// The base (probe) table: edge 0's left side.
@@ -192,6 +226,16 @@ impl JoinTreeSpec {
             }
             self.key_source(i)?;
         }
+        if let Some(a) = &self.aggregate {
+            let width = self.output_width();
+            if a.group_col >= width || a.value_col >= width {
+                return Err(Error::invalid(format!(
+                    "join tree aggregate: group/value column ({}, {}) outside \
+                     the {width}-column output",
+                    a.group_col, a.value_col
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -206,28 +250,29 @@ impl JoinTreeSpec {
     }
 }
 
-/// Measurements of one join-tree execution.
-#[derive(Debug, Clone, Default)]
-pub struct JoinTreeStats {
-    /// Wall-clock execution time.
-    pub wall: Duration,
-    /// Simulated-disk activity during execution — **this query's only**,
-    /// harvested per thread ([`matstrat_storage::IoSink`]) so the
-    /// counters stay exact when several sessions execute concurrently.
-    pub io: IoStats,
-    /// Result rows produced.
-    pub rows_out: u64,
-    /// Partitioned hash-table builds that actually ran — one per
-    /// distinct (inner table, key column) pair when reuse is on.
-    pub builds: u64,
-    /// Probes served by a cached build table instead of a rebuild: the
-    /// reuse the tree executor (and the planner's pricing) counts on
-    /// when one inner table appears in multiple edges.
-    pub build_reuses: u64,
-    /// Granule runs the probe pipeline's work-stealing scheduler moved
-    /// between workers (see [`ExecStats::steals`]); build-phase
-    /// pipelines are not included. Not deterministic.
-    pub steals: u64,
+/// One statement of work against the database — the single input shape
+/// of [`Database::execute`](crate::db::Database::execute). Reads carry
+/// their full spec; writes carry the rows or filters they apply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Statement {
+    /// A (possibly aggregated) selection over one projection.
+    Select(QuerySpec),
+    /// A tree of equi-joins, optionally topped by an aggregate.
+    JoinTree(JoinTreeSpec),
+    /// Append rows to a projection's delta store.
+    Insert {
+        /// Target projection.
+        table: TableId,
+        /// Full-width rows to append.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Delete every row matching all `filters` (conjunctive).
+    Delete {
+        /// Target projection.
+        table: TableId,
+        /// Conjunctive single-column predicates.
+        filters: Vec<(usize, Predicate)>,
+    },
 }
 
 /// A materialized result: row-major tuples of `width` values.
@@ -311,16 +356,23 @@ impl QueryResult {
     }
 }
 
-/// Measurements of one query execution.
-#[derive(Debug, Clone)]
-pub struct ExecStats {
-    /// Strategy that was run.
-    pub strategy: Strategy,
+/// Measurements of one statement execution — the single stats shape
+/// every execution path reports, whatever the statement kind. Scan-only
+/// counters (`positions_matched`, `decompressed_fetch`) stay zero for
+/// joins; join-only counters (`builds`, `build_reuses`) stay zero for
+/// scans; writes report only `rows_out` and `wall`.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Scan strategy that was run (`None` for join trees and writes,
+    /// whose execution is not a single scan strategy).
+    pub strategy: Option<Strategy>,
     /// Wall-clock execution time.
     pub wall: Duration,
-    /// Simulated-disk activity during execution.
+    /// Simulated-disk activity during execution — **this query's only**,
+    /// harvested per thread ([`matstrat_storage::IoSink`]) so the
+    /// counters stay exact when several sessions execute concurrently.
     pub io: IoStats,
-    /// Result rows produced.
+    /// Result rows produced (rows affected, for writes).
     pub rows_out: u64,
     /// Positions that survived all predicates (before aggregation).
     pub positions_matched: u64,
@@ -329,9 +381,9 @@ pub struct ExecStats {
     /// Operations executed directly on compressed representations —
     /// code comparisons in dict scans, per-run comparisons in RLE
     /// scans, per-distinct-value predicate evaluations in bit-vector
-    /// scans, run folds in compressed aggregation. Data-dependent only,
-    /// so exact at any worker count; > 0 proves the decode-free path
-    /// actually ran.
+    /// scans, run folds in compressed aggregation, code-keyed join
+    /// build/probe ops. Data-dependent only, so exact at any worker
+    /// count; > 0 proves the decode-free path actually ran.
     pub code_path_ops: u64,
     /// Granule runs the work-stealing scheduler moved between workers:
     /// claims taken from the tail of another worker's span by a worker
@@ -340,21 +392,32 @@ pub struct ExecStats {
     /// work. Unlike the other counters it is *not* deterministic — it
     /// measures scheduling, not semantics.
     pub steals: u64,
+    /// Partitioned hash-table builds that actually ran — one per
+    /// distinct (inner table, key column, inner filter) triple when
+    /// reuse is on.
+    pub builds: u64,
+    /// Probes served by a cached build table instead of a rebuild: the
+    /// reuse the tree executor (and the planner's pricing) counts on
+    /// when one inner table appears in multiple edges.
+    pub build_reuses: u64,
+    /// Granules a filtered scan skipped outright because no block zone
+    /// map overlapping the granule admits the predicate — provably
+    /// empty, so no block is read. Deterministic for a cold run.
+    pub zone_skips: u64,
 }
 
-impl ExecStats {
-    /// Zeroed measurements for `strategy` — the identity of the
+/// The scan executor's stats shape — now the unified [`QueryStats`].
+pub type ExecStats = QueryStats;
+/// The join-tree executor's stats shape — now the unified [`QueryStats`].
+pub type JoinTreeStats = QueryStats;
+
+impl QueryStats {
+    /// Zeroed measurements tagged with `strategy` — the identity of the
     /// [`AddAssign`] merge.
-    pub fn zero(strategy: Strategy) -> ExecStats {
-        ExecStats {
-            strategy,
-            wall: Duration::ZERO,
-            io: IoStats::default(),
-            rows_out: 0,
-            positions_matched: 0,
-            decompressed_fetch: false,
-            code_path_ops: 0,
-            steals: 0,
+    pub fn zero(strategy: Strategy) -> QueryStats {
+        QueryStats {
+            strategy: Some(strategy),
+            ..QueryStats::default()
         }
     }
 
@@ -369,9 +432,13 @@ impl ExecStats {
 /// the decompression flag ORs, and wall time takes the maximum — parallel
 /// workers overlap, so the slowest fragment bounds the elapsed time.
 /// Merging stats of different strategies is a logic error.
-impl AddAssign for ExecStats {
-    fn add_assign(&mut self, rhs: ExecStats) {
-        debug_assert_eq!(self.strategy, rhs.strategy, "fragments of one query");
+impl AddAssign for QueryStats {
+    fn add_assign(&mut self, rhs: QueryStats) {
+        debug_assert!(
+            self.strategy.is_none() || rhs.strategy.is_none() || self.strategy == rhs.strategy,
+            "fragments of one query"
+        );
+        self.strategy = self.strategy.or(rhs.strategy);
         self.wall = self.wall.max(rhs.wall);
         self.io += rhs.io;
         self.rows_out += rhs.rows_out;
@@ -379,6 +446,9 @@ impl AddAssign for ExecStats {
         self.decompressed_fetch |= rhs.decompressed_fetch;
         self.code_path_ops += rhs.code_path_ops;
         self.steals += rhs.steals;
+        self.builds += rhs.builds;
+        self.build_reuses += rhs.build_reuses;
+        self.zone_skips += rhs.zone_skips;
     }
 }
 
@@ -425,18 +495,14 @@ mod tests {
 
     #[test]
     fn modeled_total_adds_io() {
-        let s = ExecStats {
-            strategy: Strategy::LmParallel,
+        let s = QueryStats {
+            strategy: Some(Strategy::LmParallel),
             wall: Duration::from_millis(10),
             io: IoStats {
                 block_reads: 2,
                 seeks: 1,
             },
-            rows_out: 0,
-            positions_matched: 0,
-            decompressed_fetch: false,
-            code_path_ops: 0,
-            steals: 0,
+            ..QueryStats::default()
         };
         // 10ms wall + (2500 + 2000)us = 14.5ms
         assert!((s.modeled_total_ms(2500.0, 1000.0) - 14.5).abs() < 1e-9);
@@ -444,8 +510,8 @@ mod tests {
 
     #[test]
     fn exec_stats_merge_is_associative() {
-        let frag = |wall_ms, reads, matched, dec| ExecStats {
-            strategy: Strategy::EmPipelined,
+        let frag = |wall_ms, reads, matched, dec| QueryStats {
+            strategy: Some(Strategy::EmPipelined),
             wall: Duration::from_millis(wall_ms),
             io: IoStats {
                 block_reads: reads,
@@ -456,6 +522,9 @@ mod tests {
             decompressed_fetch: dec,
             code_path_ops: matched * 2,
             steals: 1,
+            builds: 1,
+            build_reuses: 2,
+            zone_skips: 1,
         };
         let (a, b, c) = (
             frag(5, 2, 10, false),
@@ -464,7 +533,7 @@ mod tests {
         );
 
         // (a + b) + c
-        let mut left = ExecStats::zero(Strategy::EmPipelined);
+        let mut left = QueryStats::zero(Strategy::EmPipelined);
         left += a.clone();
         left += b.clone();
         left += c.clone();
@@ -483,14 +552,17 @@ mod tests {
             assert!(s.decompressed_fetch);
             assert_eq!(s.code_path_ops, 70, "code-op counters sum");
             assert_eq!(s.steals, 3, "steal counters sum");
+            assert_eq!(s.builds, 3);
+            assert_eq!(s.build_reuses, 6);
+            assert_eq!(s.zone_skips, 3);
         }
     }
 
     #[test]
     fn exec_stats_zero_is_identity() {
-        let mut z = ExecStats::zero(Strategy::LmParallel);
-        let s = ExecStats {
-            strategy: Strategy::LmParallel,
+        let mut z = QueryStats::zero(Strategy::LmParallel);
+        let s = QueryStats {
+            strategy: Some(Strategy::LmParallel),
             wall: Duration::from_millis(3),
             io: IoStats {
                 block_reads: 4,
@@ -501,6 +573,9 @@ mod tests {
             decompressed_fetch: true,
             code_path_ops: 11,
             steals: 2,
+            builds: 1,
+            build_reuses: 0,
+            zone_skips: 5,
         };
         z += s.clone();
         assert_eq!(z.wall, s.wall);
@@ -510,5 +585,38 @@ mod tests {
         assert_eq!(z.decompressed_fetch, s.decompressed_fetch);
         assert_eq!(z.code_path_ops, s.code_path_ops);
         assert_eq!(z.steals, s.steals);
+        assert_eq!(z.builds, s.builds);
+        assert_eq!(z.zone_skips, s.zone_skips);
+    }
+
+    #[test]
+    fn untagged_stats_adopt_the_tagged_side_strategy() {
+        // A write-path or tree fragment (strategy None) merged into a
+        // tagged scan's stats keeps the tag, whichever side it lands on.
+        let mut tagged = QueryStats::zero(Strategy::LmParallel);
+        tagged += QueryStats::default();
+        assert_eq!(tagged.strategy, Some(Strategy::LmParallel));
+        let mut untagged = QueryStats::default();
+        untagged += QueryStats::zero(Strategy::EmParallel);
+        assert_eq!(untagged.strategy, Some(Strategy::EmParallel));
+    }
+
+    #[test]
+    fn tree_aggregate_validates_output_indices() {
+        let edge = JoinSpec {
+            left: TableId(0),
+            right: TableId(1),
+            left_key: 0,
+            right_key: 0,
+            left_filter: None,
+            right_filter: None,
+            left_output: vec![1],
+            right_output: vec![1],
+        };
+        let ok = JoinTreeSpec::new(vec![edge.clone()]).aggregate_sum(0, 1);
+        assert!(ok.validate().is_ok());
+        let bad = JoinTreeSpec::new(vec![edge]).aggregate_sum(0, 2);
+        let err = bad.validate().unwrap_err().to_string();
+        assert!(err.contains("outside"), "{err}");
     }
 }

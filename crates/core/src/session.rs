@@ -38,14 +38,15 @@
 
 use std::sync::{Arc, Condvar, Mutex};
 
-use matstrat_common::{Predicate, Result, TableId, Value};
+use matstrat_common::Result;
 use matstrat_model::Constants;
 use matstrat_storage::{next_query_token, set_thread_query_token, Store};
 
+use crate::db::{Database, QueryOutcome, QueryPlan};
 use crate::exec::{default_parallelism, execute_with_options, ExecOptions};
 use crate::ops::join_tree::hash_join_tree_with_options;
 use crate::planner::Planner;
-use crate::query::{ExecStats, JoinTreeSpec, JoinTreeStats, QueryResult, QuerySpec};
+use crate::query::{ExecStats, JoinTreeSpec, JoinTreeStats, QueryResult, QuerySpec, Statement};
 
 /// Admission knobs for a [`Server`].
 #[derive(Debug, Clone, Copy)]
@@ -219,84 +220,15 @@ impl Drop for AdmitGuard<'_> {
     }
 }
 
-/// One query, in either of the shapes the engine plans: a (possibly
-/// aggregated) scan, or a left-deep join tree. `matstrat-lang` compiles
-/// query text into exactly this enum's payloads.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Request {
-    /// `SELECT ... FROM t WHERE ... [GROUP BY ...]`
-    Scan(QuerySpec),
-    /// `SELECT ... FROM base JOIN ... [WHERE base pred]`
-    JoinTree(JoinTreeSpec),
-    /// `INSERT INTO t VALUES (...), (...)` — rows land in the table's
-    /// delta after a durable WAL append.
-    Insert {
-        /// Target projection.
-        table: TableId,
-        /// Row-major values, one inner vec per row (projection arity).
-        rows: Vec<Vec<Value>>,
-    },
-    /// `DELETE FROM t [WHERE ...]` — marks every matching row deleted
-    /// (base and delta alike) after a durable WAL append.
-    Delete {
-        /// Target projection.
-        table: TableId,
-        /// Conjunctive column predicates; empty deletes every row.
-        filters: Vec<(usize, Predicate)>,
-    },
-}
+/// One query against the service — exactly the engine's [`Statement`]
+/// shape. `matstrat-lang` compiles query text into this enum's payloads.
+pub type Request = Statement;
 
-/// A finished query: the result plus the shape-specific measurements.
-/// Both stats carry this query's own cold `block_reads` (per-thread
-/// harvest), exact under concurrency.
-#[derive(Debug, Clone)]
-pub enum Reply {
-    /// A scan's result and measurements.
-    Scan(QueryResult, ExecStats),
-    /// A join tree's result and measurements.
-    JoinTree(QueryResult, JoinTreeStats),
-    /// A write's acknowledgement: a one-cell `rows_affected` table
-    /// (rows inserted, or rows newly marked deleted).
-    Wrote(QueryResult),
-}
-
-impl Reply {
-    /// The acknowledgement table for a write of `rows` rows.
-    fn wrote(rows: u64) -> Reply {
-        Reply::Wrote(QueryResult::from_flat(
-            vec!["rows_affected".to_string()],
-            vec![rows as Value],
-        ))
-    }
-
-    /// The materialized result, whatever the request shape (a one-cell
-    /// `rows_affected` table for writes).
-    pub fn result(&self) -> &QueryResult {
-        match self {
-            Reply::Scan(r, _) => r,
-            Reply::JoinTree(r, _) => r,
-            Reply::Wrote(r) => r,
-        }
-    }
-
-    /// Rows a write affected; `None` for read replies.
-    pub fn rows_affected(&self) -> Option<u64> {
-        match self {
-            Reply::Wrote(r) => Some(r.flat()[0] as u64),
-            _ => None,
-        }
-    }
-
-    /// This query's simulated-disk block reads (write acknowledgements
-    /// carry no read measurements: 0).
-    pub fn block_reads(&self) -> u64 {
-        match self {
-            Reply::Scan(_, s) => s.io.block_reads,
-            Reply::JoinTree(_, s) => s.io.block_reads,
-            Reply::Wrote(_) => 0,
-        }
-    }
-}
+/// A finished query: the [`QueryOutcome`] the unified execute path
+/// produced — rows, one [`QueryStats`](crate::query::QueryStats) shape
+/// whatever the statement kind (its cold `block_reads` are this query's
+/// own, harvested per thread, exact under concurrency), and the plan.
+pub type Reply = QueryOutcome;
 
 /// A client handle on a [`Server`]. `run` blocks while the server is at
 /// its concurrency bound; use one session per client thread.
@@ -310,41 +242,70 @@ impl Session {
         &self.server
     }
 
-    /// EXPLAIN: plan the request (at the full worker budget, like `run`)
-    /// and describe the choice without executing or taking a slot.
+    /// EXPLAIN: plan the statement (at the full worker budget, like
+    /// `run`) and describe the choice without executing or taking a slot.
     pub fn explain(&self, req: &Request) -> Result<String> {
         let srv = &self.server;
         match req {
-            Request::Scan(q) => Ok(srv.planner.choose(&srv.store, q)?.describe()),
-            Request::JoinTree(t) => Ok(srv.planner.choose_join_tree(&srv.store, t)?.describe()),
-            Request::Insert { rows, .. } => Ok(format!("insert {} row(s) via WAL", rows.len())),
-            Request::Delete { filters, .. } => Ok(format!(
+            Statement::Select(q) => Ok(srv.planner.choose(&srv.store, q)?.describe()),
+            Statement::JoinTree(t) => Ok(srv.planner.choose_join_tree(&srv.store, t)?.describe()),
+            Statement::Insert { rows, .. } => Ok(format!("insert {} row(s) via WAL", rows.len())),
+            Statement::Delete { filters, .. } => Ok(format!(
                 "delete where {} predicate(s) match, via WAL",
                 filters.len()
             )),
         }
     }
 
-    /// Plan and execute one request under admission control. Writes
-    /// bypass the admission gate: they serialize on the store's write
-    /// lock and never consume executor workers.
+    /// Plan and execute one statement under admission control — the
+    /// served twin of [`Database::execute`]: plans price at the **full**
+    /// worker budget (deterministic for a given store), execution runs
+    /// at this query's fair share. Writes bypass the admission gate:
+    /// they serialize on the store's write lock and never consume
+    /// executor workers.
     pub fn run(&self, req: &Request) -> Result<Reply> {
+        let srv = &self.server;
         match req {
-            Request::Scan(q) => {
-                let (r, s) = self.run_scan(q)?;
-                Ok(Reply::Scan(r, s))
+            Statement::Select(q) => {
+                let choice = srv.planner.choose(&srv.store, q)?;
+                let permit = srv.admit();
+                let opts = ExecOptions {
+                    query_token: next_query_token(),
+                    ..ExecOptions::with_parallelism(permit.share)
+                };
+                let _tag = ThreadTokenGuard::tag(opts.query_token);
+                let (rows, stats) = execute_with_options(&srv.store, q, choice.strategy, &opts)?;
+                Ok(QueryOutcome {
+                    rows,
+                    stats,
+                    choice: QueryPlan::Scan(choice),
+                })
             }
-            Request::JoinTree(t) => {
-                let (r, s) = self.run_join_tree(t)?;
-                Ok(Reply::JoinTree(r, s))
+            Statement::JoinTree(t) => {
+                let choice = srv.planner.choose_join_tree(&srv.store, t)?;
+                let permit = srv.admit();
+                let opts = ExecOptions {
+                    query_token: next_query_token(),
+                    ..ExecOptions::with_parallelism(permit.share)
+                };
+                let _tag = ThreadTokenGuard::tag(opts.query_token);
+                let (rows, stats) =
+                    hash_join_tree_with_options(&srv.store, t, &choice.plan(), &opts)?;
+                Ok(QueryOutcome {
+                    rows,
+                    stats,
+                    choice: QueryPlan::Tree(choice),
+                })
             }
-            Request::Insert { table, rows } => {
-                self.server.store.insert_rows(*table, rows)?;
-                Ok(Reply::wrote(rows.len() as u64))
+            Statement::Insert { table, rows } => {
+                let t0 = std::time::Instant::now();
+                srv.store.insert_rows(*table, rows)?;
+                Ok(Database::write_outcome(rows.len() as u64, t0))
             }
-            Request::Delete { table, filters } => {
-                let n = crate::db::delete_where(&self.server.store, *table, filters)?;
-                Ok(Reply::wrote(n))
+            Statement::Delete { table, filters } => {
+                let t0 = std::time::Instant::now();
+                let n = crate::db::delete_where(&srv.store, *table, filters)?;
+                Ok(Database::write_outcome(n, t0))
             }
         }
     }
@@ -419,17 +380,21 @@ mod tests {
         let store = served_store();
         let t = store.projection_by_name("t").unwrap().id;
         let q = QuerySpec::select(t, vec![0, 1]).filter(1, Predicate::lt(3));
-        let oracle = crate::Database::with_store(store.clone())
-            .run(&q, crate::Strategy::LmParallel)
-            .unwrap();
+        let (oracle, _) = execute_with_options(
+            &store,
+            &q,
+            crate::Strategy::LmParallel,
+            &ExecOptions::default(),
+        )
+        .unwrap();
 
         let server = Server::new(store, ServerConfig::default());
         let s1 = server.connect();
         let s2 = server.connect();
-        let plan = s1.explain(&Request::Scan(q.clone())).unwrap();
+        let plan = s1.explain(&Request::Select(q.clone())).unwrap();
         assert!(plan.starts_with("scan via "), "explain text: {plan}");
-        let r1 = s1.run(&Request::Scan(q.clone())).unwrap();
-        let r2 = s2.run(&Request::Scan(q)).unwrap();
+        let r1 = s1.run(&Request::Select(q.clone())).unwrap();
+        let r2 = s2.run(&Request::Select(q)).unwrap();
         assert_eq!(r1.result().flat(), oracle.flat());
         assert_eq!(r2.result().flat(), oracle.flat());
         let stats = server.stats();
@@ -461,7 +426,7 @@ mod tests {
                     let session = server.connect();
                     // The gate admits before execution; sample the
                     // active count from inside a running query.
-                    let _ = session.run(&Request::Scan(q.clone())).unwrap();
+                    let _ = session.run(&Request::Select(q.clone())).unwrap();
                     let now = in_flight.fetch_add(1, Ordering::SeqCst) + 1;
                     if now > 2 {
                         over_bound.fetch_add(1, Ordering::SeqCst);

@@ -4,7 +4,23 @@
 //! bit-vector right columns.
 
 use matstrat_common::{Predicate, Value};
-use matstrat_core::{Database, InnerStrategy, JoinSpec};
+use matstrat_core::{
+    Database, InnerStrategy, JoinSpec, JoinTreeSpec, QueryPlan, QueryResult, Statement,
+};
+
+fn run_join(
+    db: &Database,
+    spec: &JoinSpec,
+    inner: InnerStrategy,
+) -> matstrat_common::Result<QueryResult> {
+    Ok(db
+        .execute_planned(
+            &Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()])),
+            &QueryPlan::forced_tree(vec![0], vec![inner]),
+            &db.exec_options(),
+        )?
+        .rows)
+}
 use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
 use proptest::prelude::*;
 use proptest::strategy::Strategy as PropStrategy;
@@ -92,12 +108,13 @@ proptest! {
             left_key: 0,
             right_key: 0,
             left_filter: Some((0, Predicate::lt(case.filter_cutoff))),
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         };
         let expected = oracle(&case);
         for inner in InnerStrategy::ALL {
-            let got = db.run_join(&spec, inner).unwrap().sorted_rows();
+            let got = run_join(&db, &spec, inner).unwrap().sorted_rows();
             prop_assert_eq!(
                 &got,
                 &expected,
@@ -132,6 +149,7 @@ proptest! {
             left_key: 0,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![1],
         };
@@ -146,7 +164,7 @@ proptest! {
         }
         expected.sort_unstable();
         for inner in InnerStrategy::ALL {
-            let got = db.run_join(&spec, inner).unwrap().sorted_rows();
+            let got = run_join(&db, &spec, inner).unwrap().sorted_rows();
             prop_assert_eq!(&got, &expected, "{:?}", inner);
         }
     }
@@ -168,10 +186,11 @@ fn join_rejects_empty_output() {
         left_key: 0,
         right_key: 0,
         left_filter: None,
+        right_filter: None,
         left_output: vec![],
         right_output: vec![],
     };
-    assert!(db.run_join(&spec, InnerStrategy::Materialized).is_err());
+    assert!(run_join(&db, &spec, InnerStrategy::Materialized).is_err());
 }
 
 #[test]
@@ -197,12 +216,13 @@ fn join_with_empty_match_set() {
         left_key: 0,
         right_key: 0,
         left_filter: None,
+        right_filter: None,
         left_output: vec![0],
         right_output: vec![0],
     };
     for inner in InnerStrategy::ALL {
         assert_eq!(
-            db.run_join(&spec, inner).unwrap().num_rows(),
+            run_join(&db, &spec, inner).unwrap().num_rows(),
             0,
             "{inner:?}"
         );

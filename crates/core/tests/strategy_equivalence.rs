@@ -8,7 +8,20 @@
 
 use matstrat_common::{Error, Predicate, Value};
 use matstrat_core::rowstore::RowTable;
-use matstrat_core::{Database, QuerySpec, Strategy};
+use matstrat_core::{Database, ExecOptions, QueryPlan, QuerySpec, Statement, Strategy};
+
+fn forced(
+    db: &Database,
+    q: &QuerySpec,
+    s: Strategy,
+    opts: &ExecOptions,
+) -> matstrat_common::Result<matstrat_core::QueryOutcome> {
+    db.execute_planned(
+        &Statement::Select(q.clone()),
+        &QueryPlan::forced_scan(s),
+        opts,
+    )
+}
 use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
 use proptest::prelude::*;
 use proptest::strategy::Strategy as PropStrategy;
@@ -47,8 +60,8 @@ fn check_all_strategies(
     q.table = id;
     let expected = oracle.run(&q).unwrap().sorted_rows();
     for s in Strategy::ALL {
-        match db.run_with_stats(&q, s) {
-            Ok((r, stats)) => {
+        match forced(db, &q, s, &db.exec_options()) {
+            Ok(matstrat_core::QueryOutcome { rows: r, stats, .. }) => {
                 assert_eq!(
                     r.sorted_rows(),
                     expected,
@@ -199,7 +212,6 @@ proptest! {
         repr_idx in 0usize..4,
         granule_exp in 4u32..18,
     ) {
-        use matstrat_core::ExecOptions;
         use matstrat_poslist::Repr;
         let force_repr = [None, Some(Repr::Ranges), Some(Repr::Bitmap), Some(Repr::Explicit)][repr_idx];
         let opts = ExecOptions {
@@ -215,8 +227,8 @@ proptest! {
         q.table = id;
         let expected = oracle.run(&q).unwrap().sorted_rows();
         for s in Strategy::ALL {
-            match db.run_with_options(&q, s, &opts) {
-                Ok((r, _)) => prop_assert_eq!(
+            match forced(&db, &q, s, &opts) {
+                Ok(matstrat_core::QueryOutcome { rows: r, .. }) => prop_assert_eq!(
                     r.sorted_rows(),
                     expected.clone(),
                     "strategy {} opts {:?}",
@@ -278,13 +290,13 @@ fn lm_pipelined_rejects_bitvec_later_filter() {
     let q = QuerySpec::select(id, vec![1])
         .filter(1, Predicate::lt(3))
         .filter(2, Predicate::lt(2));
-    let err = db.run(&q, Strategy::LmPipelined).unwrap_err();
+    let err = forced(&db, &q, Strategy::LmPipelined, &db.exec_options()).unwrap_err();
     assert!(matches!(err, Error::Unsupported(_)));
     // But bit-vector as the *first* filter column is fine.
     let q = QuerySpec::select(id, vec![1])
         .filter(2, Predicate::lt(2))
         .filter(1, Predicate::lt(3));
-    db.run(&q, Strategy::LmPipelined).unwrap();
+    forced(&db, &q, Strategy::LmPipelined, &db.exec_options()).unwrap();
 }
 
 #[test]

@@ -32,8 +32,11 @@
 //! Dialect limits mirror the engine's shapes (each rejected with a
 //! specific message): predicates compare one column to integer
 //! constants; `GROUP BY` selects exactly the group column and one
-//! aggregate; join queries take at most one `WHERE` predicate (on the
-//! base table), qualified column names, and no `GROUP BY`.
+//! aggregate (over a single table or a join tree alike); join queries
+//! take at most one `WHERE` predicate per table — the base predicate
+//! filters the probe side, a dimension predicate semi-join-reduces its
+//! hash table at build time — and bare columns resolve only when
+//! exactly one table in scope has them (ambiguity is a caret error).
 
 mod ast;
 mod error;

@@ -1,44 +1,17 @@
 //! Lowering: parsed AST + catalog → engine specs.
 
-use matstrat_common::{CompareOp, Predicate, TableId, Value};
-use matstrat_core::{JoinSpec, JoinTreeSpec, QuerySpec, Request};
+use matstrat_common::{CompareOp, Predicate};
+use matstrat_core::{JoinSpec, JoinTreeSpec, QuerySpec};
 use matstrat_storage::{ProjectionInfo, Store};
 
 use crate::ast::{ColRef, DeleteAst, InsertAst, PredClause, SelectAst, SelectItem, StatementAst};
 use crate::error::ParseError;
 use crate::parse::parse;
 
-/// A compiled statement: exactly the spec the engine already plans and
-/// executes — the text layer adds no execution paths of its own.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Statement {
-    /// A (possibly aggregated) selection over one projection.
-    Select(QuerySpec),
-    /// A left-deep tree of equi-joins.
-    JoinTree(JoinTreeSpec),
-    /// Rows appended to a table's delta store (and WAL).
-    Insert {
-        table: TableId,
-        rows: Vec<Vec<Value>>,
-    },
-    /// Predicate-qualified row deletion.
-    Delete {
-        table: TableId,
-        filters: Vec<(usize, Predicate)>,
-    },
-}
-
-impl Statement {
-    /// The query-service request this statement executes as.
-    pub fn into_request(self) -> Request {
-        match self {
-            Statement::Select(q) => Request::Scan(q),
-            Statement::JoinTree(t) => Request::JoinTree(t),
-            Statement::Insert { table, rows } => Request::Insert { table, rows },
-            Statement::Delete { table, filters } => Request::Delete { table, filters },
-        }
-    }
-}
+/// The compiled form is the engine's own [`Statement`]: exactly the spec
+/// [`Database::execute`](matstrat_core::Database::execute) already plans
+/// and runs — the text layer adds no execution paths of its own.
+pub use matstrat_core::Statement;
 
 /// Compile query text against `store`'s catalog.
 pub fn compile(store: &Store, text: &str) -> Result<Statement, ParseError> {
@@ -211,14 +184,6 @@ fn lower_delete(store: &Store, src: &str, ast: &DeleteAst) -> Result<Statement, 
 }
 
 fn lower_join_tree(store: &Store, src: &str, ast: &SelectAst) -> Result<JoinTreeSpec, ParseError> {
-    if let Some(g) = &ast.group_by {
-        return Err(ParseError::at(
-            src,
-            g.at,
-            "GROUP BY is not supported with JOIN",
-        ));
-    }
-
     // The tables in scope, in introduction order: FROM, then each JOIN.
     let mut scope: Vec<ProjectionInfo> =
         vec![lookup_projection(store, src, &ast.from, ast.from_at)?];
@@ -233,25 +198,38 @@ fn lower_join_tree(store: &Store, src: &str, ast: &SelectAst) -> Result<JoinTree
         scope.push(lookup_projection(store, src, &j.table, j.table_at)?);
     }
 
-    // Multi-table resolution requires qualified names throughout.
+    // Multi-table resolution: a qualifier names its table outright; a
+    // bare column is legal only when exactly one table in scope has it.
     let resolve = |col: &ColRef, upto: usize| -> Result<(usize, usize), ParseError> {
-        let t = col.table.as_ref().ok_or_else(|| {
-            ParseError::at(
+        if let Some(t) = &col.table {
+            let slot = scope[..upto]
+                .iter()
+                .position(|p| p.name == *t)
+                .ok_or_else(|| {
+                    ParseError::at(src, col.at, format!("unknown table '{t}' in this query"))
+                })?;
+            return Ok((slot, column_index(src, &scope[slot], col)?));
+        }
+        let mut hits = scope[..upto]
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, p)| Some((slot, p.column_by_name(&col.column)?.0)));
+        match (hits.next(), hits.next()) {
+            (Some(only), None) => Ok(only),
+            (None, _) => Err(ParseError::at(
+                src,
+                col.at,
+                format!("no column '{}' in any table of this query", col.column),
+            )),
+            (Some((a, _)), Some((b, _))) => Err(ParseError::at(
                 src,
                 col.at,
                 format!(
-                    "unqualified column '{}': qualify columns as table.column in multi-table queries",
-                    col.column
+                    "ambiguous column '{}': qualify as table.column (found in '{}' and '{}')",
+                    col.column, scope[a].name, scope[b].name
                 ),
-            )
-        })?;
-        let slot = scope[..upto]
-            .iter()
-            .position(|p| p.name == *t)
-            .ok_or_else(|| {
-                ParseError::at(src, col.at, format!("unknown table '{t}' in this query"))
-            })?;
-        Ok((slot, column_index(src, &scope[slot], col)?))
+            )),
+        }
     };
 
     let mut edges = Vec::with_capacity(ast.joins.len());
@@ -287,36 +265,113 @@ fn lower_join_tree(store: &Store, src: &str, ast: &SelectAst) -> Result<JoinTree
             left_key,
             right_key,
             left_filter: None,
+            right_filter: None,
             left_output: Vec::new(),
             right_output: Vec::new(),
         });
     }
 
-    // The engine's join tree takes at most one base-table predicate.
-    match ast.preds.len() {
-        0 => {}
-        1 => {
-            let p = &ast.preds[0];
-            let (slot, col) = resolve(&p.col, scope.len())?;
-            if slot != 0 {
-                return Err(ParseError::at(
-                    src,
-                    p.col.at,
-                    format!(
-                        "WHERE in a join query may only filter the base table '{}'",
-                        scope[0].name
-                    ),
-                ));
-            }
-            edges[0].left_filter = Some((col, predicate(p)));
-        }
-        _ => {
+    // Each WHERE conjunct filters the table its column resolves to: the
+    // base predicate lands on edge 0's `left_filter`, a dimension
+    // predicate on that edge's `right_filter` (applied as a semi-join
+    // reduction at build time). The engine takes one predicate per table.
+    for p in &ast.preds {
+        let (slot, col) = resolve(&p.col, scope.len())?;
+        let target = if slot == 0 {
+            &mut edges[0].left_filter
+        } else {
+            &mut edges[slot - 1].right_filter
+        };
+        if target.is_some() {
             return Err(ParseError::at(
                 src,
-                ast.preds[1].col.at,
-                "join queries support a single WHERE predicate (on the base table)",
-            ))
+                p.col.at,
+                format!(
+                    "table '{}' already has a WHERE predicate (join queries take \
+                     at most one per table)",
+                    scope[slot].name
+                ),
+            ));
         }
+        *target = Some((col, predicate(p)));
+    }
+
+    if let Some(group) = &ast.group_by {
+        // GROUP BY over a join: the select list must be exactly the
+        // group column and one aggregate, same shape as the scan case.
+        if ast.items.len() != 2 {
+            return Err(ParseError::at(
+                src,
+                ast.group_at,
+                "GROUP BY queries must select exactly the group column and one aggregate",
+            ));
+        }
+        let gpair = resolve(group, scope.len())?;
+        let first = match &ast.items[0] {
+            SelectItem::Col(c) => resolve(c, scope.len())?,
+            SelectItem::Agg { at, .. } => {
+                return Err(ParseError::at(
+                    src,
+                    *at,
+                    "the first select item must be the GROUP BY column, not an aggregate",
+                ))
+            }
+        };
+        if first != gpair {
+            return Err(ParseError::at(
+                src,
+                ast.items[0].at(),
+                "the first select item must be the GROUP BY column",
+            ));
+        }
+        let (func, vpair) = match &ast.items[1] {
+            SelectItem::Agg { func, arg, .. } => (*func, resolve(arg, scope.len())?),
+            SelectItem::Col(c) => {
+                return Err(ParseError::at(
+                    src,
+                    c.at,
+                    "the second select item must be an aggregate (SUM/COUNT/MIN/MAX)",
+                ))
+            }
+        };
+        // Canonical output lists: just the columns the aggregate needs,
+        // slot-major, group before value within a table — the same shape
+        // the printer emits, so print/compile stay exact inverses.
+        let mut pairs = vec![gpair];
+        if vpair != gpair {
+            pairs.push(vpair);
+        }
+        pairs.sort_by_key(|&(slot, _)| slot);
+        for &(slot, idx) in &pairs {
+            if slot == 0 {
+                edges[0].left_output.push(idx);
+            } else {
+                edges[slot - 1].right_output.push(idx);
+            }
+        }
+        let flat = |want: (usize, usize)| -> usize {
+            let mut k = 0;
+            for &c in &edges[0].left_output {
+                if want == (0, c) {
+                    return k;
+                }
+                k += 1;
+            }
+            for (ei, e) in edges.iter().enumerate() {
+                for &c in &e.right_output {
+                    if want == (ei + 1, c) {
+                        return k;
+                    }
+                    k += 1;
+                }
+            }
+            unreachable!("aggregate columns were just added to the outputs")
+        };
+        let (gflat, vflat) = (flat(gpair), flat(vpair));
+        let tree = JoinTreeSpec::new(edges).aggregate_fn(gflat, vflat, func);
+        tree.validate()
+            .map_err(|e| ParseError::at(src, ast.from_at, format!("invalid join tree: {e}")))?;
+        return Ok(tree);
     }
 
     // Select list: base columns first, then each joined table's columns,

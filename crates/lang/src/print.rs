@@ -9,10 +9,8 @@
 //! `operand` re-parses with the two equal (the constructors' invariant).
 
 use matstrat_common::{CompareOp, Error, Predicate, Result};
-use matstrat_core::{JoinTreeSpec, QuerySpec};
+use matstrat_core::{JoinTreeSpec, QuerySpec, Statement};
 use matstrat_storage::{ProjectionInfo, Store};
-
-use crate::lower::Statement;
 
 /// Render any statement shape.
 pub fn print_statement(store: &Store, stmt: &Statement) -> Result<String> {
@@ -119,17 +117,76 @@ pub fn print_join_tree(store: &Store, tree: &JoinTreeSpec) -> Result<String> {
         .collect();
     let inners = inners?;
 
-    let mut select = Vec::new();
-    for &c in &tree.edges[0].left_output {
-        select.push(format!("{}.{}", base.name, col_name(&base, c)?));
-    }
-    for (e, inner) in tree.edges.iter().zip(&inners) {
-        for &c in &e.right_output {
-            select.push(format!("{}.{}", inner.name, col_name(inner, c)?));
+    // Flat output index → (table slot, column index); slot 0 is the base.
+    let unflatten = |flat: usize| -> (usize, usize) {
+        let mut k = 0;
+        for &c in &tree.edges[0].left_output {
+            if k == flat {
+                return (0, c);
+            }
+            k += 1;
         }
-    }
+        for (ei, e) in tree.edges.iter().enumerate() {
+            for &c in &e.right_output {
+                if k == flat {
+                    return (ei + 1, c);
+                }
+                k += 1;
+            }
+        }
+        unreachable!("validate() bounds aggregate columns to the output width")
+    };
+    let qualified = |slot: usize, idx: usize| -> Result<String> {
+        let (name, proj) = if slot == 0 {
+            (&base.name, &base)
+        } else {
+            (&inners[slot - 1].name, &inners[slot - 1])
+        };
+        Ok(format!("{name}.{}", col_name(proj, idx)?))
+    };
 
-    let mut text = format!("SELECT {} FROM {}", select.join(", "), base.name);
+    let select = match tree.aggregate {
+        Some(agg) => {
+            let gpair = unflatten(agg.group_col);
+            let vpair = unflatten(agg.value_col);
+            // The dialect's aggregated join selects exactly the group
+            // column and the aggregate, so a faithful roundtrip needs the
+            // output lists to hold exactly those columns (slot-major,
+            // group before value within a table — what lowering builds).
+            let mut pairs = vec![gpair];
+            if vpair != gpair {
+                pairs.push(vpair);
+            }
+            pairs.sort_by_key(|&(slot, _)| slot);
+            let canonical = (0..tree.output_width()).map(&unflatten).collect::<Vec<_>>();
+            if pairs != canonical {
+                return Err(Error::invalid(
+                    "cannot print an aggregated join tree whose outputs are not \
+                     exactly the group and aggregate columns",
+                ));
+            }
+            format!(
+                "{}, {}({})",
+                qualified(gpair.0, gpair.1)?,
+                agg.func.name().to_ascii_uppercase(),
+                qualified(vpair.0, vpair.1)?
+            )
+        }
+        None => {
+            let mut select = Vec::new();
+            for &c in &tree.edges[0].left_output {
+                select.push(format!("{}.{}", base.name, col_name(&base, c)?));
+            }
+            for (e, inner) in tree.edges.iter().zip(&inners) {
+                for &c in &e.right_output {
+                    select.push(format!("{}.{}", inner.name, col_name(inner, c)?));
+                }
+            }
+            select.join(", ")
+        }
+    };
+
+    let mut text = format!("SELECT {select} FROM {}", base.name);
     for (e, inner) in tree.edges.iter().zip(&inners) {
         let left = store.projection(e.left)?;
         text.push_str(&format!(
@@ -141,9 +198,25 @@ pub fn print_join_tree(store: &Store, tree: &JoinTreeSpec) -> Result<String> {
             col_name(inner, e.right_key)?
         ));
     }
+    // Predicates in slot order — base, then each inner table in spec
+    // order. Lowering reassigns each predicate to its table by name, so
+    // this order is canonical without being load-bearing.
+    let mut preds = Vec::new();
     if let Some((col, pred)) = &tree.edges[0].left_filter {
-        let qualified = format!("{}.{}", base.name, col_name(&base, *col)?);
-        text.push_str(&format!(" WHERE {}", pred_text(&qualified, pred)?));
+        preds.push(pred_text(&qualified(0, *col)?, pred)?);
+    }
+    for (ei, e) in tree.edges.iter().enumerate() {
+        if let Some((col, pred)) = &e.right_filter {
+            preds.push(pred_text(&qualified(ei + 1, *col)?, pred)?);
+        }
+    }
+    for (i, p) in preds.iter().enumerate() {
+        let kw = if i == 0 { "WHERE" } else { "AND" };
+        text.push_str(&format!(" {kw} {p}"));
+    }
+    if let Some(agg) = tree.aggregate {
+        let (gslot, gidx) = unflatten(agg.group_col);
+        text.push_str(&format!(" GROUP BY {}", qualified(gslot, gidx)?));
     }
     Ok(text)
 }

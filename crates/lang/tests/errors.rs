@@ -22,6 +22,12 @@ fn fixture() -> Store {
         .column("k", EncodingKind::Plain, SortOrder::Primary)
         .column("x1", EncodingKind::Plain, SortOrder::None);
     store.load_projection(&d1, &[&rows, &rows]).unwrap();
+    // d2 shares d1's column names, so bare 'x1' is ambiguous once both
+    // are in scope.
+    let d2 = ProjectionSpec::new("d2")
+        .column("k", EncodingKind::Plain, SortOrder::Primary)
+        .column("x1", EncodingKind::Plain, SortOrder::None);
+    store.load_projection(&d2, &[&rows, &rows]).unwrap();
     store
 }
 
@@ -128,13 +134,6 @@ fn group_by_shape_violations_name_the_rule() {
 #[test]
 fn join_dialect_limits_each_carry_their_own_message() {
     snapshot(
-        "SELECT a FROM fact JOIN d1 ON fact.k2 = d1.k",
-        "line 1, column 8: unqualified column 'a': qualify columns as table.column \
-         in multi-table queries\n\
-         \x20 | SELECT a FROM fact JOIN d1 ON fact.k2 = d1.k\n\
-         \x20 |        ^",
-    );
-    snapshot(
         "SELECT fact.a FROM fact JOIN d1 ON d1.k = d1.x1",
         "line 1, column 36: ON must equate a column of 'd1' with a column of an \
          earlier table\n\
@@ -148,23 +147,25 @@ fn join_dialect_limits_each_carry_their_own_message() {
          \x20 |                                                        ^",
     );
     snapshot(
-        "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE d1.x1 < 3",
-        "line 1, column 57: WHERE in a join query may only filter the base table 'fact'\n\
-         \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE d1.x1 < 3\n\
-         \x20 |                                                         ^",
-    );
-    snapshot(
         "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE fact.a < 3 AND fact.b < 4",
-        "line 1, column 72: join queries support a single WHERE predicate (on the \
-         base table)\n\
+        "line 1, column 72: table 'fact' already has a WHERE predicate (join queries \
+         take at most one per table)\n\
          \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE fact.a < 3 AND fact.b < 4\n\
          \x20 |                                                                        ^",
     );
     snapshot(
+        "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE d1.x1 < 3 AND d1.x1 > 0",
+        "line 1, column 71: table 'd1' already has a WHERE predicate (join queries \
+         take at most one per table)\n\
+         \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE d1.x1 < 3 AND d1.x1 > 0\n\
+         \x20 |                                                                       ^",
+    );
+    snapshot(
         "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k GROUP BY fact.a",
-        "line 1, column 60: GROUP BY is not supported with JOIN\n\
+        "line 1, column 51: GROUP BY queries must select exactly the group column \
+         and one aggregate\n\
          \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k GROUP BY fact.a\n\
-         \x20 |                                                            ^",
+         \x20 |                                                   ^",
     );
     snapshot(
         "SELECT d1.x1, fact.a FROM fact JOIN d1 ON fact.k2 = d1.k",
@@ -172,6 +173,29 @@ fn join_dialect_limits_each_carry_their_own_message() {
          columns first, then each joined table's columns\n\
          \x20 | SELECT d1.x1, fact.a FROM fact JOIN d1 ON fact.k2 = d1.k\n\
          \x20 |               ^",
+    );
+}
+
+#[test]
+fn bare_columns_resolve_only_when_unambiguous() {
+    // 'a' lives only in fact: a bare reference now resolves.
+    let store = fixture();
+    let stmt = compile(&store, "SELECT a FROM fact JOIN d1 ON fact.k2 = d1.k").unwrap();
+    assert!(matches!(stmt, matstrat_lang::Statement::JoinTree(_)));
+    // 'x1' lives in d1 and d2: ambiguous, caret on the bare reference.
+    snapshot(
+        "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k \
+         JOIN d2 ON fact.k1 = d2.k WHERE x1 < 3",
+        "line 1, column 83: ambiguous column 'x1': qualify as table.column \
+         (found in 'd1' and 'd2')\n\
+         \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k JOIN d2 ON fact.k1 = d2.k WHERE x1 < 3\n\
+         \x20 |                                                                                   ^",
+    );
+    snapshot(
+        "SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE zz < 3",
+        "line 1, column 57: no column 'zz' in any table of this query\n\
+         \x20 | SELECT fact.a FROM fact JOIN d1 ON fact.k2 = d1.k WHERE zz < 3\n\
+         \x20 |                                                         ^",
     );
 }
 

@@ -97,12 +97,17 @@ proptest! {
         filter in 0usize..8,           // 0 = none, else op + 1
         fcol in 0usize..FACT_COLS,
         fval in -99i64..100,
+        rfilters in (0usize..8, 0usize..8, 0usize..8),
+        rfcols in (0usize..3, 0usize..3, 0usize..2),
+        rfval in -99i64..100,
     ) {
         let (store, fact, dims) = fixture();
         let dim_cols = [3usize, 3, 2];
         let right_masks = [right_masks.0, right_masks.1, right_masks.2];
         let left_slots = [left_slots.0, left_slots.1, left_slots.2];
         let left_keys = [left_keys.0, left_keys.1, left_keys.2];
+        let rfilters = [rfilters.0, rfilters.1, rfilters.2];
+        let rfcols = [rfcols.0, rfcols.1, rfcols.2];
 
         let mut edges = Vec::new();
         for i in 0..nedges {
@@ -114,12 +119,19 @@ proptest! {
             } else {
                 (dims[slot - 1], left_keys[i].min(dim_cols[slot - 1] - 1))
             };
+            // Dimension predicates ride each edge's right_filter —
+            // lowering reassigns them by table name, so any mix prints
+            // and reparses exactly.
+            let right_filter = (rfilters[i] > 0).then(|| {
+                (rfcols[i].min(dim_cols[i] - 1), predicate(rfilters[i] - 1, rfval, rfval + 5))
+            });
             edges.push(JoinSpec {
                 left,
                 right: dims[i],
                 left_key,
                 right_key: 0,
                 left_filter: None,
+                right_filter,
                 left_output: Vec::new(),
                 right_output: subset(right_masks[i], dim_cols[i]),
             });
@@ -129,6 +141,82 @@ proptest! {
             edges[0].left_filter = Some((fcol, predicate(filter - 1, fval, fval + 7)));
         }
         let tree = JoinTreeSpec::new(edges);
+
+        let text = print_join_tree(&store, &tree).unwrap();
+        let stmt = compile(&store, &text)
+            .unwrap_or_else(|e| panic!("reparse of '{text}' failed:\n{e}"));
+        prop_assert_eq!(stmt, Statement::JoinTree(tree), "text: {}", text);
+    }
+
+    #[test]
+    fn aggregated_join_trees_roundtrip(
+        nedges in 1usize..4,
+        left_keys in (0usize..FACT_COLS, 0usize..3, 0usize..3),
+        gslot in 0usize..4,
+        gcol in 0usize..5,
+        vslot in 0usize..4,
+        vcol in 0usize..5,
+        func in 0usize..4,
+        filter in 0usize..8,
+        fcol in 0usize..FACT_COLS,
+        fval in -99i64..100,
+        rfilter in 0usize..8,
+        rslot in 0usize..3,
+        rfval in -99i64..100,
+    ) {
+        let (store, fact, dims) = fixture();
+        let dim_cols = [3usize, 3, 2];
+        let left_keys = [left_keys.0, left_keys.1, left_keys.2];
+
+        // A star: every edge probes the fact table.
+        let mut edges = Vec::new();
+        for i in 0..nedges {
+            edges.push(JoinSpec {
+                left: fact,
+                right: dims[i],
+                left_key: left_keys[i].min(FACT_COLS - 1),
+                right_key: 0,
+                left_filter: None,
+                right_filter: None,
+                left_output: Vec::new(),
+                right_output: Vec::new(),
+            });
+        }
+        if filter > 0 {
+            edges[0].left_filter = Some((fcol, predicate(filter - 1, fval, fval + 7)));
+        }
+        if rfilter > 0 {
+            let slot = rslot.min(nedges - 1);
+            edges[slot].right_filter =
+                Some((dim_cols[slot] - 1, predicate(rfilter - 1, rfval, rfval + 5)));
+        }
+
+        // Pick group/value columns anywhere in scope, then build the
+        // canonical output lists exactly as lowering does: slot-major,
+        // group before value within a table.
+        let clamp = |slot: usize, col: usize| -> (usize, usize) {
+            let slot = slot.min(nedges);
+            let ncols = if slot == 0 { FACT_COLS } else { dim_cols[slot - 1] };
+            (slot, col % ncols)
+        };
+        let gpair = clamp(gslot, gcol);
+        let vpair = clamp(vslot, vcol);
+        let mut pairs = vec![gpair];
+        if vpair != gpair {
+            pairs.push(vpair);
+        }
+        pairs.sort_by_key(|&(slot, _)| slot);
+        for &(slot, idx) in &pairs {
+            if slot == 0 {
+                edges[0].left_output.push(idx);
+            } else {
+                edges[slot - 1].right_output.push(idx);
+            }
+        }
+        let gflat = pairs.iter().position(|&p| p == gpair).unwrap();
+        let vflat = pairs.iter().position(|&p| p == vpair).unwrap();
+        let funcs = [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max];
+        let tree = JoinTreeSpec::new(edges).aggregate_fn(gflat, vflat, funcs[func]);
 
         let text = print_join_tree(&store, &tree).unwrap();
         let stmt = compile(&store, &text)
@@ -152,6 +240,7 @@ fn statement_printer_dispatches_both_shapes() {
         left_key: 1,
         right_key: 0,
         left_filter: Some((2, Predicate::ne(-5))),
+        right_filter: None,
         left_output: vec![3],
         right_output: vec![1, 2],
     }]));
@@ -176,6 +265,7 @@ fn unprintable_specs_are_rejected_not_mangled() {
         left_key: 0,
         right_key: 0,
         left_filter: None,
+        right_filter: None,
         left_output: vec![],
         right_output: vec![],
     }]);

@@ -566,20 +566,45 @@ impl CostModel {
     /// edge ordering optimizes. Edges flagged `build_reused` take the
     /// [`Self::hash_join_parallel_with_reuse`] discount.
     pub fn join_tree(&self, edges: &[JoinTreeEdgeParams]) -> JoinTreeCost {
+        self.join_tree_bushy(edges, &[])
+    }
+
+    /// [`Self::join_tree`] with **bushy** semi-join reductions applied: a
+    /// dimension subtree built ahead of its parent thins the parent's
+    /// hash table, so the parent edge's match rate drops by the child's
+    /// `keep_rate` — the intermediate shrinks one edge *earlier* than the
+    /// left-deep chain would shrink it. (The caller re-rates the bushy
+    /// child edge itself at match rate 1.0, so the final cardinality is
+    /// unchanged — bushiness moves where rows die, never how many.)
+    /// Applying a reduction is not free: the parent's build additionally
+    /// probes the child's table once per parent row (`FC` each, across
+    /// the build workers).
+    pub fn join_tree_bushy(
+        &self,
+        edges: &[JoinTreeEdgeParams],
+        reductions: &[BushyReduction],
+    ) -> JoinTreeCost {
+        let c = &self.constants;
         let mut per_edge = Vec::with_capacity(edges.len());
         let mut cards = Vec::with_capacity(edges.len());
         let mut total = CostBreakdown::default();
         let mut rows = edges.first().map_or(0.0, |e| e.params.left_rows());
-        for e in edges {
+        for (slot, e) in edges.iter().enumerate() {
             let mut p = e.params;
             p.left_key.rows = rows;
-            let cost = self.hash_join_parallel_with_reuse(
+            for r in reductions.iter().filter(|r| r.parent_slot == slot) {
+                p.match_rate *= r.keep_rate.clamp(0.0, 1.0);
+            }
+            let mut cost = self.hash_join_parallel_with_reuse(
                 &p,
                 e.kind,
                 e.build_workers,
                 e.probe_workers,
                 e.build_reused,
             );
+            for r in reductions.iter().filter(|r| r.parent_slot == slot) {
+                cost.cpu_us += r.scan_rows * c.fc / e.build_workers.max(1) as f64;
+            }
             rows = p.out_rows();
             cards.push(rows);
             total.cpu_us += cost.cpu_us;
@@ -592,6 +617,21 @@ impl CostModel {
             total,
         }
     }
+}
+
+/// One bushy semi-join reduction for [`CostModel::join_tree_bushy`]: the
+/// child subtree's hash table is built first and thins the parent's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BushyReduction {
+    /// Execution slot (index into the `edges` slice) of the parent edge
+    /// whose build the reduction thins.
+    pub parent_slot: usize,
+    /// Fraction of the parent table's rows that survive the child's
+    /// semi-join — the child edge's own match rate against the parent.
+    pub keep_rate: f64,
+    /// Rows the reduction inspects at parent-build time (the parent
+    /// table's row count): each pays one child-table probe.
+    pub scan_rows: f64,
 }
 
 /// One edge of a join-tree pricing request, in execution order.

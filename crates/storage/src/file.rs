@@ -16,7 +16,7 @@
 
 use std::collections::HashSet;
 
-use matstrat_common::{Error, Pos, Result, Value, Width};
+use matstrat_common::{Error, Pos, Predicate, Result, Value, Width};
 
 use crate::block::{BitVecBlock, DictBlock, EncodedBlock, PlainBlock, RleBlock};
 use crate::disk::Disk;
@@ -25,11 +25,14 @@ use crate::wire::{put_u16, put_u32, put_u64, put_u8, Reader};
 use crate::BLOCK_SIZE;
 
 const MAGIC: &[u8; 4] = b"MSCF";
-const VERSION: u32 = 1;
+// Version history: 2 added a per-block min/max zone map to the index.
+const VERSION: u32 = 2;
 const HEADER_SIZE: u64 = 80;
-const INDEX_ENTRY_SIZE: usize = 24;
+const INDEX_ENTRY_SIZE_V1: usize = 24;
+const INDEX_ENTRY_SIZE: usize = 40;
 
-/// Location and position coverage of one block inside a column file.
+/// Location, position coverage, and value zone of one block inside a
+/// column file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BlockIndexEntry {
     /// Byte offset of the serialized block.
@@ -40,6 +43,20 @@ pub struct BlockIndexEntry {
     pub start_pos: Pos,
     /// Number of rows in the block.
     pub count: u32,
+    /// Smallest value in the block (`Value::MIN` for pre-zone files:
+    /// an unknown zone never prunes).
+    pub min: Value,
+    /// Largest value in the block (`Value::MAX` for pre-zone files).
+    pub max: Value,
+}
+
+impl BlockIndexEntry {
+    /// Zone-map test: can this block contain a row matching `pred`?
+    /// `false` means the block is provably predicate-free and a filtered
+    /// scan may skip it without reading it.
+    pub fn zone_overlaps(&self, pred: &Predicate) -> bool {
+        pred.overlaps_range(self.min, self.max)
+    }
 }
 
 /// Statistics gathered while writing a column, persisted in the header.
@@ -89,6 +106,9 @@ pub struct ColumnFileWriter<'a> {
     /// Dict only: a column-wide dictionary every block encodes against
     /// (instead of per-block first-appearance dictionaries).
     shared_dict: Option<Vec<Value>>,
+    /// Zone map of the current block.
+    block_min: Value,
+    block_max: Value,
     next_start: Pos,
     write_offset: u64,
     index: Vec<BlockIndexEntry>,
@@ -121,6 +141,8 @@ impl<'a> ColumnFileWriter<'a> {
             block_distinct: Vec::new(),
             block_runs: 0,
             shared_dict: None,
+            block_min: Value::MAX,
+            block_max: Value::MIN,
             next_start: 0,
             write_offset: HEADER_SIZE,
             index: Vec::new(),
@@ -202,6 +224,8 @@ impl<'a> ColumnFileWriter<'a> {
             EncodingKind::Plain => {}
         }
         self.buffer.push(v);
+        self.block_min = self.block_min.min(v);
+        self.block_max = self.block_max.max(v);
         // Column-wide stats.
         self.min = self.min.min(v);
         self.max = self.max.max(v);
@@ -253,12 +277,16 @@ impl<'a> ColumnFileWriter<'a> {
             len: bytes.len() as u32,
             start_pos: self.next_start,
             count: self.buffer.len() as u32,
+            min: self.block_min,
+            max: self.block_max,
         });
         self.write_offset += bytes.len() as u64;
         self.next_start += self.buffer.len() as u64;
         self.buffer.clear();
         self.block_distinct.clear();
         self.block_runs = 0;
+        self.block_min = Value::MAX;
+        self.block_max = Value::MIN;
         Ok(())
     }
 
@@ -273,6 +301,8 @@ impl<'a> ColumnFileWriter<'a> {
             put_u32(&mut index_bytes, e.len);
             put_u64(&mut index_bytes, e.start_pos);
             put_u32(&mut index_bytes, e.count);
+            index_bytes.extend_from_slice(&e.min.to_le_bytes());
+            index_bytes.extend_from_slice(&e.max.to_le_bytes());
         }
         self.disk.write_at(&self.name, index_offset, &index_bytes)?;
 
@@ -334,7 +364,7 @@ impl ColumnFileReader {
             return Err(Error::corrupt(format!("{name}: bad magic")));
         }
         let version = r.u32()?;
-        if version != VERSION {
+        if !(1..=VERSION).contains(&version) {
             return Err(Error::corrupt(format!("{name}: unknown version {version}")));
         }
         let encoding = EncodingKind::from_tag(r.u8()?)?;
@@ -355,16 +385,29 @@ impl ColumnFileReader {
         let distinct = r.u64()?;
         let num_runs = r.u64()?;
 
-        let index_bytes =
-            disk.read_at(&name, index_offset, num_blocks as usize * INDEX_ENTRY_SIZE)?;
+        let entry_size = if version >= 2 {
+            INDEX_ENTRY_SIZE
+        } else {
+            INDEX_ENTRY_SIZE_V1
+        };
+        let index_bytes = disk.read_at(&name, index_offset, num_blocks as usize * entry_size)?;
         let mut ir = Reader::new(&index_bytes);
         let mut index = Vec::with_capacity(num_blocks as usize);
         for _ in 0..num_blocks {
+            let (offset, len, start_pos, count) = (ir.u64()?, ir.u32()?, ir.u64()?, ir.u32()?);
+            // Version 1 predates zone maps: an unbounded zone never prunes.
+            let (bmin, bmax) = if version >= 2 {
+                (ir.i64()?, ir.i64()?)
+            } else {
+                (Value::MIN, Value::MAX)
+            };
             index.push(BlockIndexEntry {
-                offset: ir.u64()?,
-                len: ir.u32()?,
-                start_pos: ir.u64()?,
-                count: ir.u32()?,
+                offset,
+                len,
+                start_pos,
+                count,
+                min: bmin,
+                max: bmax,
             });
         }
         Ok(ColumnFileReader {
@@ -528,6 +571,59 @@ mod tests {
         assert_eq!(stats.num_blocks, 1);
         assert_eq!(stats.num_runs, 10);
         assert!((stats.avg_run_len() - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn index_carries_per_block_zone_maps() {
+        // Clustered data: each block's zone is a narrow value band, so a
+        // point predicate prunes all but one block.
+        let n = PlainBlock::capacity(Width::W1) * 3;
+        let values: Vec<Value> = (0..n)
+            .map(|i| (i / PlainBlock::capacity(Width::W1)) as Value)
+            .collect();
+        let disk = MemDisk::new();
+        write_column(&disk, "c", EncodingKind::Plain, Width::W1, &values);
+        let r = ColumnFileReader::open(&disk, "c").unwrap();
+        assert_eq!(r.num_blocks(), 3);
+        for (b, e) in r.index().iter().enumerate() {
+            assert_eq!((e.min, e.max), (b as Value, b as Value));
+        }
+        let hits: Vec<usize> = (0..3)
+            .filter(|&b| r.index()[b].zone_overlaps(&Predicate::eq(1)))
+            .collect();
+        assert_eq!(hits, vec![1]);
+        // Range and Ne predicates stay conservative.
+        assert!(r.index()[0].zone_overlaps(&Predicate::lt(1)));
+        assert!(!r.index()[2].zone_overlaps(&Predicate::lt(1)));
+        assert!(r.index()[0].zone_overlaps(&Predicate::ne(1)));
+        assert!(
+            !r.index()[1].zone_overlaps(&Predicate::ne(1)),
+            "all-1 block"
+        );
+    }
+
+    #[test]
+    fn open_accepts_version_1_index_without_zones() {
+        // Serialize a column, then rewrite it as a v1 file: header version
+        // 1 and 24-byte index entries (zones spliced out).
+        let values: Vec<Value> = (0..100).collect();
+        let disk = MemDisk::new();
+        write_column(&disk, "c", EncodingKind::Plain, Width::W1, &values);
+        let len = disk.len("c").unwrap() as usize;
+        let mut bytes = disk.read_at("c", 0, len).unwrap();
+        bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+        let index_offset = u64::from_le_bytes(bytes[32..40].try_into().unwrap()) as usize;
+        // One block: drop its 16 zone bytes from the index tail.
+        bytes.truncate(index_offset + INDEX_ENTRY_SIZE_V1);
+        disk.create("v1").unwrap();
+        disk.write_at("v1", 0, &bytes).unwrap();
+        let r = ColumnFileReader::open(&disk, "v1").unwrap();
+        let e = r.index()[0];
+        assert_eq!((e.min, e.max), (Value::MIN, Value::MAX));
+        assert!(
+            e.zone_overlaps(&Predicate::eq(12345)),
+            "unknown zones never prune"
+        );
     }
 
     #[test]

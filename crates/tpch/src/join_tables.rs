@@ -202,7 +202,21 @@ impl JoinTables {
 mod tests {
     use super::*;
     use matstrat_common::Predicate;
-    use matstrat_core::{InnerStrategy, JoinSpec};
+    use matstrat_core::{InnerStrategy, JoinSpec, JoinTreeSpec, QueryPlan, Statement};
+
+    fn run_join(
+        db: &Database,
+        spec: &JoinSpec,
+        inner: InnerStrategy,
+    ) -> matstrat_common::Result<matstrat_core::QueryResult> {
+        Ok(db
+            .execute_planned(
+                &Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()])),
+                &QueryPlan::forced_tree(vec![0], vec![inner]),
+                &db.exec_options(),
+            )?
+            .rows)
+    }
 
     fn cfg() -> TpchConfig {
         TpchConfig {
@@ -262,16 +276,17 @@ mod tests {
             left_key: orders_cols::CUSTKEY,
             right_key: customer_cols::CUSTKEY,
             left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+            right_filter: None,
             left_output: vec![orders_cols::SHIPDATE],
             right_output: vec![customer_cols::NATIONCODE],
         };
         let expected = t.orders.custkey.iter().filter(|&&k| k < x).count();
         for inner in InnerStrategy::ALL {
-            let r = db.run_join(&spec, inner).unwrap();
+            let r = run_join(&db, &spec, inner).unwrap();
             assert_eq!(r.num_rows(), expected, "{inner:?}");
         }
         // Spot-check values against the generator.
-        let r = db.run_join(&spec, InnerStrategy::Materialized).unwrap();
+        let r = run_join(&db, &spec, InnerStrategy::Materialized).unwrap();
         let rows = r.sorted_rows();
         let mut reference: Vec<Vec<Value>> = t
             .orders
@@ -320,6 +335,7 @@ mod tests {
                 left_key: orders_cols::CUSTKEY,
                 right_key: customer_cols::CUSTKEY,
                 left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+                right_filter: None,
                 left_output: vec![orders_cols::SHIPDATE],
                 right_output: vec![customer_cols::NATIONCODE],
             },
@@ -329,6 +345,7 @@ mod tests {
                 left_key: orders_cols::ORDERDATE,
                 right_key: date_cols::DATEKEY,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![],
                 right_output: vec![date_cols::MONTH],
             },
@@ -338,13 +355,15 @@ mod tests {
                 left_key: customer_cols::NATIONCODE,
                 right_key: nation_cols::NATIONKEY,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![],
                 right_output: vec![nation_cols::REGIONKEY],
             },
         ]);
         let expected = t.orders.custkey.iter().filter(|&&k| k < x).count();
-        let (choice, result, stats) = db.run_join_tree_auto(&spec).unwrap();
-        assert_eq!(result.num_rows(), expected, "{}", choice.reason);
+        let out = db.execute(&Statement::JoinTree(spec)).unwrap();
+        let (result, stats) = (&out.rows, &out.stats);
+        assert_eq!(result.num_rows(), expected, "{}", out.choice.describe());
         assert_eq!(stats.rows_out, expected as u64);
         assert_eq!(stats.builds, 3);
         // Spot-check one row end to end against the generators.

@@ -36,6 +36,7 @@ fn main() -> Result<()> {
             left_key: orders_cols::CUSTKEY,
             right_key: customer_cols::CUSTKEY,
             left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+            right_filter: None,
             left_output: vec![orders_cols::SHIPDATE],
             right_output: vec![customer_cols::NATIONCODE],
         };
@@ -43,7 +44,12 @@ fn main() -> Result<()> {
         let mut reference: Option<Vec<Vec<Value>>> = None;
         for inner in InnerStrategy::ALL {
             db.store().cold_reset();
-            let (result, wall, io) = db.run_join_with_stats(&spec, inner)?;
+            let out = db.execute_planned(
+                &Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()])),
+                &QueryPlan::forced_tree(vec![0], vec![inner]),
+                &db.exec_options(),
+            )?;
+            let (result, wall, io) = (out.rows, out.stats.wall, out.stats.io);
             println!(
                 "  {:>28}: {:>8.2} ms, {:>6} rows, {:>4} block reads",
                 inner.name(),
@@ -76,10 +82,15 @@ fn main() -> Result<()> {
             orders_cols::CUSTKEY,
             Predicate::lt(tables.custkey_cutoff(0.5)),
         )),
+        right_filter: None,
         left_output: vec![orders_cols::SHIPDATE],
         right_output: vec![customer_cols::NATIONCODE],
     };
-    let (choice, result) = db.run_join_auto(&spec)?;
-    println!("planner: {} → {} rows", choice.reason, result.num_rows());
+    let out = db.execute(&Statement::JoinTree(JoinTreeSpec::new(vec![spec])))?;
+    println!(
+        "planner: {} → {} rows",
+        out.choice.describe(),
+        out.rows.num_rows()
+    );
     Ok(())
 }

@@ -41,6 +41,7 @@ fn main() -> Result<()> {
             left_key: orders_cols::CUSTKEY,
             right_key: customer_cols::CUSTKEY,
             left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+            right_filter: None,
             left_output: vec![orders_cols::SHIPDATE],
             right_output: vec![customer_cols::NATIONCODE],
         },
@@ -50,6 +51,7 @@ fn main() -> Result<()> {
             left_key: orders_cols::ORDERDATE,
             right_key: date_cols::DATEKEY,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![date_cols::MONTH],
         },
@@ -59,6 +61,7 @@ fn main() -> Result<()> {
             left_key: customer_cols::NATIONCODE,
             right_key: nation_cols::NATIONKEY,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![nation_cols::REGIONKEY],
         },
@@ -68,7 +71,13 @@ fn main() -> Result<()> {
     for inner in InnerStrategy::ALL {
         db.store().cold_reset();
         let t0 = std::time::Instant::now();
-        let result = db.run_join_tree(&spec, &[inner; 3])?;
+        let result = db
+            .execute_planned(
+                &Statement::JoinTree(spec.clone()),
+                &QueryPlan::forced_tree(vec![0, 1, 2], vec![inner; 3]),
+                &db.exec_options(),
+            )?
+            .rows;
         let io = db.store().meter().snapshot();
         println!(
             "  {:>28} ×3: {:>8.2} ms, {:>6} rows, {:>4} block reads",
@@ -81,15 +90,15 @@ fn main() -> Result<()> {
 
     // The planner's pick: edge order + per-edge strategies.
     db.store().cold_reset();
-    let (choice, result, stats) = db.run_join_tree_auto(&spec)?;
-    println!("\nplanner: {}", choice.reason);
+    let out = db.execute(&Statement::JoinTree(spec))?;
+    println!("\nplanner: {}", out.choice.describe());
     println!(
         "executed: {} rows in {:.2} ms ({} block reads, {} builds, {} reuses)",
-        result.num_rows(),
-        stats.wall.as_secs_f64() * 1e3,
-        stats.io.block_reads,
-        stats.builds,
-        stats.build_reuses,
+        out.rows.num_rows(),
+        out.stats.wall.as_secs_f64() * 1e3,
+        out.stats.io.block_reads,
+        out.stats.builds,
+        out.stats.build_reuses,
     );
     Ok(())
 }

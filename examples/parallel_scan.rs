@@ -42,7 +42,12 @@ fn main() -> Result<()> {
     for workers in [1usize, 2, 4, 8] {
         db.set_parallelism(workers);
         db.store().cold_reset();
-        let (result, stats) = db.run_with_stats(&query, Strategy::LmParallel)?;
+        let out = db.execute_planned(
+            &Statement::Select(query.clone()),
+            &QueryPlan::forced_scan(Strategy::LmParallel),
+            &db.exec_options(),
+        )?;
+        let (result, stats) = (out.rows, out.stats);
         println!(
             "{workers:>8} {:>12} {:>12} {:>8}",
             stats.rows_out,
@@ -62,8 +67,8 @@ fn main() -> Result<()> {
     // 3. The planner prices plans for the configured worker count: CPU
     //    terms divide across workers, the shared cold-I/O term does not.
     db.set_parallelism(4);
-    let choice = db.plan(&query)?;
-    println!("\nplanner at 4 workers: {}", choice.reason);
+    let choice = db.plan(&Statement::Select(query))?;
+    println!("\nplanner at 4 workers: {}", choice.describe());
 
     println!("\nall worker counts returned the same bytes — determinism holds.");
     Ok(())

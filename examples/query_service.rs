@@ -63,9 +63,8 @@ fn main() {
             }
         };
         println!("{sql}");
-        let req = stmt.into_request();
-        println!("  -> {}", session.explain(&req).unwrap());
-        requests.push(req);
+        println!("  -> {}", session.explain(&stmt).unwrap());
+        requests.push(stmt);
     }
 
     // A typo, to show the front-end's error reporting.

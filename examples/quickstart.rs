@@ -25,9 +25,11 @@ fn main() -> Result<()> {
 
     // 2. SELECT region, amount FROM sales
     //    WHERE region < 3 AND status < 2
-    let query = QuerySpec::select(table, vec![0, 2])
-        .filter(0, Predicate::lt(3))
-        .filter(1, Predicate::lt(2));
+    let stmt = Statement::Select(
+        QuerySpec::select(table, vec![0, 2])
+            .filter(0, Predicate::lt(3))
+            .filter(1, Predicate::lt(2)),
+    );
 
     println!("SELECT region, amount FROM sales WHERE region < 3 AND status < 2;\n");
     println!(
@@ -37,18 +39,19 @@ fn main() -> Result<()> {
     let mut reference: Option<Vec<Vec<Value>>> = None;
     for strategy in Strategy::ALL {
         db.store().cold_reset();
-        match db.run_with_stats(&query, strategy) {
-            Ok((result, stats)) => {
+        let plan = QueryPlan::forced_scan(strategy);
+        match db.execute_planned(&stmt, &plan, &db.exec_options()) {
+            Ok(out) => {
                 println!(
                     "{:>14} {:>10} {:>12} {:>9} {:>8}",
                     strategy.name(),
-                    result.num_rows(),
-                    stats.wall.as_micros(),
-                    stats.io.block_reads,
-                    stats.io.seeks,
+                    out.rows.num_rows(),
+                    out.stats.wall.as_micros(),
+                    out.stats.io.block_reads,
+                    out.stats.io.seeks,
                 );
                 // Every strategy must return the same tuples.
-                let rows = result.sorted_rows();
+                let rows = out.rows.sorted_rows();
                 match &reference {
                     Some(r) => assert_eq!(r, &rows, "strategies disagree!"),
                     None => reference = Some(rows),
@@ -62,20 +65,18 @@ fn main() -> Result<()> {
     }
 
     // 3. The same query, aggregated: GROUP BY region, SUM(amount).
-    let agg = QuerySpec::select(table, vec![])
-        .filter(1, Predicate::lt(2))
-        .aggregate_sum(0, 2);
-    let (choice, result) = db.run_auto(&agg)?;
-    println!("\nGROUP BY region, SUM(amount) WHERE status < 2");
-    println!(
-        "planner chose {} — {}",
-        choice.strategy.name(),
-        choice.reason
+    let agg = Statement::Select(
+        QuerySpec::select(table, vec![])
+            .filter(1, Predicate::lt(2))
+            .aggregate_sum(0, 2),
     );
-    for row in result.rows().take(4) {
+    let out = db.execute(&agg)?;
+    println!("\nGROUP BY region, SUM(amount) WHERE status < 2");
+    println!("planner chose: {}", out.choice.describe());
+    for row in out.rows.rows().take(4) {
         println!("  region {:>2} → sum {:>10}", row[0], row[1]);
     }
-    println!("  ... ({} groups)", result.num_rows());
+    println!("  ... ({} groups)", out.rows.num_rows());
 
     // 4. A peek at late materialization's working state: one multi-column
     //    granule (Figure 9 of the paper).

@@ -43,13 +43,14 @@
 //! let b: Vec<i64> = (0..1000).map(|i| i % 7).collect();
 //! let table = db.load_projection(&spec, &[&a, &b]).unwrap();
 //!
-//! // SELECT a, b FROM demo WHERE a < 5 AND b < 3, all four strategies.
+//! // SELECT a, b FROM demo WHERE a < 5 AND b < 3 — planned and run
+//! // through the unified entry point.
 //! let query = QuerySpec::select(table, vec![0, 1])
 //!     .filter(0, Predicate::lt(5))
 //!     .filter(1, Predicate::lt(3));
-//! let lm = db.run(&query, Strategy::LmParallel).unwrap();
-//! let em = db.run(&query, Strategy::EmParallel).unwrap();
-//! assert_eq!(lm.sorted_rows(), em.sorted_rows());
+//! let out = db.execute(&Statement::Select(query)).unwrap();
+//! assert_eq!(out.rows.num_rows(), 216);
+//! println!("{}", out.choice.describe()); // which strategy the planner chose
 //! ```
 
 pub use matstrat_common as common;
@@ -66,10 +67,10 @@ pub mod prelude {
     pub use matstrat_core::{
         default_parallelism, AggSpec, Database, ExecOptions, ExecStats, FragmentPipeline,
         InnerStrategy, JoinSpec, JoinTreePlan, JoinTreeSpec, JoinTreeStats, MiniColumn,
-        MultiColumn, QueryResult, QuerySpec, Reply, Request, Server, ServerConfig, ServerStats,
-        Session, Strategy,
+        MultiColumn, QueryOutcome, QueryPlan, QueryResult, QuerySpec, QueryStats, Reply, Request,
+        Server, ServerConfig, ServerStats, Session, Statement, Strategy,
     };
-    pub use matstrat_lang::{compile, print_statement, ParseError, Statement};
+    pub use matstrat_lang::{compile, print_statement, ParseError};
     pub use matstrat_model::{Constants, CostModel};
     pub use matstrat_poslist::{PosList, Repr};
     pub use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};

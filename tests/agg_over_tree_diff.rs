@@ -1,0 +1,304 @@
+//! Aggregation over join trees, differentially: the pipelined
+//! tree-with-aggregate executor must equal the *serial composition*
+//! oracle — run the unaggregated tree, then aggregate its rows in plain
+//! test code — at every thread count, with the same cold block reads
+//! every time, and with zone maps pruning clustered base blocks without
+//! ever changing a byte.
+
+use std::collections::BTreeMap;
+
+use matstrat::core::{hash_join_tree_with_options, AggFunc, InnerStrategy, JoinTreePlan};
+use matstrat::prelude::*;
+
+const N: i64 = 40_000;
+const GRANULE: u64 = 1024;
+/// Shift shipprio bands into 8-byte territory so the clustered column
+/// spans several 64 KB plain blocks (adaptive width would otherwise
+/// pack the whole table into one block and give zone maps nothing to
+/// prune).
+const BAND: Value = 1 << 40;
+
+/// A star + snowflake warehouse whose base filter column is clustered
+/// (sorted), so whole 64 KB blocks fall outside a selective predicate's
+/// value range and zone maps can prune them.
+///
+/// fact(shipprio sorted 0..9, custkey, datekey, qty)
+///   ⋈ customer(custkey, nation)        — star, base filter shipprio < 2
+///   ⋈ date(datekey, month)             — star
+///   customer ⋈ nation(nationkey, region) — snowflake
+fn fixture() -> (Database, JoinTreeSpec) {
+    let db = Database::in_memory();
+    let shipprio: Vec<Value> = (0..N).map(|i| (i / (N / 10)) * BAND).collect();
+    let custkey: Vec<Value> = (0..N).map(|i| (i * 13) % 100).collect();
+    let datekey: Vec<Value> = (0..N).map(|i| (i * 7) % 50).collect();
+    let qty: Vec<Value> = (0..N).map(|i| (i * 31) % 97).collect();
+    let fact = db
+        .load_projection(
+            &ProjectionSpec::new("fact")
+                .column("shipprio", EncodingKind::Plain, SortOrder::Primary)
+                .column("custkey", EncodingKind::Plain, SortOrder::None)
+                .column("datekey", EncodingKind::Plain, SortOrder::None)
+                .column("qty", EncodingKind::Plain, SortOrder::None),
+            &[&shipprio, &custkey, &datekey, &qty],
+        )
+        .unwrap();
+    let ck: Vec<Value> = (0..100).collect();
+    let nation: Vec<Value> = (0..100).map(|c| c % 5).collect();
+    let customer = db
+        .load_projection(
+            &ProjectionSpec::new("customer")
+                .column("custkey", EncodingKind::Plain, SortOrder::Primary)
+                .column("nation", EncodingKind::Plain, SortOrder::None),
+            &[&ck, &nation],
+        )
+        .unwrap();
+    let dk: Vec<Value> = (0..50).collect();
+    let month: Vec<Value> = (0..50).map(|d| d % 12).collect();
+    let date = db
+        .load_projection(
+            &ProjectionSpec::new("date")
+                .column("datekey", EncodingKind::Plain, SortOrder::Primary)
+                .column("month", EncodingKind::Plain, SortOrder::None),
+            &[&dk, &month],
+        )
+        .unwrap();
+    let nk: Vec<Value> = (0..5).collect();
+    let region: Vec<Value> = (0..5).map(|n| n * 10).collect();
+    let nation_t = db
+        .load_projection(
+            &ProjectionSpec::new("nation")
+                .column("nationkey", EncodingKind::Plain, SortOrder::Primary)
+                .column("region", EncodingKind::Plain, SortOrder::None),
+            &[&nk, &region],
+        )
+        .unwrap();
+    // Flat spec-order output: [qty, nation, month, region].
+    let spec = JoinTreeSpec::new(vec![
+        JoinSpec {
+            left: fact,
+            right: customer,
+            left_key: 1,
+            right_key: 0,
+            left_filter: Some((0, Predicate::lt(2 * BAND))),
+            right_filter: None,
+            left_output: vec![3],
+            right_output: vec![1],
+        },
+        JoinSpec {
+            left: fact,
+            right: date,
+            left_key: 2,
+            right_key: 0,
+            left_filter: None,
+            right_filter: None,
+            left_output: vec![],
+            right_output: vec![1],
+        },
+        JoinSpec {
+            left: customer,
+            right: nation_t,
+            left_key: 1,
+            right_key: 0,
+            left_filter: None,
+            right_filter: None,
+            left_output: vec![],
+            right_output: vec![1],
+        },
+    ]);
+    (db, spec)
+}
+
+fn opts(db: &Database, threads: usize, zone_maps: bool) -> ExecOptions {
+    ExecOptions {
+        granule: GRANULE,
+        parallelism: threads,
+        zone_maps,
+        ..db.exec_options()
+    }
+}
+
+/// Cold-run a tree statement under a forced spec-order plan.
+fn cold_tree(
+    db: &Database,
+    spec: &JoinTreeSpec,
+    threads: usize,
+    zone_maps: bool,
+) -> (QueryResult, QueryStats) {
+    db.store().cold_reset();
+    let out = db
+        .execute_planned(
+            &Statement::JoinTree(spec.clone()),
+            &QueryPlan::forced_tree(
+                (0..spec.edges.len()).collect(),
+                vec![InnerStrategy::MultiColumn; spec.edges.len()],
+            ),
+            &opts(db, threads, zone_maps),
+        )
+        .unwrap();
+    (out.rows, out.stats)
+}
+
+/// The serial composition oracle: the *unaggregated* tree run serially
+/// with zone maps off, aggregated by plain test code.
+fn compose_oracle(db: &Database, spec: &JoinTreeSpec) -> (Vec<Vec<Value>>, QueryStats) {
+    let agg = spec.aggregate.expect("oracle needs the aggregate spec");
+    let mut flat_spec = spec.clone();
+    flat_spec.aggregate = None;
+    let (rows, stats) = cold_tree(db, &flat_spec, 1, false);
+    let mut groups: BTreeMap<Value, Vec<Value>> = BTreeMap::new();
+    for row in rows.rows() {
+        groups
+            .entry(row[agg.group_col])
+            .or_default()
+            .push(row[agg.value_col]);
+    }
+    let want = groups
+        .into_iter()
+        .map(|(g, vs)| {
+            let v = match agg.func {
+                AggFunc::Sum => vs.iter().sum(),
+                AggFunc::Count => vs.len() as Value,
+                AggFunc::Min => *vs.iter().min().unwrap(),
+                AggFunc::Max => *vs.iter().max().unwrap(),
+            };
+            vec![g, v]
+        })
+        .collect();
+    (want, stats)
+}
+
+/// The headline differential: GROUP BY month, f(qty) over the three-edge
+/// tree equals the serial composition oracle at every thread count — and
+/// the aggregated pipeline's cold block reads are one exact number, not
+/// a per-thread-count accident.
+#[test]
+fn tree_aggregate_equals_serial_composition_oracle_at_every_thread_count() {
+    let (db, spec) = fixture();
+    for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+        let agg_spec = spec.clone().aggregate_fn(2, 0, func);
+        let (want, oracle_stats) = compose_oracle(&db, &agg_spec);
+        assert!(!want.is_empty(), "{func:?}: oracle found no groups");
+        assert_eq!(
+            oracle_stats.zone_skips, 0,
+            "{func:?}: the oracle runs with zone maps off"
+        );
+        let mut reads = None;
+        for threads in [1usize, 2, 4, 8] {
+            let (rows, stats) = cold_tree(&db, &agg_spec, threads, true);
+            let got: Vec<Vec<Value>> = rows.rows().map(|r| r.to_vec()).collect();
+            assert_eq!(got, want, "{func:?} threads={threads}");
+            assert_eq!(stats.rows_out, want.len() as u64, "{func:?}");
+            match reads {
+                None => reads = Some(stats.io.block_reads),
+                Some(r) => assert_eq!(
+                    stats.io.block_reads, r,
+                    "{func:?} threads={threads}: cold block reads must be \
+                     exact, not a thread-count accident"
+                ),
+            }
+        }
+        // The aggregate never materializes the joined rows, so it cannot
+        // read more than the oracle's unaggregated leg.
+        assert!(
+            reads.unwrap() <= oracle_stats.io.block_reads,
+            "{func:?}: aggregated pipeline reads more than the flat tree"
+        );
+    }
+}
+
+/// Zone maps on the clustered base: the selective predicate's value
+/// range excludes whole blocks, so skips are positive with maps on,
+/// zero with maps off — and the bytes never move.
+#[test]
+fn zone_maps_prune_clustered_blocks_without_changing_bytes() {
+    let (db, spec) = fixture();
+    let agg_spec = spec.aggregate_fn(2, 0, AggFunc::Sum);
+    let (pruned_rows, pruned) = cold_tree(&db, &agg_spec, 4, true);
+    let (full_rows, full) = cold_tree(&db, &agg_spec, 4, false);
+    assert!(
+        pruned.zone_skips > 0,
+        "clustered shipprio must prune blocks, skipped {}",
+        pruned.zone_skips
+    );
+    assert_eq!(full.zone_skips, 0, "maps off cannot report skips");
+    assert_eq!(pruned_rows.flat(), full_rows.flat());
+    assert!(
+        pruned.io.block_reads < full.io.block_reads,
+        "pruning must show up in the meter: {} !< {}",
+        pruned.io.block_reads,
+        full.io.block_reads
+    );
+}
+
+/// Bushy execution of the snowflake edge plus a dimension predicate
+/// pushed into the customer build, against the unpushed post-filtered
+/// oracle. `reuse_builds`/bushy shape is plan-level, so this leg drives
+/// the raw executor; the oracle composes through the public API.
+#[test]
+fn bushy_plan_with_pushed_down_dimension_predicate_matches_oracle() {
+    let (db, spec) = fixture();
+    // Push nation < 3 into the customer build (customer col 1).
+    let mut pushed = spec.clone();
+    pushed.edges[0].right_filter = Some((1, Predicate::lt(3)));
+    let pushed_agg = pushed.clone().aggregate_fn(2, 0, AggFunc::Sum);
+
+    // Oracle: unpushed flat tree, post-filtered on the nation output
+    // column (flat col 1), aggregated by hand.
+    let (flat, _) = cold_tree(&db, &spec, 1, false);
+    let mut groups: BTreeMap<Value, Value> = BTreeMap::new();
+    for row in flat.rows().filter(|r| r[1] < 3) {
+        *groups.entry(row[2]).or_insert(0) += row[0];
+    }
+    let want: Vec<Vec<Value>> = groups.into_iter().map(|(g, v)| vec![g, v]).collect();
+    assert!(!want.is_empty(), "oracle must keep some groups");
+
+    for threads in [1usize, 4] {
+        for bushy in [vec![], vec![false, false, true]] {
+            let plan = JoinTreePlan {
+                bushy: bushy.clone(),
+                ..JoinTreePlan::in_spec_order(vec![InnerStrategy::MultiColumn; 3])
+            };
+            db.store().cold_reset();
+            let (rows, stats) = hash_join_tree_with_options(
+                db.store(),
+                &pushed_agg,
+                &plan,
+                &opts(&db, threads, true),
+            )
+            .unwrap();
+            let got: Vec<Vec<Value>> = rows.rows().map(|r| r.to_vec()).collect();
+            assert_eq!(got, want, "threads={threads} bushy={bushy:?}");
+            assert_eq!(stats.rows_out, want.len() as u64);
+        }
+    }
+
+    // And the planner's own pick — whatever shape it chooses — lands on
+    // the same bytes through the public entry point.
+    db.store().cold_reset();
+    let out = db.execute(&Statement::JoinTree(pushed_agg)).unwrap();
+    let got: Vec<Vec<Value>> = out.rows.rows().map(|r| r.to_vec()).collect();
+    assert_eq!(got, want, "planner pick: {}", out.choice.describe());
+    assert!(matches!(out.choice, QueryPlan::Tree(_)));
+}
+
+/// The language front-end lowers GROUP BY over JOIN into the same
+/// pipeline: dialect text equals the composition oracle.
+#[test]
+fn sql_group_by_over_join_equals_composition_oracle() {
+    let (db, spec) = fixture();
+    let agg_spec = spec.aggregate_fn(2, 0, AggFunc::Sum);
+    let (want, _) = compose_oracle(&db, &agg_spec);
+    let sql = format!(
+        "SELECT date.month, SUM(fact.qty) FROM fact \
+         JOIN customer ON fact.custkey = customer.custkey \
+         JOIN date ON fact.datekey = date.datekey \
+         JOIN nation ON customer.nation = nation.nationkey \
+         WHERE fact.shipprio < {} \
+         GROUP BY date.month",
+        2 * BAND
+    );
+    let stmt = matstrat::lang::compile(db.store(), &sql).unwrap();
+    let out = db.execute(&stmt).unwrap();
+    let got: Vec<Vec<Value>> = out.rows.rows().map(|r| r.to_vec()).collect();
+    assert_eq!(got, want, "dialect text through {}", out.choice.describe());
+}

@@ -88,8 +88,12 @@ fn cold_run(
         parallelism: threads,
         ..ExecOptions::default()
     };
-    match db.run_with_options(q, s, &opts) {
-        Ok((r, stats)) => Some((
+    match db.execute_planned(
+        &Statement::Select(q.clone()),
+        &QueryPlan::forced_scan(s),
+        &opts,
+    ) {
+        Ok(QueryOutcome { rows: r, stats, .. }) => Some((
             r.flat().to_vec(),
             r.column_names.clone(),
             stats.positions_matched,
@@ -312,6 +316,7 @@ fn join_fixture(shared: bool) -> JoinFixture {
         left_key: 0,
         right_key: 0,
         left_filter: Some((1, Predicate::lt(2500))),
+        right_filter: None,
         left_output: vec![1],
         right_output: vec![1],
     };
@@ -330,7 +335,14 @@ fn cold_join_run(
         ..ExecOptions::default()
     };
     let ops0 = matstrat::common::codeops::snapshot();
-    let r = f.db.run_join_with_options(&f.spec, inner, &opts).unwrap();
+    let r =
+        f.db.execute_planned(
+            &Statement::JoinTree(JoinTreeSpec::new(vec![f.spec.clone()])),
+            &QueryPlan::forced_tree(vec![0], vec![inner]),
+            &opts,
+        )
+        .unwrap()
+        .rows;
     let ops = matstrat::common::codeops::snapshot().wrapping_sub(ops0);
     let reads = f.db.store().meter().snapshot().block_reads;
     (r.flat().to_vec(), r.column_names.clone(), reads, ops)
@@ -444,6 +456,7 @@ fn join_trees_with_a_code_keyed_edge_match_the_oracle() {
                 left_key: 0,
                 right_key: 0,
                 left_filter: Some((2, Predicate::lt(3500))),
+                right_filter: None,
                 left_output: vec![2],
                 right_output: vec![1],
             },
@@ -453,6 +466,7 @@ fn join_trees_with_a_code_keyed_edge_match_the_oracle() {
                 left_key: 1,
                 right_key: 0,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![],
                 right_output: vec![1],
             },
@@ -462,7 +476,6 @@ fn join_trees_with_a_code_keyed_edge_match_the_oracle() {
     let (oracle_db, oracle_spec) = build(false);
     let (coded_db, coded_spec) = build(true);
     let inners = [InnerStrategy::MultiColumn, InnerStrategy::MultiColumn];
-    let plan = JoinTreePlan::in_spec_order(inners.to_vec());
     let run = |db: &Database, spec: &JoinTreeSpec, threads: usize| {
         db.store().cold_reset();
         let opts = ExecOptions {
@@ -470,8 +483,17 @@ fn join_trees_with_a_code_keyed_edge_match_the_oracle() {
             parallelism: threads,
             ..ExecOptions::default()
         };
-        let (r, _) = db.run_join_tree_with_options(spec, &plan, &opts).unwrap();
-        (r.flat().to_vec(), db.store().meter().snapshot().block_reads)
+        let out = db
+            .execute_planned(
+                &Statement::JoinTree(spec.clone()),
+                &QueryPlan::forced_tree(vec![0, 1], inners.to_vec()),
+                &opts,
+            )
+            .unwrap();
+        (
+            out.rows.flat().to_vec(),
+            db.store().meter().snapshot().block_reads,
+        )
     };
     let ops0 = matstrat::common::codeops::snapshot();
     let exp = run(&oracle_db, &oracle_spec, 1);

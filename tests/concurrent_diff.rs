@@ -106,9 +106,7 @@ fn requests(store: &matstrat::storage::Store) -> Vec<Request> {
     BATCH
         .iter()
         .map(|sql| {
-            compile(store, sql)
-                .unwrap_or_else(|e| panic!("batch query failed to compile:\n{e}"))
-                .into_request()
+            compile(store, sql).unwrap_or_else(|e| panic!("batch query failed to compile:\n{e}"))
         })
         .collect()
 }
@@ -122,15 +120,13 @@ struct Fingerprint {
 }
 
 fn fingerprint(reply: Reply) -> Fingerprint {
-    let block_reads = reply.block_reads();
-    let (result, rows_out) = match reply {
-        Reply::Scan(r, s) => (r, s.rows_out),
-        Reply::JoinTree(r, s) => (r, s.rows_out),
-        Reply::Wrote(r) => (r, 0),
+    let rows_out = match reply.choice {
+        QueryPlan::Write => 0,
+        _ => reply.stats.rows_out,
     };
     Fingerprint {
-        result,
-        block_reads,
+        block_reads: reply.block_reads(),
+        result: reply.rows,
         rows_out,
     }
 }
@@ -240,7 +236,7 @@ fn interleaved_batches_are_byte_identical_to_serial() {
 fn overlapping_queries_split_cold_reads_exactly() {
     const SQL: &str = "SELECT k, v, w FROM t1 WHERE v < 120";
     let store = build_store();
-    let req = compile(&store, SQL).unwrap().into_request();
+    let req = compile(&store, SQL).unwrap();
 
     let solo = {
         let server = Server::new(
@@ -307,11 +303,11 @@ fn batch_queries_cover_all_three_shapes() {
     let reqs = requests(&store);
     let scans = reqs
         .iter()
-        .filter(|r| matches!(r, Request::Scan(q) if q.aggregate.is_none()))
+        .filter(|r| matches!(r, Request::Select(q) if q.aggregate.is_none()))
         .count();
     let aggs = reqs
         .iter()
-        .filter(|r| matches!(r, Request::Scan(q) if q.aggregate.is_some()))
+        .filter(|r| matches!(r, Request::Select(q) if q.aggregate.is_some()))
         .count();
     let single = reqs
         .iter()

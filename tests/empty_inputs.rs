@@ -1,8 +1,9 @@
 //! Regression battery for the empty-input hardening sweep: 0-row tables,
 //! predicates that select nothing, and empty position-list intermediates
-//! must flow through scan, join, and join-tree execution returning
-//! well-formed empty results — correct schema, zero counters — never a
-//! panic or a malformed fragment.
+//! must flow through scan, join, join-tree, and aggregation-over-tree
+//! execution returning well-formed empty results — correct schema, zero
+//! counters — never a panic or a malformed fragment. Everything routes
+//! through the unified `Database::execute` surface.
 
 use matstrat::common::TableId;
 use matstrat::core::{AggFunc, Strategy};
@@ -28,6 +29,37 @@ fn filled_table(db: &Database, name: &str, n: i64) -> TableId {
     db.load_projection(&spec, &[&k, &v]).unwrap()
 }
 
+/// Run a scan under a pinned strategy through the unified entry point.
+fn run_forced(db: &Database, q: &QuerySpec, s: Strategy) -> Result<QueryOutcome> {
+    db.execute_planned(
+        &Statement::Select(q.clone()),
+        &QueryPlan::forced_scan(s),
+        &db.exec_options(),
+    )
+}
+
+/// Run a one-edge tree under a pinned inner strategy.
+fn run_join_forced(db: &Database, spec: &JoinSpec, inner: InnerStrategy) -> Result<QueryOutcome> {
+    db.execute_planned(
+        &Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()])),
+        &QueryPlan::forced_tree(vec![0], vec![inner]),
+        &db.exec_options(),
+    )
+}
+
+/// Run a multi-edge tree, spec order, one pinned inner strategy per edge.
+fn run_tree_forced(
+    db: &Database,
+    spec: &JoinTreeSpec,
+    inners: &[InnerStrategy],
+) -> Result<QueryOutcome> {
+    db.execute_planned(
+        &Statement::JoinTree(spec.clone()),
+        &QueryPlan::forced_tree((0..spec.edges.len()).collect(), inners.to_vec()),
+        &db.exec_options(),
+    )
+}
+
 #[test]
 fn scan_over_zero_row_table_returns_empty_schema_and_zero_stats() {
     for enc in ENCODINGS {
@@ -36,18 +68,17 @@ fn scan_over_zero_row_table_returns_empty_schema_and_zero_stats() {
         let q = QuerySpec::select(t, vec![0, 1]).filter(0, Predicate::lt(5));
         for s in Strategy::ALL {
             db.store().cold_reset();
-            let got = db.run_with_stats(&q, s);
-            let (r, stats) = match got {
-                Ok(ok) => ok,
+            let out = match run_forced(&db, &q, s) {
+                Ok(out) => out,
                 Err(matstrat::common::Error::Unsupported(_)) => continue,
                 Err(e) => panic!("{s} over empty table ({enc:?}): {e}"),
             };
-            assert_eq!(r.column_names, vec!["k", "v"], "{s} schema survives");
-            assert_eq!(r.num_rows(), 0, "{s}");
-            assert!(r.flat().is_empty(), "{s}");
-            assert_eq!(stats.rows_out, 0, "{s}");
-            assert_eq!(stats.positions_matched, 0, "{s}");
-            assert_eq!(stats.io.block_reads, 0, "{s}: no blocks to read");
+            assert_eq!(out.rows.column_names, vec!["k", "v"], "{s} schema survives");
+            assert_eq!(out.rows.num_rows(), 0, "{s}");
+            assert!(out.rows.flat().is_empty(), "{s}");
+            assert_eq!(out.stats.rows_out, 0, "{s}");
+            assert_eq!(out.stats.positions_matched, 0, "{s}");
+            assert_eq!(out.stats.io.block_reads, 0, "{s}: no blocks to read");
         }
     }
 }
@@ -61,15 +92,14 @@ fn aggregation_over_zero_row_table_yields_zero_groups() {
             .filter(1, Predicate::ge(0))
             .aggregate_fn(0, 1, func);
         for s in Strategy::ALL {
-            let got = db.run_with_stats(&q, s);
-            let (r, stats) = match got {
-                Ok(ok) => ok,
+            let out = match run_forced(&db, &q, s) {
+                Ok(out) => out,
                 Err(matstrat::common::Error::Unsupported(_)) => continue,
                 Err(e) => panic!("{s} {func:?}: {e}"),
             };
-            assert_eq!(r.num_rows(), 0, "{s} {func:?}: no groups");
-            assert_eq!(r.column_names.len(), 2, "{s} {func:?}");
-            assert_eq!(stats.rows_out, 0, "{s} {func:?}");
+            assert_eq!(out.rows.num_rows(), 0, "{s} {func:?}: no groups");
+            assert_eq!(out.rows.column_names.len(), 2, "{s} {func:?}");
+            assert_eq!(out.stats.rows_out, 0, "{s} {func:?}");
         }
     }
 }
@@ -81,15 +111,16 @@ fn predicate_selecting_nothing_returns_well_formed_empty_result() {
     // k is 0..3000; nothing is < 0.
     let q = QuerySpec::select(t, vec![0, 1]).filter(0, Predicate::lt(0));
     for s in Strategy::ALL {
-        let (r, stats) = db.run_with_stats(&q, s).unwrap();
-        assert_eq!(r.column_names, vec!["k", "v"], "{s}");
-        assert_eq!(r.num_rows(), 0, "{s}");
-        assert_eq!(stats.positions_matched, 0, "{s}");
-        assert_eq!(stats.rows_out, 0, "{s}");
+        let out = run_forced(&db, &q, s).unwrap();
+        assert_eq!(out.rows.column_names, vec!["k", "v"], "{s}");
+        assert_eq!(out.rows.num_rows(), 0, "{s}");
+        assert_eq!(out.stats.positions_matched, 0, "{s}");
+        assert_eq!(out.stats.rows_out, 0, "{s}");
     }
     // Same through the planner.
-    let (_, r) = db.run_auto(&q).unwrap();
-    assert_eq!(r.num_rows(), 0);
+    let out = db.execute(&Statement::Select(q)).unwrap();
+    assert_eq!(out.rows.num_rows(), 0);
+    assert!(matches!(out.choice, QueryPlan::Scan(_)));
 }
 
 #[test]
@@ -103,16 +134,20 @@ fn join_with_zero_row_probe_side() {
         left_key: 0,
         right_key: 0,
         left_filter: Some((0, Predicate::lt(10))),
+        right_filter: None,
         left_output: vec![1],
         right_output: vec![1],
     };
     for inner in InnerStrategy::ALL {
-        let r = db.run_join(&spec, inner).unwrap();
+        let r = run_join_forced(&db, &spec, inner).unwrap().rows;
         assert_eq!(r.column_names, vec!["v", "v"], "{inner:?}");
         assert_eq!(r.num_rows(), 0, "{inner:?}");
     }
-    let (_, r) = db.run_join_auto(&spec).unwrap();
-    assert_eq!(r.num_rows(), 0);
+    let out = db
+        .execute(&Statement::JoinTree(JoinTreeSpec::new(vec![spec])))
+        .unwrap();
+    assert_eq!(out.rows.num_rows(), 0);
+    assert!(matches!(out.choice, QueryPlan::Tree(_)));
 }
 
 #[test]
@@ -126,16 +161,19 @@ fn join_with_zero_row_build_side() {
         left_key: 0,
         right_key: 0,
         left_filter: None,
+        right_filter: None,
         left_output: vec![0, 1],
         right_output: vec![1],
     };
     for inner in InnerStrategy::ALL {
-        let r = db.run_join(&spec, inner).unwrap();
+        let r = run_join_forced(&db, &spec, inner).unwrap().rows;
         assert_eq!(r.column_names, vec!["k", "v", "v"], "{inner:?}");
         assert_eq!(r.num_rows(), 0, "{inner:?}: empty build matches nothing");
     }
-    let (_, r) = db.run_join_auto(&spec).unwrap();
-    assert_eq!(r.num_rows(), 0);
+    let out = db
+        .execute(&Statement::JoinTree(JoinTreeSpec::new(vec![spec])))
+        .unwrap();
+    assert_eq!(out.rows.num_rows(), 0);
 }
 
 #[test]
@@ -149,13 +187,52 @@ fn join_filter_selecting_nothing_produces_empty_intermediate() {
         left_key: 0,
         right_key: 0,
         left_filter: Some((0, Predicate::lt(0))), // empty position list
+        right_filter: None,
         left_output: vec![1],
         right_output: vec![1],
     };
     for inner in InnerStrategy::ALL {
-        let r = db.run_join(&spec, inner).unwrap();
+        let r = run_join_forced(&db, &spec, inner).unwrap().rows;
         assert_eq!(r.num_rows(), 0, "{inner:?}");
         assert_eq!(r.column_names, vec!["v", "v"], "{inner:?}");
+    }
+}
+
+/// A dimension predicate that semi-join-reduces the build side to zero
+/// rows: the hash table is empty, so nothing probes through, at every
+/// inner strategy and with zone maps on and off.
+#[test]
+fn semi_join_pushdown_reducing_build_to_zero_rows() {
+    let db = Database::in_memory();
+    let left = filled_table(&db, "l", 500);
+    let right = filled_table(&db, "r", 20);
+    let spec = JoinSpec {
+        left,
+        right,
+        left_key: 0,
+        right_key: 0,
+        left_filter: None,
+        right_filter: Some((1, Predicate::lt(0))), // v = 0..40 by 2; none < 0
+        left_output: vec![1],
+        right_output: vec![1],
+    };
+    for inner in InnerStrategy::ALL {
+        for zone_maps in [true, false] {
+            let opts = ExecOptions {
+                zone_maps,
+                ..db.exec_options()
+            };
+            let r = db
+                .execute_planned(
+                    &Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()])),
+                    &QueryPlan::forced_tree(vec![0], vec![inner]),
+                    &opts,
+                )
+                .unwrap()
+                .rows;
+            assert_eq!(r.num_rows(), 0, "{inner:?} zone_maps={zone_maps}");
+            assert_eq!(r.column_names, vec!["v", "v"], "{inner:?}");
+        }
     }
 }
 
@@ -175,6 +252,7 @@ fn join_tree_with_empty_intermediates_at_every_stage() {
             left_key: 0,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         },
@@ -184,18 +262,19 @@ fn join_tree_with_empty_intermediates_at_every_stage() {
             left_key: 0,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![1],
         },
     ]);
     for inner in InnerStrategy::ALL {
-        let r = db.run_join_tree(&spec, &[inner; 2]).unwrap();
+        let r = run_tree_forced(&db, &spec, &[inner; 2]).unwrap().rows;
         assert_eq!(r.num_rows(), 0, "{inner:?}");
         assert_eq!(r.column_names, vec!["v", "v", "v"], "{inner:?}");
     }
-    let (_, r, stats) = db.run_join_tree_auto(&spec).unwrap();
-    assert_eq!(r.num_rows(), 0);
-    assert_eq!(stats.rows_out, 0);
+    let out = db.execute(&Statement::JoinTree(spec)).unwrap();
+    assert_eq!(out.rows.num_rows(), 0);
+    assert_eq!(out.stats.rows_out, 0);
 
     // A 0-row *base* table: the whole tree is empty from the start.
     let spec = JoinTreeSpec::new(vec![JoinSpec {
@@ -204,11 +283,12 @@ fn join_tree_with_empty_intermediates_at_every_stage() {
         left_key: 0,
         right_key: 0,
         left_filter: Some((0, Predicate::ge(0))),
+        right_filter: None,
         left_output: vec![1],
         right_output: vec![1],
     }]);
     for inner in InnerStrategy::ALL {
-        let r = db.run_join_tree(&spec, &[inner]).unwrap();
+        let r = run_tree_forced(&db, &spec, &[inner]).unwrap().rows;
         assert_eq!(r.num_rows(), 0, "{inner:?}");
     }
 
@@ -221,6 +301,7 @@ fn join_tree_with_empty_intermediates_at_every_stage() {
             left_key: 0,
             right_key: 0,
             left_filter: Some((0, Predicate::lt(0))),
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         },
@@ -230,14 +311,73 @@ fn join_tree_with_empty_intermediates_at_every_stage() {
             left_key: 0,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![1],
         },
     ]);
     for inner in InnerStrategy::ALL {
-        let r = db.run_join_tree(&spec, &[inner; 2]).unwrap();
+        let r = run_tree_forced(&db, &spec, &[inner; 2]).unwrap().rows;
         assert_eq!(r.num_rows(), 0, "{inner:?}");
         assert_eq!(r.column_names.len(), 3, "{inner:?}");
+    }
+}
+
+/// GROUP BY over a join tree whose intermediates empty out: the
+/// aggregation pipeline must produce zero groups (not a zero-filled
+/// group), whatever drained the tree — an empty dimension, a base filter
+/// matching nothing, or a pushed-down dimension predicate matching
+/// nothing.
+#[test]
+fn aggregation_over_empty_join_tree_yields_zero_groups() {
+    let db = Database::in_memory();
+    let base = filled_table(&db, "base", 300);
+    let dim_full = filled_table(&db, "dim_full", 300);
+    let dim_empty = empty_table(&db, "dim_empty", EncodingKind::Plain);
+
+    let edge = |right: TableId,
+                left_filter: Option<(usize, Predicate)>,
+                right_filter: Option<(usize, Predicate)>| JoinSpec {
+        left: base,
+        right,
+        left_key: 0,
+        right_key: 0,
+        left_filter,
+        right_filter,
+        left_output: vec![1],
+        right_output: vec![1],
+    };
+    let cases = [
+        ("empty dimension", edge(dim_empty, None, None)),
+        (
+            "base filter matches nothing",
+            edge(dim_full, Some((0, Predicate::lt(0))), None),
+        ),
+        (
+            "pushed-down dimension predicate matches nothing",
+            edge(dim_full, None, Some((1, Predicate::lt(0)))),
+        ),
+    ];
+    for func in [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max] {
+        for (label, e) in &cases {
+            let tree = JoinTreeSpec::new(vec![e.clone()]).aggregate_fn(0, 1, func);
+            let stmt = Statement::JoinTree(tree);
+            for inner in InnerStrategy::ALL {
+                let out = db
+                    .execute_planned(
+                        &stmt,
+                        &QueryPlan::forced_tree(vec![0], vec![inner]),
+                        &db.exec_options(),
+                    )
+                    .unwrap();
+                assert_eq!(out.rows.num_rows(), 0, "{label} {func:?} {inner:?}");
+                assert_eq!(out.rows.column_names.len(), 2, "{label} {func:?}");
+                assert_eq!(out.stats.rows_out, 0, "{label} {func:?}");
+            }
+            // And through the planner (bushy enumeration included).
+            let out = db.execute(&stmt).unwrap();
+            assert_eq!(out.rows.num_rows(), 0, "{label} {func:?} auto");
+        }
     }
 }
 
@@ -246,9 +386,9 @@ fn planner_survives_zero_row_tables() {
     let db = Database::in_memory();
     let t = empty_table(&db, "empty", EncodingKind::Plain);
     let q = QuerySpec::select(t, vec![0, 1]).filter(0, Predicate::lt(5));
-    let choice = db.plan(&q).unwrap();
-    let r = db.run(&q, choice.strategy).unwrap();
-    assert_eq!(r.num_rows(), 0);
+    let out = db.execute(&Statement::Select(q)).unwrap();
+    assert_eq!(out.rows.num_rows(), 0);
+    assert!(matches!(out.choice, QueryPlan::Scan(_)));
 
     let full = filled_table(&db, "full", 100);
     let spec = JoinSpec {
@@ -257,10 +397,13 @@ fn planner_survives_zero_row_tables() {
         left_key: 0,
         right_key: 0,
         left_filter: None,
+        right_filter: None,
         left_output: vec![1],
         right_output: vec![1],
     };
-    let choice = db.plan_join(&spec).unwrap();
-    let r = db.run_join(&spec, choice.inner).unwrap();
-    assert_eq!(r.num_rows(), 0);
+    let out = db
+        .execute(&Statement::JoinTree(JoinTreeSpec::new(vec![spec])))
+        .unwrap();
+    assert_eq!(out.rows.num_rows(), 0);
+    assert!(matches!(out.choice, QueryPlan::Tree(_)));
 }

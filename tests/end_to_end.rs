@@ -4,6 +4,15 @@
 use matstrat::prelude::*;
 use matstrat::tpch::lineitem::cols;
 
+/// Run a scan under a pinned strategy through the unified entry point.
+fn run_forced(db: &Database, q: &QuerySpec, s: Strategy) -> Result<QueryOutcome> {
+    db.execute_planned(
+        &Statement::Select(q.clone()),
+        &QueryPlan::forced_scan(s),
+        &db.exec_options(),
+    )
+}
+
 fn small_cfg() -> TpchConfig {
     TpchConfig {
         scale: 0.005,
@@ -27,9 +36,9 @@ fn paper_selection_query_all_encodings_agree() {
             .filter(cols::LINENUM, Predicate::lt(7));
         let mut reference: Option<Vec<Vec<Value>>> = None;
         for s in Strategy::ALL {
-            match db.run(&q, s) {
-                Ok(r) => {
-                    let rows = r.sorted_rows();
+            match run_forced(&db, &q, s) {
+                Ok(out) => {
+                    let rows = out.rows.sorted_rows();
                     match &reference {
                         Some(exp) => assert_eq!(exp, &rows, "{enc} {s}"),
                         None => reference = Some(rows),
@@ -63,7 +72,7 @@ fn paper_aggregation_query_matches_direct_computation() {
         .filter(cols::SHIPDATE, Predicate::lt(x))
         .filter(cols::LINENUM, Predicate::lt(7))
         .aggregate_sum(cols::SHIPDATE, cols::LINENUM);
-    let result = db.run(&q, Strategy::LmParallel).unwrap();
+    let result = run_forced(&db, &q, Strategy::LmParallel).unwrap().rows;
 
     use std::collections::BTreeMap;
     let mut expected: BTreeMap<Value, Value> = BTreeMap::new();
@@ -92,7 +101,10 @@ fn reopened_database_returns_identical_results() {
         let table = data.load(&db, "lineitem", EncodingKind::Rle).unwrap();
         let q = QuerySpec::select(table, vec![cols::SHIPDATE, cols::QUANTITY])
             .filter(cols::SHIPDATE, Predicate::lt(x));
-        db.run(&q, Strategy::LmParallel).unwrap().sorted_rows()
+        run_forced(&db, &q, Strategy::LmParallel)
+            .unwrap()
+            .rows
+            .sorted_rows()
     };
     // Fresh process-equivalent: new handle, catalog reloaded from disk.
     let db = Database::open(&dir).unwrap();
@@ -100,7 +112,7 @@ fn reopened_database_returns_identical_results() {
     let q = QuerySpec::select(table, vec![cols::SHIPDATE, cols::QUANTITY])
         .filter(cols::SHIPDATE, Predicate::lt(x));
     for s in Strategy::ALL {
-        let after = db.run(&q, s).unwrap().sorted_rows();
+        let after = run_forced(&db, &q, s).unwrap().rows.sorted_rows();
         assert_eq!(before, after, "{s}");
     }
     std::fs::remove_dir_all(&dir).unwrap();
@@ -120,8 +132,8 @@ fn tiny_buffer_pool_does_not_change_results() {
         let q = QuerySpec::select(table, vec![cols::SHIPDATE, cols::LINENUM, cols::QUANTITY])
             .filter(cols::SHIPDATE, Predicate::lt(x))
             .filter(cols::LINENUM, Predicate::lt(4));
-        let (r, stats) = db.run_with_stats(&q, Strategy::LmParallel).unwrap();
-        (r.sorted_rows(), stats.io.block_reads)
+        let out = run_forced(&db, &q, Strategy::LmParallel).unwrap();
+        (out.rows.sorted_rows(), out.stats.io.block_reads)
     };
     let (big_pool_rows, big_reads) = run_with_pool(100_000);
     let (tiny_pool_rows, tiny_reads) = run_with_pool(2);
@@ -149,12 +161,20 @@ fn join_pipeline_all_inner_strategies() {
             left_key: orders_cols::CUSTKEY,
             right_key: customer_cols::CUSTKEY,
             left_filter: Some((orders_cols::CUSTKEY, Predicate::lt(x))),
+            right_filter: None,
             left_output: vec![orders_cols::SHIPDATE, orders_cols::ORDERDATE],
             right_output: vec![customer_cols::NATIONCODE],
         };
         let mut reference: Option<Vec<Vec<Value>>> = None;
         for inner in InnerStrategy::ALL {
-            let r = db.run_join(&spec, inner).unwrap();
+            let r = db
+                .execute_planned(
+                    &Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()])),
+                    &QueryPlan::forced_tree(vec![0], vec![inner]),
+                    &db.exec_options(),
+                )
+                .unwrap()
+                .rows;
             assert_eq!(r.column_names, vec!["shipdate", "orderdate", "nationcode"]);
             let rows = r.sorted_rows();
             match &reference {
@@ -184,9 +204,9 @@ fn lm_pipelined_block_skipping_is_observable() {
         .filter(cols::LINENUM, Predicate::lt(7));
 
     db.store().cold_reset();
-    let (_, lm) = db.run_with_stats(&q, Strategy::LmPipelined).unwrap();
+    let lm = run_forced(&db, &q, Strategy::LmPipelined).unwrap().stats;
     db.store().cold_reset();
-    let (_, em) = db.run_with_stats(&q, Strategy::EmParallel).unwrap();
+    let em = run_forced(&db, &q, Strategy::EmParallel).unwrap().stats;
     assert!(
         lm.io.block_reads < em.io.block_reads,
         "LM-pipelined should skip LINENUM blocks: {} vs {}",
@@ -212,15 +232,18 @@ fn planner_choice_is_competitive() {
         let q = QuerySpec::select(table, vec![cols::SHIPDATE, cols::LINENUM])
             .filter(cols::SHIPDATE, Predicate::lt(x))
             .filter(cols::LINENUM, Predicate::lt(7));
-        let choice = db.plan(&q).unwrap();
+        let choice = match db.plan(&Statement::Select(q.clone())).unwrap() {
+            QueryPlan::Scan(c) => c,
+            _ => unreachable!("a select plans as a scan"),
+        };
         // Measure every strategy (median of 3 runs, warm).
         let mut best = f64::INFINITY;
         let mut chosen = f64::INFINITY;
         for s in Strategy::ALL {
             let mut times = Vec::new();
             for _ in 0..3 {
-                if let Ok((_, stats)) = db.run_with_stats(&q, s) {
-                    times.push(stats.wall.as_secs_f64());
+                if let Ok(out) = run_forced(&db, &q, s) {
+                    times.push(out.stats.wall.as_secs_f64());
                 }
             }
             if times.is_empty() {

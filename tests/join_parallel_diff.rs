@@ -69,6 +69,7 @@ fn load(
         left_key: 0,
         right_key: 0,
         left_filter: filter_cutoff.map(|x| (0, Predicate::lt(x))),
+        right_filter: None,
         left_output: vec![0, 1],
         right_output: vec![1],
     };
@@ -90,8 +91,12 @@ fn cold_run(
         parallelism: threads,
         ..ExecOptions::default()
     };
-    let r = match f.db.run_join_with_options(&f.spec, inner, &opts) {
-        Ok(r) => r,
+    let r = match f.db.execute_planned(
+        &Statement::JoinTree(JoinTreeSpec::new(vec![f.spec.clone()])),
+        &QueryPlan::forced_tree(vec![0], vec![inner]),
+        &opts,
+    ) {
+        Ok(out) => out.rows,
         Err(e) => panic!("{inner:?} threads={threads}: {e}"),
     };
     let reads = f.db.store().meter().snapshot().block_reads;
@@ -168,13 +173,20 @@ fn duplicate_right_keys_fan_out_identically() {
 
 /// The database-level knob (`set_parallelism`) drives the same path as
 /// explicit options, and the planner's join pick runs correctly through
-/// `run_join_auto` at any worker count.
+/// `execute` at any worker count.
 #[test]
 fn database_knob_and_auto_plan_agree() {
     let left: Vec<(Value, Value)> = (0..4000).map(|i| (i % 100, i)).collect();
     let right: Vec<(Value, Value)> = (0..100).map(|k| (k, k + 7)).collect();
     let f = load(EncodingKind::Plain, &left, &right, Some(60));
-    let serial = f.db.run_join(&f.spec, InnerStrategy::Materialized).unwrap();
+    let serial =
+        f.db.execute_planned(
+            &Statement::JoinTree(JoinTreeSpec::new(vec![f.spec.clone()])),
+            &QueryPlan::forced_tree(vec![0], vec![InnerStrategy::Materialized]),
+            &f.db.exec_options(),
+        )
+        .unwrap()
+        .rows;
 
     let mut db2 = Database::in_memory();
     // Rebuild the same tables on a fresh db with a different worker knob.
@@ -204,19 +216,30 @@ fn database_knob_and_auto_plan_agree() {
         left_key: 0,
         right_key: 0,
         left_filter: Some((0, Predicate::lt(60))),
+        right_filter: None,
         left_output: vec![0, 1],
         right_output: vec![1],
     };
     db2.set_parallelism(8);
+    let stmt = Statement::JoinTree(JoinTreeSpec::new(vec![spec]));
     assert_eq!(
-        db2.run_join(&spec, InnerStrategy::Materialized)
-            .unwrap()
-            .flat(),
+        db2.execute_planned(
+            &stmt,
+            &QueryPlan::forced_tree(vec![0], vec![InnerStrategy::Materialized]),
+            &db2.exec_options(),
+        )
+        .unwrap()
+        .rows
+        .flat(),
         serial.flat(),
         "set_parallelism(8) is byte-identical"
     );
-    let (choice, result) = db2.run_join_auto(&spec).unwrap();
-    assert_eq!(choice.alternatives.len(), 3);
+    let out = db2.execute(&stmt).unwrap();
+    let choice = match &out.choice {
+        QueryPlan::Tree(c) => c,
+        other => panic!("a join tree plans as a tree, got {other:?}"),
+    };
+    assert_eq!(choice.edge_alternatives[0].len(), 3);
     assert!(choice.estimate.total_us() > 0.0);
-    assert_eq!(result.sorted_rows(), serial.sorted_rows());
+    assert_eq!(out.rows.sorted_rows(), serial.sorted_rows());
 }

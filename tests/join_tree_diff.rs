@@ -5,7 +5,7 @@
 //! battery proves the shortcut is **invisible**: for every per-edge
 //! inner strategy, right-payload encoding, worker count, and tree shape,
 //! the tree's `QueryResult` is **byte-identical** — row order included —
-//! to the serial composition of single `run_join` calls that
+//! to the serial composition of single one-edge joins that
 //! materializes each intermediate into a scratch projection and joins
 //! again. On top of the byte contract, cold `block_reads` are exact: a
 //! fixed plan reads the same number of blocks at any thread count (the
@@ -27,7 +27,9 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use matstrat::common::{TableId, Value};
-use matstrat::core::{ExecOptions, InnerStrategy, JoinSpec, JoinTreePlan, JoinTreeSpec};
+use matstrat::core::{
+    hash_join_tree_with_options, ExecOptions, InnerStrategy, JoinSpec, JoinTreePlan, JoinTreeSpec,
+};
 use matstrat::prelude::*;
 use proptest::prelude::*;
 
@@ -84,7 +86,7 @@ fn fixture(tables: &[TableData], edges: Vec<JoinSpec>) -> Fixture {
 
 static SCRATCH: AtomicUsize = AtomicUsize::new(0);
 
-/// The oracle: execute the tree as N single `run_join` calls in spec
+/// The oracle: execute the tree as N single one-edge joins in spec
 /// order, materializing each intermediate into a scratch projection
 /// (every column carried, Plain encoding), then project the tree's
 /// output columns. Row order is the nested-loop order of the spec —
@@ -121,10 +123,18 @@ fn compose_oracle(f: &Fixture, inners: &[InnerStrategy]) -> Vec<Value> {
             left_key,
             right_key: edge.right_key,
             left_filter,
+            right_filter: None,
             left_output: (0..left_width).collect(),
             right_output: (0..right_width).collect(),
         };
-        let res = db.run_join(&jspec, inners[k]).unwrap();
+        let res = db
+            .execute_planned(
+                &Statement::JoinTree(JoinTreeSpec::new(vec![jspec])),
+                &QueryPlan::forced_tree(vec![0], vec![inners[k]]),
+                &db.exec_options(),
+            )
+            .unwrap()
+            .rows;
         edge_offsets.push(carried.len());
         carried.extend((0..right_width).map(|c| (edge.right, c)));
         let width = carried.len();
@@ -180,7 +190,7 @@ fn cold_tree_run(
         parallelism: threads,
         ..ExecOptions::default()
     };
-    let (r, _) = match f.db.run_join_tree_with_options(&f.spec, plan, &opts) {
+    let (r, _) = match hash_join_tree_with_options(f.db.store(), &f.spec, plan, &opts) {
         Ok(r) => r,
         Err(e) => panic!("threads={threads}: {e}"),
     };
@@ -291,6 +301,7 @@ fn star2(
                 left_key: 0,
                 right_key: 0,
                 left_filter: cutoff.map(|x| (0, Predicate::lt(x))),
+                right_filter: None,
                 left_output: vec![2],
                 right_output: vec![1],
             },
@@ -300,6 +311,7 @@ fn star2(
                 left_key: 1,
                 right_key: 0,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![],
                 right_output: vec![1],
             },
@@ -351,6 +363,7 @@ fn snowflake3(
         left_key: 1,
         right_key: 0,
         left_filter: None,
+        right_filter: None,
         left_output: vec![],
         right_output: vec![1],
     });
@@ -448,7 +461,10 @@ proptest! {
 fn planner_pick_never_priced_above_rejections() {
     let orders = dense_orders(5000);
     let f = snowflake3(EncodingKind::Plain, &orders, Some(13));
-    let choice = f.db.plan_join_tree(&f.spec).unwrap();
+    let choice = match f.db.plan(&Statement::JoinTree(f.spec.clone())).unwrap() {
+        QueryPlan::Tree(c) => c,
+        other => panic!("a join tree plans as a tree, got {other:?}"),
+    };
     let chosen_total = choice.estimate.total_us();
     for (order, total) in &choice.candidates {
         assert!(
@@ -468,12 +484,22 @@ fn planner_pick_never_priced_above_rejections() {
     }
     // The chosen plan executes and agrees with the spec-order run on
     // the row set (order may legitimately differ across plans).
-    let (choice2, result, stats) = f.db.run_join_tree_auto(&f.spec).unwrap();
-    assert_eq!(choice2.order, choice.order);
-    assert_eq!(stats.rows_out, result.num_rows() as u64);
-    let spec_order = f.db.run_join_tree(&f.spec, &choice.inners).unwrap();
-    assert_eq!(result.sorted_rows(), spec_order.sorted_rows());
-    assert_eq!(result.column_names, spec_order.column_names);
+    let out = f.db.execute(&Statement::JoinTree(f.spec.clone())).unwrap();
+    match &out.choice {
+        QueryPlan::Tree(c2) => assert_eq!(c2.order, choice.order),
+        other => panic!("a join tree plans as a tree, got {other:?}"),
+    }
+    assert_eq!(out.stats.rows_out, out.rows.num_rows() as u64);
+    let spec_order =
+        f.db.execute_planned(
+            &Statement::JoinTree(f.spec.clone()),
+            &QueryPlan::forced_tree((0..f.spec.edges.len()).collect(), choice.inners.clone()),
+            &f.db.exec_options(),
+        )
+        .unwrap()
+        .rows;
+    assert_eq!(out.rows.sorted_rows(), spec_order.sorted_rows());
+    assert_eq!(out.rows.column_names, spec_order.column_names);
 }
 
 /// Satellite: the single-edge tree delegates to `choose_join` — the two
@@ -483,17 +509,34 @@ fn single_edge_tree_auto_equals_choose_join() {
     let orders = dense_orders(4000);
     let f = star2(EncodingKind::Plain, &orders, Some(9));
     let one = JoinTreeSpec::new(vec![f.spec.edges[0].clone()]);
-    let join_choice = f.db.plan_join(&one.edges[0]).unwrap();
-    let tree_choice = f.db.plan_join_tree(&one).unwrap();
+    let join_choice =
+        f.db.planner()
+            .choose_join(f.db.store(), &one.edges[0])
+            .unwrap();
+    let tree_choice = match f.db.plan(&Statement::JoinTree(one.clone())).unwrap() {
+        QueryPlan::Tree(c) => c,
+        other => panic!("a join tree plans as a tree, got {other:?}"),
+    };
     assert_eq!(tree_choice.inners, vec![join_choice.inner]);
     assert_eq!(tree_choice.order, vec![0]);
     assert!(
         (tree_choice.estimate.total_us() - join_choice.estimate.total_us()).abs() < 1e-12,
         "delegated estimate must be choose_join's"
     );
-    // And the executed single-edge tree is byte-identical to run_join.
-    let (_, tree_result, _) = f.db.run_join_tree_auto(&one).unwrap();
-    let single_result = f.db.run_join(&one.edges[0], join_choice.inner).unwrap();
+    // And the executed single-edge tree is byte-identical to a forced
+    // single join under the same inner strategy.
+    let tree_result =
+        f.db.execute(&Statement::JoinTree(one.clone()))
+            .unwrap()
+            .rows;
+    let single_result =
+        f.db.execute_planned(
+            &Statement::JoinTree(one),
+            &QueryPlan::forced_tree(vec![0], vec![join_choice.inner]),
+            &f.db.exec_options(),
+        )
+        .unwrap()
+        .rows;
     assert_eq!(tree_result.flat(), single_result.flat());
 }
 
@@ -549,6 +592,7 @@ fn build_reuse_runs_partitioned_build_once() {
                 left_key: 0,
                 right_key: 0,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![0, 1],
                 right_output: vec![1],
             },
@@ -558,6 +602,7 @@ fn build_reuse_runs_partitioned_build_once() {
                 left_key: 1,
                 right_key: 0,
                 left_filter: None,
+                right_filter: None,
                 left_output: vec![],
                 right_output: vec![1],
             },
@@ -581,18 +626,14 @@ fn build_reuse_runs_partitioned_build_once() {
             ..ExecOptions::default()
         };
         f.db.store().cold_reset();
-        let (r1, s1) =
-            f.db.run_join_tree_with_options(&spec, &reuse, &opts)
-                .unwrap();
+        let (r1, s1) = hash_join_tree_with_options(f.db.store(), &spec, &reuse, &opts).unwrap();
         let reads_reuse = f.db.store().meter().snapshot().block_reads;
         assert_eq!(s1.builds, 1, "threads={threads}: one partitioned build");
         assert_eq!(s1.build_reuses, 1, "threads={threads}: second edge reuses");
         assert_eq!(s1.io.block_reads, reads_reuse);
 
         f.db.store().cold_reset();
-        let (r2, s2) =
-            f.db.run_join_tree_with_options(&spec, &rebuild, &opts)
-                .unwrap();
+        let (r2, s2) = hash_join_tree_with_options(f.db.store(), &spec, &rebuild, &opts).unwrap();
         assert_eq!(s2.builds, 2, "threads={threads}: rebuild per edge");
         assert_eq!(s2.build_reuses, 0);
         assert_eq!(

@@ -68,8 +68,12 @@ fn cold_run(
         parallelism: threads,
         ..ExecOptions::default()
     };
-    match db.run_with_options(q, s, &opts) {
-        Ok((r, stats)) => {
+    match db.execute_planned(
+        &Statement::Select(q.clone()),
+        &QueryPlan::forced_scan(s),
+        &opts,
+    ) {
+        Ok(QueryOutcome { rows: r, stats, .. }) => {
             if threads == 1 {
                 // The steal counter is scheduling, not semantics, so it
                 // is not part of the differential tuple — but a serial

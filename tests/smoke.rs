@@ -54,9 +54,13 @@ fn all_strategies_match_oracle_on_lineitem() {
         let expected = oracle.run(&q).unwrap().sorted_rows();
         assert!(!expected.is_empty(), "smoke query must select something");
         for s in Strategy::ALL {
-            match db.run(&q, s) {
-                Ok(r) => assert_eq!(
-                    r.sorted_rows(),
+            match db.execute_planned(
+                &Statement::Select(q.clone()),
+                &QueryPlan::forced_scan(s),
+                &db.exec_options(),
+            ) {
+                Ok(out) => assert_eq!(
+                    out.rows.sorted_rows(),
                     expected,
                     "{s} disagrees with the oracle on {enc:?} LINENUM"
                 ),
@@ -99,8 +103,16 @@ fn aggregation_matches_oracle_on_lineitem() {
             .aggregate_sum(cols::RETURNFLAG, cols::QUANTITY);
         let expected = oracle.run(&q).unwrap().sorted_rows();
         for s in Strategy::ALL {
-            match db.run(&q, s) {
-                Ok(r) => assert_eq!(r.sorted_rows(), expected, "{s} aggregation on {enc:?}"),
+            match db.execute_planned(
+                &Statement::Select(q.clone()),
+                &QueryPlan::forced_scan(s),
+                &db.exec_options(),
+            ) {
+                Ok(out) => assert_eq!(
+                    out.rows.sorted_rows(),
+                    expected,
+                    "{s} aggregation on {enc:?}"
+                ),
                 Err(Error::Unsupported(_))
                     if s == Strategy::LmPipelined && enc == EncodingKind::BitVec => {}
                 Err(e) => panic!("{s} aggregation on {enc:?} failed: {e}"),

@@ -23,9 +23,20 @@ fn load_lineitem(db: &Database) -> (matstrat::tpch::LineitemData, matstrat::comm
     (data, table)
 }
 
+fn forced(db: &Database, q: &QuerySpec, s: Strategy) -> (QueryResult, ExecStats) {
+    let out = db
+        .execute_planned(
+            &Statement::Select(q.clone()),
+            &QueryPlan::forced_scan(s),
+            &db.exec_options(),
+        )
+        .unwrap();
+    (out.rows, out.stats)
+}
+
 fn cold_run(db: &Database, q: &QuerySpec, s: Strategy) -> ExecStats {
     db.store().cold_reset();
-    let (result, stats) = db.run_with_stats(q, s).unwrap();
+    let (result, stats) = forced(db, q, s);
     assert_eq!(
         result.num_rows() as u64,
         stats.rows_out,
@@ -72,7 +83,7 @@ fn exec_stats_fields_are_plumbed() {
 
     for s in Strategy::ALL {
         let stats = cold_run(&db, &q, s);
-        assert_eq!(stats.strategy, s);
+        assert_eq!(stats.strategy, Some(s));
         assert_eq!(
             stats.positions_matched, expected_matches,
             "{s}: positions_matched must count predicate survivors"
@@ -108,7 +119,7 @@ fn warm_pool_eliminates_block_reads() {
 
     let cold = cold_run(&db, &q, Strategy::LmParallel);
     // Second run without a reset: everything is already pooled.
-    let (_, warm) = db.run_with_stats(&q, Strategy::LmParallel).unwrap();
+    let (_, warm) = forced(&db, &q, Strategy::LmParallel);
     assert!(cold.io.block_reads > 0);
     assert_eq!(
         warm.io.block_reads, 0,

@@ -62,8 +62,14 @@ fn cold_run(db: &Database, q: &QuerySpec, s: Strategy, threads: usize) -> (Query
         parallelism: threads,
         ..ExecOptions::default()
     };
-    db.run_with_options(q, s, &opts)
-        .unwrap_or_else(|e| panic!("{s} threads={threads}: {e}"))
+    let out = db
+        .execute_planned(
+            &Statement::Select(q.clone()),
+            &QueryPlan::forced_scan(s),
+            &opts,
+        )
+        .unwrap_or_else(|e| panic!("{s} threads={threads}: {e}"));
+    (out.rows, out.stats)
 }
 
 /// The determinism half: byte-identical results and exact deterministic

@@ -27,7 +27,9 @@ use std::sync::{Arc, Barrier};
 
 use matstrat::common::TableId;
 use matstrat::core::rowstore::RowTable;
-use matstrat::core::{delete_where, AggFunc, InnerStrategy, JoinTreePlan};
+use matstrat::core::{
+    delete_where, hash_join_tree_with_options, AggFunc, InnerStrategy, JoinTreePlan,
+};
 use matstrat::prelude::*;
 use matstrat::storage::{Disk, MemDisk, Store};
 
@@ -88,6 +90,16 @@ impl Shadow {
 /// Cold-run a query and return the deterministic tuple (`None` for an
 /// unsupported combination, which must be unsupported at every thread
 /// count).
+fn forced(db: &Database, q: &QuerySpec, s: Strategy) -> Result<QueryResult> {
+    Ok(db
+        .execute_planned(
+            &Statement::Select(q.clone()),
+            &QueryPlan::forced_scan(s),
+            &db.exec_options(),
+        )?
+        .rows)
+}
+
 fn cold_run(
     db: &Database,
     q: &QuerySpec,
@@ -100,12 +112,16 @@ fn cold_run(
         parallelism: threads,
         ..ExecOptions::default()
     };
-    match db.run_with_options(q, s, &opts) {
-        Ok((r, stats)) => Some((
-            r.flat().to_vec(),
-            stats.positions_matched,
-            stats.rows_out,
-            stats.io.block_reads,
+    match db.execute_planned(
+        &Statement::Select(q.clone()),
+        &QueryPlan::forced_scan(s),
+        &opts,
+    ) {
+        Ok(out) => Some((
+            out.rows.flat().to_vec(),
+            out.stats.positions_matched,
+            out.stats.rows_out,
+            out.stats.io.block_reads,
         )),
         Err(Error::Unsupported(_)) => None,
         Err(e) => panic!("{s} threads={threads}: {e}"),
@@ -274,7 +290,10 @@ fn scripted_store() -> (Store, TableId, Vec<Vec<Value>>, Vec<Rec>) {
 fn scan_all(store: &Store, t: TableId) -> Vec<Value> {
     let db = Database::with_store(store.clone());
     let q = QuerySpec::select(t, vec![0, 1, 2]);
-    db.run(&q, Strategy::LmParallel).unwrap().flat().to_vec()
+    forced(&db, &q, Strategy::LmParallel)
+        .unwrap()
+        .flat()
+        .to_vec()
 }
 
 fn shadow_after(base: &[Vec<Value>], records: &[Rec]) -> Shadow {
@@ -439,7 +458,7 @@ fn queries_racing_compaction_stay_byte_identical() {
     let want = flat_live(&shadow_after(&base, &records));
     let db = Database::with_store(store.clone());
     let q = QuerySpec::select(t, vec![0, 1, 2]);
-    assert_eq!(db.run(&q, Strategy::EmParallel).unwrap().flat(), want);
+    assert_eq!(forced(&db, &q, Strategy::EmParallel).unwrap().flat(), want);
 
     // Query threads hammer the scan while the main thread compacts; no
     // iteration may observe anything but the logical bytes.
@@ -453,7 +472,7 @@ fn queries_racing_compaction_stay_byte_identical() {
                 start.wait();
                 let mut seen = 0u32;
                 while !done.load(Ordering::Relaxed) || seen < 3 {
-                    let got = db.run(q, Strategy::LmPipelined).unwrap();
+                    let got = forced(&db, q, Strategy::LmPipelined).unwrap();
                     assert_eq!(got.flat(), want, "worker {w}: racing compaction");
                     seen += 1;
                 }
@@ -468,7 +487,7 @@ fn queries_racing_compaction_stay_byte_identical() {
     let (info, delta) = store.scan_snapshot(t).unwrap();
     assert!(delta.is_none(), "compaction folded the delta");
     assert_eq!(info.num_rows as usize, want.len() / 3);
-    assert_eq!(db.run(&q, Strategy::EmParallel).unwrap().flat(), want);
+    assert_eq!(forced(&db, &q, Strategy::EmParallel).unwrap().flat(), want);
     assert_eq!(store.disk().len(&format!("wal_t{}.log", t.0)).unwrap(), 0);
 
     // A reopened store agrees (pure immutable blocks now).
@@ -540,13 +559,13 @@ fn writes_racing_the_background_compactor_stay_exact() {
         shadow.delete(pos as u64);
 
         let want: Vec<Value> = flat_live(&shadow);
-        let got = db.run(&q, Strategy::LmParallel).unwrap();
+        let got = forced(&db, &q, Strategy::LmParallel).unwrap();
         assert_eq!(got.flat(), want, "round {round}: racing the compactor");
     }
     compactor.stop();
     db.compact_all().unwrap();
     assert_eq!(
-        db.run(&q, Strategy::EmPipelined).unwrap().flat(),
+        forced(&db, &q, Strategy::EmPipelined).unwrap().flat(),
         flat_live(&shadow),
         "post-quiesce"
     );
@@ -642,6 +661,7 @@ fn joins_merge_deltas_on_both_sides() {
         left_key: 0,
         right_key: 0,
         left_filter: Some((1, filter)),
+        right_filter: None,
         left_output: vec![1],
         right_output: vec![1, 2],
     };
@@ -656,7 +676,14 @@ fn joins_merge_deltas_on_both_sides() {
                 parallelism: threads,
                 ..ExecOptions::default()
             };
-            let got = db.run_join_with_options(&spec, inner, &opts).unwrap();
+            let got = db
+                .execute_planned(
+                    &Statement::JoinTree(JoinTreeSpec::new(vec![spec.clone()])),
+                    &QueryPlan::forced_tree(vec![0], vec![inner]),
+                    &opts,
+                )
+                .unwrap()
+                .rows;
             let mut rows: Vec<Vec<Value>> = got.rows().map(|r| r.to_vec()).collect();
             rows.sort_unstable();
             assert_eq!(rows, want_sorted, "{inner:?} threads={threads}");
@@ -672,6 +699,7 @@ fn joins_merge_deltas_on_both_sides() {
             left_key: 0,
             right_key: 0,
             left_filter: Some((1, filter)),
+            right_filter: None,
             left_output: vec![1],
             right_output: vec![1],
         },
@@ -681,6 +709,7 @@ fn joins_merge_deltas_on_both_sides() {
             left_key: 2,
             right_key: 0,
             left_filter: None,
+            right_filter: None,
             left_output: vec![],
             right_output: vec![1],
         },
@@ -707,16 +736,16 @@ fn joins_merge_deltas_on_both_sides() {
             parallelism: threads,
             ..ExecOptions::default()
         };
-        let (got, _) = db
-            .run_join_tree_with_options(
-                &tree,
-                &JoinTreePlan::in_spec_order(vec![
-                    InnerStrategy::MultiColumn,
-                    InnerStrategy::Materialized,
-                ]),
-                &opts,
-            )
-            .unwrap();
+        let (got, _) = hash_join_tree_with_options(
+            db.store(),
+            &tree,
+            &JoinTreePlan::in_spec_order(vec![
+                InnerStrategy::MultiColumn,
+                InnerStrategy::Materialized,
+            ]),
+            &opts,
+        )
+        .unwrap();
         let mut rows: Vec<Vec<Value>> = got.rows().map(|r| r.to_vec()).collect();
         rows.sort_unstable();
         assert_eq!(rows, tree_want, "tree threads={threads}");
@@ -724,7 +753,14 @@ fn joins_merge_deltas_on_both_sides() {
 
     // And the whole thing holds after both tables fold their deltas.
     assert_eq!(db.compact_all().unwrap(), 2);
-    let got = db.run_join(&spec, InnerStrategy::MultiColumn).unwrap();
+    let got = db
+        .execute_planned(
+            &Statement::JoinTree(JoinTreeSpec::new(vec![spec])),
+            &QueryPlan::forced_tree(vec![0], vec![InnerStrategy::MultiColumn]),
+            &db.exec_options(),
+        )
+        .unwrap()
+        .rows;
     let mut rows: Vec<Vec<Value>> = got.rows().map(|r| r.to_vec()).collect();
     rows.sort_unstable();
     assert_eq!(rows, want_sorted, "post-compaction join");
@@ -750,7 +786,7 @@ fn insert_and_delete_statements_execute_through_a_session() {
     let session = server.connect();
 
     let run = |sql: &str| {
-        let req = compile(&store, sql).unwrap().into_request();
+        let req = compile(&store, sql).unwrap();
         session.run(&req).unwrap()
     };
     let wrote = run("INSERT INTO t VALUES (100, 1), (101, 2), (102, 3)");
