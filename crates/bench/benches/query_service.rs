@@ -7,13 +7,22 @@
 //! query cost. Results are byte-identical across the row — the
 //! concurrency battery (`tests/concurrent_diff.rs`) pins that; this
 //! bench only times it.
+//!
+//! The `net_service` group runs the *same* batch through the TCP
+//! frontend (loopback sockets, one `Client` per thread): the delta
+//! against `query_service` at the same client count is the whole wire
+//! stack — framing, compile-per-request, response rendering, and two
+//! socket hops. `tests/net_diff.rs` pins that this path is
+//! byte-identical; this bench prices it.
 
 use std::sync::Arc;
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use matstrat_client::Client;
 use matstrat_common::Value;
 use matstrat_core::{Request, Server, ServerConfig};
 use matstrat_lang::compile;
+use matstrat_net::{NetConfig, NetServer};
 use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder, Store};
 
 const ROWS: i64 = 100_000;
@@ -58,22 +67,25 @@ fn bench_compile(c: &mut Criterion) {
     g.finish();
 }
 
+/// The mixed batch both transport arms share.
+const BATCH_SQL: [&str; 8] = [
+    SCAN_SQL,
+    "SELECT g, SUM(v) FROM fact WHERE v > 10 GROUP BY g",
+    "SELECT v, k FROM fact WHERE k BETWEEN 10000 AND 60000",
+    JOIN_SQL,
+    "SELECT g, COUNT(v) FROM fact GROUP BY g",
+    "SELECT fact.v, dim.x FROM fact JOIN dim ON fact.fk = dim.dk",
+    "SELECT k, v, g FROM fact WHERE v = 7",
+    "SELECT g, MAX(v) FROM fact WHERE g < 20 GROUP BY g",
+];
+
 /// One mixed batch through N concurrent sessions, warm pool.
 fn bench_service(c: &mut Criterion) {
     let store = build_store();
-    let batch: Vec<Request> = [
-        SCAN_SQL,
-        "SELECT g, SUM(v) FROM fact WHERE v > 10 GROUP BY g",
-        "SELECT v, k FROM fact WHERE k BETWEEN 10000 AND 60000",
-        JOIN_SQL,
-        "SELECT g, COUNT(v) FROM fact GROUP BY g",
-        "SELECT fact.v, dim.x FROM fact JOIN dim ON fact.fk = dim.dk",
-        "SELECT k, v, g FROM fact WHERE v = 7",
-        "SELECT g, MAX(v) FROM fact WHERE g < 20 GROUP BY g",
-    ]
-    .iter()
-    .map(|sql| compile(&store, sql).unwrap())
-    .collect();
+    let batch: Vec<Request> = BATCH_SQL
+        .iter()
+        .map(|sql| compile(&store, sql).unwrap())
+        .collect();
     let batch = Arc::new(batch);
 
     let mut g = c.benchmark_group("query_service");
@@ -114,5 +126,61 @@ fn bench_service(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_compile, bench_service);
+/// The same batch over loopback TCP: one persistent `Client` per
+/// thread, statements as text, responses fully drained. Compare with
+/// `query_service` at the same client count to price the wire stack.
+fn bench_net(c: &mut Criterion) {
+    let store = build_store();
+    let mut g = c.benchmark_group("net_service");
+    for clients in [1usize, 2, 4, 8] {
+        let service = Server::new(
+            store.clone(),
+            ServerConfig {
+                max_concurrent: clients,
+                worker_budget: clients.max(2),
+            },
+        );
+        // Warm the pool so the matrix times transport, not I/O.
+        let warm = service.connect();
+        for sql in BATCH_SQL {
+            warm.run(&compile(&store, sql).unwrap()).unwrap();
+        }
+        let net = NetServer::serve(
+            "127.0.0.1:0",
+            Arc::clone(&service),
+            NetConfig {
+                max_conns: clients,
+                ..NetConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = net.local_addr();
+        g.bench_with_input(
+            BenchmarkId::new("clients", clients),
+            &clients,
+            |b, &clients| {
+                // Connections persist across iterations — the bench
+                // prices per-statement wire cost, not TCP handshakes.
+                let mut conns: Vec<Client> = (0..clients)
+                    .map(|_| Client::connect(addr).unwrap())
+                    .collect();
+                b.iter(|| {
+                    std::thread::scope(|scope| {
+                        for (t, client) in conns.iter_mut().enumerate() {
+                            scope.spawn(move || {
+                                for sql in BATCH_SQL.iter().skip(t).step_by(clients) {
+                                    black_box(client.query(sql).unwrap());
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+        net.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile, bench_service, bench_net);
 criterion_main!(benches);

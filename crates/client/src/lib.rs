@@ -1,0 +1,195 @@
+//! matstrat-client: the thin client half of the wire protocol.
+//!
+//! A [`Client`] wraps one `TcpStream`, sends one dialect statement per
+//! line, and parses the newline-framed response
+//! (`matstrat_net::protocol`) into a [`Response`]: either [`Rows`]
+//! (columns, row data, and the `OK` trailer's deterministic
+//! measurements) or [`WireError`] (the server's rendered error,
+//! caret snippet and all, verbatim).
+//!
+//! Every parsed response also keeps its **raw bytes** exactly as they
+//! came off the socket — `tests/net_diff.rs` compares those bytes to a
+//! locally rendered serial oracle, so "byte-identical over the wire"
+//! is literal, not a paraphrase.
+//!
+//! The client is deliberately dumb: no pooling, no retries, no
+//! pipelining. It exists for tests, benches, and `matstrat serve
+//! --self-check`; a real application would wrap its own transport
+//! around the protocol module.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use matstrat_net::protocol;
+
+/// A successful response: header, rows, and the `OK` trailer fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rows {
+    /// Column names from the header line.
+    pub columns: Vec<String>,
+    /// Row-major values, `columns.len()` per row.
+    pub data: Vec<i64>,
+    /// The trailer's `rows_out` (rows affected, for writes).
+    pub rows_out: u64,
+    /// The trailer's `reads=` — this query's own cold block reads.
+    pub block_reads: u64,
+    /// The response exactly as it crossed the wire.
+    pub raw: Vec<u8>,
+}
+
+impl Rows {
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.data.len().checked_div(self.columns.len()).unwrap_or(0)
+    }
+}
+
+/// An `ERR` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// The server's message, newline-joined, exactly as rendered on
+    /// the far side (for a compile failure: the three-line caret
+    /// snippet).
+    pub message: String,
+    /// The response exactly as it crossed the wire.
+    pub raw: Vec<u8>,
+}
+
+/// One response off the socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// `ROWS …` — the statement executed.
+    Rows(Rows),
+    /// `ERR …` — the statement was rejected (connection stays open).
+    Err(WireError),
+}
+
+impl Response {
+    /// The raw bytes of the response, whichever shape it took.
+    pub fn raw(&self) -> &[u8] {
+        match self {
+            Response::Rows(r) => &r.raw,
+            Response::Err(e) => &e.raw,
+        }
+    }
+
+    /// The rows, or panic with the server's error — test ergonomics.
+    pub fn expect_rows(self, context: &str) -> Rows {
+        match self {
+            Response::Rows(r) => r,
+            Response::Err(e) => panic!("{context}: server said\n{}", e.message),
+        }
+    }
+}
+
+/// One protocol connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a running `NetServer`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let stream = TcpStream::connect(&addrs[..])?;
+        Client::from_stream(stream)
+    }
+
+    /// Wrap an already-connected stream.
+    pub fn from_stream(stream: TcpStream) -> io::Result<Client> {
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Bound how long [`Client::query`] may wait on the server.
+    pub fn set_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)?;
+        self.writer.set_write_timeout(timeout)
+    }
+
+    /// Send one statement (the newline is added here; `sql` itself
+    /// must be a single line) and read its response.
+    pub fn query(&mut self, sql: &str) -> io::Result<Response> {
+        debug_assert!(!sql.contains('\n'), "the protocol is newline-framed");
+        self.writer.write_all(sql.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.read_response()
+    }
+
+    /// Read one response off the socket (after a raw `send` by other
+    /// means, or to drain a pipelined burst).
+    pub fn read_response(&mut self) -> io::Result<Response> {
+        let mut raw = Vec::new();
+        let status = self.line(&mut raw)?;
+        if let Some(nlines) = protocol::parse_err_status(&status) {
+            let mut lines = Vec::with_capacity(nlines);
+            for _ in 0..nlines {
+                lines.push(self.line(&mut raw)?);
+            }
+            return Ok(Response::Err(WireError {
+                message: lines.join("\n"),
+                raw,
+            }));
+        }
+        let Some(ncols) = protocol::parse_rows_status(&status) else {
+            return Err(malformed(format!("unexpected status line: {status:?}")));
+        };
+        let header = self.line(&mut raw)?;
+        let columns: Vec<String> = header.split('\t').map(str::to_string).collect();
+        if columns.len() != ncols {
+            return Err(malformed(format!(
+                "status promised {ncols} columns, header has {}",
+                columns.len()
+            )));
+        }
+        let mut data: Vec<i64> = Vec::new();
+        loop {
+            let line = self.line(&mut raw)?;
+            if let Some((rows_out, block_reads)) = protocol::parse_ok_trailer(&line) {
+                return Ok(Response::Rows(Rows {
+                    columns,
+                    data,
+                    rows_out,
+                    block_reads,
+                    raw,
+                }));
+            }
+            for field in line.split('\t') {
+                data.push(
+                    field
+                        .parse()
+                        .map_err(|_| malformed(format!("bad value {field:?}")))?,
+                );
+            }
+        }
+    }
+
+    /// Read one `\n`-terminated line, appending the bytes (newline
+    /// included) to `raw` and returning the text without it.
+    fn line(&mut self, raw: &mut Vec<u8>) -> io::Result<String> {
+        let start = raw.len();
+        let n = self.reader.read_until(b'\n', raw)?;
+        if n == 0 || raw.last() != Some(&b'\n') {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed mid-response",
+            ));
+        }
+        let text = std::str::from_utf8(&raw[start..raw.len() - 1])
+            .map_err(|_| malformed("response is not valid UTF-8".into()))?;
+        Ok(text.to_string())
+    }
+}
+
+fn malformed(msg: String) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("malformed response: {msg}"),
+    )
+}

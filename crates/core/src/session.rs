@@ -82,6 +82,12 @@ pub struct ServerStats {
     pub peak_active: usize,
     /// Most queries ever blocked waiting for a slot at once.
     pub peak_queued: usize,
+    /// Queries executing right now (a snapshot, not a cumulative
+    /// counter): `admitted - completed` at the instant of
+    /// [`Server::stats`]. Zero means the gate is idle — every
+    /// admission slot has been handed back, which is what the network
+    /// frontend's disconnect tests assert.
+    pub active: usize,
 }
 
 #[derive(Default)]
@@ -163,9 +169,14 @@ impl Server {
         self.cfg
     }
 
-    /// Snapshot the admission counters.
+    /// Snapshot the admission counters (plus the live `active` count,
+    /// read under the same gate lock).
     pub fn stats(&self) -> ServerStats {
-        self.gate.lock().expect("gate poisoned").stats
+        let g = self.gate.lock().expect("gate poisoned");
+        ServerStats {
+            active: g.active,
+            ..g.stats
+        }
     }
 
     /// Block until a slot frees, then return this query's fair worker
@@ -310,32 +321,24 @@ impl Session {
         }
     }
 
-    /// Plan (at the full budget) and run a scan (at the fair share),
-    /// tagged with a fresh query token for cold-read attribution.
+    /// Plan (at the full budget) and run a scan (at the fair share).
+    /// Now a thin delegate of [`Session::run`] — same planning, same
+    /// admission, same token tagging — so the deprecated path can never
+    /// drift from the unified one (`deprecated_session_shims_match_run`
+    /// pins the stats equality).
+    #[deprecated(note = "use Session::run(&Request); the Reply carries rows and stats")]
     pub fn run_scan(&self, q: &QuerySpec) -> Result<(QueryResult, ExecStats)> {
-        let srv = &self.server;
-        let choice = srv.planner.choose(&srv.store, q)?;
-        let permit = srv.admit();
-        let opts = ExecOptions {
-            query_token: next_query_token(),
-            ..ExecOptions::with_parallelism(permit.share)
-        };
-        let _tag = ThreadTokenGuard::tag(opts.query_token);
-        execute_with_options(&srv.store, q, choice.strategy, &opts)
+        let out = self.run(&Statement::Select(q.clone()))?;
+        Ok((out.rows, out.stats))
     }
 
     /// Plan (at the full budget) and run a join tree (at the fair
-    /// share), tagged with a fresh query token.
+    /// share). A thin delegate of [`Session::run`], like
+    /// [`Session::run_scan`].
+    #[deprecated(note = "use Session::run(&Request); the Reply carries rows and stats")]
     pub fn run_join_tree(&self, spec: &JoinTreeSpec) -> Result<(QueryResult, JoinTreeStats)> {
-        let srv = &self.server;
-        let choice = srv.planner.choose_join_tree(&srv.store, spec)?;
-        let permit = srv.admit();
-        let opts = ExecOptions {
-            query_token: next_query_token(),
-            ..ExecOptions::with_parallelism(permit.share)
-        };
-        let _tag = ThreadTokenGuard::tag(opts.query_token);
-        hash_join_tree_with_options(&srv.store, spec, &choice.plan(), &opts)
+        let out = self.run(&Statement::JoinTree(spec.clone()))?;
+        Ok((out.rows, out.stats))
     }
 }
 
@@ -497,6 +500,87 @@ mod tests {
                 assert!(shares.windows(2).all(|w| w[0] >= w[1] && w[0] - w[1] <= 1));
             }
         }
+    }
+
+    /// The deterministic face of [`QueryStats`]: everything except
+    /// wall time (timing) and steals (scheduling), which legitimately
+    /// vary run to run.
+    fn deterministic_stats(s: &crate::query::QueryStats) -> impl PartialEq + std::fmt::Debug {
+        (
+            s.strategy,
+            s.io,
+            s.rows_out,
+            s.positions_matched,
+            s.decompressed_fetch,
+            s.code_path_ops,
+            s.builds,
+            s.build_reuses,
+            s.zone_skips,
+        )
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_session_shims_match_run() {
+        use crate::ops::join::JoinSpec;
+        // A store with a scan table and a fact/dim pair, so both shims
+        // are exercised.
+        let store = Store::in_memory();
+        let n = 4000i64;
+        let k: Vec<Value> = (0..n).collect();
+        let v: Vec<Value> = (0..n).map(|i| (i * 7919) % 101).collect();
+        let spec = ProjectionSpec::new("fact")
+            .column("k", EncodingKind::Plain, SortOrder::Primary)
+            .column("v", EncodingKind::Plain, SortOrder::None)
+            .column("fk", EncodingKind::Plain, SortOrder::None);
+        let fk: Vec<Value> = (0..n).map(|i| (i * 31) % 128).collect();
+        store.load_projection(&spec, &[&k, &v, &fk]).unwrap();
+        let dk: Vec<Value> = (0..128).collect();
+        let x: Vec<Value> = (0..128).map(|i| i * 3 + 1).collect();
+        let spec = ProjectionSpec::new("dim")
+            .column("dk", EncodingKind::Plain, SortOrder::Primary)
+            .column("x", EncodingKind::Plain, SortOrder::None);
+        store.load_projection(&spec, &[&dk, &x]).unwrap();
+        let fact = store.projection_by_name("fact").unwrap().id;
+        let dim = store.projection_by_name("dim").unwrap().id;
+        let server = Server::new(store, ServerConfig::default());
+        let session = server.connect();
+        let scan = QuerySpec::select(fact, vec![0, 1]).filter(1, Predicate::lt(40));
+        let tree = JoinTreeSpec::new(vec![JoinSpec {
+            left: fact,
+            right: dim,
+            left_key: 2,
+            right_key: 0,
+            left_filter: Some((1, Predicate::lt(60))),
+            right_filter: None,
+            left_output: vec![1],
+            right_output: vec![1],
+        }]);
+
+        // Each path cold, so the per-query I/O must agree exactly too.
+        server.store().cold_reset();
+        let (rows_dep, stats_dep) = session.run_scan(&scan).unwrap();
+        server.store().cold_reset();
+        let out = session.run(&Request::Select(scan.clone())).unwrap();
+        assert_eq!(rows_dep, out.rows, "deprecated scan shim drifted");
+        assert_eq!(
+            deterministic_stats(&stats_dep),
+            deterministic_stats(&out.stats)
+        );
+
+        server.store().cold_reset();
+        let (rows_dep, stats_dep) = session.run_join_tree(&tree).unwrap();
+        server.store().cold_reset();
+        let out = session.run(&Request::JoinTree(tree.clone())).unwrap();
+        assert_eq!(rows_dep, out.rows, "deprecated join-tree shim drifted");
+        assert_eq!(
+            deterministic_stats(&stats_dep),
+            deterministic_stats(&out.stats)
+        );
+        let stats = server.stats();
+        assert_eq!(stats.admitted, 4);
+        assert_eq!(stats.completed, 4);
+        assert_eq!(stats.active, 0, "every slot handed back");
     }
 
     #[test]

@@ -1,0 +1,29 @@
+//! matstrat-net: the TCP network frontend for the query service.
+//!
+//! PRs 6–9 made the engine a concurrent, admission-controlled library
+//! behind `Server`/`Session` and a text dialect; this crate is the wire
+//! layer that turns it into a servable *process*. A [`NetServer`]
+//! listens on a `std::net` TCP socket and speaks a newline-framed text
+//! protocol ([`protocol`]): clients send one statement of the
+//! `matstrat-lang` dialect per line, the server compiles it against the
+//! shared catalog, runs it through the existing admission gate at the
+//! fair worker share, and streams the result back — status line,
+//! header, tab-separated rows, and an `OK <rows> reads=<n>` trailer
+//! carrying the query's own deterministic measurements. Compile errors
+//! answer `ERR` with [`matstrat_lang::ParseError`]'s line/column caret
+//! snippet **verbatim**.
+//!
+//! The house invariant survives the wire: N concurrent socket clients
+//! produce responses byte-identical — rows *and* per-query cold
+//! `block_reads` — to the same batch run serially in-process
+//! (`tests/net_diff.rs`), because this crate adds zero execution paths:
+//! every statement takes exactly the `Session::run` path an in-process
+//! caller takes.
+//!
+//! The thin client half lives in `matstrat-client`; the runnable
+//! entrypoint is `matstrat serve` (the workspace root binary).
+
+pub mod protocol;
+mod server;
+
+pub use server::{NetConfig, NetServer, NetStats};

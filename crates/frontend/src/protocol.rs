@@ -1,0 +1,260 @@
+//! The wire grammar: newline-framed text, one statement per request.
+//!
+//! Requests are single lines of the `matstrat-lang` dialect terminated
+//! by `\n` (a trailing `\r` is tolerated for `nc`/telnet clients).
+//! Blank and whitespace-only lines are ignored — they produce no
+//! response, so a scripted client must not count them. A line longer
+//! than [`MAX_LINE`] bytes is a protocol error: the server answers
+//! `ERR` and closes the connection.
+//!
+//! Responses come in exactly two shapes:
+//!
+//! ```text
+//! response := rows | error
+//! rows     := "ROWS " ncols "\n"
+//!             name ("\t" name)* "\n"          -- header
+//!             (int ("\t" int)* "\n")*         -- one line per row, streamed
+//!             "OK " rows_out " reads=" block_reads "\n"
+//! error    := "ERR " nlines "\n" (line "\n"){nlines}
+//! ```
+//!
+//! Every value is a decimal `i64`; fields are tab-separated. The `OK`
+//! trailer carries the two deterministic per-query measurements —
+//! `rows_out` and this query's own cold `block_reads` (per-thread
+//! harvest, exact under concurrency) — and nothing nondeterministic,
+//! so a whole response is byte-comparable across interleavings: that
+//! is what `tests/net_diff.rs` pins. Writes answer in the same shape
+//! (`rows_affected` header, one row, `reads=0`).
+//!
+//! An `error` response carries the rendered error verbatim, one wire
+//! line per source line — for compile failures that is
+//! [`matstrat_lang::ParseError`]'s three-line caret snippet, character
+//! columns intact on multi-byte input (`tests/net_protocol.rs` pins
+//! the round-trip against the lang crate's snapshots). Errors never
+//! close the connection; framing violations do.
+
+use std::io::{self, BufRead, Write};
+
+use matstrat_core::QueryOutcome;
+
+/// Longest accepted request line, in bytes (framing guard, not a SQL
+/// limit — the dialect never comes close).
+pub const MAX_LINE: usize = 64 * 1024;
+
+/// First token of a row response's status line.
+pub const ROWS_PREFIX: &str = "ROWS ";
+/// First token of an error response's status line.
+pub const ERR_PREFIX: &str = "ERR ";
+/// First token of a row response's trailer.
+pub const OK_PREFIX: &str = "OK ";
+
+/// Stream one executed statement's response: status line, header,
+/// rows, `OK` trailer. `Vec<u8>` is a `Write`r too, so the serial
+/// oracle renders reference bytes through this same function.
+pub fn write_outcome<W: Write>(w: &mut W, out: &QueryOutcome) -> io::Result<()> {
+    let rows = &out.rows;
+    writeln!(w, "{}{}", ROWS_PREFIX, rows.width())?;
+    writeln!(w, "{}", rows.column_names.join("\t"))?;
+    let mut line = String::new();
+    for row in rows.rows() {
+        line.clear();
+        for (i, v) in row.iter().enumerate() {
+            if i > 0 {
+                line.push('\t');
+            }
+            line.push_str(itoa(*v).as_str());
+        }
+        writeln!(w, "{line}")?;
+    }
+    writeln!(
+        w,
+        "{}{} reads={}",
+        OK_PREFIX,
+        out.stats.rows_out,
+        out.block_reads()
+    )
+}
+
+/// Render an error response: `ERR <nlines>` then the message verbatim,
+/// one wire line per message line (a trailing newline in `msg` does
+/// not produce an empty extra line).
+pub fn write_error<W: Write>(w: &mut W, msg: &str) -> io::Result<()> {
+    let lines: Vec<&str> = msg.lines().collect();
+    writeln!(w, "{}{}", ERR_PREFIX, lines.len().max(1))?;
+    if lines.is_empty() {
+        writeln!(w, "unknown error")?;
+    }
+    for l in &lines {
+        writeln!(w, "{l}")?;
+    }
+    Ok(())
+}
+
+/// Parse a `ROWS <ncols>` status line.
+pub fn parse_rows_status(line: &str) -> Option<usize> {
+    line.strip_prefix(ROWS_PREFIX)?.trim().parse().ok()
+}
+
+/// Parse an `ERR <nlines>` status line.
+pub fn parse_err_status(line: &str) -> Option<usize> {
+    line.strip_prefix(ERR_PREFIX)?.trim().parse().ok()
+}
+
+/// Parse an `OK <rows_out> reads=<block_reads>` trailer.
+pub fn parse_ok_trailer(line: &str) -> Option<(u64, u64)> {
+    let rest = line.strip_prefix(OK_PREFIX)?;
+    let (rows, reads) = rest.split_once(' ')?;
+    let reads = reads.strip_prefix("reads=")?;
+    Some((rows.trim().parse().ok()?, reads.trim().parse().ok()?))
+}
+
+fn itoa(v: i64) -> String {
+    v.to_string()
+}
+
+/// One framing read from a connection.
+#[derive(Debug)]
+pub enum LineRead {
+    /// A complete line (newline stripped; may still carry a trailing
+    /// `\r` — the caller trims).
+    Line(Vec<u8>),
+    /// Clean end of stream on a line boundary.
+    Eof,
+    /// The peer vanished mid-line: bytes arrived, then EOF before the
+    /// newline. No response is owed for a torn request.
+    Torn,
+    /// The line outgrew [`MAX_LINE`] before its newline arrived.
+    TooLong,
+    /// The socket's read timeout fired — an abandoned connection.
+    TimedOut,
+}
+
+/// Read one newline-framed line, bounded by `max` bytes. Timeouts
+/// (`WouldBlock`/`TimedOut`, however the platform spells them) are a
+/// [`LineRead::TimedOut`] outcome, not an error; connection resets
+/// read as EOF/torn rather than bubbling an `Err`.
+pub fn read_line_bounded<R: BufRead>(r: &mut R, max: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(LineRead::TimedOut)
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::ConnectionReset
+                    || e.kind() == io::ErrorKind::ConnectionAborted
+                    || e.kind() == io::ErrorKind::BrokenPipe =>
+            {
+                return Ok(if buf.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Torn
+                })
+            }
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            return Ok(if buf.is_empty() {
+                LineRead::Eof
+            } else {
+                LineRead::Torn
+            });
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                buf.extend_from_slice(&chunk[..i]);
+                r.consume(i + 1);
+                if buf.len() > max {
+                    return Ok(LineRead::TooLong);
+                }
+                return Ok(LineRead::Line(buf));
+            }
+            None => {
+                buf.extend_from_slice(chunk);
+                let n = chunk.len();
+                r.consume(n);
+                if buf.len() > max {
+                    return Ok(LineRead::TooLong);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use matstrat_core::{QueryPlan, QueryResult, QueryStats};
+
+    fn outcome(cols: &[&str], data: Vec<i64>, reads: u64) -> QueryOutcome {
+        let rows = QueryResult::from_flat(cols.iter().map(|c| c.to_string()).collect(), data);
+        let rows_out = rows.num_rows() as u64;
+        let mut stats = QueryStats {
+            rows_out,
+            ..QueryStats::default()
+        };
+        stats.io.block_reads = reads;
+        QueryOutcome {
+            rows,
+            stats,
+            choice: QueryPlan::Write,
+        }
+    }
+
+    #[test]
+    fn outcome_renders_header_rows_and_trailer() {
+        let mut buf = Vec::new();
+        write_outcome(&mut buf, &outcome(&["a", "b"], vec![1, 2, -3, 40], 7)).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "ROWS 2\na\tb\n1\t2\n-3\t40\nOK 2 reads=7\n"
+        );
+    }
+
+    #[test]
+    fn error_renders_each_message_line() {
+        let mut buf = Vec::new();
+        write_error(&mut buf, "line 1, column 3: nope\n  | ab\n  |   ^").unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "ERR 3\nline 1, column 3: nope\n  | ab\n  |   ^\n"
+        );
+    }
+
+    #[test]
+    fn status_and_trailer_lines_round_trip() {
+        assert_eq!(parse_rows_status("ROWS 3"), Some(3));
+        assert_eq!(parse_rows_status("ROW 3"), None);
+        assert_eq!(parse_err_status("ERR 2"), Some(2));
+        assert_eq!(parse_ok_trailer("OK 42 reads=9"), Some((42, 9)));
+        assert_eq!(parse_ok_trailer("OK 42"), None);
+    }
+
+    #[test]
+    fn bounded_reader_frames_eof_torn_and_oversize() {
+        let mut r = io::BufReader::new(&b"SELECT 1\npartial"[..]);
+        match read_line_bounded(&mut r, 64).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, b"SELECT 1"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(
+            read_line_bounded(&mut r, 64).unwrap(),
+            LineRead::Torn
+        ));
+        let mut r = io::BufReader::new(&b""[..]);
+        assert!(matches!(
+            read_line_bounded(&mut r, 64).unwrap(),
+            LineRead::Eof
+        ));
+        let long = [b'x'; 100];
+        let mut r = io::BufReader::new(&long[..]);
+        assert!(matches!(
+            read_line_bounded(&mut r, 64).unwrap(),
+            LineRead::TooLong
+        ));
+    }
+}

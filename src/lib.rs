@@ -25,6 +25,8 @@
 //! | [`model`] | `matstrat-model` | the §3 analytical cost model |
 //! | [`core`] | `matstrat-core` | multi-columns, operators, strategies, planner, query service |
 //! | [`lang`] | `matstrat-lang` | the SQL-dialect front-end (parse, lower, pretty-print) |
+//! | [`net`] | `matstrat-net` | TCP wire frontend (newline-framed protocol, `matstrat serve`) |
+//! | [`client`] | `matstrat-client` | thin protocol client for tests/benches/tools |
 //! | [`tpch`] | `matstrat-tpch` | TPC-H-style workload generator |
 //!
 //! ## Quickstart
@@ -53,16 +55,19 @@
 //! println!("{}", out.choice.describe()); // which strategy the planner chose
 //! ```
 
+pub use matstrat_client as client;
 pub use matstrat_common as common;
 pub use matstrat_core as core;
 pub use matstrat_lang as lang;
 pub use matstrat_model as model;
+pub use matstrat_net as net;
 pub use matstrat_poslist as poslist;
 pub use matstrat_storage as storage;
 pub use matstrat_tpch as tpch;
 
 /// One-line import for applications: `use matstrat::prelude::*;`.
 pub mod prelude {
+    pub use matstrat_client::{Client, Response, Rows, WireError};
     pub use matstrat_common::{CompareOp, Error, Pos, PosRange, Predicate, Result, Value};
     pub use matstrat_core::{
         default_parallelism, AggSpec, Database, ExecOptions, ExecStats, FragmentPipeline,
@@ -72,6 +77,7 @@ pub mod prelude {
     };
     pub use matstrat_lang::{compile, print_statement, ParseError};
     pub use matstrat_model::{Constants, CostModel};
+    pub use matstrat_net::{NetConfig, NetServer, NetStats};
     pub use matstrat_poslist::{PosList, Repr};
     pub use matstrat_storage::{EncodingKind, ProjectionSpec, SortOrder};
     pub use matstrat_tpch::{JoinTables, LineitemGen, TpchConfig};

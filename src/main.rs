@@ -1,0 +1,223 @@
+//! The `matstrat` binary: `matstrat serve` boots the TCP frontend over
+//! a persistent or demo store.
+//!
+//! ```text
+//! matstrat serve [--addr HOST:PORT] [--data DIR | --demo]
+//!                [--max-conns N] [--max-concurrent N] [--workers N]
+//!                [--read-timeout-ms N] [--write-timeout-ms N]
+//!                [--self-check]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; the bound address is
+//! printed as `listening on <addr>` before the server starts taking
+//! connections, so scripts can scrape it. `--self-check` (CI's smoke
+//! mode) boots the listener, drives a loopback client through a scan,
+//! a write round-trip, and a caret-diagnosed parse error, then shuts
+//! down and exits 0 — proving the whole stack (bind, accept, compile,
+//! admission, streaming, shutdown) in one process.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use matstrat::client::{Client, Response};
+use matstrat::net::{NetConfig, NetServer};
+use matstrat::prelude::{EncodingKind, ProjectionSpec, SortOrder, Value};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") => serve(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            usage();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("matstrat: unknown command '{other}'\n");
+            usage();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "usage: matstrat serve [--addr HOST:PORT] [--data DIR | --demo]\n\
+         \x20                     [--max-conns N] [--max-concurrent N] [--workers N]\n\
+         \x20                     [--read-timeout-ms N] [--write-timeout-ms N] [--self-check]\n\
+         \n\
+         Speak the newline-framed text protocol to it, e.g.:\n\
+         \x20   echo 'SELECT k, v FROM demo WHERE v < 3' | nc 127.0.0.1 7878"
+    );
+}
+
+struct ServeArgs {
+    addr: String,
+    data: Option<String>,
+    demo: bool,
+    self_check: bool,
+    cfg: NetConfig,
+}
+
+fn parse_args(args: &[String]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs {
+        addr: "127.0.0.1:7878".into(),
+        data: None,
+        demo: false,
+        self_check: false,
+        cfg: NetConfig::default(),
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => out.addr = value("--addr")?.clone(),
+            "--data" => out.data = Some(value("--data")?.clone()),
+            "--demo" => out.demo = true,
+            "--self-check" => out.self_check = true,
+            "--max-conns" => out.cfg.max_conns = parse_num(value("--max-conns")?)?,
+            "--max-concurrent" => {
+                out.cfg.service.max_concurrent = parse_num(value("--max-concurrent")?)?
+            }
+            "--workers" => out.cfg.service.worker_budget = parse_num(value("--workers")?)?,
+            "--read-timeout-ms" => {
+                out.cfg.read_timeout =
+                    Duration::from_millis(parse_num(value("--read-timeout-ms")?)?)
+            }
+            "--write-timeout-ms" => {
+                out.cfg.write_timeout =
+                    Duration::from_millis(parse_num(value("--write-timeout-ms")?)?)
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str) -> Result<T, String> {
+    s.parse().map_err(|_| format!("bad number '{s}'"))
+}
+
+/// A small servable dataset: `demo` (k sorted, v, g) and `dim` keyed
+/// by `demo.g`.
+fn demo_store() -> matstrat::storage::Store {
+    let store = matstrat::storage::Store::in_memory();
+    let n = 10_000i64;
+    let k: Vec<Value> = (0..n).collect();
+    let v: Vec<Value> = (0..n).map(|i| (i * 7919) % 101).collect();
+    let g: Vec<Value> = (0..n).map(|i| i % 64).collect();
+    let spec = ProjectionSpec::new("demo")
+        .column("k", EncodingKind::Plain, SortOrder::Primary)
+        .column("v", EncodingKind::Plain, SortOrder::None)
+        .column("g", EncodingKind::Plain, SortOrder::None);
+    store.load_projection(&spec, &[&k, &v, &g]).unwrap();
+    let dk: Vec<Value> = (0..64).collect();
+    let x: Vec<Value> = (0..64).map(|i| i * 10).collect();
+    let spec = ProjectionSpec::new("dim")
+        .column("dk", EncodingKind::Plain, SortOrder::Primary)
+        .column("x", EncodingKind::Plain, SortOrder::None);
+    store.load_projection(&spec, &[&dk, &x]).unwrap();
+    store
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    let args = match parse_args(args) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("matstrat serve: {e}\n");
+            usage();
+            return ExitCode::FAILURE;
+        }
+    };
+    let store = match (&args.data, args.demo) {
+        (Some(_), true) => {
+            eprintln!("matstrat serve: --data and --demo are mutually exclusive");
+            return ExitCode::FAILURE;
+        }
+        (Some(dir), false) => match matstrat::storage::Store::open_dir(dir) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("matstrat serve: cannot open store at {dir}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        (None, _) => demo_store(),
+    };
+    let server = match NetServer::bind(args.addr.as_str(), store, args.cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("matstrat serve: cannot bind {}: {e}", args.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    let addr = server.local_addr();
+    println!(
+        "matstrat serve: listening on {addr} (max_conns={}, max_concurrent={}, workers={})",
+        args.cfg.max_conns, args.cfg.service.max_concurrent, args.cfg.service.worker_budget
+    );
+    if args.self_check {
+        return match self_check(&server) {
+            Ok(()) => {
+                server.shutdown();
+                println!("matstrat serve: self-check ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("matstrat serve: self-check FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // Serve until the process is killed; the accept loop owns the work.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Drive the server through its own socket: scan, write round-trip,
+/// caret diagnostics. Any drift is a one-line error.
+fn self_check(server: &NetServer) -> Result<(), String> {
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).map_err(|e| format!("loopback connect failed: {e}"))?;
+    let sql = "SELECT g, SUM(v) FROM demo WHERE v < 50 GROUP BY g";
+    let rows = match client.query(sql).map_err(|e| e.to_string())? {
+        Response::Rows(r) => r,
+        Response::Err(e) => return Err(format!("scan rejected:\n{}", e.message)),
+    };
+    if rows.columns != ["g", "sum_v"] || rows.num_rows() != 64 {
+        return Err(format!(
+            "scan answered {} rows over {:?}, expected 64 over [g, sum_v]",
+            rows.num_rows(),
+            rows.columns
+        ));
+    }
+    let wrote = client
+        .query("INSERT INTO demo VALUES (10000, 1, 2), (10001, 3, 4)")
+        .map_err(|e| e.to_string())?
+        .expect_rows("insert");
+    if wrote.rows_out != 2 {
+        return Err(format!(
+            "insert affected {} rows, expected 2",
+            wrote.rows_out
+        ));
+    }
+    let gone = client
+        .query("DELETE FROM demo WHERE k >= 10000")
+        .map_err(|e| e.to_string())?
+        .expect_rows("delete");
+    if gone.rows_out != 2 {
+        return Err(format!(
+            "delete affected {} rows, expected 2",
+            gone.rows_out
+        ));
+    }
+    match client
+        .query("SELECT nope FROM demo")
+        .map_err(|e| e.to_string())?
+    {
+        Response::Err(e) if e.message.contains('^') && e.message.contains("column") => Ok(()),
+        Response::Err(e) => Err(format!("diagnostic lost its caret:\n{}", e.message)),
+        Response::Rows(_) => Err("bad query unexpectedly executed".into()),
+    }
+}
